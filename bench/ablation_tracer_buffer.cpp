@@ -1,0 +1,75 @@
+// Ablation: the paper's ART modification (record only unique methods)
+// versus the stock Android Profiler behaviour (bounded buffer recording
+// every call, "filled within seconds of app initialization").
+//
+// For each generated app we run the same schedule under both tracers and
+// compare how many unique app methods the resulting trace file recovers —
+// i.e., the coverage measurement Libspector would have reported.
+#include "common/study.hpp"
+
+#include <unordered_set>
+
+#include "core/monitor.hpp"
+#include "monkey/monkey.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/tracer.hpp"
+
+using namespace libspector;
+
+int main(int argc, char** argv) {
+  auto options = bench::optionsFromArgs(argc, argv);
+  options.appCount = std::min<std::size_t>(options.appCount, 80);
+  bench::printHeader("Ablation — unique-method tracer vs stock ring buffer",
+                     options);
+
+  store::StoreConfig storeConfig;
+  storeConfig.appCount = options.appCount;
+  storeConfig.seed = options.seed;
+  storeConfig.methodScale = options.methodScale;
+  const store::AppStoreGenerator generator(storeConfig);
+
+  // The stock profiler's user-specified buffer, sized like the default
+  // 8 MB trace buffer would be for entry records.
+  constexpr std::size_t kStockBufferEntries = 20000;
+
+  std::printf("%12s %18s %18s %12s\n", "buffer", "unique methods",
+              "dropped entries", "coverage");
+  for (const bool useUnique : {false, true}) {
+    double uniqueSum = 0.0;
+    double droppedSum = 0.0;
+    double coverageSum = 0.0;
+    for (std::size_t i = 0; i < generator.appCount(); ++i) {
+      const auto job = generator.makeJob(i);
+      util::SimClock clock;
+      std::unique_ptr<rt::MethodTracer> tracer;
+      if (useUnique)
+        tracer = std::make_unique<rt::UniqueMethodTracer>();
+      else
+        tracer = std::make_unique<rt::RingBufferTracer>(kStockBufferEntries);
+
+      util::Rng rng(options.seed + i);
+      net::NetworkStack stack(generator.farm(), clock, rng.fork(1));
+      rt::Interpreter runtime(job.program, stack, *tracer, clock, rng.fork(2));
+      runtime.start();
+      monkey::MonkeyConfig monkeyConfig;
+      monkeyConfig.events = options.monkeyEvents;
+      monkeyConfig.throttleMs = options.throttleMs;
+      monkey::exercise(runtime, clock, monkeyConfig);
+
+      const auto trace = tracer->traceFile();
+      const std::unordered_set<std::string> unique(trace.begin(), trace.end());
+      uniqueSum += static_cast<double>(unique.size());
+      droppedSum += static_cast<double>(tracer->droppedCount());
+      const std::vector<std::string> traceVector(unique.begin(), unique.end());
+      coverageSum += core::MethodMonitor::computeCoverage(traceVector, job.apk).ratio();
+    }
+    const double apps = static_cast<double>(generator.appCount());
+    std::printf("%12s %18.0f %18.0f %11.2f%%\n",
+                useUnique ? "unique-set" : "stock-20k", uniqueSum / apps,
+                droppedSum / apps, 100.0 * coverageSum / apps);
+  }
+  std::printf("\n(the stock buffer drops repeated-call floods and loses "
+              "late-first-seen methods,\n understating coverage — the "
+              "motivation for the paper's ART change)\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "common/study.hpp"
+
+#include <cstdlib>
+
+#include "orch/study.hpp"
+#include "util/strings.hpp"
+
+namespace libspector::bench {
+
+StudyOptions optionsFromArgs(int argc, char** argv, StudyOptions defaults) {
+  if (argc > 1) defaults.appCount = std::strtoul(argv[1], nullptr, 10);
+  if (const char* seed = std::getenv("LIBSPECTOR_SEED"))
+    defaults.seed = std::strtoull(seed, nullptr, 10);
+  return defaults;
+}
+
+StudyResult runStudy(const StudyOptions& options) {
+  store::StoreConfig storeConfig;
+  storeConfig.appCount = options.appCount;
+  storeConfig.seed = options.seed;
+  storeConfig.methodScale = options.methodScale;
+
+  StudyResult result;
+  result.generator = std::make_unique<store::AppStoreGenerator>(storeConfig);
+
+  orch::DispatcherConfig dispatcherConfig;
+  dispatcherConfig.emulator.monkey.events = options.monkeyEvents;
+  dispatcherConfig.emulator.monkey.throttleMs = options.throttleMs;
+  auto output = orch::runStudy(*result.generator, dispatcherConfig);
+  result.study = std::move(output.study);
+  result.wallSeconds = output.wallSeconds;
+  return result;
+}
+
+std::string bytesStr(double bytes) { return util::humanBytes(bytes); }
+
+void printHeader(const std::string& title, const StudyOptions& options) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("(corpus: %zu apps, seed %llu, monkey %u events @ %u ms)\n\n",
+              options.appCount,
+              static_cast<unsigned long long>(options.seed),
+              options.monkeyEvents, options.throttleMs);
+}
+
+}  // namespace libspector::bench

@@ -1,0 +1,60 @@
+// Regenerates the §IV-D user-cost estimates from the measured study, using
+// the paper's exact models (Google Fi $10/GB; Vallina et al.'s ad-library
+// energy parameters).
+//
+// Paper reference: Advertisement traffic costs $1.17/hour and 18.7% of a
+// typical battery; Mobile Analytics $0.17/hour; Social Network + Digital
+// Identity $0.14/hour; Game Engine $3.02/hour.
+#include "common/study.hpp"
+
+#include "core/cost.hpp"
+
+using namespace libspector;
+
+int main(int argc, char** argv) {
+  const auto options = bench::optionsFromArgs(argc, argv);
+  bench::printHeader("§IV-D — estimated user cost per library category",
+                     options);
+  const auto result = bench::runStudy(options);
+
+  const double runMinutes = 8.0;
+  const core::CostModel model(core::DataPlanModel{}, core::EnergyModel{},
+                              runMinutes);
+  const core::EnergyModel& energy = model.energy();
+  std::printf("energy model: %.2f V battery, %.3f W ad drain, %.0f B/s -> %.2e J/B\n\n",
+              energy.batteryVoltage(), energy.adActivePowerWatts(),
+              energy.adThroughputBytesPerSec(), energy.joulesPerByte());
+
+  struct Row {
+    const char* label;
+    std::vector<const char*> categories;
+    double paperUsd;
+  };
+  const std::vector<Row> rows = {
+      {"Advertisement", {"Advertisement"}, 1.17},
+      {"Mobile Analytics", {"Mobile Analytics"}, 0.17},
+      {"Social + Identity", {"Social Network", "Digital Identity"}, 0.14},
+      {"Game Engine", {"Game Engine"}, 3.02},
+  };
+
+  std::printf("%-20s %14s %10s %12s %10s\n", "category", "bytes/run",
+              "$/hour", "paper $/h", "battery");
+  for (const auto& row : rows) {
+    double bytesPerRun = 0.0;
+    for (const char* category : row.categories)
+      bytesPerRun += result.study.meanBytesPerRun(category);
+    const auto estimate = model.estimate(bytesPerRun);
+    std::printf("%-20s %14s %10.3f %12.2f %9.2f%%\n", row.label,
+                bench::bytesStr(bytesPerRun).c_str(), estimate.usdPerHour,
+                row.paperUsd, 100.0 * estimate.batteryFraction);
+  }
+
+  // The paper's own worked example, for reference.
+  const auto paperExample = model.estimate(15.6 * 1024 * 1024);
+  std::printf("\npaper worked example (15.6 MB ads/run): $%.2f/h, %.0f J, %.1f%% battery"
+              " (paper: $1.17, 7794 J, 18.7%%)\n",
+              paperExample.usdPerHour, paperExample.energyJoules,
+              100.0 * paperExample.batteryFraction);
+  std::printf("\n[%.1fs]\n", result.wallSeconds);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Regenerates Fig. 2: data transfer size of origin-library categories per
+// app category, plus the legend's total-share percentages.
+//
+// Paper reference: Advertisement 28.28%, Development Aid 26.34%,
+// Unknown 25.3%, Game Engine 10.2%, Utility 3.36%, GUI Component 1.98%,
+// Mobile Analytics 1.71%, Social Network 1.43%, Payment 0.7%,
+// Digital Identity 0.39%, Map/LBS 0.19%, Dev. Framework 0.08%,
+// App Market 0.03%.
+#include "common/study.hpp"
+
+#include "radar/corpus.hpp"
+
+using namespace libspector;
+
+int main(int argc, char** argv) {
+  const auto options = bench::optionsFromArgs(argc, argv);
+  bench::printHeader("Fig. 2 — transfer by app category x library category",
+                     options);
+  const auto result = bench::runStudy(options);
+  const auto totals = result.study.totals();
+
+  std::printf("%-22s", "library category");
+  std::printf("%12s %8s   (paper share)\n", "bytes", "share");
+  struct PaperShare {
+    const char* category;
+    double share;
+  };
+  static constexpr PaperShare kPaper[] = {
+      {"Advertisement", 28.28}, {"App Market", 0.03},
+      {"Development Aid", 26.34}, {"Development Framework", 0.08},
+      {"Digital Identity", 0.39}, {"GUI Component", 1.98},
+      {"Game Engine", 10.2},    {"Map/LBS", 0.19},
+      {"Mobile Analytics", 1.71}, {"Payment", 0.7},
+      {"Social Network", 1.43}, {"Unknown", 25.3},
+      {"Utility", 3.36}};
+  const auto byCategory = result.study.transferByLibCategory();
+  for (const auto& row : kPaper) {
+    const auto it = byCategory.find(row.category);
+    const double bytes =
+        it == byCategory.end() ? 0.0 : static_cast<double>(it->second);
+    std::printf("%-22s%12s %7.2f%%   (%.2f%%)\n", row.category,
+                bench::bytesStr(bytes).c_str(),
+                100.0 * bytes / static_cast<double>(totals.totalBytes),
+                row.share);
+  }
+
+  std::printf("\nPer-app-category breakdown (top 5 library categories each):\n");
+  for (const auto& [appCategory, libCategories] :
+       result.study.transferByAppAndLibCategory()) {
+    std::vector<std::pair<std::string, std::uint64_t>> rows(
+        libCategories.begin(), libCategories.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::printf("  %-22s", appCategory.c_str());
+    for (std::size_t i = 0; i < rows.size() && i < 5; ++i)
+      std::printf(" %s=%s", rows[i].first.c_str(),
+                  bench::bytesStr(static_cast<double>(rows[i].second)).c_str());
+    std::printf("\n");
+  }
+  std::printf("\n[%.1fs]\n", result.wallSeconds);
+  return 0;
+}

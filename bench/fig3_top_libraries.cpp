@@ -1,0 +1,34 @@
+// Regenerates Fig. 3: top data-transferring origin-libraries (top panel)
+// and 2-level libraries (bottom panel).
+//
+// Paper reference (top): com.unity3d.player 1.59 GB leads; ad networks
+// (vungle, chartboost, gms.internal ads, ironsource, unity3d.ads caches),
+// image/content loaders (glide, picasso, volley, okhttp3.internal.http,
+// universalimageloader) and "*-Advertisement" built-in traffic follow.
+// (bottom): com.google 2.84 GB, com.unity3d + com.gameloft 2.82 GB,
+// com.android shown as built-in.
+#include "common/study.hpp"
+
+using namespace libspector;
+
+int main(int argc, char** argv) {
+  const auto options = bench::optionsFromArgs(argc, argv);
+  bench::printHeader("Fig. 3 — top origin-libraries and 2-level libraries",
+                     options);
+  const auto result = bench::runStudy(options);
+
+  std::printf("Top 15 origin-libraries:\n");
+  for (const auto& entry : result.study.topOriginLibraries(15)) {
+    std::printf("  %-48s %12s  [%s]\n", entry.name.c_str(),
+                bench::bytesStr(static_cast<double>(entry.bytes)).c_str(),
+                entry.category.c_str());
+  }
+
+  std::printf("\nTop 15 2-level libraries:\n");
+  for (const auto& entry : result.study.topTwoLevelLibraries(15)) {
+    std::printf("  %-32s %12s\n", entry.name.c_str(),
+                bench::bytesStr(static_cast<double>(entry.bytes)).c_str());
+  }
+  std::printf("\n[%.1fs]\n", result.wallSeconds);
+  return 0;
+}

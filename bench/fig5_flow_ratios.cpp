@@ -1,0 +1,52 @@
+// Regenerates Fig. 5: data transfer flow ratios (received/sent) across
+// apps, origin-libraries and DNS domains, with the red-diamond means.
+//
+// Paper reference: apps receive on average 81x more than they send,
+// libraries 87x, while domain servers send 104x more than they receive;
+// the top 10% of origin-libraries exceed 260x.
+#include "common/study.hpp"
+
+using namespace libspector;
+
+namespace {
+
+void printRatioSeries(const char* label,
+                      const core::StudyAggregator::RatioStats& stats,
+                      double paperMean) {
+  if (stats.ratios.empty()) {
+    std::printf("  %-8s (no data)\n", label);
+    return;
+  }
+  const auto& r = stats.ratios;
+  const auto at = [&](double q) { return r[static_cast<std::size_t>(q * (r.size() - 1))]; };
+  std::printf("  %-8s mean %7.1f (paper %5.0f)  p10 %6.1f  p50 %6.1f  p90 %7.1f  p99 %8.1f  max %9.1f\n",
+              label, stats.mean, paperMean, at(0.10), at(0.50), at(0.90),
+              at(0.99), r.back());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::optionsFromArgs(argc, argv);
+  bench::printHeader("Fig. 5 — transfer flow ratios (recv/sent)", options);
+  const auto result = bench::runStudy(options);
+  using Entity = core::StudyAggregator::Entity;
+
+  const auto apps = result.study.flowRatios(Entity::App);
+  const auto libs = result.study.flowRatios(Entity::Library);
+  const auto domains = result.study.flowRatios(Entity::Domain);
+  printRatioSeries("Apps", apps, 81);
+  printRatioSeries("Libs", libs, 87);
+  printRatioSeries("DNS", domains, 104);
+
+  // "the top 10% of origin-libraries received over 260 times data than sent"
+  if (!libs.ratios.empty()) {
+    double sum = 0.0;
+    const std::size_t start = libs.ratios.size() * 9 / 10;
+    for (std::size_t i = start; i < libs.ratios.size(); ++i) sum += libs.ratios[i];
+    std::printf("\n  top-10%% libraries mean ratio: %.1f (paper: >260)\n",
+                sum / static_cast<double>(libs.ratios.size() - start));
+  }
+  std::printf("\n[%.1fs]\n", result.wallSeconds);
+  return 0;
+}

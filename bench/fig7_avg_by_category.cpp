@@ -1,0 +1,45 @@
+// Regenerates Fig. 7: average data transfer per origin-library category
+// (left) and per DNS domain category (right).
+//
+// Paper reference: Mobile Analytics (35.6 MB), Game Engine (27.91 MB) and
+// Advertisement (12.66 MB) lead per library; per domain, CDN (46.27 MB)
+// receives almost 11x more than advertisements (4.32 MB), with social
+// networks third at 3.42 MB.
+#include "common/study.hpp"
+
+using namespace libspector;
+
+int main(int argc, char** argv) {
+  const auto options = bench::optionsFromArgs(argc, argv);
+  bench::printHeader("Fig. 7 — average transfer per library / domain category",
+                     options);
+  const auto result = bench::runStudy(options);
+
+  std::printf("Average bytes per origin-library, by library category:\n");
+  std::vector<std::pair<std::string, double>> perLibrary;
+  for (const auto& [category, avg] : result.study.avgBytesPerLibraryByCategory())
+    perLibrary.emplace_back(category, avg);
+  std::sort(perLibrary.begin(), perLibrary.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [category, avg] : perLibrary)
+    std::printf("  %-24s %12s\n", category.c_str(), bench::bytesStr(avg).c_str());
+
+  std::printf("\nAverage bytes per domain, by DNS domain category:\n");
+  std::vector<std::pair<std::string, double>> perDomain;
+  for (const auto& [category, avg] : result.study.avgBytesPerDomainByCategory())
+    perDomain.emplace_back(category, avg);
+  std::sort(perDomain.begin(), perDomain.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [category, avg] : perDomain)
+    std::printf("  %-24s %12s\n", category.c_str(), bench::bytesStr(avg).c_str());
+
+  const auto byDomainCategory = result.study.avgBytesPerDomainByCategory();
+  const auto cdnIt = byDomainCategory.find("cdn");
+  const auto adsIt = byDomainCategory.find("advertisements");
+  if (cdnIt != byDomainCategory.end() && adsIt != byDomainCategory.end() &&
+      adsIt->second > 0)
+    std::printf("\nCDN/ads per-domain factor: %.1fx (paper ~10.7x)\n",
+                cdnIt->second / adsIt->second);
+  std::printf("\n[%.1fs]\n", result.wallSeconds);
+  return 0;
+}

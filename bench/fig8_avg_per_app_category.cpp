@@ -1,0 +1,33 @@
+// Regenerates Fig. 8: average data transfer per app category.
+//
+// Paper reference: MUSIC_AND_AUDIO and NEWS_AND_MAGAZINES transmit the
+// most per app (their functionality is network-bound), with SPORTS, GAMES
+// and BOOKS_AND_REFERENCE next; DATING and FINANCE sit at the bottom.
+#include "common/study.hpp"
+
+using namespace libspector;
+
+int main(int argc, char** argv) {
+  const auto options = bench::optionsFromArgs(argc, argv);
+  bench::printHeader("Fig. 8 — average transfer per app category", options);
+  const auto result = bench::runStudy(options);
+
+  std::vector<std::pair<std::string, double>> rows;
+  for (const auto& [category, avg] : result.study.avgBytesPerAppByCategory())
+    rows.emplace_back(category, avg);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [category, avg] : rows)
+    std::printf("  %-24s %12s/app\n", category.c_str(), bench::bytesStr(avg).c_str());
+
+  // Shape check against the paper's extremes.
+  const auto avgOf = [&](const std::string& name) {
+    for (const auto& [category, avg] : rows)
+      if (category == name) return avg;
+    return 0.0;
+  };
+  std::printf("\nMUSIC/DATING factor: %.1fx (paper: music at the top, dating at the bottom)\n",
+              avgOf("MUSIC_AND_AUDIO") / std::max(1.0, avgOf("DATING")));
+  std::printf("\n[%.1fs]\n", result.wallSeconds);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Regenerates the §IV-A headline numbers.
+//
+// Paper reference: 30.75 GB total (29.13 GB received / 1.62 GB sent),
+// 617,400 flows from 8,652 origin-libraries across 13 categories to
+// 14,140 DNS domains; half the transfer involves the top 5,057 apps,
+// 2,299 origin-libraries and 4,010 domains; non-Libspector UDP traffic is
+// 0.52% of the total, 97% of it DNS.
+#include "common/study.hpp"
+
+using namespace libspector;
+
+int main(int argc, char** argv) {
+  const auto options = bench::optionsFromArgs(argc, argv);
+  bench::printHeader("§IV-A — study totals", options);
+  const auto result = bench::runStudy(options);
+  const auto totals = result.study.totals();
+  const double apps = static_cast<double>(totals.appCount);
+
+  std::printf("apps analyzed:            %zu\n", totals.appCount);
+  std::printf("total transferred:        %s (received %s / sent %s)\n",
+              bench::bytesStr(static_cast<double>(totals.totalBytes)).c_str(),
+              bench::bytesStr(static_cast<double>(totals.recvBytes)).c_str(),
+              bench::bytesStr(static_cast<double>(totals.sentBytes)).c_str());
+  std::printf("flows (sockets):          %zu  (%.1f per app; paper 24.7)\n",
+              totals.flowCount, static_cast<double>(totals.flowCount) / apps);
+  std::printf("origin-libraries:         %zu  (%.2f per app; paper 0.35)\n",
+              totals.originLibraryCount,
+              static_cast<double>(totals.originLibraryCount) / apps);
+  std::printf("2-level libraries:        %zu\n", totals.twoLevelLibraryCount);
+  std::printf("DNS domains:              %zu  (%.2f per app; paper 0.57)\n",
+              totals.domainCount, static_cast<double>(totals.domainCount) / apps);
+
+  const auto concentration = result.study.concentration();
+  std::printf("\nhalf of the transfer involves:\n");
+  std::printf("  top %zu apps (%.1f%%; paper 20.2%%)\n", concentration.appsForHalf,
+              100.0 * static_cast<double>(concentration.appsForHalf) / apps);
+  std::printf("  top %zu origin-libraries (%.1f%%; paper 26.3%%)\n",
+              concentration.librariesForHalf,
+              100.0 * static_cast<double>(concentration.librariesForHalf) /
+                  static_cast<double>(totals.originLibraryCount));
+  std::printf("  top %zu domains (%.1f%%; paper 28.4%%)\n",
+              concentration.domainsForHalf,
+              100.0 * static_cast<double>(concentration.domainsForHalf) /
+                  static_cast<double>(totals.domainCount));
+
+  const auto& udp = result.study.udpStats();
+  const double udpShare = udp.totalBytes
+                              ? 100.0 * static_cast<double>(udp.udpBytes) /
+                                    static_cast<double>(udp.totalBytes)
+                              : 0.0;
+  const double dnsShare = udp.udpBytes
+                              ? 100.0 * static_cast<double>(udp.dnsBytes) /
+                                    static_cast<double>(udp.udpBytes)
+                              : 0.0;
+  std::printf("\nnon-Libspector UDP: %.2f%% of capture (paper 0.52%%), %.0f%% of it DNS (paper 97%%)\n",
+              udpShare, dnsShare);
+  std::printf("Libspector report datagrams: %s (excluded from analysis)\n",
+              bench::bytesStr(static_cast<double>(udp.reportBytes)).c_str());
+  std::printf("\n[%.1fs]\n", result.wallSeconds);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Quickstart: run a small Libspector study end-to-end.
+//
+//   1. Generate a synthetic app-store world (apps, libraries, endpoints).
+//   2. Dispatch every app to emulator workers: install, hook, monkey-
+//      exercise, capture traffic, collect UDP context reports.
+//   3. Attribute every socket to its origin-library and destination domain.
+//   4. Print the §IV-A headline numbers.
+//
+// Usage: quickstart [appCount] [workers]
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "core/analysis.hpp"
+#include "core/attribution.hpp"
+#include "orch/collector.hpp"
+#include "orch/dispatcher.hpp"
+#include "radar/corpus.hpp"
+#include "store/generator.hpp"
+#include "util/strings.hpp"
+#include "vtsim/categorizer.hpp"
+
+using namespace libspector;
+
+int main(int argc, char** argv) {
+  store::StoreConfig storeConfig;
+  storeConfig.appCount = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  const std::size_t workers = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 0;
+
+  std::printf("Generating store world (%zu apps)...\n", storeConfig.appCount);
+  store::AppStoreGenerator generator(storeConfig);
+  std::printf("  %zu remote endpoints registered\n", generator.farm().endpointCount());
+
+  // Offline-analysis machinery.
+  const radar::LibraryCorpus corpus = radar::LibraryCorpus::builtin();
+  vtsim::DomainCategorizer categorizer(
+      vtsim::defaultVendorPanel(),
+      [&generator](const std::string& domain) { return generator.domainTruth(domain); });
+  core::TrafficAttributor attributor(corpus, categorizer);
+  core::StudyAggregator study;
+  std::mutex analysisMutex;
+
+  // Dispatch.
+  orch::CollectionServer collector;
+  orch::DispatcherConfig dispatcherConfig;
+  dispatcherConfig.workers = workers;
+  orch::Dispatcher dispatcher(generator.farm(), &collector, dispatcherConfig);
+
+  std::size_t next = 0;
+  dispatcher.run(
+      [&]() -> std::optional<orch::Dispatcher::Job> {
+        if (next >= generator.appCount()) return std::nullopt;
+        auto job = generator.makeJob(next++);
+        return orch::Dispatcher::Job{std::move(job.apk), std::move(job.program)};
+      },
+      [&](core::RunArtifacts&& artifacts) {
+        // Workers already hold the dispatcher's sink lock; the categorizer
+        // cache still needs guarding against the attributor's writes.
+        const std::scoped_lock lock(analysisMutex);
+        const auto flows = attributor.attribute(artifacts);
+        study.addApp(artifacts, flows);
+      });
+
+  // Headline numbers (§IV-A).
+  const auto totals = study.totals();
+  std::printf("\n=== Study totals ===\n");
+  std::printf("apps analyzed:        %zu\n", totals.appCount);
+  std::printf("total transferred:    %s (sent %s / received %s)\n",
+              util::humanBytes(static_cast<double>(totals.totalBytes)).c_str(),
+              util::humanBytes(static_cast<double>(totals.sentBytes)).c_str(),
+              util::humanBytes(static_cast<double>(totals.recvBytes)).c_str());
+  std::printf("flows (sockets):      %zu\n", totals.flowCount);
+  std::printf("origin-libraries:     %zu\n", totals.originLibraryCount);
+  std::printf("2-level libraries:    %zu\n", totals.twoLevelLibraryCount);
+  std::printf("DNS domains:          %zu\n", totals.domainCount);
+
+  std::printf("\n=== Transfer share by origin-library category ===\n");
+  const auto byCategory = study.transferByLibCategory();
+  for (const auto& [category, bytes] : byCategory) {
+    std::printf("  %-24s %6.2f%%  (%s)\n", category.c_str(),
+                100.0 * static_cast<double>(bytes) / static_cast<double>(totals.totalBytes),
+                util::humanBytes(static_cast<double>(bytes)).c_str());
+  }
+
+  const auto ant = study.antStats();
+  std::printf("\n=== AnT prevalence ===\n");
+  std::printf("apps with traffic:    %zu\n", ant.appsWithTraffic);
+  std::printf("AnT-only apps:        %zu (%.1f%%)\n", ant.antOnlyApps,
+              100.0 * static_cast<double>(ant.antOnlyApps) / static_cast<double>(ant.appsWithTraffic));
+  std::printf("apps with AnT:        %zu (%.1f%%)\n", ant.someAntApps,
+              100.0 * static_cast<double>(ant.someAntApps) / static_cast<double>(ant.appsWithTraffic));
+  std::printf("AnT mean flow ratio:  %.1f   common-library: %.1f\n",
+              ant.antMeanFlowRatio, ant.clMeanFlowRatio);
+
+  const auto coverage = study.coverageStats();
+  std::printf("\n=== Method coverage ===\n");
+  std::printf("mean coverage:        %.2f%%\n", 100.0 * coverage.mean);
+  std::printf("mean methods/apk:     %.0f\n", coverage.meanMethodsPerApk);
+
+  const auto ratios = study.flowRatios(core::StudyAggregator::Entity::App);
+  const auto libRatios = study.flowRatios(core::StudyAggregator::Entity::Library);
+  const auto dnsRatios = study.flowRatios(core::StudyAggregator::Entity::Domain);
+  std::printf("\n=== Mean transfer flow ratios (recv/sent) ===\n");
+  std::printf("apps: %.1f   libraries: %.1f   domains: %.1f\n", ratios.mean,
+              libRatios.mean, dnsRatios.mean);
+  if (!ratios.ratios.empty()) {
+    const auto& r = ratios.ratios;
+    std::printf("app ratio percentiles: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+                r[r.size() / 2], r[r.size() * 9 / 10], r[r.size() * 99 / 100],
+                r.back());
+  }
+
+  std::printf("\nknown-library traffic landing on CDN domains: %.1f%%\n",
+              100.0 * study.knownLibraryCdnShare());
+  return 0;
+}

@@ -1,0 +1,340 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+
+#include "core/supervisor.hpp"
+
+namespace libspector::core {
+
+void StudyAggregator::addApp(const RunArtifacts& run,
+                             std::span<const FlowRecord> flows) {
+  AppAgg app;
+  app.category = run.appCategory;
+  app.coverage = run.coverage.ratio();
+  app.totalMethods = run.coverage.totalMethods;
+
+  for (const auto& flow : flows) {
+    app.sent += flow.sentBytes;
+    app.recv += flow.recvBytes;
+    if (flow.antOrigin) app.antBytes += flow.sentBytes + flow.recvBytes;
+    if (flow.commonOrigin) app.clBytes += flow.sentBytes + flow.recvBytes;
+
+    EntityAgg& lib = libraries_[flow.originLibrary];
+    lib.sent += flow.sentBytes;
+    lib.recv += flow.recvBytes;
+    lib.category = flow.libraryCategory;
+    lib.ant = lib.ant || flow.antOrigin;
+    lib.common = lib.common || flow.commonOrigin;
+
+    EntityAgg& two = twoLevel_[flow.twoLevelLibrary];
+    two.sent += flow.sentBytes;
+    two.recv += flow.recvBytes;
+    two.category = flow.libraryCategory;
+
+    if (!flow.domain.empty()) {
+      EntityAgg& domain = domains_[flow.domain];
+      domain.sent += flow.sentBytes;  // received by the domain's servers
+      domain.recv += flow.recvBytes;  // sent by the domain's servers
+      domain.category = flow.domainCategory;
+    }
+
+    const std::uint64_t bytes = flow.sentBytes + flow.recvBytes;
+    byAppCatLibCat_[flow.appCategory][flow.libraryCategory] += bytes;
+    heatmap_[flow.libraryCategory][flow.domainCategory] += bytes;
+    ++flowCount_;
+  }
+  apps_.push_back(std::move(app));
+  unattributedBytes_ += TrafficAttributor::unattributedTcpPayload(run, flows);
+
+  for (const auto& pkt : run.capture.packets()) {
+    udp_.totalBytes += pkt.wireBytes;
+    if (pkt.proto != net::Proto::Udp) continue;
+    if (pkt.pair.dst == kDefaultCollectorEndpoint) {
+      udp_.reportBytes += pkt.wireBytes;
+    } else {
+      udp_.udpBytes += pkt.wireBytes;
+      if (pkt.isDns()) udp_.dnsBytes += pkt.wireBytes;
+    }
+  }
+}
+
+StudyAggregator::Totals StudyAggregator::totals() const {
+  Totals totals;
+  for (const auto& app : apps_) {
+    totals.sentBytes += app.sent;
+    totals.recvBytes += app.recv;
+  }
+  totals.totalBytes = totals.sentBytes + totals.recvBytes;
+  totals.flowCount = flowCount_;
+  totals.appCount = apps_.size();
+  totals.originLibraryCount = libraries_.size();
+  totals.twoLevelLibraryCount = twoLevel_.size();
+  totals.domainCount = domains_.size();
+  totals.unattributedBytes = unattributedBytes_;
+  return totals;
+}
+
+std::map<std::string, std::uint64_t> StudyAggregator::transferByLibCategory()
+    const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [appCat, libCats] : byAppCatLibCat_)
+    for (const auto& [libCat, bytes] : libCats) out[libCat] += bytes;
+  return out;
+}
+
+namespace {
+
+std::vector<StudyAggregator::RankedEntry> topOf(
+    const std::unordered_map<std::string,
+                             StudyAggregator::RankedEntry>& prepared,
+    std::size_t n) {
+  std::vector<StudyAggregator::RankedEntry> entries;
+  entries.reserve(prepared.size());
+  for (const auto& [name, entry] : prepared) entries.push_back(entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.bytes > b.bytes; });
+  if (entries.size() > n) entries.resize(n);
+  return entries;
+}
+
+}  // namespace
+
+std::vector<StudyAggregator::RankedEntry> StudyAggregator::topOriginLibraries(
+    std::size_t n) const {
+  std::unordered_map<std::string, RankedEntry> prepared;
+  for (const auto& [name, agg] : libraries_)
+    prepared.emplace(name, RankedEntry{name, agg.total(), agg.category});
+  return topOf(prepared, n);
+}
+
+std::vector<StudyAggregator::RankedEntry> StudyAggregator::topTwoLevelLibraries(
+    std::size_t n) const {
+  std::unordered_map<std::string, RankedEntry> prepared;
+  for (const auto& [name, agg] : twoLevel_)
+    prepared.emplace(name, RankedEntry{name, agg.total(), agg.category});
+  return topOf(prepared, n);
+}
+
+std::vector<double> StudyAggregator::sentTotals(Entity entity) const {
+  std::vector<double> out;
+  switch (entity) {
+    case Entity::App:
+      for (const auto& app : apps_) out.push_back(static_cast<double>(app.sent));
+      break;
+    case Entity::Library:
+      for (const auto& [name, agg] : libraries_)
+        out.push_back(static_cast<double>(agg.sent));
+      break;
+    case Entity::Domain:
+      for (const auto& [name, agg] : domains_)
+        out.push_back(static_cast<double>(agg.sent));
+      break;
+  }
+  return out;
+}
+
+std::vector<double> StudyAggregator::recvTotals(Entity entity) const {
+  std::vector<double> out;
+  switch (entity) {
+    case Entity::App:
+      for (const auto& app : apps_) out.push_back(static_cast<double>(app.recv));
+      break;
+    case Entity::Library:
+      for (const auto& [name, agg] : libraries_)
+        out.push_back(static_cast<double>(agg.recv));
+      break;
+    case Entity::Domain:
+      for (const auto& [name, agg] : domains_)
+        out.push_back(static_cast<double>(agg.recv));
+      break;
+  }
+  return out;
+}
+
+StudyAggregator::RatioStats StudyAggregator::flowRatios(Entity entity) const {
+  RatioStats stats;
+  const auto addRatio = [&](std::uint64_t numerator, std::uint64_t denominator) {
+    if (denominator == 0) return;
+    stats.ratios.push_back(static_cast<double>(numerator) /
+                           static_cast<double>(denominator));
+  };
+  switch (entity) {
+    case Entity::App:
+      for (const auto& app : apps_) addRatio(app.recv, app.sent);
+      break;
+    case Entity::Library:
+      for (const auto& [name, agg] : libraries_) addRatio(agg.recv, agg.sent);
+      break;
+    case Entity::Domain:
+      // The paper flips perspective for domains: what the domain's servers
+      // send over what they receive.
+      for (const auto& [name, agg] : domains_) addRatio(agg.recv, agg.sent);
+      break;
+  }
+  std::sort(stats.ratios.begin(), stats.ratios.end());
+  double sum = 0.0;
+  for (const double r : stats.ratios) sum += r;
+  stats.mean = stats.ratios.empty() ? 0.0 : sum / static_cast<double>(stats.ratios.size());
+  return stats;
+}
+
+StudyAggregator::AnTStats StudyAggregator::antStats() const {
+  AnTStats stats;
+  for (const auto& app : apps_) {
+    const std::uint64_t total = app.total();
+    if (total == 0) continue;
+    ++stats.appsWithTraffic;
+    const double antShare =
+        static_cast<double>(app.antBytes) / static_cast<double>(total);
+    const double clShare =
+        static_cast<double>(app.clBytes) / static_cast<double>(total);
+    stats.antShare.push_back(antShare);
+    stats.clShare.push_back(clShare);
+    if (app.antBytes == 0) ++stats.noAntApps;
+    else ++stats.someAntApps;
+    if (app.antBytes == total) ++stats.antOnlyApps;
+  }
+  std::sort(stats.antShare.begin(), stats.antShare.end());
+  std::sort(stats.clShare.begin(), stats.clShare.end());
+  const auto mean = [](const std::vector<double>& values) {
+    if (values.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+  };
+  stats.antShareMean = mean(stats.antShare);
+  stats.clShareMean = mean(stats.clShare);
+
+  std::vector<double> antRatios;
+  std::vector<double> clRatios;
+  for (const auto& [name, agg] : libraries_) {
+    if (agg.sent == 0) continue;
+    const double ratio =
+        static_cast<double>(agg.recv) / static_cast<double>(agg.sent);
+    if (agg.ant) antRatios.push_back(ratio);
+    if (agg.common) clRatios.push_back(ratio);
+  }
+  stats.antMeanFlowRatio = mean(antRatios);
+  stats.clMeanFlowRatio = mean(clRatios);
+  return stats;
+}
+
+std::map<std::string, double> StudyAggregator::avgBytesPerLibraryByCategory()
+    const {
+  std::map<std::string, std::pair<std::uint64_t, std::size_t>> sums;
+  for (const auto& [name, agg] : libraries_) {
+    auto& [bytes, count] = sums[agg.category];
+    bytes += agg.total();
+    ++count;
+  }
+  std::map<std::string, double> out;
+  for (const auto& [category, sum] : sums)
+    out[category] = static_cast<double>(sum.first) / static_cast<double>(sum.second);
+  return out;
+}
+
+std::map<std::string, double> StudyAggregator::avgBytesPerDomainByCategory()
+    const {
+  std::map<std::string, std::pair<std::uint64_t, std::size_t>> sums;
+  for (const auto& [name, agg] : domains_) {
+    auto& [bytes, count] = sums[agg.category];
+    bytes += agg.total();
+    ++count;
+  }
+  std::map<std::string, double> out;
+  for (const auto& [category, sum] : sums)
+    out[category] = static_cast<double>(sum.first) / static_cast<double>(sum.second);
+  return out;
+}
+
+std::map<std::string, double> StudyAggregator::avgBytesPerAppByCategory() const {
+  std::map<std::string, std::pair<std::uint64_t, std::size_t>> sums;
+  for (const auto& app : apps_) {
+    auto& [bytes, count] = sums[app.category];
+    bytes += app.total();
+    ++count;
+  }
+  std::map<std::string, double> out;
+  for (const auto& [category, sum] : sums)
+    out[category] = static_cast<double>(sum.first) / static_cast<double>(sum.second);
+  return out;
+}
+
+double StudyAggregator::knownLibraryCdnShare() const {
+  std::uint64_t known = 0;
+  std::uint64_t knownCdn = 0;
+  for (const auto& [libCat, domainCats] : heatmap_) {
+    if (libCat == "Unknown") continue;
+    for (const auto& [domainCat, bytes] : domainCats) {
+      known += bytes;
+      if (domainCat == "cdn") knownCdn += bytes;
+    }
+  }
+  return known == 0 ? 0.0
+                    : static_cast<double>(knownCdn) / static_cast<double>(known);
+}
+
+StudyAggregator::CoverageStats StudyAggregator::coverageStats() const {
+  CoverageStats stats;
+  double methodSum = 0.0;
+  for (const auto& app : apps_) {
+    stats.perApp.push_back(app.coverage);
+    methodSum += static_cast<double>(app.totalMethods);
+  }
+  std::sort(stats.perApp.begin(), stats.perApp.end());
+  if (!apps_.empty()) {
+    double sum = 0.0;
+    for (const double c : stats.perApp) sum += c;
+    stats.mean = sum / static_cast<double>(stats.perApp.size());
+    stats.meanMethodsPerApk = methodSum / static_cast<double>(apps_.size());
+    std::size_t above = 0;
+    for (const double c : stats.perApp)
+      if (c > stats.mean) ++above;
+    stats.fractionAboveMean =
+        static_cast<double>(above) / static_cast<double>(stats.perApp.size());
+  }
+  return stats;
+}
+
+std::vector<double> StudyAggregator::sortedTotals(
+    const std::vector<std::uint64_t>& values) {
+  std::vector<double> out(values.begin(), values.end());
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+StudyAggregator::Concentration StudyAggregator::concentration() const {
+  const auto countForHalf = [](std::vector<std::uint64_t> totals) {
+    std::uint64_t grand = 0;
+    for (const std::uint64_t t : totals) grand += t;
+    std::sort(totals.begin(), totals.end(), std::greater<>());
+    std::uint64_t running = 0;
+    std::size_t count = 0;
+    for (const std::uint64_t t : totals) {
+      if (running * 2 >= grand) break;
+      running += t;
+      ++count;
+    }
+    return count;
+  };
+
+  std::vector<std::uint64_t> appTotals;
+  for (const auto& app : apps_) appTotals.push_back(app.total());
+  std::vector<std::uint64_t> libTotals;
+  for (const auto& [name, agg] : libraries_) libTotals.push_back(agg.total());
+  std::vector<std::uint64_t> domainTotals;
+  for (const auto& [name, agg] : domains_) domainTotals.push_back(agg.total());
+
+  return {countForHalf(std::move(appTotals)), countForHalf(std::move(libTotals)),
+          countForHalf(std::move(domainTotals))};
+}
+
+double StudyAggregator::meanBytesPerRun(const std::string& libCategory) const {
+  if (apps_.empty()) return 0.0;
+  const auto byCategory = transferByLibCategory();
+  const auto it = byCategory.find(libCategory);
+  if (it == byCategory.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(apps_.size());
+}
+
+}  // namespace libspector::core

@@ -1,0 +1,179 @@
+// The §IV analysis pipeline: aggregates attributed flows across a whole
+// study into the datasets behind every figure and table of the paper's
+// evaluation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/artifacts.hpp"
+#include "core/attribution.hpp"
+
+namespace libspector::core {
+
+/// Accumulates one study; query methods expose figure-shaped views.
+class StudyAggregator {
+ public:
+  /// Fold one app's run and attributed flows into the study.
+  void addApp(const RunArtifacts& run, std::span<const FlowRecord> flows);
+
+  // ---- §IV-A headline numbers -------------------------------------------
+
+  struct Totals {
+    std::uint64_t totalBytes = 0;
+    std::uint64_t sentBytes = 0;   // device -> servers
+    std::uint64_t recvBytes = 0;   // servers -> device
+    std::size_t flowCount = 0;
+    std::size_t appCount = 0;
+    std::size_t originLibraryCount = 0;
+    std::size_t twoLevelLibraryCount = 0;
+    std::size_t domainCount = 0;
+    /// TCP payload no flow covers (context reports lost in flight).
+    std::uint64_t unattributedBytes = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  /// UDP share of total traffic and DNS share of UDP (§III-E), excluding
+  /// Libspector's own report datagrams.
+  struct UdpStats {
+    std::uint64_t udpBytes = 0;      // non-Libspector UDP
+    std::uint64_t dnsBytes = 0;
+    std::uint64_t reportBytes = 0;   // Libspector UDP reports
+    std::uint64_t totalBytes = 0;    // everything in the captures
+  };
+  [[nodiscard]] const UdpStats& udpStats() const noexcept { return udp_; }
+
+  // ---- Fig. 2 ------------------------------------------------------------
+
+  /// app category -> (library category -> bytes).
+  [[nodiscard]] const std::map<std::string, std::map<std::string, std::uint64_t>>&
+  transferByAppAndLibCategory() const noexcept {
+    return byAppCatLibCat_;
+  }
+  /// library category -> total bytes (the legend percentages).
+  [[nodiscard]] std::map<std::string, std::uint64_t> transferByLibCategory() const;
+
+  // ---- Fig. 3 ------------------------------------------------------------
+
+  struct RankedEntry {
+    std::string name;
+    std::uint64_t bytes = 0;
+    std::string category;
+  };
+  [[nodiscard]] std::vector<RankedEntry> topOriginLibraries(std::size_t n) const;
+  [[nodiscard]] std::vector<RankedEntry> topTwoLevelLibraries(std::size_t n) const;
+
+  // ---- Fig. 4 / Fig. 5 ----------------------------------------------------
+
+  enum class Entity { App, Library, Domain };
+  /// Per-entity sent (device->server) byte totals, unordered.
+  [[nodiscard]] std::vector<double> sentTotals(Entity entity) const;
+  [[nodiscard]] std::vector<double> recvTotals(Entity entity) const;
+
+  struct RatioStats {
+    std::vector<double> ratios;  // sorted ascending
+    double mean = 0.0;
+  };
+  /// Received/sent per app or library; for domains, bytes the domain's
+  /// servers sent over bytes they received (the paper's inverted view).
+  /// Entities with zero denominator are skipped.
+  [[nodiscard]] RatioStats flowRatios(Entity entity) const;
+
+  // ---- Fig. 6 ------------------------------------------------------------
+
+  struct AnTStats {
+    std::vector<double> antShare;  // per app: AnT bytes / total bytes, sorted
+    std::vector<double> clShare;   // per app: common-library share, sorted
+    double antShareMean = 0.0;
+    double clShareMean = 0.0;
+    std::size_t antOnlyApps = 0;   // traffic entirely AnT-origin
+    std::size_t noAntApps = 0;     // zero AnT traffic (among apps with traffic)
+    std::size_t someAntApps = 0;   // nonzero AnT traffic
+    std::size_t appsWithTraffic = 0;
+    double antMeanFlowRatio = 0.0;  // mean recv/sent across AnT libraries
+    double clMeanFlowRatio = 0.0;   // ... across common libraries
+  };
+  [[nodiscard]] AnTStats antStats() const;
+
+  // ---- Fig. 7 / Fig. 8 ----------------------------------------------------
+
+  /// library category -> mean bytes per origin-library in that category.
+  [[nodiscard]] std::map<std::string, double> avgBytesPerLibraryByCategory() const;
+  /// domain category -> mean bytes per domain in that category.
+  [[nodiscard]] std::map<std::string, double> avgBytesPerDomainByCategory() const;
+  /// app category -> mean bytes per app.
+  [[nodiscard]] std::map<std::string, double> avgBytesPerAppByCategory() const;
+
+  // ---- Fig. 9 ------------------------------------------------------------
+
+  /// library category -> (domain category -> bytes).
+  [[nodiscard]] const std::map<std::string, std::map<std::string, std::uint64_t>>&
+  libraryDomainHeatmap() const noexcept {
+    return heatmap_;
+  }
+  /// Fraction of known-origin (non-built-in, categorized) traffic that
+  /// lands on CDN domains — the §IV-E misclassification bound.
+  [[nodiscard]] double knownLibraryCdnShare() const;
+
+  // ---- Fig. 10 / §IV-C ----------------------------------------------------
+
+  struct CoverageStats {
+    std::vector<double> perApp;  // coverage ratios, sorted ascending
+    double mean = 0.0;
+    double meanMethodsPerApk = 0.0;
+    double fractionAboveMean = 0.0;
+  };
+  [[nodiscard]] CoverageStats coverageStats() const;
+
+  // ---- concentration (§IV-A "half of the total transfer") -----------------
+
+  struct Concentration {
+    std::size_t appsForHalf = 0;
+    std::size_t librariesForHalf = 0;
+    std::size_t domainsForHalf = 0;
+  };
+  [[nodiscard]] Concentration concentration() const;
+
+  /// Mean bytes per app run attributed to a library category (cost model
+  /// input: e.g. Advertisement bytes per 8-minute run).
+  [[nodiscard]] double meanBytesPerRun(const std::string& libCategory) const;
+
+ private:
+  struct EntityAgg {
+    std::uint64_t sent = 0;
+    std::uint64_t recv = 0;
+    std::string category;
+    bool ant = false;
+    bool common = false;
+    [[nodiscard]] std::uint64_t total() const noexcept { return sent + recv; }
+  };
+  struct AppAgg {
+    std::string category;
+    std::uint64_t sent = 0;
+    std::uint64_t recv = 0;
+    std::uint64_t antBytes = 0;
+    std::uint64_t clBytes = 0;
+    double coverage = 0.0;
+    std::size_t totalMethods = 0;
+    [[nodiscard]] std::uint64_t total() const noexcept { return sent + recv; }
+  };
+
+  [[nodiscard]] static std::vector<double> sortedTotals(
+      const std::vector<std::uint64_t>& values);
+
+  std::vector<AppAgg> apps_;
+  std::unordered_map<std::string, EntityAgg> libraries_;   // origin-libraries
+  std::unordered_map<std::string, EntityAgg> twoLevel_;    // 2-level roll-up
+  std::unordered_map<std::string, EntityAgg> domains_;
+  std::map<std::string, std::map<std::string, std::uint64_t>> byAppCatLibCat_;
+  std::map<std::string, std::map<std::string, std::uint64_t>> heatmap_;
+  UdpStats udp_;
+  std::size_t flowCount_ = 0;
+  std::uint64_t unattributedBytes_ = 0;
+};
+
+}  // namespace libspector::core

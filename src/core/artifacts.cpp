@@ -1,0 +1,77 @@
+#include "core/artifacts.hpp"
+
+#include "util/bytes.hpp"
+
+namespace libspector::core {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x54524153;  // "SART"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> RunArtifacts::serialize() const {
+  util::ByteWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.str(apkSha256);
+  w.str(packageName);
+  w.str(appCategory);
+
+  const auto captureBytes = capture.serialize();
+  w.u32(static_cast<std::uint32_t>(captureBytes.size()));
+  w.raw(captureBytes);
+
+  w.u32(static_cast<std::uint32_t>(reports.size()));
+  for (const auto& report : reports) {
+    const auto datagram = report.encode();
+    w.u32(static_cast<std::uint32_t>(datagram.size()));
+    w.raw(datagram);
+  }
+
+  w.u32(static_cast<std::uint32_t>(methodTraceFile.size()));
+  for (const auto& entry : methodTraceFile) w.str(entry);
+
+  w.u64(coverage.coveredMethods);
+  w.u64(coverage.totalMethods);
+  w.u64(coverage.traceEntries);
+  w.u32(monkeyEventsInjected);
+  w.u64(runDurationMs);
+  return w.take();
+}
+
+RunArtifacts RunArtifacts::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.u32() != kMagic) throw util::DecodeError("RunArtifacts: bad magic");
+  if (r.u16() != kVersion)
+    throw util::DecodeError("RunArtifacts: unsupported version");
+
+  RunArtifacts artifacts;
+  artifacts.apkSha256 = r.str();
+  artifacts.packageName = r.str();
+  artifacts.appCategory = r.str();
+
+  const std::uint32_t captureSize = r.u32();
+  artifacts.capture = net::CaptureFile::deserialize(r.view(captureSize));
+
+  const std::uint32_t reportCount = r.countCheck(r.u32(), 4);
+  artifacts.reports.reserve(reportCount);
+  for (std::uint32_t i = 0; i < reportCount; ++i) {
+    const std::uint32_t size = r.u32();
+    artifacts.reports.push_back(UdpReport::decode(r.view(size)));
+  }
+
+  const std::uint32_t traceCount = r.countCheck(r.u32(), 4);
+  artifacts.methodTraceFile.reserve(traceCount);
+  for (std::uint32_t i = 0; i < traceCount; ++i)
+    artifacts.methodTraceFile.push_back(r.str());
+
+  artifacts.coverage.coveredMethods = r.u64();
+  artifacts.coverage.totalMethods = r.u64();
+  artifacts.coverage.traceEntries = r.u64();
+  artifacts.monkeyEventsInjected = r.u32();
+  artifacts.runDurationMs = r.u64();
+  if (!r.atEnd()) throw util::DecodeError("RunArtifacts: trailing bytes");
+  return artifacts;
+}
+
+}  // namespace libspector::core

@@ -1,0 +1,38 @@
+// Everything one app run produces (paper §III-B): the packet capture, the
+// Socket Supervisor's UDP reports, the method trace file and coverage, plus
+// identifying metadata. Workers upload this bundle to the result database;
+// the offline pipeline consumes it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/report.hpp"
+#include "net/capture.hpp"
+
+namespace libspector::core {
+
+struct RunArtifacts {
+  std::string apkSha256;
+  std::string packageName;
+  std::string appCategory;
+
+  net::CaptureFile capture;
+  std::vector<UdpReport> reports;
+  std::vector<std::string> methodTraceFile;
+  CoverageResult coverage;
+
+  std::uint32_t monkeyEventsInjected = 0;
+  std::uint64_t runDurationMs = 0;
+
+  /// Deterministic binary bundle (what a worker uploads to the central
+  /// database and the offline pipeline later reads back).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static RunArtifacts deserialize(
+      std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace libspector::core

@@ -1,0 +1,222 @@
+#include "core/attribution.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "dex/type_signature.hpp"
+#include "util/strings.hpp"
+
+namespace libspector::core {
+
+namespace {
+
+// Footnote 2's filter list, expressed as hierarchical package prefixes.
+// com.android.okhttp is the platform's bundled HTTP stack (the Listing 1
+// frames eliminated as internal API calls); com.android.volley is NOT
+// filtered — apps bundle it themselves and Fig. 3 lists it as a top
+// origin-library.
+constexpr std::array<std::string_view, 14> kBuiltinPrefixes = {
+    "android",
+    "com.android.okhttp",
+    "com.android.org.conscrypt",
+    "com.android.webview",
+    "dalvik",
+    "java",
+    "javax",
+    "junit",
+    "org.apache.http",
+    "org.json",
+    "org.w3c.dom",
+    "org.xml.sax",
+    "org.xmlpull.v1",
+    "sun",
+};
+
+}  // namespace
+
+std::string frameNameOf(const std::string& entry) {
+  if (!entry.empty() && entry.front() == 'L' &&
+      entry.find(";->") != std::string::npos) {
+    if (const auto signature = dex::TypeSignature::parse(entry))
+      return signature->frameName();
+  }
+  return entry;
+}
+
+std::string packageOfEntry(const std::string& entry) {
+  if (!entry.empty() && entry.front() == 'L' &&
+      entry.find(";->") != std::string::npos) {
+    if (const auto signature = dex::TypeSignature::parse(entry))
+      return signature->packagePath();
+  }
+  return dex::packageOfFrameName(entry);
+}
+
+bool isBuiltinFrame(std::string_view frameOrSignature) {
+  std::string frame;
+  if (!frameOrSignature.empty() && frameOrSignature.front() == 'L' &&
+      frameOrSignature.find(";->") != std::string_view::npos) {
+    frame = frameNameOf(std::string(frameOrSignature));
+    frameOrSignature = frame;
+  }
+  for (const auto prefix : kBuiltinPrefixes) {
+    if (util::isHierarchicalPrefix(prefix, frameOrSignature)) return true;
+  }
+  return false;
+}
+
+std::optional<std::size_t> originFrameIndex(
+    std::span<const std::string> stackSignatures) {
+  // Innermost-first list: the chronologically first call is the outermost
+  // frame, so scan from the back and return the first non-built-in frame.
+  for (std::size_t i = stackSignatures.size(); i-- > 0;) {
+    if (!isBuiltinFrame(stackSignatures[i])) return i;
+  }
+  return std::nullopt;
+}
+
+TrafficAttributor::TrafficAttributor(const radar::LibraryCorpus& corpus,
+                                     vtsim::DomainCategorizer& domains,
+                                     AttributorConfig config)
+    : corpus_(corpus), domains_(domains), config_(config) {}
+
+std::vector<FlowRecord> TrafficAttributor::attribute(
+    const RunArtifacts& run) const {
+  // 1. IP -> (time, domain) table from the DNS responses in the capture,
+  //    so each flow maps to the domain resolved most recently before it.
+  std::unordered_map<net::Ipv4Addr, std::vector<std::pair<util::SimTimeMs, std::string>>>
+      dnsByIp;
+  for (const auto& pkt : run.capture.packets()) {
+    if (pkt.proto != net::Proto::Udp || !pkt.isDns()) continue;
+    if (pkt.dnsAnswer == net::Ipv4Addr{}) continue;  // query or NXDOMAIN
+    dnsByIp[pkt.dnsAnswer].emplace_back(pkt.timestampMs, pkt.dnsQname);
+  }
+  for (auto& [ip, entries] : dnsByIp)
+    std::sort(entries.begin(), entries.end());
+
+  const auto domainFor = [&](net::Ipv4Addr ip,
+                             util::SimTimeMs when) -> std::string {
+    const auto it = dnsByIp.find(ip);
+    if (it == dnsByIp.end()) return {};
+    std::string best;
+    for (const auto& [ts, domain] : it->second) {
+      if (ts > when) break;
+      best = domain;
+    }
+    // A resolution can postdate the report stamp by the handshake RTT.
+    if (best.empty() && !it->second.empty()) best = it->second.front().second;
+    return best;
+  };
+
+  // 1b. HTTP Host headers dissected from the capture are authoritative for
+  //     their socket: on co-hosted addresses (CDNs) DNS correlation alone
+  //     is ambiguous, exactly the confusion the paper attributes to CDNs.
+  std::unordered_map<net::SocketPair,
+                     std::vector<std::pair<util::SimTimeMs, std::string>>>
+      hostByPair;
+  for (const auto& exchange : run.capture.httpExchanges())
+    hostByPair[exchange.pair].emplace_back(exchange.timestampMs, exchange.host);
+
+  const auto hostFor = [&](const net::SocketPair& pair, util::SimTimeMs from,
+                           util::SimTimeMs to) -> std::string {
+    const auto it = hostByPair.find(pair);
+    if (it == hostByPair.end()) return {};
+    for (const auto& [ts, host] : it->second) {
+      if (ts >= from && ts <= to) return host;
+    }
+    return {};
+  };
+
+  // 2. Connection windows: reports sharing a socket pair (ephemeral port
+  //    reuse) are disambiguated chronologically — each report owns the
+  //    window from just before its connect until the next same-pair report.
+  std::map<net::SocketPair, std::vector<std::size_t>> reportsByPair;
+  for (std::size_t i = 0; i < run.reports.size(); ++i)
+    reportsByPair[run.reports[i].socketPair].push_back(i);
+  for (auto& [pair, indices] : reportsByPair) {
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      return run.reports[a].timestampMs < run.reports[b].timestampMs;
+    });
+  }
+
+  std::vector<FlowRecord> flows;
+  flows.reserve(run.reports.size());
+
+  for (const auto& [pair, indices] : reportsByPair) {
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const UdpReport& report = run.reports[indices[k]];
+      const util::SimTimeMs from =
+          report.timestampMs > config_.connectSlackMs
+              ? report.timestampMs - config_.connectSlackMs
+              : 0;
+      const util::SimTimeMs to =
+          k + 1 < indices.size()
+              ? run.reports[indices[k + 1]].timestampMs - 1
+              : std::numeric_limits<util::SimTimeMs>::max();
+
+      const auto volume = run.capture.streamVolume(pair, from, to);
+
+      FlowRecord flow;
+      flow.apkSha256 = run.apkSha256;
+      flow.appPackage = run.packageName;
+      flow.appCategory = run.appCategory;
+      flow.socketPair = pair;
+      flow.connectTimeMs = report.timestampMs;
+      // Data transfer means payload: header-only segments (SYN/ACK/FIN)
+      // carry no app data and would otherwise put an artificial ceiling on
+      // the receive/send ratios of download-heavy flows.
+      flow.sentBytes = volume.payloadFromSrc;
+      flow.recvBytes = volume.payloadFromDst;
+
+      flow.domain = hostFor(pair, from, to);
+      if (flow.domain.empty())
+        flow.domain = domainFor(pair.dst.ip, report.timestampMs);
+      flow.domainCategory =
+          flow.domain.empty()
+              ? std::string(vtsim::kUnknownDomainCategory)
+              : domains_.categorize(flow.domain).category;
+
+      const auto origin = originFrameIndex(report.stackSignatures);
+      if (origin) {
+        flow.originSignature = report.stackSignatures[*origin];
+        flow.originLibrary = packageOfEntry(flow.originSignature);
+        if (flow.originLibrary.empty())
+          flow.originLibrary = frameNameOf(flow.originSignature);
+        flow.twoLevelLibrary = util::prefixLevels(flow.originLibrary, 2);
+        flow.libraryCategory = corpus_.predictCategory(flow.originLibrary).category;
+        flow.antOrigin = radar::antLibraries().matches(flow.originLibrary);
+        flow.commonOrigin = radar::commonLibraries().matches(flow.originLibrary);
+      } else {
+        flow.builtinOrigin = true;
+        flow.originLibrary = "*-" + flow.domainCategory;
+        flow.twoLevelLibrary = flow.originLibrary;
+        flow.libraryCategory = std::string(radar::kUnknownCategory);
+      }
+
+      flows.push_back(std::move(flow));
+    }
+  }
+
+  // Keep report order stable for callers (reportsByPair reordered them).
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowRecord& a, const FlowRecord& b) {
+              return a.connectTimeMs < b.connectTimeMs;
+            });
+  return flows;
+}
+
+std::uint64_t TrafficAttributor::unattributedTcpPayload(
+    const RunArtifacts& run, std::span<const FlowRecord> flows) {
+  std::uint64_t totalTcpPayload = 0;
+  for (const auto& pkt : run.capture.packets()) {
+    if (pkt.proto == net::Proto::Tcp) totalTcpPayload += pkt.payloadBytes;
+  }
+  std::uint64_t attributed = 0;
+  for (const auto& flow : flows) attributed += flow.sentBytes + flow.recvBytes;
+  return attributed >= totalTcpPayload ? 0 : totalTcpPayload - attributed;
+}
+
+}  // namespace libspector::core

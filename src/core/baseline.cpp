@@ -1,0 +1,118 @@
+#include "core/baseline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace libspector::core {
+
+UserAgentAdClassifier::UserAgentAdClassifier() {
+  // Markers for the major ad SDKs' identifying User-Agent strings.
+  for (const char* marker :
+       {"googleads", "fbaudiencenetwork", "mopub", "chartboost", "vungle",
+        "applovin", "ironsource", "adcolony", "inmobi", "unityads", "tapjoy",
+        "startapp", "an-sdk"}) {
+    markers_.emplace_back(marker);
+  }
+}
+
+void UserAgentAdClassifier::addMarker(std::string marker) {
+  markers_.push_back(util::toLower(marker));
+}
+
+bool UserAgentAdClassifier::isAdTraffic(const net::HttpExchange& exchange) const {
+  const std::string ua = util::toLower(exchange.userAgent);
+  return std::any_of(markers_.begin(), markers_.end(), [&](const std::string& m) {
+    return util::contains(ua, m);
+  });
+}
+
+HostnameAdClassifier::HostnameAdClassifier() {
+  // Hostname fragments an ad-domain list would carry.
+  for (const char* pattern :
+       {"ads", "adserv", "advert", "doubleclick", "admob", "adcolony",
+        "unityads", "mopub", "applovin", "vungle", "chartboost"}) {
+    patterns_.emplace_back(pattern);
+  }
+}
+
+void HostnameAdClassifier::addPattern(std::string pattern) {
+  patterns_.push_back(util::toLower(pattern));
+}
+
+bool HostnameAdClassifier::isAdTraffic(std::string_view host) const {
+  const std::string lowered = util::toLower(host);
+  return std::any_of(patterns_.begin(), patterns_.end(),
+                     [&](const std::string& p) { return util::contains(lowered, p); });
+}
+
+std::vector<JoinedExchange> joinExchangesToFlows(
+    std::span<const FlowRecord> flows, const net::CaptureFile& capture) {
+  // Flows per socket pair, ordered by connect time (attribution windowing).
+  std::map<net::SocketPair, std::vector<const FlowRecord*>> byPair;
+  for (const FlowRecord& flow : flows) byPair[flow.socketPair].push_back(&flow);
+  for (auto& [pair, list] : byPair) {
+    std::sort(list.begin(), list.end(),
+              [](const FlowRecord* a, const FlowRecord* b) {
+                return a->connectTimeMs < b->connectTimeMs;
+              });
+  }
+
+  std::vector<JoinedExchange> joined;
+  joined.reserve(capture.httpExchanges().size());
+  for (const auto& exchange : capture.httpExchanges()) {
+    const auto it = byPair.find(exchange.pair);
+    if (it == byPair.end()) continue;
+    // The owning flow is the latest one connected at or before the
+    // exchange (allowing a small handshake slack).
+    const FlowRecord* owner = nullptr;
+    for (const FlowRecord* flow : it->second) {
+      if (flow->connectTimeMs <= exchange.timestampMs + 2000) owner = flow;
+    }
+    if (owner != nullptr) joined.push_back({&exchange, owner});
+  }
+  return joined;
+}
+
+double BaselineScore::precision() const {
+  const auto flagged = truePositives + falsePositives;
+  return flagged == 0 ? 0.0
+                      : static_cast<double>(truePositives) /
+                            static_cast<double>(flagged);
+}
+
+double BaselineScore::recall() const {
+  const auto positives = truePositives + falseNegatives;
+  return positives == 0 ? 0.0
+                        : static_cast<double>(truePositives) /
+                              static_cast<double>(positives);
+}
+
+double BaselineScore::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+BaselineScore scoreBaseline(
+    std::span<const JoinedExchange> joined,
+    const std::function<bool(const FlowRecord&)>& isAdTruth,
+    const std::function<bool(const JoinedExchange&)>& detect) {
+  BaselineScore score;
+  for (const JoinedExchange& entry : joined) {
+    const bool truth = isAdTruth(*entry.flow);
+    const bool flagged = detect(entry);
+    if (truth && flagged) ++score.truePositives;
+    else if (!truth && flagged) ++score.falsePositives;
+    else if (truth && !flagged) {
+      ++score.falseNegatives;
+      score.missedBytes += entry.flow->sentBytes + entry.flow->recvBytes;
+    } else {
+      ++score.trueNegatives;
+    }
+  }
+  return score;
+}
+
+}  // namespace libspector::core

@@ -1,0 +1,85 @@
+// Prior-work network-only classifiers (paper §I, §V).
+//
+// Before Libspector, ad-library traffic was identified from what is visible
+// on the wire: Xu et al. and Maier et al. matched the HTTP User-Agent
+// header against known ad-SDK strings; Tongaonkar et al. matched hostnames
+// against ad-domain patterns. Both are implemented here so the §IV-E
+// comparison can be run quantitatively: each classifier labels HTTP
+// exchanges, exchanges are joined to Libspector's attributed flows by
+// socket pair and connection window, and precision/recall are scored
+// against ground truth.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/attribution.hpp"
+#include "net/capture.hpp"
+
+namespace libspector::core {
+
+/// Xu et al. / Maier et al.: flag traffic whose User-Agent contains a known
+/// ad-SDK marker. Misses every request riding the generic platform UA.
+class UserAgentAdClassifier {
+ public:
+  /// Built with the standard marker list; extend with `addMarker`.
+  UserAgentAdClassifier();
+
+  void addMarker(std::string marker);
+  [[nodiscard]] bool isAdTraffic(const net::HttpExchange& exchange) const;
+  [[nodiscard]] std::size_t markerCount() const noexcept { return markers_.size(); }
+
+ private:
+  std::vector<std::string> markers_;  // lowercase substrings
+};
+
+/// Tongaonkar et al.: flag traffic to hostnames matching ad-name patterns.
+/// Misses ad creatives served from CDNs and generic API hosts.
+class HostnameAdClassifier {
+ public:
+  HostnameAdClassifier();
+
+  void addPattern(std::string pattern);
+  [[nodiscard]] bool isAdTraffic(std::string_view host) const;
+
+ private:
+  std::vector<std::string> patterns_;  // lowercase substrings
+};
+
+/// One HTTP exchange joined to the attributed flow that owns its socket.
+struct JoinedExchange {
+  const net::HttpExchange* exchange = nullptr;
+  const FlowRecord* flow = nullptr;
+};
+
+/// Join every HTTP exchange in `capture` with the flow owning its socket
+/// pair at that time (same windowing rule as traffic attribution).
+/// Exchanges with no matching flow are dropped.
+[[nodiscard]] std::vector<JoinedExchange> joinExchangesToFlows(
+    std::span<const FlowRecord> flows, const net::CaptureFile& capture);
+
+/// Binary-classification tally for an ad-traffic detector.
+struct BaselineScore {
+  std::size_t truePositives = 0;
+  std::size_t falsePositives = 0;
+  std::size_t falseNegatives = 0;
+  std::size_t trueNegatives = 0;
+  std::uint64_t missedBytes = 0;  // ground-truth ad bytes the detector missed
+
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double f1() const;
+};
+
+/// Score a per-exchange detector against per-flow ground truth.
+/// `isAdTruth` decides whether a flow is really advertisement traffic;
+/// `detect` is the baseline's verdict for one joined exchange.
+[[nodiscard]] BaselineScore scoreBaseline(
+    std::span<const JoinedExchange> joined,
+    const std::function<bool(const FlowRecord&)>& isAdTruth,
+    const std::function<bool(const JoinedExchange&)>& detect);
+
+}  // namespace libspector::core

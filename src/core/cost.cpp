@@ -1,0 +1,48 @@
+#include "core/cost.hpp"
+
+namespace libspector::core {
+
+double DataPlanModel::usdPerHour(double bytesPerRun, double runMinutes) const {
+  if (runMinutes <= 0.0) return 0.0;
+  const double bytesPerHour = bytesPerRun * (60.0 / runMinutes);
+  const double gbPerHour = bytesPerHour / (1024.0 * 1024.0 * 1024.0);
+  return gbPerHour * usdPerGB;
+}
+
+double EnergyModel::batteryVoltage() const {
+  return batteryWh / (batteryMah / 1000.0);
+}
+
+double EnergyModel::adActivePowerWatts() const {
+  return (adActiveCurrentMa - idleCurrentMa) / 1000.0 * batteryVoltage();
+}
+
+double EnergyModel::adThroughputBytesPerSec() const {
+  // (31 kB × 0.95) / (5 min × 9.3 s/min) ≈ 635 B/s.
+  const double activeSeconds = assumedActiveMinutes * activeDownloadSecPerMin;
+  return adContentBytesPerDay * paretoForegroundFraction / activeSeconds;
+}
+
+double EnergyModel::joulesPerByte() const {
+  return adActivePowerWatts() / adThroughputBytesPerSec();
+}
+
+double EnergyModel::energyJoules(double bytes) const {
+  return bytes * joulesPerByte();
+}
+
+double EnergyModel::batteryFraction(double bytes) const {
+  const double wattHours = energyJoules(bytes) / 3600.0;
+  return wattHours / batteryWh;
+}
+
+CostEstimate CostModel::estimate(double bytesPerRun) const {
+  CostEstimate estimate;
+  estimate.bytesPerRun = bytesPerRun;
+  estimate.usdPerHour = plan_.usdPerHour(bytesPerRun, runMinutes_);
+  estimate.energyJoules = energy_.energyJoules(bytesPerRun);
+  estimate.batteryFraction = energy_.batteryFraction(bytesPerRun);
+  return estimate;
+}
+
+}  // namespace libspector::core

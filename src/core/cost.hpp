@@ -1,0 +1,70 @@
+// User cost estimation (paper §IV-D).
+//
+// Two costs of library traffic to end users: money (metered data plans) and
+// energy.  The energy model reproduces the paper's arithmetic: Vallina et
+// al.'s ad-library current drain and content statistics, Rosen et al.'s
+// Pareto background-transmission assumption, and a typical 11.55 Wh /
+// 3000 mAh battery, yielding ≈5.1e-4 J per transmitted byte.  (The paper
+// prints "5×10⁻³ J/B", but its own worked example — 15.6 MB → 7794 J —
+// matches 5e-4; we follow the arithmetic.)
+#pragma once
+
+namespace libspector::core {
+
+/// Metered data plan (Google Fi 2019: $10/GB).
+struct DataPlanModel {
+  double usdPerGB = 10.0;
+
+  /// Dollars per hour of app usage, given the mean bytes one library
+  /// category transfers during a run of `runMinutes` (the paper's 8-minute
+  /// experiments).
+  [[nodiscard]] double usdPerHour(double bytesPerRun, double runMinutes) const;
+};
+
+/// Advertisement energy model parameters (Vallina et al., Rosen et al.).
+struct EnergyModel {
+  double batteryWh = 11.55;
+  double batteryMah = 3000.0;
+  double adActiveCurrentMa = 229.0;  // mean drain of 4 major ad libraries
+  double idleCurrentMa = 144.6;
+  double adContentBytesPerDay = 31.0 * 1024;  // 31 kB/day of ad content
+  double activeDownloadSecPerMin = 9.3;       // ad download activity
+  double paretoForegroundFraction = 0.95;     // P(X<=5 min) under Pareto
+  double assumedActiveMinutes = 5.0;          // Rosen et al. 80/20 cutoff
+
+  [[nodiscard]] double batteryVoltage() const;        // ~3.85 V
+  [[nodiscard]] double adActivePowerWatts() const;    // ~0.325 W
+  [[nodiscard]] double adThroughputBytesPerSec() const;  // ~635 B/s
+  [[nodiscard]] double joulesPerByte() const;         // ~5.1e-4 J/B
+
+  /// Energy to transmit `bytes` through an ad library, in joules.
+  [[nodiscard]] double energyJoules(double bytes) const;
+  /// Same, as a fraction of a full battery (0.187 for the paper's 15.6 MB).
+  [[nodiscard]] double batteryFraction(double bytes) const;
+};
+
+/// A row of the §IV-D cost table.
+struct CostEstimate {
+  double bytesPerRun = 0.0;
+  double usdPerHour = 0.0;
+  double energyJoules = 0.0;
+  double batteryFraction = 0.0;
+};
+
+class CostModel {
+ public:
+  CostModel(DataPlanModel plan, EnergyModel energy, double runMinutes)
+      : plan_(plan), energy_(energy), runMinutes_(runMinutes) {}
+
+  [[nodiscard]] CostEstimate estimate(double bytesPerRun) const;
+
+  [[nodiscard]] const DataPlanModel& plan() const noexcept { return plan_; }
+  [[nodiscard]] const EnergyModel& energy() const noexcept { return energy_; }
+
+ private:
+  DataPlanModel plan_;
+  EnergyModel energy_;
+  double runMinutes_;
+};
+
+}  // namespace libspector::core

@@ -1,0 +1,23 @@
+#include "core/monitor.hpp"
+
+#include <unordered_set>
+
+#include "dex/disassembler.hpp"
+
+namespace libspector::core {
+
+CoverageResult MethodMonitor::computeCoverage(
+    const std::vector<std::string>& traceFile, const dex::ApkFile& apk) {
+  const auto dexSignatures = dex::allMethodSignatures(apk);
+  const std::unordered_set<std::string_view> dexSet(dexSignatures.begin(),
+                                                    dexSignatures.end());
+  CoverageResult result;
+  result.totalMethods = dexSignatures.size();
+  result.traceEntries = traceFile.size();
+  for (const auto& entry : traceFile) {
+    if (dexSet.contains(entry)) ++result.coveredMethods;
+  }
+  return result;
+}
+
+}  // namespace libspector::core

@@ -1,0 +1,52 @@
+// The Method Monitor (paper §II-A2, §II-B1, §IV-C).
+//
+// Wraps the modified-ART unique-method tracer, writes the method trace file
+// at the end of an experiment, and computes Java method coverage: the ratio
+// of trace-file signatures that exist in the apk's dex files over the total
+// number of dex methods.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dex/apk.hpp"
+#include "rt/tracer.hpp"
+
+namespace libspector::core {
+
+struct CoverageResult {
+  std::size_t coveredMethods = 0;  // trace entries found in the dex files
+  std::size_t totalMethods = 0;    // all dex methods
+  std::size_t traceEntries = 0;    // full trace size (incl. framework calls)
+
+  [[nodiscard]] double ratio() const noexcept {
+    return totalMethods == 0
+               ? 0.0
+               : static_cast<double>(coveredMethods) /
+                     static_cast<double>(totalMethods);
+  }
+};
+
+class MethodMonitor {
+ public:
+  MethodMonitor() = default;
+
+  /// The tracer to hand to the runtime (Android Profiler listener analogue).
+  [[nodiscard]] rt::MethodTracer& tracer() noexcept { return tracer_; }
+
+  /// Write the method trace file: all unique recorded entries.
+  [[nodiscard]] std::vector<std::string> writeTraceFile() const {
+    return tracer_.traceFile();
+  }
+
+  /// Coverage of `apk` given a trace file (§IV-C methodology: intersect the
+  /// trace with the dex method set, divide by dex method count).
+  [[nodiscard]] static CoverageResult computeCoverage(
+      const std::vector<std::string>& traceFile, const dex::ApkFile& apk);
+
+ private:
+  rt::UniqueMethodTracer tracer_;
+};
+
+}  // namespace libspector::core

@@ -1,0 +1,43 @@
+#include "core/report.hpp"
+
+#include "util/bytes.hpp"
+
+namespace libspector::core {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x52505355;  // "USPR"
+}
+
+std::vector<std::uint8_t> UdpReport::encode() const {
+  util::ByteWriter w;
+  w.u32(kMagic);
+  w.str(apkSha256);
+  w.u32(socketPair.src.ip.value());
+  w.u16(socketPair.src.port);
+  w.u32(socketPair.dst.ip.value());
+  w.u16(socketPair.dst.port);
+  w.u64(timestampMs);
+  w.u32(static_cast<std::uint32_t>(stackSignatures.size()));
+  for (const auto& signature : stackSignatures) w.str(signature);
+  return w.take();
+}
+
+UdpReport UdpReport::decode(std::span<const std::uint8_t> datagram) {
+  util::ByteReader r(datagram);
+  if (r.u32() != kMagic) throw util::DecodeError("UdpReport: bad magic");
+  UdpReport report;
+  report.apkSha256 = r.str();
+  report.socketPair.src.ip = net::Ipv4Addr(r.u32());
+  report.socketPair.src.port = r.u16();
+  report.socketPair.dst.ip = net::Ipv4Addr(r.u32());
+  report.socketPair.dst.port = r.u16();
+  report.timestampMs = r.u64();
+  const std::uint32_t frames = r.countCheck(r.u32(), 4);
+  report.stackSignatures.reserve(frames);
+  for (std::uint32_t i = 0; i < frames; ++i)
+    report.stackSignatures.push_back(r.str());
+  if (!r.atEnd()) throw util::DecodeError("UdpReport: trailing bytes");
+  return report;
+}
+
+}  // namespace libspector::core

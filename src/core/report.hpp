@@ -1,0 +1,34 @@
+// The UDP context report (paper §II-B2).
+//
+// For every unique socket an app creates, the Socket Supervisor emits one
+// UDP datagram carrying the apk's sha256 checksum, the socket pair
+// parameters, and the translated stack trace (method type signatures,
+// innermost frame first).  The offline pipeline joins these reports with
+// the packet capture by socket pair.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "util/clock.hpp"
+
+namespace libspector::core {
+
+struct UdpReport {
+  std::string apkSha256;              // lowercase hex
+  net::SocketPair socketPair;         // device endpoint first
+  util::SimTimeMs timestampMs = 0;    // when the socket was connected
+  /// Translated stack trace, innermost first. App frames carry full smali
+  /// type signatures, framework frames their dotted frame name.
+  std::vector<std::string> stackSignatures;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static UdpReport decode(std::span<const std::uint8_t> datagram);
+
+  [[nodiscard]] bool operator==(const UdpReport&) const = default;
+};
+
+}  // namespace libspector::core

@@ -1,0 +1,68 @@
+#include "core/supervisor.hpp"
+
+#include "hook/native.hpp"
+#include "rt/framework.hpp"
+#include "util/log.hpp"
+#include "util/sha256.hpp"
+
+namespace libspector::core {
+
+SocketSupervisor::SocketSupervisor(net::SockEndpoint collector)
+    : collector_(collector) {}
+
+std::string translateFrame(const rt::StackFrameSnapshot& frame,
+                           const rt::AppProgram& program,
+                           const dex::FrameTranslationTable& translations) {
+  if (frame.isAppFrame()) {
+    // Xposed hands the hook the reflected Method object, so app frames are
+    // overload-precise.
+    return program.method(static_cast<rt::MethodId>(frame.methodId)).signature;
+  }
+  // Framework frames: try the dex translation table (third-party code
+  // bundled in the apk shows up here), otherwise keep the frame name.
+  const auto& overloads = translations.lookup(frame.name);
+  if (!overloads.empty()) return overloads.front();
+  return frame.name;
+}
+
+void SocketSupervisor::onAppLoaded(rt::Interpreter& runtime,
+                                   const dex::ApkFile& apk) {
+  auto state = std::make_shared<AppState>(
+      AppState{util::toHex(apk.sha256()), dex::FrameTranslationTable(apk)});
+  runtime.registerPostHook(
+      std::string(rt::kSocketConnectFrame),
+      [this, state](const rt::SocketHookContext& context) {
+        onSocketConnected(context, state);
+      });
+}
+
+void SocketSupervisor::onSocketConnected(
+    const rt::SocketHookContext& context,
+    const std::shared_ptr<AppState>& state) {
+  rt::Interpreter& runtime = context.runtime;
+  net::NetworkStack& stack = runtime.networkStack();
+
+  // Shared library call: getsockname + getpeername.
+  const auto pair = hook::connectionParameters(stack, context.socketId);
+  if (!pair) {
+    util::logWarn("SocketSupervisor: no connection parameters for socket");
+    return;
+  }
+
+  UdpReport report;
+  report.apkSha256 = state->apkSha256;
+  report.socketPair = *pair;
+  report.timestampMs = runtime.clock().now();
+
+  const auto trace = runtime.getStackTrace();
+  report.stackSignatures.reserve(trace.size());
+  for (const auto& frame : trace)
+    report.stackSignatures.push_back(
+        translateFrame(frame, runtime.program(), state->translations));
+
+  const auto datagram = report.encode();
+  stack.sendUdpDatagram(collector_, datagram);
+  ++reportsSent_;
+}
+
+}  // namespace libspector::core

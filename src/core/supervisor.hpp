@@ -1,0 +1,56 @@
+// The Socket Supervisor (paper §II-A1, §II-B2).
+//
+// Implemented as an Xposed module: it post-hooks socket connection calls,
+// captures the live Java stack trace, translates every frame to its method
+// type signature using information parsed from the apk's dex files, obtains
+// the socket pair via the JNI shared library (getsockname/getpeername), and
+// ships one UDP report per socket to the data collection server.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/report.hpp"
+#include "dex/disassembler.hpp"
+#include "hook/xposed.hpp"
+#include "net/ip.hpp"
+
+namespace libspector::core {
+
+/// Where the collection server listens (10.0.2.2 is the emulator's host
+/// loopback alias, as on a real Android emulator).
+inline constexpr net::SockEndpoint kDefaultCollectorEndpoint{{10, 0, 2, 2}, 5005};
+
+class SocketSupervisor final : public hook::XposedModule {
+ public:
+  explicit SocketSupervisor(
+      net::SockEndpoint collector = kDefaultCollectorEndpoint);
+
+  /// Installs the post-hook on java.net.Socket.connect; parses the apk's
+  /// dex files into the frame -> signature translation table and computes
+  /// the apk checksum the reports will carry.
+  void onAppLoaded(rt::Interpreter& runtime, const dex::ApkFile& apk) override;
+
+  [[nodiscard]] std::size_t reportsSent() const noexcept { return reportsSent_; }
+
+ private:
+  struct AppState {
+    std::string apkSha256;
+    dex::FrameTranslationTable translations;
+  };
+
+  void onSocketConnected(const rt::SocketHookContext& context,
+                         const std::shared_ptr<AppState>& state);
+
+  net::SockEndpoint collector_;
+  std::size_t reportsSent_ = 0;
+};
+
+/// Translate one stack frame to what the report should carry: the exact
+/// type signature for app frames (overload-precise), the frame name for
+/// framework frames that are not in the apk's dex files.
+[[nodiscard]] std::string translateFrame(
+    const rt::StackFrameSnapshot& frame, const rt::AppProgram& program,
+    const dex::FrameTranslationTable& translations);
+
+}  // namespace libspector::core

@@ -1,0 +1,95 @@
+#include "dex/apk.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+
+namespace libspector::dex {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4b504153;  // "SAPK"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+std::size_t DexFile::methodCount() const noexcept {
+  std::size_t n = 0;
+  for (const auto& cls : classes) n += cls.methods.size();
+  return n;
+}
+
+std::size_t ApkFile::totalMethodCount() const noexcept {
+  std::size_t n = 0;
+  for (const auto& dex : dexFiles) n += dex.methodCount();
+  return n;
+}
+
+bool ApkFile::isX86Compatible() const noexcept {
+  if (abis.empty()) return true;  // pure-Java apk runs everywhere
+  return std::any_of(abis.begin(), abis.end(), [](const std::string& abi) {
+    return abi == "x86" || abi == "x86_64";
+  });
+}
+
+std::vector<std::uint8_t> ApkFile::serialize() const {
+  util::ByteWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.str(packageName);
+  w.str(appCategory);
+  w.u32(versionCode);
+  w.u64(dexTimestamp);
+  w.u64(vtScanDate);
+  w.u32(static_cast<std::uint32_t>(abis.size()));
+  for (const auto& abi : abis) w.str(abi);
+  w.u32(static_cast<std::uint32_t>(dexFiles.size()));
+  for (const auto& dex : dexFiles) {
+    w.u32(static_cast<std::uint32_t>(dex.classes.size()));
+    for (const auto& cls : dex.classes) {
+      w.str(cls.dottedName);
+      w.u32(static_cast<std::uint32_t>(cls.methods.size()));
+      for (const auto& m : cls.methods) w.str(m.signature);
+    }
+  }
+  return w.take();
+}
+
+ApkFile ApkFile::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.u32() != kMagic) throw util::DecodeError("ApkFile: bad magic");
+  if (r.u16() != kVersion) throw util::DecodeError("ApkFile: unsupported version");
+  ApkFile apk;
+  apk.packageName = r.str();
+  apk.appCategory = r.str();
+  apk.versionCode = r.u32();
+  apk.dexTimestamp = r.u64();
+  apk.vtScanDate = r.u64();
+  const std::uint32_t abiCount = r.countCheck(r.u32(), 4);
+  apk.abis.reserve(abiCount);
+  for (std::uint32_t i = 0; i < abiCount; ++i) apk.abis.push_back(r.str());
+  const std::uint32_t dexCount = r.countCheck(r.u32(), 4);
+  apk.dexFiles.reserve(dexCount);
+  for (std::uint32_t i = 0; i < dexCount; ++i) {
+    DexFile dex;
+    const std::uint32_t classCount = r.countCheck(r.u32(), 8);
+    dex.classes.reserve(classCount);
+    for (std::uint32_t c = 0; c < classCount; ++c) {
+      ClassDef cls;
+      cls.dottedName = r.str();
+      const std::uint32_t methodCount = r.countCheck(r.u32(), 4);
+      cls.methods.reserve(methodCount);
+      for (std::uint32_t m = 0; m < methodCount; ++m)
+        cls.methods.push_back({r.str()});
+      dex.classes.push_back(std::move(cls));
+    }
+    apk.dexFiles.push_back(std::move(dex));
+  }
+  if (!r.atEnd()) throw util::DecodeError("ApkFile: trailing bytes");
+  return apk;
+}
+
+util::Sha256Digest ApkFile::sha256() const {
+  const auto bytes = serialize();
+  return util::Sha256::hash(std::span(bytes.data(), bytes.size()));
+}
+
+}  // namespace libspector::dex

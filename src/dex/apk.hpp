@@ -1,0 +1,73 @@
+// Apk / dex object model (paper §III-A, §III-B).
+//
+// An ApkFile bundles package metadata (Play category, version, dex
+// timestamp, VirusTotal scan date, supported ABIs) with one or more DexFile
+// class tables.  The binary serialization stands in for the real apk bytes:
+// it is what the Socket Supervisor hashes (sha256) to tag UDP reports and
+// what the AndroZoo-style corpus stores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/sha256.hpp"
+
+namespace libspector::dex {
+
+/// Default dex timestamp found in apks whose toolchain zeroed it:
+/// 1980-01-01T00:00:00Z as seconds since the Unix epoch (paper §III-A).
+inline constexpr std::uint64_t kDefaultDexTimestamp = 315532800;
+
+struct MethodDef {
+  /// Full smali type signature, e.g. "Lcom/foo/Bar;->baz(I)V".
+  std::string signature;
+
+  [[nodiscard]] bool operator==(const MethodDef&) const = default;
+};
+
+struct ClassDef {
+  /// Dotted class name including inner classes, e.g. "com.foo.Bar$1".
+  std::string dottedName;
+  std::vector<MethodDef> methods;
+
+  [[nodiscard]] bool operator==(const ClassDef&) const = default;
+};
+
+struct DexFile {
+  std::vector<ClassDef> classes;
+
+  [[nodiscard]] std::size_t methodCount() const noexcept;
+  [[nodiscard]] bool operator==(const DexFile&) const = default;
+};
+
+class ApkFile {
+ public:
+  std::string packageName;            // e.g. "com.example.game"
+  std::string appCategory;            // Play category, e.g. "GAME_ACTION"
+  std::uint32_t versionCode = 1;
+  std::uint64_t dexTimestamp = kDefaultDexTimestamp;  // seconds since epoch
+  std::uint64_t vtScanDate = 0;       // 0 = never scanned by VirusTotal
+  std::vector<std::string> abis;      // e.g. {"x86", "armeabi-v7a"}
+  std::vector<DexFile> dexFiles;
+
+  /// Total methods across all dex files (denominator of method coverage).
+  [[nodiscard]] std::size_t totalMethodCount() const noexcept;
+
+  /// True when the apk ships at least one x86-compatible ABI or is
+  /// pure-Java (no native libraries at all). Libspector filters out
+  /// ARM-only apps (paper §III-A).
+  [[nodiscard]] bool isX86Compatible() const noexcept;
+
+  /// Deterministic binary serialization (the stand-in for apk bytes).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static ApkFile deserialize(std::span<const std::uint8_t> bytes);
+
+  /// sha256 over the serialized bytes; the identity used everywhere else.
+  [[nodiscard]] util::Sha256Digest sha256() const;
+
+  [[nodiscard]] bool operator==(const ApkFile&) const = default;
+};
+
+}  // namespace libspector::dex

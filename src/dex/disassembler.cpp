@@ -1,0 +1,33 @@
+#include "dex/disassembler.hpp"
+
+namespace libspector::dex {
+
+std::vector<std::string> allMethodSignatures(const ApkFile& apk) {
+  std::vector<std::string> out;
+  out.reserve(apk.totalMethodCount());
+  for (const auto& dex : apk.dexFiles)
+    for (const auto& cls : dex.classes)
+      for (const auto& m : cls.methods) out.push_back(m.signature);
+  return out;
+}
+
+FrameTranslationTable::FrameTranslationTable(const ApkFile& apk) {
+  for (const auto& dex : apk.dexFiles) {
+    for (const auto& cls : dex.classes) {
+      for (const auto& m : cls.methods) {
+        auto sig = TypeSignature::parse(m.signature);
+        if (!sig) continue;  // tolerate malformed entries like real dex tools
+        table_[sig->frameName()].push_back(m.signature);
+      }
+    }
+  }
+}
+
+const std::vector<std::string>& FrameTranslationTable::lookup(
+    const std::string& frameName) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = table_.find(frameName);
+  return it == table_.end() ? kEmpty : it->second;
+}
+
+}  // namespace libspector::dex

@@ -1,0 +1,38 @@
+// Dex disassembly (the dexlib2 role, paper §III-B).
+//
+// The Method Monitor needs the full set of method type signatures contained
+// in an apk to compute coverage; the Socket Supervisor needs a map from
+// stack-frame names to type signatures to translate traces.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dex/apk.hpp"
+#include "dex/type_signature.hpp"
+
+namespace libspector::dex {
+
+/// All method type signatures in the apk, in dex order.
+[[nodiscard]] std::vector<std::string> allMethodSignatures(const ApkFile& apk);
+
+/// Map from frame name ("com.foo.Bar.baz") to the type signatures of its
+/// overloads, as a Java stack frame does not carry parameter types.
+/// Signatures for one frame name keep dex order.
+class FrameTranslationTable {
+ public:
+  explicit FrameTranslationTable(const ApkFile& apk);
+
+  /// Signatures of all overloads behind a frame name; empty when the frame
+  /// does not belong to the apk (e.g. a framework method).
+  [[nodiscard]] const std::vector<std::string>& lookup(
+      const std::string& frameName) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::string>> table_;
+};
+
+}  // namespace libspector::dex

@@ -1,0 +1,27 @@
+#include "hook/native.hpp"
+
+namespace libspector::hook {
+
+std::optional<net::SockEndpoint> getsockname(const net::NetworkStack& stack,
+                                             net::SocketId id) {
+  const net::SocketPair* pair = stack.pairOf(id);
+  if (pair == nullptr) return std::nullopt;
+  return pair->src;
+}
+
+std::optional<net::SockEndpoint> getpeername(const net::NetworkStack& stack,
+                                             net::SocketId id) {
+  const net::SocketPair* pair = stack.pairOf(id);
+  if (pair == nullptr) return std::nullopt;
+  return pair->dst;
+}
+
+std::optional<net::SocketPair> connectionParameters(
+    const net::NetworkStack& stack, net::SocketId id) {
+  const auto local = getsockname(stack, id);
+  const auto remote = getpeername(stack, id);
+  if (!local || !remote) return std::nullopt;
+  return net::SocketPair{*local, *remote};
+}
+
+}  // namespace libspector::hook

@@ -1,0 +1,27 @@
+// The custom shared library (paper §II-B2b).
+//
+// Libspector's Xposed module cannot read connection parameters from Java, so
+// the paper ships a JNI shared library exposing getsockname/getpeername.
+// This is its analogue over the simulated stack.
+#pragma once
+
+#include <optional>
+
+#include "net/ip.hpp"
+#include "net/stack.hpp"
+
+namespace libspector::hook {
+
+/// getsockname(2): local endpoint of a socket, or nullopt for a bad id.
+[[nodiscard]] std::optional<net::SockEndpoint> getsockname(
+    const net::NetworkStack& stack, net::SocketId id);
+
+/// getpeername(2): remote endpoint of a socket, or nullopt for a bad id.
+[[nodiscard]] std::optional<net::SockEndpoint> getpeername(
+    const net::NetworkStack& stack, net::SocketId id);
+
+/// Both calls combined into the socket-pair tuple the UDP reports carry.
+[[nodiscard]] std::optional<net::SocketPair> connectionParameters(
+    const net::NetworkStack& stack, net::SocketId id);
+
+}  // namespace libspector::hook

@@ -1,0 +1,17 @@
+#include "hook/xposed.hpp"
+
+#include <stdexcept>
+
+namespace libspector::hook {
+
+void XposedFramework::installModule(std::shared_ptr<XposedModule> module) {
+  if (!module) throw std::invalid_argument("XposedFramework: null module");
+  modules_.push_back(std::move(module));
+}
+
+void XposedFramework::attachToApp(rt::Interpreter& runtime,
+                                  const dex::ApkFile& apk) const {
+  for (const auto& module : modules_) module->onAppLoaded(runtime, apk);
+}
+
+}  // namespace libspector::hook

@@ -1,0 +1,42 @@
+// Xposed framework analogue (paper §II-B2a).
+//
+// The real Xposed lets a module alter user-space app behaviour without
+// modifying the apk — the property Libspector's "app integrity" design goal
+// depends on.  Here a module receives the loaded app's runtime and apk and
+// installs post-hooks through the runtime's public hook API; the apk bytes
+// are never touched (tests assert the sha256 is unchanged by attachment).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dex/apk.hpp"
+#include "rt/interpreter.hpp"
+
+namespace libspector::hook {
+
+/// A loadable Xposed module (IXposedHookLoadPackage analogue).
+class XposedModule {
+ public:
+  virtual ~XposedModule() = default;
+
+  /// Called once per app load; the module installs its hooks here.
+  virtual void onAppLoaded(rt::Interpreter& runtime, const dex::ApkFile& apk) = 0;
+};
+
+/// Framework that owns installed modules and attaches them to each app the
+/// emulator loads.
+class XposedFramework {
+ public:
+  void installModule(std::shared_ptr<XposedModule> module);
+
+  /// Attach every installed module to a freshly loaded app.
+  void attachToApp(rt::Interpreter& runtime, const dex::ApkFile& apk) const;
+
+  [[nodiscard]] std::size_t moduleCount() const noexcept { return modules_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<XposedModule>> modules_;
+};
+
+}  // namespace libspector::hook

@@ -1,0 +1,19 @@
+#include "monkey/monkey.hpp"
+
+namespace libspector::monkey {
+
+MonkeyStats exercise(rt::Interpreter& runtime, util::SimClock& clock,
+                     const MonkeyConfig& config) {
+  MonkeyStats stats;
+  const util::SimTimeMs start = clock.now();
+  for (std::uint32_t i = 0; i < config.events; ++i) {
+    if (clock.now() - start >= config.maxRunMs) break;
+    ++stats.eventsInjected;
+    if (runtime.dispatchUiEvent()) ++stats.eventsHandled;
+    clock.advance(config.throttleMs);
+  }
+  stats.elapsedMs = clock.now() - start;
+  return stats;
+}
+
+}  // namespace libspector::monkey

@@ -1,0 +1,35 @@
+// adb monkey analogue (paper §II-B3, §III-B).
+//
+// The paper exercises every app with 1,000 pseudo-random UI events at a
+// 500 ms throttle for 8 minutes.  Event choice randomness lives in the
+// interpreter's dispatcher (monkey taps coordinates; which handler fires is
+// an app property); the monkey owns pacing and the event budget.
+#pragma once
+
+#include <cstdint>
+
+#include "rt/interpreter.hpp"
+#include "util/clock.hpp"
+
+namespace libspector::monkey {
+
+struct MonkeyConfig {
+  std::uint32_t events = 1000;
+  std::uint32_t throttleMs = 500;
+  /// Hard stop: end the run when the simulated clock passes this duration,
+  /// even if events remain (the paper's 8-minute wall budget).
+  std::uint64_t maxRunMs = 8 * 60 * 1000;
+};
+
+struct MonkeyStats {
+  std::uint32_t eventsInjected = 0;
+  std::uint32_t eventsHandled = 0;  // events that hit a UI handler
+  std::uint64_t elapsedMs = 0;
+};
+
+/// Drive one app run to completion. The interpreter must already have been
+/// started (onCreate executed).
+MonkeyStats exercise(rt::Interpreter& runtime, util::SimClock& clock,
+                     const MonkeyConfig& config);
+
+}  // namespace libspector::monkey

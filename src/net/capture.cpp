@@ -1,0 +1,116 @@
+#include "net/capture.hpp"
+
+#include "util/bytes.hpp"
+
+namespace libspector::net {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x50434c53;  // "SLCP"
+}
+
+void CaptureFile::append(PacketRecord record) {
+  packets_.push_back(std::move(record));
+}
+
+void CaptureFile::appendHttp(HttpExchange exchange) {
+  http_.push_back(std::move(exchange));
+}
+
+CaptureFile::StreamVolume CaptureFile::streamVolume(const SocketPair& pair,
+                                                    util::SimTimeMs fromMs,
+                                                    util::SimTimeMs toMs) const {
+  StreamVolume volume;
+  for (const auto& pkt : packets_) {
+    if (pkt.timestampMs < fromMs || pkt.timestampMs > toMs) continue;
+    if (!pkt.pair.sameConnection(pair)) continue;
+    if (pkt.pair.src == pair.src) {
+      volume.bytesFromSrc += pkt.wireBytes;
+      volume.payloadFromSrc += pkt.payloadBytes;
+    } else {
+      volume.bytesFromDst += pkt.wireBytes;
+      volume.payloadFromDst += pkt.payloadBytes;
+    }
+    ++volume.packetCount;
+  }
+  return volume;
+}
+
+std::uint64_t CaptureFile::totalWireBytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& pkt : packets_) total += pkt.wireBytes;
+  return total;
+}
+
+std::vector<std::uint8_t> CaptureFile::serialize() const {
+  util::ByteWriter w;
+  w.u32(kMagic);
+  w.u32(static_cast<std::uint32_t>(packets_.size()));
+  for (const auto& pkt : packets_) {
+    w.u64(pkt.timestampMs);
+    w.u8(static_cast<std::uint8_t>(pkt.proto));
+    w.u32(pkt.pair.src.ip.value());
+    w.u16(pkt.pair.src.port);
+    w.u32(pkt.pair.dst.ip.value());
+    w.u16(pkt.pair.dst.port);
+    w.u32(pkt.wireBytes);
+    w.u32(pkt.payloadBytes);
+    w.str(pkt.dnsQname);
+    w.u32(pkt.dnsAnswer.value());
+  }
+  w.u32(static_cast<std::uint32_t>(http_.size()));
+  for (const auto& exchange : http_) {
+    w.u64(exchange.timestampMs);
+    w.u32(exchange.pair.src.ip.value());
+    w.u16(exchange.pair.src.port);
+    w.u32(exchange.pair.dst.ip.value());
+    w.u16(exchange.pair.dst.port);
+    w.str(exchange.host);
+    w.str(exchange.path);
+    w.str(exchange.userAgent);
+    w.u8(exchange.post ? 1 : 0);
+  }
+  return w.take();
+}
+
+CaptureFile CaptureFile::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.u32() != kMagic) throw util::DecodeError("CaptureFile: bad magic");
+  // Each packet record occupies at least 37 bytes on the wire.
+  const std::uint32_t count = r.countCheck(r.u32(), 37);
+  CaptureFile capture;
+  capture.packets_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PacketRecord pkt;
+    pkt.timestampMs = r.u64();
+    pkt.proto = static_cast<Proto>(r.u8());
+    pkt.pair.src.ip = Ipv4Addr(r.u32());
+    pkt.pair.src.port = r.u16();
+    pkt.pair.dst.ip = Ipv4Addr(r.u32());
+    pkt.pair.dst.port = r.u16();
+    pkt.wireBytes = r.u32();
+    pkt.payloadBytes = r.u32();
+    pkt.dnsQname = r.str();
+    pkt.dnsAnswer = Ipv4Addr(r.u32());
+    capture.packets_.push_back(std::move(pkt));
+  }
+  // Each HTTP exchange record occupies at least 33 bytes.
+  const std::uint32_t httpCount = r.countCheck(r.u32(), 33);
+  capture.http_.reserve(httpCount);
+  for (std::uint32_t i = 0; i < httpCount; ++i) {
+    HttpExchange exchange;
+    exchange.timestampMs = r.u64();
+    exchange.pair.src.ip = Ipv4Addr(r.u32());
+    exchange.pair.src.port = r.u16();
+    exchange.pair.dst.ip = Ipv4Addr(r.u32());
+    exchange.pair.dst.port = r.u16();
+    exchange.host = r.str();
+    exchange.path = r.str();
+    exchange.userAgent = r.str();
+    exchange.post = r.u8() != 0;
+    capture.http_.push_back(std::move(exchange));
+  }
+  if (!r.atEnd()) throw util::DecodeError("CaptureFile: trailing bytes");
+  return capture;
+}
+
+}  // namespace libspector::net

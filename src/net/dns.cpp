@@ -1,0 +1,53 @@
+#include "net/dns.hpp"
+
+namespace libspector::net {
+
+namespace {
+// IPv4 + UDP header estimate used for DNS datagrams.
+constexpr std::uint32_t kUdpHeader = 28;
+}
+
+DnsResolver::DnsResolver(const ServerFarm& farm, SockEndpoint deviceEndpoint,
+                         SockEndpoint dnsServer, util::SimTimeMs ttlMs) noexcept
+    : farm_(farm), device_(deviceEndpoint), dnsServer_(dnsServer), ttlMs_(ttlMs) {}
+
+std::optional<Ipv4Addr> DnsResolver::resolve(const std::string& domain,
+                                             util::SimClock& clock,
+                                             CaptureFile& capture) {
+  auto [it, isNew] = cache_.try_emplace(domain);
+  CacheEntry& entry = it->second;
+  if (!isNew && clock.now() < entry.expiresAtMs) return entry.answer;
+
+  // Fresh query. Multi-homed domains answer with their A records in
+  // rotation, so successive TTL expiries move the domain across addresses.
+  const auto addresses = farm_.addressesOf(domain);
+  std::optional<Ipv4Addr> answer;
+  if (!addresses.empty()) {
+    answer = addresses[entry.rotation % addresses.size()];
+    ++entry.rotation;
+  }
+
+  ++queriesSent_;
+  // Query: ~17 bytes of fixed DNS header + QNAME.
+  const auto queryPayload = static_cast<std::uint32_t>(17 + domain.size());
+  capture.append(makeUdpPacket(clock.now(), SocketPair{device_, dnsServer_},
+                               kUdpHeader + queryPayload, queryPayload,
+                               domain));
+  clock.advance(1);
+  // Response: query echo + 16 bytes of answer RR (or SOA for NXDOMAIN).
+  const auto respPayload = static_cast<std::uint32_t>(queryPayload + 16);
+  capture.append(makeUdpPacket(clock.now(), SocketPair{dnsServer_, device_},
+                               kUdpHeader + respPayload, respPayload, domain,
+                               answer.value_or(Ipv4Addr{})));
+  clock.advance(1);
+
+  entry.answer = answer;
+  entry.expiresAtMs = clock.now() + ttlMs_;
+  if (answer.has_value() && !entry.recorded) {
+    resolvedOrder_.push_back(domain);
+    entry.recorded = true;
+  }
+  return answer;
+}
+
+}  // namespace libspector::net

@@ -1,0 +1,39 @@
+#include "net/ip.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace libspector::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || octet > 255)
+      return std::nullopt;
+    value = value << 8 | octet;
+  }
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::str() const {
+  return std::to_string(value_ >> 24) + "." + std::to_string((value_ >> 16) & 0xff) +
+         "." + std::to_string((value_ >> 8) & 0xff) + "." +
+         std::to_string(value_ & 0xff);
+}
+
+std::string SockEndpoint::str() const {
+  return ip.str() + ":" + std::to_string(port);
+}
+
+std::string SocketPair::str() const {
+  return src.str() + " -> " + dst.str();
+}
+
+}  // namespace libspector::net

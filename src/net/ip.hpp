@@ -1,0 +1,91 @@
+// IPv4 addressing and socket pairs.
+//
+// A socket pair — the (srcIP, srcPort, dstIP, dstPort) tuple — is the key
+// Libspector uses to join a UDP context report with the TCP stream it
+// describes in the packet capture (paper §II-A, §III-E).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace libspector::net {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_(std::uint32_t{a} << 24 | std::uint32_t{b} << 16 |
+               std::uint32_t{c} << 8 | std::uint32_t{d}) {}
+
+  /// Parse dotted-quad notation; std::nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IP:port pair.
+struct SockEndpoint {
+  Ipv4Addr ip;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] constexpr auto operator<=>(const SockEndpoint&) const = default;
+};
+
+/// The four connection parameters of a socket, oriented src -> dst.
+struct SocketPair {
+  SockEndpoint src;
+  SockEndpoint dst;
+
+  /// The same connection seen from the other end.
+  [[nodiscard]] constexpr SocketPair reversed() const noexcept { return {dst, src}; }
+
+  /// True when `other` names the same connection in either orientation,
+  /// which is how capture packets (recorded sender-first) are matched to a
+  /// socket recorded device-first.
+  [[nodiscard]] constexpr bool sameConnection(const SocketPair& other) const noexcept {
+    return (*this == other) || (reversed() == other);
+  }
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] constexpr auto operator<=>(const SocketPair&) const = default;
+};
+
+}  // namespace libspector::net
+
+template <>
+struct std::hash<libspector::net::Ipv4Addr> {
+  std::size_t operator()(const libspector::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<libspector::net::SockEndpoint> {
+  std::size_t operator()(const libspector::net::SockEndpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{e.ip.value()} << 16) ^ e.port);
+  }
+};
+
+template <>
+struct std::hash<libspector::net::SocketPair> {
+  std::size_t operator()(const libspector::net::SocketPair& p) const noexcept {
+    const std::size_t h1 = std::hash<libspector::net::SockEndpoint>{}(p.src);
+    const std::size_t h2 = std::hash<libspector::net::SockEndpoint>{}(p.dst);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

@@ -1,0 +1,88 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace libspector::net {
+
+Ipv4Addr ServerFarm::addEndpoint(EndpointProfile profile,
+                                 std::optional<Ipv4Addr> sharedIp) {
+  if (profile.domain.empty())
+    throw std::invalid_argument("ServerFarm: empty domain");
+  if (profiles_.contains(profile.domain))
+    throw std::invalid_argument("ServerFarm: duplicate domain " + profile.domain);
+
+  Ipv4Addr ip;
+  if (sharedIp) {
+    if (!reverse_.contains(*sharedIp))
+      throw std::invalid_argument("ServerFarm: sharedIp not in farm");
+    ip = *sharedIp;
+  } else {
+    ip = allocateAddress();
+  }
+  const std::string domain = profile.domain;
+  addresses_[domain].push_back(ip);
+  reverse_[ip].push_back(domain);
+  profiles_.emplace(domain, std::move(profile));
+  return ip;
+}
+
+Ipv4Addr ServerFarm::allocateAddress() {
+  // 198.18.0.0/15 benchmark space; /15 holds 2^17 hosts, far more than any
+  // generated farm needs.
+  const std::uint32_t hostId = nextHostId_++;
+  return Ipv4Addr((198u << 24) | (18u << 16) | (hostId & 0x1ffff));
+}
+
+Ipv4Addr ServerFarm::addAlternateAddress(const std::string& domain) {
+  const auto it = addresses_.find(domain);
+  if (it == addresses_.end())
+    throw std::invalid_argument("ServerFarm: unknown domain " + domain);
+  const Ipv4Addr ip = allocateAddress();
+  it->second.push_back(ip);
+  reverse_[ip].push_back(domain);
+  return ip;
+}
+
+const EndpointProfile* ServerFarm::byDomain(const std::string& domain) const {
+  const auto it = profiles_.find(domain);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::optional<Ipv4Addr> ServerFarm::ipOf(const std::string& domain) const {
+  const auto it = addresses_.find(domain);
+  if (it == addresses_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+std::vector<Ipv4Addr> ServerFarm::addressesOf(const std::string& domain) const {
+  const auto it = addresses_.find(domain);
+  return it == addresses_.end() ? std::vector<Ipv4Addr>{} : it->second;
+}
+
+std::vector<std::string> ServerFarm::domainsOn(Ipv4Addr ip) const {
+  const auto it = reverse_.find(ip);
+  return it == reverse_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::uint32_t ServerFarm::responseSize(const std::string& domain,
+                                       util::Rng& rng) const {
+  const EndpointProfile* profile = byDomain(domain);
+  if (profile == nullptr) return 64;  // RST-sized answer from unknown hosts
+  const double size = rng.lognormal(profile->responseLogMu, profile->responseLogSigma);
+  const double clamped =
+      std::clamp(size, static_cast<double>(profile->minResponseBytes),
+                 static_cast<double>(profile->maxResponseBytes));
+  return static_cast<std::uint32_t>(clamped);
+}
+
+std::vector<std::string> ServerFarm::allDomains() const {
+  std::vector<std::string> out;
+  out.reserve(profiles_.size());
+  for (const auto& [domain, _] : profiles_) out.push_back(domain);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace libspector::net

@@ -1,0 +1,80 @@
+// Remote endpoint behaviour models.
+//
+// The paper's apps talk to real ad networks, CDNs, analytics backends, etc.
+// Our substitute is a ServerFarm: a registry of endpoint profiles, each with
+// a ground-truth category and a heavy-tailed response-size model.  CDN
+// realism matters for reproducing §IV-B: several logical domains may share
+// one IP, and CDN endpoints serve far larger responses than ad or analytics
+// endpoints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "util/rng.hpp"
+
+namespace libspector::net {
+
+/// Behaviour and ground truth of one remote domain.
+struct EndpointProfile {
+  std::string domain;
+  /// Ground-truth generic category (one of the paper's 17, e.g. "cdn",
+  /// "advertisements"); the VirusTotal simulator derives vendor labels from
+  /// this, the analysis never reads it directly.
+  std::string trueCategory;
+  /// Response size model: lognormal(mu, sigma) clamped to [minBytes, maxBytes].
+  double responseLogMu = 8.0;
+  double responseLogSigma = 1.0;
+  std::uint32_t minResponseBytes = 128;
+  std::uint32_t maxResponseBytes = 8 * 1024 * 1024;
+
+  [[nodiscard]] bool operator==(const EndpointProfile&) const = default;
+};
+
+/// Registry of all remote endpoints reachable from the emulators, plus the
+/// authoritative domain -> IP mapping the DNS service answers from.
+class ServerFarm {
+ public:
+  /// Register a domain. When `sharedIp` is set the domain is CNAMEd onto an
+  /// existing address (CDN co-hosting); otherwise a fresh address from
+  /// 198.18.0.0/15 (benchmark address space) is assigned.
+  /// Returns the assigned address. Re-registering a domain is an error.
+  Ipv4Addr addEndpoint(EndpointProfile profile,
+                       std::optional<Ipv4Addr> sharedIp = std::nullopt);
+
+  /// Add another A record for an existing domain (CDNs rotate among several
+  /// frontend addresses). Returns the new address.
+  Ipv4Addr addAlternateAddress(const std::string& domain);
+
+  [[nodiscard]] const EndpointProfile* byDomain(const std::string& domain) const;
+  /// The domain's primary address (first A record).
+  [[nodiscard]] std::optional<Ipv4Addr> ipOf(const std::string& domain) const;
+  /// Every A record of the domain, in registration order (empty if unknown).
+  [[nodiscard]] std::vector<Ipv4Addr> addressesOf(const std::string& domain) const;
+
+  /// Domains hosted on an address (one for dedicated hosts, several on CDNs).
+  [[nodiscard]] std::vector<std::string> domainsOn(Ipv4Addr ip) const;
+
+  /// Draw a response size for a request to `domain`. Unknown domains get a
+  /// small default response (connection to a dead host still elicits
+  /// RST-sized traffic in practice).
+  [[nodiscard]] std::uint32_t responseSize(const std::string& domain,
+                                           util::Rng& rng) const;
+
+  [[nodiscard]] std::size_t endpointCount() const noexcept { return profiles_.size(); }
+  [[nodiscard]] std::vector<std::string> allDomains() const;
+
+ private:
+  Ipv4Addr allocateAddress();
+
+  std::unordered_map<std::string, EndpointProfile> profiles_;
+  std::unordered_map<std::string, std::vector<Ipv4Addr>> addresses_;
+  std::unordered_map<Ipv4Addr, std::vector<std::string>> reverse_;
+  std::uint32_t nextHostId_ = 1;
+};
+
+}  // namespace libspector::net

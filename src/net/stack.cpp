@@ -1,0 +1,189 @@
+#include "net/stack.hpp"
+
+#include <stdexcept>
+
+namespace libspector::net {
+
+namespace {
+
+constexpr std::uint32_t kMss = 1460;       // TCP payload per segment
+constexpr std::uint32_t kTcpHeader = 40;   // IPv4 + TCP header estimate
+constexpr std::uint32_t kUdpHeader = 28;   // IPv4 + UDP header estimate
+
+// Capture records coalesce runs of segments so multi-megabyte responses do
+// not inflate the capture; wire byte totals stay exact (payload + one
+// header per underlying segment).
+constexpr std::uint32_t kMaxRecordsPerBurst = 6;
+
+std::uint64_t pairKey(const SockEndpoint& dst, std::uint16_t srcPort) noexcept {
+  return (std::uint64_t{dst.ip.value()} << 32) |
+         (std::uint64_t{dst.port} << 16) | srcPort;
+}
+
+std::uint32_t segmentCount(std::uint64_t payload) noexcept {
+  return payload == 0 ? 0 : static_cast<std::uint32_t>((payload + kMss - 1) / kMss);
+}
+
+}  // namespace
+
+NetworkStack::NetworkStack(const ServerFarm& farm, util::SimClock& clock,
+                           util::Rng rng, StackConfig config)
+    : farm_(farm),
+      clock_(clock),
+      rng_(rng),
+      config_(config),
+      dns_(farm, SockEndpoint{config.deviceIp, 0}, config.dnsServer,
+           config.dnsTtlMs),
+      nextPort_(config.ephemeralBase) {
+  if (config_.ephemeralBase >= config_.ephemeralLimit)
+    throw std::invalid_argument("NetworkStack: bad ephemeral port range");
+}
+
+std::optional<Ipv4Addr> NetworkStack::resolve(const std::string& domain) {
+  return dns_.resolve(domain, clock_, capture_);
+}
+
+std::uint16_t NetworkStack::allocatePort(const SockEndpoint& dst) {
+  const std::uint16_t range =
+      static_cast<std::uint16_t>(config_.ephemeralLimit - config_.ephemeralBase);
+  for (std::uint16_t attempt = 0; attempt <= range; ++attempt) {
+    const std::uint16_t candidate = nextPort_;
+    nextPort_ = nextPort_ >= config_.ephemeralLimit ? config_.ephemeralBase
+                                                    : static_cast<std::uint16_t>(nextPort_ + 1);
+    if (!livePairKeys_.contains(pairKey(dst, candidate))) return candidate;
+  }
+  throw std::runtime_error("NetworkStack: ephemeral ports exhausted for destination");
+}
+
+std::optional<NetworkStack::ConnectResult> NetworkStack::connectTcp(
+    const std::string& domain, std::uint16_t port) {
+  const auto ip = resolve(domain);
+  if (!ip) return std::nullopt;  // NXDOMAIN
+
+  const SockEndpoint dst{*ip, port};
+  const SockEndpoint src{config_.deviceIp, allocatePort(dst)};
+  const SocketPair pair{src, dst};
+  const auto rtt = static_cast<std::uint32_t>(
+      rng_.uniform(config_.rttMeanMs / 2, config_.rttMeanMs * 3 / 2));
+
+  // SYN
+  capture_.append(makeTcpPacket(clock_.now(), pair, kTcpHeader, 0));
+  clock_.advance(rtt / 2 + 1);
+
+  if (rng_.chance(config_.connectFailureProb)) {
+    // Retransmitted SYN, then give up: connection never established, so no
+    // post-hook fires and no socket id is handed out.
+    capture_.append(makeTcpPacket(clock_.now(), pair, kTcpHeader, 0));
+    clock_.advance(rtt);
+    return std::nullopt;
+  }
+
+  // SYN-ACK, ACK
+  capture_.append(makeTcpPacket(clock_.now(), pair.reversed(), kTcpHeader, 0));
+  clock_.advance(rtt / 2 + 1);
+  capture_.append(makeTcpPacket(clock_.now(), pair, kTcpHeader, 0));
+
+  const SocketId id = nextSocketId_++;
+  connections_.emplace(id, Connection{pair, domain, true});
+  open_.insert(id);
+  livePairKeys_.insert(pairKey(dst, src.port));
+  return ConnectResult{id, pair};
+}
+
+void NetworkStack::emitTcp(const SocketPair& pair, std::uint32_t payload) {
+  const std::uint32_t segments = segmentCount(payload);
+  if (segments == 0) {
+    capture_.append(makeTcpPacket(clock_.now(), pair, kTcpHeader, 0));
+    clock_.advance(1);
+    return;
+  }
+  // Coalesce segments into at most kMaxRecordsPerBurst records.
+  const std::uint32_t records = std::min(segments, kMaxRecordsPerBurst);
+  std::uint32_t payloadLeft = payload;
+  std::uint32_t segmentsLeft = segments;
+  for (std::uint32_t i = 0; i < records; ++i) {
+    const std::uint32_t segsHere =
+        (segmentsLeft + (records - i) - 1) / (records - i);
+    const std::uint32_t payloadHere =
+        i + 1 == records ? payloadLeft
+                         : std::min(payloadLeft, segsHere * kMss);
+    capture_.append(makeTcpPacket(clock_.now(), pair,
+                                    payloadHere + segsHere * kTcpHeader,
+                                    payloadHere));
+    clock_.advance(1);
+    payloadLeft -= payloadHere;
+    segmentsLeft -= segsHere;
+  }
+}
+
+TransferResult NetworkStack::transfer(SocketId id, std::uint32_t requestBytes,
+                                      const HttpRequestInfo* http) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end() || !it->second.open)
+    throw std::logic_error("NetworkStack::transfer: socket not open");
+  Connection& conn = it->second;
+
+  if (http != nullptr) {
+    capture_.appendHttp({clock_.now(), conn.pair, conn.domain, http->path,
+                         http->userAgent, http->post});
+  }
+  emitTcp(conn.pair, requestBytes);
+
+  const std::uint32_t responseBytes = farm_.responseSize(conn.domain, rng_);
+  emitTcp(conn.pair.reversed(), responseBytes);
+
+  // Delayed ACKs: one 40-byte ACK from the device per four response
+  // segments (coalesced by the emulator NIC's receive offload).
+  const std::uint32_t acks = (segmentCount(responseBytes) + 3) / 4;
+  if (acks > 0) {
+    capture_.append(makeTcpPacket(clock_.now(), conn.pair, acks * kTcpHeader, 0));
+    clock_.advance(1);
+  }
+  return {requestBytes, responseBytes};
+}
+
+void NetworkStack::closeTcp(SocketId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end() || !it->second.open)
+    throw std::logic_error("NetworkStack::closeTcp: socket not open");
+  Connection& conn = it->second;
+  // FIN, FIN-ACK
+  capture_.append(makeTcpPacket(clock_.now(), conn.pair, kTcpHeader, 0));
+  capture_.append(makeTcpPacket(clock_.now(), conn.pair.reversed(), kTcpHeader, 0));
+  clock_.advance(1);
+  conn.open = false;
+  open_.erase(id);
+  livePairKeys_.erase(pairKey(conn.pair.dst, conn.pair.src.port));
+}
+
+void NetworkStack::sendUdpDatagram(SockEndpoint dst,
+                                   std::span<const std::uint8_t> payload) {
+  const SockEndpoint src{config_.deviceIp, allocatePort(dst)};
+  const SocketPair pair{src, dst};
+  capture_.append(makeUdpPacket(
+      clock_.now(), pair,
+      static_cast<std::uint32_t>(payload.size()) + kUdpHeader,
+      static_cast<std::uint32_t>(payload.size())));
+  // Best-effort delivery: the datagram is on the wire (captured above)
+  // but may never reach the sink.
+  if (rng_.chance(config_.udpLossProb)) return;
+  if (const auto it = sinks_.find(dst); it != sinks_.end()) it->second(src, payload);
+}
+
+void NetworkStack::registerUdpSink(SockEndpoint listenAddr, UdpSink sink) {
+  sinks_[listenAddr] = std::move(sink);
+}
+
+const SocketPair* NetworkStack::pairOf(SocketId id) const {
+  const auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : &it->second.pair;
+}
+
+const std::string* NetworkStack::domainOf(SocketId id) const {
+  const auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : &it->second.domain;
+}
+
+bool NetworkStack::isOpen(SocketId id) const { return open_.contains(id); }
+
+}  // namespace libspector::net

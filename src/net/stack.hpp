@@ -1,0 +1,141 @@
+// The emulator's userspace network stack.
+//
+// One NetworkStack exists per emulator instance. It owns ephemeral port
+// allocation, TCP connection state, DNS resolution and the packet capture,
+// and models segment-level traffic (handshake, MSS-sized data segments,
+// ACKs, teardown) so that the offline volume computation over the capture
+// behaves like the paper's pcap traversal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/capture.hpp"
+#include "net/dns.hpp"
+#include "net/ip.hpp"
+#include "net/server.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace libspector::net {
+
+/// Identifier of a socket within one NetworkStack, unique for the lifetime
+/// of the stack (never reused, unlike ports).
+using SocketId = std::uint64_t;
+
+struct StackConfig {
+  Ipv4Addr deviceIp{10, 0, 2, 15};           // Android emulator guest address
+  SockEndpoint dnsServer{{10, 0, 2, 3}, 53}; // emulator virtual router DNS
+  std::uint16_t ephemeralBase = 32768;
+  std::uint16_t ephemeralLimit = 60999;
+  /// Probability that an individual TCP connect fails after SYN
+  /// retransmission (unreachable host, refused connection).
+  double connectFailureProb = 0.0;
+  /// Mean simulated round-trip time drawn per connection, milliseconds.
+  std::uint32_t rttMeanMs = 40;
+  /// DNS answer lifetime; expired entries re-query (and multi-homed
+  /// domains rotate A records).
+  util::SimTimeMs dnsTtlMs = 120 * 1000;
+  /// Probability an outgoing UDP datagram is lost en route to its sink
+  /// (the Socket Supervisor's report channel is best-effort UDP).
+  double udpLossProb = 0.0;
+};
+
+/// Result of a completed request/response exchange on a TCP socket.
+struct TransferResult {
+  std::uint64_t sentPayloadBytes = 0;
+  std::uint64_t recvPayloadBytes = 0;
+};
+
+class NetworkStack {
+ public:
+  NetworkStack(const ServerFarm& farm, util::SimClock& clock, util::Rng rng,
+               StackConfig config = {});
+
+  /// Resolve a domain via the per-emulator DNS cache (records DNS datagrams).
+  std::optional<Ipv4Addr> resolve(const std::string& domain);
+
+  struct ConnectResult {
+    SocketId id = 0;
+    SocketPair pair;  // device endpoint first
+  };
+
+  /// Establish a TCP connection to `domain`:`port`. Performs DNS resolution
+  /// and the three-way handshake; returns std::nullopt on NXDOMAIN or
+  /// (injected) connect failure. Failure still leaves SYN packets in the
+  /// capture, as a real trace would show.
+  std::optional<ConnectResult> connectTcp(const std::string& domain,
+                                          std::uint16_t port);
+
+  /// HTTP-level request metadata, recorded in the capture's exchange log
+  /// (what a DPI pass over the pcap would reconstruct).
+  struct HttpRequestInfo {
+    std::string path = "/";
+    std::string userAgent;
+    bool post = false;
+  };
+
+  /// Send `requestBytes` of payload and receive the server-modelled
+  /// response. The socket must be open. When `http` is given, the exchange
+  /// (host = connected domain, path, User-Agent) is logged in the capture.
+  TransferResult transfer(SocketId id, std::uint32_t requestBytes,
+                          const HttpRequestInfo* http = nullptr);
+
+  /// FIN/ACK teardown; frees the ephemeral port for reuse.
+  void closeTcp(SocketId id);
+
+  /// Fire-and-forget UDP datagram (the Socket Supervisor's report channel).
+  /// Recorded in the capture and delivered to a sink registered for `dst`.
+  void sendUdpDatagram(SockEndpoint dst, std::span<const std::uint8_t> payload);
+
+  /// Datagram delivery callback: (source endpoint, payload bytes).
+  using UdpSink =
+      std::function<void(const SockEndpoint&, std::span<const std::uint8_t>)>;
+  void registerUdpSink(SockEndpoint listenAddr, UdpSink sink);
+
+  /// Connection parameters of an open or closed socket (getsockname +
+  /// getpeername); nullptr for an unknown id.
+  [[nodiscard]] const SocketPair* pairOf(SocketId id) const;
+  /// Domain the socket was connected to; nullptr for an unknown id.
+  [[nodiscard]] const std::string* domainOf(SocketId id) const;
+  [[nodiscard]] bool isOpen(SocketId id) const;
+
+  [[nodiscard]] CaptureFile& capture() noexcept { return capture_; }
+  [[nodiscard]] const CaptureFile& capture() const noexcept { return capture_; }
+  [[nodiscard]] const DnsResolver& dns() const noexcept { return dns_; }
+  [[nodiscard]] std::size_t openSocketCount() const noexcept { return open_.size(); }
+
+ private:
+  struct Connection {
+    SocketPair pair;
+    std::string domain;
+    bool open = false;
+  };
+
+  std::uint16_t allocatePort(const SockEndpoint& dst);
+  void emitTcp(const SocketPair& pair, std::uint32_t payload);
+
+  const ServerFarm& farm_;
+  util::SimClock& clock_;
+  util::Rng rng_;
+  StackConfig config_;
+  CaptureFile capture_;
+  DnsResolver dns_;
+  std::unordered_map<SocketId, Connection> connections_;
+  std::unordered_set<SocketId> open_;
+  std::unordered_map<SockEndpoint, UdpSink> sinks_;
+  /// (dstEndpoint, srcPort) pairs currently in use, to keep live socket
+  /// pairs unique at any instant (the invariant §II-B2b relies on).
+  std::unordered_set<std::uint64_t> livePairKeys_;
+  std::uint16_t nextPort_;
+  SocketId nextSocketId_ = 1;
+};
+
+}  // namespace libspector::net

@@ -1,0 +1,44 @@
+#include "orch/collector.hpp"
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace libspector::orch {
+
+void CollectionServer::submitDatagram(std::span<const std::uint8_t> payload) {
+  core::UdpReport report;
+  try {
+    report = core::UdpReport::decode(payload);
+  } catch (const util::DecodeError& err) {
+    const std::scoped_lock lock(mutex_);
+    ++received_;
+    ++dropped_;
+    util::logWarn("CollectionServer: dropping malformed datagram: %s", err.what());
+    return;
+  }
+  const std::scoped_lock lock(mutex_);
+  ++received_;
+  bySha_[report.apkSha256].push_back(std::move(report));
+}
+
+std::vector<core::UdpReport> CollectionServer::takeReports(
+    const std::string& apkSha256) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = bySha_.find(apkSha256);
+  if (it == bySha_.end()) return {};
+  std::vector<core::UdpReport> reports = std::move(it->second);
+  bySha_.erase(it);
+  return reports;
+}
+
+std::size_t CollectionServer::datagramsReceived() const {
+  const std::scoped_lock lock(mutex_);
+  return received_;
+}
+
+std::size_t CollectionServer::datagramsDropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace libspector::orch

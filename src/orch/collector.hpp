@@ -1,0 +1,40 @@
+// The central data collection server (paper Fig. 1, §II-B3).
+//
+// Receives the Socket Supervisor's UDP report datagrams from every emulator
+// worker, decodes them and groups them by apk checksum.  Thread-safe: many
+// workers feed one server, as in the paper's CentOS fleet.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace libspector::orch {
+
+class CollectionServer {
+ public:
+  /// Ingest one raw datagram. Malformed datagrams are counted and dropped
+  /// (UDP gives no delivery or integrity guarantee).
+  void submitDatagram(std::span<const std::uint8_t> payload);
+
+  /// Remove and return all reports collected for an apk (a worker calls
+  /// this once its app run finishes).
+  [[nodiscard]] std::vector<core::UdpReport> takeReports(
+      const std::string& apkSha256);
+
+  [[nodiscard]] std::size_t datagramsReceived() const;
+  [[nodiscard]] std::size_t datagramsDropped() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<core::UdpReport>> bySha_;
+  std::size_t received_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace libspector::orch

@@ -1,0 +1,67 @@
+#include "orch/database.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace libspector::orch {
+
+void ResultDatabase::store(core::RunArtifacts artifacts) {
+  const std::scoped_lock lock(mutex_);
+  bySha_[artifacts.apkSha256] = std::move(artifacts);
+}
+
+std::optional<core::RunArtifacts> ResultDatabase::fetch(
+    const std::string& apkSha256) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = bySha_.find(apkSha256);
+  if (it == bySha_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ResultDatabase::size() const {
+  const std::scoped_lock lock(mutex_);
+  return bySha_.size();
+}
+
+void ResultDatabase::forEach(
+    const std::function<void(const core::RunArtifacts&)>& fn) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [sha, artifacts] : bySha_) fn(artifacts);
+}
+
+std::size_t ResultDatabase::saveToDirectory(const std::string& directory) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  const std::scoped_lock lock(mutex_);
+  std::size_t written = 0;
+  for (const auto& [sha, artifacts] : bySha_) {
+    const auto bytes = artifacts.serialize();
+    const fs::path path = fs::path(directory) / (sha + ".spab");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("ResultDatabase: cannot write " + path.string());
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("ResultDatabase: short write " + path.string());
+    ++written;
+  }
+  return written;
+}
+
+std::size_t ResultDatabase::loadFromDirectory(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::size_t loaded = 0;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".spab") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in)
+      throw std::runtime_error("ResultDatabase: cannot read " +
+                               entry.path().string());
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    store(core::RunArtifacts::deserialize(bytes));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace libspector::orch

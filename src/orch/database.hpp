@@ -1,0 +1,45 @@
+// The central result database (paper Fig. 1): workers upload each app's
+// artifact bundle; the offline pipeline reads them back. Thread-safe.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/artifacts.hpp"
+
+namespace libspector::orch {
+
+class ResultDatabase {
+ public:
+  /// Store one app's artifacts (keyed by apk sha256; re-upload replaces).
+  void store(core::RunArtifacts artifacts);
+
+  [[nodiscard]] std::optional<core::RunArtifacts> fetch(
+      const std::string& apkSha256) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Visit every stored artifact bundle (snapshot order unspecified).
+  /// The callback must not call back into the database.
+  void forEach(const std::function<void(const core::RunArtifacts&)>& fn) const;
+
+  /// Persist every bundle to `directory` (created if missing), one
+  /// `<sha256>.spab` file per app. Returns the number of files written.
+  std::size_t saveToDirectory(const std::string& directory) const;
+
+  /// Load every `.spab` bundle from `directory` into the database
+  /// (replacing same-sha entries). Returns the number of bundles loaded;
+  /// throws std::runtime_error on I/O failure or util::DecodeError on a
+  /// corrupt bundle.
+  std::size_t loadFromDirectory(const std::string& directory);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, core::RunArtifacts> bySha_;
+};
+
+}  // namespace libspector::orch

@@ -1,0 +1,67 @@
+#include "orch/dispatcher.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace libspector::orch {
+
+Dispatcher::Dispatcher(const net::ServerFarm& farm, CollectionServer* collector,
+                       DispatcherConfig config)
+    : farm_(farm), collector_(collector), config_(config) {}
+
+void Dispatcher::run(const JobSource& source, const ResultSink& sink) {
+  const std::size_t workerCount =
+      config_.workers != 0
+          ? config_.workers
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::mutex sourceMutex;
+  std::mutex sinkMutex;
+  std::atomic<std::size_t> jobIndex{0};
+  std::atomic<std::size_t> completed{0};
+
+  const auto workerLoop = [&] {
+    while (true) {
+      std::optional<Job> job;
+      std::size_t index = 0;
+      {
+        const std::scoped_lock lock(sourceMutex);
+        job = source();
+        if (!job) return;
+        index = jobIndex.fetch_add(1);
+      }
+
+      EmulatorConfig emulatorConfig = config_.emulator;
+      emulatorConfig.seed = config_.baseSeed + index;
+      EmulatorInstance emulator(farm_, collector_, emulatorConfig);
+      try {
+        core::RunArtifacts artifacts = emulator.run(job->apk, job->program);
+        const std::scoped_lock lock(sinkMutex);
+        sink(std::move(artifacts));
+      } catch (const std::exception& error) {
+        const std::scoped_lock lock(sinkMutex);
+        failures_.push_back({job->apk.packageName, error.what()});
+        util::logWarn("dispatcher: app %s failed: %s",
+                      job->apk.packageName.c_str(), error.what());
+        continue;
+      }
+      const std::size_t done = completed.fetch_add(1) + 1;
+      if (done % 500 == 0)
+        util::logInfo("dispatcher: %zu apps processed", done);
+    }
+  };
+
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(workerCount);
+    for (std::size_t i = 0; i < workerCount; ++i) workers.emplace_back(workerLoop);
+  }  // jthreads join here
+
+  processed_ += completed.load();
+}
+
+}  // namespace libspector::orch

@@ -1,0 +1,70 @@
+// The job dispatcher and worker fleet (paper Fig. 1, §II-B3).
+//
+// The paper runs a dispatcher that hands apks to emulator workers on a
+// CentOS cluster.  Here workers are std::jthreads; each pulls a job, boots
+// a fresh EmulatorInstance, runs the app, and hands the artifact bundle to
+// the result sink.  Both job pulls and result delivery are serialized by
+// the dispatcher so sources and sinks need no locking of their own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+#include <optional>
+
+#include "dex/apk.hpp"
+#include "net/server.hpp"
+#include "orch/collector.hpp"
+#include "orch/emulator.hpp"
+#include "rt/program.hpp"
+
+namespace libspector::orch {
+
+struct DispatcherConfig {
+  /// 0 = one worker per hardware thread.
+  std::size_t workers = 0;
+  EmulatorConfig emulator;
+  /// Per-app emulator seeds derive from this and the job index.
+  std::uint64_t baseSeed = 0x11b59ec701ULL;
+};
+
+class Dispatcher {
+ public:
+  struct Job {
+    dex::ApkFile apk;
+    rt::AppProgram program;
+  };
+  /// Returns the next job or std::nullopt when the corpus is exhausted.
+  using JobSource = std::function<std::optional<Job>()>;
+  /// Receives each finished app's artifacts.
+  using ResultSink = std::function<void(core::RunArtifacts&&)>;
+
+  Dispatcher(const net::ServerFarm& farm, CollectionServer* collector,
+             DispatcherConfig config);
+
+  /// Process every job; blocks until done. Callable multiple times.
+  /// A job whose emulator run throws is recorded as failed and skipped —
+  /// one broken apk must not take down the fleet (the paper's dispatcher
+  /// ran 25,000 heterogeneous Play-store apps).
+  void run(const JobSource& source, const ResultSink& sink);
+
+  struct FailedJob {
+    std::string packageName;
+    std::string error;
+  };
+
+  [[nodiscard]] std::size_t appsProcessed() const noexcept { return processed_; }
+  [[nodiscard]] const std::vector<FailedJob>& failures() const noexcept {
+    return failures_;
+  }
+
+ private:
+  const net::ServerFarm& farm_;
+  CollectionServer* collector_;
+  DispatcherConfig config_;
+  std::size_t processed_ = 0;
+  std::vector<FailedJob> failures_;
+};
+
+}  // namespace libspector::orch

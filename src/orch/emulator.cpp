@@ -1,0 +1,66 @@
+#include "orch/emulator.hpp"
+
+#include "hook/xposed.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/tracer.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+
+namespace libspector::orch {
+
+EmulatorInstance::EmulatorInstance(const net::ServerFarm& farm,
+                                   CollectionServer* collector,
+                                   EmulatorConfig config)
+    : farm_(farm), collector_(collector), config_(config) {}
+
+core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
+                                         const rt::AppProgram& program) {
+  // Fresh image: everything below is constructed per run.
+  util::SimClock clock;
+  util::Rng rng(config_.seed);
+  net::NetworkStack stack(farm_, clock, rng.fork(1), config_.stack);
+
+  // Local + central report collection: the emulator's virtual router
+  // forwards the supervisor's datagrams to the collection server.
+  std::vector<core::UdpReport> localReports;
+  stack.registerUdpSink(
+      core::kDefaultCollectorEndpoint,
+      [this, &localReports](const net::SockEndpoint&,
+                            std::span<const std::uint8_t> payload) {
+        localReports.push_back(core::UdpReport::decode(payload));
+        if (collector_ != nullptr) collector_->submitDatagram(payload);
+      });
+
+  core::MethodMonitor monitor;
+  rt::Interpreter runtime(program, stack, monitor.tracer(), clock, rng.fork(2));
+
+  hook::XposedFramework xposed;
+  xposed.installModule(std::make_shared<core::SocketSupervisor>());
+  xposed.attachToApp(runtime, apk);
+
+  runtime.start();
+  const auto monkeyStats = monkey::exercise(runtime, clock, config_.monkey);
+
+  // Background phase: the app keeps (sparsely) transmitting after the UI
+  // session ends.
+  for (std::uint32_t tick = 0; tick < config_.backgroundTicks; ++tick) {
+    runtime.runBackgroundTick();
+    clock.advance(config_.backgroundTickMs);
+  }
+
+  core::RunArtifacts artifacts;
+  artifacts.apkSha256 = util::toHex(apk.sha256());
+  artifacts.packageName = apk.packageName;
+  artifacts.appCategory = apk.appCategory;
+  artifacts.capture = std::move(stack.capture());
+  artifacts.reports = std::move(localReports);
+  artifacts.methodTraceFile = monitor.writeTraceFile();
+  artifacts.coverage =
+      core::MethodMonitor::computeCoverage(artifacts.methodTraceFile, apk);
+  artifacts.monkeyEventsInjected = monkeyStats.eventsInjected;
+  artifacts.runDurationMs = monkeyStats.elapsedMs;
+  return artifacts;
+}
+
+}  // namespace libspector::orch

@@ -1,0 +1,54 @@
+// One emulator instance (paper §II-B3).
+//
+// Every app runs in a *fresh* copy of the same image: same device profile,
+// fresh network stack, fresh runtime, the Xposed framework with the Socket
+// Supervisor installed, and the modified-ART Method Monitor attached.  The
+// run exercises the app with the monkey and produces the artifact bundle.
+#pragma once
+
+#include <memory>
+
+#include "core/artifacts.hpp"
+#include "core/supervisor.hpp"
+#include "dex/apk.hpp"
+#include "monkey/monkey.hpp"
+#include "net/server.hpp"
+#include "net/stack.hpp"
+#include "orch/collector.hpp"
+#include "rt/program.hpp"
+
+namespace libspector::orch {
+
+struct EmulatorConfig {
+  net::StackConfig stack;
+  monkey::MonkeyConfig monkey;
+  /// After the monkey finishes, the app sits in background for a few ticks
+  /// and may keep transmitting (Rosen et al.; the paper's §IV-D relies on
+  /// the 80%%-within-60s observation).
+  std::uint32_t backgroundTicks = 3;
+  std::uint32_t backgroundTickMs = 20 * 1000;
+  /// Seed for this instance's stochastic behaviour (RTTs, response sizes,
+  /// monkey handler choice). The dispatcher derives one per app.
+  std::uint64_t seed = 1;
+};
+
+class EmulatorInstance {
+ public:
+  /// `farm` is the shared external-server world; `collector` receives the
+  /// supervisor's UDP reports (may be nullptr in hermetic tests — reports
+  /// are then collected from a local sink).
+  EmulatorInstance(const net::ServerFarm& farm, CollectionServer* collector,
+                   EmulatorConfig config);
+
+  /// Install, exercise and tear down one app; returns the artifact bundle
+  /// (capture, reports, method trace, coverage, run stats).
+  [[nodiscard]] core::RunArtifacts run(const dex::ApkFile& apk,
+                                       const rt::AppProgram& program);
+
+ private:
+  const net::ServerFarm& farm_;
+  CollectionServer* collector_;
+  EmulatorConfig config_;
+};
+
+}  // namespace libspector::orch

@@ -1,0 +1,70 @@
+#include "orch/study.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "core/attribution.hpp"
+#include "core/export.hpp"
+#include "orch/collector.hpp"
+#include "orch/database.hpp"
+#include "radar/corpus.hpp"
+#include "vtsim/categorizer.hpp"
+
+namespace libspector::orch {
+
+StudyOutput runStudy(const StudyConfig& config) {
+  const store::AppStoreGenerator generator(config.store);
+  return runStudy(generator, config.dispatcher, config.artifactsDirectory);
+}
+
+StudyOutput runStudy(const store::AppStoreGenerator& generator,
+                     const DispatcherConfig& dispatcherConfig,
+                     const std::string& artifactsDirectory) {
+  const auto start = std::chrono::steady_clock::now();
+
+  static const radar::LibraryCorpus kCorpus = radar::LibraryCorpus::builtin();
+  vtsim::DomainCategorizer categorizer(
+      vtsim::defaultVendorPanel(), [&generator](const std::string& domain) {
+        return generator.domainTruth(domain);
+      });
+  core::TrafficAttributor attributor(kCorpus, categorizer);
+
+  StudyOutput output;
+  const bool persist = !artifactsDirectory.empty();
+  ResultDatabase database;
+
+  CollectionServer collector;
+  Dispatcher dispatcher(generator.farm(), &collector, dispatcherConfig);
+  std::size_t next = 0;
+  dispatcher.run(
+      [&]() -> std::optional<Dispatcher::Job> {
+        if (next >= generator.appCount()) return std::nullopt;
+        auto job = generator.makeJob(next++);
+        return Dispatcher::Job{std::move(job.apk), std::move(job.program)};
+      },
+      [&](core::RunArtifacts&& artifacts) {
+        output.study.addApp(artifacts, attributor.attribute(artifacts));
+        if (persist) database.store(std::move(artifacts));
+      });
+  output.appsProcessed = dispatcher.appsProcessed();
+  output.appsFailed = dispatcher.failures().size();
+
+  if (persist) {
+    database.saveToDirectory(artifactsDirectory);
+    std::ofstream manifest(std::filesystem::path(artifactsDirectory) /
+                           "domains.csv");
+    manifest << "domain,truth\n";
+    for (const auto& domain : generator.farm().allDomains())
+      manifest << core::csvField(domain) << ','
+               << core::csvField(generator.domainTruth(domain)) << '\n';
+  }
+
+  output.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return output;
+}
+
+}  // namespace libspector::orch

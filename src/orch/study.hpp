@@ -1,0 +1,46 @@
+// One-call measurement campaign (the whole paper pipeline as an API).
+//
+// Wires together the synthetic store, the emulator fleet, the offline
+// attribution pipeline and the study aggregator:
+//
+//   orch::StudyConfig config;
+//   config.store.appCount = 2500;
+//   auto output = orch::runStudy(config);
+//   output.study.transferByLibCategory(); ...
+//
+// Downstream users who bring their own corpus can use the lower-level
+// pieces directly (Dispatcher + TrafficAttributor + StudyAggregator).
+#pragma once
+
+#include <string>
+
+#include "core/analysis.hpp"
+#include "orch/dispatcher.hpp"
+#include "store/generator.hpp"
+
+namespace libspector::orch {
+
+struct StudyConfig {
+  store::StoreConfig store;
+  DispatcherConfig dispatcher;
+  /// When non-empty, every app's artifact bundle (.spab) plus the
+  /// domains.csv world manifest are persisted here for later re-analysis.
+  std::string artifactsDirectory;
+};
+
+struct StudyOutput {
+  core::StudyAggregator study;
+  std::size_t appsProcessed = 0;
+  std::size_t appsFailed = 0;
+  double wallSeconds = 0.0;
+};
+
+/// Generate a world per `config.store` and measure it end to end.
+[[nodiscard]] StudyOutput runStudy(const StudyConfig& config);
+
+/// Measure an existing world (the generator outlives the call).
+[[nodiscard]] StudyOutput runStudy(const store::AppStoreGenerator& generator,
+                                   const DispatcherConfig& dispatcherConfig,
+                                   const std::string& artifactsDirectory = {});
+
+}  // namespace libspector::orch

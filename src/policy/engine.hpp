@@ -1,0 +1,76 @@
+// Per-library network policy (paper §IV-E, "Security").
+//
+// BorderPatrol (the authors' prior system) enforces per-library network
+// policies but needs a-priori knowledge of which library to blacklist;
+// Libspector's measurement output supplies exactly that. This engine is the
+// enforcement half: a rule set over origin-library prefixes and destination
+// domains, evaluated from the live call stack at connect time.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace libspector::policy {
+
+struct PolicyDecision {
+  bool blocked = false;
+  /// Human-readable rule that fired ("library:com.mopub"), empty if allowed.
+  std::string rule;
+};
+
+class PolicyEngine {
+ public:
+  /// Block connections whose origin-library lies under `prefix`
+  /// (hierarchical semantics, like all library matching in Libspector).
+  void blockLibraryPrefix(std::string prefix);
+
+  /// Block connections to an exact destination domain.
+  void blockDomain(std::string domain);
+
+  /// Convenience: blacklist every prefix of Li et al.'s AnT list.
+  void blockAntLibraries();
+
+  /// Rate-limit (rather than outright block) a library: at most
+  /// `maxConnects` connections per sliding `windowMs` window. BorderPatrol
+  /// supports graded enforcement; an ad SDK limited to one fetch per
+  /// minute still serves an ad without draining the data plan.
+  void rateLimitLibrary(std::string prefix, std::size_t maxConnects,
+                        util::SimTimeMs windowMs);
+
+  /// Decide from the live stack trace (innermost first, frame names or
+  /// smali signatures — the same inputs the Socket Supervisor sees) and
+  /// the destination domain. `nowMs` feeds the rate-limit windows; an
+  /// allowed decision counts against them.
+  [[nodiscard]] PolicyDecision evaluate(std::span<const std::string> stackEntries,
+                                        std::string_view domain,
+                                        util::SimTimeMs nowMs = 0);
+
+  /// Decide from an already-extracted origin-library package.
+  [[nodiscard]] PolicyDecision evaluateOrigin(std::string_view originLibrary,
+                                              std::string_view domain,
+                                              util::SimTimeMs nowMs = 0);
+
+  [[nodiscard]] std::size_t ruleCount() const noexcept {
+    return libraryPrefixes_.size() + domains_.size() + rateLimits_.size();
+  }
+
+ private:
+  struct RateLimit {
+    std::string prefix;
+    std::size_t maxConnects = 0;
+    util::SimTimeMs windowMs = 0;
+    std::deque<util::SimTimeMs> recent;  // allowed-connect timestamps
+  };
+
+  std::vector<std::string> libraryPrefixes_;
+  std::vector<std::string> domains_;
+  std::vector<RateLimit> rateLimits_;
+};
+
+}  // namespace libspector::policy

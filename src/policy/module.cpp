@@ -1,0 +1,33 @@
+#include "policy/module.hpp"
+
+#include "core/attribution.hpp"
+
+namespace libspector::policy {
+
+PolicyModule::PolicyModule(PolicyEngine engine)
+    : engine_(std::make_shared<PolicyEngine>(std::move(engine))),
+      log_(std::make_shared<std::vector<BlockedConnection>>()) {}
+
+void PolicyModule::onAppLoaded(rt::Interpreter& runtime, const dex::ApkFile&) {
+  runtime.registerPreConnectHook(
+      [engine = engine_, log = log_](const rt::PreConnectContext& context) {
+        // The live stack at connect time, exactly what the Socket
+        // Supervisor would report for this socket.
+        const auto trace = context.runtime.getStackTrace();
+        std::vector<std::string> entries;
+        entries.reserve(trace.size());
+        for (const auto& frame : trace) entries.push_back(frame.name);
+
+        const PolicyDecision decision = engine->evaluate(
+            entries, context.domain, context.runtime.clock().now());
+        if (!decision.blocked) return true;
+
+        std::string origin;
+        if (const auto index = core::originFrameIndex(entries))
+          origin = core::packageOfEntry(entries[*index]);
+        log->push_back({context.domain, std::move(origin), decision.rule});
+        return false;
+      });
+}
+
+}  // namespace libspector::policy

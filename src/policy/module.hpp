@@ -1,0 +1,42 @@
+// The enforcement Xposed module: installs a pre-connect hook that runs the
+// PolicyEngine over the live stack trace at every connection attempt and
+// vetoes blacklisted traffic before the socket exists. This is the
+// BorderPatrol role, with Libspector's measurement output (which libraries
+// are worth blacklisting) feeding its rule set — the paper's §IV-E loop.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hook/xposed.hpp"
+#include "policy/engine.hpp"
+
+namespace libspector::policy {
+
+/// One blocked connection attempt, for audit logs.
+struct BlockedConnection {
+  std::string domain;
+  std::string originLibrary;
+  std::string rule;
+};
+
+class PolicyModule final : public hook::XposedModule {
+ public:
+  explicit PolicyModule(PolicyEngine engine);
+
+  void onAppLoaded(rt::Interpreter& runtime, const dex::ApkFile& apk) override;
+
+  [[nodiscard]] const PolicyEngine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] std::size_t blockedCount() const noexcept { return log_->size(); }
+  [[nodiscard]] const std::vector<BlockedConnection>& blockedLog() const noexcept {
+    return *log_;
+  }
+
+ private:
+  // Shared with the installed hooks so the module may outlive attachments.
+  std::shared_ptr<PolicyEngine> engine_;
+  std::shared_ptr<std::vector<BlockedConnection>> log_;
+};
+
+}  // namespace libspector::policy

@@ -1,0 +1,95 @@
+#include "radar/ant.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace libspector::radar {
+
+PrefixList::PrefixList(std::vector<std::string_view> prefixes)
+    : prefixes_(std::move(prefixes)) {
+  std::sort(prefixes_.begin(), prefixes_.end());
+}
+
+bool PrefixList::matches(std::string_view package) const {
+  // Listed prefixes that could cover `package` are its ancestors; check each.
+  std::string_view candidate = package;
+  while (!candidate.empty()) {
+    if (std::binary_search(prefixes_.begin(), prefixes_.end(), candidate))
+      return true;
+    const std::size_t dot = candidate.rfind('.');
+    if (dot == std::string_view::npos) break;
+    candidate = candidate.substr(0, dot);
+  }
+  return false;
+}
+
+const PrefixList& antLibraries() {
+  static const PrefixList kList({
+      "com.google.android.gms.ads",
+      "com.google.android.gms.internal.ads",
+      "com.google.ads",
+      "com.facebook.ads",
+      "com.mopub",
+      "com.chartboost.sdk",
+      "com.vungle",
+      "com.applovin",
+      "com.ironsource",
+      "com.adcolony",
+      "com.inmobi",
+      "com.unity3d.ads",
+      "com.millennialmedia",
+      "com.smaato",
+      "com.startapp",
+      "com.tapjoy",
+      "com.fyber",
+      "net.pubnative",
+      "com.amazon.device.ads",
+      "com.mobfox",
+      "com.heyzap",
+      "com.duapps.ad",
+      "com.flurry",
+      "com.crashlytics",
+      "io.fabric",
+      "com.mixpanel",
+      "com.google.android.gms.analytics",
+      "com.google.firebase.analytics",
+      "com.appsflyer",
+      "com.adjust.sdk",
+      "com.localytics",
+      "com.umeng.analytics",
+      "com.kochava",
+      "com.segment.analytics",
+      "com.amplitude",
+  });
+  return kList;
+}
+
+const PrefixList& commonLibraries() {
+  static const PrefixList kList({
+      "okhttp3",
+      "com.squareup",
+      "retrofit2",
+      "com.bumptech.glide",
+      "com.nostra13.universalimageloader",
+      "com.android.volley",
+      "com.loopj.android.http",
+      "com.google.gson",
+      "com.fasterxml.jackson",
+      "org.greenrobot.eventbus",
+      "io.reactivex",
+      "com.google.android.gms.common",
+      "com.google.android.gms.maps",
+      "com.google.firebase",
+      "com.facebook",
+      "com.unity3d.player",
+      "com.airbnb.lottie",
+      "com.github.mikephil.charting",
+      "com.nineoldandroids",
+      "org.apache.commons.io",
+      "org.apache.commons.lang3",
+  });
+  return kList;
+}
+
+}  // namespace libspector::radar

@@ -1,0 +1,39 @@
+// Advertisement/Tracker (AnT) and common-library lists (paper §III-D, §IV-A).
+//
+// The paper augments LibRadar's categories with Li et al.'s curated lists of
+// common advertisement/tracker libraries and the most common libraries
+// overall, and measures (Fig. 6) what fraction of each app's traffic
+// originates from each list.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace libspector::radar {
+
+/// Prefix list membership with hierarchical-prefix semantics.
+class PrefixList {
+ public:
+  explicit PrefixList(std::vector<std::string_view> prefixes);
+
+  /// True when `package` equals or lies underneath any listed prefix.
+  [[nodiscard]] bool matches(std::string_view package) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prefixes_.size(); }
+
+  /// The listed prefixes (sorted). Policy engines seed blacklists from this.
+  [[nodiscard]] const std::vector<std::string_view>& prefixes() const noexcept {
+    return prefixes_;
+  }
+
+ private:
+  std::vector<std::string_view> prefixes_;  // sorted
+};
+
+/// Li et al.'s advertisement/tracker library list.
+[[nodiscard]] const PrefixList& antLibraries();
+
+/// Li et al.'s most-common-library list.
+[[nodiscard]] const PrefixList& commonLibraries();
+
+}  // namespace libspector::radar

@@ -1,0 +1,168 @@
+// The aggregate LibRadar corpus (paper §III-D): well-known Android library
+// prefixes and their categories, as LibRadar would report them across a
+// large app population. Category names follow Fig. 2.
+#include "radar/corpus.hpp"
+
+namespace libspector::radar {
+
+namespace {
+
+struct CorpusRow {
+  const char* prefix;
+  const char* category;
+};
+
+constexpr CorpusRow kBuiltinCorpus[] = {
+    // Advertisement networks
+    {"com.google.android.gms.ads", "Advertisement"},
+    {"com.google.android.gms.internal.ads", "Advertisement"},
+    {"com.google.ads", "Advertisement"},
+    {"com.facebook.ads", "Advertisement"},
+    {"com.mopub.mobileads", "Advertisement"},
+    {"com.mopub.nativeads", "Advertisement"},
+    {"com.chartboost.sdk", "Advertisement"},
+    {"com.chartboost.sdk.impl", "Advertisement"},
+    {"com.vungle.publisher", "Advertisement"},
+    {"com.vungle.warren", "Advertisement"},
+    {"com.applovin.impl.sdk", "Advertisement"},
+    {"com.applovin.adview", "Advertisement"},
+    {"com.ironsource.sdk", "Advertisement"},
+    {"com.ironsource.sdk.precache", "Advertisement"},
+    {"com.ironsource.mediationsdk", "Advertisement"},
+    {"com.adcolony.sdk", "Advertisement"},
+    {"com.inmobi.ads", "Advertisement"},
+    {"com.unity3d.ads", "Advertisement"},
+    {"com.millennialmedia", "Advertisement"},
+    {"com.smaato.soma", "Advertisement"},
+    {"com.startapp.android.publish", "Advertisement"},
+    {"com.tapjoy", "Advertisement"},
+    {"com.fyber", "Advertisement"},
+    {"net.pubnative", "Advertisement"},
+    {"com.amazon.device.ads", "Advertisement"},
+    {"com.mobfox.sdk", "Advertisement"},
+    {"com.heyzap.sdk", "Advertisement"},
+    {"com.duapps.ad", "Advertisement"},
+    // Mobile analytics / trackers
+    {"com.flurry.sdk", "Mobile Analytics"},
+    {"com.flurry.android", "Mobile Analytics"},
+    {"com.crashlytics.android", "Mobile Analytics"},
+    {"io.fabric.sdk.android", "Mobile Analytics"},
+    {"com.mixpanel.android", "Mobile Analytics"},
+    {"com.google.android.gms.analytics", "Mobile Analytics"},
+    {"com.google.firebase.analytics", "Mobile Analytics"},
+    {"com.appsflyer", "Mobile Analytics"},
+    {"com.adjust.sdk", "Mobile Analytics"},
+    {"com.localytics.android", "Mobile Analytics"},
+    {"com.umeng.analytics", "Mobile Analytics"},
+    {"com.kochava.base", "Mobile Analytics"},
+    {"com.segment.analytics", "Mobile Analytics"},
+    {"com.amplitude.api", "Mobile Analytics"},
+    // Development aid (http stacks, image loaders, json, di, ...)
+    {"okhttp3", "Development Aid"},
+    {"okhttp3.internal", "Development Aid"},
+    {"okhttp3.internal.http", "Development Aid"},
+    {"com.squareup.okhttp", "Development Aid"},
+    {"com.squareup.picasso", "Development Aid"},
+    {"com.squareup.retrofit2", "Development Aid"},
+    {"retrofit2", "Development Aid"},
+    {"com.bumptech.glide", "Development Aid"},
+    {"com.bumptech.glide.load.engine.executor", "Development Aid"},
+    {"com.nostra13.universalimageloader", "Development Aid"},
+    {"com.nostra13.universalimageloader.core", "Development Aid"},
+    {"com.android.volley", "Development Aid"},
+    {"com.loopj.android.http", "Development Aid"},
+    {"com.google.gson", "Development Aid"},
+    {"com.fasterxml.jackson", "Development Aid"},
+    {"org.greenrobot.eventbus", "Development Aid"},
+    {"io.reactivex", "Development Aid"},
+    {"rx.internal", "Development Aid"},
+    {"com.amazon.whispersync", "Development Aid"},
+    {"com.amazonaws", "Development Aid"},
+    {"com.github.kittinunf.fuel", "Development Aid"},
+    {"org.jsoup", "Development Aid"},
+    {"com.koushikdutta.async", "Development Aid"},
+    {"com.joanzapata.pdfview", "Development Aid"},
+    {"bestdict.common", "Development Aid"},
+    // Development frameworks
+    {"org.apache.cordova", "Development Framework"},
+    {"com.adobe.phonegap", "Development Framework"},
+    {"io.flutter", "Development Framework"},
+    {"com.facebook.react", "Development Framework"},
+    {"mono.android", "Development Framework"},
+    {"org.xwalk.core", "Development Framework"},
+    // Digital identity / auth
+    {"com.google.android.gms.auth", "Digital Identity"},
+    {"com.facebook.login", "Digital Identity"},
+    {"com.firebase.ui.auth", "Digital Identity"},
+    {"com.auth0.android", "Digital Identity"},
+    {"net.openid.appauth", "Digital Identity"},
+    // GUI components
+    {"com.airbnb.lottie", "GUI Component"},
+    {"com.github.mikephil.charting", "GUI Component"},
+    {"uk.co.senab.photoview", "GUI Component"},
+    {"com.viewpagerindicator", "GUI Component"},
+    {"com.nineoldandroids", "GUI Component"},
+    {"com.daimajia.slider", "GUI Component"},
+    {"me.relex.circleindicator", "GUI Component"},
+    {"com.rey.material", "GUI Component"},
+    // Game engines
+    {"com.unity3d", "Game Engine"},
+    {"com.unity3d.player", "Game Engine"},
+    {"com.unity3d.services", "Game Engine"},
+    {"com.gameloft", "Game Engine"},
+    {"com.gameloft.android", "Game Engine"},
+    {"org.cocos2dx.lib", "Game Engine"},
+    {"com.badlogic.gdx", "Game Engine"},
+    {"com.ansca.corona", "Game Engine"},
+    {"org.andengine", "Game Engine"},
+    {"com.epicgames.ue4", "Game Engine"},
+    // App market
+    {"com.unity3d.plugin.downloader", "App Market"},
+    {"com.android.vending.billing", "App Market"},
+    {"com.google.android.vending.expansion.downloader", "App Market"},
+    {"com.amazon.inapp.purchasing", "App Market"},
+    // Map / location-based services
+    {"com.google.android.gms.maps", "Map/LBS"},
+    {"com.google.android.gms.location", "Map/LBS"},
+    {"com.baidu.mapapi", "Map/LBS"},
+    {"com.amap.api", "Map/LBS"},
+    {"com.mapbox.mapboxsdk", "Map/LBS"},
+    {"org.osmdroid", "Map/LBS"},
+    // Payment
+    {"com.paypal.android.sdk", "Payment"},
+    {"com.stripe.android", "Payment"},
+    {"com.braintreepayments.api", "Payment"},
+    {"com.alipay.sdk", "Payment"},
+    {"com.square.checkout", "Payment"},
+    // Social networks
+    {"com.facebook.internal", "Social Network"},
+    {"com.facebook.share", "Social Network"},
+    {"com.twitter.sdk.android", "Social Network"},
+    {"com.vk.sdk", "Social Network"},
+    {"com.tencent.mm.opensdk", "Social Network"},
+    {"com.linkedin.platform", "Social Network"},
+    {"com.pinterest.android.pdk", "Social Network"},
+    // Utility
+    {"com.evernote.android.job", "Utility"},
+    {"com.google.zxing", "Utility"},
+    {"net.sqlcipher", "Utility"},
+    {"org.apache.commons.io", "Utility"},
+    {"org.apache.commons.lang3", "Utility"},
+    {"com.jakewharton.disklrucache", "Utility"},
+    {"de.greenrobot.dao", "Utility"},
+    {"io.realm", "Utility"},
+    {"com.google.android.gms.common", "Utility"},
+    {"com.google.firebase.messaging", "Utility"},
+    {"com.onesignal", "Utility"},
+    {"com.urbanairship", "Utility"},
+};
+
+}  // namespace
+
+LibraryCorpus LibraryCorpus::builtin() {
+  LibraryCorpus corpus;
+  for (const auto& row : kBuiltinCorpus) corpus.add(row.prefix, row.category);
+  return corpus;
+}
+
+}  // namespace libspector::radar

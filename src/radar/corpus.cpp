@@ -1,0 +1,142 @@
+#include "radar/corpus.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "dex/type_signature.hpp"
+#include "util/strings.hpp"
+
+namespace libspector::radar {
+
+const std::vector<std::string>& libraryCategories() {
+  static const std::vector<std::string> kCategories = {
+      "Advertisement",         "App Market",      "Development Aid",
+      "Development Framework", "Digital Identity", "GUI Component",
+      "Game Engine",           "Map/LBS",         "Mobile Analytics",
+      "Payment",               "Social Network",  "Unknown",
+      "Utility"};
+  return kCategories;
+}
+
+void LibraryCorpus::add(std::string prefix, std::string category) {
+  entries_.emplace(std::move(prefix), std::move(category));
+}
+
+const std::string* LibraryCorpus::categoryOf(std::string_view prefix) const {
+  const auto it = entries_.find(prefix);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string> LibraryCorpus::longestMatchingPrefix(
+    std::string_view package) const {
+  // Candidate prefixes of `package` are its own hierarchical ancestors;
+  // walk from the full name upward and return the first corpus hit.
+  std::string_view candidate = package;
+  while (!candidate.empty()) {
+    if (entries_.find(candidate) != entries_.end())
+      return std::string(candidate);
+    const std::size_t dot = candidate.rfind('.');
+    if (dot == std::string_view::npos) break;
+    candidate = candidate.substr(0, dot);
+  }
+  return std::nullopt;
+}
+
+std::vector<LibraryEntry> LibraryCorpus::entriesUnder(
+    std::string_view prefix) const {
+  std::vector<LibraryEntry> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    const std::string& name = it->first;
+    // Entries sharing the raw prefix are contiguous in the sorted map.
+    if (name.size() < prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0)
+      break;
+    // Keep only hierarchical matches: "com.foo" covers "com.foo.x" but not
+    // "com.fooz" (which still shares the raw prefix).
+    if (util::isHierarchicalPrefix(prefix, name))
+      out.push_back({name, it->second});
+  }
+  return out;
+}
+
+CategoryPrediction LibraryCorpus::predictCategory(
+    std::string_view package) const {
+  CategoryPrediction prediction;
+  const auto prefix = longestMatchingPrefix(package);
+  if (!prefix) {
+    prediction.category = std::string(kUnknownCategory);
+    return prediction;
+  }
+  prediction.matchedPrefix = *prefix;
+  for (const auto& entry : entriesUnder(*prefix)) ++prediction.votes[entry.category];
+
+  int best = 0;
+  for (const auto& [category, count] : prediction.votes) {
+    // std::map iteration is lexicographic, so strict > keeps the
+    // lexicographically smallest category on ties.
+    if (count > best) {
+      best = count;
+      prediction.category = category;
+    }
+  }
+  if (prediction.category.empty())
+    prediction.category = std::string(kUnknownCategory);
+  return prediction;
+}
+
+LibraryCorpus LibraryCorpus::loadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("LibraryCorpus: cannot read " + path);
+  LibraryCorpus corpus;
+  std::string line;
+  std::size_t lineNumber = 0;
+  while (std::getline(in, line)) {
+    ++lineNumber;
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos || comma == 0 || comma + 1 >= line.size())
+      throw std::runtime_error("LibraryCorpus: malformed line " +
+                               std::to_string(lineNumber) + " in " + path);
+    corpus.add(line.substr(0, comma), line.substr(comma + 1));
+  }
+  return corpus;
+}
+
+void LibraryCorpus::saveCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("LibraryCorpus: cannot write " + path);
+  out << "# prefix,category (LibRadar aggregate output)\n";
+  for (const auto& [prefix, category] : entries_)
+    out << prefix << ',' << category << '\n';
+}
+
+std::vector<LibraryEntry> LibraryCorpus::detect(const dex::ApkFile& apk) const {
+  std::unordered_set<std::string> packages;
+  for (const auto& dexFile : apk.dexFiles) {
+    for (const auto& cls : dexFile.classes) {
+      const std::size_t lastDot = cls.dottedName.rfind('.');
+      if (lastDot == std::string::npos) continue;
+      packages.insert(cls.dottedName.substr(0, lastDot));
+    }
+  }
+  std::unordered_set<std::string> matchedPrefixes;
+  for (const auto& package : packages) {
+    if (const auto prefix = longestMatchingPrefix(package))
+      matchedPrefixes.insert(*prefix);
+  }
+  std::vector<LibraryEntry> out;
+  out.reserve(matchedPrefixes.size());
+  for (const auto& prefix : matchedPrefixes) {
+    const std::string* category = categoryOf(prefix);
+    out.push_back({prefix, category != nullptr ? *category
+                                               : std::string(kUnknownCategory)});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.prefix < b.prefix;
+  });
+  return out;
+}
+
+}  // namespace libspector::radar

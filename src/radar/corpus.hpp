@@ -1,0 +1,88 @@
+// LibRadar analogue (paper §III-C, §III-D, Listing 2).
+//
+// LibRadar detects third-party libraries in an apk and maps them to one of
+// 13 categories.  Libspector aggregates LibRadar output across the whole
+// corpus, resolves an arbitrary package name to the longest matching known
+// prefix, and predicts categories for unknown libraries by majority voting
+// over all corpus entries sharing that prefix.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dex/apk.hpp"
+
+namespace libspector::radar {
+
+/// The 13 library categories of Fig. 2.
+[[nodiscard]] const std::vector<std::string>& libraryCategories();
+
+/// Category name for libraries that cannot be categorized.
+inline constexpr std::string_view kUnknownCategory = "Unknown";
+
+struct LibraryEntry {
+  std::string prefix;    // package prefix, e.g. "com.unity3d.ads"
+  std::string category;  // one of libraryCategories()
+
+  [[nodiscard]] bool operator==(const LibraryEntry&) const = default;
+};
+
+/// Result of the Listing-2 category prediction.
+struct CategoryPrediction {
+  std::string category;
+  /// Vote tally, e.g. {Game Engine: 2, Advertisement: 1, App Market: 1}.
+  std::map<std::string, int> votes;
+  /// The corpus prefix the votes were collected under (empty when nothing
+  /// matched and the prediction fell back to Unknown).
+  std::string matchedPrefix;
+};
+
+class LibraryCorpus {
+ public:
+  /// Register a detected library. Re-adding an existing prefix keeps the
+  /// first category (LibRadar output is aggregated, not overwritten).
+  void add(std::string prefix, std::string category);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Exact-prefix category lookup.
+  [[nodiscard]] const std::string* categoryOf(std::string_view prefix) const;
+
+  /// Longest corpus prefix that is a hierarchical prefix of `package`
+  /// ("com.unity3d.ads" for "com.unity3d.ads.android.cache").
+  [[nodiscard]] std::optional<std::string> longestMatchingPrefix(
+      std::string_view package) const;
+
+  /// Listing 2: longest matching prefix, then majority vote across all
+  /// corpus entries underneath it; Unknown when nothing matches.
+  /// Ties break lexicographically for determinism.
+  [[nodiscard]] CategoryPrediction predictCategory(std::string_view package) const;
+
+  /// LibRadar's detection step: corpus entries whose prefix matches some
+  /// class package in the apk.
+  [[nodiscard]] std::vector<LibraryEntry> detect(const dex::ApkFile& apk) const;
+
+  /// All entries sharing a hierarchical prefix, sorted by name.
+  [[nodiscard]] std::vector<LibraryEntry> entriesUnder(std::string_view prefix) const;
+
+  /// A corpus pre-seeded with a realistic set of well-known Android
+  /// libraries (the aggregate LibRadar output the paper builds in §III-D).
+  [[nodiscard]] static LibraryCorpus builtin();
+
+  /// Load entries from a "prefix,category" CSV (one per line, '#' comments
+  /// allowed) — the hand-off format for real LibRadar output. Throws
+  /// std::runtime_error on unreadable files or malformed lines.
+  [[nodiscard]] static LibraryCorpus loadCsv(const std::string& path);
+
+  /// Persist the corpus in the same CSV format.
+  void saveCsv(const std::string& path) const;
+
+ private:
+  // Ordered by prefix so hierarchical scans are range scans.
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace libspector::radar

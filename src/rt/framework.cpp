@@ -1,0 +1,65 @@
+#include "rt/framework.hpp"
+
+#include <array>
+
+namespace libspector::rt {
+
+namespace {
+
+// Outermost -> innermost; mirrors Listing 1 of the paper.
+constexpr std::array<std::string_view, 9> kOkHttpChain = {
+    "com.android.okhttp.internal.huc.HttpURLConnectionImpl.connect",
+    "com.android.okhttp.internal.huc.HttpURLConnectionImpl.execute",
+    "com.android.okhttp.internal.http.HttpEngine.sendRequest",
+    "com.android.okhttp.internal.http.HttpEngine.connect",
+    "com.android.okhttp.OkHttpClient$1.connectAndSetOwner",
+    "com.android.okhttp.Connection.connectAndSetOwner",
+    "com.android.okhttp.Connection.connect",
+    "com.android.okhttp.internal.Platform.connectSocket",
+    "java.net.Socket.connect",
+};
+
+constexpr std::array<std::string_view, 5> kUrlConnectionChain = {
+    "java.net.URL.openConnection",
+    "com.android.okhttp.internal.huc.HttpURLConnectionImpl.getInputStream",
+    "com.android.okhttp.internal.http.HttpEngine.connect",
+    "com.android.okhttp.internal.Platform.connectSocket",
+    "java.net.Socket.connect",
+};
+
+constexpr std::array<std::string_view, 5> kApacheChain = {
+    "org.apache.http.impl.client.AbstractHttpClient.execute",
+    "org.apache.http.impl.client.DefaultRequestDirector.execute",
+    "org.apache.http.impl.conn.AbstractPoolEntry.open",
+    "org.apache.http.impl.conn.DefaultClientConnectionOperator.openConnection",
+    "java.net.Socket.connect",
+};
+
+constexpr std::array<std::string_view, 2> kAsyncTaskChain = {
+    "java.util.concurrent.FutureTask.run",
+    "android.os.AsyncTask$2.call",
+};
+
+constexpr std::array<std::string_view, 4> kSystemThreadChain = {
+    "java.lang.Thread.run",
+    "android.os.Handler.dispatchMessage",
+    "android.webkit.WebViewClient.onLoadResource",
+    "com.android.webview.chromium.WebViewChromium.loadUrl",
+};
+
+}  // namespace
+
+std::span<const std::string_view> engineChain(HttpEngine engine) {
+  switch (engine) {
+    case HttpEngine::OkHttp: return kOkHttpChain;
+    case HttpEngine::UrlConnection: return kUrlConnectionChain;
+    case HttpEngine::ApacheHttp: return kApacheChain;
+  }
+  return kOkHttpChain;
+}
+
+std::span<const std::string_view> asyncTaskChain() { return kAsyncTaskChain; }
+
+std::span<const std::string_view> systemThreadChain() { return kSystemThreadChain; }
+
+}  // namespace libspector::rt

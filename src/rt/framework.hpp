@@ -1,0 +1,31 @@
+// Framework wrapper chains.
+//
+// Android's HTTP plumbing appears in every socket-creating stack trace
+// (Listing 1): okhttp/HttpURLConnection/Apache frames between the app code
+// and java.net.Socket.connect, and AsyncTask/FutureTask frames beneath
+// background work.  These frame-name chains reproduce that structure.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "rt/action.hpp"
+
+namespace libspector::rt {
+
+/// Wrapper frames for an HTTP engine, ordered outermost (called first) to
+/// innermost; the last element is always "java.net.Socket.connect".
+[[nodiscard]] std::span<const std::string_view> engineChain(HttpEngine engine);
+
+/// Frames beneath an AsyncTask body, ordered outermost to innermost:
+/// {"java.util.concurrent.FutureTask.run", "android.os.AsyncTask$2.call"}.
+[[nodiscard]] std::span<const std::string_view> asyncTaskChain();
+
+/// Frames of a framework-owned thread issuing traffic with no app code on
+/// the stack (system WebView fetching ad content).
+[[nodiscard]] std::span<const std::string_view> systemThreadChain();
+
+/// The frame name every socket post-hook is keyed on.
+inline constexpr std::string_view kSocketConnectFrame = "java.net.Socket.connect";
+
+}  // namespace libspector::rt

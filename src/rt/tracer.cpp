@@ -1,0 +1,27 @@
+#include "rt/tracer.hpp"
+
+namespace libspector::rt {
+
+RingBufferTracer::RingBufferTracer(std::size_t capacity) : capacity_(capacity) {
+  buffer_.reserve(capacity);
+}
+
+void RingBufferTracer::onMethodEntry(std::string_view signature) {
+  if (buffer_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  buffer_.emplace_back(signature);
+}
+
+std::vector<std::string> RingBufferTracer::traceFile() const { return buffer_; }
+
+void UniqueMethodTracer::onMethodEntry(std::string_view signature) {
+  ++totalEntries_;
+  auto [it, inserted] = seen_.emplace(signature);
+  if (inserted) order_.emplace_back(*it);
+}
+
+std::vector<std::string> UniqueMethodTracer::traceFile() const { return order_; }
+
+}  // namespace libspector::rt

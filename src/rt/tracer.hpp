@@ -1,0 +1,64 @@
+// Method tracing (the Android Profiler role, paper §II-B1).
+//
+// The stock profiler stores every method *call* into a fixed user-specified
+// buffer, which fills within seconds; Libspector's ART modification records
+// each unique method only on its first invocation.  Both variants are
+// implemented so the ablation bench can quantify the difference.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace libspector::rt {
+
+/// Receives one event per method entry. App methods report their full type
+/// signature, framework methods their frame name.
+class MethodTracer {
+ public:
+  virtual ~MethodTracer() = default;
+
+  virtual void onMethodEntry(std::string_view signature) = 0;
+
+  /// The method trace file written at the end of an experiment: the list of
+  /// recorded entries (semantics depend on the tracer variant).
+  [[nodiscard]] virtual std::vector<std::string> traceFile() const = 0;
+
+  /// Entries that could not be recorded (buffer exhaustion).
+  [[nodiscard]] virtual std::size_t droppedCount() const noexcept = 0;
+};
+
+/// Stock behaviour: bounded buffer, records repeated calls, drops on overflow.
+class RingBufferTracer final : public MethodTracer {
+ public:
+  explicit RingBufferTracer(std::size_t capacity);
+
+  void onMethodEntry(std::string_view signature) override;
+  [[nodiscard]] std::vector<std::string> traceFile() const override;
+  [[nodiscard]] std::size_t droppedCount() const noexcept override { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::string> buffer_;
+  std::size_t dropped_ = 0;
+};
+
+/// The paper's modification: one record per unique method, never drops.
+class UniqueMethodTracer final : public MethodTracer {
+ public:
+  void onMethodEntry(std::string_view signature) override;
+  [[nodiscard]] std::vector<std::string> traceFile() const override;
+  [[nodiscard]] std::size_t droppedCount() const noexcept override { return 0; }
+
+  [[nodiscard]] std::size_t uniqueCount() const noexcept { return seen_.size(); }
+  [[nodiscard]] std::size_t totalEntries() const noexcept { return totalEntries_; }
+
+ private:
+  std::unordered_set<std::string> seen_;
+  std::vector<std::string> order_;  // first-invocation order
+  std::size_t totalEntries_ = 0;
+};
+
+}  // namespace libspector::rt

@@ -1,0 +1,507 @@
+#include "store/catalog.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace libspector::store {
+
+const std::vector<std::string>& appCategories() {
+  // Fig. 2's x-axis (49 categories).
+  static const std::vector<std::string> kCategories = {
+      "NEWS_AND_MAGAZINES", "MUSIC_AND_AUDIO",   "GAME_SIMULATION",
+      "SPORTS",             "BOOKS_AND_REFERENCE", "GAME_PUZZLE",
+      "GAME_ACTION",        "EDUCATION",          "ART_AND_DESIGN",
+      "GAME_RACING",        "GAME_ARCADE",        "GAME_ADVENTURE",
+      "PERSONALIZATION",    "ENTERTAINMENT",      "GAME_WORD",
+      "GAME_CASUAL",        "GAME_STRATEGY",      "FOOD_AND_DRINK",
+      "TOOLS",              "GAME_BOARD",         "GAME_TRIVIA",
+      "GAME_CASINO",        "GAME_SPORTS",        "VIDEO_PLAYERS",
+      "COMICS",             "GAME_ROLE_PLAYING",  "MEDICAL",
+      "GAME_CARD",          "LIFESTYLE",          "GAME_EDUCATIONAL",
+      "SHOPPING",           "HEALTH_AND_FITNESS", "PHOTOGRAPHY",
+      "BEAUTY",             "TRAVEL_AND_LOCAL",   "LIBRARIES_AND_DEMO",
+      "WEATHER",            "HOUSE_AND_HOME",     "COMMUNICATION",
+      "EVENTS",             "GAME_MUSIC",         "SOCIAL",
+      "MAPS_AND_NAVIGATION", "PRODUCTIVITY",      "BUSINESS",
+      "PARENTING",          "AUTO_AND_VEHICLES",  "FINANCE",
+      "DATING"};
+  return kCategories;
+}
+
+CategoryClass classOf(std::string_view appCategory) {
+  if (appCategory.starts_with("GAME_")) return CategoryClass::Game;
+  static const std::unordered_map<std::string_view, CategoryClass> kMap = {
+      {"NEWS_AND_MAGAZINES", CategoryClass::Media},
+      {"MUSIC_AND_AUDIO", CategoryClass::Media},
+      {"SPORTS", CategoryClass::Media},
+      {"BOOKS_AND_REFERENCE", CategoryClass::Media},
+      {"ENTERTAINMENT", CategoryClass::Media},
+      {"VIDEO_PLAYERS", CategoryClass::Media},
+      {"COMICS", CategoryClass::Media},
+      {"SOCIAL", CategoryClass::Social},
+      {"COMMUNICATION", CategoryClass::Social},
+      {"DATING", CategoryClass::Social},
+      {"EVENTS", CategoryClass::Social},
+      {"SHOPPING", CategoryClass::Commerce},
+      {"FINANCE", CategoryClass::Commerce},
+      {"BUSINESS", CategoryClass::Commerce},
+      {"PRODUCTIVITY", CategoryClass::Commerce},
+      {"TOOLS", CategoryClass::Commerce},
+      {"HEALTH_AND_FITNESS", CategoryClass::Lifestyle},
+      {"BEAUTY", CategoryClass::Lifestyle},
+      {"LIFESTYLE", CategoryClass::Lifestyle},
+      {"TRAVEL_AND_LOCAL", CategoryClass::Lifestyle},
+      {"FOOD_AND_DRINK", CategoryClass::Lifestyle},
+      {"PARENTING", CategoryClass::Lifestyle},
+      {"HOUSE_AND_HOME", CategoryClass::Lifestyle},
+      {"MEDICAL", CategoryClass::Lifestyle},
+      {"AUTO_AND_VEHICLES", CategoryClass::Lifestyle},
+  };
+  const auto it = kMap.find(appCategory);
+  return it == kMap.end() ? CategoryClass::Other : it->second;
+}
+
+const std::vector<LibraryProfile>& libraryProfiles() {
+  using Mix = std::vector<std::pair<std::string_view, double>>;
+  static const Mix kAdMix = {{"advertisements", 0.38}, {"cdn", 0.30},
+                             {"business_and_finance", 0.14}, {"info_tech", 0.09},
+                             {"entertainment", 0.04}, {"unknown", 0.05}};
+  static const Mix kAnalyticsMix = {{"analytics", 0.33}, {"business_and_finance", 0.30},
+                                    {"info_tech", 0.14}, {"internet_services", 0.11},
+                                    {"unknown", 0.12}};
+  static const Mix kDevAidMix = {{"advertisements", 0.18}, {"business_and_finance", 0.14},
+                                 {"cdn", 0.14}, {"unknown", 0.14}, {"info_tech", 0.08},
+                                 {"entertainment", 0.07}, {"education", 0.04},
+                                 {"news", 0.03}, {"lifestyle", 0.04},
+                                 {"internet_services", 0.06}, {"communication", 0.03},
+                                 {"adult", 0.01}, {"social_networks", 0.01},
+                                 {"health", 0.01}, {"games", 0.01}};
+  static const Mix kEngineMix = {{"games", 0.46}, {"cdn", 0.24}, {"advertisements", 0.08},
+                                 {"info_tech", 0.08}, {"internet_services", 0.08},
+                                 {"business_and_finance", 0.06}};
+  static const Mix kSocialMix = {{"social_networks", 0.42}, {"cdn", 0.14},
+                                 {"business_and_finance", 0.10}, {"info_tech", 0.12},
+                                 {"unknown", 0.16}, {"advertisements", 0.06}};
+  static const Mix kPaymentMix = {{"business_and_finance", 0.66},
+                                  {"internet_services", 0.18}, {"info_tech", 0.16}};
+  static const Mix kMapMix = {{"internet_services", 0.28}, {"info_tech", 0.26},
+                              {"business_and_finance", 0.20}, {"cdn", 0.26}};
+  static const Mix kIdentityMix = {{"internet_services", 0.42},
+                                   {"business_and_finance", 0.28}, {"info_tech", 0.30}};
+  static const Mix kGuiMix = {{"cdn", 0.40}, {"info_tech", 0.30}, {"unknown", 0.30}};
+  static const Mix kUtilityMix = {{"communication", 0.24}, {"info_tech", 0.24},
+                                  {"internet_services", 0.20},
+                                  {"business_and_finance", 0.16}, {"unknown", 0.16}};
+  static const Mix kFrameworkMix = {{"info_tech", 0.5}, {"internet_services", 0.3},
+                                    {"unknown", 0.2}};
+  static const Mix kMarketMix = {{"business_and_finance", 0.6}, {"internet_services", 0.4}};
+
+  static const std::vector<LibraryProfile> kProfiles = {
+      // --- Advertisement networks -----------------------------------------
+      {"com.google.android.gms.ads", "Advertisement",
+       {"com.google.android.gms.internal.ads", "com.google.android.gms.ads.internal"},
+       kAdMix, 5, 0.42, 0.75, 2.68, 120, 350, 6000},
+      {"com.facebook.ads", "Advertisement",
+       {"com.facebook.ads.internal", "com.facebook.ads.internal.network"},
+       kAdMix, 4, 0.24, 0.7, 2.14, 120, 350, 3500},
+      {"com.mopub.mobileads", "Advertisement",
+       {"com.mopub.mobileads", "com.mopub.network"},
+       kAdMix, 3, 0.16, 0.65, 1.88, 120, 350, 2500},
+      {"com.chartboost.sdk", "Advertisement",
+       {"com.chartboost.sdk.impl"},
+       kAdMix, 3, 0.12, 0.7, 2.01, 120, 350, 1800},
+      {"com.vungle", "Advertisement",
+       {"com.vungle.publisher", "com.vungle.warren.network"},
+       kAdMix, 3, 0.10, 0.7, 2.27, 120, 350, 2200},
+      {"com.applovin", "Advertisement",
+       {"com.applovin.impl.sdk", "com.applovin.adview"},
+       kAdMix, 3, 0.10, 0.65, 1.75, 120, 350, 2400},
+      {"com.ironsource", "Advertisement",
+       {"com.ironsource.sdk.precache", "com.ironsource.mediationsdk"},
+       kAdMix, 3, 0.09, 0.65, 1.75, 120, 350, 2000},
+      {"com.adcolony.sdk", "Advertisement",
+       {"com.adcolony.sdk"},
+       kAdMix, 2, 0.07, 0.6, 1.61, 120, 350, 1500},
+      {"com.inmobi.ads", "Advertisement",
+       {"com.inmobi.ads", "com.inmobi.rendering"},
+       kAdMix, 2, 0.05, 0.6, 1.47, 120, 350, 1600},
+      {"com.unity3d.ads", "Advertisement",
+       {"com.unity3d.ads.android.cache", "com.unity3d.ads.cache"},
+       kAdMix, 3, 0.08, 0.75, 2.41, 120, 350, 1400},
+      {"com.tapjoy", "Advertisement",
+       {"com.tapjoy.internal"},
+       kAdMix, 2, 0.05, 0.6, 1.34, 120, 350, 1300},
+      {"com.startapp.android.publish", "Advertisement",
+       {"com.startapp.android.publish.network"},
+       kAdMix, 2, 0.04, 0.6, 1.34, 120, 350, 1200},
+      // --- Mobile analytics -------------------------------------------------
+      {"com.google.firebase.analytics", "Mobile Analytics",
+       {"com.google.firebase.analytics.connector"},
+       kAnalyticsMix, 2, 0.40, 0.9, 2.92, 400, 3200, 1800},
+      {"com.google.android.gms.analytics", "Mobile Analytics",
+       {"com.google.android.gms.analytics.internal"},
+       kAnalyticsMix, 2, 0.28, 0.85, 2.27, 400, 2800, 1600},
+      {"com.crashlytics.android", "Mobile Analytics",
+       {"com.crashlytics.android.core"},
+       kAnalyticsMix, 2, 0.30, 0.8, 1.16, 2000, 24000, 1200},
+      {"com.flurry", "Mobile Analytics",
+       {"com.flurry.sdk"},
+       kAnalyticsMix, 2, 0.16, 0.8, 1.68, 300, 900, 1400},
+      {"com.appsflyer", "Mobile Analytics",
+       {"com.appsflyer.internal"},
+       kAnalyticsMix, 2, 0.12, 0.8, 1.42, 300, 900, 900},
+      {"com.mixpanel.android", "Mobile Analytics",
+       {"com.mixpanel.android.mpmetrics"},
+       kAnalyticsMix, 2, 0.08, 0.75, 1.30, 300, 900, 900},
+      {"com.adjust.sdk", "Mobile Analytics",
+       {"com.adjust.sdk.network"},
+       kAnalyticsMix, 2, 0.08, 0.75, 1.16, 300, 900, 700},
+      // --- Development aid (transports & loaders) --------------------------
+      {"okhttp3", "Development Aid",
+       {"okhttp3.internal.http", "okhttp3.internal.connection"},
+       kDevAidMix, 4, 0.52, 0.4, 5.75, 500, 2000, 2400},
+      {"com.android.volley", "Development Aid",
+       {"com.android.volley", "com.android.volley.toolbox"},
+       kDevAidMix, 3, 0.32, 0.35, 4.22, 500, 2000, 1200},
+      {"com.squareup.picasso", "Development Aid",
+       {"com.squareup.picasso"},
+       kDevAidMix, 3, 0.30, 0.25, 3.83, 500, 1800, 900},
+      {"com.bumptech.glide", "Development Aid",
+       {"com.bumptech.glide.load.engine.executor"},
+       kDevAidMix, 3, 0.42, 0.25, 4.22, 500, 1800, 2600},
+      {"com.nostra13.universalimageloader", "Development Aid",
+       {"com.nostra13.universalimageloader.core"},
+       kDevAidMix, 3, 0.18, 0.25, 3.44, 500, 1800, 1100},
+      {"com.loopj.android.http", "Development Aid",
+       {"com.loopj.android.http"},
+       kDevAidMix, 2, 0.12, 0.3, 2.68, 500, 1800, 700},
+      {"com.amazon.whispersync", "Development Aid",
+       {"com.amazon.whispersync.dcp"},
+       kDevAidMix, 2, 0.08, 0.5, 2.68, 500, 2000, 1500},
+      {"bestdict.common", "Development Aid",
+       {"bestdict.common.net"},
+       kDevAidMix, 2, 0.03, 0.5, 3.07, 500, 1800, 500},
+      // --- Game engines ------------------------------------------------------
+      {"com.unity3d.player", "Game Engine",
+       {"com.unity3d.player"},
+       kEngineMix, 4, 0.30, 0.8, 0.06, 250, 600, 3200},
+      {"com.gameloft", "Game Engine",
+       {"com.gameloft.android.packager"},
+       kEngineMix, 3, 0.06, 0.8, 0.06, 250, 600, 2400},
+      {"org.cocos2dx.lib", "Game Engine",
+       {"org.cocos2dx.lib"},
+       kEngineMix, 2, 0.10, 0.7, 0.04, 250, 600, 1800},
+      {"com.badlogic.gdx", "Game Engine",
+       {"com.badlogic.gdx.net"},
+       kEngineMix, 2, 0.08, 0.6, 0.03, 250, 600, 1600},
+      // --- Social networks --------------------------------------------------
+      {"com.facebook.internal", "Social Network",
+       {"com.facebook.internal", "com.facebook.share.internal"},
+       kSocialMix, 3, 0.26, 0.5, 0.66, 500, 26000, 2800},
+      {"com.twitter.sdk.android", "Social Network",
+       {"com.twitter.sdk.android.core"},
+       kSocialMix, 2, 0.08, 0.4, 0.44, 400, 1500, 1200},
+      {"com.vk.sdk", "Social Network",
+       {"com.vk.sdk.api"},
+       kSocialMix, 2, 0.04, 0.4, 0.38, 400, 1500, 800},
+      // --- Payment -----------------------------------------------------------
+      {"com.paypal.android.sdk", "Payment",
+       {"com.paypal.android.sdk.payments"},
+       kPaymentMix, 2, 0.08, 0.35, 1.82, 400, 1600, 1100},
+      {"com.stripe.android", "Payment",
+       {"com.stripe.android.net"},
+       kPaymentMix, 2, 0.07, 0.35, 1.66, 400, 1500, 700},
+      {"com.braintreepayments.api", "Payment",
+       {"com.braintreepayments.api.internal"},
+       kPaymentMix, 2, 0.06, 0.35, 1.49, 400, 1500, 800},
+      // --- Map / LBS ----------------------------------------------------------
+      {"com.google.android.gms.maps", "Map/LBS",
+       {"com.google.android.gms.maps.internal"},
+       kMapMix, 2, 0.14, 0.5, 0.60, 400, 1300, 2200},
+      {"com.mapbox.mapboxsdk", "Map/LBS",
+       {"com.mapbox.mapboxsdk.http"},
+       kMapMix, 2, 0.05, 0.5, 0.50, 400, 1300, 1400},
+      // --- Digital identity ---------------------------------------------------
+      {"com.google.android.gms.auth", "Digital Identity",
+       {"com.google.android.gms.auth.api"},
+       kIdentityMix, 2, 0.20, 0.55, 0.43, 400, 1400, 1300},
+      {"com.facebook.login", "Digital Identity",
+       {"com.facebook.login"},
+       kIdentityMix, 2, 0.12, 0.5, 0.36, 400, 1400, 700},
+      // --- GUI components ------------------------------------------------------
+      {"com.airbnb.lottie", "GUI Component",
+       {"com.airbnb.lottie.network"},
+       kGuiMix, 2, 0.24, 0.35, 0.72, 200, 500, 1400},
+      {"com.github.mikephil.charting", "GUI Component",
+       {"com.github.mikephil.charting.data"},
+       kGuiMix, 1, 0.16, 0.25, 0.50, 200, 500, 1100},
+      // --- Utility --------------------------------------------------------------
+      {"com.onesignal", "Utility",
+       {"com.onesignal"},
+       kUtilityMix, 2, 0.30, 0.7, 3.01, 350, 1200, 900},
+      {"com.urbanairship", "Utility",
+       {"com.urbanairship.push"},
+       kUtilityMix, 2, 0.12, 0.6, 2.67, 350, 1200, 1100},
+      {"com.google.firebase.messaging", "Utility",
+       {"com.google.firebase.messaging"},
+       kUtilityMix, 2, 0.38, 0.6, 2.67, 350, 1200, 1000},
+      // --- Development frameworks -------------------------------------------
+      {"org.apache.cordova", "Development Framework",
+       {"org.apache.cordova"},
+       kFrameworkMix, 1, 0.06, 0.2, 0.32, 300, 1200, 1600},
+      {"com.facebook.react", "Development Framework",
+       {"com.facebook.react.modules.network"},
+       kFrameworkMix, 1, 0.06, 0.2, 0.32, 300, 1200, 2400},
+      // --- App market -----------------------------------------------------------
+      {"com.android.vending.billing", "App Market",
+       {"com.android.vending.billing"},
+       kMarketMix, 1, 0.18, 0.1, 0.04, 300, 1000, 300},
+      {"com.unity3d.plugin.downloader", "App Market",
+       {"com.unity3d.plugin.downloader"},
+       kMarketMix, 1, 0.04, 0.2, 0.06, 300, 1200, 400},
+  };
+  return kProfiles;
+}
+
+double inclusionProbability(CategoryClass cls, const LibraryProfile& profile) {
+  // Per-class multiplier over the profile's base inclusion probability.
+  double multiplier = 1.0;
+  const std::string_view category = profile.radarCategory;
+  switch (cls) {
+    case CategoryClass::Game:
+      if (category == "Advertisement") multiplier = 2.1;
+      else if (category == "Game Engine") multiplier = 3.4;
+      else if (category == "App Market") multiplier = 2.0;
+      else if (category == "Development Aid") multiplier = 0.6;
+      else if (category == "Payment") multiplier = 0.4;
+      else if (category == "Map/LBS") multiplier = 0.1;
+      break;
+    case CategoryClass::Media:
+      if (category == "Development Aid") multiplier = 1.8;
+      else if (category == "Advertisement") multiplier = 1.5;
+      else if (category == "Game Engine") multiplier = 0.05;
+      else if (category == "GUI Component") multiplier = 1.4;
+      break;
+    case CategoryClass::Social:
+      if (category == "Social Network") multiplier = 3.0;
+      else if (category == "Digital Identity") multiplier = 2.0;
+      else if (category == "Development Aid") multiplier = 1.5;
+      else if (category == "Game Engine") multiplier = 0.05;
+      break;
+    case CategoryClass::Commerce:
+      if (category == "Payment") multiplier = 4.0;
+      else if (category == "Advertisement") multiplier = 0.6;
+      else if (category == "Game Engine") multiplier = 0.02;
+      else if (category == "Digital Identity") multiplier = 1.6;
+      break;
+    case CategoryClass::Lifestyle:
+      if (category == "Map/LBS") multiplier = 2.4;
+      else if (category == "Game Engine") multiplier = 0.03;
+      else if (category == "Advertisement") multiplier = 1.1;
+      break;
+    case CategoryClass::Other:
+      if (category == "Game Engine") multiplier = 0.05;
+      break;
+  }
+  const double p = profile.inclusionBase * multiplier;
+  return p > 0.95 ? 0.95 : p;
+}
+
+double ResponseProfile::meanBytes() const {
+  return std::exp(logMu + logSigma * logSigma / 2.0);
+}
+
+ResponseProfile responseProfileFor(std::string_view genericCategory) {
+  static const std::unordered_map<std::string_view, ResponseProfile> kProfiles = {
+      {"advertisements", {10.2, 1.0, 512, 600 * 1024}},
+      {"analytics", {7.0, 0.9, 128, 16 * 1024}},
+      {"cdn", {11.6, 1.3, 4 * 1024, 8 * 1024 * 1024}},
+      {"games", {11.6, 1.4, 2 * 1024, 12 * 1024 * 1024}},
+      {"entertainment", {11.6, 1.35, 2 * 1024, 10 * 1024 * 1024}},
+      {"news", {11.0, 1.15, 1024, 4 * 1024 * 1024}},
+      {"business_and_finance", {9.8, 1.1, 256, 2 * 1024 * 1024}},
+      {"info_tech", {9.7, 1.1, 256, 2 * 1024 * 1024}},
+      {"internet_services", {9.4, 1.0, 256, 1024 * 1024}},
+      {"social_networks", {10.6, 1.1, 512, 3 * 1024 * 1024}},
+      {"communication", {9.2, 1.0, 256, 1024 * 1024}},
+      {"education", {10.1, 1.0, 512, 2 * 1024 * 1024}},
+      {"lifestyle", {9.9, 1.0, 512, 2 * 1024 * 1024}},
+      {"health", {9.4, 1.0, 256, 1024 * 1024}},
+      {"adult", {10.6, 1.1, 512, 3 * 1024 * 1024}},
+      {"malicious", {8.0, 1.0, 128, 256 * 1024}},
+      {"unknown", {9.5, 1.1, 128, 2 * 1024 * 1024}},
+  };
+  const auto it = kProfiles.find(genericCategory);
+  return it == kProfiles.end() ? ResponseProfile{} : it->second;
+}
+
+std::vector<double> requestWeightsFromByteMix(
+    const std::vector<std::pair<std::string_view, double>>& mix) {
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const auto& [category, byteShare] : mix)
+    weights.push_back(byteShare / responseProfileFor(category).meanBytes());
+  return weights;
+}
+
+double appCountWeight(std::string_view appCategory) {
+  static const std::unordered_map<std::string_view, double> kWeights = {
+      {"MUSIC_AND_AUDIO", 2.2}, {"NEWS_AND_MAGAZINES", 2.2},
+      {"SPORTS", 1.8},          {"BOOKS_AND_REFERENCE", 1.8},
+      {"EDUCATION", 1.7},       {"ENTERTAINMENT", 1.6},
+      {"PERSONALIZATION", 1.5}, {"TOOLS", 1.5},
+      {"ART_AND_DESIGN", 1.3},  {"VIDEO_PLAYERS", 1.1},
+      {"FOOD_AND_DRINK", 1.1},  {"COMICS", 0.9},
+      {"LIFESTYLE", 0.9},       {"SHOPPING", 0.9},
+      {"HEALTH_AND_FITNESS", 0.9}, {"PHOTOGRAPHY", 0.8},
+      {"BEAUTY", 0.8},          {"TRAVEL_AND_LOCAL", 0.8},
+      {"MEDICAL", 0.9},         {"LIBRARIES_AND_DEMO", 0.7},
+      {"WEATHER", 0.7},         {"HOUSE_AND_HOME", 0.7},
+      {"COMMUNICATION", 0.7},   {"EVENTS", 0.6},
+      {"SOCIAL", 0.6},          {"MAPS_AND_NAVIGATION", 0.5},
+      {"PRODUCTIVITY", 0.5},    {"BUSINESS", 0.5},
+      {"PARENTING", 0.4},       {"AUTO_AND_VEHICLES", 0.4},
+      {"FINANCE", 0.4},         {"DATING", 0.3},
+  };
+  if (appCategory.starts_with("GAME_")) {
+    // 19 game categories, decaying from simulation/puzzle/action to music.
+    static const std::unordered_map<std::string_view, double> kGames = {
+        {"GAME_SIMULATION", 2.0}, {"GAME_PUZZLE", 1.9}, {"GAME_ACTION", 1.9},
+        {"GAME_RACING", 1.5},     {"GAME_ARCADE", 1.5}, {"GAME_ADVENTURE", 1.4},
+        {"GAME_WORD", 1.2},       {"GAME_CASUAL", 1.2}, {"GAME_STRATEGY", 1.2},
+        {"GAME_BOARD", 1.0},      {"GAME_TRIVIA", 1.0}, {"GAME_CASINO", 1.0},
+        {"GAME_SPORTS", 1.0},     {"GAME_ROLE_PLAYING", 0.9},
+        {"GAME_CARD", 0.8},       {"GAME_EDUCATIONAL", 0.7},
+        {"GAME_MUSIC", 0.6}};
+    const auto it = kGames.find(appCategory);
+    return it == kGames.end() ? 1.0 : it->second;
+  }
+  const auto it = kWeights.find(appCategory);
+  return it == kWeights.end() ? 1.0 : it->second;
+}
+
+double contentIntensity(std::string_view appCategory) {
+  static const std::unordered_map<std::string_view, double> kIntensity = {
+      {"MUSIC_AND_AUDIO", 3.2},    {"NEWS_AND_MAGAZINES", 3.0},
+      {"SPORTS", 2.2},             {"BOOKS_AND_REFERENCE", 1.9},
+      {"LIBRARIES_AND_DEMO", 1.8}, {"EDUCATION", 1.7},
+      {"EVENTS", 1.6},             {"PERSONALIZATION", 1.5},
+      {"ENTERTAINMENT", 1.5},      {"COMICS", 1.4},
+      {"ART_AND_DESIGN", 1.3},     {"TOOLS", 1.2},
+      {"VIDEO_PLAYERS", 1.2},      {"FOOD_AND_DRINK", 1.1},
+      {"MEDICAL", 1.0},            {"SOCIAL", 0.9},
+      {"BEAUTY", 0.9},             {"LIFESTYLE", 0.9},
+      {"SHOPPING", 0.8},           {"HOUSE_AND_HOME", 0.8},
+      {"PHOTOGRAPHY", 0.8},        {"HEALTH_AND_FITNESS", 0.8},
+      {"TRAVEL_AND_LOCAL", 0.7},   {"WEATHER", 0.7},
+      {"COMMUNICATION", 0.6},      {"PARENTING", 0.5},
+      {"AUTO_AND_VEHICLES", 0.5},  {"MAPS_AND_NAVIGATION", 0.5},
+      {"BUSINESS", 0.4},           {"PRODUCTIVITY", 0.4},
+      {"FINANCE", 0.35},           {"DATING", 0.3},
+  };
+  if (appCategory.starts_with("GAME_")) return 1.0;  // engines drive games
+  const auto it = kIntensity.find(appCategory);
+  return it == kIntensity.end() ? 1.0 : it->second;
+}
+
+UserAgentProfile userAgentProfileFor(std::string_view libraryPrefix) {
+  // Identifying UA strings modeled on the real SDKs; identifyProb reflects
+  // how often each SDK labels its traffic instead of riding the platform
+  // HTTP stack's default UA. Prior work's UA-based attribution only sees
+  // the identifying fraction (the paper's critique in its introduction).
+  struct Row {
+    std::string_view prefix;
+    UserAgentProfile profile;
+  };
+  static constexpr Row kRows[] = {
+      {"com.google.android.gms.ads", {"GoogleAds-SDK/19 (Android)", 0.55}},
+      {"com.facebook.ads", {"FBAudienceNetwork/5.6 AN-SDK", 0.60}},
+      {"com.mopub.mobileads", {"MoPubSDK/5.4 (Android)", 0.50}},
+      {"com.chartboost.sdk", {"Chartboost-Android-SDK 7.5", 0.65}},
+      {"com.vungle", {"VungleAmazon/6.3 VungleDroid", 0.62}},
+      {"com.applovin", {"AppLovinSdk/9.0 (Android)", 0.45}},
+      {"com.ironsource", {"ironSourceSDK/6.10 Android", 0.40}},
+      {"com.adcolony.sdk", {"AdColony/4.1 (Android)", 0.55}},
+      {"com.inmobi.ads", {"InMobi/9.0 (Android)", 0.50}},
+      {"com.unity3d.ads", {"UnityAds/3.4 Android", 0.60}},
+      {"com.tapjoy", {"Tapjoy/12.4 (Android)", 0.45}},
+      {"com.startapp.android.publish", {"StartAppSDK/4.6", 0.40}},
+      {"com.google.firebase.analytics", {"Firebase-Analytics/17", 0.30}},
+      {"com.google.android.gms.analytics", {"GoogleAnalytics/3.0 (Android)", 0.40}},
+      {"com.crashlytics.android", {"Crashlytics Android SDK/2.10", 0.50}},
+      {"com.flurry", {"FlurryAgent/11.4 Android", 0.45}},
+      {"com.appsflyer", {"AppsFlyer/4.10 (Android)", 0.40}},
+      {"com.mixpanel.android", {"Mixpanel/5.6 (Android)", 0.35}},
+      {"com.adjust.sdk", {"Adjust/4.18 (Android)", 0.40}},
+      {"okhttp3", {"okhttp/3.12.0", 0.80}},
+      {"com.android.volley", {"Volley/1.1 (Linux; Android 7.1.1)", 0.35}},
+      {"com.squareup.picasso", {"Picasso/2.71", 0.25}},
+      {"com.bumptech.glide", {"", 0.0}},  // Glide rides the transport UA
+      {"com.nostra13.universalimageloader", {"UniversalImageLoader/1.9", 0.20}},
+      {"com.loopj.android.http", {"android-async-http/1.4", 0.55}},
+      {"com.unity3d.player", {"UnityPlayer/2019.2 (UnityWebRequest)", 0.70}},
+      {"com.gameloft", {"Gameloft/GLiveHTML (Android)", 0.40}},
+      {"com.facebook.internal", {"FBAndroidSDK.5.5", 0.50}},
+      {"com.twitter.sdk.android", {"TwitterAndroidSDK/3.3", 0.45}},
+      {"com.paypal.android.sdk", {"PayPalSDK/2.15 (Android)", 0.55}},
+      {"com.stripe.android", {"Stripe/v1 AndroidBindings/14", 0.60}},
+      {"com.onesignal", {"OneSignal/3.12 (Android)", 0.35}},
+      {"com.urbanairship", {"UrbanAirshipLib-android/9.7", 0.35}},
+  };
+  for (const auto& row : kRows) {
+    if (libraryPrefix == row.prefix ||
+        (libraryPrefix.size() > row.prefix.size() &&
+         libraryPrefix.starts_with(row.prefix) &&
+         libraryPrefix[row.prefix.size()] == '.'))
+      return row.profile;
+  }
+  return {"", 0.0};
+}
+
+std::string_view requestPathFor(std::string_view radarCategory) {
+  if (radarCategory == "Advertisement") return "/ads/v2/fetch";
+  if (radarCategory == "Mobile Analytics") return "/v1/events/batch";
+  if (radarCategory == "Development Aid") return "/content/assets";
+  if (radarCategory == "Game Engine") return "/bundles/download";
+  if (radarCategory == "Social Network") return "/graph/v4/me";
+  if (radarCategory == "Payment") return "/v1/checkout";
+  if (radarCategory == "Map/LBS") return "/tiles/v5";
+  if (radarCategory == "Digital Identity") return "/oauth2/token";
+  if (radarCategory == "GUI Component") return "/assets/animations";
+  if (radarCategory == "Utility") return "/push/register";
+  if (radarCategory == "Development Framework") return "/bridge/rpc";
+  if (radarCategory == "App Market") return "/billing/v3/skus";
+  return "/api/v1/data";
+}
+
+const std::vector<std::pair<std::string_view, double>>& firstPartyDestinationMix(
+    CategoryClass cls) {
+  using Mix = std::vector<std::pair<std::string_view, double>>;
+  static const Mix kGame = {{"games", 0.30}, {"business_and_finance", 0.18},
+                            {"cdn", 0.14}, {"info_tech", 0.16}, {"unknown", 0.22}};
+  static const Mix kMedia = {{"entertainment", 0.26}, {"news", 0.20}, {"cdn", 0.16},
+                             {"business_and_finance", 0.10}, {"info_tech", 0.10},
+                             {"communication", 0.06}, {"unknown", 0.12}};
+  static const Mix kSocial = {{"social_networks", 0.22}, {"communication", 0.28},
+                              {"business_and_finance", 0.14}, {"info_tech", 0.14},
+                              {"adult", 0.04}, {"unknown", 0.18}};
+  static const Mix kCommerce = {{"business_and_finance", 0.46}, {"info_tech", 0.18},
+                                {"internet_services", 0.16}, {"unknown", 0.20}};
+  static const Mix kLifestyle = {{"lifestyle", 0.30}, {"health", 0.10},
+                                 {"business_and_finance", 0.18}, {"info_tech", 0.14},
+                                 {"unknown", 0.28}};
+  static const Mix kOther = {{"info_tech", 0.26}, {"business_and_finance", 0.22},
+                             {"internet_services", 0.14}, {"education", 0.10},
+                             {"unknown", 0.28}};
+  switch (cls) {
+    case CategoryClass::Game: return kGame;
+    case CategoryClass::Media: return kMedia;
+    case CategoryClass::Social: return kSocial;
+    case CategoryClass::Commerce: return kCommerce;
+    case CategoryClass::Lifestyle: return kLifestyle;
+    case CategoryClass::Other: return kOther;
+  }
+  return kOther;
+}
+
+}  // namespace libspector::store

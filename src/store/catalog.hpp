@@ -1,0 +1,108 @@
+// The static catalogue behind the synthetic app store: the 49 Play-store
+// categories (Fig. 2's x-axis), behavioural profiles of the well-known
+// libraries that generate traffic, and per-generic-category endpoint
+// response models.
+//
+// These profiles are the generator's ground truth; nothing in the analysis
+// pipeline reads them — Libspector must *recover* the population structure
+// from runtime observation alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace libspector::store {
+
+/// The 49 Google Play app categories of Fig. 2.
+[[nodiscard]] const std::vector<std::string>& appCategories();
+
+/// Coarse behavioural classes the 49 categories map onto.
+enum class CategoryClass {
+  Game,       // GAME_*
+  Media,      // music, news, video, entertainment, sports, comics, books
+  Social,     // social, communication, dating, events
+  Commerce,   // shopping, finance, business, productivity, tools
+  Lifestyle,  // health, beauty, lifestyle, travel, food, parenting, ...
+  Other,
+};
+[[nodiscard]] CategoryClass classOf(std::string_view appCategory);
+
+/// How one well-known library behaves at runtime.
+struct LibraryProfile {
+  std::string_view prefix;       // e.g. "com.unity3d.ads"
+  std::string_view radarCategory;  // its LibRadar category (generation truth)
+  /// Sub-packages its network-active methods live in (what origin-library
+  /// attribution should recover), e.g. "com.unity3d.ads.android.cache".
+  /// Several sub-packages means several distinct origin-libraries.
+  std::vector<std::string_view> activeSubpackages;
+  /// Destination mix: (generic domain category, weight) — the driver behind
+  /// the Fig. 9 heatmap structure.
+  std::vector<std::pair<std::string_view, double>> destinationMix;
+  /// Endpoints this library owns in the world.
+  int domainCount = 3;
+  /// Base probability an app bundles this library (modulated per class).
+  double inclusionBase = 0.2;
+  /// Probability the library fires a request during app startup.
+  double initRequestProb = 0.5;
+  /// Mean requests per exercised app run (used to derive trigger guards).
+  double meanRequestsPerRun = 6.0;
+  std::uint32_t requestBytesMin = 200;
+  std::uint32_t requestBytesMax = 1500;
+  /// Bulk dex methods the library contributes (before method scaling).
+  std::uint32_t bulkMethods = 2000;
+};
+
+/// All scripted library profiles.
+[[nodiscard]] const std::vector<LibraryProfile>& libraryProfiles();
+
+/// Probability that an app of `cls` bundles library `profile`.
+[[nodiscard]] double inclusionProbability(CategoryClass cls,
+                                          const LibraryProfile& profile);
+
+/// How network-hungry first-party/content code of a category is (drives the
+/// Fig. 8 per-app averages: music and news on top, dating at the bottom).
+[[nodiscard]] double contentIntensity(std::string_view appCategory);
+
+/// HTTP User-Agent behaviour of a library (the identifiers prior work
+/// classified ad traffic by, §I / §V).
+struct UserAgentProfile {
+  /// The SDK's identifying UA string ("" when the SDK never sets one).
+  std::string_view sdkUserAgent;
+  /// Probability a request carries the identifying UA; otherwise the
+  /// request goes out with the generic platform Dalvik UA.
+  double identifyProb = 0.0;
+};
+[[nodiscard]] UserAgentProfile userAgentProfileFor(std::string_view libraryPrefix);
+
+/// A plausible request path for traffic of one library category.
+[[nodiscard]] std::string_view requestPathFor(std::string_view radarCategory);
+
+/// Response-size model for a generic domain category.
+struct ResponseProfile {
+  double logMu = 8.5;
+  double logSigma = 1.0;
+  std::uint32_t minBytes = 128;
+  std::uint32_t maxBytes = 4 * 1024 * 1024;
+
+  /// Mean response size implied by the lognormal (clamp ignored).
+  [[nodiscard]] double meanBytes() const;
+};
+[[nodiscard]] ResponseProfile responseProfileFor(std::string_view genericCategory);
+
+/// Destination mixes are *byte shares* (what Fig. 9 reports); converting
+/// them to per-request draw weights requires deflating each category by its
+/// mean response size. Returns weights aligned with `mix`.
+[[nodiscard]] std::vector<double> requestWeightsFromByteMix(
+    const std::vector<std::pair<std::string_view, double>>& mix);
+
+/// Relative number of store apps per category (games and media dominate).
+[[nodiscard]] double appCountWeight(std::string_view appCategory);
+
+/// Destination mix of first-party (developer-authored) code per category
+/// class — the "Unknown" column of Fig. 9.
+[[nodiscard]] const std::vector<std::pair<std::string_view, double>>&
+firstPartyDestinationMix(CategoryClass cls);
+
+}  // namespace libspector::store

@@ -1,0 +1,716 @@
+#include "store/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace libspector::store {
+
+namespace {
+
+constexpr double kAntFreeFraction = 0.10;
+constexpr double kAntOnlyFraction = 0.34;
+
+std::string slashed(std::string_view dotted) {
+  std::string out(dotted);
+  std::replace(out.begin(), out.end(), '.', '/');
+  return out;
+}
+
+/// Smali signature builder.
+std::string makeSignature(std::string_view dottedClass, std::string_view method,
+                          std::string_view params = "", std::string_view ret = "V") {
+  std::string out = "L";
+  out += slashed(dottedClass);
+  out += ";->";
+  out += method;
+  out += "(";
+  out += params;
+  out += ")";
+  out += ret;
+  return out;
+}
+
+std::string sanitizeSlug(std::string_view prefix) {
+  // "com.unity3d.ads" -> "unity3d-ads"
+  std::string_view body = prefix;
+  if (body.starts_with("com.")) body.remove_prefix(4);
+  else if (body.starts_with("org.")) body.remove_prefix(4);
+  else if (body.starts_with("net.")) body.remove_prefix(4);
+  else if (body.starts_with("io.")) body.remove_prefix(3);
+  std::string out(body);
+  std::replace(out.begin(), out.end(), '.', '-');
+  return out;
+}
+
+std::string_view drawCategory(
+    const std::vector<std::pair<std::string_view, double>>& mix,
+    util::Rng& rng) {
+  // Mixes are byte shares (Fig. 9); requests are drawn deflated by each
+  // category's mean response size so byte totals land on the mix.
+  const auto weights = requestWeightsFromByteMix(mix);
+  return mix[rng.weightedIndex(weights)].first;
+}
+
+bool isAntCategory(std::string_view radarCategory) {
+  return radarCategory == "Advertisement" || radarCategory == "Mobile Analytics";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DomainWorld: endpoint creation with per-category sharing pools.
+// ---------------------------------------------------------------------------
+
+class AppStoreGenerator::DomainWorld {
+ public:
+  DomainWorld(net::ServerFarm& farm,
+              std::unordered_map<std::string, std::string>& truth)
+      : farm_(farm), truth_(truth) {}
+
+  std::string acquire(std::string_view category, std::string_view ownerSlug,
+                      util::Rng& rng) {
+    auto& pool = pools_[std::string(category)];
+    if (!pool.empty() && rng.chance(reuseProbability(category)))
+      return rng.pick(pool);
+
+    const int id = ++counters_[std::string(category)];
+    static constexpr std::string_view kTlds[] = {"com", "net", "io", "org", "co"};
+    std::string domain = std::string(stemOf(category)) + std::to_string(id);
+    domain += ".";
+    // Heavily shared infrastructure (CDNs) is third-party and generic --
+    // "cdn3.edgecache.net", not a brand host. This is exactly what defeats
+    // hostname-based attribution (paper intro).
+    if (category == "cdn") {
+      domain += "edgecache.";
+    } else if (!ownerSlug.empty()) {
+      domain += ownerSlug;
+      domain += ".";
+    }
+    domain += kTlds[static_cast<std::size_t>(id) % std::size(kTlds)];
+
+    const ResponseProfile response = responseProfileFor(category);
+    net::EndpointProfile profile;
+    profile.domain = domain;
+    profile.trueCategory = std::string(category);
+    profile.responseLogMu = response.logMu;
+    profile.responseLogSigma = response.logSigma;
+    profile.minResponseBytes = response.minBytes;
+    profile.maxResponseBytes = response.maxBytes;
+
+    std::optional<net::Ipv4Addr> sharedIp;
+    if (category == "cdn" && !cdnHosts_.empty() && rng.chance(0.55))
+      sharedIp = rng.pick(cdnHosts_);
+    const net::Ipv4Addr ip = farm_.addEndpoint(std::move(profile), sharedIp);
+    if (category == "cdn" && !sharedIp) cdnHosts_.push_back(ip);
+    // CDN frontends are multi-homed: DNS rotates across several A records
+    // as TTLs expire, so one domain maps to different addresses over a run.
+    if (category == "cdn") {
+      const std::uint64_t extra = rng.uniform(1, 3);
+      for (std::uint64_t a = 0; a < extra; ++a)
+        farm_.addAlternateAddress(domain);
+    }
+
+    truth_[domain] = std::string(category);
+    pool.push_back(domain);
+    return domain;
+  }
+
+ private:
+  static double reuseProbability(std::string_view category) {
+    if (category == "cdn") return 0.97;
+    if (category == "social_networks") return 0.75;
+    if (category == "analytics") return 0.55;
+    if (category == "advertisements") return 0.28;
+    if (category == "business_and_finance") return 0.55;
+    if (category == "info_tech") return 0.55;
+    if (category == "internet_services") return 0.55;
+    if (category == "unknown") return 0.50;
+    if (category == "games") return 0.20;
+    return 0.35;
+  }
+
+  static std::string_view stemOf(std::string_view category) {
+    if (category == "advertisements") return "adserv";
+    if (category == "analytics") return "metrics";
+    if (category == "cdn") return "cdn";
+    if (category == "business_and_finance") return "api";
+    if (category == "info_tech") return "svc";
+    if (category == "internet_services") return "cloud";
+    if (category == "social_networks") return "social";
+    if (category == "communication") return "msg";
+    if (category == "education") return "learn";
+    if (category == "entertainment") return "media";
+    if (category == "news") return "news";
+    if (category == "games") return "game";
+    if (category == "lifestyle") return "life";
+    if (category == "health") return "health";
+    if (category == "adult") return "adult";
+    if (category == "malicious") return "mal";
+    return "host";
+  }
+
+  net::ServerFarm& farm_;
+  std::unordered_map<std::string, std::string>& truth_;
+  std::unordered_map<std::string, std::vector<std::string>> pools_;
+  std::unordered_map<std::string, int> counters_;
+  std::vector<net::Ipv4Addr> cdnHosts_;
+};
+
+// ---------------------------------------------------------------------------
+// World construction.
+// ---------------------------------------------------------------------------
+
+AppStoreGenerator::AppStoreGenerator(StoreConfig config) : config_(config) {
+  if (config_.appCount == 0)
+    throw std::invalid_argument("AppStoreGenerator: appCount == 0");
+  util::Rng rng(config_.seed);
+  DomainWorld world(farm_, domainTruth_);
+
+  // Library-owned endpoints. The endpoint *set* follows the byte-share mix
+  // (largest-remainder, so every significant category is represented);
+  // request *rates* per endpoint are deflated by the category's mean
+  // response size, which makes realized byte totals land on the mix.
+  const auto& profiles = libraryProfiles();
+  libraryEndpoints_.resize(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const LibraryProfile& profile = profiles[i];
+    const std::string slug = sanitizeSlug(profile.prefix);
+    const auto& mix = profile.destinationMix;
+    const auto requestWeights = requestWeightsFromByteMix(mix);
+
+    // Guarantee one endpoint per category with a meaningful byte share,
+    // then distribute the rest by largest remainder over byte shares.
+    std::size_t significant = 0;
+    for (const auto& [category, share] : mix)
+      if (share >= 0.03) ++significant;
+    const std::size_t total = std::max<std::size_t>(
+        static_cast<std::size_t>(profile.domainCount), significant);
+
+    std::vector<std::size_t> counts(mix.size(), 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::size_t assigned = 0;
+    for (std::size_t m = 0; m < mix.size(); ++m) {
+      const double exact = mix[m].second * static_cast<double>(total);
+      counts[m] = static_cast<std::size_t>(exact);
+      if (mix[m].second >= 0.03 && counts[m] == 0) counts[m] = 1;
+      assigned += counts[m];
+      remainders.emplace_back(exact - std::floor(exact), m);
+    }
+    std::sort(remainders.rbegin(), remainders.rend());
+    for (std::size_t r = 0; assigned < total && r < remainders.size(); ++r) {
+      ++counts[remainders[r].second];
+      ++assigned;
+    }
+
+    for (std::size_t m = 0; m < mix.size(); ++m) {
+      if (counts[m] == 0) continue;
+      // Split the category's request weight over its endpoints so the
+      // per-category rate is independent of endpoint multiplicity.
+      const double perEndpointWeight =
+          requestWeights[m] / static_cast<double>(counts[m]);
+      for (std::size_t d = 0; d < counts[m]; ++d) {
+        libraryEndpoints_[i].push_back({world.acquire(mix[m].first, slug, rng),
+                                        std::string(mix[m].first),
+                                        perEndpointWeight});
+      }
+    }
+  }
+
+  plans_.reserve(config_.appCount);
+  for (std::size_t i = 0; i < config_.appCount; ++i) planApp(i, rng, world);
+
+  // Repository view: the planned (analyzable) packages plus ARM-only ones
+  // the §III-A filter must reject.
+  repository_.reserve(plans_.size() + 16);
+  for (const auto& plan : plans_)
+    repository_.push_back({plan.packageName, plan.versions});
+  const auto armOnlyCount = static_cast<std::size_t>(
+      std::lround(static_cast<double>(config_.appCount) * config_.armOnlyFraction));
+  for (std::size_t i = 0; i < armOnlyCount; ++i) {
+    ApkVersionInfo version;
+    version.versionCode = 1;
+    version.dexTimestamp = 1'500'000'000 + i;
+    version.abis = {"armeabi-v7a"};
+    repository_.push_back(
+        {"com.armonly.app" + std::to_string(i), {version}});
+  }
+}
+
+std::string AppStoreGenerator::domainTruth(const std::string& domain) const {
+  const auto it = domainTruth_.find(domain);
+  return it == domainTruth_.end() ? "unknown" : it->second;
+}
+
+void AppStoreGenerator::planApp(std::size_t index, util::Rng& rng,
+                                DomainWorld& world) {
+  static const char* kWords[] = {"pixel", "nova",  "turbo", "happy", "magic",
+                                 "swift", "lucky", "prime", "hyper", "metro"};
+  AppPlan plan;
+  plan.seed = rng.next() | 1;
+
+  // Category by store weight.
+  const auto& categories = appCategories();
+  static thread_local std::vector<double> weights;  // static: same every call
+  if (weights.size() != categories.size()) {
+    weights.clear();
+    for (const auto& category : categories)
+      weights.push_back(appCountWeight(category));
+  }
+  plan.appCategory = categories[rng.weightedIndex(weights)];
+  plan.cls = classOf(plan.appCategory);
+  plan.packageName = std::string("com.") + kWords[rng.uniform(0, 9)] +
+                     kWords[rng.uniform(0, 9)] + ".app" + std::to_string(index);
+
+  const double archetypeRoll = rng.uniform01();
+  plan.archetype = archetypeRoll < kAntFreeFraction ? AppPlan::Archetype::AntFree
+                   : archetypeRoll < kAntFreeFraction + kAntOnlyFraction
+                       ? AppPlan::Archetype::AntOnly
+                       : AppPlan::Archetype::Mixed;
+
+  // Library inclusion.
+  const auto& profiles = libraryProfiles();
+  std::vector<int> included;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const LibraryProfile& profile = profiles[i];
+    if (plan.archetype == AppPlan::Archetype::AntFree &&
+        isAntCategory(profile.radarCategory))
+      continue;
+    if (rng.chance(inclusionProbability(plan.cls, profile)))
+      included.push_back(static_cast<int>(i));
+  }
+  if (plan.archetype == AppPlan::Archetype::AntOnly) {
+    const bool hasAnt = std::any_of(included.begin(), included.end(), [&](int i) {
+      return isAntCategory(profiles[static_cast<std::size_t>(i)].radarCategory);
+    });
+    if (!hasAnt) included.insert(included.begin(), 0);  // gms.ads
+  }
+  plan.bundledProfiles = included;
+
+  // Traffic sources from active libraries.
+  const double intensity = contentIntensity(plan.appCategory);
+  for (const int profileIndex : included) {
+    const LibraryProfile& profile = profiles[static_cast<std::size_t>(profileIndex)];
+    const bool ant = isAntCategory(profile.radarCategory);
+    if (plan.archetype == AppPlan::Archetype::AntOnly && !ant)
+      continue;  // bundled but never exercised
+
+    PlannedSource source;
+    source.profileIndex = profileIndex;
+    source.taskPackage = std::string(rng.pick(profile.activeSubpackages));
+    // ProGuard-style obfuscation: many apps ship the same SDK with its
+    // internals renamed one level deeper, multiplying the distinct
+    // origin-library packages observed across the store (the paper sees
+    // 8,652 of them) while prefix matching still recovers the category.
+    if (rng.chance(0.40)) {
+      static constexpr char kObf[] = {'a', 'b', 'c', 'd', 'e', 'f'};
+      source.taskPackage += std::string(".") + kObf[rng.uniform(0, 5)];
+    }
+    const auto& endpoints = libraryEndpoints_[static_cast<std::size_t>(profileIndex)];
+    // The source targets the library's whole endpoint roster; request-rate
+    // weights (deflated by mean response size) decide how often each is
+    // hit, so realized byte totals follow the destination byte-mix and the
+    // per-run subset of contacted endpoints emerges from guard randomness.
+    for (const auto& endpoint : endpoints) {
+      source.domains.push_back(endpoint.domain);
+      source.domainWeights.push_back(endpoint.requestWeight);
+    }
+
+    double requestScale = 1.0;
+    if (profile.radarCategory == "Advertisement")
+      requestScale = plan.cls == CategoryClass::Game ? 1.35
+                     : plan.cls == CategoryClass::Media ? 1.0
+                                                        : 0.85;
+    else if (profile.radarCategory == "Development Aid")
+      requestScale = intensity;
+    else if (profile.radarCategory == "Game Engine")
+      requestScale = plan.cls == CategoryClass::Game ? 1.5 : 0.2;
+    source.meanRequestsPerRun =
+        profile.meanRequestsPerRun * requestScale * rng.lognormal(0.0, 0.4);
+    source.initRequestProb = profile.initRequestProb;
+    source.requestBytesMin = profile.requestBytesMin;
+    source.requestBytesMax = profile.requestBytesMax;
+    source.initialDownload = profile.radarCategory == "Game Engine" &&
+                             plan.cls == CategoryClass::Game &&
+                             plan.archetype == AppPlan::Archetype::Mixed;
+    plan.sources.push_back(std::move(source));
+  }
+
+  // First-party (developer-authored) traffic.
+  if (plan.archetype != AppPlan::Archetype::AntOnly && rng.chance(0.85)) {
+    PlannedSource source;
+    source.profileIndex = -1;
+    source.taskPackage = plan.packageName + ".net";
+    const auto& mix = firstPartyDestinationMix(plan.cls);
+    const auto requestWeights = requestWeightsFromByteMix(mix);
+    const std::size_t domainCount = rng.uniform(1, 3);
+    const std::string slug = "app" + std::to_string(index % 64);
+    for (std::size_t d = 0; d < domainCount; ++d) {
+      // Categories drawn by request rate; requests split evenly over the
+      // app's own domains -> byte totals follow the first-party byte-mix.
+      const std::size_t pick = rng.weightedIndex(requestWeights);
+      source.domains.push_back(world.acquire(mix[pick].first, slug, rng));
+      source.domainWeights.push_back(1.0);
+    }
+    source.meanRequestsPerRun = 7.0 * intensity * rng.lognormal(0.0, 0.55);
+    source.initRequestProb = 0.5;
+    source.requestBytesMin = 200;
+    source.requestBytesMax = 700;
+    plan.sources.push_back(std::move(source));
+  }
+
+  // Framework-originated advertisement traffic.
+  if (plan.archetype == AppPlan::Archetype::Mixed && rng.chance(0.12)) {
+    plan.systemAdTraffic = true;
+    plan.systemAdDomain = world.acquire("advertisements", "exchange", rng);
+  }
+
+  // Method-count and coverage targets.
+  const double rawMethods = rng.lognormal(std::log(42000.0), 0.55);
+  plan.totalMethods = static_cast<std::size_t>(std::clamp(
+      rawMethods * config_.methodScale, 300.0, 400000.0 * config_.methodScale));
+  plan.coverageTarget =
+      std::clamp(rng.lognormal(std::log(0.075), 0.75), 0.002, 0.55);
+  plan.uiHandlers = static_cast<int>(rng.uniform(30, 110));
+
+  // Repository versions (§III-A inputs).
+  const std::size_t versionCount = rng.uniform(1, 3);
+  const bool allDefaultDex = rng.chance(0.10);
+  std::uint64_t timestamp = 1'400'000'000 + rng.uniform(0, 100'000'000);
+  for (std::size_t v = 0; v < versionCount; ++v) {
+    ApkVersionInfo version;
+    version.versionCode = static_cast<std::uint32_t>(10 * (v + 1));
+    version.dexTimestamp =
+        allDefaultDex ? dex::kDefaultDexTimestamp : timestamp + v * 10'000'000;
+    version.vtScanDate =
+        rng.chance(allDefaultDex ? 1.0 : 0.7)
+            ? 1'530'000'000 + rng.uniform(0, 30'000'000) + v * 1'000'000
+            : 0;
+    const double abiRoll = rng.uniform01();
+    if (abiRoll < 0.30) {
+      // pure-Java apk: no native libraries
+    } else if (abiRoll < 0.80) {
+      version.abis = {"x86", "armeabi-v7a"};
+    } else {
+      version.abis = {"x86_64", "x86", "arm64-v8a"};
+    }
+    plan.versions.push_back(std::move(version));
+  }
+  const auto chosen = selectApkVersion(plan.versions);
+  plan.chosenVersion = chosen.value_or(0);
+
+  plans_.push_back(std::move(plan));
+}
+
+// ---------------------------------------------------------------------------
+// Job expansion: plan -> (ApkFile, AppProgram).
+// ---------------------------------------------------------------------------
+
+AppStoreGenerator::Job AppStoreGenerator::makeJob(std::size_t index) const {
+  const AppPlan& plan = plans_.at(index);
+  util::Rng rng(plan.seed);
+  const auto& profiles = libraryProfiles();
+
+  rt::AppProgram program;
+  // All program-method signatures also go into the dex, grouped by class.
+  std::vector<std::pair<std::string, std::string>> dexEntries;  // (class, sig)
+  const auto addProgramMethod = [&](const std::string& dottedClass,
+                                    const std::string& method,
+                                    std::vector<rt::Action> body,
+                                    std::string_view params = "",
+                                    std::string_view ret = "V") {
+    std::string signature = makeSignature(dottedClass, method, params, ret);
+    dexEntries.emplace_back(dottedClass, signature);
+    return program.addMethod(std::move(signature), std::move(body));
+  };
+
+  // --- Traffic sources: helper -> task -> enqueue chains -------------------
+  struct BuiltSource {
+    std::vector<rt::MethodId> enqueuers;  // one per destination domain
+    const PlannedSource* plan = nullptr;
+  };
+  std::vector<BuiltSource> builtSources;
+  builtSources.reserve(plan.sources.size());
+
+  for (const auto& source : plan.sources) {
+    BuiltSource built;
+    built.plan = &source;
+    const bool sync = source.profileIndex < 0 && rng.chance(0.5);
+    for (std::size_t d = 0; d < source.domains.size(); ++d) {
+      const std::string cls =
+          source.taskPackage + (d == 0 ? ".b" : ".b" + std::to_string(d));
+      rt::NetRequestAction request;
+      request.domain = source.domains[d];
+      request.port = rng.chance(0.85) ? 443 : 80;
+      request.requestBytesMin = source.requestBytesMin;
+      request.requestBytesMax = source.requestBytesMax;
+      request.transfers =
+          source.initialDownload ? 2 : (rng.chance(0.3) ? 2 : 1);
+      request.engine = static_cast<rt::HttpEngine>(rng.uniform(0, 2));
+
+      // HTTP-level identifiers: some SDKs label their traffic with an
+      // identifying User-Agent, the rest rides the platform default -- the
+      // mix that makes header-based attribution unreliable (paper intro).
+      if (source.profileIndex >= 0) {
+        const LibraryProfile& sourceProfile =
+            profiles[static_cast<std::size_t>(source.profileIndex)];
+        request.path = std::string(requestPathFor(sourceProfile.radarCategory));
+        const UserAgentProfile ua = userAgentProfileFor(sourceProfile.prefix);
+        if (!ua.sdkUserAgent.empty() && rng.chance(ua.identifyProb))
+          request.userAgent = std::string(ua.sdkUserAgent);
+        request.post = sourceProfile.radarCategory == "Mobile Analytics" &&
+                       rng.chance(0.8);
+      } else {
+        request.path = std::string(requestPathFor("Unknown"));
+        if (rng.chance(0.30))
+          request.userAgent =
+              plan.packageName + "/" +
+              std::to_string(plan.versions[plan.chosenVersion].versionCode) +
+              " (Android 7.1.1)";
+        request.post = rng.chance(0.25);
+      }
+
+      // Listing 1 shape: b.a holds the request, b.doInBackground calls it.
+      const rt::MethodId helper = addProgramMethod(
+          cls, "a", {request}, "Ljava/lang/String;", "Ljava/lang/Object;");
+      const rt::MethodId task = addProgramMethod(
+          cls, "doInBackground", {rt::CallAction{helper}},
+          "[Ljava/lang/String;", "Ljava/lang/Object;");
+      if (sync) {
+        // Developer code on the UI thread calls straight into the fetch.
+        built.enqueuers.push_back(task);
+      } else {
+        const rt::MethodId enqueue = addProgramMethod(
+            cls, "request", {rt::AsyncAction{task}});
+        built.enqueuers.push_back(enqueue);
+      }
+    }
+    builtSources.push_back(std::move(built));
+  }
+
+  // --- Coverage subtrees -----------------------------------------------------
+  const auto buildSubtree = [&](const std::string& packageBase, int treeId,
+                                std::size_t size) -> std::optional<rt::MethodId> {
+    if (size == 0) return std::nullopt;
+    // Hub chain, each hub calling up to 24 empty leaves; depth stays well
+    // under the interpreter's call-depth limit.
+    constexpr std::size_t kLeavesPerHub = 24;
+    std::vector<rt::MethodId> hubs;
+    std::size_t made = 0;
+    int hubIndex = 0;
+    while (made < size) {
+      const std::string cls =
+          packageBase + ".T" + std::to_string(treeId) + "H" + std::to_string(hubIndex);
+      std::vector<rt::Action> body;
+      const std::size_t leaves = std::min(kLeavesPerHub, size - made);
+      for (std::size_t l = 0; l < leaves; ++l) {
+        const rt::MethodId leaf =
+            addProgramMethod(cls, "w" + std::to_string(l), {}, "I", "I");
+        body.push_back(rt::CallAction{leaf});
+        ++made;
+      }
+      const rt::MethodId hub =
+          addProgramMethod(cls, "run", std::move(body));
+      ++made;  // the hub itself counts
+      hubs.push_back(hub);
+      ++hubIndex;
+      if (hubs.size() > 40) break;  // keep depth bounded
+    }
+    // Chain hubs: hub[i] also calls hub[i+1]; build links by rewriting
+    // bodies is impossible (methods are immutable once added), so add
+    // chain wrappers instead.
+    rt::MethodId next = hubs.back();
+    for (std::size_t i = hubs.size() - 1; i-- > 0;) {
+      const std::string cls = packageBase + ".T" + std::to_string(treeId) + "C" +
+                              std::to_string(i);
+      next = addProgramMethod(
+          cls, "step", {rt::CallAction{hubs[i]}, rt::CallAction{next}});
+    }
+    return next;
+  };
+
+  const auto reachableBudget = static_cast<std::size_t>(
+      plan.coverageTarget * static_cast<double>(plan.totalMethods));
+  const std::size_t handlerCount = static_cast<std::size_t>(plan.uiHandlers);
+
+  // A quarter of covered code sits inside bundled library packages (their
+  // glue code runs even when the library produces no traffic).
+  std::vector<std::string> subtreePackages = {plan.packageName + ".ui"};
+  for (const int profileIndex : plan.bundledProfiles) {
+    if (subtreePackages.size() >= 4) break;
+    subtreePackages.push_back(
+        std::string(profiles[static_cast<std::size_t>(profileIndex)].prefix) +
+        ".internal");
+  }
+
+  const std::size_t onCreateShare = reachableBudget / 8;
+  const std::size_t perHandler =
+      handlerCount == 0 ? 0 : (reachableBudget - onCreateShare) / handlerCount;
+
+  // --- Handlers ---------------------------------------------------------------
+  // Expected monkey hits per handler, for trigger-guard calibration.
+  const double hitsPerHandler =
+      static_cast<double>(config_.expectedMonkeyEvents) /
+      static_cast<double>(std::max<std::size_t>(handlerCount, 1));
+
+  struct PendingGuard {
+    double prob;
+    rt::MethodId target;
+  };
+  std::vector<std::vector<PendingGuard>> handlerGuards(handlerCount);
+
+  const auto spreadGuards = [&](rt::MethodId target, double expectedPerRun) {
+    if (handlerCount == 0 || expectedPerRun <= 0.0) return;
+    double probPerHandler = expectedPerRun / hitsPerHandler;
+    std::size_t attachments = 1;
+    if (probPerHandler > 0.9) {
+      attachments = static_cast<std::size_t>(std::ceil(probPerHandler / 0.9));
+      attachments = std::min(attachments, handlerCount);
+      probPerHandler = probPerHandler / static_cast<double>(attachments);
+    }
+    for (std::size_t a = 0; a < attachments; ++a) {
+      const std::size_t handler = rng.uniform(0, handlerCount - 1);
+      handlerGuards[handler].push_back({std::min(probPerHandler, 1.0), target});
+    }
+  };
+
+  for (const auto& built : builtSources) {
+    // Split the source's request budget over its domains by request weight
+    // (falls back to an even split when weights are missing or degenerate).
+    const auto& weights = built.plan->domainWeights;
+    double weightSum = 0.0;
+    if (weights.size() == built.enqueuers.size())
+      for (const double w : weights) weightSum += w;
+    for (std::size_t e = 0; e < built.enqueuers.size(); ++e) {
+      const double share =
+          weightSum > 0.0 ? weights[e] / weightSum
+                          : 1.0 / static_cast<double>(built.enqueuers.size());
+      spreadGuards(built.enqueuers[e], built.plan->meanRequestsPerRun * share);
+    }
+  }
+
+  // Background tasks (Rosen et al.): analytics flush their event queues
+  // and ad SDKs prefetch after the app is backgrounded.
+  for (std::size_t b = 0; b < builtSources.size(); ++b) {
+    const BuiltSource& built = builtSources[b];
+    if (built.plan->profileIndex < 0) continue;
+    const LibraryProfile& sourceProfile =
+        profiles[static_cast<std::size_t>(built.plan->profileIndex)];
+    double backgroundProb = 0.0;
+    if (sourceProfile.radarCategory == "Mobile Analytics") backgroundProb = 0.5;
+    else if (sourceProfile.radarCategory == "Advertisement") backgroundProb = 0.25;
+    else if (sourceProfile.radarCategory == "Utility") backgroundProb = 0.30;
+    if (backgroundProb <= 0.0) continue;
+    const rt::MethodId task = addProgramMethod(
+        built.plan->taskPackage + ".BgSync" + std::to_string(b), "run",
+        {rt::GuardAction{backgroundProb, built.enqueuers.front()}});
+    program.backgroundTasks.push_back(task);
+  }
+
+  // Framework-originated ad traffic trigger.
+  if (plan.systemAdTraffic) {
+    rt::SystemRequestAction request;
+    request.domain = plan.systemAdDomain;
+    const rt::MethodId trigger = addProgramMethod(
+        plan.packageName + ".ui.WebBanner", "refresh", {request});
+    spreadGuards(trigger, 2.5);
+  }
+
+  std::vector<rt::MethodId> handlers;
+  handlers.reserve(handlerCount);
+  for (std::size_t h = 0; h < handlerCount; ++h) {
+    std::vector<rt::Action> body;
+    const std::string& base = subtreePackages[h % subtreePackages.size()];
+    if (const auto subtree =
+            buildSubtree(base, static_cast<int>(h), perHandler))
+      body.push_back(rt::CallAction{*subtree});
+    for (const auto& guard : handlerGuards[h])
+      body.push_back(rt::GuardAction{guard.prob, guard.target});
+    body.push_back(rt::SleepAction{static_cast<std::uint32_t>(rng.uniform(0, 3))});
+    handlers.push_back(addProgramMethod(plan.packageName + ".ui.Handler" +
+                                            std::to_string(h),
+                                        "onClick", std::move(body),
+                                        "Landroid/view/View;"));
+  }
+
+  // --- onCreate -----------------------------------------------------------------
+  std::vector<rt::Action> onCreateBody;
+  if (const auto subtree =
+          buildSubtree(plan.packageName + ".ui", 9999, onCreateShare))
+    onCreateBody.push_back(rt::CallAction{*subtree});
+  for (const auto& built : builtSources) {
+    if (built.plan->initRequestProb <= 0.0) continue;
+    onCreateBody.push_back(rt::GuardAction{
+        built.plan->initialDownload ? 0.95 : built.plan->initRequestProb,
+        built.enqueuers.front()});
+  }
+  const rt::MethodId onCreate =
+      addProgramMethod(plan.packageName + ".ui.MainActivity", "onCreate",
+                       std::move(onCreateBody), "Landroid/os/Bundle;");
+
+  program.onCreate = onCreate;
+  program.uiHandlers = std::move(handlers);
+
+  // --- Dex assembly ----------------------------------------------------------
+  dex::ApkFile apk;
+  apk.packageName = plan.packageName;
+  apk.appCategory = plan.appCategory;
+  const ApkVersionInfo& version = plan.versions.at(plan.chosenVersion);
+  apk.versionCode = version.versionCode;
+  apk.dexTimestamp = version.dexTimestamp;
+  apk.vtScanDate = version.vtScanDate;
+  apk.abis = version.abis;
+
+  // Group program methods into classes.
+  std::unordered_map<std::string, std::vector<std::string>> byClass;
+  for (auto& [cls, signature] : dexEntries)
+    byClass[cls].push_back(std::move(signature));
+  std::size_t methodCount = program.methods.size();
+
+  // Bulk (cold) library code.
+  const auto addBulk = [&](const std::string& package, std::size_t count) {
+    std::size_t made = 0;
+    int classIndex = 0;
+    while (made < count) {
+      const std::string cls = package + ".a" + std::to_string(classIndex++);
+      auto& methods = byClass[cls];
+      const std::size_t inClass = std::min<std::size_t>(16, count - made);
+      for (std::size_t m = 0; m < inClass; ++m)
+        methods.push_back(makeSignature(cls, "m" + std::to_string(m), "I", "I"));
+      made += inClass;
+    }
+    methodCount += count;
+  };
+
+  for (const int profileIndex : plan.bundledProfiles) {
+    const LibraryProfile& profile = profiles[static_cast<std::size_t>(profileIndex)];
+    const auto bulk = static_cast<std::size_t>(
+        static_cast<double>(profile.bulkMethods) * config_.methodScale);
+    addBulk(std::string(profile.prefix) + ".internal", bulk);
+  }
+  if (methodCount < plan.totalMethods)
+    addBulk(plan.packageName + ".gen", plan.totalMethods - methodCount);
+
+  // Multi-dex: respect the 64k method-reference limit per dex file.
+  constexpr std::size_t kDexMethodLimit = 65536;
+  apk.dexFiles.emplace_back();
+  std::size_t inCurrentDex = 0;
+  for (auto& [cls, methods] : byClass) {
+    if (inCurrentDex + methods.size() > kDexMethodLimit) {
+      apk.dexFiles.emplace_back();
+      inCurrentDex = 0;
+    }
+    dex::ClassDef classDef;
+    classDef.dottedName = cls;
+    classDef.methods.reserve(methods.size());
+    for (auto& signature : methods) classDef.methods.push_back({std::move(signature)});
+    inCurrentDex += classDef.methods.size();
+    apk.dexFiles.back().classes.push_back(std::move(classDef));
+  }
+
+  return Job{std::move(apk), std::move(program)};
+}
+
+}  // namespace libspector::store

@@ -1,0 +1,47 @@
+#include "store/repository.hpp"
+
+#include <algorithm>
+
+namespace libspector::store {
+
+bool ApkVersionInfo::isX86Compatible() const noexcept {
+  if (abis.empty()) return true;  // pure-Java apk
+  return std::any_of(abis.begin(), abis.end(), [](const std::string& abi) {
+    return abi == "x86" || abi == "x86_64";
+  });
+}
+
+std::optional<std::size_t> selectApkVersion(
+    const std::vector<ApkVersionInfo>& versions) {
+  if (versions.empty()) return std::nullopt;
+
+  std::optional<std::size_t> bestByDex;
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    if (versions[i].hasDefaultDexTimestamp()) continue;
+    if (!bestByDex || versions[i].dexTimestamp > versions[*bestByDex].dexTimestamp)
+      bestByDex = i;
+  }
+  if (bestByDex) return bestByDex;
+
+  std::optional<std::size_t> bestByVt;
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    if (versions[i].vtScanDate == 0) continue;
+    if (!bestByVt || versions[i].vtScanDate > versions[*bestByVt].vtScanDate)
+      bestByVt = i;
+  }
+  return bestByVt;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> selectCorpus(
+    const std::vector<RepositoryEntry>& repository) {
+  std::vector<std::pair<std::size_t, std::size_t>> selected;
+  for (std::size_t e = 0; e < repository.size(); ++e) {
+    const auto version = selectApkVersion(repository[e].versions);
+    if (!version) continue;
+    if (!repository[e].versions[*version].isX86Compatible()) continue;
+    selected.emplace_back(e, *version);
+  }
+  return selected;
+}
+
+}  // namespace libspector::store

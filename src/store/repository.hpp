@@ -1,0 +1,50 @@
+// AndroZoo-style repository and the §III-A corpus selection rules.
+//
+// For every package name the repository may hold several apk versions, each
+// with a dex timestamp (possibly the 1980-01-01 default) and the date of its
+// latest VirusTotal scan.  Libspector picks the version with the latest dex
+// timestamp; for all-default timestamps it falls back to the most recent VT
+// scan; ARM-only apks are filtered out entirely (the emulator fleet is x86).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dex/apk.hpp"
+
+namespace libspector::store {
+
+struct ApkVersionInfo {
+  std::uint32_t versionCode = 1;
+  std::uint64_t dexTimestamp = dex::kDefaultDexTimestamp;  // seconds epoch
+  std::uint64_t vtScanDate = 0;                            // 0 = never scanned
+  std::vector<std::string> abis;
+
+  [[nodiscard]] bool hasDefaultDexTimestamp() const noexcept {
+    return dexTimestamp == dex::kDefaultDexTimestamp;
+  }
+  [[nodiscard]] bool isX86Compatible() const noexcept;
+};
+
+/// §III-A selection: the version with the latest non-default dex timestamp;
+/// if every version has the default timestamp, the one most recently
+/// scanned by VirusTotal. Returns std::nullopt when `versions` is empty or
+/// (per the paper's observation) no version has either signal — a case the
+/// paper never encountered and we treat as unselectable.
+[[nodiscard]] std::optional<std::size_t> selectApkVersion(
+    const std::vector<ApkVersionInfo>& versions);
+
+/// One package in the repository.
+struct RepositoryEntry {
+  std::string packageName;
+  std::vector<ApkVersionInfo> versions;
+};
+
+/// Apply selection and the x86 filter across a repository; returns
+/// (entryIndex, versionIndex) pairs for the analyzable corpus.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> selectCorpus(
+    const std::vector<RepositoryEntry>& repository);
+
+}  // namespace libspector::store

@@ -1,0 +1,26 @@
+// Simulated time. An 8-minute paper experiment advances this clock, not the
+// wall clock, so a 25,000-app study runs in seconds and every timestamp in a
+// capture file is deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace libspector::util {
+
+/// Milliseconds since the start of an experiment run.
+using SimTimeMs = std::uint64_t;
+
+/// Monotonic simulated clock owned by one emulator instance.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTimeMs start) noexcept : now_(start) {}
+
+  [[nodiscard]] SimTimeMs now() const noexcept { return now_; }
+  void advance(SimTimeMs deltaMs) noexcept { now_ += deltaMs; }
+
+ private:
+  SimTimeMs now_ = 0;
+};
+
+}  // namespace libspector::util

@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace libspector::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_outMutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { g_level.store(level); }
+LogLevel logLevel() noexcept { return g_level.load(); }
+
+namespace detail {
+void logLine(LogLevel level, std::string_view message) {
+  const std::scoped_lock lock(g_outMutex);
+  std::fprintf(stderr, "[%s] %.*s\n", levelName(level),
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace detail
+
+}  // namespace libspector::util

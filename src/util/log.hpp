@@ -1,0 +1,59 @@
+// Minimal leveled logger. The orchestration layer logs worker lifecycle and
+// per-app progress; everything defaults to Warn so tests and benches stay
+// quiet unless a caller opts in.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace libspector::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level (thread-safe; atomically updated).
+void setLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel logLevel() noexcept;
+
+namespace detail {
+void logLine(LogLevel level, std::string_view message);
+
+template <typename... Args>
+std::string formatPrintf(const char* fmt, Args&&... args) {
+  const int needed = std::snprintf(nullptr, 0, fmt, args...);
+  if (needed <= 0) return fmt;
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+}  // namespace detail
+
+/// printf-style logging: log(LogLevel::Info, "ran %zu apps", n).
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < logLevel()) return;
+  if constexpr (sizeof...(Args) == 0) {
+    detail::logLine(level, fmt);
+  } else {
+    detail::logLine(level, detail::formatPrintf(fmt, std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void logDebug(const char* fmt, Args&&... args) {
+  log(LogLevel::Debug, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logInfo(const char* fmt, Args&&... args) {
+  log(LogLevel::Info, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logWarn(const char* fmt, Args&&... args) {
+  log(LogLevel::Warn, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logError(const char* fmt, Args&&... args) {
+  log(LogLevel::Error, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace libspector::util

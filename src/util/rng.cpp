@@ -1,0 +1,114 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace libspector::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  const std::uint64_t range = hi - lo + 1;
+  if (range == 0) return next();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = range * (UINT64_MAX / range);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return lo + v % range;
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept { return uniform01() < p; }
+
+double Rng::normal(double mean, double stddev) noexcept {
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double mag =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * mag;
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Rng::zipf: n == 0");
+  if (n != zipfN_ || s != zipfS_) {
+    zipfCdf_.assign(n, 0.0);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      zipfCdf_[r] = sum;
+    }
+    for (auto& v : zipfCdf_) v /= sum;
+    zipfN_ = n;
+    zipfS_ = s;
+  }
+  const double u = uniform01();
+  const auto it = std::lower_bound(zipfCdf_.begin(), zipfCdf_.end(), u);
+  return static_cast<std::size_t>(it - zipfCdf_.begin());
+}
+
+std::size_t Rng::weightedIndex(std::span<const double> weights) {
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::weightedIndex: negative weight");
+    sum += w;
+  }
+  if (sum <= 0.0) throw std::invalid_argument("Rng::weightedIndex: zero weight sum");
+  double target = uniform01() * sum;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t label) noexcept {
+  return Rng(next() ^ (label * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace libspector::util

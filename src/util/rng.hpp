@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component in libspector (the app-store generator, the
+// monkey exerciser, server response models) draws from an explicitly seeded
+// Rng so that experiments are reproducible bit-for-bit.  The generator is
+// xoshiro256**, seeded through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace libspector::util {
+
+/// xoshiro256** PRNG with distribution helpers used across the simulator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept;
+
+  /// Normally distributed value (Box-Muller).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Log-normally distributed value: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Pareto(xm, alpha) heavy-tailed value, >= xm.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Zipf-like rank in [0, n) where rank r has weight 1/(r+1)^s.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Pick an index according to non-negative weights. Requires a positive sum.
+  std::size_t weightedIndex(std::span<const double> weights);
+
+  /// Pick a uniformly random element of a non-empty container.
+  template <typename Container>
+  const auto& pick(const Container& c) {
+    if (c.empty()) throw std::invalid_argument("Rng::pick: empty container");
+    return c[uniform(0, c.size() - 1)];
+  }
+
+  /// Derive an independent child generator (stable given the same label).
+  Rng fork(std::uint64_t label) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  // Cached Zipf normalization: recomputing the harmonic sum per draw would
+  // dominate corpus generation time.
+  std::size_t zipfN_ = 0;
+  double zipfS_ = 0.0;
+  std::vector<double> zipfCdf_;
+};
+
+}  // namespace libspector::util

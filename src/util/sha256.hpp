@@ -1,0 +1,47 @@
+// Standalone SHA-256 implementation (FIPS 180-4).
+//
+// The Socket Supervisor tags every UDP report with the sha256 checksum of
+// the apk under test (paper §II-B2a); the result database keys artifacts by
+// the same digest.  No external crypto dependency is available offline, so
+// the digest is implemented here and validated against FIPS test vectors in
+// tests/util/sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace libspector::util {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view data) noexcept;
+
+  /// Finalize and return the digest. The hasher must not be reused afterwards.
+  [[nodiscard]] Sha256Digest finish() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Sha256Digest hash(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Sha256Digest hash(std::string_view data) noexcept;
+
+ private:
+  void processBlock(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t bufferLen_ = 0;
+  std::uint64_t totalBytes_ = 0;
+};
+
+/// Lowercase hex rendering of a digest.
+[[nodiscard]] std::string toHex(const Sha256Digest& digest);
+
+}  // namespace libspector::util

@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace libspector::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<CdfPoint> empiricalCdf(std::vector<double> values,
+                                   std::size_t maxPoints) {
+  std::vector<CdfPoint> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t points = std::min(maxPoints, n);
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Sample evenly across the sorted sample, always including the last point.
+    const std::size_t idx =
+        points == 1 ? n - 1 : i * (n - 1) / (points - 1);
+    out.push_back({values[idx],
+                   static_cast<double>(idx + 1) / static_cast<double>(n)});
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
+    : logLo_(std::log10(lo)), logHi_(std::log10(hi)), counts_(bins, 0) {
+  if (!(lo > 0.0) || !(hi > lo) || bins == 0)
+    throw std::invalid_argument("LogHistogram: invalid range");
+}
+
+void LogHistogram::add(double value) noexcept {
+  const double lv = std::log10(std::max(value, 1e-300));
+  const double frac = (lv - logLo_) / (logHi_ - logLo_);
+  const auto bin = static_cast<std::size_t>(std::clamp(
+      frac * static_cast<double>(counts_.size()), 0.0,
+      static_cast<double>(counts_.size() - 1)));
+  ++counts_[bin];
+  ++total_;
+}
+
+double LogHistogram::binLowerEdge(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("LogHistogram::binLowerEdge");
+  const double frac = static_cast<double>(bin) / static_cast<double>(counts_.size());
+  return std::pow(10.0, logLo_ + frac * (logHi_ - logLo_));
+}
+
+}  // namespace libspector::util

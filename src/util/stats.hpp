@@ -1,0 +1,68 @@
+// Descriptive statistics used by the analysis pipeline (§IV): running
+// moments, percentiles, empirical CDFs and fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace libspector::util {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation, p in [0, 100]).
+/// The input is copied and sorted; throws on an empty sample.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;  // P(X <= value)
+};
+
+/// Empirical CDF of a sample, downsampled to at most `maxPoints` points.
+[[nodiscard]] std::vector<CdfPoint> empiricalCdf(std::vector<double> values,
+                                                 std::size_t maxPoints = 256);
+
+/// Fixed log-spaced histogram over [lo, hi] with `bins` buckets; values
+/// outside the range are clamped to the first/last bucket.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t countAt(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] double binLowerEdge(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  double logLo_;
+  double logHi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace libspector::util

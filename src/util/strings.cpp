@@ -1,0 +1,76 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace libspector::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view delim) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool isHierarchicalPrefix(std::string_view prefix, std::string_view s, char sep) {
+  if (prefix.empty() || prefix.size() > s.size()) return false;
+  if (s.compare(0, prefix.size(), prefix) != 0) return false;
+  return s.size() == prefix.size() || s[prefix.size()] == sep;
+}
+
+std::string prefixLevels(std::string_view package, int n) {
+  if (n <= 0) return {};
+  std::size_t pos = 0;
+  int seen = 0;
+  while (pos < package.size()) {
+    if (package[pos] == '.') {
+      if (++seen == n) return std::string(package.substr(0, pos));
+    }
+    ++pos;
+  }
+  return std::string(package);
+}
+
+bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::string humanBytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", bytes, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace libspector::util

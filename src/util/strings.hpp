@@ -1,0 +1,35 @@
+// Small string utilities shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace libspector::util {
+
+/// Split `s` on `delim`; empty fields are preserved ("a..b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join `parts` with `delim` between elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view delim);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string toLower(std::string_view s);
+
+/// True when `s` starts with `prefix` followed by end-of-string or `sep`.
+/// Used for package-hierarchy prefix matching: "com.unity3d" matches
+/// "com.unity3d.ads" but not "com.unity3dx".
+[[nodiscard]] bool isHierarchicalPrefix(std::string_view prefix,
+                                        std::string_view s, char sep = '.');
+
+/// First `n` dot-separated components of a package path ("a.b.c", 2 -> "a.b").
+[[nodiscard]] std::string prefixLevels(std::string_view package, int n);
+
+/// True if `s` contains `needle` as a substring.
+[[nodiscard]] bool contains(std::string_view s, std::string_view needle);
+
+/// Human-readable byte count ("1.59 GB", "452 MB", "713 B").
+[[nodiscard]] std::string humanBytes(double bytes);
+
+}  // namespace libspector::util

@@ -1,0 +1,88 @@
+#include "vtsim/categories.hpp"
+
+#include "util/strings.hpp"
+
+namespace libspector::vtsim {
+
+const std::vector<std::string>& genericCategories() {
+  static const std::vector<std::string> kCategories = {
+      "adult",          "advertisements",    "analytics",
+      "business_and_finance", "cdn",         "communication",
+      "education",      "entertainment",     "games",
+      "health",         "info_tech",         "internet_services",
+      "lifestyle",      "malicious",         "news",
+      "social_networks", "unknown"};
+  return kCategories;
+}
+
+const std::vector<CategoryPatterns>& categoryPatternTable() {
+  // Transcribed from Table I.
+  static const std::vector<CategoryPatterns> kTable = {
+      {"adult",
+       {"adult", "sex", "obscene", "personals", "dating", "porn", "violence",
+        "lingerie", "marijuana", "alcohol", "gambling"}},
+      {"advertisements", {"ads", "advert", "marketing", "exposure"}},
+      {"analytics", {"analytics"}},
+      {"business_and_finance",
+       {"busines", "financ", "shop", "bank", "trading", "estate", "auctions",
+        "professional"}},
+      {"cdn", {"proxy", "dns", "content", "delivery"}},
+      {"communication",
+       {"im", "chat", "mail", "text", "radio", "tv", "forum", "telephony",
+        "portal", "file"}},
+      {"education", {"education", "reference"}},
+      {"entertainment",
+       {"entertainment", "sport", "videos", "streaming", "pay-to-surf"}},
+      {"games", {"game"}},
+      {"health", {"health", "medication", "nutrition"}},
+      {"info_tech",
+       {"information", "technology", "computersandsoftware",
+        "dynamic content"}},
+      {"internet_services",
+       {"hosting", "url-shortening", "search", "download", "collaboration",
+        "parked", "online", "infrastructure", "storage", "security",
+        "surveillance", "government"}},
+      {"lifestyle",
+       {"blog", "hobbies", "lifestyle", "travel", "cultur", "religi",
+        "politic", "restaurant", "vehicles", "philanthropic", "event",
+        "advice"}},
+      {"malicious",
+       {"malicious", "infected", "bot", "not recommended", "illegal", "hack",
+        "compromised", "suspicious content"}},
+      {"news", {"news", "tabloids", "journals"}},
+      {"social_networks", {"social"}},
+      {"unknown", {}},
+  };
+  return kTable;
+}
+
+std::string tokenizeLabel(std::string_view rawLabel) {
+  const std::string label = util::toLower(rawLabel);
+  // Pass 1: multi-word phrases are the most specific hand-curated rules
+  // ("dynamic content" is info_tech even though "content" alone is cdn);
+  // the longest matching phrase wins.
+  std::string_view best;
+  std::size_t bestLength = 0;
+  for (const auto& row : categoryPatternTable()) {
+    for (const auto token : row.tokens) {
+      if (token.find(' ') == std::string_view::npos &&
+          token.find('-') == std::string_view::npos)
+        continue;
+      if (token.size() > bestLength && util::contains(label, token)) {
+        best = row.category;
+        bestLength = token.size();
+      }
+    }
+  }
+  if (!best.empty()) return std::string(best);
+  // Pass 2: single-word substrings in Table I order; the first row with a
+  // hit wins ("online games" is games, not internet_services).
+  for (const auto& row : categoryPatternTable()) {
+    for (const auto token : row.tokens) {
+      if (util::contains(label, token)) return std::string(row.category);
+    }
+  }
+  return std::string(kUnknownDomainCategory);
+}
+
+}  // namespace libspector::vtsim

@@ -1,0 +1,36 @@
+// The 17 generic domain categories and the Table I tokenizer (paper §III-F).
+//
+// VirusTotal aggregates free-form category labels from five cybersecurity
+// vendors; there is no universal naming baseline, so Libspector tokenizes
+// every label into one of 17 generic categories by matching hand-curated
+// word patterns.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace libspector::vtsim {
+
+/// The generic categories in Table I order.
+[[nodiscard]] const std::vector<std::string>& genericCategories();
+
+inline constexpr std::string_view kUnknownDomainCategory = "unknown";
+
+/// Word patterns for one generic category (Table I, right column).
+struct CategoryPatterns {
+  std::string_view category;
+  std::vector<std::string_view> tokens;
+};
+
+/// All (category, token list) rows, in Table I order; "unknown" has no
+/// tokens — it is the fallback.
+[[nodiscard]] const std::vector<CategoryPatterns>& categoryPatternTable();
+
+/// Tokenize one raw vendor label into a generic category. Matching is
+/// case-insensitive; the longest matching token wins (so the label
+/// "dynamic content" resolves to info_tech, not cdn's "content"); ties
+/// break by Table I order. Labels matching nothing map to "unknown".
+[[nodiscard]] std::string tokenizeLabel(std::string_view rawLabel);
+
+}  // namespace libspector::vtsim

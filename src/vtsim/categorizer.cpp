@@ -1,0 +1,45 @@
+#include "vtsim/categorizer.hpp"
+
+#include <stdexcept>
+
+namespace libspector::vtsim {
+
+DomainCategorizer::DomainCategorizer(const std::vector<VendorSim>& panel,
+                                     TruthLookup truthLookup)
+    : panel_(panel), truthLookup_(std::move(truthLookup)) {
+  if (!truthLookup_)
+    throw std::invalid_argument("DomainCategorizer: null truth lookup");
+}
+
+const DomainVerdict& DomainCategorizer::categorize(const std::string& domain) {
+  if (const auto it = cache_.find(domain); it != cache_.end()) return it->second;
+
+  const std::string truth = truthLookup_(domain);
+  DomainVerdict verdict;
+  for (const auto& vendor : panel_) {
+    const auto label = vendor.labelFor(domain, truth);
+    if (!label) continue;
+    verdict.rawLabels.push_back(*label);
+    ++verdict.votes[tokenizeLabel(*label)];
+  }
+
+  // Majority vote; "unknown" only wins when nothing else got any vote.
+  int best = 0;
+  verdict.category = std::string(kUnknownDomainCategory);
+  for (const auto& [category, count] : verdict.votes) {
+    if (category == kUnknownDomainCategory) continue;
+    if (count > best) {
+      best = count;
+      verdict.category = category;
+    }
+  }
+  return cache_.emplace(domain, std::move(verdict)).first->second;
+}
+
+std::map<std::string, std::size_t> DomainCategorizer::categoryCounts() const {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [domain, verdict] : cache_) ++counts[verdict.category];
+  return counts;
+}
+
+}  // namespace libspector::vtsim

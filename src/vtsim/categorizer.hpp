@@ -1,0 +1,51 @@
+// Domain categorization by tokenized majority vote (paper §III-F).
+//
+// For every domain seen in a DNS request, query the vendor panel, tokenize
+// each returned label into a generic category, then majority-vote.  Results
+// are cached: the paper collects VirusTotal verdicts once per domain.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "vtsim/categories.hpp"
+#include "vtsim/vendor.hpp"
+
+namespace libspector::vtsim {
+
+/// Detailed outcome for one domain, kept for the Table I census.
+struct DomainVerdict {
+  std::string category;                 // winning generic category
+  std::vector<std::string> rawLabels;   // what vendors answered
+  std::map<std::string, int> votes;     // tokenized tally
+};
+
+class DomainCategorizer {
+ public:
+  /// `truthLookup` maps a domain to its ground-truth generic category; the
+  /// vendor simulators derive their (noisy) labels from it. Unknown domains
+  /// are treated as ground-truth "unknown".
+  using TruthLookup = std::function<std::string(const std::string&)>;
+
+  DomainCategorizer(const std::vector<VendorSim>& panel, TruthLookup truthLookup);
+
+  /// Categorize (cached after the first call per domain).
+  const DomainVerdict& categorize(const std::string& domain);
+
+  /// Census over every domain categorized so far: generic category -> count
+  /// (the "Count" column of Table I).
+  [[nodiscard]] std::map<std::string, std::size_t> categoryCounts() const;
+
+  [[nodiscard]] std::size_t domainsSeen() const noexcept { return cache_.size(); }
+
+ private:
+  const std::vector<VendorSim>& panel_;
+  TruthLookup truthLookup_;
+  std::unordered_map<std::string, DomainVerdict> cache_;
+};
+
+}  // namespace libspector::vtsim

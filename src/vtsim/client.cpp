@@ -1,0 +1,69 @@
+#include "vtsim/client.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace libspector::vtsim {
+
+VtClient::VtClient(DomainCategorizer& categorizer, VtQuota quota,
+                   std::string cachePath)
+    : categorizer_(categorizer), quota_(quota), cachePath_(std::move(cachePath)) {
+  if (quota_.requestsPerWindow == 0)
+    throw std::invalid_argument("VtClient: zero quota");
+  if (cachePath_.empty()) return;
+  std::ifstream in(cachePath_);
+  if (!in) return;  // no cache yet: first run
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t comma = line.rfind(',');
+    if (comma == std::string::npos)
+      throw std::runtime_error("VtClient: malformed cache line in " + cachePath_);
+    cache_[line.substr(0, comma)] = line.substr(comma + 1);
+  }
+}
+
+std::optional<std::string> VtClient::categorize(const std::string& domain,
+                                                util::SimTimeMs nowMs) {
+  if (const auto it = cache_.find(domain); it != cache_.end()) {
+    ++cacheHits_;
+    return it->second;
+  }
+  while (!recentCalls_.empty() &&
+         recentCalls_.front() + quota_.windowMs <= nowMs)
+    recentCalls_.pop_front();
+  if (recentCalls_.size() >= quota_.requestsPerWindow) return std::nullopt;
+
+  recentCalls_.push_back(nowMs);
+  ++apiCalls_;
+  const std::string category = categorizer_.categorize(domain).category;
+  cache_.emplace(domain, category);
+  return category;
+}
+
+std::unordered_map<std::string, std::string> VtClient::categorizeAll(
+    const std::vector<std::string>& domains, util::SimClock& clock) {
+  std::unordered_map<std::string, std::string> verdicts;
+  for (const auto& domain : domains) {
+    while (true) {
+      if (const auto verdict = categorize(domain, clock.now())) {
+        verdicts.emplace(domain, *verdict);
+        break;
+      }
+      // Quota exhausted: wait until the oldest call leaves the window.
+      clock.advance(recentCalls_.front() + quota_.windowMs - clock.now());
+    }
+  }
+  return verdicts;
+}
+
+void VtClient::saveCache() const {
+  if (cachePath_.empty()) return;
+  std::ofstream out(cachePath_, std::ios::trunc);
+  if (!out) throw std::runtime_error("VtClient: cannot write " + cachePath_);
+  out << "# domain,category (VirusTotal verdict cache)\n";
+  for (const auto& [domain, category] : cache_)
+    out << domain << ',' << category << '\n';
+}
+
+}  // namespace libspector::vtsim

@@ -1,0 +1,65 @@
+// VirusTotal client discipline (paper §III-F).
+//
+// The paper collects domain categories "using their public API", which is
+// aggressively rate limited (4 requests/minute for public keys), so large
+// studies must cache verdicts per domain and spread queries over time.
+// VtClient wraps the DomainCategorizer with exactly that discipline: a
+// token-bucket quota over simulated time plus an optional on-disk verdict
+// cache that survives across runs.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "vtsim/categorizer.hpp"
+
+namespace libspector::vtsim {
+
+struct VtQuota {
+  /// Public-API default: 4 lookups per 60-second window.
+  std::size_t requestsPerWindow = 4;
+  util::SimTimeMs windowMs = 60 * 1000;
+};
+
+class VtClient {
+ public:
+  /// `cachePath` empty disables persistence. An existing cache file is
+  /// loaded eagerly; unknown lines are rejected.
+  VtClient(DomainCategorizer& categorizer, VtQuota quota,
+           std::string cachePath = {});
+
+  /// Category for `domain` at simulated time `nowMs`. Served from cache
+  /// when possible; otherwise spends one quota token and queries the
+  /// vendor panel. Returns std::nullopt when the quota is exhausted — the
+  /// caller retries after the window slides (the paper's scraper waits).
+  [[nodiscard]] std::optional<std::string> categorize(const std::string& domain,
+                                                      util::SimTimeMs nowMs);
+
+  /// Drain a whole domain list, advancing `clock` past quota stalls —
+  /// returns the verdicts and leaves the wait time on the clock, which is
+  /// how long the real scrape would have taken.
+  std::unordered_map<std::string, std::string> categorizeAll(
+      const std::vector<std::string>& domains, util::SimClock& clock);
+
+  /// Flush the verdict cache to `cachePath` (no-op when persistence is off).
+  void saveCache() const;
+
+  [[nodiscard]] std::size_t apiCalls() const noexcept { return apiCalls_; }
+  [[nodiscard]] std::size_t cacheHits() const noexcept { return cacheHits_; }
+  [[nodiscard]] std::size_t cacheSize() const noexcept { return cache_.size(); }
+
+ private:
+  DomainCategorizer& categorizer_;
+  VtQuota quota_;
+  std::string cachePath_;
+  std::unordered_map<std::string, std::string> cache_;
+  std::deque<util::SimTimeMs> recentCalls_;
+  std::size_t apiCalls_ = 0;
+  std::size_t cacheHits_ = 0;
+};
+
+}  // namespace libspector::vtsim

@@ -1,0 +1,129 @@
+#include "vtsim/vendor.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "vtsim/categories.hpp"
+
+namespace libspector::vtsim {
+
+namespace {
+
+// House vocabularies: several phrasings per generic category, every one of
+// which tokenizes back to its category through Table I.
+struct Vocabulary {
+  std::string_view category;
+  std::array<std::string_view, 3> phrasings;
+};
+
+constexpr Vocabulary kVocabularies[] = {
+    {"adult", {"adult content", "dating and personals", "gambling"}},
+    {"advertisements", {"advertisements", "mobile ads provider", "marketing services"}},
+    {"analytics", {"web analytics", "analytics platform", "traffic analytics"}},
+    {"business_and_finance", {"business", "banking and finance", "shopping"}},
+    {"cdn", {"content delivery", "cdn proxy services", "dns services"}},
+    {"communication", {"web chat", "e-mail services", "tv and radio"}},
+    {"education", {"education", "reference materials", "education resources"}},
+    {"entertainment", {"entertainment", "video streaming", "sports coverage"}},
+    {"games", {"games", "online games", "game distribution"}},
+    {"health", {"health", "medication info", "nutrition advice"}},
+    {"info_tech", {"information technology", "computersandsoftware", "dynamic content"}},
+    {"internet_services", {"web hosting", "search engines", "cloud storage"}},
+    {"lifestyle", {"lifestyle", "travel", "personal blog"}},
+    {"malicious", {"malicious site", "botnet c2", "compromised host"}},
+    {"news", {"news", "news and tabloids", "journals"}},
+    {"social_networks", {"social networks", "social media", "social sharing"}},
+    {"unknown", {"uncategorized", "tld registry", "miscellaneous"}},
+};
+
+const Vocabulary& vocabularyOf(std::string_view category) {
+  for (const auto& vocabulary : kVocabularies)
+    if (vocabulary.category == category) return vocabulary;
+  throw std::invalid_argument("VendorSim: unknown category " + std::string(category));
+}
+
+// Categories a sloppy vendor confuses a given truth with; keeps the noise
+// realistic (an ad CDN labelled "cdn", analytics labelled "business").
+std::string_view confusedWith(std::string_view category, std::uint64_t pick) {
+  static constexpr std::array<std::string_view, 4> kGenericFallbacks = {
+      "info_tech", "internet_services", "business_and_finance", "unknown"};
+  if (category == "advertisements") {
+    constexpr std::array<std::string_view, 3> c = {"cdn", "business_and_finance", "info_tech"};
+    return c[pick % c.size()];
+  }
+  if (category == "analytics") {
+    constexpr std::array<std::string_view, 3> c = {"business_and_finance", "info_tech", "internet_services"};
+    return c[pick % c.size()];
+  }
+  if (category == "cdn") {
+    constexpr std::array<std::string_view, 3> c = {"internet_services", "info_tech", "advertisements"};
+    return c[pick % c.size()];
+  }
+  return kGenericFallbacks[pick % kGenericFallbacks.size()];
+}
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t hashDomainVendor(std::string_view domain, int vendorId) noexcept {
+  std::uint64_t h = 1469598103934665603ULL ^ static_cast<std::uint64_t>(vendorId);
+  for (const char c : domain) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return mix(h);
+}
+
+}  // namespace
+
+VendorSim::VendorSim(int vendorId, double noise)
+    : vendorId_(vendorId), noise_(noise) {
+  if (vendorId < 0 || noise < 0.0 || noise > 1.0)
+    throw std::invalid_argument("VendorSim: bad parameters");
+}
+
+std::optional<std::string> VendorSim::labelFor(
+    std::string_view domain, std::string_view trueCategory) const {
+  const std::uint64_t h = hashDomainVendor(domain, vendorId_);
+  const double roll = static_cast<double>(h >> 11) * 0x1.0p-53;
+
+  // Vendors have no verdict for ~12% of categorizable domains; genuinely
+  // uncategorizable hosts (one-off first-party backends) they mostly skip
+  // outright, answering with a throwaway label only occasionally.
+  if (trueCategory == "unknown") {
+    if (roll < 0.75) return std::nullopt;
+    if (roll < 0.75 + 0.04 * noise_ / 0.15) {
+      const auto& confused = vocabularyOf(
+          confusedWith(trueCategory, mix(h ^ 0xa5a5a5a5a5a5a5a5ULL)));
+      return std::string(confused.phrasings[mix(h ^ 0x5bd1e995ULL) %
+                                            confused.phrasings.size()]);
+    }
+    const auto& vocabulary = vocabularyOf("unknown");
+    return std::string(vocabulary.phrasings[mix(h ^ 0x5bd1e995ULL) %
+                                            vocabulary.phrasings.size()]);
+  }
+  if (roll < 0.12) return std::nullopt;
+
+  std::string_view category = trueCategory;
+  if (roll < 0.12 + noise_) {
+    category = confusedWith(trueCategory, mix(h ^ 0xa5a5a5a5a5a5a5a5ULL));
+  }
+  const auto& vocabulary = vocabularyOf(category);
+  const std::uint64_t pick = mix(h ^ 0x5bd1e995ULL);
+  return std::string(vocabulary.phrasings[pick % vocabulary.phrasings.size()]);
+}
+
+const std::vector<VendorSim>& defaultVendorPanel() {
+  static const std::vector<VendorSim> kPanel = {
+      VendorSim(0, 0.08), VendorSim(1, 0.12), VendorSim(2, 0.15),
+      VendorSim(3, 0.20), VendorSim(4, 0.10)};
+  return kPanel;
+}
+
+}  // namespace libspector::vtsim

@@ -1,0 +1,41 @@
+// Simulated VirusTotal vendor feeds (paper §III-F).
+//
+// VirusTotal returns, per domain, category labels aggregated from five
+// cybersecurity companies.  Each simulated vendor maps a domain's ground
+// truth category to its own house vocabulary, with realistic noise: vendors
+// disagree, use idiosyncratic wording, or have no verdict for a domain.
+// Labels are a deterministic function of (vendor, domain) so repeated
+// queries agree, like the real API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace libspector::vtsim {
+
+/// One vendor's label synthesis.
+class VendorSim {
+ public:
+  /// `vendorId` in [0, 4]; `noise` in [0, 1] is the probability that the
+  /// vendor answers with an off-category or unparseable label.
+  VendorSim(int vendorId, double noise);
+
+  /// This vendor's label for a domain whose true generic category is
+  /// `trueCategory`; std::nullopt when the vendor has no verdict.
+  [[nodiscard]] std::optional<std::string> labelFor(
+      std::string_view domain, std::string_view trueCategory) const;
+
+  [[nodiscard]] int id() const noexcept { return vendorId_; }
+
+ private:
+  int vendorId_;
+  double noise_;
+};
+
+/// The standard panel of 5 vendors the categorizer queries.
+[[nodiscard]] const std::vector<VendorSim>& defaultVendorPanel();
+
+}  // namespace libspector::vtsim

@@ -1,0 +1,86 @@
+#include "core/artifacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace libspector::core {
+namespace {
+
+RunArtifacts sampleArtifacts() {
+  RunArtifacts artifacts;
+  artifacts.apkSha256 = "cafe01";
+  artifacts.packageName = "com.example.app";
+  artifacts.appCategory = "GAME_WORD";
+
+  const net::SocketPair pair{{net::Ipv4Addr(10, 0, 2, 15), 40000},
+                             {net::Ipv4Addr(198, 18, 0, 3), 443}};
+  artifacts.capture.append(net::makeTcpPacket(10, pair, 540, 500));
+  artifacts.capture.append(net::makeUdpPacket(
+      12, pair, 70, 42, "ads1.x.com", net::Ipv4Addr(198, 18, 0, 3)));
+  artifacts.capture.appendHttp({14, pair, "ads1.x.com", "/ads", "UnityAds", false});
+
+  UdpReport report;
+  report.apkSha256 = "cafe01";
+  report.socketPair = pair;
+  report.timestampMs = 9;
+  report.stackSignatures = {"java.net.Socket.connect",
+                            "Lcom/lib/b;->doInBackground()V"};
+  artifacts.reports.push_back(report);
+
+  artifacts.methodTraceFile = {"Lcom/lib/b;->doInBackground()V",
+                               "java.net.Socket.connect"};
+  artifacts.coverage.coveredMethods = 12;
+  artifacts.coverage.totalMethods = 480;
+  artifacts.coverage.traceEntries = 15;
+  artifacts.monkeyEventsInjected = 960;
+  artifacts.runDurationMs = 480000;
+  return artifacts;
+}
+
+TEST(ArtifactsTest, SerializeDeserializeRoundTrip) {
+  const RunArtifacts original = sampleArtifacts();
+  const RunArtifacts decoded = RunArtifacts::deserialize(original.serialize());
+
+  EXPECT_EQ(decoded.apkSha256, original.apkSha256);
+  EXPECT_EQ(decoded.packageName, original.packageName);
+  EXPECT_EQ(decoded.appCategory, original.appCategory);
+  EXPECT_EQ(decoded.capture, original.capture);
+  ASSERT_EQ(decoded.reports.size(), 1u);
+  EXPECT_EQ(decoded.reports[0], original.reports[0]);
+  EXPECT_EQ(decoded.methodTraceFile, original.methodTraceFile);
+  EXPECT_EQ(decoded.coverage.coveredMethods, 12u);
+  EXPECT_EQ(decoded.coverage.totalMethods, 480u);
+  EXPECT_EQ(decoded.coverage.traceEntries, 15u);
+  EXPECT_EQ(decoded.monkeyEventsInjected, 960u);
+  EXPECT_EQ(decoded.runDurationMs, 480000u);
+}
+
+TEST(ArtifactsTest, EmptyBundleRoundTrips) {
+  const RunArtifacts empty;
+  const RunArtifacts decoded = RunArtifacts::deserialize(empty.serialize());
+  EXPECT_TRUE(decoded.apkSha256.empty());
+  EXPECT_EQ(decoded.capture.size(), 0u);
+  EXPECT_TRUE(decoded.reports.empty());
+}
+
+TEST(ArtifactsTest, RejectsCorruption) {
+  auto bytes = sampleArtifacts().serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_THROW((void)RunArtifacts::deserialize(bytes), util::DecodeError);
+
+  const auto good = sampleArtifacts().serialize();
+  const std::span<const std::uint8_t> truncated(good.data(), good.size() - 7);
+  EXPECT_THROW((void)RunArtifacts::deserialize(truncated), util::DecodeError);
+
+  auto padded = sampleArtifacts().serialize();
+  padded.push_back(0);
+  EXPECT_THROW((void)RunArtifacts::deserialize(padded), util::DecodeError);
+}
+
+TEST(ArtifactsTest, SerializationIsDeterministic) {
+  EXPECT_EQ(sampleArtifacts().serialize(), sampleArtifacts().serialize());
+}
+
+}  // namespace
+}  // namespace libspector::core

@@ -1,0 +1,311 @@
+#include "core/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Built-in frame filter (footnote 2)
+// ---------------------------------------------------------------------------
+
+TEST(BuiltinFilterTest, Footnote2Prefixes) {
+  EXPECT_TRUE(isBuiltinFrame("android.os.AsyncTask$2.call"));
+  EXPECT_TRUE(isBuiltinFrame("dalvik.system.VMStack.getThreadStackTrace"));
+  EXPECT_TRUE(isBuiltinFrame("java.net.Socket.connect"));
+  EXPECT_TRUE(isBuiltinFrame("java.util.concurrent.FutureTask.run"));
+  EXPECT_TRUE(isBuiltinFrame("javax.net.ssl.SSLSocketFactory.createSocket"));
+  EXPECT_TRUE(isBuiltinFrame("junit.framework.TestCase.run"));
+  EXPECT_TRUE(isBuiltinFrame("org.apache.http.impl.client.AbstractHttpClient.execute"));
+  EXPECT_TRUE(isBuiltinFrame("org.json.JSONObject.put"));
+  EXPECT_TRUE(isBuiltinFrame("org.w3c.dom.Document.createElement"));
+  EXPECT_TRUE(isBuiltinFrame("org.xml.sax.XMLReader.parse"));
+  EXPECT_TRUE(isBuiltinFrame("org.xmlpull.v1.XmlPullParser.next"));
+}
+
+TEST(BuiltinFilterTest, PlatformOkHttpIsBuiltinButVolleyIsNot) {
+  // Listing 1 eliminates com.android.okhttp.* as internal API calls, yet
+  // Fig. 3 lists com.android.volley as a top origin-library.
+  EXPECT_TRUE(isBuiltinFrame("com.android.okhttp.internal.Platform.connectSocket"));
+  EXPECT_TRUE(isBuiltinFrame("com.android.okhttp.OkHttpClient$1.connectAndSetOwner"));
+  EXPECT_FALSE(isBuiltinFrame("com.android.volley.toolbox.BasicNetwork.performRequest"));
+}
+
+TEST(BuiltinFilterTest, ThirdPartyFramesPass) {
+  EXPECT_FALSE(isBuiltinFrame("com.unity3d.ads.android.cache.b.doInBackground"));
+  EXPECT_FALSE(isBuiltinFrame("okhttp3.internal.http.RealInterceptorChain.proceed"));
+  EXPECT_FALSE(isBuiltinFrame("com.myapp.net.Fetcher.fetch"));
+  // androidx is not android.*
+  EXPECT_FALSE(isBuiltinFrame("androidx.core.app.ComponentActivity.onCreate"));
+}
+
+TEST(BuiltinFilterTest, AcceptsSmaliSignatures) {
+  EXPECT_TRUE(isBuiltinFrame("Landroid/os/AsyncTask$2;->call()Ljava/lang/Object;"));
+  EXPECT_FALSE(isBuiltinFrame("Lcom/unity3d/ads/android/cache/b;->a()V"));
+}
+
+// ---------------------------------------------------------------------------
+// Origin frame selection (Listing 1)
+// ---------------------------------------------------------------------------
+
+TEST(OriginFrameTest, Listing1SelectsLine12) {
+  // Exact trace from Listing 1, innermost first.
+  const std::vector<std::string> trace = {
+      "java.net.Socket.connect",
+      "com.android.okhttp.internal.Platform.connectSocket",
+      "com.android.okhttp.Connection.connectSocket",
+      "com.android.okhttp.Connection.connect",
+      "com.android.okhttp.Connection.connectAndSetOwner",
+      "com.android.okhttp.OkHttpClient$1.connectAndSetOwner",
+      "com.android.okhttp.internal.http.HttpEngine.connect",
+      "com.android.okhttp.internal.http.HttpEngine.sendRequest",
+      "com.android.okhttp.internal.huc.HttpURLConnectionImpl.execute",
+      "com.android.okhttp.internal.huc.HttpURLConnectionImpl.connect",
+      "com.unity3d.ads.android.cache.b.a",
+      "com.unity3d.ads.android.cache.b.doInBackground",  // <- line 12
+      "android.os.AsyncTask$2.call",
+      "java.util.concurrent.FutureTask.run",
+  };
+  const auto origin = originFrameIndex(trace);
+  ASSERT_TRUE(origin.has_value());
+  EXPECT_EQ(*origin, 11u);
+  EXPECT_EQ(trace[*origin], "com.unity3d.ads.android.cache.b.doInBackground");
+  EXPECT_EQ(packageOfEntry(trace[*origin]), "com.unity3d.ads.android.cache");
+}
+
+TEST(OriginFrameTest, AllBuiltinMeansNoOrigin) {
+  const std::vector<std::string> trace = {
+      "java.net.Socket.connect",
+      "com.android.okhttp.internal.Platform.connectSocket",
+      "android.os.Handler.dispatchMessage",
+      "java.lang.Thread.run",
+  };
+  EXPECT_FALSE(originFrameIndex(trace).has_value());
+}
+
+TEST(OriginFrameTest, EmptyTrace) {
+  EXPECT_FALSE(originFrameIndex({}).has_value());
+}
+
+TEST(OriginFrameTest, DirectCallPicksOutermostAppFrame) {
+  // A synchronous handler call: the chronologically first app method is
+  // the UI handler, not the library helper beneath it.
+  const std::vector<std::string> trace = {
+      "java.net.Socket.connect",
+      "okhttp3.internal.connection.RealConnection.connect",
+      "com.myapp.net.Api.fetch",
+      "com.myapp.ui.MainActivity.onClick",
+      "android.view.View.performClick",
+  };
+  const auto origin = originFrameIndex(trace);
+  ASSERT_TRUE(origin.has_value());
+  EXPECT_EQ(trace[*origin], "com.myapp.ui.MainActivity.onClick");
+}
+
+TEST(EntryHelpersTest, FrameAndPackageFromEitherForm) {
+  EXPECT_EQ(frameNameOf("Lcom/foo/Bar;->baz(I)V"), "com.foo.Bar.baz");
+  EXPECT_EQ(frameNameOf("com.foo.Bar.baz"), "com.foo.Bar.baz");
+  EXPECT_EQ(packageOfEntry("Lcom/foo/Bar;->baz(I)V"), "com.foo");
+  EXPECT_EQ(packageOfEntry("com.foo.Bar.baz"), "com.foo");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end attribution over a hand-built run
+// ---------------------------------------------------------------------------
+
+class AttributorTest : public ::testing::Test {
+ protected:
+  AttributorTest()
+      : corpus_(radar::LibraryCorpus::builtin()),
+        categorizer_(vtsim::defaultVendorPanel(),
+                     [](const std::string& domain) -> std::string {
+                       if (domain.starts_with("ads")) return "advertisements";
+                       if (domain.starts_with("cdn")) return "cdn";
+                       return "business_and_finance";
+                     }),
+        attributor_(corpus_, categorizer_) {}
+
+  static net::SocketPair pairWithPort(std::uint16_t srcPort,
+                                      net::Ipv4Addr dst = net::Ipv4Addr(198, 18, 0, 5)) {
+    return {{net::Ipv4Addr(10, 0, 2, 15), srcPort}, {dst, 443}};
+  }
+
+  /// DNS answer + data packets + report for one socket.
+  void addFlow(RunArtifacts& run, std::uint16_t srcPort,
+               const std::string& domain, net::Ipv4Addr serverIp,
+               util::SimTimeMs when, std::uint32_t sentPayload,
+               std::uint32_t recvPayload,
+               std::vector<std::string> stack) {
+    const auto pair = pairWithPort(srcPort, serverIp);
+    run.capture.append(net::makeUdpPacket(when - 5, {{net::Ipv4Addr(10, 0, 2, 15), 0},
+                                                     {net::Ipv4Addr(10, 0, 2, 3), 53}},
+                                          70, 42, domain, serverIp));
+    run.capture.append(net::makeTcpPacket(when + 1, pair, sentPayload + 40, sentPayload));
+    run.capture.append(
+        net::makeTcpPacket(when + 2, pair.reversed(), recvPayload + 40, recvPayload));
+    UdpReport report;
+    report.apkSha256 = run.apkSha256;
+    report.socketPair = pair;
+    report.timestampMs = when;
+    report.stackSignatures = std::move(stack);
+    run.reports.push_back(std::move(report));
+  }
+
+  RunArtifacts baseRun() {
+    RunArtifacts run;
+    run.apkSha256 = "feedface";
+    run.packageName = "com.myapp";
+    run.appCategory = "GAME_ACTION";
+    return run;
+  }
+
+  const std::vector<std::string> kAdStack = {
+      "java.net.Socket.connect",
+      "com.android.okhttp.internal.Platform.connectSocket",
+      "Lcom/unity3d/ads/android/cache/b;->a(Ljava/lang/String;)V",
+      "Lcom/unity3d/ads/android/cache/b;->doInBackground([Ljava/lang/String;)V",
+      "android.os.AsyncTask$2.call",
+      "java.util.concurrent.FutureTask.run"};
+
+  radar::LibraryCorpus corpus_;
+  vtsim::DomainCategorizer categorizer_;
+  TrafficAttributor attributor_;
+};
+
+TEST_F(AttributorTest, AttributesListing1FlowCompletely) {
+  auto run = baseRun();
+  addFlow(run, 40000, "ads1.unityads.com", net::Ipv4Addr(198, 18, 0, 5), 1000,
+          500, 18000, kAdStack);
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 1u);
+  const FlowRecord& flow = flows[0];
+  EXPECT_EQ(flow.originLibrary, "com.unity3d.ads.android.cache");
+  EXPECT_EQ(flow.twoLevelLibrary, "com.unity3d");
+  EXPECT_EQ(flow.libraryCategory, "Advertisement");
+  EXPECT_TRUE(flow.antOrigin);
+  EXPECT_FALSE(flow.builtinOrigin);
+  EXPECT_EQ(flow.domain, "ads1.unityads.com");
+  EXPECT_EQ(flow.sentBytes, 500u);
+  EXPECT_EQ(flow.recvBytes, 18000u);
+  EXPECT_EQ(flow.appCategory, "GAME_ACTION");
+}
+
+TEST_F(AttributorTest, BuiltinOnlyStackBecomesStarLibrary) {
+  auto run = baseRun();
+  addFlow(run, 40001, "ads2.exchange.com", net::Ipv4Addr(198, 18, 0, 6), 2000,
+          300, 9000,
+          {"java.net.Socket.connect", "android.webkit.WebViewClient.onLoadResource",
+           "java.lang.Thread.run"});
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_TRUE(flows[0].builtinOrigin);
+  EXPECT_EQ(flows[0].libraryCategory, "Unknown");
+  // Fig. 3's "*-Advertisement" convention (when the vote lands on ads).
+  EXPECT_TRUE(flows[0].originLibrary.starts_with("*-"));
+}
+
+TEST_F(AttributorTest, FirstPartyOriginPredictsUnknownCategory) {
+  auto run = baseRun();
+  addFlow(run, 40002, "api7.backend.com", net::Ipv4Addr(198, 18, 0, 7), 3000,
+          400, 5000,
+          {"java.net.Socket.connect",
+           "Lcom/myapp/net/Api;->fetch()V",
+           "Lcom/myapp/ui/Main;->onClick(Landroid/view/View;)V"});
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].originLibrary, "com.myapp.ui");
+  EXPECT_EQ(flows[0].libraryCategory, "Unknown");
+  EXPECT_FALSE(flows[0].antOrigin);
+}
+
+TEST_F(AttributorTest, PortReuseDisambiguatedByTime) {
+  // Two different sockets reuse the identical socket pair; each report must
+  // only absorb its own window's packets (§III-E: counted separately).
+  auto run = baseRun();
+  addFlow(run, 41000, "ads3.net.com", net::Ipv4Addr(198, 18, 0, 8), 10000, 500,
+          7000, kAdStack);
+  addFlow(run, 41000, "ads3.net.com", net::Ipv4Addr(198, 18, 0, 8), 50000, 600,
+          9000, kAdStack);
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].sentBytes, 500u);
+  EXPECT_EQ(flows[0].recvBytes, 7000u);
+  EXPECT_EQ(flows[1].sentBytes, 600u);
+  EXPECT_EQ(flows[1].recvBytes, 9000u);
+}
+
+TEST_F(AttributorTest, DomainIsMostRecentResolutionForIp) {
+  // Two domains resolve to one CDN address at different times; the flow
+  // after the second resolution belongs to the second domain.
+  auto run = baseRun();
+  const auto cdnIp = net::Ipv4Addr(198, 18, 0, 9);
+  run.capture.append(net::makeUdpPacket(
+      100, {{net::Ipv4Addr(10, 0, 2, 15), 0}, {net::Ipv4Addr(10, 0, 2, 3), 53}},
+      70, 42, "cdnA.edge.net", cdnIp));
+  run.capture.append(net::makeUdpPacket(
+      500, {{net::Ipv4Addr(10, 0, 2, 15), 0}, {net::Ipv4Addr(10, 0, 2, 3), 53}},
+      70, 42, "cdnB.edge.net", cdnIp));
+  const auto pair = pairWithPort(42000, cdnIp);
+  run.capture.append(net::makeTcpPacket(1001, pair, 140, 100));
+  UdpReport report;
+  report.apkSha256 = run.apkSha256;
+  report.socketPair = pair;
+  report.timestampMs = 1000;
+  report.stackSignatures = kAdStack;
+  run.reports.push_back(report);
+
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].domain, "cdnB.edge.net");
+  EXPECT_EQ(flows[0].domainCategory, "cdn");
+}
+
+TEST_F(AttributorTest, UnresolvedIpHasEmptyDomainUnknownCategory) {
+  auto run = baseRun();
+  const auto pair = pairWithPort(43000, net::Ipv4Addr(203, 0, 113, 1));
+  run.capture.append(net::makeTcpPacket(1001, pair, 140, 100));
+  UdpReport report;
+  report.apkSha256 = run.apkSha256;
+  report.socketPair = pair;
+  report.timestampMs = 1000;
+  report.stackSignatures = kAdStack;
+  run.reports.push_back(report);
+
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_TRUE(flows[0].domain.empty());
+  EXPECT_EQ(flows[0].domainCategory, vtsim::kUnknownDomainCategory);
+}
+
+TEST_F(AttributorTest, CommonLibraryFlagSet) {
+  auto run = baseRun();
+  addFlow(run, 44000, "api8.backend.com", net::Ipv4Addr(198, 18, 0, 10), 1500,
+          300, 2000,
+          {"java.net.Socket.connect",
+           "Lokhttp3/internal/http/RealInterceptorChain;->proceed()V",
+           "android.os.AsyncTask$2.call"});
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].originLibrary, "okhttp3.internal.http");
+  EXPECT_EQ(flows[0].libraryCategory, "Development Aid");
+  EXPECT_TRUE(flows[0].commonOrigin);
+  EXPECT_FALSE(flows[0].antOrigin);
+}
+
+TEST_F(AttributorTest, FlowsSortedByConnectTime) {
+  auto run = baseRun();
+  addFlow(run, 45001, "ads4.x.com", net::Ipv4Addr(198, 18, 0, 11), 9000, 1, 1,
+          kAdStack);
+  addFlow(run, 45000, "ads4.x.com", net::Ipv4Addr(198, 18, 0, 11), 1000, 1, 1,
+          kAdStack);
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_LT(flows[0].connectTimeMs, flows[1].connectTimeMs);
+}
+
+TEST_F(AttributorTest, EmptyRunYieldsNoFlows) {
+  EXPECT_TRUE(attributor_.attribute(baseRun()).empty());
+}
+
+}  // namespace
+}  // namespace libspector::core

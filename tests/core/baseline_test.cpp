@@ -1,0 +1,117 @@
+#include "core/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::core {
+namespace {
+
+net::HttpExchange exchange(std::uint16_t srcPort, util::SimTimeMs ts,
+                           std::string host, std::string ua) {
+  net::HttpExchange out;
+  out.timestampMs = ts;
+  out.pair = {{net::Ipv4Addr(10, 0, 2, 15), srcPort},
+              {net::Ipv4Addr(198, 18, 0, 1), 443}};
+  out.host = std::move(host);
+  out.path = "/ads/v2/fetch";
+  out.userAgent = std::move(ua);
+  return out;
+}
+
+FlowRecord flowAt(std::uint16_t srcPort, util::SimTimeMs connect,
+                  std::string libCategory, std::uint64_t bytes = 1000) {
+  FlowRecord flow;
+  flow.socketPair = {{net::Ipv4Addr(10, 0, 2, 15), srcPort},
+                     {net::Ipv4Addr(198, 18, 0, 1), 443}};
+  flow.connectTimeMs = connect;
+  flow.libraryCategory = std::move(libCategory);
+  flow.recvBytes = bytes;
+  return flow;
+}
+
+TEST(UserAgentClassifierTest, MatchesKnownSdkStrings) {
+  const UserAgentAdClassifier classifier;
+  EXPECT_TRUE(classifier.isAdTraffic(exchange(1, 0, "x.com", "UnityAds/3.4 Android")));
+  EXPECT_TRUE(classifier.isAdTraffic(exchange(1, 0, "x.com", "MoPubSDK/5.4 (Android)")));
+  EXPECT_TRUE(classifier.isAdTraffic(
+      exchange(1, 0, "x.com", "FBAudienceNetwork/5.6 AN-SDK")));
+}
+
+TEST(UserAgentClassifierTest, GenericDalvikUaIsInvisible) {
+  // The paper's critique: the default platform UA carries no SDK identity.
+  const UserAgentAdClassifier classifier;
+  EXPECT_FALSE(classifier.isAdTraffic(exchange(
+      1, 0, "ads1.example.com",
+      "Dalvik/2.1.0 (Linux; U; Android 7.1.1; sdk_google_phone_x86)")));
+  EXPECT_FALSE(classifier.isAdTraffic(exchange(1, 0, "x.com", "")));
+}
+
+TEST(UserAgentClassifierTest, CaseInsensitiveAndExtendable) {
+  UserAgentAdClassifier classifier;
+  EXPECT_TRUE(classifier.isAdTraffic(exchange(1, 0, "x.com", "UNITYADS/3.4")));
+  classifier.addMarker("MyCustomAdKit");
+  EXPECT_TRUE(classifier.isAdTraffic(exchange(1, 0, "x.com", "mycustomadkit/1")));
+}
+
+TEST(HostnameClassifierTest, MatchesAdHostsMissesGenericOnes) {
+  const HostnameAdClassifier classifier;
+  EXPECT_TRUE(classifier.isAdTraffic("adserv3.unity3d-ads.net"));
+  EXPECT_TRUE(classifier.isAdTraffic("ADS1.exchange.com"));
+  // CDN-served ad creatives escape hostname matching — §IV-E.
+  EXPECT_FALSE(classifier.isAdTraffic("cdn4.edgecache.net"));
+  EXPECT_FALSE(classifier.isAdTraffic("api2.backend.com"));
+}
+
+TEST(JoinTest, ExchangesJoinToOwningFlowByPairAndTime) {
+  std::vector<FlowRecord> flows = {flowAt(40000, 1000, "Advertisement"),
+                                   flowAt(40000, 50000, "Development Aid"),
+                                   flowAt(40001, 2000, "Unknown")};
+  net::CaptureFile capture;
+  capture.appendHttp(exchange(40000, 1100, "a.com", "ua"));   // first flow
+  capture.appendHttp(exchange(40000, 50100, "a.com", "ua"));  // second flow
+  capture.appendHttp(exchange(40001, 2100, "b.com", "ua"));   // third flow
+  capture.appendHttp(exchange(49999, 100, "c.com", "ua"));    // no flow
+
+  const auto joined = joinExchangesToFlows(flows, capture);
+  ASSERT_EQ(joined.size(), 3u);
+  EXPECT_EQ(joined[0].flow->libraryCategory, "Advertisement");
+  EXPECT_EQ(joined[1].flow->libraryCategory, "Development Aid");
+  EXPECT_EQ(joined[2].flow->libraryCategory, "Unknown");
+}
+
+TEST(ScoreTest, TalliesAndDerivedMetrics) {
+  std::vector<FlowRecord> flows = {flowAt(1, 0, "Advertisement", 500),
+                                   flowAt(2, 0, "Advertisement", 700),
+                                   flowAt(3, 0, "Unknown", 100),
+                                   flowAt(4, 0, "Unknown", 100)};
+  net::CaptureFile capture;
+  capture.appendHttp(exchange(1, 10, "ads.com", "UnityAds/3.4"));  // TP
+  capture.appendHttp(exchange(2, 10, "cdn.net", "Dalvik/2.1"));    // FN
+  capture.appendHttp(exchange(3, 10, "ads.com", "UnityAds/3.4"));  // FP
+  capture.appendHttp(exchange(4, 10, "api.com", "Dalvik/2.1"));    // TN
+
+  const UserAgentAdClassifier classifier;
+  const auto joined = joinExchangesToFlows(flows, capture);
+  const auto score = scoreBaseline(
+      joined,
+      [](const FlowRecord& f) { return f.libraryCategory == "Advertisement"; },
+      [&](const JoinedExchange& e) { return classifier.isAdTraffic(*e.exchange); });
+
+  EXPECT_EQ(score.truePositives, 1u);
+  EXPECT_EQ(score.falseNegatives, 1u);
+  EXPECT_EQ(score.falsePositives, 1u);
+  EXPECT_EQ(score.trueNegatives, 1u);
+  EXPECT_DOUBLE_EQ(score.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(score.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(score.f1(), 0.5);
+  EXPECT_EQ(score.missedBytes, 700u);
+}
+
+TEST(ScoreTest, EmptyInputsGiveZeroMetricsNotNan) {
+  const BaselineScore empty;
+  EXPECT_EQ(empty.precision(), 0.0);
+  EXPECT_EQ(empty.recall(), 0.0);
+  EXPECT_EQ(empty.f1(), 0.0);
+}
+
+}  // namespace
+}  // namespace libspector::core

@@ -1,0 +1,86 @@
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::core {
+namespace {
+
+// §IV-D reproduces the paper's arithmetic exactly; these tests pin it.
+
+TEST(EnergyModelTest, BatteryVoltage) {
+  // 11.55 Wh / 3000 mAh = 3.85 V
+  EXPECT_NEAR(EnergyModel{}.batteryVoltage(), 3.85, 1e-9);
+}
+
+TEST(EnergyModelTest, AdActivePower) {
+  // (229 mA - 144.6 mA) * 3.85 V = 0.325 W
+  EXPECT_NEAR(EnergyModel{}.adActivePowerWatts(), 0.325, 0.001);
+}
+
+TEST(EnergyModelTest, AdThroughput) {
+  // (31 kB * 0.95) / (5 min * 9.3 s/min) ~= 635 B/s  (31 kB = 31*1024 B)
+  EXPECT_NEAR(EnergyModel{}.adThroughputBytesPerSec(), 635.0, 25.0);
+}
+
+TEST(EnergyModelTest, JoulesPerByte) {
+  // The paper prints 5e-3 J/B but its worked example (15.6 MB -> 7794 J)
+  // pins the real value near 5e-4.
+  EXPECT_NEAR(EnergyModel{}.joulesPerByte(), 5.0e-4, 0.6e-4);
+}
+
+TEST(EnergyModelTest, PaperWorkedExample) {
+  const EnergyModel model;
+  const double bytes = 15.6 * 1024 * 1024;  // "15.6 MB data on average"
+  const double joules = model.energyJoules(bytes);
+  EXPECT_NEAR(joules, 7794.0, 800.0);  // "costs 7794 Joules of energy"
+  // "or 2.16 Wh ... that is 18.7% more energy consumption"
+  EXPECT_NEAR(joules / 3600.0, 2.16, 0.25);
+  EXPECT_NEAR(model.batteryFraction(bytes), 0.187, 0.02);
+}
+
+TEST(DataPlanTest, GoogleFiAdCost) {
+  // 15.58 MB per 8-minute run at $10/GB ~= $1.17 per hour (paper's figure;
+  // the plain arithmetic gives ~$1.14, within rounding of their inputs).
+  const DataPlanModel plan;
+  const double bytesPerRun = 15.58 * 1024 * 1024;
+  EXPECT_NEAR(plan.usdPerHour(bytesPerRun, 8.0), 1.17, 0.05);
+}
+
+TEST(DataPlanTest, AnalyticsAndSocialCosts) {
+  const DataPlanModel plan;
+  // Mobile Analytics: 2.2 MB/8min -> ~$0.17/h (paper: $0.17).
+  EXPECT_NEAR(plan.usdPerHour(2.2 * 1024 * 1024, 8.0), 0.17, 0.03);
+  // Social+identity: 1.92 MB/8min -> ~$0.14/h (paper: $0.14).
+  EXPECT_NEAR(plan.usdPerHour(1.92 * 1024 * 1024, 8.0), 0.14, 0.02);
+}
+
+TEST(DataPlanTest, GameEngineCost) {
+  // Game engines: $3.02/h implies ~41 MB per 8-minute run.
+  const DataPlanModel plan;
+  EXPECT_NEAR(plan.usdPerHour(41.2 * 1024 * 1024, 8.0), 3.02, 0.1);
+}
+
+TEST(DataPlanTest, ZeroRunMinutes) {
+  EXPECT_EQ(DataPlanModel{}.usdPerHour(1e6, 0.0), 0.0);
+}
+
+TEST(CostModelTest, EstimateBundlesEverything) {
+  const CostModel model(DataPlanModel{}, EnergyModel{}, 8.0);
+  const double bytes = 15.6 * 1024 * 1024;
+  const auto estimate = model.estimate(bytes);
+  EXPECT_DOUBLE_EQ(estimate.bytesPerRun, bytes);
+  EXPECT_GT(estimate.usdPerHour, 1.0);
+  EXPECT_GT(estimate.energyJoules, 7000.0);
+  EXPECT_GT(estimate.batteryFraction, 0.15);
+}
+
+TEST(CostModelTest, ScalesLinearlyInBytes) {
+  const CostModel model(DataPlanModel{}, EnergyModel{}, 8.0);
+  const auto one = model.estimate(1e6);
+  const auto two = model.estimate(2e6);
+  EXPECT_NEAR(two.usdPerHour, 2 * one.usdPerHour, 1e-9);
+  EXPECT_NEAR(two.energyJoules, 2 * one.energyJoules, 1e-6);
+}
+
+}  // namespace
+}  // namespace libspector::core

@@ -1,0 +1,65 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace libspector::core {
+namespace {
+
+UdpReport sampleReport() {
+  UdpReport report;
+  report.apkSha256 = "deadbeef00";
+  report.socketPair = {{net::Ipv4Addr(10, 0, 2, 15), 40001},
+                       {net::Ipv4Addr(198, 18, 0, 9), 443}};
+  report.timestampMs = 123456;
+  report.stackSignatures = {
+      "java.net.Socket.connect",
+      "com.android.okhttp.internal.Platform.connectSocket",
+      "Lcom/unity3d/ads/android/cache/b;->a(Ljava/lang/String;)V",
+      "Lcom/unity3d/ads/android/cache/b;->doInBackground([Ljava/lang/String;)V",
+      "android.os.AsyncTask$2.call",
+      "java.util.concurrent.FutureTask.run"};
+  return report;
+}
+
+TEST(ReportTest, EncodeDecodeRoundTrip) {
+  const UdpReport report = sampleReport();
+  const auto datagram = report.encode();
+  EXPECT_EQ(UdpReport::decode(datagram), report);
+}
+
+TEST(ReportTest, EmptyStackRoundTrips) {
+  UdpReport report = sampleReport();
+  report.stackSignatures.clear();
+  EXPECT_EQ(UdpReport::decode(report.encode()), report);
+}
+
+TEST(ReportTest, DatagramFitsTypicalMtu) {
+  // One report per socket must remain a single realistic datagram.
+  EXPECT_LT(sampleReport().encode().size(), 1400u);
+}
+
+TEST(ReportTest, DecodeRejectsCorruption) {
+  auto datagram = sampleReport().encode();
+  datagram[0] ^= 0xff;  // magic
+  EXPECT_THROW((void)UdpReport::decode(datagram), util::DecodeError);
+
+  const auto good = sampleReport().encode();
+  const std::span<const std::uint8_t> truncated(good.data(), good.size() / 2);
+  EXPECT_THROW((void)UdpReport::decode(truncated), util::DecodeError);
+
+  auto padded = sampleReport().encode();
+  padded.push_back(0);
+  EXPECT_THROW((void)UdpReport::decode(padded), util::DecodeError);
+}
+
+TEST(ReportTest, PreservesSocketPairExactly) {
+  const auto decoded = UdpReport::decode(sampleReport().encode());
+  EXPECT_EQ(decoded.socketPair.src.port, 40001);
+  EXPECT_EQ(decoded.socketPair.dst.ip.str(), "198.18.0.9");
+  EXPECT_EQ(decoded.socketPair.dst.port, 443);
+}
+
+}  // namespace
+}  // namespace libspector::core

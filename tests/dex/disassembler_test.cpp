@@ -1,0 +1,69 @@
+#include "dex/disassembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::dex {
+namespace {
+
+ApkFile apkWithOverloads() {
+  ApkFile apk;
+  apk.packageName = "com.example";
+  DexFile dex;
+  ClassDef bar;
+  bar.dottedName = "com.example.Bar";
+  bar.methods = {{"Lcom/example/Bar;->m(I)V"},
+                 {"Lcom/example/Bar;->m(J)V"},
+                 {"Lcom/example/Bar;->other()V"},
+                 {"not a signature"}};
+  dex.classes.push_back(bar);
+  ClassDef second;
+  second.dottedName = "com.example.net.Client";
+  second.methods = {{"Lcom/example/net/Client;->connect()Z"}};
+  dex.classes.push_back(second);
+  apk.dexFiles.push_back(dex);
+  return apk;
+}
+
+TEST(DisassemblerTest, AllMethodSignaturesInDexOrder) {
+  const auto signatures = allMethodSignatures(apkWithOverloads());
+  ASSERT_EQ(signatures.size(), 5u);
+  EXPECT_EQ(signatures[0], "Lcom/example/Bar;->m(I)V");
+  EXPECT_EQ(signatures[4], "Lcom/example/net/Client;->connect()Z");
+}
+
+TEST(DisassemblerTest, TranslationTableResolvesFrames) {
+  const FrameTranslationTable table(apkWithOverloads());
+  const auto& overloads = table.lookup("com.example.Bar.m");
+  ASSERT_EQ(overloads.size(), 2u);
+  EXPECT_EQ(overloads[0], "Lcom/example/Bar;->m(I)V");
+  EXPECT_EQ(overloads[1], "Lcom/example/Bar;->m(J)V");
+}
+
+TEST(DisassemblerTest, TranslationTableSingleOverload) {
+  const FrameTranslationTable table(apkWithOverloads());
+  const auto& found = table.lookup("com.example.net.Client.connect");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], "Lcom/example/net/Client;->connect()Z");
+}
+
+TEST(DisassemblerTest, UnknownFrameIsEmpty) {
+  const FrameTranslationTable table(apkWithOverloads());
+  EXPECT_TRUE(table.lookup("java.net.Socket.connect").empty());
+}
+
+TEST(DisassemblerTest, MalformedEntriesAreTolerated) {
+  // One of the five methods is unparseable; the table holds the other four
+  // under three frame names.
+  const FrameTranslationTable table(apkWithOverloads());
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(DisassemblerTest, EmptyApk) {
+  const ApkFile apk;
+  EXPECT_TRUE(allMethodSignatures(apk).empty());
+  const FrameTranslationTable table(apk);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace libspector::dex

@@ -1,0 +1,152 @@
+#include "dex/type_signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::dex {
+namespace {
+
+TEST(TypeSignatureTest, ParsesListing1OriginSignature) {
+  const auto sig = TypeSignature::parse(
+      "Lcom/unity3d/ads/android/cache/b;->doInBackground([Ljava/lang/String;)"
+      "Ljava/lang/Object;");
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_EQ(sig->dottedClass(), "com.unity3d.ads.android.cache.b");
+  EXPECT_EQ(sig->methodName(), "doInBackground");
+  EXPECT_EQ(sig->packagePath(), "com.unity3d.ads.android.cache");
+  EXPECT_EQ(sig->frameName(), "com.unity3d.ads.android.cache.b.doInBackground");
+  ASSERT_EQ(sig->paramTypes().size(), 1u);
+  EXPECT_EQ(sig->paramTypes()[0], "[Ljava/lang/String;");
+  EXPECT_EQ(sig->returnType(), "Ljava/lang/Object;");
+}
+
+TEST(TypeSignatureTest, ParsesInnerClassesPerFootnote1) {
+  // Smali convention: Lpackage/name/className$innerClassName;->...
+  const auto sig =
+      TypeSignature::parse("Lcom/android/okhttp/OkHttpClient$1;->connectAndSetOwner()V");
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_EQ(sig->dottedClass(), "com.android.okhttp.OkHttpClient$1");
+  EXPECT_EQ(sig->frameName(), "com.android.okhttp.OkHttpClient$1.connectAndSetOwner");
+  EXPECT_EQ(sig->packagePath(), "com.android.okhttp");
+}
+
+TEST(TypeSignatureTest, ParsesPrimitiveParamsAndReturn) {
+  const auto sig = TypeSignature::parse("Lcom/foo/Bar;->baz(IJZ)D");
+  ASSERT_TRUE(sig.has_value());
+  ASSERT_EQ(sig->paramTypes().size(), 3u);
+  EXPECT_EQ(sig->paramTypes()[0], "I");
+  EXPECT_EQ(sig->paramTypes()[1], "J");
+  EXPECT_EQ(sig->paramTypes()[2], "Z");
+  EXPECT_EQ(sig->returnType(), "D");
+}
+
+TEST(TypeSignatureTest, ParsesNestedArrays) {
+  const auto sig = TypeSignature::parse("La/B;->m([[I[Lc/D;)[J");
+  ASSERT_TRUE(sig.has_value());
+  ASSERT_EQ(sig->paramTypes().size(), 2u);
+  EXPECT_EQ(sig->paramTypes()[0], "[[I");
+  EXPECT_EQ(sig->paramTypes()[1], "[Lc/D;");
+  EXPECT_EQ(sig->returnType(), "[J");
+}
+
+TEST(TypeSignatureTest, RoundTripsToSmali) {
+  const std::string smali =
+      "Lcom/unity3d/ads/android/cache/b;->a(Ljava/lang/String;I)V";
+  const auto sig = TypeSignature::parse(smali);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_EQ(sig->smali(), smali);
+}
+
+TEST(TypeSignatureTest, DistinguishesOverloads) {
+  const auto a = TypeSignature::parse("Lcom/foo/Bar;->m(I)V");
+  const auto b = TypeSignature::parse("Lcom/foo/Bar;->m(J)V");
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(a->frameName(), b->frameName());  // same frame, distinct signatures
+}
+
+TEST(TypeSignatureTest, RejectsMalformedInputs) {
+  EXPECT_FALSE(TypeSignature::parse(""));
+  EXPECT_FALSE(TypeSignature::parse("com.foo.Bar.baz"));          // frame name
+  EXPECT_FALSE(TypeSignature::parse("Lcom/foo/Bar;baz(I)V"));     // no arrow
+  EXPECT_FALSE(TypeSignature::parse("Lcom/foo/Bar;->(I)V"));      // no name
+  EXPECT_FALSE(TypeSignature::parse("Lcom/foo/Bar;->m(I)"));      // no return
+  EXPECT_FALSE(TypeSignature::parse("Lcom/foo/Bar;->m(Q)V"));     // bad type
+  EXPECT_FALSE(TypeSignature::parse("Lcom/foo/Bar;->m(Lfoo)V"));  // unterminated
+  EXPECT_FALSE(TypeSignature::parse("L;->m()V"));                 // empty class
+  EXPECT_FALSE(TypeSignature::parse("Lcom/foo/Bar;->m()VV"));     // trailing junk
+}
+
+TEST(SplitTypeDescriptorsTest, EmptyBody) {
+  const auto types = splitTypeDescriptors("");
+  ASSERT_TRUE(types.has_value());
+  EXPECT_TRUE(types->empty());
+}
+
+TEST(SplitTypeDescriptorsTest, MixedDescriptors) {
+  const auto types = splitTypeDescriptors("ILjava/lang/String;[BZ");
+  ASSERT_TRUE(types.has_value());
+  ASSERT_EQ(types->size(), 4u);
+  EXPECT_EQ((*types)[0], "I");
+  EXPECT_EQ((*types)[1], "Ljava/lang/String;");
+  EXPECT_EQ((*types)[2], "[B");
+  EXPECT_EQ((*types)[3], "Z");
+}
+
+TEST(SplitTypeDescriptorsTest, RejectsMalformed) {
+  EXPECT_FALSE(splitTypeDescriptors("X"));
+  EXPECT_FALSE(splitTypeDescriptors("Lunterminated"));
+  EXPECT_FALSE(splitTypeDescriptors("["));  // array of nothing
+}
+
+TEST(PackageOfFrameNameTest, StripsMethodAndClass) {
+  EXPECT_EQ(packageOfFrameName("com.unity3d.ads.android.cache.b.doInBackground"),
+            "com.unity3d.ads.android.cache");
+  EXPECT_EQ(packageOfFrameName("java.net.Socket.connect"), "java.net");
+}
+
+TEST(PackageOfFrameNameTest, ShortNames) {
+  EXPECT_EQ(packageOfFrameName("Socket.connect"), "");
+  EXPECT_EQ(packageOfFrameName("connect"), "");
+}
+
+// Property sweep over the full okhttp wrapper chain of Listing 1: every
+// frame must round-trip through a synthetic signature.
+class FrameSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FrameSweep, SyntheticSignatureRoundTrip) {
+  const std::string frame = GetParam();
+  // Build Lpkg/Class;->method()V from the frame name.
+  const std::size_t lastDot = frame.rfind('.');
+  ASSERT_NE(lastDot, std::string::npos);
+  std::string cls = frame.substr(0, lastDot);
+  std::string method = frame.substr(lastDot + 1);
+  std::string slashes = cls;
+  for (char& c : slashes)
+    if (c == '.') c = '/';
+  const std::string smali = "L" + slashes + ";->" + method + "()V";
+  const auto sig = TypeSignature::parse(smali);
+  ASSERT_TRUE(sig.has_value()) << smali;
+  EXPECT_EQ(sig->frameName(), frame);
+  EXPECT_EQ(sig->smali(), smali);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Listing1, FrameSweep,
+    ::testing::Values(
+        "java.net.Socket.connect",
+        "com.android.okhttp.internal.Platform.connectSocket",
+        "com.android.okhttp.Connection.connectSocket",
+        "com.android.okhttp.Connection.connect",
+        "com.android.okhttp.Connection.connectAndSetOwner",
+        "com.android.okhttp.OkHttpClient$1.connectAndSetOwner",
+        "com.android.okhttp.internal.http.HttpEngine.connect",
+        "com.android.okhttp.internal.http.HttpEngine.sendRequest",
+        "com.android.okhttp.internal.huc.HttpURLConnectionImpl.execute",
+        "com.android.okhttp.internal.huc.HttpURLConnectionImpl.connect",
+        "com.unity3d.ads.android.cache.b.a",
+        "com.unity3d.ads.android.cache.b.doInBackground",
+        "android.os.AsyncTask$2.call",
+        "java.util.concurrent.FutureTask.run"));
+
+}  // namespace
+}  // namespace libspector::dex

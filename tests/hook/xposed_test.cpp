@@ -1,0 +1,120 @@
+#include "hook/xposed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hook/native.hpp"
+#include "net/server.hpp"
+#include "rt/tracer.hpp"
+#include "util/sha256.hpp"
+
+namespace libspector::hook {
+namespace {
+
+class RecordingModule final : public XposedModule {
+ public:
+  void onAppLoaded(rt::Interpreter& runtime, const dex::ApkFile& apk) override {
+    ++loads_;
+    lastPackage_ = apk.packageName;
+    runtime.registerPostHook(std::string(rt::kSocketConnectFrame),
+                             [this](const rt::SocketHookContext&) { ++hooks_; });
+  }
+
+  int loads_ = 0;
+  int hooks_ = 0;
+  std::string lastPackage_;
+};
+
+class XposedTest : public ::testing::Test {
+ protected:
+  XposedTest() {
+    net::EndpointProfile profile;
+    profile.domain = "api.example.com";
+    profile.trueCategory = "info_tech";
+    farm_.addEndpoint(profile);
+    apk_.packageName = "com.example.app";
+    rt::NetRequestAction request;
+    request.domain = "api.example.com";
+    const auto handler = program_.addMethod("Lcom/example/app/H;->onClick()V",
+                                            {request});
+    program_.uiHandlers.push_back(handler);
+  }
+
+  net::ServerFarm farm_;
+  util::SimClock clock_;
+  rt::UniqueMethodTracer tracer_;
+  dex::ApkFile apk_;
+  rt::AppProgram program_;
+};
+
+TEST_F(XposedTest, ModulesAttachAtAppLoad) {
+  XposedFramework framework;
+  auto module = std::make_shared<RecordingModule>();
+  framework.installModule(module);
+  EXPECT_EQ(framework.moduleCount(), 1u);
+
+  net::NetworkStack stack(farm_, clock_, util::Rng(3));
+  rt::Interpreter runtime(program_, stack, tracer_, clock_, util::Rng(4));
+  framework.attachToApp(runtime, apk_);
+  EXPECT_EQ(module->loads_, 1);
+  EXPECT_EQ(module->lastPackage_, "com.example.app");
+
+  runtime.dispatchUiEvent();
+  EXPECT_EQ(module->hooks_, 1);
+}
+
+TEST_F(XposedTest, MultipleModulesAllAttach) {
+  XposedFramework framework;
+  auto a = std::make_shared<RecordingModule>();
+  auto b = std::make_shared<RecordingModule>();
+  framework.installModule(a);
+  framework.installModule(b);
+
+  net::NetworkStack stack(farm_, clock_, util::Rng(3));
+  rt::Interpreter runtime(program_, stack, tracer_, clock_, util::Rng(4));
+  framework.attachToApp(runtime, apk_);
+  runtime.dispatchUiEvent();
+  EXPECT_EQ(a->hooks_, 1);
+  EXPECT_EQ(b->hooks_, 1);
+}
+
+TEST_F(XposedTest, NullModuleRejected) {
+  XposedFramework framework;
+  EXPECT_THROW(framework.installModule(nullptr), std::invalid_argument);
+}
+
+TEST_F(XposedTest, AttachmentPreservesAppIntegrity) {
+  // Design goal §II: apps must not be modified; the apk hash is unchanged
+  // by instrumentation.
+  const auto before = util::toHex(apk_.sha256());
+  XposedFramework framework;
+  framework.installModule(std::make_shared<RecordingModule>());
+  net::NetworkStack stack(farm_, clock_, util::Rng(3));
+  rt::Interpreter runtime(program_, stack, tracer_, clock_, util::Rng(4));
+  framework.attachToApp(runtime, apk_);
+  runtime.dispatchUiEvent();
+  EXPECT_EQ(util::toHex(apk_.sha256()), before);
+}
+
+TEST_F(XposedTest, NativeCallsReturnConnectionParameters) {
+  net::NetworkStack stack(farm_, clock_, util::Rng(3));
+  const auto conn = stack.connectTcp("api.example.com", 443);
+  ASSERT_TRUE(conn.has_value());
+
+  const auto local = getsockname(stack, conn->id);
+  const auto remote = getpeername(stack, conn->id);
+  const auto pair = connectionParameters(stack, conn->id);
+  ASSERT_TRUE(local && remote && pair);
+  EXPECT_EQ(*local, conn->pair.src);
+  EXPECT_EQ(*remote, conn->pair.dst);
+  EXPECT_EQ(*pair, conn->pair);
+}
+
+TEST_F(XposedTest, NativeCallsFailForUnknownSocket) {
+  net::NetworkStack stack(farm_, clock_, util::Rng(3));
+  EXPECT_FALSE(getsockname(stack, 12345).has_value());
+  EXPECT_FALSE(getpeername(stack, 12345).has_value());
+  EXPECT_FALSE(connectionParameters(stack, 12345).has_value());
+}
+
+}  // namespace
+}  // namespace libspector::hook

@@ -1,0 +1,135 @@
+// Decoder robustness: every binary decoder in the system must reject
+// corrupted input with util::DecodeError (never crash, hang, or silently
+// mis-parse into an over-allocating state). The collection server receives
+// UDP datagrams from the network, and the result database reads files from
+// disk — both are trust boundaries.
+#include <gtest/gtest.h>
+
+#include "core/artifacts.hpp"
+#include "core/report.hpp"
+#include "dex/apk.hpp"
+#include "net/capture.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace libspector {
+namespace {
+
+std::vector<std::uint8_t> sampleApkBytes() {
+  dex::ApkFile apk;
+  apk.packageName = "com.fuzz.app";
+  apk.appCategory = "TOOLS";
+  dex::DexFile dexFile;
+  dex::ClassDef cls;
+  cls.dottedName = "com.fuzz.app.Main";
+  cls.methods = {{"Lcom/fuzz/app/Main;->m()V"}};
+  dexFile.classes.push_back(cls);
+  apk.dexFiles.push_back(dexFile);
+  return apk.serialize();
+}
+
+std::vector<std::uint8_t> sampleCaptureBytes() {
+  net::CaptureFile capture;
+  const net::SocketPair pair{{net::Ipv4Addr(10, 0, 2, 15), 40000},
+                             {net::Ipv4Addr(198, 18, 0, 1), 443}};
+  capture.append(net::makeTcpPacket(1, pair, 140, 100));
+  capture.append(net::makeUdpPacket(2, pair, 70, 42, "x.com",
+                                    net::Ipv4Addr(198, 18, 0, 1)));
+  capture.appendHttp({3, pair, "x.com", "/p", "ua", true});
+  return capture.serialize();
+}
+
+std::vector<std::uint8_t> sampleReportBytes() {
+  core::UdpReport report;
+  report.apkSha256 = "fuzz";
+  report.socketPair = {{net::Ipv4Addr(10, 0, 2, 15), 40000},
+                       {net::Ipv4Addr(198, 18, 0, 1), 443}};
+  report.stackSignatures = {"java.net.Socket.connect", "Lcom/a/B;->c()V"};
+  return report.encode();
+}
+
+std::vector<std::uint8_t> sampleArtifactBytes() {
+  core::RunArtifacts artifacts;
+  artifacts.apkSha256 = "fuzz";
+  artifacts.capture = net::CaptureFile::deserialize(sampleCaptureBytes());
+  artifacts.reports.push_back(core::UdpReport::decode(sampleReportBytes()));
+  artifacts.methodTraceFile = {"Lcom/a/B;->c()V"};
+  return artifacts.serialize();
+}
+
+/// Run a decoder over many random single/multi-byte mutations and random
+/// truncations of a valid input. The decoder must either succeed (some
+/// mutations are semantically harmless) or throw DecodeError.
+template <typename Decode>
+void fuzzDecoder(const std::vector<std::uint8_t>& valid, Decode decode,
+                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<std::uint8_t> mutated = valid;
+    const int mutations = static_cast<int>(rng.uniform(1, 8));
+    for (int m = 0; m < mutations; ++m) {
+      if (mutated.empty()) break;
+      const std::size_t pos = rng.uniform(0, mutated.size() - 1);
+      mutated[pos] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    if (rng.chance(0.3) && !mutated.empty())
+      mutated.resize(rng.uniform(0, mutated.size() - 1));
+    try {
+      decode(mutated);  // success is acceptable; crashes/UB are not
+    } catch (const util::DecodeError&) {
+      // expected rejection path
+    }
+  }
+}
+
+TEST(FuzzDecodersTest, ApkFileSurvivesMutation) {
+  fuzzDecoder(sampleApkBytes(),
+              [](const std::vector<std::uint8_t>& bytes) {
+                (void)dex::ApkFile::deserialize(bytes);
+              },
+              101);
+}
+
+TEST(FuzzDecodersTest, CaptureFileSurvivesMutation) {
+  fuzzDecoder(sampleCaptureBytes(),
+              [](const std::vector<std::uint8_t>& bytes) {
+                (void)net::CaptureFile::deserialize(bytes);
+              },
+              202);
+}
+
+TEST(FuzzDecodersTest, UdpReportSurvivesMutation) {
+  fuzzDecoder(sampleReportBytes(),
+              [](const std::vector<std::uint8_t>& bytes) {
+                (void)core::UdpReport::decode(bytes);
+              },
+              303);
+}
+
+TEST(FuzzDecodersTest, RunArtifactsSurviveMutation) {
+  fuzzDecoder(sampleArtifactBytes(),
+              [](const std::vector<std::uint8_t>& bytes) {
+                (void)core::RunArtifacts::deserialize(bytes);
+              },
+              404);
+}
+
+TEST(FuzzDecodersTest, PureGarbageIsRejected) {
+  util::Rng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> garbage(rng.uniform(0, 300));
+    for (auto& byte : garbage) byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    EXPECT_THROW((void)core::UdpReport::decode(garbage), util::DecodeError);
+    try {
+      (void)net::CaptureFile::deserialize(garbage);
+    } catch (const util::DecodeError&) {
+    }
+    try {
+      (void)dex::ApkFile::deserialize(garbage);
+    } catch (const util::DecodeError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace libspector

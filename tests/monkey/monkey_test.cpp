@@ -1,0 +1,114 @@
+#include "monkey/monkey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/server.hpp"
+#include "rt/tracer.hpp"
+
+namespace libspector::monkey {
+namespace {
+
+class MonkeyTest : public ::testing::Test {
+ protected:
+  MonkeyTest() {
+    const auto handlerA = program_.addMethod("Lcom/app/A;->onClick()V", {});
+    const auto handlerB = program_.addMethod("Lcom/app/B;->onClick()V", {});
+    program_.uiHandlers = {handlerA, handlerB};
+  }
+
+  net::ServerFarm farm_;
+  util::SimClock clock_;
+  rt::UniqueMethodTracer tracer_;
+  rt::AppProgram program_;
+};
+
+TEST_F(MonkeyTest, DeliversRequestedEvents) {
+  net::NetworkStack stack(farm_, clock_, util::Rng(1));
+  rt::Interpreter runtime(program_, stack, tracer_, clock_, util::Rng(2));
+  MonkeyConfig config;
+  config.events = 100;
+  config.throttleMs = 10;
+  const auto stats = exercise(runtime, clock_, config);
+  EXPECT_EQ(stats.eventsInjected, 100u);
+  EXPECT_EQ(stats.eventsHandled, 100u);
+  EXPECT_EQ(runtime.uiEventsDelivered(), 100u);
+}
+
+TEST_F(MonkeyTest, ThrottleAdvancesSimulatedClock) {
+  net::NetworkStack stack(farm_, clock_, util::Rng(1));
+  rt::Interpreter runtime(program_, stack, tracer_, clock_, util::Rng(2));
+  MonkeyConfig config;
+  config.events = 50;
+  config.throttleMs = 500;
+  const auto stats = exercise(runtime, clock_, config);
+  EXPECT_EQ(clock_.now(), 50u * 500u);
+  EXPECT_EQ(stats.elapsedMs, 50u * 500u);
+}
+
+TEST_F(MonkeyTest, StopsAtTimeBudget) {
+  // Paper setup: 1,000 events at 500 ms throttle cannot fit into the
+  // 8-minute budget; the run stops at the wall.
+  net::NetworkStack stack(farm_, clock_, util::Rng(1));
+  rt::Interpreter runtime(program_, stack, tracer_, clock_, util::Rng(2));
+  MonkeyConfig config;  // defaults: 1000 events, 500 ms, 8 min
+  const auto stats = exercise(runtime, clock_, config);
+  EXPECT_EQ(stats.eventsInjected, 960u);  // 480s / 0.5s
+  EXPECT_LE(stats.elapsedMs, config.maxRunMs + config.throttleMs);
+}
+
+TEST_F(MonkeyTest, AppWithoutHandlersStillConsumesEvents) {
+  rt::AppProgram empty;
+  net::NetworkStack stack(farm_, clock_, util::Rng(1));
+  rt::Interpreter runtime(empty, stack, tracer_, clock_, util::Rng(2));
+  MonkeyConfig config;
+  config.events = 10;
+  config.throttleMs = 1;
+  const auto stats = exercise(runtime, clock_, config);
+  EXPECT_EQ(stats.eventsInjected, 10u);
+  EXPECT_EQ(stats.eventsHandled, 0u);
+}
+
+TEST_F(MonkeyTest, SameSeedSameHandlerSequence) {
+  rt::UniqueMethodTracer tracerA;
+  rt::UniqueMethodTracer tracerB;
+  util::SimClock clockA;
+  util::SimClock clockB;
+  net::NetworkStack stackA(farm_, clockA, util::Rng(1));
+  net::NetworkStack stackB(farm_, clockB, util::Rng(1));
+  rt::Interpreter a(program_, stackA, tracerA, clockA, util::Rng(42));
+  rt::Interpreter b(program_, stackB, tracerB, clockB, util::Rng(42));
+  MonkeyConfig config;
+  config.events = 200;
+  config.throttleMs = 1;
+  exercise(a, clockA, config);
+  exercise(b, clockB, config);
+  EXPECT_EQ(tracerA.traceFile(), tracerB.traceFile());
+}
+
+// Parameterized sweep mirroring the paper's §III-B pre-study (10..10,000
+// events): injected events scale until the time budget caps them.
+class EventSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EventSweep, EventBudgetRespected) {
+  net::ServerFarm farm;
+  util::SimClock clock;
+  rt::UniqueMethodTracer tracer;
+  rt::AppProgram program;
+  program.uiHandlers = {program.addMethod("Lcom/app/A;->onClick()V", {})};
+  net::NetworkStack stack(farm, clock, util::Rng(1));
+  rt::Interpreter runtime(program, stack, tracer, clock, util::Rng(2));
+
+  MonkeyConfig config;
+  config.events = GetParam();
+  config.throttleMs = 500;
+  const auto stats = exercise(runtime, clock, config);
+  EXPECT_EQ(stats.eventsInjected,
+            std::min<std::uint32_t>(GetParam(), 960));  // 8-minute wall
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSweep, EventSweep,
+                         ::testing::Values(10u, 100u, 500u, 1000u, 5000u,
+                                           10000u));
+
+}  // namespace
+}  // namespace libspector::monkey

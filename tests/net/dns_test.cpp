@@ -1,0 +1,136 @@
+#include "net/dns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::net {
+namespace {
+
+class DnsTest : public ::testing::Test {
+ protected:
+  DnsTest() : resolver_(farm_, device_, dnsServer_) {
+    EndpointProfile profile;
+    profile.domain = "ads.example.com";
+    profile.trueCategory = "advertisements";
+    ip_ = farm_.addEndpoint(profile);
+  }
+
+  ServerFarm farm_;
+  SockEndpoint device_{Ipv4Addr(10, 0, 2, 15), 0};
+  SockEndpoint dnsServer_{Ipv4Addr(10, 0, 2, 3), 53};
+  Ipv4Addr ip_;
+  util::SimClock clock_;
+  CaptureFile capture_;
+  DnsResolver resolver_;
+};
+
+TEST_F(DnsTest, ResolvesRegisteredDomain) {
+  const auto answer = resolver_.resolve("ads.example.com", clock_, capture_);
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(*answer, ip_);
+}
+
+TEST_F(DnsTest, RecordsQueryAndResponsePackets) {
+  resolver_.resolve("ads.example.com", clock_, capture_);
+  ASSERT_EQ(capture_.size(), 2u);
+  const auto& query = capture_.packets()[0];
+  const auto& response = capture_.packets()[1];
+  EXPECT_EQ(query.proto, Proto::Udp);
+  EXPECT_EQ(query.pair.dst, dnsServer_);
+  EXPECT_EQ(query.dnsQname, "ads.example.com");
+  EXPECT_EQ(query.dnsAnswer, Ipv4Addr{});
+  EXPECT_EQ(response.pair.src, dnsServer_);
+  EXPECT_EQ(response.dnsAnswer, ip_);
+  EXPECT_GT(response.wireBytes, query.wireBytes);
+  EXPECT_LT(query.timestampMs, response.timestampMs);
+}
+
+TEST_F(DnsTest, CachesAnswers) {
+  resolver_.resolve("ads.example.com", clock_, capture_);
+  const std::size_t packetsAfterFirst = capture_.size();
+  resolver_.resolve("ads.example.com", clock_, capture_);
+  EXPECT_EQ(capture_.size(), packetsAfterFirst);  // no new DNS traffic
+  EXPECT_EQ(resolver_.cacheSize(), 1u);
+}
+
+TEST_F(DnsTest, NxdomainReturnsNulloptButRecordsTraffic) {
+  const auto answer = resolver_.resolve("ghost.example.com", clock_, capture_);
+  EXPECT_FALSE(answer.has_value());
+  EXPECT_EQ(capture_.size(), 2u);
+  EXPECT_EQ(capture_.packets()[1].dnsAnswer, Ipv4Addr{});  // negative answer
+}
+
+TEST_F(DnsTest, NegativeAnswersAreCachedToo) {
+  resolver_.resolve("ghost.example.com", clock_, capture_);
+  resolver_.resolve("ghost.example.com", clock_, capture_);
+  EXPECT_EQ(capture_.size(), 2u);
+  EXPECT_EQ(resolver_.cacheSize(), 1u);
+}
+
+TEST_F(DnsTest, ResolvedDomainsTracksSuccessOrder) {
+  EndpointProfile profile;
+  profile.domain = "cdn.example.com";
+  profile.trueCategory = "cdn";
+  farm_.addEndpoint(profile);
+
+  resolver_.resolve("cdn.example.com", clock_, capture_);
+  resolver_.resolve("ghost.example.com", clock_, capture_);
+  resolver_.resolve("ads.example.com", clock_, capture_);
+  const auto& resolved = resolver_.resolvedDomains();
+  ASSERT_EQ(resolved.size(), 2u);  // NXDOMAIN excluded
+  EXPECT_EQ(resolved[0], "cdn.example.com");
+  EXPECT_EQ(resolved[1], "ads.example.com");
+}
+
+TEST_F(DnsTest, ClockAdvancesDuringResolution) {
+  const auto before = clock_.now();
+  resolver_.resolve("ads.example.com", clock_, capture_);
+  EXPECT_GT(clock_.now(), before);
+}
+
+TEST_F(DnsTest, TtlExpiryTriggersRequery) {
+  DnsResolver shortTtl(farm_, device_, dnsServer_, /*ttlMs=*/1000);
+  shortTtl.resolve("ads.example.com", clock_, capture_);
+  EXPECT_EQ(shortTtl.queriesSent(), 1u);
+  clock_.advance(500);
+  shortTtl.resolve("ads.example.com", clock_, capture_);
+  EXPECT_EQ(shortTtl.queriesSent(), 1u);  // still cached
+  clock_.advance(2000);
+  shortTtl.resolve("ads.example.com", clock_, capture_);
+  EXPECT_EQ(shortTtl.queriesSent(), 2u);  // expired -> re-query
+  // Single-homed domain: same answer both times, listed once.
+  EXPECT_EQ(shortTtl.resolvedDomains().size(), 1u);
+}
+
+TEST_F(DnsTest, MultiHomedDomainRotatesAcrossTtlExpiries) {
+  EndpointProfile profile;
+  profile.domain = "cdn.example.com";
+  profile.trueCategory = "cdn";
+  const Ipv4Addr first = farm_.addEndpoint(profile);
+  const Ipv4Addr second = farm_.addAlternateAddress("cdn.example.com");
+  ASSERT_NE(first, second);
+
+  DnsResolver shortTtl(farm_, device_, dnsServer_, /*ttlMs=*/100);
+  const auto a = shortTtl.resolve("cdn.example.com", clock_, capture_);
+  clock_.advance(200);
+  const auto b = shortTtl.resolve("cdn.example.com", clock_, capture_);
+  clock_.advance(200);
+  const auto c = shortTtl.resolve("cdn.example.com", clock_, capture_);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(*a, first);
+  EXPECT_EQ(*b, second);
+  EXPECT_EQ(*c, first);  // wraps around
+  // The capture's DNS answers track the rotation, so offline attribution
+  // can follow the domain across addresses.
+  std::vector<Ipv4Addr> answers;
+  for (const auto& pkt : capture_.packets()) {
+    if (pkt.isDns() && !(pkt.dnsAnswer == Ipv4Addr{}) &&
+        pkt.dnsQname == "cdn.example.com")
+      answers.push_back(pkt.dnsAnswer);
+  }
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_EQ(answers[0], first);
+  EXPECT_EQ(answers[1], second);
+}
+
+}  // namespace
+}  // namespace libspector::net

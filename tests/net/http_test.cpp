@@ -1,0 +1,87 @@
+// HTTP exchange logging through the stack and capture (de)serialization.
+#include <gtest/gtest.h>
+
+#include "net/stack.hpp"
+#include "util/bytes.hpp"
+
+namespace libspector::net {
+namespace {
+
+class HttpTest : public ::testing::Test {
+ protected:
+  HttpTest() {
+    EndpointProfile profile;
+    profile.domain = "api.example.com";
+    profile.trueCategory = "info_tech";
+    farm_.addEndpoint(profile);
+  }
+
+  ServerFarm farm_;
+  util::SimClock clock_;
+};
+
+TEST_F(HttpTest, TransferWithInfoLogsExchange) {
+  NetworkStack stack(farm_, clock_, util::Rng(3));
+  const auto conn = stack.connectTcp("api.example.com", 443);
+  ASSERT_TRUE(conn.has_value());
+  NetworkStack::HttpRequestInfo info;
+  info.path = "/v1/data";
+  info.userAgent = "okhttp/3.12.0";
+  info.post = true;
+  stack.transfer(conn->id, 400, &info);
+
+  const auto& exchanges = stack.capture().httpExchanges();
+  ASSERT_EQ(exchanges.size(), 1u);
+  EXPECT_EQ(exchanges[0].host, "api.example.com");
+  EXPECT_EQ(exchanges[0].path, "/v1/data");
+  EXPECT_EQ(exchanges[0].userAgent, "okhttp/3.12.0");
+  EXPECT_TRUE(exchanges[0].post);
+  EXPECT_EQ(exchanges[0].pair, conn->pair);
+}
+
+TEST_F(HttpTest, TransferWithoutInfoLogsNothing) {
+  NetworkStack stack(farm_, clock_, util::Rng(3));
+  const auto conn = stack.connectTcp("api.example.com", 443);
+  stack.transfer(conn->id, 400);
+  EXPECT_TRUE(stack.capture().httpExchanges().empty());
+}
+
+TEST_F(HttpTest, OneExchangePerTransfer) {
+  NetworkStack stack(farm_, clock_, util::Rng(3));
+  const auto conn = stack.connectTcp("api.example.com", 443);
+  NetworkStack::HttpRequestInfo info;
+  for (int i = 0; i < 3; ++i) stack.transfer(conn->id, 100, &info);
+  EXPECT_EQ(stack.capture().httpExchanges().size(), 3u);
+}
+
+TEST(HttpCaptureTest, ExchangesSurviveSerialization) {
+  CaptureFile capture;
+  const SocketPair pair{{Ipv4Addr(10, 0, 2, 15), 40000},
+                        {Ipv4Addr(198, 18, 0, 1), 443}};
+  capture.append(makeTcpPacket(5, pair, 140, 100));
+  capture.appendHttp({7, pair, "ads1.x.com", "/ads/v2/fetch",
+                      "UnityAds/3.4 Android", false});
+  capture.appendHttp({9, pair, "metrics.y.com", "/v1/batch", "", true});
+
+  const auto decoded = CaptureFile::deserialize(capture.serialize());
+  EXPECT_EQ(decoded, capture);
+  ASSERT_EQ(decoded.httpExchanges().size(), 2u);
+  EXPECT_EQ(decoded.httpExchanges()[0].userAgent, "UnityAds/3.4 Android");
+  EXPECT_TRUE(decoded.httpExchanges()[1].post);
+}
+
+TEST(HttpCaptureTest, LegacyDecodeRejectsTruncatedExchangeBlock) {
+  CaptureFile capture;
+  capture.appendHttp({1,
+                      {{Ipv4Addr(1, 1, 1, 1), 1}, {Ipv4Addr(2, 2, 2, 2), 2}},
+                      "h.com",
+                      "/",
+                      "ua",
+                      false});
+  auto bytes = capture.serialize();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW((void)CaptureFile::deserialize(bytes), util::DecodeError);
+}
+
+}  // namespace
+}  // namespace libspector::net

@@ -1,0 +1,82 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace libspector::net {
+namespace {
+
+TEST(Ipv4AddrTest, ParseAndFormat) {
+  const auto addr = Ipv4Addr::parse("10.0.2.15");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->str(), "10.0.2.15");
+  EXPECT_EQ(addr->value(), (10u << 24) | (2u << 8) | 15u);
+}
+
+TEST(Ipv4AddrTest, ConstructorFromOctets) {
+  constexpr Ipv4Addr addr(192, 168, 1, 1);
+  EXPECT_EQ(addr.str(), "192.168.1.1");
+}
+
+TEST(Ipv4AddrTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.-1"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4x"));
+}
+
+TEST(Ipv4AddrTest, ParseBoundaryValues) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(Ipv4AddrTest, Ordering) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_EQ(Ipv4Addr(1, 2, 3, 4), *Ipv4Addr::parse("1.2.3.4"));
+}
+
+TEST(SockEndpointTest, Format) {
+  const SockEndpoint endpoint{Ipv4Addr(10, 0, 2, 2), 5005};
+  EXPECT_EQ(endpoint.str(), "10.0.2.2:5005");
+}
+
+TEST(SocketPairTest, ReversedSwapsEnds) {
+  const SocketPair pair{{Ipv4Addr(1, 1, 1, 1), 1000}, {Ipv4Addr(2, 2, 2, 2), 443}};
+  const SocketPair reversed = pair.reversed();
+  EXPECT_EQ(reversed.src, pair.dst);
+  EXPECT_EQ(reversed.dst, pair.src);
+  EXPECT_EQ(reversed.reversed(), pair);
+}
+
+TEST(SocketPairTest, SameConnectionEitherOrientation) {
+  const SocketPair pair{{Ipv4Addr(1, 1, 1, 1), 1000}, {Ipv4Addr(2, 2, 2, 2), 443}};
+  EXPECT_TRUE(pair.sameConnection(pair));
+  EXPECT_TRUE(pair.sameConnection(pair.reversed()));
+  SocketPair other = pair;
+  other.src.port = 1001;
+  EXPECT_FALSE(pair.sameConnection(other));
+}
+
+TEST(SocketPairTest, HashDistributesDistinctPairs) {
+  std::unordered_set<SocketPair> pairs;
+  for (std::uint16_t port = 1000; port < 1100; ++port) {
+    const SocketPair pair{{Ipv4Addr(10, 0, 2, 15), port},
+                          {Ipv4Addr(2, 2, 2, 2), 443}};
+    pairs.insert(pair);
+  }
+  EXPECT_EQ(pairs.size(), 100u);
+}
+
+TEST(SocketPairTest, HashConsistentWithEquality) {
+  const SocketPair a{{Ipv4Addr(1, 1, 1, 1), 1}, {Ipv4Addr(2, 2, 2, 2), 2}};
+  const SocketPair b = a;
+  EXPECT_EQ(std::hash<SocketPair>{}(a), std::hash<SocketPair>{}(b));
+}
+
+}  // namespace
+}  // namespace libspector::net

@@ -1,0 +1,98 @@
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace libspector::net {
+namespace {
+
+EndpointProfile adEndpoint(const std::string& domain) {
+  EndpointProfile profile;
+  profile.domain = domain;
+  profile.trueCategory = "advertisements";
+  profile.responseLogMu = 9.0;
+  profile.responseLogSigma = 0.5;
+  profile.minResponseBytes = 1000;
+  profile.maxResponseBytes = 50000;
+  return profile;
+}
+
+TEST(ServerFarmTest, RegistersAndLooksUp) {
+  ServerFarm farm;
+  const Ipv4Addr ip = farm.addEndpoint(adEndpoint("ads.example.com"));
+  EXPECT_EQ(farm.endpointCount(), 1u);
+  ASSERT_NE(farm.byDomain("ads.example.com"), nullptr);
+  EXPECT_EQ(farm.byDomain("ads.example.com")->trueCategory, "advertisements");
+  EXPECT_EQ(farm.ipOf("ads.example.com"), ip);
+  EXPECT_EQ(farm.byDomain("nope.example.com"), nullptr);
+  EXPECT_FALSE(farm.ipOf("nope.example.com").has_value());
+}
+
+TEST(ServerFarmTest, AssignsDistinctAddresses) {
+  ServerFarm farm;
+  const Ipv4Addr a = farm.addEndpoint(adEndpoint("a.com"));
+  const Ipv4Addr b = farm.addEndpoint(adEndpoint("b.com"));
+  EXPECT_NE(a, b);
+}
+
+TEST(ServerFarmTest, RejectsDuplicateDomain) {
+  ServerFarm farm;
+  farm.addEndpoint(adEndpoint("a.com"));
+  EXPECT_THROW(farm.addEndpoint(adEndpoint("a.com")), std::invalid_argument);
+}
+
+TEST(ServerFarmTest, RejectsEmptyDomain) {
+  ServerFarm farm;
+  EXPECT_THROW(farm.addEndpoint(adEndpoint("")), std::invalid_argument);
+}
+
+TEST(ServerFarmTest, CdnCoHostingSharesAddress) {
+  ServerFarm farm;
+  const Ipv4Addr host = farm.addEndpoint(adEndpoint("cdn1.com"));
+  const Ipv4Addr same = farm.addEndpoint(adEndpoint("cdn2.com"), host);
+  EXPECT_EQ(host, same);
+  const auto domains = farm.domainsOn(host);
+  ASSERT_EQ(domains.size(), 2u);
+}
+
+TEST(ServerFarmTest, SharedIpMustExist) {
+  ServerFarm farm;
+  EXPECT_THROW(farm.addEndpoint(adEndpoint("x.com"), Ipv4Addr(1, 2, 3, 4)),
+               std::invalid_argument);
+}
+
+TEST(ServerFarmTest, ResponseSizeWithinClamps) {
+  ServerFarm farm;
+  farm.addEndpoint(adEndpoint("ads.example.com"));
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t size = farm.responseSize("ads.example.com", rng);
+    EXPECT_GE(size, 1000u);
+    EXPECT_LE(size, 50000u);
+  }
+}
+
+TEST(ServerFarmTest, UnknownDomainGetsTinyResponse) {
+  ServerFarm farm;
+  util::Rng rng(5);
+  EXPECT_EQ(farm.responseSize("ghost.example.com", rng), 64u);
+}
+
+TEST(ServerFarmTest, AllDomainsSorted) {
+  ServerFarm farm;
+  farm.addEndpoint(adEndpoint("zeta.com"));
+  farm.addEndpoint(adEndpoint("alpha.com"));
+  const auto domains = farm.allDomains();
+  ASSERT_EQ(domains.size(), 2u);
+  EXPECT_EQ(domains[0], "alpha.com");
+  EXPECT_EQ(domains[1], "zeta.com");
+}
+
+TEST(ServerFarmTest, DomainsOnUnknownAddressEmpty) {
+  ServerFarm farm;
+  EXPECT_TRUE(farm.domainsOn(Ipv4Addr(9, 9, 9, 9)).empty());
+}
+
+}  // namespace
+}  // namespace libspector::net

@@ -1,0 +1,200 @@
+#include "net/stack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::net {
+namespace {
+
+class StackTest : public ::testing::Test {
+ protected:
+  StackTest() {
+    EndpointProfile profile;
+    profile.domain = "api.example.com";
+    profile.trueCategory = "business_and_finance";
+    profile.responseLogMu = 9.0;
+    profile.responseLogSigma = 0.4;
+    profile.minResponseBytes = 2000;
+    profile.maxResponseBytes = 100000;
+    serverIp_ = farm_.addEndpoint(profile);
+  }
+
+  NetworkStack makeStack(StackConfig config = {}) {
+    return NetworkStack(farm_, clock_, util::Rng(77), config);
+  }
+
+  ServerFarm farm_;
+  util::SimClock clock_;
+  Ipv4Addr serverIp_;
+};
+
+TEST_F(StackTest, ConnectEstablishesWithHandshake) {
+  auto stack = makeStack();
+  const auto result = stack.connectTcp("api.example.com", 443);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(stack.isOpen(result->id));
+  EXPECT_EQ(result->pair.src.ip, Ipv4Addr(10, 0, 2, 15));
+  EXPECT_EQ(result->pair.dst, (SockEndpoint{serverIp_, 443}));
+
+  // DNS query + response, SYN, SYN-ACK, ACK.
+  ASSERT_EQ(stack.capture().size(), 5u);
+  EXPECT_EQ(stack.capture().packets()[2].wireBytes, 40u);  // SYN
+  EXPECT_EQ(stack.capture().packets()[3].pair, result->pair.reversed());
+}
+
+TEST_F(StackTest, ConnectToUnknownDomainFails) {
+  auto stack = makeStack();
+  EXPECT_FALSE(stack.connectTcp("ghost.example.com", 443).has_value());
+  EXPECT_EQ(stack.openSocketCount(), 0u);
+}
+
+TEST_F(StackTest, TransferAccountsPayloadBothWays) {
+  auto stack = makeStack();
+  const auto conn = stack.connectTcp("api.example.com", 443);
+  ASSERT_TRUE(conn.has_value());
+  const auto transfer = stack.transfer(conn->id, 500);
+  EXPECT_EQ(transfer.sentPayloadBytes, 500u);
+  EXPECT_GE(transfer.recvPayloadBytes, 2000u);
+  EXPECT_LE(transfer.recvPayloadBytes, 100000u);
+
+  const auto volume = stack.capture().streamVolume(conn->pair, 0, clock_.now());
+  EXPECT_EQ(volume.payloadFromSrc, 500u);
+  EXPECT_EQ(volume.payloadFromDst, transfer.recvPayloadBytes);
+  // Wire bytes include per-segment headers.
+  EXPECT_GT(volume.bytesFromDst, volume.payloadFromDst);
+}
+
+TEST_F(StackTest, WireBytesIncludeOneHeaderPerSegment) {
+  auto stack = makeStack();
+  const auto conn = stack.connectTcp("api.example.com", 443);
+  const auto transfer = stack.transfer(conn->id, 100);
+  const auto volume = stack.capture().streamVolume(conn->pair, 0, clock_.now());
+  const std::uint64_t payload = transfer.recvPayloadBytes;
+  const std::uint64_t segments = (payload + 1459) / 1460;
+  EXPECT_EQ(volume.bytesFromDst, payload + segments * 40 + 40);  // + SYN-ACK
+}
+
+TEST_F(StackTest, TransferOnClosedSocketThrows) {
+  auto stack = makeStack();
+  const auto conn = stack.connectTcp("api.example.com", 443);
+  stack.closeTcp(conn->id);
+  EXPECT_THROW((void)stack.transfer(conn->id, 100), std::logic_error);
+  EXPECT_THROW(stack.closeTcp(conn->id), std::logic_error);
+  EXPECT_THROW((void)stack.transfer(9999, 100), std::logic_error);
+}
+
+TEST_F(StackTest, PairRemainsQueryableAfterClose) {
+  auto stack = makeStack();
+  const auto conn = stack.connectTcp("api.example.com", 443);
+  stack.closeTcp(conn->id);
+  ASSERT_NE(stack.pairOf(conn->id), nullptr);
+  EXPECT_EQ(*stack.pairOf(conn->id), conn->pair);
+  ASSERT_NE(stack.domainOf(conn->id), nullptr);
+  EXPECT_EQ(*stack.domainOf(conn->id), "api.example.com");
+  EXPECT_FALSE(stack.isOpen(conn->id));
+}
+
+TEST_F(StackTest, LiveSocketPairsAreUniqueAtAnyInstant) {
+  auto stack = makeStack();
+  std::unordered_set<SocketPair> live;
+  std::vector<SocketId> ids;
+  for (int i = 0; i < 50; ++i) {
+    const auto conn = stack.connectTcp("api.example.com", 443);
+    ASSERT_TRUE(conn.has_value());
+    EXPECT_TRUE(live.insert(conn->pair).second) << "duplicate live pair";
+    ids.push_back(conn->id);
+  }
+  for (const SocketId id : ids) stack.closeTcp(id);
+  EXPECT_EQ(stack.openSocketCount(), 0u);
+}
+
+TEST_F(StackTest, SocketIdsNeverReused) {
+  auto stack = makeStack();
+  const auto a = stack.connectTcp("api.example.com", 443);
+  stack.closeTcp(a->id);
+  const auto b = stack.connectTcp("api.example.com", 443);
+  EXPECT_NE(a->id, b->id);
+}
+
+TEST_F(StackTest, InjectedConnectFailures) {
+  StackConfig config;
+  config.connectFailureProb = 1.0;
+  auto stack = makeStack(config);
+  EXPECT_FALSE(stack.connectTcp("api.example.com", 443).has_value());
+  // DNS pair + SYN + retransmitted SYN, no established connection.
+  EXPECT_EQ(stack.capture().size(), 4u);
+  EXPECT_EQ(stack.openSocketCount(), 0u);
+}
+
+TEST_F(StackTest, UdpDatagramDeliveredToSink) {
+  auto stack = makeStack();
+  const SockEndpoint collector{Ipv4Addr(10, 0, 2, 2), 5005};
+  std::vector<std::uint8_t> received;
+  SockEndpoint from;
+  stack.registerUdpSink(collector, [&](const SockEndpoint& src,
+                                       std::span<const std::uint8_t> payload) {
+    from = src;
+    received.assign(payload.begin(), payload.end());
+  });
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+  stack.sendUdpDatagram(collector, payload);
+  EXPECT_EQ(received, payload);
+  EXPECT_EQ(from.ip, Ipv4Addr(10, 0, 2, 15));
+  // Also recorded in the capture.
+  ASSERT_EQ(stack.capture().size(), 1u);
+  EXPECT_EQ(stack.capture().packets()[0].proto, Proto::Udp);
+  EXPECT_EQ(stack.capture().packets()[0].payloadBytes, 4u);
+}
+
+TEST_F(StackTest, UdpWithoutSinkIsStillCaptured) {
+  auto stack = makeStack();
+  const std::vector<std::uint8_t> payload = {9};
+  stack.sendUdpDatagram({Ipv4Addr(8, 8, 8, 8), 9999}, payload);
+  EXPECT_EQ(stack.capture().size(), 1u);
+}
+
+TEST_F(StackTest, RejectsBadPortRange) {
+  StackConfig config;
+  config.ephemeralBase = 50000;
+  config.ephemeralLimit = 50000;
+  EXPECT_THROW(NetworkStack(farm_, clock_, util::Rng(1), config),
+               std::invalid_argument);
+}
+
+TEST_F(StackTest, EphemeralPortsRecycleAfterClose) {
+  StackConfig config;
+  config.ephemeralBase = 50000;
+  config.ephemeralLimit = 50005;  // only 5 usable ports
+  auto stack = makeStack(config);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<SocketId> ids;
+    for (int i = 0; i < 5; ++i) {
+      const auto conn = stack.connectTcp("api.example.com", 443);
+      ASSERT_TRUE(conn.has_value());
+      ids.push_back(conn->id);
+    }
+    for (const SocketId id : ids) stack.closeTcp(id);
+  }
+}
+
+TEST_F(StackTest, EphemeralPortExhaustionThrows) {
+  StackConfig config;
+  config.ephemeralBase = 50000;
+  config.ephemeralLimit = 50003;  // ports 50000..50003 inclusive
+  auto stack = makeStack(config);
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(stack.connectTcp("api.example.com", 443).has_value());
+  EXPECT_THROW((void)stack.connectTcp("api.example.com", 443),
+               std::runtime_error);
+}
+
+TEST_F(StackTest, ClockAdvancesThroughLifecycle) {
+  auto stack = makeStack();
+  const auto start = clock_.now();
+  const auto conn = stack.connectTcp("api.example.com", 443);
+  stack.transfer(conn->id, 100);
+  stack.closeTcp(conn->id);
+  EXPECT_GT(clock_.now(), start);
+}
+
+}  // namespace
+}  // namespace libspector::net

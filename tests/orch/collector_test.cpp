@@ -1,0 +1,84 @@
+#include "orch/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace libspector::orch {
+namespace {
+
+core::UdpReport sampleReport(const std::string& sha) {
+  core::UdpReport report;
+  report.apkSha256 = sha;
+  report.socketPair = {{net::Ipv4Addr(10, 0, 2, 15), 40000},
+                       {net::Ipv4Addr(198, 18, 0, 1), 443}};
+  report.timestampMs = 1234;
+  report.stackSignatures = {"java.net.Socket.connect",
+                            "Lcom/lib/b;->doInBackground()V"};
+  return report;
+}
+
+TEST(CollectorTest, GroupsReportsBySha) {
+  CollectionServer server;
+  server.submitDatagram(sampleReport("aaa").encode());
+  server.submitDatagram(sampleReport("aaa").encode());
+  server.submitDatagram(sampleReport("bbb").encode());
+  EXPECT_EQ(server.datagramsReceived(), 3u);
+  EXPECT_EQ(server.datagramsDropped(), 0u);
+
+  const auto forA = server.takeReports("aaa");
+  ASSERT_EQ(forA.size(), 2u);
+  EXPECT_EQ(forA[0].apkSha256, "aaa");
+  EXPECT_EQ(forA[0].stackSignatures.size(), 2u);
+  EXPECT_EQ(server.takeReports("bbb").size(), 1u);
+}
+
+TEST(CollectorTest, TakeRemovesReports) {
+  CollectionServer server;
+  server.submitDatagram(sampleReport("aaa").encode());
+  EXPECT_EQ(server.takeReports("aaa").size(), 1u);
+  EXPECT_TRUE(server.takeReports("aaa").empty());
+}
+
+TEST(CollectorTest, UnknownShaYieldsEmpty) {
+  CollectionServer server;
+  EXPECT_TRUE(server.takeReports("nothing").empty());
+}
+
+TEST(CollectorTest, MalformedDatagramsDroppedNotFatal) {
+  CollectionServer server;
+  const std::vector<std::uint8_t> garbage = {0x01, 0x02, 0x03};
+  server.submitDatagram(garbage);
+  server.submitDatagram({});
+  auto truncated = sampleReport("ccc").encode();
+  truncated.resize(truncated.size() / 2);
+  server.submitDatagram(truncated);
+  EXPECT_EQ(server.datagramsReceived(), 3u);
+  EXPECT_EQ(server.datagramsDropped(), 3u);
+  // A good datagram after garbage still lands.
+  server.submitDatagram(sampleReport("ccc").encode());
+  EXPECT_EQ(server.takeReports("ccc").size(), 1u);
+}
+
+TEST(CollectorTest, ConcurrentSubmissionsFromManyWorkers) {
+  CollectionServer server;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&server, t] {
+        for (int i = 0; i < kPerThread; ++i)
+          server.submitDatagram(sampleReport("sha" + std::to_string(t)).encode());
+      });
+    }
+  }
+  EXPECT_EQ(server.datagramsReceived(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(server.takeReports("sha" + std::to_string(t)).size(),
+              static_cast<std::size_t>(kPerThread));
+}
+
+}  // namespace
+}  // namespace libspector::orch

@@ -1,0 +1,105 @@
+#include "orch/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <thread>
+
+namespace libspector::orch {
+namespace {
+
+core::RunArtifacts artifactsFor(const std::string& sha) {
+  core::RunArtifacts artifacts;
+  artifacts.apkSha256 = sha;
+  artifacts.packageName = "com.app." + sha;
+  artifacts.appCategory = "TOOLS";
+  artifacts.coverage.coveredMethods = 10;
+  artifacts.coverage.totalMethods = 100;
+  return artifacts;
+}
+
+TEST(DatabaseTest, StoreAndFetch) {
+  ResultDatabase db;
+  db.store(artifactsFor("abc"));
+  EXPECT_EQ(db.size(), 1u);
+  const auto fetched = db.fetch("abc");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->packageName, "com.app.abc");
+  EXPECT_FALSE(db.fetch("missing").has_value());
+}
+
+TEST(DatabaseTest, ReuploadReplaces) {
+  ResultDatabase db;
+  db.store(artifactsFor("abc"));
+  auto updated = artifactsFor("abc");
+  updated.appCategory = "FINANCE";
+  db.store(std::move(updated));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.fetch("abc")->appCategory, "FINANCE");
+}
+
+TEST(DatabaseTest, ForEachVisitsAll) {
+  ResultDatabase db;
+  for (int i = 0; i < 20; ++i) db.store(artifactsFor("sha" + std::to_string(i)));
+  std::size_t visited = 0;
+  db.forEach([&](const core::RunArtifacts&) { ++visited; });
+  EXPECT_EQ(visited, 20u);
+}
+
+TEST(DatabaseTest, SaveAndLoadDirectoryRoundTrip) {
+  const std::string dir =
+      ::testing::TempDir() + "/spector_db_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  ResultDatabase db;
+  for (int i = 0; i < 5; ++i) {
+    auto artifacts = artifactsFor("sha" + std::to_string(i));
+    artifacts.capture.append(net::makeTcpPacket(
+        static_cast<util::SimTimeMs>(i),
+        {{net::Ipv4Addr(10, 0, 2, 15), static_cast<std::uint16_t>(40000 + i)},
+         {net::Ipv4Addr(198, 18, 0, 1), 443}},
+        140, 100));
+    db.store(std::move(artifacts));
+  }
+  EXPECT_EQ(db.saveToDirectory(dir), 5u);
+
+  ResultDatabase restored;
+  EXPECT_EQ(restored.loadFromDirectory(dir), 5u);
+  EXPECT_EQ(restored.size(), 5u);
+  const auto fetched = restored.fetch("sha3");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->packageName, "com.app.sha3");
+  EXPECT_EQ(fetched->capture.size(), 1u);
+  EXPECT_EQ(fetched->coverage.totalMethods, 100u);
+}
+
+TEST(DatabaseTest, LoadIgnoresForeignFiles) {
+  const std::string dir =
+      ::testing::TempDir() + "/spector_db_mixed_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  ResultDatabase db;
+  db.store(artifactsFor("only"));
+  db.saveToDirectory(dir);
+  {
+    std::ofstream junk(dir + "/notes.txt");
+    junk << "not a bundle";
+  }
+  ResultDatabase restored;
+  EXPECT_EQ(restored.loadFromDirectory(dir), 1u);
+}
+
+TEST(DatabaseTest, ConcurrentStores) {
+  ResultDatabase db;
+  {
+    std::vector<std::jthread> writers;
+    for (int t = 0; t < 8; ++t) {
+      writers.emplace_back([&db, t] {
+        for (int i = 0; i < 200; ++i)
+          db.store(artifactsFor(std::to_string(t) + "-" + std::to_string(i)));
+      });
+    }
+  }
+  EXPECT_EQ(db.size(), 1600u);
+}
+
+}  // namespace
+}  // namespace libspector::orch

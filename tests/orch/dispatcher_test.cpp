@@ -1,0 +1,156 @@
+#include "orch/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace libspector::orch {
+namespace {
+
+class DispatcherTest : public ::testing::Test {
+ protected:
+  DispatcherTest() {
+    net::EndpointProfile profile;
+    profile.domain = "api.example.com";
+    profile.trueCategory = "info_tech";
+    farm_.addEndpoint(profile);
+  }
+
+  Dispatcher::Job jobFor(int index) {
+    Dispatcher::Job job;
+    job.apk.packageName = "com.app.n" + std::to_string(index);
+    job.apk.appCategory = "TOOLS";
+    rt::NetRequestAction request;
+    request.domain = "api.example.com";
+    const auto handler =
+        job.program.addMethod("Lcom/app/H;->onClick()V", {request});
+    job.program.uiHandlers.push_back(handler);
+    dex::DexFile dexFile;
+    dex::ClassDef cls;
+    cls.dottedName = "com.app.H";
+    cls.methods.push_back({job.program.methods[0].signature});
+    dexFile.classes.push_back(cls);
+    job.apk.dexFiles.push_back(dexFile);
+    return job;
+  }
+
+  DispatcherConfig quickConfig(std::size_t workers) {
+    DispatcherConfig config;
+    config.workers = workers;
+    config.emulator.monkey.events = 5;
+    config.emulator.monkey.throttleMs = 10;
+    return config;
+  }
+
+  net::ServerFarm farm_;
+};
+
+TEST_F(DispatcherTest, ProcessesEveryJobAcrossWorkers) {
+  CollectionServer collector;
+  Dispatcher dispatcher(farm_, &collector, quickConfig(4));
+
+  constexpr int kJobs = 40;
+  int next = 0;
+  std::set<std::string> seenPackages;
+  dispatcher.run(
+      [&]() -> std::optional<Dispatcher::Job> {
+        if (next >= kJobs) return std::nullopt;
+        return jobFor(next++);
+      },
+      [&](core::RunArtifacts&& artifacts) {
+        // Sink calls are serialized by the dispatcher: no lock needed.
+        seenPackages.insert(artifacts.packageName);
+      });
+
+  EXPECT_EQ(dispatcher.appsProcessed(), static_cast<std::size_t>(kJobs));
+  EXPECT_EQ(seenPackages.size(), static_cast<std::size_t>(kJobs));
+}
+
+TEST_F(DispatcherTest, SingleWorkerProcessesInOrder) {
+  Dispatcher dispatcher(farm_, nullptr, quickConfig(1));
+  int next = 0;
+  std::vector<std::string> order;
+  dispatcher.run(
+      [&]() -> std::optional<Dispatcher::Job> {
+        if (next >= 5) return std::nullopt;
+        return jobFor(next++);
+      },
+      [&](core::RunArtifacts&& artifacts) { order.push_back(artifacts.packageName); });
+  ASSERT_EQ(order.size(), 5u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], "com.app.n" + std::to_string(i));
+}
+
+TEST_F(DispatcherTest, EmptySourceCompletesImmediately) {
+  Dispatcher dispatcher(farm_, nullptr, quickConfig(4));
+  dispatcher.run([]() -> std::optional<Dispatcher::Job> { return std::nullopt; },
+                 [](core::RunArtifacts&&) { FAIL() << "no jobs expected"; });
+  EXPECT_EQ(dispatcher.appsProcessed(), 0u);
+}
+
+TEST_F(DispatcherTest, RunIsRepeatable) {
+  Dispatcher dispatcher(farm_, nullptr, quickConfig(2));
+  for (int round = 0; round < 2; ++round) {
+    int next = 0;
+    dispatcher.run(
+        [&]() -> std::optional<Dispatcher::Job> {
+          if (next >= 3) return std::nullopt;
+          return jobFor(next++);
+        },
+        [](core::RunArtifacts&&) {});
+  }
+  EXPECT_EQ(dispatcher.appsProcessed(), 6u);
+}
+
+TEST_F(DispatcherTest, ArtifactsIdenticalRegardlessOfWorkerCount) {
+  // Per-app seeds derive from the job index, so parallelism must not change
+  // any app's artifacts.
+  std::map<std::string, std::string> capturesSerial;
+  std::map<std::string, std::string> capturesParallel;
+  const auto runWith = [&](std::size_t workers,
+                           std::map<std::string, std::string>& out) {
+    Dispatcher dispatcher(farm_, nullptr, quickConfig(workers));
+    int next = 0;
+    dispatcher.run(
+        [&]() -> std::optional<Dispatcher::Job> {
+          if (next >= 12) return std::nullopt;
+          return jobFor(next++);
+        },
+        [&](core::RunArtifacts&& artifacts) {
+          const auto bytes = artifacts.capture.serialize();
+          out[artifacts.packageName] = std::string(bytes.begin(), bytes.end());
+        });
+  };
+  runWith(1, capturesSerial);
+  runWith(6, capturesParallel);
+  EXPECT_EQ(capturesSerial, capturesParallel);
+}
+
+TEST_F(DispatcherTest, BrokenAppDoesNotKillTheFleet) {
+  Dispatcher dispatcher(farm_, nullptr, quickConfig(3));
+  int next = 0;
+  int delivered = 0;
+  dispatcher.run(
+      [&]() -> std::optional<Dispatcher::Job> {
+        if (next >= 9) return std::nullopt;
+        Dispatcher::Job job = jobFor(next);
+        if (next == 4) {
+          // Corrupt program: the only handler references a method that
+          // does not exist; the emulator run throws on the first event.
+          job.program.uiHandlers = {9999};
+        }
+        ++next;
+        return job;
+      },
+      [&](core::RunArtifacts&&) { ++delivered; });
+
+  EXPECT_EQ(delivered, 8);
+  EXPECT_EQ(dispatcher.appsProcessed(), 8u);
+  ASSERT_EQ(dispatcher.failures().size(), 1u);
+  EXPECT_EQ(dispatcher.failures()[0].packageName, "com.app.n4");
+  EXPECT_FALSE(dispatcher.failures()[0].error.empty());
+}
+
+}  // namespace
+}  // namespace libspector::orch

@@ -1,0 +1,76 @@
+#include "orch/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "orch/database.hpp"
+
+namespace libspector::orch {
+namespace {
+
+StudyConfig smallConfig() {
+  StudyConfig config;
+  config.store.appCount = 25;
+  config.store.seed = 5;
+  config.store.methodScale = 0.05;
+  config.dispatcher.emulator.monkey.events = 100;
+  config.dispatcher.emulator.monkey.throttleMs = 50;
+  return config;
+}
+
+TEST(StudyRunnerTest, OneCallProducesAFullStudy) {
+  const auto output = runStudy(smallConfig());
+  EXPECT_EQ(output.appsProcessed, 25u);
+  EXPECT_EQ(output.appsFailed, 0u);
+  EXPECT_GT(output.wallSeconds, 0.0);
+
+  const auto totals = output.study.totals();
+  EXPECT_EQ(totals.appCount, 25u);
+  EXPECT_GT(totals.totalBytes, 0u);
+  EXPECT_GT(totals.flowCount, 0u);
+  // Every reported socket attributed: no blind spot without UDP loss.
+  EXPECT_EQ(totals.unattributedBytes, 0u);
+}
+
+TEST(StudyRunnerTest, DeterministicAcrossCalls) {
+  const auto a = runStudy(smallConfig());
+  const auto b = runStudy(smallConfig());
+  EXPECT_EQ(a.study.totals().totalBytes, b.study.totals().totalBytes);
+  EXPECT_EQ(a.study.transferByLibCategory(), b.study.transferByLibCategory());
+}
+
+TEST(StudyRunnerTest, PersistsArtifactsAndManifest) {
+  auto config = smallConfig();
+  config.artifactsDirectory =
+      ::testing::TempDir() + "/spector_study_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  const auto output = runStudy(config);
+  EXPECT_EQ(output.appsProcessed, 25u);
+
+  ResultDatabase restored;
+  EXPECT_EQ(restored.loadFromDirectory(config.artifactsDirectory), 25u);
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(config.artifactsDirectory) / "domains.csv"));
+}
+
+TEST(StudyRunnerTest, UdpReportLossLeavesUnattributedTraffic) {
+  auto config = smallConfig();
+  config.dispatcher.emulator.stack.udpLossProb = 0.3;
+  const auto lossy = runStudy(config);
+  const auto clean = runStudy(smallConfig());
+
+  // With 30% of context reports lost, a substantial slice of the TCP
+  // payload has no owning flow — the measurement's honest blind spot.
+  EXPECT_GT(lossy.study.totals().unattributedBytes, 0u);
+  const double lossyShare =
+      static_cast<double>(lossy.study.totals().unattributedBytes) /
+      static_cast<double>(lossy.study.totals().totalBytes +
+                          lossy.study.totals().unattributedBytes);
+  EXPECT_GT(lossyShare, 0.10);
+  EXPECT_LT(lossyShare, 0.60);
+  EXPECT_EQ(clean.study.totals().unattributedBytes, 0u);
+}
+
+}  // namespace
+}  // namespace libspector::orch

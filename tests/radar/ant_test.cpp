@@ -1,0 +1,53 @@
+#include "radar/ant.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::radar {
+namespace {
+
+TEST(PrefixListTest, HierarchicalSemantics) {
+  const PrefixList list({"com.mopub", "okhttp3"});
+  EXPECT_TRUE(list.matches("com.mopub"));
+  EXPECT_TRUE(list.matches("com.mopub.mobileads"));
+  EXPECT_FALSE(list.matches("com.mopubx"));
+  EXPECT_FALSE(list.matches("com"));
+  EXPECT_TRUE(list.matches("okhttp3.internal.http"));
+  EXPECT_FALSE(list.matches(""));
+}
+
+TEST(AntListTest, KnownAdNetworksMatch) {
+  const auto& list = antLibraries();
+  EXPECT_TRUE(list.matches("com.google.android.gms.ads.internal"));
+  EXPECT_TRUE(list.matches("com.unity3d.ads.android.cache"));
+  EXPECT_TRUE(list.matches("com.vungle.publisher"));
+  EXPECT_TRUE(list.matches("com.chartboost.sdk.impl"));
+  EXPECT_TRUE(list.matches("com.flurry.sdk"));        // tracker side
+  EXPECT_TRUE(list.matches("com.crashlytics.android.core"));
+}
+
+TEST(AntListTest, NonAntLibrariesDoNotMatch) {
+  const auto& list = antLibraries();
+  EXPECT_FALSE(list.matches("com.unity3d.player"));   // game engine, not ads
+  EXPECT_FALSE(list.matches("okhttp3.internal.http"));
+  EXPECT_FALSE(list.matches("com.squareup.picasso"));
+  EXPECT_FALSE(list.matches("com.myapp.net"));
+  // Critically: gms.common is not ads even though gms.ads is.
+  EXPECT_FALSE(list.matches("com.google.android.gms.common"));
+}
+
+TEST(CommonListTest, Membership) {
+  const auto& list = commonLibraries();
+  EXPECT_TRUE(list.matches("okhttp3.internal.http"));
+  EXPECT_TRUE(list.matches("com.squareup.picasso"));
+  EXPECT_TRUE(list.matches("com.android.volley")) << "volley is common";
+  EXPECT_FALSE(list.matches("com.mopub.mobileads"));
+  EXPECT_FALSE(list.matches("com.randomdev.app"));
+}
+
+TEST(ListsTest, AreNonTrivial) {
+  EXPECT_GT(antLibraries().size(), 20u);
+  EXPECT_GT(commonLibraries().size(), 15u);
+}
+
+}  // namespace
+}  // namespace libspector::radar

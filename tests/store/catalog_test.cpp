@@ -1,0 +1,176 @@
+#include "store/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "radar/corpus.hpp"
+#include "util/strings.hpp"
+#include "vtsim/categories.hpp"
+
+namespace libspector::store {
+namespace {
+
+TEST(CatalogTest, FortyNineAppCategories) {
+  const auto& categories = appCategories();
+  EXPECT_EQ(categories.size(), 49u);  // Fig. 2 x-axis
+  const std::set<std::string> unique(categories.begin(), categories.end());
+  EXPECT_EQ(unique.size(), 49u);
+  // 17 GAME_* subcategories as in Fig. 2.
+  std::size_t games = 0;
+  for (const auto& category : categories)
+    if (category.starts_with("GAME_")) ++games;
+  EXPECT_EQ(games, 17u);
+}
+
+TEST(CatalogTest, ClassMapping) {
+  EXPECT_EQ(classOf("GAME_ACTION"), CategoryClass::Game);
+  EXPECT_EQ(classOf("GAME_MUSIC"), CategoryClass::Game);
+  EXPECT_EQ(classOf("MUSIC_AND_AUDIO"), CategoryClass::Media);
+  EXPECT_EQ(classOf("DATING"), CategoryClass::Social);
+  EXPECT_EQ(classOf("FINANCE"), CategoryClass::Commerce);
+  EXPECT_EQ(classOf("BEAUTY"), CategoryClass::Lifestyle);
+  EXPECT_EQ(classOf("WEATHER"), CategoryClass::Other);
+}
+
+TEST(CatalogTest, LibraryProfilesAreWellFormed) {
+  const auto& validLibCategories = radar::libraryCategories();
+  const auto& validDomainCategories = vtsim::genericCategories();
+  const auto& profiles = libraryProfiles();
+  EXPECT_GT(profiles.size(), 40u);
+  std::set<std::string_view> prefixes;
+  for (const auto& profile : profiles) {
+    EXPECT_TRUE(prefixes.insert(profile.prefix).second)
+        << "duplicate " << profile.prefix;
+    EXPECT_NE(std::find(validLibCategories.begin(), validLibCategories.end(),
+                        profile.radarCategory),
+              validLibCategories.end())
+        << profile.prefix;
+    EXPECT_FALSE(profile.activeSubpackages.empty()) << profile.prefix;
+    for (const auto sub : profile.activeSubpackages) {
+      // Active sub-packages live under the same vendor namespace: either
+      // below the profile prefix or a sibling sharing its 2-level root
+      // (com.google.android.gms.internal.ads for com.google.android.gms.ads).
+      const std::string root = util::prefixLevels(profile.prefix, 2);
+      EXPECT_TRUE(util::isHierarchicalPrefix(profile.prefix, sub) ||
+                  util::isHierarchicalPrefix(root, sub))
+          << profile.prefix << " vs " << sub;
+    }
+    double mixSum = 0.0;
+    for (const auto& [category, weight] : profile.destinationMix) {
+      EXPECT_NE(std::find(validDomainCategories.begin(),
+                          validDomainCategories.end(), category),
+                validDomainCategories.end())
+          << profile.prefix << " -> " << category;
+      EXPECT_GT(weight, 0.0);
+      mixSum += weight;
+    }
+    EXPECT_NEAR(mixSum, 1.0, 0.01) << profile.prefix;
+    EXPECT_GT(profile.domainCount, 0);
+    EXPECT_GT(profile.inclusionBase, 0.0);
+    EXPECT_LE(profile.inclusionBase, 1.0);
+    EXPECT_GE(profile.initRequestProb, 0.0);
+    EXPECT_LE(profile.initRequestProb, 1.0);
+    EXPECT_GT(profile.meanRequestsPerRun, 0.0);
+    EXPECT_LE(profile.requestBytesMin, profile.requestBytesMax);
+    EXPECT_GT(profile.bulkMethods, 0u);
+  }
+}
+
+TEST(CatalogTest, MostProfilesKnownToLibRadar) {
+  // Attribution quality depends on the corpus recognizing the roster.
+  const auto corpus = radar::LibraryCorpus::builtin();
+  std::size_t known = 0;
+  for (const auto& profile : libraryProfiles()) {
+    for (const auto sub : profile.activeSubpackages) {
+      if (corpus.longestMatchingPrefix(sub)) {
+        ++known;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(known, libraryProfiles().size() * 8 / 10);
+}
+
+TEST(CatalogTest, InclusionProbabilityInRange) {
+  for (const auto& profile : libraryProfiles()) {
+    for (const auto cls :
+         {CategoryClass::Game, CategoryClass::Media, CategoryClass::Social,
+          CategoryClass::Commerce, CategoryClass::Lifestyle,
+          CategoryClass::Other}) {
+      const double p = inclusionProbability(cls, profile);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 0.95);
+    }
+  }
+}
+
+TEST(CatalogTest, GamesPreferEnginesAndAds) {
+  for (const auto& profile : libraryProfiles()) {
+    if (profile.radarCategory == "Game Engine") {
+      EXPECT_GT(inclusionProbability(CategoryClass::Game, profile),
+                inclusionProbability(CategoryClass::Commerce, profile));
+    }
+    if (profile.radarCategory == "Payment") {
+      EXPECT_GT(inclusionProbability(CategoryClass::Commerce, profile),
+                inclusionProbability(CategoryClass::Game, profile));
+    }
+  }
+}
+
+TEST(CatalogTest, ResponseProfilesOrdered) {
+  // Fig. 7 structure: CDN responses dwarf advertisement responses, which
+  // dwarf analytics beacons.
+  EXPECT_GT(responseProfileFor("cdn").meanBytes(),
+            5 * responseProfileFor("advertisements").meanBytes());
+  EXPECT_GT(responseProfileFor("advertisements").meanBytes(),
+            5 * responseProfileFor("analytics").meanBytes());
+  for (const auto& category : vtsim::genericCategories()) {
+    const auto profile = responseProfileFor(category);
+    EXPECT_GT(profile.meanBytes(), 0.0);
+    EXPECT_LT(profile.minBytes, profile.maxBytes);
+  }
+}
+
+TEST(CatalogTest, RequestWeightsDeflateByMeanSize) {
+  const std::vector<std::pair<std::string_view, double>> mix = {
+      {"advertisements", 0.5}, {"cdn", 0.5}};
+  const auto weights = requestWeightsFromByteMix(mix);
+  ASSERT_EQ(weights.size(), 2u);
+  // Equal byte shares -> the big-response category gets fewer requests.
+  EXPECT_GT(weights[0], weights[1]);
+}
+
+TEST(CatalogTest, AppCountWeightsPositive) {
+  for (const auto& category : appCategories())
+    EXPECT_GT(appCountWeight(category), 0.0) << category;
+  EXPECT_GT(appCountWeight("MUSIC_AND_AUDIO"), appCountWeight("DATING"));
+}
+
+TEST(CatalogTest, ContentIntensityShapesFig8) {
+  // Music/news must out-pull dating/finance (Fig. 8 extremes).
+  EXPECT_GT(contentIntensity("MUSIC_AND_AUDIO"), 2.5);
+  EXPECT_GT(contentIntensity("NEWS_AND_MAGAZINES"), 2.5);
+  EXPECT_LT(contentIntensity("DATING"), 0.5);
+  EXPECT_LT(contentIntensity("FINANCE"), 0.5);
+}
+
+TEST(CatalogTest, FirstPartyMixesWellFormed) {
+  const auto& validDomainCategories = vtsim::genericCategories();
+  for (const auto cls :
+       {CategoryClass::Game, CategoryClass::Media, CategoryClass::Social,
+        CategoryClass::Commerce, CategoryClass::Lifestyle,
+        CategoryClass::Other}) {
+    double sum = 0.0;
+    for (const auto& [category, weight] : firstPartyDestinationMix(cls)) {
+      EXPECT_NE(std::find(validDomainCategories.begin(),
+                          validDomainCategories.end(), category),
+                validDomainCategories.end());
+      sum += weight;
+    }
+    EXPECT_NEAR(sum, 1.0, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace libspector::store

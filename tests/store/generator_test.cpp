@@ -1,0 +1,202 @@
+#include "store/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "dex/disassembler.hpp"
+#include "radar/ant.hpp"
+#include "util/sha256.hpp"
+
+namespace libspector::store {
+namespace {
+
+StoreConfig smallConfig(std::size_t apps = 60, std::uint64_t seed = 7) {
+  StoreConfig config;
+  config.appCount = apps;
+  config.seed = seed;
+  config.methodScale = 0.05;  // keep test dex files small
+  return config;
+}
+
+TEST(GeneratorTest, WorldIsDeterministic) {
+  const AppStoreGenerator a(smallConfig());
+  const AppStoreGenerator b(smallConfig());
+  ASSERT_EQ(a.appCount(), b.appCount());
+  EXPECT_EQ(a.farm().endpointCount(), b.farm().endpointCount());
+  for (std::size_t i = 0; i < a.appCount(); i += 7) {
+    const auto jobA = a.makeJob(i);
+    const auto jobB = b.makeJob(i);
+    EXPECT_EQ(util::toHex(jobA.apk.sha256()), util::toHex(jobB.apk.sha256()));
+  }
+}
+
+TEST(GeneratorTest, MakeJobIsIdempotent) {
+  const AppStoreGenerator generator(smallConfig());
+  const auto first = generator.makeJob(3);
+  const auto second = generator.makeJob(3);
+  EXPECT_EQ(first.apk, second.apk);
+  EXPECT_EQ(first.program.methods.size(), second.program.methods.size());
+}
+
+TEST(GeneratorTest, DifferentSeedsDifferentWorlds) {
+  const AppStoreGenerator a(smallConfig(60, 1));
+  const AppStoreGenerator b(smallConfig(60, 2));
+  EXPECT_NE(util::toHex(a.makeJob(0).apk.sha256()),
+            util::toHex(b.makeJob(0).apk.sha256()));
+}
+
+TEST(GeneratorTest, ProgramMethodsAreInDex) {
+  const AppStoreGenerator generator(smallConfig());
+  const auto job = generator.makeJob(0);
+  const auto dexSignatures = dex::allMethodSignatures(job.apk);
+  const std::unordered_set<std::string_view> dexSet(dexSignatures.begin(),
+                                                    dexSignatures.end());
+  for (const auto& method : job.program.methods)
+    EXPECT_TRUE(dexSet.contains(method.signature)) << method.signature;
+}
+
+TEST(GeneratorTest, PlannedDomainsResolveInFarm) {
+  const AppStoreGenerator generator(smallConfig());
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    for (const auto& source : generator.plan(i).sources) {
+      for (const auto& domain : source.domains) {
+        EXPECT_TRUE(generator.farm().ipOf(domain).has_value()) << domain;
+        EXPECT_NE(generator.domainTruth(domain), "");
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, DomainTruthIsGenericCategory) {
+  const AppStoreGenerator generator(smallConfig());
+  for (const auto& domain : generator.farm().allDomains()) {
+    const std::string truth = generator.domainTruth(domain);
+    EXPECT_FALSE(truth.empty());
+  }
+  EXPECT_EQ(generator.domainTruth("not.a.real.domain"), "unknown");
+}
+
+TEST(GeneratorTest, ArchetypeInvariants) {
+  const AppStoreGenerator generator(smallConfig(300));
+  const auto& profiles = libraryProfiles();
+  std::size_t antFree = 0, antOnly = 0;
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    const AppPlan& plan = generator.plan(i);
+    const auto isAnt = [&](int profileIndex) {
+      const auto& category =
+          profiles[static_cast<std::size_t>(profileIndex)].radarCategory;
+      return category == "Advertisement" || category == "Mobile Analytics";
+    };
+    if (plan.archetype == AppPlan::Archetype::AntFree) {
+      ++antFree;
+      for (const int p : plan.bundledProfiles) EXPECT_FALSE(isAnt(p));
+    }
+    if (plan.archetype == AppPlan::Archetype::AntOnly) {
+      ++antOnly;
+      bool hasAnt = false;
+      for (const auto& source : plan.sources) {
+        ASSERT_GE(source.profileIndex, 0);  // no first-party sources
+        EXPECT_TRUE(isAnt(source.profileIndex));
+        hasAnt = true;
+      }
+      EXPECT_TRUE(hasAnt);
+      EXPECT_FALSE(plan.systemAdTraffic);
+    }
+  }
+  // Roughly 10% / 34% of the population.
+  EXPECT_NEAR(static_cast<double>(antFree) / 300.0, 0.10, 0.06);
+  EXPECT_NEAR(static_cast<double>(antOnly) / 300.0, 0.34, 0.09);
+}
+
+TEST(GeneratorTest, AppCategoriesAreValid) {
+  const AppStoreGenerator generator(smallConfig(200));
+  const auto& valid = appCategories();
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    const auto& category = generator.plan(i).appCategory;
+    EXPECT_NE(std::find(valid.begin(), valid.end(), category), valid.end());
+  }
+}
+
+TEST(GeneratorTest, ChosenVersionsSatisfySelectionRules) {
+  const AppStoreGenerator generator(smallConfig(200));
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    const AppPlan& plan = generator.plan(i);
+    const auto chosen = selectApkVersion(plan.versions);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_EQ(*chosen, plan.chosenVersion);
+    EXPECT_TRUE(plan.versions[plan.chosenVersion].isX86Compatible());
+  }
+}
+
+TEST(GeneratorTest, RepositoryContainsArmOnlyEntriesTheFilterRejects) {
+  auto config = smallConfig(100);
+  config.armOnlyFraction = 0.10;
+  const AppStoreGenerator generator(config);
+  const auto& repository = generator.repository();
+  EXPECT_EQ(repository.size(), 110u);
+  const auto selected = selectCorpus(repository);
+  EXPECT_EQ(selected.size(), 100u);  // exactly the planned corpus survives
+}
+
+TEST(GeneratorTest, MethodCountsTrackScale) {
+  auto small = smallConfig(30);
+  small.methodScale = 0.05;
+  auto large = smallConfig(30);
+  large.methodScale = 0.20;
+  const AppStoreGenerator smallGen(small);
+  const AppStoreGenerator largeGen(large);
+  std::size_t smallMethods = 0, largeMethods = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    smallMethods += smallGen.makeJob(i).apk.totalMethodCount();
+    largeMethods += largeGen.makeJob(i).apk.totalMethodCount();
+  }
+  EXPECT_GT(largeMethods, 2 * smallMethods);
+}
+
+TEST(GeneratorTest, MultiDexSplitRespectsMethodLimit) {
+  StoreConfig config;
+  config.appCount = 120;
+  config.seed = 99;
+  config.methodScale = 2.0;  // push some apps past 65,536 methods
+  const AppStoreGenerator generator(config);
+  bool sawMultiDex = false;
+  for (std::size_t i = 0; i < generator.appCount() && !sawMultiDex; i += 10) {
+    const auto job = generator.makeJob(i);
+    for (const auto& dexFile : job.apk.dexFiles)
+      EXPECT_LE(dexFile.methodCount(), 65536u);
+    if (job.apk.dexFiles.size() > 1) sawMultiDex = true;
+  }
+  EXPECT_TRUE(sawMultiDex);
+}
+
+TEST(GeneratorTest, UiHandlersExistAndAreValid) {
+  const AppStoreGenerator generator(smallConfig());
+  const auto job = generator.makeJob(1);
+  EXPECT_FALSE(job.program.uiHandlers.empty());
+  ASSERT_TRUE(job.program.onCreate.has_value());
+  for (const auto handler : job.program.uiHandlers)
+    EXPECT_LT(handler, job.program.methods.size());
+}
+
+TEST(GeneratorTest, AntOnlyAppsUseOnlyAntListedTaskPackages) {
+  const AppStoreGenerator generator(smallConfig(300));
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    const AppPlan& plan = generator.plan(i);
+    if (plan.archetype != AppPlan::Archetype::AntOnly) continue;
+    for (const auto& source : plan.sources) {
+      EXPECT_TRUE(radar::antLibraries().matches(source.taskPackage))
+          << source.taskPackage;
+    }
+  }
+}
+
+TEST(GeneratorTest, RejectsEmptyStore) {
+  StoreConfig config;
+  config.appCount = 0;
+  EXPECT_THROW(AppStoreGenerator{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace libspector::store

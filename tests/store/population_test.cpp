@@ -1,0 +1,144 @@
+// Statistical properties of the generated population, swept over seeds:
+// the calibration targets that make the §IV shapes reproducible must hold
+// for any seed, not just the benches' default.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "radar/ant.hpp"
+#include "store/generator.hpp"
+
+namespace libspector::store {
+namespace {
+
+class PopulationSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  StoreConfig config() const {
+    StoreConfig config;
+    config.appCount = 400;
+    config.seed = GetParam();
+    config.methodScale = 0.05;
+    return config;
+  }
+};
+
+TEST_P(PopulationSweep, ArchetypeFractionsNearTargets) {
+  const AppStoreGenerator generator(config());
+  std::size_t antFree = 0, antOnly = 0;
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    switch (generator.plan(i).archetype) {
+      case AppPlan::Archetype::AntFree: ++antFree; break;
+      case AppPlan::Archetype::AntOnly: ++antOnly; break;
+      case AppPlan::Archetype::Mixed: break;
+    }
+  }
+  const double n = static_cast<double>(generator.appCount());
+  EXPECT_NEAR(static_cast<double>(antFree) / n, 0.10, 0.05);
+  EXPECT_NEAR(static_cast<double>(antOnly) / n, 0.34, 0.08);
+}
+
+TEST_P(PopulationSweep, GameAppsGetGameCategories) {
+  const AppStoreGenerator generator(config());
+  std::size_t games = 0;
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    if (generator.plan(i).appCategory.starts_with("GAME_")) ++games;
+  }
+  // 17 of 49 categories are games with above-average weights.
+  const double share = static_cast<double>(games) /
+                       static_cast<double>(generator.appCount());
+  EXPECT_GT(share, 0.20);
+  EXPECT_LT(share, 0.60);
+}
+
+TEST_P(PopulationSweep, EveryActiveSourceHasDomainsAndWeights) {
+  const AppStoreGenerator generator(config());
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    for (const auto& source : generator.plan(i).sources) {
+      ASSERT_FALSE(source.domains.empty());
+      ASSERT_EQ(source.domains.size(), source.domainWeights.size());
+      for (const double w : source.domainWeights) EXPECT_GT(w, 0.0);
+      EXPECT_GT(source.meanRequestsPerRun, 0.0);
+      EXPECT_FALSE(source.taskPackage.empty());
+    }
+  }
+}
+
+TEST_P(PopulationSweep, CoverageTargetsSpreadAroundTenPercent) {
+  const AppStoreGenerator generator(config());
+  double sum = 0.0;
+  double low = 1.0, high = 0.0;
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    const double target = generator.plan(i).coverageTarget;
+    EXPECT_GE(target, 0.002);
+    EXPECT_LE(target, 0.55);
+    sum += target;
+    low = std::min(low, target);
+    high = std::max(high, target);
+  }
+  const double mean = sum / static_cast<double>(generator.appCount());
+  EXPECT_NEAR(mean, 0.095, 0.035);  // paper's 9.5% mean coverage
+  EXPECT_LT(low, 0.02);             // Fig. 10 spans orders of magnitude
+  EXPECT_GT(high, 0.25);
+}
+
+TEST_P(PopulationSweep, ObfuscatedVariantsStayUnderTheirSdkPrefix) {
+  const AppStoreGenerator generator(config());
+  const auto& profiles = libraryProfiles();
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    for (const auto& source : generator.plan(i).sources) {
+      if (source.profileIndex < 0) continue;
+      // Every AnT source's task package (obfuscated or not) must still
+      // match Li et al.'s list via prefix semantics, or attribution-based
+      // findings (Fig. 6) would silently leak.
+      const auto& profile =
+          profiles[static_cast<std::size_t>(source.profileIndex)];
+      if (profile.radarCategory == "Advertisement" ||
+          profile.radarCategory == "Mobile Analytics") {
+        EXPECT_TRUE(radar::antLibraries().matches(source.taskPackage))
+            << source.taskPackage;
+      }
+    }
+  }
+}
+
+TEST_P(PopulationSweep, DomainCountScalesSublinearlyWithApps) {
+  StoreConfig small = config();
+  small.appCount = 100;
+  StoreConfig large = config();
+  large.appCount = 400;
+  const AppStoreGenerator smallGen(small);
+  const AppStoreGenerator largeGen(large);
+  // Domain reuse pools make the world grow slower than the population
+  // (25k apps -> 14k domains in the paper).
+  const double ratio = static_cast<double>(largeGen.farm().endpointCount()) /
+                       static_cast<double>(smallGen.farm().endpointCount());
+  EXPECT_LT(ratio, 4.0);
+  EXPECT_GT(ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PopulationSweep,
+                         ::testing::Values(1ULL, 42ULL, 777ULL, 20200629ULL));
+
+TEST(UserAgentCatalogTest, KnownSdksHaveIdentifyingStrings) {
+  const auto gms = userAgentProfileFor("com.google.android.gms.ads");
+  EXPECT_FALSE(gms.sdkUserAgent.empty());
+  EXPECT_GT(gms.identifyProb, 0.0);
+  // Sub-packages inherit the SDK's UA behaviour.
+  const auto sub = userAgentProfileFor("com.google.android.gms.ads.internal");
+  EXPECT_EQ(sub.sdkUserAgent, gms.sdkUserAgent);
+  // Unknown packages ride the platform default.
+  const auto unknown = userAgentProfileFor("com.random.app.net");
+  EXPECT_TRUE(unknown.sdkUserAgent.empty());
+  EXPECT_EQ(unknown.identifyProb, 0.0);
+}
+
+TEST(UserAgentCatalogTest, RequestPathsCoverEveryLibraryCategory) {
+  for (const auto& profile : libraryProfiles()) {
+    EXPECT_FALSE(requestPathFor(profile.radarCategory).empty());
+    EXPECT_EQ(requestPathFor(profile.radarCategory).front(), '/');
+  }
+  EXPECT_EQ(requestPathFor("Unknown"), "/api/v1/data");
+}
+
+}  // namespace
+}  // namespace libspector::store

@@ -1,0 +1,91 @@
+#include "store/repository.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::store {
+namespace {
+
+ApkVersionInfo version(std::uint64_t dexTs, std::uint64_t vtDate,
+                       std::vector<std::string> abis = {"x86"}) {
+  ApkVersionInfo info;
+  info.dexTimestamp = dexTs;
+  info.vtScanDate = vtDate;
+  info.abis = std::move(abis);
+  return info;
+}
+
+TEST(SelectionTest, LatestDexTimestampWins) {
+  // §III-A: "we retrieved the apk ... with the latest dex time stamp".
+  const std::vector<ApkVersionInfo> versions = {
+      version(1500000000, 0), version(1600000000, 0), version(1550000000, 0)};
+  EXPECT_EQ(selectApkVersion(versions), 1u);
+}
+
+TEST(SelectionTest, DefaultTimestampsFallBackToVirusTotal) {
+  // §III-A: "For packages with the default dex time stamps (i.e.,
+  // 01-01-1980), we selected the apk that was most recently scanned via VT."
+  const std::vector<ApkVersionInfo> versions = {
+      version(dex::kDefaultDexTimestamp, 1560000000),
+      version(dex::kDefaultDexTimestamp, 1590000000),
+      version(dex::kDefaultDexTimestamp, 1570000000)};
+  EXPECT_EQ(selectApkVersion(versions), 1u);
+}
+
+TEST(SelectionTest, NonDefaultDexBeatsNewerVtScan) {
+  // A real dex timestamp always takes precedence over the VT fallback.
+  const std::vector<ApkVersionInfo> versions = {
+      version(dex::kDefaultDexTimestamp, 1599999999),
+      version(1400000000, 0)};
+  EXPECT_EQ(selectApkVersion(versions), 1u);
+}
+
+TEST(SelectionTest, NeitherSignalMeansUnselectable) {
+  // The paper observed no such apks; we refuse rather than guess.
+  const std::vector<ApkVersionInfo> versions = {
+      version(dex::kDefaultDexTimestamp, 0)};
+  EXPECT_FALSE(selectApkVersion(versions).has_value());
+}
+
+TEST(SelectionTest, EmptyVersionList) {
+  EXPECT_FALSE(selectApkVersion({}).has_value());
+}
+
+TEST(SelectionTest, SingleVersion) {
+  EXPECT_EQ(selectApkVersion({version(1500000000, 0)}), 0u);
+}
+
+TEST(AbiTest, X86Compatibility) {
+  EXPECT_TRUE(version(1, 1, {"x86"}).isX86Compatible());
+  EXPECT_TRUE(version(1, 1, {"x86_64", "arm64-v8a"}).isX86Compatible());
+  EXPECT_FALSE(version(1, 1, {"armeabi-v7a"}).isX86Compatible());
+  EXPECT_FALSE(version(1, 1, {"armeabi-v7a", "arm64-v8a"}).isX86Compatible());
+  EXPECT_TRUE(version(1, 1, {}).isX86Compatible());  // pure Java
+}
+
+TEST(CorpusSelectionTest, FiltersArmOnlyAndUnselectable) {
+  std::vector<RepositoryEntry> repository;
+  repository.push_back({"com.good.app", {version(1500000000, 0)}});
+  repository.push_back({"com.arm.only", {version(1600000000, 0, {"armeabi-v7a"})}});
+  repository.push_back(
+      {"com.no.signal", {version(dex::kDefaultDexTimestamp, 0)}});
+  repository.push_back({"com.multi.version",
+                        {version(1400000000, 0), version(1450000000, 0)}});
+
+  const auto selected = selectCorpus(repository);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(selected[1], (std::pair<std::size_t, std::size_t>{3, 1}));
+}
+
+TEST(CorpusSelectionTest, ArmOnlyFilterAppliesToChosenVersion) {
+  // The chosen (latest-dex) version is ARM-only even though an older x86
+  // build exists: the paper filters on the retrieved apk.
+  std::vector<RepositoryEntry> repository;
+  repository.push_back({"com.regressed.app",
+                        {version(1400000000, 0, {"x86"}),
+                         version(1500000000, 0, {"armeabi-v7a"})}});
+  EXPECT_TRUE(selectCorpus(repository).empty());
+}
+
+}  // namespace
+}  // namespace libspector::store

@@ -1,0 +1,95 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::util {
+namespace {
+
+TEST(BytesTest, RoundTripAllWidths) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.str("hello");
+  const auto buffer = w.take();
+
+  ByteReader r(buffer);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BytesTest, EmptyString) {
+  ByteWriter w;
+  w.str("");
+  const auto buffer = w.data();
+  ByteReader r(buffer);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BytesTest, StringWithEmbeddedNulAndBinary) {
+  ByteWriter w;
+  const std::string payload("a\0b\xff", 4);
+  w.str(payload);
+  const auto buffer = w.data();
+  ByteReader r(buffer);
+  EXPECT_EQ(r.str(), payload);
+}
+
+TEST(BytesTest, TruncatedIntegerThrows) {
+  ByteWriter w;
+  w.u16(7);
+  const auto buffer = w.data();
+  ByteReader r(buffer);
+  EXPECT_THROW((void)r.u32(), DecodeError);
+}
+
+TEST(BytesTest, TruncatedStringBodyThrows) {
+  ByteWriter w;
+  w.u32(100);  // length prefix claiming 100 bytes that do not exist
+  const auto buffer = w.data();
+  ByteReader r(buffer);
+  EXPECT_THROW((void)r.str(), DecodeError);
+}
+
+TEST(BytesTest, EmptyBufferThrowsImmediately) {
+  ByteReader r({});
+  EXPECT_TRUE(r.atEnd());
+  EXPECT_THROW((void)r.u8(), DecodeError);
+}
+
+TEST(BytesTest, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  const auto buffer = w.data();
+  ByteReader r(buffer);
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BytesTest, RawAppendsVerbatim) {
+  ByteWriter w;
+  const std::uint8_t raw[] = {1, 2, 3};
+  w.raw(raw);
+  EXPECT_EQ(w.data().size(), 3u);
+  EXPECT_EQ(w.data()[2], 3);
+}
+
+TEST(BytesTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+}  // namespace
+}  // namespace libspector::util

@@ -1,0 +1,189 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace libspector::util {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(RngTest, UniformThrowsOnInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, Uniform01InHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sumSq = 0.0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sumSq += v * v;
+  }
+  const double mean = sum / kTrials;
+  const double variance = sumSq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(variance), 2.0, 0.1);
+}
+
+TEST(RngTest, LognormalIsPositiveWithMatchingMedian) {
+  Rng rng(19);
+  std::vector<double> values;
+  for (int i = 0; i < 20001; ++i) {
+    const double v = rng.lognormal(std::log(100.0), 0.5);
+    EXPECT_GT(v, 0.0);
+    values.push_back(v);
+  }
+  std::nth_element(values.begin(), values.begin() + values.size() / 2, values.end());
+  EXPECT_NEAR(values[values.size() / 2], 100.0, 5.0);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(29);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[0], 5 * counts[9]);
+}
+
+TEST(RngTest, ZipfThrowsOnEmpty) {
+  Rng rng(29);
+  EXPECT_THROW((void)rng.zipf(0, 1.0), std::invalid_argument);
+}
+
+TEST(RngTest, WeightedIndexHonorsWeights) {
+  Rng rng(31);
+  const std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weightedIndex(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(RngTest, WeightedIndexRejectsBadInput) {
+  Rng rng(31);
+  const std::vector<double> zero = {0.0, 0.0};
+  const std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW((void)rng.weightedIndex(zero), std::invalid_argument);
+  EXPECT_THROW((void)rng.weightedIndex(negative), std::invalid_argument);
+}
+
+TEST(RngTest, PickThrowsOnEmptyContainer) {
+  Rng rng(37);
+  const std::vector<int> empty;
+  EXPECT_THROW((void)rng.pick(empty), std::invalid_argument);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng a(99);
+  Rng b(99);
+  Rng childA = a.fork(7);
+  Rng childB = b.fork(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(childA.next(), childB.next());
+  // Different labels should diverge even from identical parents.
+  Rng c(99);
+  Rng d(99);
+  Rng childC = c.fork(1);
+  Rng childD = d.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (childC.next() == childD.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+// Property sweep: every seed must produce in-range uniforms and valid
+// weighted draws.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, InvariantsHoldForSeed) {
+  Rng rng(GetParam());
+  const std::vector<double> weights = {1.0, 2.0, 0.5};
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform(100, 200);
+    EXPECT_GE(v, 100u);
+    EXPECT_LE(v, 200u);
+    EXPECT_LT(rng.weightedIndex(weights), weights.size());
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                                           0xffffffffffffffffULL, 20200629ULL));
+
+}  // namespace
+}  // namespace libspector::util

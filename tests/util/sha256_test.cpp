@@ -1,0 +1,97 @@
+#include "util/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace libspector::util {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(toHex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(toHex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(toHex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(toHex(Sha256::hash(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64 bytes: padding must spill into a second block.
+  std::string input(64, 'x');
+  const auto digest = Sha256::hash(input);
+  Sha256 h;
+  h.update(input);
+  EXPECT_EQ(h.finish(), digest);
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string data =
+      "The quick brown fox jumps over the lazy dog, repeatedly and at length, "
+      "to exercise multi-block hashing paths.";
+  const auto oneShot = Sha256::hash(data);
+  // Feed in awkward chunk sizes.
+  for (const std::size_t chunk : {1UL, 3UL, 7UL, 63UL, 64UL, 65UL}) {
+    Sha256 h;
+    for (std::size_t pos = 0; pos < data.size(); pos += chunk)
+      h.update(std::string_view(data).substr(pos, chunk));
+    EXPECT_EQ(h.finish(), oneShot) << "chunk size " << chunk;
+  }
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hash("hello"), Sha256::hash("hellp"));
+  EXPECT_NE(Sha256::hash(std::string("a")), Sha256::hash(std::string("a\0", 2)));
+}
+
+TEST(Sha256Test, ToHexFormatsAllBytes) {
+  const auto digest = Sha256::hash("abc");
+  const std::string hex = toHex(digest);
+  EXPECT_EQ(hex.size(), 64u);
+  for (const char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+}
+
+// Property: hashing N bytes of a repeating pattern is stable across chunk
+// decomposition, for lengths around block boundaries.
+class Sha256LengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256LengthSweep, ChunkingInvariance) {
+  const std::size_t length = GetParam();
+  std::string data(length, '\0');
+  for (std::size_t i = 0; i < length; ++i)
+    data[i] = static_cast<char>('A' + (i % 23));
+  const auto expected = Sha256::hash(data);
+  Sha256 h;
+  std::size_t pos = 0;
+  std::size_t step = 1;
+  while (pos < data.size()) {
+    const std::size_t take = std::min(step, data.size() - pos);
+    h.update(std::string_view(data).substr(pos, take));
+    pos += take;
+    step = step * 2 + 1;
+  }
+  EXPECT_EQ(h.finish(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Sha256LengthSweep,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 127,
+                                           128, 129, 1000, 4096));
+
+}  // namespace
+}  // namespace libspector::util

@@ -1,0 +1,125 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace libspector::util {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(OnlineStatsTest, MatchesNaiveComputation) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  OnlineStats stats;
+  for (const double v : values) stats.add(v);
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(PercentileTest, BasicQuartiles) {
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 25), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenPoints) {
+  const std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 75), 7.5);
+}
+
+TEST(PercentileTest, UnsortedInputIsHandled) {
+  const std::vector<double> values = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 5.0);
+}
+
+TEST(PercentileTest, RejectsBadInput) {
+  const std::vector<double> empty;
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)percentile(empty, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile(one, -1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(one, 101), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, EmptyInput) {
+  EXPECT_TRUE(empiricalCdf({}).empty());
+}
+
+TEST(EmpiricalCdfTest, MonotoneAndEndsAtOne) {
+  std::vector<double> values;
+  for (int i = 100; i > 0; --i) values.push_back(static_cast<double>(i));
+  const auto cdf = empiricalCdf(values, 32);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LE(cdf[i - 1].fraction, cdf[i].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 100.0);
+}
+
+TEST(EmpiricalCdfTest, DownsamplesToRequestedPoints) {
+  std::vector<double> values(1000, 1.0);
+  EXPECT_EQ(empiricalCdf(values, 64).size(), 64u);
+  EXPECT_EQ(empiricalCdf({1.0, 2.0}, 64).size(), 2u);
+}
+
+TEST(LogHistogramTest, CountsLandInRightBuckets) {
+  LogHistogram histogram(1.0, 1e6, 6);  // decade per bucket
+  histogram.add(5.0);      // bucket 0
+  histogram.add(50.0);     // bucket 1
+  histogram.add(500000.0); // bucket 5
+  EXPECT_EQ(histogram.countAt(0), 1u);
+  EXPECT_EQ(histogram.countAt(1), 1u);
+  EXPECT_EQ(histogram.countAt(5), 1u);
+  EXPECT_EQ(histogram.total(), 3u);
+}
+
+TEST(LogHistogramTest, ClampsOutOfRange) {
+  LogHistogram histogram(10.0, 1000.0, 4);
+  histogram.add(1.0);     // below range -> first bucket
+  histogram.add(1e9);     // above range -> last bucket
+  EXPECT_EQ(histogram.countAt(0), 1u);
+  EXPECT_EQ(histogram.countAt(3), 1u);
+}
+
+TEST(LogHistogramTest, BinEdgesAreLogSpaced) {
+  LogHistogram histogram(1.0, 10000.0, 4);
+  EXPECT_NEAR(histogram.binLowerEdge(0), 1.0, 1e-9);
+  EXPECT_NEAR(histogram.binLowerEdge(1), 10.0, 1e-6);
+  EXPECT_NEAR(histogram.binLowerEdge(2), 100.0, 1e-5);
+  EXPECT_THROW((void)histogram.binLowerEdge(4), std::out_of_range);
+}
+
+TEST(LogHistogramTest, RejectsBadRange) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace libspector::util

@@ -1,0 +1,100 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::util {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWhole) {
+  const auto parts = split("abc", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitTest, EmptyInput) {
+  const auto parts = split("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"com", "unity3d", "ads"};
+  EXPECT_EQ(join(parts, "."), "com.unity3d.ads");
+  EXPECT_EQ(split(join(parts, "."), '.'), parts);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"one"}, "."), "one");
+}
+
+TEST(ToLowerTest, MixedCase) {
+  EXPECT_EQ(toLower("AdVeRt-123"), "advert-123");
+}
+
+TEST(HierarchicalPrefixTest, ExactMatch) {
+  EXPECT_TRUE(isHierarchicalPrefix("com.unity3d", "com.unity3d"));
+}
+
+TEST(HierarchicalPrefixTest, ProperPrefixWithSeparator) {
+  EXPECT_TRUE(isHierarchicalPrefix("com.unity3d", "com.unity3d.ads"));
+}
+
+TEST(HierarchicalPrefixTest, RejectsNonBoundaryPrefix) {
+  // The paper's rule: com.unity3d must NOT match com.unity3dx.
+  EXPECT_FALSE(isHierarchicalPrefix("com.unity3d", "com.unity3dx"));
+  EXPECT_FALSE(isHierarchicalPrefix("com.unity3d", "com.unity3dx.ads"));
+}
+
+TEST(HierarchicalPrefixTest, RejectsLongerPrefix) {
+  EXPECT_FALSE(isHierarchicalPrefix("com.unity3d.ads", "com.unity3d"));
+}
+
+TEST(HierarchicalPrefixTest, EmptyPrefixNeverMatches) {
+  EXPECT_FALSE(isHierarchicalPrefix("", "com.unity3d"));
+}
+
+TEST(PrefixLevelsTest, TruncatesToLevels) {
+  EXPECT_EQ(prefixLevels("com.unity3d.ads.android.cache", 2), "com.unity3d");
+  EXPECT_EQ(prefixLevels("com.unity3d.ads.android.cache", 3), "com.unity3d.ads");
+}
+
+TEST(PrefixLevelsTest, ShortInputsReturnedWhole) {
+  EXPECT_EQ(prefixLevels("okhttp3", 2), "okhttp3");
+  EXPECT_EQ(prefixLevels("com.google", 2), "com.google");
+}
+
+TEST(PrefixLevelsTest, ZeroOrNegativeLevels) {
+  EXPECT_EQ(prefixLevels("com.foo", 0), "");
+  EXPECT_EQ(prefixLevels("com.foo", -1), "");
+}
+
+TEST(ContainsTest, Substrings) {
+  EXPECT_TRUE(contains("advertising network", "advert"));
+  EXPECT_FALSE(contains("analytics", "advert"));
+  EXPECT_TRUE(contains("abc", ""));
+}
+
+TEST(HumanBytesTest, UnitsScale) {
+  EXPECT_EQ(humanBytes(713), "713 B");
+  EXPECT_EQ(humanBytes(1536), "1.50 KB");
+  EXPECT_EQ(humanBytes(1024.0 * 1024.0 * 1.59), "1.59 MB");
+  EXPECT_EQ(humanBytes(1024.0 * 1024.0 * 1024.0 * 2.84), "2.84 GB");
+}
+
+}  // namespace
+}  // namespace libspector::util

@@ -1,0 +1,95 @@
+#include "vtsim/categories.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::vtsim {
+namespace {
+
+TEST(CategoriesTest, SeventeenGenericCategories) {
+  EXPECT_EQ(genericCategories().size(), 17u);  // Table I
+  EXPECT_EQ(genericCategories().back(), "unknown");
+}
+
+TEST(CategoriesTest, PatternTableCoversAllCategories) {
+  const auto& table = categoryPatternTable();
+  ASSERT_EQ(table.size(), genericCategories().size());
+  for (std::size_t i = 0; i < table.size(); ++i)
+    EXPECT_EQ(table[i].category, genericCategories()[i]);
+  // Every category except the fallback has at least one token.
+  for (const auto& row : table) {
+    if (row.category == kUnknownDomainCategory) {
+      EXPECT_TRUE(row.tokens.empty());
+    } else {
+      EXPECT_FALSE(row.tokens.empty());
+    }
+  }
+}
+
+TEST(TokenizeTest, TableIExamples) {
+  EXPECT_EQ(tokenizeLabel("mobile ads provider"), "advertisements");
+  EXPECT_EQ(tokenizeLabel("marketing"), "advertisements");
+  EXPECT_EQ(tokenizeLabel("web analytics"), "analytics");
+  EXPECT_EQ(tokenizeLabel("banking"), "business_and_finance");
+  EXPECT_EQ(tokenizeLabel("content delivery network"), "cdn");
+  EXPECT_EQ(tokenizeLabel("dns services"), "cdn");
+  EXPECT_EQ(tokenizeLabel("online games"), "games");
+  EXPECT_EQ(tokenizeLabel("news and tabloids"), "news");
+  EXPECT_EQ(tokenizeLabel("social media"), "social_networks");
+  EXPECT_EQ(tokenizeLabel("web hosting"), "internet_services");
+  EXPECT_EQ(tokenizeLabel("gambling"), "adult");
+  EXPECT_EQ(tokenizeLabel("compromised host"), "malicious");
+  EXPECT_EQ(tokenizeLabel("nutrition"), "health");
+  EXPECT_EQ(tokenizeLabel("reference"), "education");
+  EXPECT_EQ(tokenizeLabel("video streaming"), "entertainment");
+  EXPECT_EQ(tokenizeLabel("travel"), "lifestyle");
+  EXPECT_EQ(tokenizeLabel("telephony"), "communication");
+}
+
+TEST(TokenizeTest, CaseInsensitive) {
+  EXPECT_EQ(tokenizeLabel("ADVERTISEMENTS"), "advertisements");
+  EXPECT_EQ(tokenizeLabel("Content Delivery"), "cdn");
+}
+
+TEST(TokenizeTest, LongestTokenWins) {
+  // "dynamic content" is an info_tech token even though "content" alone
+  // would be cdn; the longer (more specific) token must win.
+  EXPECT_EQ(tokenizeLabel("dynamic content"), "info_tech");
+  // "suspicious content" similarly resolves to malicious, not cdn.
+  EXPECT_EQ(tokenizeLabel("suspicious content"), "malicious");
+}
+
+TEST(TokenizeTest, UnmatchedLabelsFallBackToUnknown) {
+  EXPECT_EQ(tokenizeLabel("uncategorized"), "unknown");
+  EXPECT_EQ(tokenizeLabel("tld registry"), "unknown");
+  EXPECT_EQ(tokenizeLabel(""), "unknown");
+}
+
+TEST(TokenizeTest, SubstringMatchingWithinWords) {
+  // Table I patterns are substrings: "financ" covers finance/financial.
+  EXPECT_EQ(tokenizeLabel("financial services"), "business_and_finance");
+  EXPECT_EQ(tokenizeLabel("cultural heritage"), "lifestyle");  // "cultur"
+  EXPECT_EQ(tokenizeLabel("religious organizations"), "lifestyle");  // "religi"
+}
+
+// Property: every token in the table must tokenize to its own category
+// (i.e., no token is shadowed by a longer token of another category).
+class TokenSelfConsistency
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TokenSelfConsistency, TokensResolveToOwnCategory) {
+  const auto& row = categoryPatternTable()[GetParam()];
+  for (const auto token : row.tokens) {
+    const std::string resolved = tokenizeLabel(token);
+    // A handful of tokens are legitimately substrings of longer tokens in
+    // other categories ("content" vs "dynamic content"); tokenizing the
+    // bare token must still hit this row because exact equality means no
+    // longer token can match.
+    EXPECT_EQ(resolved, row.category) << "token: " << token;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, TokenSelfConsistency,
+                         ::testing::Range<std::size_t>(0, 17));
+
+}  // namespace
+}  // namespace libspector::vtsim

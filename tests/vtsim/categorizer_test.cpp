@@ -1,0 +1,76 @@
+#include "vtsim/categorizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::vtsim {
+namespace {
+
+DomainCategorizer::TruthLookup fixedTruth(std::string category) {
+  return [category](const std::string&) { return category; };
+}
+
+TEST(CategorizerTest, MajorityVoteRecoversTruth) {
+  DomainCategorizer categorizer(defaultVendorPanel(), fixedTruth("advertisements"));
+  int correct = 0;
+  constexpr int kDomains = 300;
+  for (int i = 0; i < kDomains; ++i) {
+    const auto& verdict =
+        categorizer.categorize("adserv" + std::to_string(i) + ".example.com");
+    if (verdict.category == "advertisements") ++correct;
+  }
+  // Vendor noise is 8-20%; the 5-way majority should recover nearly all.
+  EXPECT_GT(correct, kDomains * 9 / 10);
+}
+
+TEST(CategorizerTest, VerdictIsCachedAndStable) {
+  DomainCategorizer categorizer(defaultVendorPanel(), fixedTruth("games"));
+  const auto& first = categorizer.categorize("game1.example.com");
+  const std::string category = first.category;
+  const auto& second = categorizer.categorize("game1.example.com");
+  EXPECT_EQ(&first, &second);  // same cached object
+  EXPECT_EQ(second.category, category);
+  EXPECT_EQ(categorizer.domainsSeen(), 1u);
+}
+
+TEST(CategorizerTest, CollectsRawLabelsAndVotes) {
+  DomainCategorizer categorizer(defaultVendorPanel(), fixedTruth("cdn"));
+  const auto& verdict = categorizer.categorize("cdn5.edge.net");
+  EXPECT_LE(verdict.rawLabels.size(), 5u);
+  EXPECT_FALSE(verdict.votes.empty());
+  int totalVotes = 0;
+  for (const auto& [category, count] : verdict.votes) totalVotes += count;
+  EXPECT_EQ(static_cast<std::size_t>(totalVotes), verdict.rawLabels.size());
+}
+
+TEST(CategorizerTest, UnknownOnlyWinsWhenNothingElseVoted) {
+  DomainCategorizer categorizer(defaultVendorPanel(), fixedTruth("unknown"));
+  // Truth "unknown" means vendors emit unparseable labels; most domains
+  // should come out unknown, and any non-unknown verdict implies a real
+  // (noise-injected) vote existed.
+  int unknown = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto& verdict = categorizer.categorize("host" + std::to_string(i) + ".io");
+    if (verdict.category == kUnknownDomainCategory) ++unknown;
+  }
+  EXPECT_GT(unknown, 50);
+}
+
+TEST(CategorizerTest, CategoryCountsCensus) {
+  DomainCategorizer categorizer(defaultVendorPanel(), fixedTruth("news"));
+  for (int i = 0; i < 40; ++i)
+    categorizer.categorize("news" + std::to_string(i) + ".com");
+  const auto counts = categorizer.categoryCounts();
+  std::size_t total = 0;
+  for (const auto& [category, count] : counts) total += count;
+  EXPECT_EQ(total, 40u);
+  ASSERT_TRUE(counts.contains("news"));
+  EXPECT_GT(counts.at("news"), 30u);
+}
+
+TEST(CategorizerTest, NullTruthLookupRejected) {
+  EXPECT_THROW(DomainCategorizer(defaultVendorPanel(), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace libspector::vtsim

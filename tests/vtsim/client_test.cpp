@@ -1,0 +1,92 @@
+#include "vtsim/client.hpp"
+
+#include <gtest/gtest.h>
+
+namespace libspector::vtsim {
+namespace {
+
+DomainCategorizer makeCategorizer() {
+  return DomainCategorizer(
+      defaultVendorPanel(),
+      [](const std::string& domain) -> std::string {
+        if (domain.starts_with("ads")) return "advertisements";
+        return "info_tech";
+      });
+}
+
+TEST(VtClientTest, QuotaGatesFreshLookups) {
+  auto categorizer = makeCategorizer();
+  VtClient client(categorizer, {.requestsPerWindow = 2, .windowMs = 60000});
+
+  EXPECT_TRUE(client.categorize("ads1.x.com", 0).has_value());
+  EXPECT_TRUE(client.categorize("ads2.x.com", 100).has_value());
+  // Third fresh lookup in the window: quota exhausted.
+  EXPECT_FALSE(client.categorize("ads3.x.com", 200).has_value());
+  // Window slides; the lookup goes through.
+  EXPECT_TRUE(client.categorize("ads3.x.com", 60001).has_value());
+  EXPECT_EQ(client.apiCalls(), 3u);
+}
+
+TEST(VtClientTest, CacheBypassesQuota) {
+  auto categorizer = makeCategorizer();
+  VtClient client(categorizer, {.requestsPerWindow = 1, .windowMs = 60000});
+  const auto first = client.categorize("ads1.x.com", 0);
+  ASSERT_TRUE(first.has_value());
+  // Same domain again: no quota token spent, same verdict.
+  for (int i = 0; i < 10; ++i) {
+    const auto again = client.categorize("ads1.x.com", 10 + i);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *first);
+  }
+  EXPECT_EQ(client.apiCalls(), 1u);
+  EXPECT_EQ(client.cacheHits(), 10u);
+}
+
+TEST(VtClientTest, CategorizeAllWaitsOutTheQuota) {
+  auto categorizer = makeCategorizer();
+  VtClient client(categorizer, {.requestsPerWindow = 2, .windowMs = 60000});
+  util::SimClock clock;
+  const std::vector<std::string> domains = {"ads1.x.com", "ads2.x.com",
+                                            "ads3.x.com", "ads4.x.com",
+                                            "ads5.x.com"};
+  const auto verdicts = client.categorizeAll(domains, clock);
+  EXPECT_EQ(verdicts.size(), 5u);
+  // 5 lookups at 2/minute: at least two full window waits elapsed.
+  EXPECT_GE(clock.now(), 2u * 60000u);
+  // Vendor noise may flip an individual domain; the bulk must be correct.
+  std::size_t correct = 0;
+  for (const auto& [domain, verdict] : verdicts)
+    if (verdict == "advertisements") ++correct;
+  EXPECT_GE(correct, 4u);
+}
+
+TEST(VtClientTest, DiskCacheSurvivesRestart) {
+  const std::string cachePath =
+      ::testing::TempDir() + "/vt_cache_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + ".csv";
+  auto categorizer = makeCategorizer();
+  {
+    VtClient client(categorizer, {.requestsPerWindow = 10, .windowMs = 60000},
+                    cachePath);
+    ASSERT_TRUE(client.categorize("svc1.y.com", 0).has_value());
+    ASSERT_TRUE(client.categorize("ads1.x.com", 1).has_value());
+    client.saveCache();
+  }
+  // A fresh client (fresh quota) answers from disk without any API call.
+  auto categorizer2 = makeCategorizer();
+  VtClient restarted(categorizer2, {.requestsPerWindow = 1, .windowMs = 60000},
+                     cachePath);
+  EXPECT_EQ(restarted.cacheSize(), 2u);
+  EXPECT_TRUE(restarted.categorize("svc1.y.com", 0).has_value());
+  EXPECT_TRUE(restarted.categorize("ads1.x.com", 0).has_value());
+  EXPECT_EQ(restarted.apiCalls(), 0u);
+}
+
+TEST(VtClientTest, RejectsZeroQuota) {
+  auto categorizer = makeCategorizer();
+  EXPECT_THROW(VtClient(categorizer, {.requestsPerWindow = 0, .windowMs = 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace libspector::vtsim
