@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_majority_vote"
+  "../bench/ablation_majority_vote.pdb"
+  "CMakeFiles/ablation_majority_vote.dir/ablation_majority_vote.cpp.o"
+  "CMakeFiles/ablation_majority_vote.dir/ablation_majority_vote.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_majority_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prefix_match"
+  "../bench/ablation_prefix_match.pdb"
+  "CMakeFiles/ablation_prefix_match.dir/ablation_prefix_match.cpp.o"
+  "CMakeFiles/ablation_prefix_match.dir/ablation_prefix_match.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefix_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tracer_buffer"
+  "../bench/ablation_tracer_buffer.pdb"
+  "CMakeFiles/ablation_tracer_buffer.dir/ablation_tracer_buffer.cpp.o"
+  "CMakeFiles/ablation_tracer_buffer.dir/ablation_tracer_buffer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tracer_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/application_policy"
+  "../bench/application_policy.pdb"
+  "CMakeFiles/application_policy.dir/application_policy.cpp.o"
+  "CMakeFiles/application_policy.dir/application_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_ua_hostname"
+  "../bench/baseline_ua_hostname.pdb"
+  "CMakeFiles/baseline_ua_hostname.dir/baseline_ua_hostname.cpp.o"
+  "CMakeFiles/baseline_ua_hostname.dir/baseline_ua_hostname.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_ua_hostname.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_ua_hostname.
+# This may be replaced when dependencies are built.

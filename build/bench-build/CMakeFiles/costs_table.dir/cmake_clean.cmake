@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/costs_table"
+  "../bench/costs_table.pdb"
+  "CMakeFiles/costs_table.dir/costs_table.cpp.o"
+  "CMakeFiles/costs_table.dir/costs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costs_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

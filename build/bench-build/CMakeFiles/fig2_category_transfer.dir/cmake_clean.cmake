@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_category_transfer"
+  "../bench/fig2_category_transfer.pdb"
+  "CMakeFiles/fig2_category_transfer.dir/fig2_category_transfer.cpp.o"
+  "CMakeFiles/fig2_category_transfer.dir/fig2_category_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_category_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_top_libraries"
+  "../bench/fig3_top_libraries.pdb"
+  "CMakeFiles/fig3_top_libraries.dir/fig3_top_libraries.cpp.o"
+  "CMakeFiles/fig3_top_libraries.dir/fig3_top_libraries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_top_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

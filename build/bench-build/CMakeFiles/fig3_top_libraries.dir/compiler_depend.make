@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_top_libraries.
+# This may be replaced when dependencies are built.

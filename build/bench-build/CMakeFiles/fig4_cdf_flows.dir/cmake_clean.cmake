@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_cdf_flows"
+  "../bench/fig4_cdf_flows.pdb"
+  "CMakeFiles/fig4_cdf_flows.dir/fig4_cdf_flows.cpp.o"
+  "CMakeFiles/fig4_cdf_flows.dir/fig4_cdf_flows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cdf_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_flow_ratios"
+  "../bench/fig5_flow_ratios.pdb"
+  "CMakeFiles/fig5_flow_ratios.dir/fig5_flow_ratios.cpp.o"
+  "CMakeFiles/fig5_flow_ratios.dir/fig5_flow_ratios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_flow_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_ant_cl"
+  "../bench/fig6_ant_cl.pdb"
+  "CMakeFiles/fig6_ant_cl.dir/fig6_ant_cl.cpp.o"
+  "CMakeFiles/fig6_ant_cl.dir/fig6_ant_cl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ant_cl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

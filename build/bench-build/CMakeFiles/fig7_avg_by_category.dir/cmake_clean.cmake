@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_avg_by_category"
+  "../bench/fig7_avg_by_category.pdb"
+  "CMakeFiles/fig7_avg_by_category.dir/fig7_avg_by_category.cpp.o"
+  "CMakeFiles/fig7_avg_by_category.dir/fig7_avg_by_category.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_avg_by_category.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_avg_by_category.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_avg_per_app_category"
+  "../bench/fig8_avg_per_app_category.pdb"
+  "CMakeFiles/fig8_avg_per_app_category.dir/fig8_avg_per_app_category.cpp.o"
+  "CMakeFiles/fig8_avg_per_app_category.dir/fig8_avg_per_app_category.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_avg_per_app_category.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

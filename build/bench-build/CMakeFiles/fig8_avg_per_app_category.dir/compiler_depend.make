@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_avg_per_app_category.
+# This may be replaced when dependencies are built.

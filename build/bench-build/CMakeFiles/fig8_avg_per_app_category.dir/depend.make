@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_avg_per_app_category.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_heatmap"
+  "../bench/fig9_heatmap.pdb"
+  "CMakeFiles/fig9_heatmap.dir/fig9_heatmap.cpp.o"
+  "CMakeFiles/fig9_heatmap.dir/fig9_heatmap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

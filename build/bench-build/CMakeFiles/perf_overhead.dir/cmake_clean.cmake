@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_overhead"
+  "../bench/perf_overhead.pdb"
+  "CMakeFiles/perf_overhead.dir/perf_overhead.cpp.o"
+  "CMakeFiles/perf_overhead.dir/perf_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_bench_common.dir/common/study.cpp.o"
+  "CMakeFiles/spector_bench_common.dir/common/study.cpp.o.d"
+  "libspector_bench_common.a"
+  "libspector_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

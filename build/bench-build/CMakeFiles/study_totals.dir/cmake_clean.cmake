@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/study_totals"
+  "../bench/study_totals.pdb"
+  "CMakeFiles/study_totals.dir/study_totals.cpp.o"
+  "CMakeFiles/study_totals.dir/study_totals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

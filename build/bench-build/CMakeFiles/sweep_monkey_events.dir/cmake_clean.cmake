@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_monkey_events"
+  "../bench/sweep_monkey_events.pdb"
+  "CMakeFiles/sweep_monkey_events.dir/sweep_monkey_events.cpp.o"
+  "CMakeFiles/sweep_monkey_events.dir/sweep_monkey_events.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_monkey_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

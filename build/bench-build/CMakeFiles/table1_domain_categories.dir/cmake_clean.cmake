@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_domain_categories"
+  "../bench/table1_domain_categories.pdb"
+  "CMakeFiles/table1_domain_categories.dir/table1_domain_categories.cpp.o"
+  "CMakeFiles/table1_domain_categories.dir/table1_domain_categories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_domain_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_single_app.dir/attribute_single_app.cpp.o"
+  "CMakeFiles/attribute_single_app.dir/attribute_single_app.cpp.o.d"
+  "attribute_single_app"
+  "attribute_single_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_single_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_report.dir/cost_report.cpp.o"
+  "CMakeFiles/cost_report.dir/cost_report.cpp.o.d"
+  "cost_report"
+  "cost_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

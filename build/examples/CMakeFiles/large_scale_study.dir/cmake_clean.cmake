@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_scale_study.dir/large_scale_study.cpp.o"
+  "CMakeFiles/large_scale_study.dir/large_scale_study.cpp.o.d"
+  "large_scale_study"
+  "large_scale_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_scale_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_enforcement.dir/policy_enforcement.cpp.o"
+  "CMakeFiles/policy_enforcement.dir/policy_enforcement.cpp.o.d"
+  "policy_enforcement"
+  "policy_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

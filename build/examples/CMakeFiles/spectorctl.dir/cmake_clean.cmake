@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectorctl.dir/spectorctl.cpp.o"
+  "CMakeFiles/spectorctl.dir/spectorctl.cpp.o.d"
+  "spectorctl"
+  "spectorctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectorctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("dex")
+subdirs("net")
+subdirs("rt")
+subdirs("hook")
+subdirs("monkey")
+subdirs("radar")
+subdirs("vtsim")
+subdirs("store")
+subdirs("orch")
+subdirs("core")
+subdirs("policy")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/spector_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/spector_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/artifacts.cpp" "src/core/CMakeFiles/spector_core.dir/artifacts.cpp.o" "gcc" "src/core/CMakeFiles/spector_core.dir/artifacts.cpp.o.d"
+  "/root/repo/src/core/attribution.cpp" "src/core/CMakeFiles/spector_core.dir/attribution.cpp.o" "gcc" "src/core/CMakeFiles/spector_core.dir/attribution.cpp.o.d"
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/spector_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/spector_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/spector_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/spector_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/spector_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/spector_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/spector_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/spector_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/spector_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/spector_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/supervisor.cpp" "src/core/CMakeFiles/spector_core.dir/supervisor.cpp.o" "gcc" "src/core/CMakeFiles/spector_core.dir/supervisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spector_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/spector_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spector_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/spector_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hook/CMakeFiles/spector_hook.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/spector_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/vtsim/CMakeFiles/spector_vtsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

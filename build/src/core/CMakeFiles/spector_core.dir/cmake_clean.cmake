@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_core.dir/analysis.cpp.o"
+  "CMakeFiles/spector_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/spector_core.dir/artifacts.cpp.o"
+  "CMakeFiles/spector_core.dir/artifacts.cpp.o.d"
+  "CMakeFiles/spector_core.dir/attribution.cpp.o"
+  "CMakeFiles/spector_core.dir/attribution.cpp.o.d"
+  "CMakeFiles/spector_core.dir/baseline.cpp.o"
+  "CMakeFiles/spector_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/spector_core.dir/cost.cpp.o"
+  "CMakeFiles/spector_core.dir/cost.cpp.o.d"
+  "CMakeFiles/spector_core.dir/export.cpp.o"
+  "CMakeFiles/spector_core.dir/export.cpp.o.d"
+  "CMakeFiles/spector_core.dir/monitor.cpp.o"
+  "CMakeFiles/spector_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/spector_core.dir/report.cpp.o"
+  "CMakeFiles/spector_core.dir/report.cpp.o.d"
+  "CMakeFiles/spector_core.dir/supervisor.cpp.o"
+  "CMakeFiles/spector_core.dir/supervisor.cpp.o.d"
+  "libspector_core.a"
+  "libspector_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

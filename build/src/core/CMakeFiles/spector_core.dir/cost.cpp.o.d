@@ -1,0 +1,3 @@
+src/core/CMakeFiles/spector_core.dir/cost.cpp.o: \
+ /root/repo/src/core/cost.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/core/cost.hpp

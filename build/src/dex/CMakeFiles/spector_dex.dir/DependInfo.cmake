@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dex/apk.cpp" "src/dex/CMakeFiles/spector_dex.dir/apk.cpp.o" "gcc" "src/dex/CMakeFiles/spector_dex.dir/apk.cpp.o.d"
+  "/root/repo/src/dex/disassembler.cpp" "src/dex/CMakeFiles/spector_dex.dir/disassembler.cpp.o" "gcc" "src/dex/CMakeFiles/spector_dex.dir/disassembler.cpp.o.d"
+  "/root/repo/src/dex/type_signature.cpp" "src/dex/CMakeFiles/spector_dex.dir/type_signature.cpp.o" "gcc" "src/dex/CMakeFiles/spector_dex.dir/type_signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spector_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_dex.dir/apk.cpp.o"
+  "CMakeFiles/spector_dex.dir/apk.cpp.o.d"
+  "CMakeFiles/spector_dex.dir/disassembler.cpp.o"
+  "CMakeFiles/spector_dex.dir/disassembler.cpp.o.d"
+  "CMakeFiles/spector_dex.dir/type_signature.cpp.o"
+  "CMakeFiles/spector_dex.dir/type_signature.cpp.o.d"
+  "libspector_dex.a"
+  "libspector_dex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_dex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hook/native.cpp" "src/hook/CMakeFiles/spector_hook.dir/native.cpp.o" "gcc" "src/hook/CMakeFiles/spector_hook.dir/native.cpp.o.d"
+  "/root/repo/src/hook/xposed.cpp" "src/hook/CMakeFiles/spector_hook.dir/xposed.cpp.o" "gcc" "src/hook/CMakeFiles/spector_hook.dir/xposed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/spector_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/spector_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spector_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spector_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_hook.dir/native.cpp.o"
+  "CMakeFiles/spector_hook.dir/native.cpp.o.d"
+  "CMakeFiles/spector_hook.dir/xposed.cpp.o"
+  "CMakeFiles/spector_hook.dir/xposed.cpp.o.d"
+  "libspector_hook.a"
+  "libspector_hook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_hook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

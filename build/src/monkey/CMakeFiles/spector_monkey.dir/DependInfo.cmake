@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monkey/monkey.cpp" "src/monkey/CMakeFiles/spector_monkey.dir/monkey.cpp.o" "gcc" "src/monkey/CMakeFiles/spector_monkey.dir/monkey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/spector_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spector_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/spector_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spector_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_monkey.dir/monkey.cpp.o"
+  "CMakeFiles/spector_monkey.dir/monkey.cpp.o.d"
+  "libspector_monkey.a"
+  "libspector_monkey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_monkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/capture.cpp" "src/net/CMakeFiles/spector_net.dir/capture.cpp.o" "gcc" "src/net/CMakeFiles/spector_net.dir/capture.cpp.o.d"
+  "/root/repo/src/net/dns.cpp" "src/net/CMakeFiles/spector_net.dir/dns.cpp.o" "gcc" "src/net/CMakeFiles/spector_net.dir/dns.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/spector_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/spector_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/net/CMakeFiles/spector_net.dir/server.cpp.o" "gcc" "src/net/CMakeFiles/spector_net.dir/server.cpp.o.d"
+  "/root/repo/src/net/stack.cpp" "src/net/CMakeFiles/spector_net.dir/stack.cpp.o" "gcc" "src/net/CMakeFiles/spector_net.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spector_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_net.dir/capture.cpp.o"
+  "CMakeFiles/spector_net.dir/capture.cpp.o.d"
+  "CMakeFiles/spector_net.dir/dns.cpp.o"
+  "CMakeFiles/spector_net.dir/dns.cpp.o.d"
+  "CMakeFiles/spector_net.dir/ip.cpp.o"
+  "CMakeFiles/spector_net.dir/ip.cpp.o.d"
+  "CMakeFiles/spector_net.dir/server.cpp.o"
+  "CMakeFiles/spector_net.dir/server.cpp.o.d"
+  "CMakeFiles/spector_net.dir/stack.cpp.o"
+  "CMakeFiles/spector_net.dir/stack.cpp.o.d"
+  "libspector_net.a"
+  "libspector_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_orch.dir/collector.cpp.o"
+  "CMakeFiles/spector_orch.dir/collector.cpp.o.d"
+  "CMakeFiles/spector_orch.dir/database.cpp.o"
+  "CMakeFiles/spector_orch.dir/database.cpp.o.d"
+  "CMakeFiles/spector_orch.dir/dispatcher.cpp.o"
+  "CMakeFiles/spector_orch.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/spector_orch.dir/emulator.cpp.o"
+  "CMakeFiles/spector_orch.dir/emulator.cpp.o.d"
+  "CMakeFiles/spector_orch.dir/study.cpp.o"
+  "CMakeFiles/spector_orch.dir/study.cpp.o.d"
+  "libspector_orch.a"
+  "libspector_orch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

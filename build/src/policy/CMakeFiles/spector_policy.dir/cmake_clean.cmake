@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_policy.dir/engine.cpp.o"
+  "CMakeFiles/spector_policy.dir/engine.cpp.o.d"
+  "CMakeFiles/spector_policy.dir/module.cpp.o"
+  "CMakeFiles/spector_policy.dir/module.cpp.o.d"
+  "libspector_policy.a"
+  "libspector_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

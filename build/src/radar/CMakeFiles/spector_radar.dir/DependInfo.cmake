@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radar/ant.cpp" "src/radar/CMakeFiles/spector_radar.dir/ant.cpp.o" "gcc" "src/radar/CMakeFiles/spector_radar.dir/ant.cpp.o.d"
+  "/root/repo/src/radar/builtin_corpus.cpp" "src/radar/CMakeFiles/spector_radar.dir/builtin_corpus.cpp.o" "gcc" "src/radar/CMakeFiles/spector_radar.dir/builtin_corpus.cpp.o.d"
+  "/root/repo/src/radar/corpus.cpp" "src/radar/CMakeFiles/spector_radar.dir/corpus.cpp.o" "gcc" "src/radar/CMakeFiles/spector_radar.dir/corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spector_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/spector_dex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

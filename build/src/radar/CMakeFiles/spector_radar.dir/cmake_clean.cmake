@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_radar.dir/ant.cpp.o"
+  "CMakeFiles/spector_radar.dir/ant.cpp.o.d"
+  "CMakeFiles/spector_radar.dir/builtin_corpus.cpp.o"
+  "CMakeFiles/spector_radar.dir/builtin_corpus.cpp.o.d"
+  "CMakeFiles/spector_radar.dir/corpus.cpp.o"
+  "CMakeFiles/spector_radar.dir/corpus.cpp.o.d"
+  "libspector_radar.a"
+  "libspector_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/framework.cpp" "src/rt/CMakeFiles/spector_rt.dir/framework.cpp.o" "gcc" "src/rt/CMakeFiles/spector_rt.dir/framework.cpp.o.d"
+  "/root/repo/src/rt/interpreter.cpp" "src/rt/CMakeFiles/spector_rt.dir/interpreter.cpp.o" "gcc" "src/rt/CMakeFiles/spector_rt.dir/interpreter.cpp.o.d"
+  "/root/repo/src/rt/tracer.cpp" "src/rt/CMakeFiles/spector_rt.dir/tracer.cpp.o" "gcc" "src/rt/CMakeFiles/spector_rt.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spector_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spector_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/spector_dex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_rt.dir/framework.cpp.o"
+  "CMakeFiles/spector_rt.dir/framework.cpp.o.d"
+  "CMakeFiles/spector_rt.dir/interpreter.cpp.o"
+  "CMakeFiles/spector_rt.dir/interpreter.cpp.o.d"
+  "CMakeFiles/spector_rt.dir/tracer.cpp.o"
+  "CMakeFiles/spector_rt.dir/tracer.cpp.o.d"
+  "libspector_rt.a"
+  "libspector_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

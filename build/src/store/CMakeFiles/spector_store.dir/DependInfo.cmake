@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/catalog.cpp" "src/store/CMakeFiles/spector_store.dir/catalog.cpp.o" "gcc" "src/store/CMakeFiles/spector_store.dir/catalog.cpp.o.d"
+  "/root/repo/src/store/generator.cpp" "src/store/CMakeFiles/spector_store.dir/generator.cpp.o" "gcc" "src/store/CMakeFiles/spector_store.dir/generator.cpp.o.d"
+  "/root/repo/src/store/repository.cpp" "src/store/CMakeFiles/spector_store.dir/repository.cpp.o" "gcc" "src/store/CMakeFiles/spector_store.dir/repository.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spector_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/spector_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spector_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/spector_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/spector_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/vtsim/CMakeFiles/spector_vtsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

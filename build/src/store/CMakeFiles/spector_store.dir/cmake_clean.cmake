@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_store.dir/catalog.cpp.o"
+  "CMakeFiles/spector_store.dir/catalog.cpp.o.d"
+  "CMakeFiles/spector_store.dir/generator.cpp.o"
+  "CMakeFiles/spector_store.dir/generator.cpp.o.d"
+  "CMakeFiles/spector_store.dir/repository.cpp.o"
+  "CMakeFiles/spector_store.dir/repository.cpp.o.d"
+  "libspector_store.a"
+  "libspector_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

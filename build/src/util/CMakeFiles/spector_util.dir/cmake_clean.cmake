@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_util.dir/bytes.cpp.o"
+  "CMakeFiles/spector_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/spector_util.dir/log.cpp.o"
+  "CMakeFiles/spector_util.dir/log.cpp.o.d"
+  "CMakeFiles/spector_util.dir/rng.cpp.o"
+  "CMakeFiles/spector_util.dir/rng.cpp.o.d"
+  "CMakeFiles/spector_util.dir/sha256.cpp.o"
+  "CMakeFiles/spector_util.dir/sha256.cpp.o.d"
+  "CMakeFiles/spector_util.dir/stats.cpp.o"
+  "CMakeFiles/spector_util.dir/stats.cpp.o.d"
+  "CMakeFiles/spector_util.dir/strings.cpp.o"
+  "CMakeFiles/spector_util.dir/strings.cpp.o.d"
+  "libspector_util.a"
+  "libspector_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vtsim/categories.cpp" "src/vtsim/CMakeFiles/spector_vtsim.dir/categories.cpp.o" "gcc" "src/vtsim/CMakeFiles/spector_vtsim.dir/categories.cpp.o.d"
+  "/root/repo/src/vtsim/categorizer.cpp" "src/vtsim/CMakeFiles/spector_vtsim.dir/categorizer.cpp.o" "gcc" "src/vtsim/CMakeFiles/spector_vtsim.dir/categorizer.cpp.o.d"
+  "/root/repo/src/vtsim/client.cpp" "src/vtsim/CMakeFiles/spector_vtsim.dir/client.cpp.o" "gcc" "src/vtsim/CMakeFiles/spector_vtsim.dir/client.cpp.o.d"
+  "/root/repo/src/vtsim/vendor.cpp" "src/vtsim/CMakeFiles/spector_vtsim.dir/vendor.cpp.o" "gcc" "src/vtsim/CMakeFiles/spector_vtsim.dir/vendor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spector_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

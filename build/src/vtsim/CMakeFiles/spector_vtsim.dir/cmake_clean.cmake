@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_vtsim.dir/categories.cpp.o"
+  "CMakeFiles/spector_vtsim.dir/categories.cpp.o.d"
+  "CMakeFiles/spector_vtsim.dir/categorizer.cpp.o"
+  "CMakeFiles/spector_vtsim.dir/categorizer.cpp.o.d"
+  "CMakeFiles/spector_vtsim.dir/client.cpp.o"
+  "CMakeFiles/spector_vtsim.dir/client.cpp.o.d"
+  "CMakeFiles/spector_vtsim.dir/vendor.cpp.o"
+  "CMakeFiles/spector_vtsim.dir/vendor.cpp.o.d"
+  "libspector_vtsim.a"
+  "libspector_vtsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_vtsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

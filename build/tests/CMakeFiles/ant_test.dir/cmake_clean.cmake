@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_test.dir/radar/ant_test.cpp.o"
+  "CMakeFiles/ant_test.dir/radar/ant_test.cpp.o.d"
+  "ant_test"
+  "ant_test.pdb"
+  "ant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apk_test.dir/dex/apk_test.cpp.o"
+  "CMakeFiles/apk_test.dir/dex/apk_test.cpp.o.d"
+  "apk_test"
+  "apk_test.pdb"
+  "apk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artifacts_test.dir/core/artifacts_test.cpp.o"
+  "CMakeFiles/artifacts_test.dir/core/artifacts_test.cpp.o.d"
+  "artifacts_test"
+  "artifacts_test.pdb"
+  "artifacts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artifacts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/orch/collector_test.cpp" "tests/CMakeFiles/collector_test.dir/orch/collector_test.cpp.o" "gcc" "tests/CMakeFiles/collector_test.dir/orch/collector_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orch/CMakeFiles/spector_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/monkey/CMakeFiles/spector_monkey.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/spector_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/spector_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spector_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hook/CMakeFiles/spector_hook.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/spector_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spector_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/spector_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/spector_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/vtsim/CMakeFiles/spector_vtsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spector_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

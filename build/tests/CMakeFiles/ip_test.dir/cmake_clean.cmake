@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_test.dir/net/ip_test.cpp.o"
+  "CMakeFiles/ip_test.dir/net/ip_test.cpp.o.d"
+  "ip_test"
+  "ip_test.pdb"
+  "ip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing1_test.dir/integration/listing1_test.cpp.o"
+  "CMakeFiles/listing1_test.dir/integration/listing1_test.cpp.o.d"
+  "listing1_test"
+  "listing1_test.pdb"
+  "listing1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

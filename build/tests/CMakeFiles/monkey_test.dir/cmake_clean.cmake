@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_test.dir/monkey/monkey_test.cpp.o"
+  "CMakeFiles/monkey_test.dir/monkey/monkey_test.cpp.o.d"
+  "monkey_test"
+  "monkey_test.pdb"
+  "monkey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_signature_test.dir/dex/type_signature_test.cpp.o"
+  "CMakeFiles/type_signature_test.dir/dex/type_signature_test.cpp.o.d"
+  "type_signature_test"
+  "type_signature_test.pdb"
+  "type_signature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xposed_test.dir/hook/xposed_test.cpp.o"
+  "CMakeFiles/xposed_test.dir/hook/xposed_test.cpp.o.d"
+  "xposed_test"
+  "xposed_test.pdb"
+  "xposed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xposed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

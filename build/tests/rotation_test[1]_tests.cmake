@@ -1,0 +1,3 @@
+add_test([=[RotationTest.FlowsFollowTheDomainAcrossAddresses]=]  /root/repo/build/tests/rotation_test [==[--gtest_filter=RotationTest.FlowsFollowTheDomainAcrossAddresses]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[RotationTest.FlowsFollowTheDomainAcrossAddresses]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  rotation_test_TESTS RotationTest.FlowsFollowTheDomainAcrossAddresses)
