@@ -1,0 +1,277 @@
+// Offline attribution throughput: the paper's "<5 s per app" stage at
+// study scale (§II-B3), tracked from PR 1 onward.
+//
+// Two axes, benchmarked independently and combined:
+//   - per-query cost: naive capture scan (O(packets)) vs CaptureIndex
+//     (O(log packets)) plus the per-run frame memos;
+//   - parallelism: 1 worker vs one per hardware thread (the dispatcher used
+//     to serialize attribution behind its sink mutex, collapsing the fleet
+//     to one core exactly where the work is heaviest).
+//
+// The headline comparison attributes a 200-app synthetic study the way the
+// seed did (naive + serialized) and the way the pipeline does now
+// (indexed + parallel), prints the speedup, and writes BENCH_attribution.json
+// so the perf trajectory is machine-readable. The google-benchmark
+// microbenchmarks after it isolate each axis.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/attribution.hpp"
+#include "net/capture.hpp"
+#include "orch/emulator.hpp"
+#include "radar/corpus.hpp"
+#include "store/generator.hpp"
+#include "vtsim/categorizer.hpp"
+
+namespace {
+
+using namespace libspector;
+
+constexpr std::size_t kStudyApps = 200;
+
+/// The pre-emulated study every benchmark attributes: emulation runs once,
+/// attribution is what gets measured.
+struct StudyWorld {
+  StudyWorld() {
+    store::StoreConfig storeConfig;
+    storeConfig.appCount = kStudyApps;
+    storeConfig.seed = 20200629;
+    storeConfig.methodScale = 0.15;
+    generator = std::make_unique<store::AppStoreGenerator>(storeConfig);
+    categorizer = std::make_unique<vtsim::DomainCategorizer>(
+        vtsim::defaultVendorPanel(), [this](const std::string& domain) {
+          return generator->domainTruth(domain);
+        });
+    for (std::size_t i = 0; i < generator->appCount(); ++i) {
+      const auto job = generator->makeJob(i);
+      orch::EmulatorConfig config;
+      config.monkey.events = 20000;
+      config.monkey.throttleMs = 20;
+      config.seed = 0x11b59ec701ULL + i;
+      orch::EmulatorInstance emulator(generator->farm(), nullptr, config);
+      runs.push_back(emulator.run(job.apk, job.program));
+    }
+  }
+
+  [[nodiscard]] core::TrafficAttributor attributor(
+      core::AttributorConfig config = {}) const {
+    return {corpus, *categorizer, config};
+  }
+
+  const radar::LibraryCorpus corpus = radar::LibraryCorpus::builtin();
+  std::unique_ptr<store::AppStoreGenerator> generator;
+  std::unique_ptr<vtsim::DomainCategorizer> categorizer;
+  std::vector<core::RunArtifacts> runs;
+};
+
+const StudyWorld& world() {
+  static const StudyWorld kWorld;
+  return kWorld;
+}
+
+core::AttributorConfig seedConfig() {
+  core::AttributorConfig config;
+  config.useCaptureIndex = false;
+  config.memoizeFrames = false;
+  return config;
+}
+
+/// Attribute every run of the study with `threads` workers; returns the
+/// total flow count (and keeps the optimizer honest).
+std::size_t attributeStudy(const core::TrafficAttributor& attributor,
+                           std::size_t threads) {
+  std::atomic<std::size_t> nextRun{0};
+  std::atomic<std::size_t> flowCount{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = nextRun.fetch_add(1);
+      if (i >= world().runs.size()) return;
+      const auto flows = attributor.attribute(world().runs[i]);
+      flowCount.fetch_add(flows.size());
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }
+  return flowCount.load();
+}
+
+double secondsOf(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The acceptance-criterion comparison; also writes BENCH_attribution.json.
+void runHeadlineComparison() {
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::size_t packets = 0;
+  for (const auto& run : world().runs) packets += run.capture.size();
+
+  const auto naive = world().attributor(seedConfig());
+  const auto indexed = world().attributor();
+
+  std::size_t flows = 0;
+  const double naiveSerialS =
+      secondsOf([&] { flows = attributeStudy(naive, 1); });
+  const double indexedSerialS =
+      secondsOf([&] { attributeStudy(indexed, 1); });
+  const double indexedParallelS =
+      secondsOf([&] { attributeStudy(indexed, threads); });
+
+  const double speedup = indexedParallelS > 0.0 ? naiveSerialS / indexedParallelS
+                                                : 0.0;
+  std::printf("=== attribution throughput: %zu-app study ===\n", kStudyApps);
+  std::printf("capture packets: %zu, flows attributed: %zu\n", packets, flows);
+  std::printf("seed  (naive volume scan, no memo, serialized): %8.3f s  (%.1f apps/s)\n",
+              naiveSerialS, static_cast<double>(kStudyApps) / naiveSerialS);
+  std::printf("index (capture index + memo,       serialized): %8.3f s  (%.1f apps/s)\n",
+              indexedSerialS, static_cast<double>(kStudyApps) / indexedSerialS);
+  std::printf("this  (capture index + memo, %2zu-way parallel) : %8.3f s  (%.1f apps/s)\n",
+              threads, indexedParallelS,
+              static_cast<double>(kStudyApps) / indexedParallelS);
+  std::printf("speedup (seed serialized -> indexed parallel): %.1fx\n\n", speedup);
+
+  if (std::FILE* json = std::fopen("BENCH_attribution.json", "w")) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"study_apps\": %zu,\n"
+                 "  \"capture_packets\": %zu,\n"
+                 "  \"flows\": %zu,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"naive_serialized_seconds\": %.6f,\n"
+                 "  \"indexed_serialized_seconds\": %.6f,\n"
+                 "  \"indexed_parallel_seconds\": %.6f,\n"
+                 "  \"speedup_indexed_serialized\": %.3f,\n"
+                 "  \"speedup_indexed_parallel\": %.3f\n"
+                 "}\n",
+                 kStudyApps, packets, flows, threads, naiveSerialS,
+                 indexedSerialS, indexedParallelS,
+                 indexedSerialS > 0.0 ? naiveSerialS / indexedSerialS : 0.0,
+                 speedup);
+    std::fclose(json);
+    std::printf("wrote BENCH_attribution.json\n\n");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks: each axis in isolation.
+// ---------------------------------------------------------------------------
+
+const core::RunArtifacts& largestRun() {
+  static const core::RunArtifacts& kRun = []() -> const core::RunArtifacts& {
+    const core::RunArtifacts* largest = &world().runs.front();
+    for (const auto& run : world().runs) {
+      if (run.capture.size() > largest->capture.size()) largest = &run;
+    }
+    return *largest;
+  }();
+  return kRun;
+}
+
+void BM_StreamVolume_NaiveScan(benchmark::State& state) {
+  const auto& run = largestRun();
+  const auto& reports = run.reports;
+  if (reports.empty()) {
+    state.SkipWithError("largest run produced no reports");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& report = reports[i++ % reports.size()];
+    benchmark::DoNotOptimize(run.capture.streamVolume(
+        report.socketPair, 0, report.timestampMs + 10'000));
+  }
+  state.SetLabel("packets=" + std::to_string(run.capture.size()));
+}
+BENCHMARK(BM_StreamVolume_NaiveScan);
+
+void BM_StreamVolume_Indexed(benchmark::State& state) {
+  const auto& run = largestRun();
+  const net::CaptureIndex index(run.capture);
+  const auto& reports = run.reports;
+  if (reports.empty()) {
+    state.SkipWithError("largest run produced no reports");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& report = reports[i++ % reports.size()];
+    benchmark::DoNotOptimize(index.streamVolume(
+        report.socketPair, 0, report.timestampMs + 10'000));
+  }
+  state.SetLabel("packets=" + std::to_string(run.capture.size()));
+}
+BENCHMARK(BM_StreamVolume_Indexed);
+
+void BM_CaptureIndex_Build(benchmark::State& state) {
+  const auto& run = largestRun();
+  for (auto _ : state) {
+    const net::CaptureIndex index(run.capture);
+    benchmark::DoNotOptimize(index.connectionCount());
+  }
+}
+BENCHMARK(BM_CaptureIndex_Build);
+
+void BM_AttributeApp_Seed(benchmark::State& state) {
+  const auto attributor = world().attributor(seedConfig());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        attributor.attribute(world().runs[i++ % world().runs.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_AttributeApp_Seed);
+
+void BM_AttributeApp_Indexed(benchmark::State& state) {
+  const auto attributor = world().attributor();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        attributor.attribute(world().runs[i++ % world().runs.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_AttributeApp_Indexed);
+
+void BM_StudyAttribution(benchmark::State& state) {
+  const auto attributor = world().attributor();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attributeStudy(attributor, threads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(kStudyApps)));
+}
+BENCHMARK(BM_StudyAttribution)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  runHeadlineComparison();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

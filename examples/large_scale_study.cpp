@@ -8,19 +8,14 @@
 //   large_scale_study 2500 0 0.15 out/     # also export figure CSVs
 #include <cstdio>
 #include <cstdlib>
-#include <optional>
 
 #include "core/analysis.hpp"
-#include "core/attribution.hpp"
 #include "core/cost.hpp"
 #include "core/export.hpp"
-#include "orch/collector.hpp"
-#include "orch/dispatcher.hpp"
-#include "radar/corpus.hpp"
+#include "orch/study.hpp"
 #include "store/generator.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
-#include "vtsim/categorizer.hpp"
 
 using namespace libspector;
 
@@ -41,27 +36,12 @@ int main(int argc, char** argv) {
               generator.farm().endpointCount(), generator.repository().size(),
               generator.repository().size() - generator.appCount());
 
-  const radar::LibraryCorpus corpus = radar::LibraryCorpus::builtin();
-  vtsim::DomainCategorizer categorizer(
-      vtsim::defaultVendorPanel(),
-      [&generator](const std::string& domain) { return generator.domainTruth(domain); });
-  core::TrafficAttributor attributor(corpus, categorizer);
-  core::StudyAggregator study;
-
-  orch::CollectionServer collector;
+  // runStudy attributes on the worker fleet and folds results in dispatch
+  // order, so the numbers below are byte-identical at any worker count.
   orch::DispatcherConfig dispatcherConfig;
   dispatcherConfig.workers = workers;
-  orch::Dispatcher dispatcher(generator.farm(), &collector, dispatcherConfig);
-  std::size_t next = 0;
-  dispatcher.run(
-      [&]() -> std::optional<orch::Dispatcher::Job> {
-        if (next >= generator.appCount()) return std::nullopt;
-        auto job = generator.makeJob(next++);
-        return orch::Dispatcher::Job{std::move(job.apk), std::move(job.program)};
-      },
-      [&](core::RunArtifacts&& artifacts) {
-        study.addApp(artifacts, attributor.attribute(artifacts));
-      });
+  const orch::StudyOutput output = orch::runStudy(generator, dispatcherConfig);
+  const core::StudyAggregator& study = output.study;
 
   const auto totals = study.totals();
   std::printf("== Totals (§IV-A) ==\n");

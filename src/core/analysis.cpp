@@ -337,4 +337,59 @@ double StudyAggregator::meanBytesPerRun(const std::string& libCategory) const {
   return static_cast<double>(it->second) / static_cast<double>(apps_.size());
 }
 
+StudyAccumulator::StudyAccumulator(StudyAggregator& study, FoldHook onFolded)
+    : study_(study), onFolded_(std::move(onFolded)) {}
+
+void StudyAccumulator::drainLocked() {
+  while (true) {
+    const auto it = pending_.begin();
+    if (it == pending_.end() || it->first != next_) return;
+    if (it->second.has_value()) {
+      PendingApp app = std::move(*it->second);
+      study_.addApp(app.run, app.flows);
+      if (onFolded_) onFolded_(std::move(app.run));
+      ++folded_;
+    }
+    pending_.erase(it);
+    ++next_;
+  }
+}
+
+void StudyAccumulator::add(std::size_t jobIndex, RunArtifacts&& run,
+                           std::vector<FlowRecord>&& flows) {
+  const std::scoped_lock lock(mutex_);
+  pending_.emplace(jobIndex, PendingApp{std::move(run), std::move(flows)});
+  drainLocked();
+}
+
+void StudyAccumulator::skip(std::size_t jobIndex) {
+  const std::scoped_lock lock(mutex_);
+  pending_.emplace(jobIndex, std::nullopt);
+  drainLocked();
+}
+
+void StudyAccumulator::finish() {
+  const std::scoped_lock lock(mutex_);
+  // Tolerate gaps (a worker that died without reporting): fold whatever
+  // arrived, still in index order.
+  for (auto& [index, app] : pending_) {
+    if (!app.has_value()) continue;
+    study_.addApp(app->run, app->flows);
+    if (onFolded_) onFolded_(std::move(app->run));
+    ++folded_;
+  }
+  if (!pending_.empty()) next_ = pending_.rbegin()->first + 1;
+  pending_.clear();
+}
+
+std::size_t StudyAccumulator::appsFolded() const {
+  const std::scoped_lock lock(mutex_);
+  return folded_;
+}
+
+std::size_t StudyAccumulator::pendingCount() const {
+  const std::scoped_lock lock(mutex_);
+  return pending_.size();
+}
+
 }  // namespace libspector::core

@@ -4,7 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -174,6 +177,57 @@ class StudyAggregator {
   UdpStats udp_;
   std::size_t flowCount_ = 0;
   std::uint64_t unattributedBytes_ = 0;
+};
+
+/// Thread-safe, order-restoring funnel in front of a StudyAggregator.
+///
+/// Parallel attribution workers finish out of order, but the aggregated
+/// study must be byte-identical to a sequential run (the determinism
+/// guarantee the study tests pin down). Workers hand each finished app in
+/// under its dispatch index; the accumulator folds the contiguous prefix of
+/// indices into the aggregator as soon as it is complete and buffers the
+/// rest, so memory stays bounded by worker-count-sized reordering gaps, not
+/// the whole study. Failed jobs are skip()ed so they never stall the
+/// prefix.
+class StudyAccumulator {
+ public:
+  /// Called, in index order, with each folded app's artifacts — the hook
+  /// the orchestrator uses to persist bundles deterministically.
+  using FoldHook = std::function<void(RunArtifacts&&)>;
+
+  explicit StudyAccumulator(StudyAggregator& study, FoldHook onFolded = {});
+
+  /// Deliver app `jobIndex`. Thread-safe; folds eagerly when contiguous.
+  void add(std::size_t jobIndex, RunArtifacts&& run,
+           std::vector<FlowRecord>&& flows);
+
+  /// Mark `jobIndex` as never arriving (failed job). Thread-safe.
+  void skip(std::size_t jobIndex);
+
+  /// Fold anything still buffered, in index order, tolerating gaps.
+  /// Call once after the worker fleet has joined.
+  void finish();
+
+  [[nodiscard]] std::size_t appsFolded() const;
+  /// Apps delivered but still waiting for a lower index (0 after finish()).
+  [[nodiscard]] std::size_t pendingCount() const;
+
+ private:
+  struct PendingApp {
+    RunArtifacts run;
+    std::vector<FlowRecord> flows;
+  };
+
+  /// Fold buffered apps while the next expected index is available.
+  /// Requires mutex_ held.
+  void drainLocked();
+
+  mutable std::mutex mutex_;
+  StudyAggregator& study_;
+  FoldHook onFolded_;
+  std::size_t next_ = 0;          // lowest index not yet folded or skipped
+  std::size_t folded_ = 0;
+  std::map<std::size_t, std::optional<PendingApp>> pending_;  // nullopt = skipped
 };
 
 }  // namespace libspector::core

@@ -119,15 +119,77 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
       hostByPair;
   for (const auto& exchange : run.capture.httpExchanges())
     hostByPair[exchange.pair].emplace_back(exchange.timestampMs, exchange.host);
+  // hostFor picks the first in-window exchange assuming chronological
+  // order, which the DPI pass does not guarantee (it emits per stream, and
+  // streams interleave) — sort, or a late exchange can shadow the one that
+  // actually opened the window.
+  for (auto& [pair, entries] : hostByPair)
+    std::sort(entries.begin(), entries.end());
 
   const auto hostFor = [&](const net::SocketPair& pair, util::SimTimeMs from,
                            util::SimTimeMs to) -> std::string {
     const auto it = hostByPair.find(pair);
     if (it == hostByPair.end()) return {};
     for (const auto& [ts, host] : it->second) {
-      if (ts >= from && ts <= to) return host;
+      if (ts > to) break;
+      if (ts >= from) return host;
     }
     return {};
+  };
+
+  // 1c. Index the capture once: every flow below queries its stream volume
+  //     in O(log P) instead of rescanning all P packets (the old
+  //     O(flows x packets) hot spot of the offline stage).
+  std::optional<net::CaptureIndex> captureIndex;
+  if (config_.useCaptureIndex) captureIndex.emplace(run.capture);
+  const auto volumeFor = [&](const net::SocketPair& pair, util::SimTimeMs from,
+                             util::SimTimeMs to) {
+    return captureIndex ? captureIndex->streamVolume(pair, from, to)
+                        : run.capture.streamVolume(pair, from, to);
+  };
+
+  // 1d. Per-run frame memos. Stack traces repeat the same frames across
+  //     reports, and every isBuiltinFrame/packageOfEntry call re-parses the
+  //     smali signature; cache both per distinct frame string. Keys are
+  //     views into run.reports, which outlives this call.
+  struct OriginInfo {
+    std::string originLibrary;
+    std::string twoLevelLibrary;
+    std::string libraryCategory;
+    bool ant = false;
+    bool common = false;
+  };
+  std::unordered_map<std::string_view, bool> builtinMemo;
+  std::unordered_map<std::string_view, OriginInfo> originMemo;
+
+  const auto isBuiltinCached = [&](const std::string& frame) -> bool {
+    if (!config_.memoizeFrames) return isBuiltinFrame(frame);
+    const auto [it, inserted] = builtinMemo.try_emplace(frame, false);
+    if (inserted) it->second = isBuiltinFrame(frame);
+    return it->second;
+  };
+  const auto originIndexOf =
+      [&](std::span<const std::string> stack) -> std::optional<std::size_t> {
+    for (std::size_t i = stack.size(); i-- > 0;) {
+      if (!isBuiltinCached(stack[i])) return i;
+    }
+    return std::nullopt;
+  };
+  const auto computeOriginInfo = [&](const std::string& signature) {
+    OriginInfo info;
+    info.originLibrary = packageOfEntry(signature);
+    if (info.originLibrary.empty()) info.originLibrary = frameNameOf(signature);
+    info.twoLevelLibrary = util::prefixLevels(info.originLibrary, 2);
+    info.libraryCategory = corpus_.predictCategory(info.originLibrary).category;
+    info.ant = radar::antLibraries().matches(info.originLibrary);
+    info.common = radar::commonLibraries().matches(info.originLibrary);
+    return info;
+  };
+  const auto originInfoFor = [&](const std::string& signature) -> OriginInfo {
+    if (!config_.memoizeFrames) return computeOriginInfo(signature);
+    const auto [it, inserted] = originMemo.try_emplace(signature);
+    if (inserted) it->second = computeOriginInfo(signature);
+    return it->second;
   };
 
   // 2. Connection windows: reports sharing a socket pair (ephemeral port
@@ -157,7 +219,7 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
               ? run.reports[indices[k + 1]].timestampMs - 1
               : std::numeric_limits<util::SimTimeMs>::max();
 
-      const auto volume = run.capture.streamVolume(pair, from, to);
+      const auto volume = volumeFor(pair, from, to);
 
       FlowRecord flow;
       flow.apkSha256 = run.apkSha256;
@@ -179,16 +241,15 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
               ? std::string(vtsim::kUnknownDomainCategory)
               : domains_.categorize(flow.domain).category;
 
-      const auto origin = originFrameIndex(report.stackSignatures);
+      const auto origin = originIndexOf(report.stackSignatures);
       if (origin) {
         flow.originSignature = report.stackSignatures[*origin];
-        flow.originLibrary = packageOfEntry(flow.originSignature);
-        if (flow.originLibrary.empty())
-          flow.originLibrary = frameNameOf(flow.originSignature);
-        flow.twoLevelLibrary = util::prefixLevels(flow.originLibrary, 2);
-        flow.libraryCategory = corpus_.predictCategory(flow.originLibrary).category;
-        flow.antOrigin = radar::antLibraries().matches(flow.originLibrary);
-        flow.commonOrigin = radar::commonLibraries().matches(flow.originLibrary);
+        OriginInfo info = originInfoFor(flow.originSignature);
+        flow.originLibrary = std::move(info.originLibrary);
+        flow.twoLevelLibrary = std::move(info.twoLevelLibrary);
+        flow.libraryCategory = std::move(info.libraryCategory);
+        flow.antOrigin = info.ant;
+        flow.commonOrigin = info.common;
       } else {
         flow.builtinOrigin = true;
         flow.originLibrary = "*-" + flow.domainCategory;

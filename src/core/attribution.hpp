@@ -70,6 +70,16 @@ struct AttributorConfig {
   /// How far before the report timestamp the connection's handshake packets
   /// may lie (the post-hook fires after establishment).
   util::SimTimeMs connectSlackMs = 2000;
+  /// Build a net::CaptureIndex once per run and answer every stream-volume
+  /// query from it (O(log P)) instead of scanning the whole capture per
+  /// flow (O(P)). Off reproduces the naive scan bit-for-bit; it exists for
+  /// the equivalence tests and the attribution_throughput bench.
+  bool useCaptureIndex = true;
+  /// Memoize signature parsing, the built-in-frame filter, and the derived
+  /// origin-library fields across the frames of a run (stack traces repeat
+  /// the same frames heavily). Purely an allocation/CPU saver; results are
+  /// identical either way.
+  bool memoizeFrames = true;
 };
 
 class TrafficAttributor {

@@ -1,5 +1,7 @@
 #include "net/capture.hpp"
 
+#include <algorithm>
+
 #include "util/bytes.hpp"
 
 namespace libspector::net {
@@ -32,6 +34,128 @@ CaptureFile::StreamVolume CaptureFile::streamVolume(const SocketPair& pair,
     }
     ++volume.packetCount;
   }
+  return volume;
+}
+
+CaptureIndex::CaptureIndex(const CaptureFile& capture)
+    : packets_(capture.size()) {
+  const auto& packets = capture.packets();
+  if (packets.empty()) return;
+
+  // Pass 1: assign a dense id to each normalized connection and count its
+  // packets, so pass 2 places every index into an exactly-sized slot with
+  // no vector regrowth (this constructor is on the per-run attribution
+  // path; allocation churn here shows up directly in study throughput).
+  const std::size_t count = packets.size();
+  idOf_.reserve(count / 8 + 8);
+  std::vector<SocketPair> connections;
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint32_t> connOf(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto [it, inserted] = idOf_.try_emplace(
+        normalized(packets[i].pair), static_cast<std::uint32_t>(counts.size()));
+    if (inserted) {
+      connections.push_back(it->first);
+      counts.push_back(0);
+    }
+    connOf[i] = it->second;
+    ++counts[it->second];
+  }
+
+  // Pass 2: scatter packet indices into contiguous per-connection ranges,
+  // preserving capture order within each connection.
+  ranges_.resize(counts.size());
+  std::uint32_t offset = 0;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    ranges_[c] = {offset, offset + counts[c]};
+    offset += counts[c];
+  }
+  std::vector<std::uint32_t> order(count);
+  std::vector<std::uint32_t> cursor(counts.size());
+  for (std::size_t c = 0; c < counts.size(); ++c) cursor[c] = ranges_[c].first;
+  for (std::size_t i = 0; i < count; ++i)
+    order[cursor[connOf[i]]++] = static_cast<std::uint32_t>(i);
+
+  // Pass 3: per connection, time-sort and accumulate prefix sums into the
+  // flat arrays. The capture is recorded from a monotonic clock, so each
+  // range is almost always already sorted — check before paying for the
+  // sort. A stable sort keeps capture order among equal timestamps; since
+  // queries are inclusive timestamp ranges, any order among equals yields
+  // the same sums, but stability makes the index reproducible
+  // byte-for-byte.
+  timestamps_.resize(count);
+  wireForward_.resize(count + counts.size());
+  wireReverse_.resize(count + counts.size());
+  payloadForward_.resize(count + counts.size());
+  payloadReverse_.resize(count + counts.size());
+  for (std::size_t c = 0; c < connections.size(); ++c) {
+    const SocketPair& conn = connections[c];
+    const auto first = order.begin() + ranges_[c].first;
+    const auto last = order.begin() + ranges_[c].last;
+    const auto byTimestamp = [&](std::uint32_t a, std::uint32_t b) {
+      return packets[a].timestampMs < packets[b].timestampMs;
+    };
+    if (!std::is_sorted(first, last, byTimestamp))
+      std::stable_sort(first, last, byTimestamp);
+
+    const std::size_t n = static_cast<std::size_t>(last - first);
+    const std::size_t base = ranges_[c].first + c;  // prefix block start
+    wireForward_[base] = 0;
+    wireReverse_[base] = 0;
+    payloadForward_[base] = 0;
+    payloadReverse_[base] = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const PacketRecord& pkt = packets[first[k]];
+      timestamps_[ranges_[c].first + k] = pkt.timestampMs;
+      const bool forward = pkt.pair.src == conn.src;
+      wireForward_[base + k + 1] =
+          wireForward_[base + k] + (forward ? pkt.wireBytes : 0);
+      wireReverse_[base + k + 1] =
+          wireReverse_[base + k] + (forward ? 0 : pkt.wireBytes);
+      payloadForward_[base + k + 1] =
+          payloadForward_[base + k] + (forward ? pkt.payloadBytes : 0);
+      payloadReverse_[base + k + 1] =
+          payloadReverse_[base + k] + (forward ? 0 : pkt.payloadBytes);
+    }
+  }
+}
+
+CaptureFile::StreamVolume CaptureIndex::streamVolume(
+    const SocketPair& pair, util::SimTimeMs fromMs,
+    util::SimTimeMs toMs) const {
+  CaptureFile::StreamVolume volume;
+  const SocketPair conn = normalized(pair);
+  const auto it = idOf_.find(conn);
+  if (it == idOf_.end()) return volume;
+  const std::uint32_t c = it->second;
+  const Range range = ranges_[c];
+
+  const auto tsFirst = timestamps_.begin() + range.first;
+  const auto tsLast = timestamps_.begin() + range.last;
+  const auto a = static_cast<std::size_t>(
+      std::lower_bound(tsFirst, tsLast, fromMs) - tsFirst);
+  const auto b = static_cast<std::size_t>(
+      std::upper_bound(tsFirst, tsLast, toMs) - tsFirst);
+  if (a >= b) return volume;
+
+  const std::size_t base = range.first + c;  // prefix block start
+  const std::uint64_t wireFwd = wireForward_[base + b] - wireForward_[base + a];
+  const std::uint64_t wireRev = wireReverse_[base + b] - wireReverse_[base + a];
+  const std::uint64_t payFwd =
+      payloadForward_[base + b] - payloadForward_[base + a];
+  const std::uint64_t payRev =
+      payloadReverse_[base + b] - payloadReverse_[base + a];
+
+  // "Forward" is relative to the normalized orientation; the caller's src
+  // may be either end. Mirror exactly the naive scan's direction test
+  // (pkt.pair.src == pair.src), under which a src == dst pair counts every
+  // packet as sent by src.
+  const bool queryIsForward = pair.src == conn.src;
+  volume.bytesFromSrc = queryIsForward ? wireFwd : wireRev;
+  volume.bytesFromDst = queryIsForward ? wireRev : wireFwd;
+  volume.payloadFromSrc = queryIsForward ? payFwd : payRev;
+  volume.payloadFromDst = queryIsForward ? payRev : payFwd;
+  volume.packetCount = b - a;
   return volume;
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "net/ip.hpp"
@@ -96,6 +97,9 @@ class CaptureFile {
     std::uint64_t payloadFromDst = 0;   // payload bytes sent by pair.dst
     std::size_t packetCount = 0;
   };
+  /// Reference implementation: one full scan over the capture per query,
+  /// O(packets). CaptureIndex answers the same query in O(log packets);
+  /// the two must agree exactly (see the capture_index property tests).
   [[nodiscard]] StreamVolume streamVolume(const SocketPair& pair,
                                           util::SimTimeMs fromMs,
                                           util::SimTimeMs toMs) const;
@@ -110,6 +114,63 @@ class CaptureFile {
  private:
   std::vector<PacketRecord> packets_;
   std::vector<HttpExchange> http_;
+};
+
+/// Read-only query accelerator over one CaptureFile.
+///
+/// Groups the capture's packets by *normalized* connection (the socket pair
+/// in a canonical orientation, so both directions of a stream land in one
+/// bucket), sorts each bucket by timestamp, and keeps per-direction prefix
+/// sums over wire and payload bytes. A streamVolume query is then a hash
+/// probe plus two binary searches instead of a scan over every packet:
+/// O(log P) against the naive O(P), which turns the offline attribution of
+/// a run from O(flows x packets) into O((flows + packets) log P).
+///
+/// The index is a snapshot: packets appended to the CaptureFile after
+/// construction are not visible. The offline pipeline builds it once per
+/// run, right before attribution, when the capture is final.
+class CaptureIndex {
+ public:
+  CaptureIndex() = default;
+  explicit CaptureIndex(const CaptureFile& capture);
+
+  /// Exactly CaptureFile::streamVolume, answered from the index.
+  [[nodiscard]] CaptureFile::StreamVolume streamVolume(
+      const SocketPair& pair, util::SimTimeMs fromMs,
+      util::SimTimeMs toMs) const;
+
+  [[nodiscard]] std::size_t connectionCount() const noexcept {
+    return ranges_.size();
+  }
+  [[nodiscard]] std::size_t packetCount() const noexcept { return packets_; }
+
+ private:
+  /// Packet slots [first, last) of one connection in the flat arrays below.
+  struct Range {
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;
+  };
+
+  /// The lexicographically smaller of the two orientations of `pair`, so a
+  /// stream's packets and queries from either end share one key.
+  [[nodiscard]] static SocketPair normalized(const SocketPair& pair) noexcept {
+    return pair.reversed() < pair ? pair.reversed() : pair;
+  }
+
+  std::unordered_map<SocketPair, std::uint32_t> idOf_;  // normalized -> id
+  std::vector<Range> ranges_;                           // per connection id
+  /// Timestamps (ascending within each connection's range) and per-direction
+  /// prefix sums, all grouped by connection in one flat allocation each.
+  /// "Forward" means sent by the canonical orientation's src. The prefix
+  /// arrays carry one extra slot per connection: connection c's block starts
+  /// at ranges_[c].first + c, and block[k] sums the connection's first k
+  /// packets.
+  std::vector<util::SimTimeMs> timestamps_;
+  std::vector<std::uint64_t> wireForward_;
+  std::vector<std::uint64_t> wireReverse_;
+  std::vector<std::uint64_t> payloadForward_;
+  std::vector<std::uint64_t> payloadReverse_;
+  std::size_t packets_ = 0;
 };
 
 }  // namespace libspector::net

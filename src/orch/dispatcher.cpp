@@ -1,26 +1,67 @@
 #include "orch/dispatcher.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <mutex>
+#include <chrono>
 #include <thread>
-#include <vector>
 
 #include "util/log.hpp"
 
 namespace libspector::orch {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double millisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 Dispatcher::Dispatcher(const net::ServerFarm& farm, CollectionServer* collector,
                        DispatcherConfig config)
     : farm_(farm), collector_(collector), config_(config) {}
 
+void Dispatcher::recordJob(double jobMs, double sinkMs, double blockedMs) {
+  const std::scoped_lock lock(statsMutex_);
+  ++stats_.jobs;
+  stats_.jobMsTotal += jobMs;
+  stats_.jobMsMax = std::max(stats_.jobMsMax, jobMs);
+  stats_.sinkMsTotal += sinkMs;
+  stats_.sinkMsMax = std::max(stats_.sinkMsMax, sinkMs);
+  stats_.sinkBlockedMsTotal += blockedMs;
+}
+
 void Dispatcher::run(const JobSource& source, const ResultSink& sink) {
+  // Serialized delivery is the concurrent path plus one lock around the
+  // sink; the lock-acquire wait is surfaced in stats() so the cost of
+  // funneling the fleet through a serialized sink stays measurable.
+  std::mutex sinkMutex;
+  runConcurrent(source, [&](std::size_t, core::RunArtifacts&& artifacts) {
+    const auto blockedStart = Clock::now();
+    const std::scoped_lock lock(sinkMutex);
+    const double blockedMs = millisSince(blockedStart);
+    {
+      const std::scoped_lock statsLock(statsMutex_);
+      stats_.sinkBlockedMsTotal += blockedMs;
+    }
+    sink(std::move(artifacts));
+  });
+}
+
+void Dispatcher::runConcurrent(const JobSource& source,
+                               const IndexedResultSink& sink,
+                               const FailureSink& onFailure) {
   const std::size_t workerCount =
       config_.workers != 0
           ? config_.workers
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
+  const auto runStart = Clock::now();
   std::mutex sourceMutex;
-  std::mutex sinkMutex;
+  std::mutex failureMutex;
   std::atomic<std::size_t> jobIndex{0};
   std::atomic<std::size_t> completed{0};
 
@@ -29,6 +70,9 @@ void Dispatcher::run(const JobSource& source, const ResultSink& sink) {
       std::optional<Job> job;
       std::size_t index = 0;
       {
+        // Pulls stay serialized (sources need no locking of their own) and
+        // index assignment follows pull order, so per-app seeds — and with
+        // them every artifact byte — are independent of worker count.
         const std::scoped_lock lock(sourceMutex);
         job = source();
         if (!job) return;
@@ -38,15 +82,22 @@ void Dispatcher::run(const JobSource& source, const ResultSink& sink) {
       EmulatorConfig emulatorConfig = config_.emulator;
       emulatorConfig.seed = config_.baseSeed + index;
       EmulatorInstance emulator(farm_, collector_, emulatorConfig);
+      const auto jobStart = Clock::now();
       try {
         core::RunArtifacts artifacts = emulator.run(job->apk, job->program);
-        const std::scoped_lock lock(sinkMutex);
-        sink(std::move(artifacts));
+        const double jobMs = millisSince(jobStart);
+        const auto sinkStart = Clock::now();
+        sink(index, std::move(artifacts));
+        recordJob(jobMs, millisSince(sinkStart), 0.0);
       } catch (const std::exception& error) {
-        const std::scoped_lock lock(sinkMutex);
-        failures_.push_back({job->apk.packageName, error.what()});
+        const FailedJob failure{job->apk.packageName, error.what()};
+        {
+          const std::scoped_lock lock(failureMutex);
+          failures_.push_back(failure);
+        }
         util::logWarn("dispatcher: app %s failed: %s",
-                      job->apk.packageName.c_str(), error.what());
+                      failure.packageName.c_str(), failure.error.c_str());
+        if (onFailure) onFailure(index, failure);
         continue;
       }
       const std::size_t done = completed.fetch_add(1) + 1;
@@ -62,6 +113,11 @@ void Dispatcher::run(const JobSource& source, const ResultSink& sink) {
   }  // jthreads join here
 
   processed_ += completed.load();
+  {
+    const std::scoped_lock lock(statsMutex_);
+    stats_.elapsedSeconds +=
+        std::chrono::duration<double>(Clock::now() - runStart).count();
+  }
 }
 
 }  // namespace libspector::orch

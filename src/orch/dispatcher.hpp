@@ -3,15 +3,27 @@
 // The paper runs a dispatcher that hands apks to emulator workers on a
 // CentOS cluster.  Here workers are std::jthreads; each pulls a job, boots
 // a fresh EmulatorInstance, runs the app, and hands the artifact bundle to
-// the result sink.  Both job pulls and result delivery are serialized by
-// the dispatcher so sources and sinks need no locking of their own.
+// the result sink.
+//
+// Two delivery modes:
+//  - run(): job pulls and result delivery are serialized by the dispatcher,
+//    so sources and sinks need no locking of their own. Simple, but the
+//    whole fleet funnels through one sink — anything expensive in the sink
+//    (the offline attribution stage used to live there) collapses the
+//    fleet to one core.
+//  - runConcurrent(): results are delivered on the worker thread that
+//    produced them, tagged with the job index, with no serialization. The
+//    sink must be thread-safe; in exchange heavy per-result work
+//    (attribution) runs in parallel, and the index lets an order-restoring
+//    consumer (core::StudyAccumulator) keep output deterministic.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
-#include <optional>
 
 #include "dex/apk.hpp"
 #include "net/server.hpp"
@@ -37,8 +49,49 @@ class Dispatcher {
   };
   /// Returns the next job or std::nullopt when the corpus is exhausted.
   using JobSource = std::function<std::optional<Job>()>;
-  /// Receives each finished app's artifacts.
+  /// Receives each finished app's artifacts (serialized delivery).
   using ResultSink = std::function<void(core::RunArtifacts&&)>;
+  /// Concurrent delivery: called on the producing worker thread with the
+  /// job's dispatch index. Must be thread-safe.
+  using IndexedResultSink =
+      std::function<void(std::size_t jobIndex, core::RunArtifacts&&)>;
+
+  struct FailedJob {
+    std::string packageName;
+    std::string error;
+  };
+  /// Concurrent failure notification (same threading rules as
+  /// IndexedResultSink); lets order-restoring consumers release jobs that
+  /// will never arrive.
+  using FailureSink =
+      std::function<void(std::size_t jobIndex, const FailedJob& failure)>;
+
+  /// Fleet throughput counters, cumulative across run() calls (like
+  /// appsProcessed). Job wall time covers the emulator run only; sink time
+  /// is what the worker spent inside the result sink, and blocked time is
+  /// what it spent waiting for the serialized sink lock (always 0 for
+  /// runConcurrent, which has no lock — that difference is the whole point
+  /// of the parallel attribution path).
+  struct Stats {
+    std::size_t jobs = 0;
+    double elapsedSeconds = 0.0;
+    double jobMsTotal = 0.0;
+    double jobMsMax = 0.0;
+    double sinkMsTotal = 0.0;
+    double sinkMsMax = 0.0;
+    double sinkBlockedMsTotal = 0.0;
+
+    [[nodiscard]] double jobsPerSecond() const noexcept {
+      return elapsedSeconds > 0.0 ? static_cast<double>(jobs) / elapsedSeconds
+                                  : 0.0;
+    }
+    [[nodiscard]] double jobMsMean() const noexcept {
+      return jobs != 0 ? jobMsTotal / static_cast<double>(jobs) : 0.0;
+    }
+    [[nodiscard]] double sinkMsMean() const noexcept {
+      return jobs != 0 ? sinkMsTotal / static_cast<double>(jobs) : 0.0;
+    }
+  };
 
   Dispatcher(const net::ServerFarm& farm, CollectionServer* collector,
              DispatcherConfig config);
@@ -49,22 +102,28 @@ class Dispatcher {
   /// ran 25,000 heterogeneous Play-store apps).
   void run(const JobSource& source, const ResultSink& sink);
 
-  struct FailedJob {
-    std::string packageName;
-    std::string error;
-  };
+  /// Like run(), but results are delivered concurrently with job indices
+  /// (assigned in source-pull order, which also seeds the emulators).
+  /// `onFailure` is optional.
+  void runConcurrent(const JobSource& source, const IndexedResultSink& sink,
+                     const FailureSink& onFailure = {});
 
   [[nodiscard]] std::size_t appsProcessed() const noexcept { return processed_; }
   [[nodiscard]] const std::vector<FailedJob>& failures() const noexcept {
     return failures_;
   }
+  [[nodiscard]] Stats stats() const noexcept { return stats_; }
 
  private:
+  void recordJob(double jobMs, double sinkMs, double blockedMs);
+
   const net::ServerFarm& farm_;
   CollectionServer* collector_;
   DispatcherConfig config_;
   std::size_t processed_ = 0;
   std::vector<FailedJob> failures_;
+  Stats stats_;
+  std::mutex statsMutex_;
 };
 
 }  // namespace libspector::orch

@@ -10,6 +10,7 @@
 #include "orch/collector.hpp"
 #include "orch/database.hpp"
 #include "radar/corpus.hpp"
+#include "util/log.hpp"
 #include "vtsim/categorizer.hpp"
 
 namespace libspector::orch {
@@ -35,19 +36,35 @@ StudyOutput runStudy(const store::AppStoreGenerator& generator,
   const bool persist = !artifactsDirectory.empty();
   ResultDatabase database;
 
+  // Workers attribute their own run's artifacts (the heavy offline stage)
+  // and only the aggregation is funneled — through the accumulator, which
+  // restores dispatch order so the study is byte-identical to a
+  // single-worker run. Persisted bundles flow through the same ordered
+  // fold.
+  core::StudyAccumulator accumulator(
+      output.study, persist ? core::StudyAccumulator::FoldHook(
+                                  [&database](core::RunArtifacts&& artifacts) {
+                                    database.store(std::move(artifacts));
+                                  })
+                            : core::StudyAccumulator::FoldHook{});
+
   CollectionServer collector;
   Dispatcher dispatcher(generator.farm(), &collector, dispatcherConfig);
   std::size_t next = 0;
-  dispatcher.run(
+  dispatcher.runConcurrent(
       [&]() -> std::optional<Dispatcher::Job> {
         if (next >= generator.appCount()) return std::nullopt;
         auto job = generator.makeJob(next++);
         return Dispatcher::Job{std::move(job.apk), std::move(job.program)};
       },
-      [&](core::RunArtifacts&& artifacts) {
-        output.study.addApp(artifacts, attributor.attribute(artifacts));
-        if (persist) database.store(std::move(artifacts));
+      [&](std::size_t index, core::RunArtifacts&& artifacts) {
+        auto flows = attributor.attribute(artifacts);
+        accumulator.add(index, std::move(artifacts), std::move(flows));
+      },
+      [&](std::size_t index, const Dispatcher::FailedJob&) {
+        accumulator.skip(index);
       });
+  accumulator.finish();
   output.appsProcessed = dispatcher.appsProcessed();
   output.appsFailed = dispatcher.failures().size();
 
@@ -64,6 +81,14 @@ StudyOutput runStudy(const store::AppStoreGenerator& generator,
   output.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  output.dispatcherStats = dispatcher.stats();
+  const auto& stats = output.dispatcherStats;
+  util::logInfo(
+      "study: %zu apps in %.2fs (%.1f jobs/s; job mean %.2f ms max %.2f ms; "
+      "attribution+fold mean %.2f ms max %.2f ms; sink blocked %.1f ms)",
+      output.appsProcessed, output.wallSeconds, stats.jobsPerSecond(),
+      stats.jobMsMean(), stats.jobMsMax, stats.sinkMsMean(), stats.sinkMsMax,
+      stats.sinkBlockedMsTotal);
   return output;
 }
 

@@ -33,6 +33,9 @@ struct StudyOutput {
   std::size_t appsProcessed = 0;
   std::size_t appsFailed = 0;
   double wallSeconds = 0.0;
+  /// Fleet throughput counters (jobs/s, per-job wall time, sink time) for
+  /// the run — the observability behind the parallel-attribution numbers.
+  Dispatcher::Stats dispatcherStats;
 };
 
 /// Generate a world per `config.store` and measure it end to end.

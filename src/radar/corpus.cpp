@@ -20,8 +20,40 @@ const std::vector<std::string>& libraryCategories() {
   return kCategories;
 }
 
+void LibraryCorpus::PrefixElection::recount() {
+  int best = 0;
+  winner.clear();
+  for (const auto& [category, count] : votes) {
+    // std::map iteration is lexicographic, so strict > keeps the
+    // lexicographically smallest category on ties.
+    if (count > best) {
+      best = count;
+      winner = category;
+    }
+  }
+}
+
 void LibraryCorpus::add(std::string prefix, std::string category) {
-  entries_.emplace(std::move(prefix), std::move(category));
+  const auto [it, inserted] = entries_.emplace(std::move(prefix), std::move(category));
+  if (!inserted) return;  // re-adding keeps the first category; votes unchanged
+
+  // The new entry votes in its own election and in the election of every
+  // corpus prefix above it; its own election also needs the votes of any
+  // entries already registered underneath it.
+  PrefixElection& own = elections_[it->first];
+  own.votes.clear();
+  for (const auto& entry : entriesUnder(it->first)) ++own.votes[entry.category];
+  own.recount();
+
+  std::string_view ancestor = it->first;
+  for (std::size_t dot = ancestor.rfind('.'); dot != std::string_view::npos;
+       dot = ancestor.rfind('.')) {
+    ancestor = ancestor.substr(0, dot);
+    const auto election = elections_.find(ancestor);
+    if (election == elections_.end()) continue;  // not a corpus prefix
+    ++election->second.votes[it->second];
+    election->second.recount();
+  }
 }
 
 const std::string* LibraryCorpus::categoryOf(std::string_view prefix) const {
@@ -64,25 +96,23 @@ std::vector<LibraryEntry> LibraryCorpus::entriesUnder(
 CategoryPrediction LibraryCorpus::predictCategory(
     std::string_view package) const {
   CategoryPrediction prediction;
-  const auto prefix = longestMatchingPrefix(package);
-  if (!prefix) {
-    prediction.category = std::string(kUnknownCategory);
-    return prediction;
-  }
-  prediction.matchedPrefix = *prefix;
-  for (const auto& entry : entriesUnder(*prefix)) ++prediction.votes[entry.category];
-
-  int best = 0;
-  for (const auto& [category, count] : prediction.votes) {
-    // std::map iteration is lexicographic, so strict > keeps the
-    // lexicographically smallest category on ties.
-    if (count > best) {
-      best = count;
-      prediction.category = category;
+  // Longest-prefix walk over the precomputed elections: one hash probe per
+  // hierarchical ancestor, no range scan or re-tally.
+  std::string_view candidate = package;
+  while (!candidate.empty()) {
+    if (const auto it = elections_.find(candidate); it != elections_.end()) {
+      prediction.matchedPrefix = it->first;
+      prediction.votes = it->second.votes;
+      prediction.category = it->second.winner;
+      if (prediction.category.empty())
+        prediction.category = std::string(kUnknownCategory);
+      return prediction;
     }
+    const std::size_t dot = candidate.rfind('.');
+    if (dot == std::string_view::npos) break;
+    candidate = candidate.substr(0, dot);
   }
-  if (prediction.category.empty())
-    prediction.category = std::string(kUnknownCategory);
+  prediction.category = std::string(kUnknownCategory);
   return prediction;
 }
 

@@ -11,9 +11,11 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "dex/apk.hpp"
+#include "util/strings.hpp"
 
 namespace libspector::radar {
 
@@ -59,6 +61,11 @@ class LibraryCorpus {
   /// Listing 2: longest matching prefix, then majority vote across all
   /// corpus entries underneath it; Unknown when nothing matches.
   /// Ties break lexicographically for determinism.
+  ///
+  /// The vote tally and winner per corpus prefix are maintained
+  /// incrementally by add(), so a query is one hash probe per hierarchical
+  /// ancestor of `package` (the longest-prefix walk) instead of a fresh
+  /// range scan + tally — the hot path of per-flow attribution.
   [[nodiscard]] CategoryPrediction predictCategory(std::string_view package) const;
 
   /// LibRadar's detection step: corpus entries whose prefix matches some
@@ -81,8 +88,23 @@ class LibraryCorpus {
   void saveCsv(const std::string& path) const;
 
  private:
+  /// Precomputed Listing-2 election for one corpus prefix: the tally over
+  /// every corpus entry hierarchically under it, and the winning category
+  /// (lexicographically smallest on ties).
+  struct PrefixElection {
+    std::map<std::string, int> votes;
+    std::string winner;
+
+    void recount();
+  };
+
   // Ordered by prefix so hierarchical scans are range scans.
   std::map<std::string, std::string, std::less<>> entries_;
+  // One election per corpus prefix, updated incrementally by add(): after
+  // construction the corpus is immutable and safe to query concurrently.
+  std::unordered_map<std::string, PrefixElection, util::TransparentStringHash,
+                     std::equal_to<>>
+      elections_;
 };
 
 }  // namespace libspector::radar

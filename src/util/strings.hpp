@@ -1,6 +1,8 @@
 // Small string utilities shared across the library.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,5 +33,14 @@ namespace libspector::util {
 
 /// Human-readable byte count ("1.59 GB", "452 MB", "713 B").
 [[nodiscard]] std::string humanBytes(double bytes);
+
+/// Heterogeneous hash for unordered containers keyed by std::string, so
+/// lookups accept std::string_view without allocating a temporary key.
+struct TransparentStringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 }  // namespace libspector::util

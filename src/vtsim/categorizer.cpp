@@ -12,6 +12,10 @@ DomainCategorizer::DomainCategorizer(const std::vector<VendorSim>& panel,
 }
 
 const DomainVerdict& DomainCategorizer::categorize(const std::string& domain) {
+  // One lock for lookup and insert: the verdict is deterministic per
+  // domain, so contention is the only cost and the vendor panel is only
+  // consulted once per domain regardless of which worker asks first.
+  const std::scoped_lock lock(mutex_);
   if (const auto it = cache_.find(domain); it != cache_.end()) return it->second;
 
   const std::string truth = truthLookup_(domain);
@@ -37,9 +41,15 @@ const DomainVerdict& DomainCategorizer::categorize(const std::string& domain) {
 }
 
 std::map<std::string, std::size_t> DomainCategorizer::categoryCounts() const {
+  const std::scoped_lock lock(mutex_);
   std::map<std::string, std::size_t> counts;
   for (const auto& [domain, verdict] : cache_) ++counts[verdict.category];
   return counts;
+}
+
+std::size_t DomainCategorizer::domainsSeen() const {
+  const std::scoped_lock lock(mutex_);
+  return cache_.size();
 }
 
 }  // namespace libspector::vtsim

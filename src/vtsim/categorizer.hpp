@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -33,18 +34,23 @@ class DomainCategorizer {
 
   DomainCategorizer(const std::vector<VendorSim>& panel, TruthLookup truthLookup);
 
-  /// Categorize (cached after the first call per domain).
+  /// Categorize (cached after the first call per domain). Thread-safe:
+  /// parallel attribution workers share one categorizer, exactly like the
+  /// paper's one-VirusTotal-query-per-domain collection. The returned
+  /// reference stays valid for the categorizer's lifetime (node-based
+  /// cache; entries are never erased).
   const DomainVerdict& categorize(const std::string& domain);
 
   /// Census over every domain categorized so far: generic category -> count
   /// (the "Count" column of Table I).
   [[nodiscard]] std::map<std::string, std::size_t> categoryCounts() const;
 
-  [[nodiscard]] std::size_t domainsSeen() const noexcept { return cache_.size(); }
+  [[nodiscard]] std::size_t domainsSeen() const;
 
  private:
   const std::vector<VendorSim>& panel_;
   TruthLookup truthLookup_;
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, DomainVerdict> cache_;
 };
 

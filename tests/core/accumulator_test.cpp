@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+
+namespace libspector::core {
+namespace {
+
+RunArtifacts runFor(std::size_t i) {
+  RunArtifacts run;
+  run.apkSha256 = "sha" + std::to_string(i);
+  run.packageName = "com.app.n" + std::to_string(i);
+  run.appCategory = i % 2 == 0 ? "TOOLS" : "GAME_ACTION";
+  run.coverage.coveredMethods = i + 1;
+  run.coverage.totalMethods = 100;
+  return run;
+}
+
+std::vector<FlowRecord> flowsFor(std::size_t i) {
+  FlowRecord flow;
+  flow.apkSha256 = "sha" + std::to_string(i);
+  flow.appPackage = "com.app.n" + std::to_string(i);
+  flow.originLibrary = "com.lib.l" + std::to_string(i % 3);
+  flow.twoLevelLibrary = "com.lib";
+  flow.libraryCategory = i % 3 == 0 ? "Advertisement" : "Utility";
+  flow.domain = "d" + std::to_string(i) + ".example.com";
+  flow.domainCategory = "cdn";
+  flow.sentBytes = 100 * (i + 1);
+  flow.recvBytes = 1000 * (i + 1);
+  return {flow};
+}
+
+TEST(StudyAccumulatorTest, OutOfOrderDeliveryMatchesSequentialFold) {
+  constexpr std::size_t kApps = 7;
+
+  StudyAggregator sequential;
+  for (std::size_t i = 0; i < kApps; ++i)
+    sequential.addApp(runFor(i), flowsFor(i));
+
+  StudyAggregator reordered;
+  std::vector<std::string> foldOrder;
+  StudyAccumulator accumulator(reordered, [&](RunArtifacts&& run) {
+    foldOrder.push_back(run.packageName);
+  });
+  // Completion order a 4-worker fleet could produce: nothing folds until
+  // index 0 lands, then the contiguous prefix drains at once.
+  for (const std::size_t index : {3u, 1u, 6u, 0u, 2u, 5u, 4u})
+    accumulator.add(index, runFor(index), flowsFor(index));
+  EXPECT_EQ(accumulator.pendingCount(), 0u);
+  accumulator.finish();
+
+  EXPECT_EQ(accumulator.appsFolded(), kApps);
+  ASSERT_EQ(foldOrder.size(), kApps);
+  for (std::size_t i = 0; i < kApps; ++i)
+    EXPECT_EQ(foldOrder[i], "com.app.n" + std::to_string(i));
+
+  EXPECT_EQ(sequential.totals().totalBytes, reordered.totals().totalBytes);
+  EXPECT_EQ(sequential.totals().flowCount, reordered.totals().flowCount);
+  EXPECT_EQ(sequential.totals().appCount, reordered.totals().appCount);
+  EXPECT_EQ(sequential.transferByLibCategory(),
+            reordered.transferByLibCategory());
+  EXPECT_EQ(sequential.transferByAppAndLibCategory(),
+            reordered.transferByAppAndLibCategory());
+}
+
+TEST(StudyAccumulatorTest, SkippedIndicesDoNotStallTheFold) {
+  StudyAggregator study;
+  std::vector<std::string> foldOrder;
+  StudyAccumulator accumulator(study, [&](RunArtifacts&& run) {
+    foldOrder.push_back(run.packageName);
+  });
+  accumulator.add(2, runFor(2), flowsFor(2));
+  EXPECT_EQ(accumulator.appsFolded(), 0u);  // waiting on 0 and 1
+  accumulator.skip(0);                      // failed job releases the prefix
+  EXPECT_EQ(accumulator.appsFolded(), 0u);  // still waiting on 1
+  accumulator.add(1, runFor(1), flowsFor(1));
+  EXPECT_EQ(accumulator.appsFolded(), 2u);
+  EXPECT_EQ(accumulator.pendingCount(), 0u);
+  accumulator.finish();
+  ASSERT_EQ(foldOrder.size(), 2u);
+  EXPECT_EQ(foldOrder[0], "com.app.n1");
+  EXPECT_EQ(foldOrder[1], "com.app.n2");
+  EXPECT_EQ(study.totals().appCount, 2u);
+}
+
+TEST(StudyAccumulatorTest, FinishFoldsStragglersInIndexOrder) {
+  // A gap that never resolves (worker died without reporting) must not
+  // drop the apps that did arrive.
+  StudyAggregator study;
+  std::vector<std::string> foldOrder;
+  StudyAccumulator accumulator(study, [&](RunArtifacts&& run) {
+    foldOrder.push_back(run.packageName);
+  });
+  accumulator.add(4, runFor(4), flowsFor(4));
+  accumulator.add(2, runFor(2), flowsFor(2));
+  EXPECT_EQ(accumulator.appsFolded(), 0u);
+  accumulator.finish();
+  EXPECT_EQ(accumulator.appsFolded(), 2u);
+  ASSERT_EQ(foldOrder.size(), 2u);
+  EXPECT_EQ(foldOrder[0], "com.app.n2");
+  EXPECT_EQ(foldOrder[1], "com.app.n4");
+}
+
+}  // namespace
+}  // namespace libspector::core

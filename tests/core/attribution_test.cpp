@@ -307,5 +307,72 @@ TEST_F(AttributorTest, EmptyRunYieldsNoFlows) {
   EXPECT_TRUE(attributor_.attribute(baseRun()).empty());
 }
 
+TEST_F(AttributorTest, OutOfOrderHttpExchangesPickChronologicalHost) {
+  // Regression: the DPI pass emits exchanges per stream, so the capture's
+  // exchange log is not globally time-sorted. hostFor must return the
+  // chronologically first in-window exchange, not the first one appended.
+  auto run = baseRun();
+  const auto pair = pairWithPort(46000, net::Ipv4Addr(198, 18, 0, 12));
+  run.capture.append(net::makeTcpPacket(1001, pair, 140, 100));
+  UdpReport report;
+  report.apkSha256 = run.apkSha256;
+  report.socketPair = pair;
+  report.timestampMs = 1000;
+  report.stackSignatures = kAdStack;
+  run.reports.push_back(report);
+
+  net::HttpExchange late;
+  late.timestampMs = 5000;
+  late.pair = pair;
+  late.host = "late.example.com";
+  net::HttpExchange early;
+  early.timestampMs = 1200;
+  early.pair = pair;
+  early.host = "early.example.com";
+  run.capture.appendHttp(late);   // appended first, happened later
+  run.capture.appendHttp(early);
+
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].domain, "early.example.com");
+}
+
+TEST_F(AttributorTest, IndexedAndNaivePathsAgreeExactly) {
+  // The capture index and the frame memos are pure accelerations: flows
+  // must match the naive configuration field for field, including on
+  // port-reuse windows.
+  auto run = baseRun();
+  addFlow(run, 47000, "ads5.y.com", net::Ipv4Addr(198, 18, 0, 13), 1000, 500,
+          7000, kAdStack);
+  addFlow(run, 47000, "ads5.y.com", net::Ipv4Addr(198, 18, 0, 13), 40000, 600,
+          9000, kAdStack);
+  addFlow(run, 47001, "api9.backend.com", net::Ipv4Addr(198, 18, 0, 14), 2000,
+          400, 5000,
+          {"java.net.Socket.connect", "Lcom/myapp/net/Api;->fetch()V",
+           "Lcom/myapp/ui/Main;->onClick(Landroid/view/View;)V"});
+
+  AttributorConfig naiveConfig;
+  naiveConfig.useCaptureIndex = false;
+  naiveConfig.memoizeFrames = false;
+  const TrafficAttributor naive(corpus_, categorizer_, naiveConfig);
+
+  const auto fast = attributor_.attribute(run);
+  const auto slow = naive.attribute(run);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].originLibrary, slow[i].originLibrary) << i;
+    EXPECT_EQ(fast[i].originSignature, slow[i].originSignature) << i;
+    EXPECT_EQ(fast[i].twoLevelLibrary, slow[i].twoLevelLibrary) << i;
+    EXPECT_EQ(fast[i].libraryCategory, slow[i].libraryCategory) << i;
+    EXPECT_EQ(fast[i].domain, slow[i].domain) << i;
+    EXPECT_EQ(fast[i].domainCategory, slow[i].domainCategory) << i;
+    EXPECT_EQ(fast[i].sentBytes, slow[i].sentBytes) << i;
+    EXPECT_EQ(fast[i].recvBytes, slow[i].recvBytes) << i;
+    EXPECT_EQ(fast[i].antOrigin, slow[i].antOrigin) << i;
+    EXPECT_EQ(fast[i].commonOrigin, slow[i].commonOrigin) << i;
+    EXPECT_EQ(fast[i].builtinOrigin, slow[i].builtinOrigin) << i;
+  }
+}
+
 }  // namespace
 }  // namespace libspector::core

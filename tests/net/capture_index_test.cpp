@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/capture.hpp"
+#include "util/rng.hpp"
+
+namespace libspector::net {
+namespace {
+
+constexpr SocketPair kPair{{Ipv4Addr(10, 0, 2, 15), 40000},
+                           {Ipv4Addr(198, 18, 0, 5), 443}};
+
+void expectSameVolume(const CaptureFile::StreamVolume& naive,
+                      const CaptureFile::StreamVolume& indexed,
+                      const std::string& context) {
+  EXPECT_EQ(naive.bytesFromSrc, indexed.bytesFromSrc) << context;
+  EXPECT_EQ(naive.bytesFromDst, indexed.bytesFromDst) << context;
+  EXPECT_EQ(naive.payloadFromSrc, indexed.payloadFromSrc) << context;
+  EXPECT_EQ(naive.payloadFromDst, indexed.payloadFromDst) << context;
+  EXPECT_EQ(naive.packetCount, indexed.packetCount) << context;
+}
+
+TEST(CaptureIndexTest, EmptyCaptureAnswersZero) {
+  const CaptureFile capture;
+  const CaptureIndex index(capture);
+  EXPECT_EQ(index.connectionCount(), 0u);
+  const auto volume = index.streamVolume(kPair, 0, 1000);
+  EXPECT_EQ(volume.packetCount, 0u);
+  EXPECT_EQ(volume.bytesFromSrc, 0u);
+}
+
+TEST(CaptureIndexTest, UnknownPairAnswersZero) {
+  CaptureFile capture;
+  capture.append(makeTcpPacket(10, kPair, 140, 100));
+  const CaptureIndex index(capture);
+  const SocketPair other{{Ipv4Addr(10, 0, 2, 15), 40001},
+                         {Ipv4Addr(198, 18, 0, 5), 443}};
+  EXPECT_EQ(index.streamVolume(other, 0, 1000).packetCount, 0u);
+}
+
+TEST(CaptureIndexTest, MatchesNaiveInBothOrientations) {
+  CaptureFile capture;
+  capture.append(makeTcpPacket(10, kPair, 140, 100));
+  capture.append(makeTcpPacket(20, kPair.reversed(), 1540, 1500));
+  capture.append(makeTcpPacket(30, kPair, 40, 0));
+  const CaptureIndex index(capture);
+  expectSameVolume(capture.streamVolume(kPair, 0, 100),
+                   index.streamVolume(kPair, 0, 100), "device-first");
+  expectSameVolume(capture.streamVolume(kPair.reversed(), 0, 100),
+                   index.streamVolume(kPair.reversed(), 0, 100),
+                   "server-first");
+  // The reversed query swaps the direction split.
+  const auto reversed = index.streamVolume(kPair.reversed(), 0, 100);
+  EXPECT_EQ(reversed.bytesFromSrc, 1540u);
+  EXPECT_EQ(reversed.bytesFromDst, 180u);
+}
+
+TEST(CaptureIndexTest, UnsortedTimestampsAreHandled) {
+  // CaptureFile::append makes no ordering promise; the index must sort.
+  CaptureFile capture;
+  capture.append(makeTcpPacket(300, kPair, 340, 300));
+  capture.append(makeTcpPacket(100, kPair, 140, 100));
+  capture.append(makeTcpPacket(200, kPair.reversed(), 240, 200));
+  const CaptureIndex index(capture);
+  for (const auto& [from, to] : std::vector<std::pair<util::SimTimeMs,
+                                                      util::SimTimeMs>>{
+           {0, 99}, {100, 100}, {100, 200}, {150, 300}, {301, 400}, {0, 400}}) {
+    expectSameVolume(capture.streamVolume(kPair, from, to),
+                     index.streamVolume(kPair, from, to),
+                     "window [" + std::to_string(from) + "," +
+                         std::to_string(to) + "]");
+  }
+}
+
+// The property the whole attribution stage rests on: on arbitrary captures
+// the index answers every query exactly like the naive scan, including
+// window edges, both orientations, DNS/UDP packets, and pairs that collide
+// after normalization.
+TEST(CaptureIndexTest, PropertyRandomCapturesMatchNaiveScan) {
+  util::Rng rng(20260805);
+  for (int round = 0; round < 25; ++round) {
+    // A small endpoint pool forces connection collisions and revisits.
+    std::vector<SockEndpoint> endpoints;
+    for (int e = 0; e < 6; ++e)
+      endpoints.push_back({Ipv4Addr(static_cast<std::uint32_t>(
+                               0x0a000000 + rng.uniform(1, 4))),
+                           static_cast<std::uint16_t>(rng.uniform(1, 5))});
+
+    const auto randomPair = [&] {
+      return SocketPair{rng.pick(endpoints), rng.pick(endpoints)};
+    };
+
+    CaptureFile capture;
+    const std::size_t packetCount = rng.uniform(0, 120);
+    for (std::size_t i = 0; i < packetCount; ++i) {
+      const auto ts = rng.uniform(0, 50);  // dense: many equal timestamps
+      const auto wire = static_cast<std::uint32_t>(rng.uniform(40, 1500));
+      const auto payload =
+          rng.chance(0.3) ? 0u : static_cast<std::uint32_t>(rng.uniform(1, wire));
+      if (rng.chance(0.2)) {
+        capture.append(makeUdpPacket(ts, randomPair(), wire, payload, "q.example",
+                                     Ipv4Addr(1, 2, 3, 4)));
+      } else {
+        capture.append(makeTcpPacket(ts, randomPair(), wire, payload));
+      }
+    }
+
+    const CaptureIndex index(capture);
+    EXPECT_EQ(index.packetCount(), capture.size());
+
+    for (int q = 0; q < 60; ++q) {
+      const SocketPair pair = randomPair();
+      // Random windows, biased to hit edges: from > to, from == to, and
+      // full-range all occur.
+      util::SimTimeMs from = rng.uniform(0, 55);
+      util::SimTimeMs to = rng.uniform(0, 55);
+      if (rng.chance(0.2)) to = from;
+      if (rng.chance(0.1)) {
+        from = 0;
+        to = 1'000'000;
+      }
+      expectSameVolume(capture.streamVolume(pair, from, to),
+                       index.streamVolume(pair, from, to),
+                       "round " + std::to_string(round) + " query " +
+                           std::to_string(q) + " pair " + pair.str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace libspector::net

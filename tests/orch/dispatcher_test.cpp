@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <mutex>
 #include <set>
+#include <vector>
 
 namespace libspector::orch {
 namespace {
@@ -125,6 +127,77 @@ TEST_F(DispatcherTest, ArtifactsIdenticalRegardlessOfWorkerCount) {
   runWith(1, capturesSerial);
   runWith(6, capturesParallel);
   EXPECT_EQ(capturesSerial, capturesParallel);
+}
+
+TEST_F(DispatcherTest, ConcurrentDeliveryTagsJobsWithPullOrderIndices) {
+  CollectionServer collector;
+  Dispatcher dispatcher(farm_, &collector, quickConfig(4));
+  constexpr int kJobs = 24;
+  int next = 0;
+  std::mutex mutex;
+  std::map<std::size_t, std::string> byIndex;
+  dispatcher.runConcurrent(
+      [&]() -> std::optional<Dispatcher::Job> {
+        if (next >= kJobs) return std::nullopt;
+        return jobFor(next++);
+      },
+      [&](std::size_t index, core::RunArtifacts&& artifacts) {
+        // Concurrent sink: the dispatcher no longer serializes delivery.
+        const std::scoped_lock lock(mutex);
+        byIndex.emplace(index, artifacts.packageName);
+      });
+  ASSERT_EQ(byIndex.size(), static_cast<std::size_t>(kJobs));
+  for (int i = 0; i < kJobs; ++i) {
+    // Index i is assigned at the i-th source pull, which produced app i.
+    EXPECT_EQ(byIndex.at(static_cast<std::size_t>(i)),
+              "com.app.n" + std::to_string(i));
+  }
+}
+
+TEST_F(DispatcherTest, ConcurrentFailureCallbackReportsTheIndex) {
+  Dispatcher dispatcher(farm_, nullptr, quickConfig(3));
+  int next = 0;
+  std::mutex mutex;
+  std::vector<std::size_t> delivered;
+  std::vector<std::size_t> failed;
+  dispatcher.runConcurrent(
+      [&]() -> std::optional<Dispatcher::Job> {
+        if (next >= 9) return std::nullopt;
+        Dispatcher::Job job = jobFor(next);
+        if (next == 4) job.program.uiHandlers = {9999};
+        ++next;
+        return job;
+      },
+      [&](std::size_t index, core::RunArtifacts&&) {
+        const std::scoped_lock lock(mutex);
+        delivered.push_back(index);
+      },
+      [&](std::size_t index, const Dispatcher::FailedJob& failure) {
+        const std::scoped_lock lock(mutex);
+        failed.push_back(index);
+        EXPECT_EQ(failure.packageName, "com.app.n4");
+      });
+  EXPECT_EQ(delivered.size(), 8u);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], 4u);
+}
+
+TEST_F(DispatcherTest, StatsCountEveryJob) {
+  Dispatcher dispatcher(farm_, nullptr, quickConfig(2));
+  int next = 0;
+  dispatcher.run(
+      [&]() -> std::optional<Dispatcher::Job> {
+        if (next >= 10) return std::nullopt;
+        return jobFor(next++);
+      },
+      [](core::RunArtifacts&&) {});
+  const auto stats = dispatcher.stats();
+  EXPECT_EQ(stats.jobs, 10u);
+  EXPECT_GT(stats.elapsedSeconds, 0.0);
+  EXPECT_GT(stats.jobsPerSecond(), 0.0);
+  EXPECT_GE(stats.jobMsMax, stats.jobMsMean());
+  EXPECT_GE(stats.sinkMsMax, stats.sinkMsMean());
+  EXPECT_GE(stats.sinkBlockedMsTotal, 0.0);
 }
 
 TEST_F(DispatcherTest, BrokenAppDoesNotKillTheFleet) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <sstream>
 
+#include "core/export.hpp"
 #include "orch/database.hpp"
 
 namespace libspector::orch {
@@ -31,6 +33,49 @@ TEST(StudyRunnerTest, OneCallProducesAFullStudy) {
   EXPECT_GT(totals.flowCount, 0u);
   // Every reported socket attributed: no blind spot without UDP loss.
   EXPECT_EQ(totals.unattributedBytes, 0u);
+}
+
+/// Render every figure dataset plus the markdown report into one string:
+/// if two studies agree on all of it byte for byte, they are the same study
+/// for every consumer this repository has.
+std::string renderStudy(const core::StudyAggregator& study) {
+  std::ostringstream out;
+  core::writeFig2Csv(study, out);
+  core::writeTopLibrariesCsv(study, 25, out);
+  core::writeCdfCsv(study, out);
+  core::writeFlowRatiosCsv(study, out);
+  core::writeAntSharesCsv(study, out);
+  core::writeCategoryAveragesCsv(study, out);
+  core::writeHeatmapCsv(study, out);
+  core::writeCoverageCsv(study, out);
+  core::writeStudyReport(study, out);
+  return out.str();
+}
+
+TEST(StudyRunnerTest, WorkerCountDoesNotChangeAByteOfTheStudy) {
+  // Attribution now runs on the worker fleet; the accumulator must restore
+  // dispatch order so a parallel study is indistinguishable from a
+  // sequential one — completion order varies, output must not.
+  auto serialConfig = smallConfig();
+  serialConfig.dispatcher.workers = 1;
+  auto parallelConfig = smallConfig();
+  parallelConfig.dispatcher.workers = 4;
+
+  const auto serial = runStudy(serialConfig);
+  const auto parallel = runStudy(parallelConfig);
+  EXPECT_EQ(serial.appsProcessed, parallel.appsProcessed);
+  EXPECT_EQ(serial.study.totals().totalBytes, parallel.study.totals().totalBytes);
+  EXPECT_EQ(renderStudy(serial.study), renderStudy(parallel.study));
+}
+
+TEST(StudyRunnerTest, ReportsDispatcherThroughput) {
+  const auto output = runStudy(smallConfig());
+  EXPECT_EQ(output.dispatcherStats.jobs, 25u);
+  EXPECT_GT(output.dispatcherStats.elapsedSeconds, 0.0);
+  EXPECT_GT(output.dispatcherStats.jobsPerSecond(), 0.0);
+  EXPECT_GE(output.dispatcherStats.jobMsMax, output.dispatcherStats.jobMsMean());
+  // The concurrent path never waits on a serialized sink lock.
+  EXPECT_EQ(output.dispatcherStats.sinkBlockedMsTotal, 0.0);
 }
 
 TEST(StudyRunnerTest, DeterministicAcrossCalls) {

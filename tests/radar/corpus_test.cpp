@@ -95,6 +95,28 @@ TEST(CorpusTest, TiesBreakLexicographically) {
   EXPECT_EQ(prediction.category, "Advertisement");
 }
 
+TEST(CorpusTest, ElectionsTrackInterleavedAdds) {
+  // The per-prefix vote tallies are maintained incrementally by add();
+  // every insertion order must yield the same predictions as a range scan.
+  LibraryCorpus corpus;
+  corpus.add("com.y.ads", "Advertisement");
+  EXPECT_EQ(corpus.predictCategory("com.y.ads.sdk").category, "Advertisement");
+
+  corpus.add("com.y", "Game Engine");  // parent after child: scans under itself
+  EXPECT_EQ(corpus.predictCategory("com.y.example").matchedPrefix, "com.y");
+  EXPECT_EQ(corpus.predictCategory("com.y.example").votes.at("Advertisement"), 1);
+  EXPECT_EQ(corpus.predictCategory("com.y.example").votes.at("Game Engine"), 1);
+
+  corpus.add("com.y.engine", "Game Engine");  // child after parent: votes up
+  EXPECT_EQ(corpus.predictCategory("com.y.example").category, "Game Engine");
+  EXPECT_EQ(corpus.predictCategory("com.y.example").votes.at("Game Engine"), 2);
+
+  // Re-adding an existing prefix keeps the first category and adds no vote.
+  corpus.add("com.y.engine", "Advertisement");
+  EXPECT_EQ(corpus.predictCategory("com.y.example").votes.at("Game Engine"), 2);
+  EXPECT_EQ(corpus.predictCategory("com.y.example").votes.at("Advertisement"), 1);
+}
+
 TEST(CorpusTest, DetectFindsBundledLibraries) {
   const auto corpus = listing2Corpus();
   dex::ApkFile apk;
