@@ -52,7 +52,7 @@ Measurement measure(const store::AppStoreGenerator& generator,
     stack.registerUdpSink(core::kDefaultCollectorEndpoint,
                           [&](const net::SockEndpoint&,
                               std::span<const std::uint8_t> payload) {
-                            reports.push_back(core::UdpReport::decode(payload));
+                            reports.push_back(core::decodeReportDatagram(payload));
                           });
     hook::XposedFramework xposed;
     if (engine != nullptr)

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# TSan CI lane: build the concurrent subsystems under ThreadSanitizer and
+# run the tests that exercise them — the ingest tier (sharded router,
+# pipeline, chaos channel), the dispatcher fleet, and the collection
+# server. A data race here corrupts studies silently, so this lane gates
+# every change to the streaming path.
+#
+# Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLIBSPECTOR_SANITIZE=thread
+
+# The concurrent-subsystem test binaries (kept explicit so the lane stays
+# fast as the tree grows; extend when a new subsystem goes multi-threaded).
+TARGETS=(
+  ingest_router_test
+  ingest_pipeline_test
+  ingest_stress_test
+  dispatcher_test
+  collector_test
+  study_test
+)
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
+
+# halt_on_error: a single race fails the lane; second_deadlock_stack helps
+# diagnose lock-order findings in the shard consumers.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
+  -R 'Ingest|Dispatcher|Collector|StudyRunner')
+
+echo "TSan lane: OK"

@@ -6,7 +6,9 @@ namespace libspector::core {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x54524153;  // "SART"
-constexpr std::uint16_t kVersion = 1;
+// v2 appends reportsEmitted (the sender-side report count behind the
+// ingest tier's loss accounting); v1 bundles are still readable.
+constexpr std::uint16_t kVersion = 2;
 }  // namespace
 
 std::vector<std::uint8_t> RunArtifacts::serialize() const {
@@ -36,13 +38,15 @@ std::vector<std::uint8_t> RunArtifacts::serialize() const {
   w.u64(coverage.traceEntries);
   w.u32(monkeyEventsInjected);
   w.u64(runDurationMs);
+  w.u64(reportsEmitted);
   return w.take();
 }
 
 RunArtifacts RunArtifacts::deserialize(std::span<const std::uint8_t> bytes) {
   util::ByteReader r(bytes);
   if (r.u32() != kMagic) throw util::DecodeError("RunArtifacts: bad magic");
-  if (r.u16() != kVersion)
+  const std::uint16_t version = r.u16();
+  if (version < 1 || version > kVersion)
     throw util::DecodeError("RunArtifacts: unsupported version");
 
   RunArtifacts artifacts;
@@ -70,6 +74,9 @@ RunArtifacts RunArtifacts::deserialize(std::span<const std::uint8_t> bytes) {
   artifacts.coverage.traceEntries = r.u64();
   artifacts.monkeyEventsInjected = r.u32();
   artifacts.runDurationMs = r.u64();
+  // v1 predates loss accounting: assume every delivered report was emitted.
+  artifacts.reportsEmitted =
+      version >= 2 ? r.u64() : artifacts.reports.size();
   if (!r.atEnd()) throw util::DecodeError("RunArtifacts: trailing bytes");
   return artifacts;
 }

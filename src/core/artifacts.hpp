@@ -27,6 +27,10 @@ struct RunArtifacts {
 
   std::uint32_t monkeyEventsInjected = 0;
   std::uint64_t runDurationMs = 0;
+  /// How many reports the Socket Supervisor *sent* during the run (the
+  /// reliable side of the loss account: `reports` holds what survived the
+  /// best-effort UDP channel, so emitted - delivered = lost in flight).
+  std::uint64_t reportsEmitted = 0;
 
   /// Deterministic binary bundle (what a worker uploads to the central
   /// database and the offline pipeline later reads back).

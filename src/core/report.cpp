@@ -5,7 +5,8 @@
 namespace libspector::core {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x52505355;  // "USPR"
+constexpr std::uint32_t kMagic = 0x52505355;       // "USPR"
+constexpr std::uint32_t kFrameMagic = 0x4652534C;  // "LSRF"
 }
 
 std::vector<std::uint8_t> UdpReport::encode() const {
@@ -38,6 +39,77 @@ UdpReport UdpReport::decode(std::span<const std::uint8_t> datagram) {
     report.stackSignatures.push_back(r.str());
   if (!r.atEnd()) throw util::DecodeError("UdpReport: trailing bytes");
   return report;
+}
+
+std::vector<std::uint8_t> ReportFrame::encode() const {
+  util::ByteWriter body;
+  body.u32(workerId);
+  body.u64(sequence);
+  body.u64(util::fnv1a64(report.apkSha256));
+  const auto payload = report.encode();
+  body.str({reinterpret_cast<const char*>(payload.data()), payload.size()});
+
+  util::ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u8(kVersion);
+  w.u32(util::crc32(body.data()));
+  w.raw(body.data());
+  return w.take();
+}
+
+namespace {
+
+/// Shared prefix validation for decode() and peek(): checks magic, version
+/// and checksum, then positions a reader at the body start.
+util::ByteReader openFrameBody(std::span<const std::uint8_t> datagram) {
+  util::ByteReader r(datagram);
+  if (r.u32() != kFrameMagic) throw util::DecodeError("ReportFrame: bad magic");
+  const std::uint8_t version = r.u8();
+  if (version != ReportFrame::kVersion)
+    throw util::DecodeError("ReportFrame: unsupported version");
+  const std::uint32_t checksum = r.u32();
+  const std::span<const std::uint8_t> body = datagram.subspan(4 + 1 + 4);
+  if (util::crc32(body) != checksum)
+    throw util::DecodeError("ReportFrame: checksum mismatch");
+  return r;
+}
+
+}  // namespace
+
+ReportFrame ReportFrame::decode(std::span<const std::uint8_t> datagram) {
+  util::ByteReader r = openFrameBody(datagram);
+  ReportFrame frame;
+  frame.workerId = r.u32();
+  frame.sequence = r.u64();
+  const std::uint64_t shaKey = r.u64();
+  const std::uint32_t payloadSize = r.u32();
+  frame.report = UdpReport::decode(r.view(payloadSize));
+  if (!r.atEnd()) throw util::DecodeError("ReportFrame: trailing bytes");
+  if (shaKey != util::fnv1a64(frame.report.apkSha256))
+    throw util::DecodeError("ReportFrame: routing key does not match payload");
+  return frame;
+}
+
+ReportFrame::Header ReportFrame::peek(std::span<const std::uint8_t> datagram) {
+  util::ByteReader r = openFrameBody(datagram);
+  Header header;
+  header.workerId = r.u32();
+  header.sequence = r.u64();
+  header.shaKey = r.u64();
+  return header;
+}
+
+bool ReportFrame::looksFramed(std::span<const std::uint8_t> datagram) noexcept {
+  if (datagram.size() < 4) return false;
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) magic |= std::uint32_t{datagram[i]} << (8 * i);
+  return magic == kFrameMagic;
+}
+
+UdpReport decodeReportDatagram(std::span<const std::uint8_t> datagram) {
+  if (ReportFrame::looksFramed(datagram))
+    return ReportFrame::decode(datagram).report;
+  return UdpReport::decode(datagram);
 }
 
 }  // namespace libspector::core

@@ -31,4 +31,57 @@ struct UdpReport {
   [[nodiscard]] bool operator==(const UdpReport&) const = default;
 };
 
+/// Versioned framed wire format for supervisor report datagrams.
+///
+/// The raw UdpReport encoding assumes a lossless, pre-framed channel; real
+/// collection happens over UDP, where datagrams are lost, duplicated,
+/// reordered and occasionally corrupted. The frame adds what the ingest
+/// tier needs to detect and *account* for all four:
+///
+///   magic (u32) | version (u8) | crc32 (u32) | body
+///   body = workerId (u32) | sequence (u64) | shaKey (u64) | payload (str)
+///
+/// - `workerId` identifies the sending run (the dispatcher uses the job
+///   index, so ids are unique per study) and `sequence` counts that run's
+///   reports from 0 — together they make loss, duplication and reordering
+///   visible per apk at the receiver.
+/// - `shaKey` is fnv1a64(apkSha256): a router can shard on it after
+///   peek()ing the header, without decoding the payload.
+/// - `crc32` covers the whole body, so a bit flip anywhere (header fields
+///   included) is rejected instead of mis-attributed.
+struct ReportFrame {
+  static constexpr std::uint8_t kVersion = 1;
+
+  std::uint32_t workerId = 0;
+  std::uint64_t sequence = 0;
+  UdpReport report;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Full decode: validates magic, version, checksum, payload, and that
+  /// shaKey matches the payload's apk checksum. Throws util::DecodeError.
+  [[nodiscard]] static ReportFrame decode(std::span<const std::uint8_t> datagram);
+
+  /// Header-only view, enough to route the datagram to a shard.
+  struct Header {
+    std::uint32_t workerId = 0;
+    std::uint64_t sequence = 0;
+    std::uint64_t shaKey = 0;
+  };
+  /// Validates magic, version and checksum (an O(n) scan but no
+  /// allocation) and returns the routing header. Throws util::DecodeError.
+  [[nodiscard]] static Header peek(std::span<const std::uint8_t> datagram);
+
+  /// True when `datagram` starts with the frame magic (cheap dispatch
+  /// between framed and legacy raw-report datagrams).
+  [[nodiscard]] static bool looksFramed(
+      std::span<const std::uint8_t> datagram) noexcept;
+
+  [[nodiscard]] bool operator==(const ReportFrame&) const = default;
+};
+
+/// Decode either wire format: a framed datagram yields its payload report,
+/// a legacy raw datagram decodes directly. Throws util::DecodeError.
+[[nodiscard]] UdpReport decodeReportDatagram(
+    std::span<const std::uint8_t> datagram);
+
 }  // namespace libspector::core

@@ -7,8 +7,9 @@
 
 namespace libspector::core {
 
-SocketSupervisor::SocketSupervisor(net::SockEndpoint collector)
-    : collector_(collector) {}
+SocketSupervisor::SocketSupervisor(net::SockEndpoint collector,
+                                   std::uint32_t workerId)
+    : collector_(collector), workerId_(workerId) {}
 
 std::string translateFrame(const rt::StackFrameSnapshot& frame,
                            const rt::AppProgram& program,
@@ -60,8 +61,14 @@ void SocketSupervisor::onSocketConnected(
     report.stackSignatures.push_back(
         translateFrame(frame, runtime.program(), state->translations));
 
-  const auto datagram = report.encode();
-  stack.sendUdpDatagram(collector_, datagram);
+  // Framed with the worker id and this run's next sequence number: the
+  // channel is best-effort UDP, and only sender-assigned sequencing lets
+  // the ingest tier account loss/dup/reorder instead of absorbing it.
+  ReportFrame frame;
+  frame.workerId = workerId_;
+  frame.sequence = reportsSent_;
+  frame.report = std::move(report);
+  stack.sendUdpDatagram(collector_, frame.encode());
   ++reportsSent_;
 }
 

@@ -23,8 +23,12 @@ inline constexpr net::SockEndpoint kDefaultCollectorEndpoint{{10, 0, 2, 2}, 5005
 
 class SocketSupervisor final : public hook::XposedModule {
  public:
+  /// `workerId` stamps every framed report this supervisor emits; the
+  /// dispatcher passes the job index so (workerId, sequence) is unique per
+  /// study and the ingest tier can account loss/duplication per apk.
   explicit SocketSupervisor(
-      net::SockEndpoint collector = kDefaultCollectorEndpoint);
+      net::SockEndpoint collector = kDefaultCollectorEndpoint,
+      std::uint32_t workerId = 0);
 
   /// Installs the post-hook on java.net.Socket.connect; parses the apk's
   /// dex files into the frame -> signature translation table and computes
@@ -43,6 +47,7 @@ class SocketSupervisor final : public hook::XposedModule {
                          const std::shared_ptr<AppState>& state);
 
   net::SockEndpoint collector_;
+  std::uint32_t workerId_ = 0;
   std::size_t reportsSent_ = 0;
 };
 

@@ -1,0 +1,57 @@
+#include "ingest/chaos.hpp"
+
+#include <utility>
+
+namespace libspector::ingest {
+
+ChaosChannel::ChaosChannel(ReportSink& downstream, ChaosConfig config)
+    : downstream_(downstream), config_(config), rng_(config.seed) {}
+
+ChaosChannel::~ChaosChannel() { flush(); }
+
+void ChaosChannel::submitDatagram(std::span<const std::uint8_t> payload) {
+  const std::scoped_lock lock(mutex_);
+  if (rng_.chance(config_.lossProb)) {
+    ++dropped_;
+    return;
+  }
+  const int copies = rng_.chance(config_.dupProb) ? 2 : 1;
+  if (copies == 2) ++duplicated_;
+  for (int i = 0; i < copies; ++i)
+    buffer_.emplace_back(payload.begin(), payload.end());
+  while (buffer_.size() > config_.reorderWindow) releaseOneLocked();
+}
+
+void ChaosChannel::releaseOneLocked() {
+  const std::size_t pick =
+      buffer_.size() == 1
+          ? 0
+          : static_cast<std::size_t>(rng_.uniform(0, buffer_.size() - 1));
+  std::vector<std::uint8_t> datagram = std::move(buffer_[pick]);
+  buffer_[pick] = std::move(buffer_.back());
+  buffer_.pop_back();
+  downstream_.submitDatagram(datagram);
+  ++delivered_;
+}
+
+void ChaosChannel::flush() {
+  const std::scoped_lock lock(mutex_);
+  while (!buffer_.empty()) releaseOneLocked();
+}
+
+std::uint64_t ChaosChannel::delivered() const {
+  const std::scoped_lock lock(mutex_);
+  return delivered_;
+}
+
+std::uint64_t ChaosChannel::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+std::uint64_t ChaosChannel::duplicated() const {
+  const std::scoped_lock lock(mutex_);
+  return duplicated_;
+}
+
+}  // namespace libspector::ingest

@@ -1,0 +1,57 @@
+// Deterministic fault injection for the report channel.
+//
+// UDP loses, duplicates and reorders datagrams; the network simulator only
+// models loss (StackConfig::udpLossProb). ChaosChannel sits between a
+// producer and any ReportSink and injects all three, seeded, so tests and
+// benches can assert the ingest tier's loss accounting *exactly*.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "ingest/sink.hpp"
+#include "util/rng.hpp"
+
+namespace libspector::ingest {
+
+struct ChaosConfig {
+  double lossProb = 0.0;
+  double dupProb = 0.0;
+  /// Datagrams are buffered and released in random order once the buffer
+  /// holds this many; 0 delivers in order. flush() releases the tail.
+  std::size_t reorderWindow = 0;
+  std::uint64_t seed = 1;
+};
+
+class ChaosChannel final : public ReportSink {
+ public:
+  ChaosChannel(ReportSink& downstream, ChaosConfig config);
+  /// Releases anything still buffered.
+  ~ChaosChannel() override;
+
+  void submitDatagram(std::span<const std::uint8_t> payload) override;
+
+  /// Deliver every buffered datagram (in randomized order). Call before
+  /// finalizing a run so reordered datagrams are not stranded.
+  void flush();
+
+  [[nodiscard]] std::uint64_t delivered() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t duplicated() const;
+
+ private:
+  /// Requires mutex_ held. Pops a random buffered datagram downstream.
+  void releaseOneLocked();
+
+  ReportSink& downstream_;
+  ChaosConfig config_;
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  std::vector<std::vector<std::uint8_t>> buffer_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+};
+
+}  // namespace libspector::ingest

@@ -1,0 +1,72 @@
+#include "ingest/metrics.hpp"
+
+#include <cstdio>
+
+namespace libspector::ingest {
+
+namespace {
+
+void appendKv(std::string& out, const char* key, std::uint64_t value,
+              bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %llu%s", key,
+                static_cast<unsigned long long>(value), comma ? ", " : "");
+  out += buf;
+}
+
+void appendKv(std::string& out, const char* key, double value,
+              bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.3f%s", key, value,
+                comma ? ", " : "");
+  out += buf;
+}
+
+}  // namespace
+
+std::string IngestMetrics::toJson() const {
+  std::string out = "{\n  ";
+  appendKv(out, "shards", static_cast<std::uint64_t>(shards));
+  appendKv(out, "datagrams_received", datagramsReceived);
+  appendKv(out, "datagrams_malformed", datagramsMalformed);
+  appendKv(out, "frames_folded", framesFolded);
+  appendKv(out, "frames_dropped", framesDropped);
+  appendKv(out, "duplicated", duplicated);
+  appendKv(out, "out_of_order", outOfOrder);
+  appendKv(out, "runs_completed", runsCompleted);
+  appendKv(out, "reports_delivered", reportsDelivered);
+  appendKv(out, "reports_lost", reportsLost);
+  appendKv(out, "latency_p50_ms", latencyP50Ms);
+  appendKv(out, "latency_p90_ms", latencyP90Ms);
+  appendKv(out, "latency_p99_ms", latencyP99Ms);
+  out += "\"per_shard\": [";
+  for (std::size_t i = 0; i < perShard.size(); ++i) {
+    const ShardMetrics& s = perShard[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    appendKv(out, "shard", static_cast<std::uint64_t>(s.shard));
+    appendKv(out, "frames_routed", s.framesRouted);
+    appendKv(out, "frames_folded", s.framesFolded);
+    appendKv(out, "frames_dropped", s.framesDropped);
+    appendKv(out, "duplicated", s.duplicated);
+    appendKv(out, "out_of_order", s.outOfOrder);
+    appendKv(out, "runs_completed", s.runsCompleted);
+    appendKv(out, "reports_delivered", s.reportsDelivered);
+    appendKv(out, "reports_lost", s.reportsLost);
+    appendKv(out, "apks_evicted", s.apksEvicted);
+    appendKv(out, "reports_evicted", s.reportsEvicted);
+    appendKv(out, "queue_depth", static_cast<std::uint64_t>(s.queueDepth));
+    appendKv(out, "queue_depth_peak",
+             static_cast<std::uint64_t>(s.queueDepthPeak));
+    appendKv(out, "utilization", s.utilization);
+    appendKv(out, "latency_p50_ms", s.latencyP50Ms);
+    appendKv(out, "latency_p90_ms", s.latencyP90Ms);
+    appendKv(out, "latency_p99_ms", s.latencyP99Ms);
+    appendKv(out, "latency_samples",
+             static_cast<std::uint64_t>(s.latencySamples), false);
+    out += "}";
+  }
+  out += perShard.empty() ? "]\n}" : "\n  ]\n}";
+  return out;
+}
+
+}  // namespace libspector::ingest

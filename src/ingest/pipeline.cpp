@@ -1,0 +1,70 @@
+#include "ingest/pipeline.hpp"
+
+#include <utility>
+
+namespace libspector::ingest {
+
+IngestPipeline::IngestPipeline(IngestConfig config, AttributeFn attribute,
+                               core::StudyAccumulator* accumulator)
+    : attribute_(std::move(attribute)),
+      accumulator_(accumulator),
+      router_(config, [this](RunDelivery&& delivery) {
+        onRun(std::move(delivery));
+      }) {}
+
+void IngestPipeline::submitDatagram(std::span<const std::uint8_t> payload) {
+  router_.submitDatagram(payload);
+}
+
+void IngestPipeline::submitRun(std::size_t jobIndex,
+                               core::RunArtifacts&& artifacts) {
+  router_.submitRun(jobIndex, std::move(artifacts));
+}
+
+void IngestPipeline::skip(std::size_t jobIndex) {
+  if (accumulator_ != nullptr) accumulator_->skip(jobIndex);
+}
+
+void IngestPipeline::drain() { router_.drain(); }
+
+void IngestPipeline::onRun(RunDelivery&& delivery) {
+  // Attribution runs on the shard consumer thread, unlocked: this is the
+  // heavy stage, and shards are the parallelism axis of the ingest tier.
+  std::vector<core::FlowRecord> flows = attribute_(delivery.artifacts);
+  const std::uint64_t unattributed = core::TrafficAttributor::
+      unattributedTcpPayload(delivery.artifacts, flows);
+
+  {
+    const std::scoped_lock lock(mutex_);
+    ++rolling_.runsFolded;
+    rolling_.flowCount += flows.size();
+    rolling_.unattributedBytes += unattributed;
+    std::uint64_t appBytes = 0;
+    for (const auto& flow : flows) {
+      const std::uint64_t bytes = flow.sentBytes + flow.recvBytes;
+      appBytes += bytes;
+      rolling_.bytesByLibrary[flow.originLibrary] += bytes;
+      rolling_.bytesByLibCategory[flow.libraryCategory] += bytes;
+    }
+    rolling_.attributedBytes += appBytes;
+    rolling_.bytesByApp[delivery.artifacts.apkSha256] += appBytes;
+    accounts_[delivery.artifacts.apkSha256] = delivery.account;
+  }
+
+  if (accumulator_ != nullptr)
+    accumulator_->add(delivery.jobIndex, std::move(delivery.artifacts),
+                      std::move(flows));
+}
+
+RollingTotals IngestPipeline::rollingTotals() const {
+  const std::scoped_lock lock(mutex_);
+  return rolling_;
+}
+
+std::unordered_map<std::string, ApkLossAccount> IngestPipeline::lossAccounts()
+    const {
+  const std::scoped_lock lock(mutex_);
+  return accounts_;
+}
+
+}  // namespace libspector::ingest

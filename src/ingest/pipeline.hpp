@@ -1,0 +1,80 @@
+// Incremental attribution over the sharded ingest router.
+//
+// The batch pipeline attributes a study in one offline pass after the fleet
+// finishes. App-store-scale systems characterize results *as they arrive*
+// (Taming the Android AppStore): here, each shard folds a run through the
+// attributor the moment its reports and capture complete, publishes rolling
+// per-app/per-library volume aggregates, and optionally feeds an
+// order-restoring core::StudyAccumulator — which is how the batch
+// orch::runStudy path is re-expressed on top of streaming ingest without
+// changing a byte of study output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/attribution.hpp"
+#include "ingest/router.hpp"
+
+namespace libspector::ingest {
+
+/// Rolling study-so-far view, published after every finalized run.
+struct RollingTotals {
+  std::uint64_t runsFolded = 0;
+  std::uint64_t flowCount = 0;
+  std::uint64_t attributedBytes = 0;    // sent + recv across flows
+  std::uint64_t unattributedBytes = 0;  // TCP payload lost context covers
+  std::map<std::string, std::uint64_t> bytesByLibrary;      // origin library
+  std::map<std::string, std::uint64_t> bytesByLibCategory;
+  std::map<std::string, std::uint64_t> bytesByApp;          // apk sha256
+};
+
+class IngestPipeline final : public ReportSink {
+ public:
+  using AttributeFn =
+      std::function<std::vector<core::FlowRecord>(const core::RunArtifacts&)>;
+
+  /// `accumulator` (optional) receives every finalized run under its job
+  /// index — the deterministic batch view. Rolling aggregates and loss
+  /// accounts are always maintained.
+  IngestPipeline(IngestConfig config, AttributeFn attribute,
+                 core::StudyAccumulator* accumulator = nullptr);
+
+  /// Datagram path: forwards to the sharded router.
+  void submitDatagram(std::span<const std::uint8_t> payload) override;
+
+  /// Run-completion path (any thread): routes to the apk's shard, where the
+  /// consumer attributes and folds it.
+  void submitRun(std::size_t jobIndex, core::RunArtifacts&& artifacts);
+  /// Release a job index that will never arrive (failed job).
+  void skip(std::size_t jobIndex);
+
+  /// Block until all submitted work is folded (producers must be done).
+  void drain();
+
+  [[nodiscard]] RollingTotals rollingTotals() const;
+  [[nodiscard]] std::unordered_map<std::string, ApkLossAccount> lossAccounts()
+      const;
+  [[nodiscard]] IngestMetrics metrics() const { return router_.metrics(); }
+  [[nodiscard]] std::size_t shardCount() const noexcept {
+    return router_.shardCount();
+  }
+
+ private:
+  void onRun(RunDelivery&& delivery);
+
+  AttributeFn attribute_;
+  core::StudyAccumulator* accumulator_;
+  mutable std::mutex mutex_;
+  RollingTotals rolling_;
+  std::unordered_map<std::string, ApkLossAccount> accounts_;
+  ShardedIngest router_;  // last: consumers stop before state is destroyed
+};
+
+}  // namespace libspector::ingest

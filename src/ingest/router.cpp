@@ -1,0 +1,302 @@
+#include "ingest/router.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace libspector::ingest {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double millisBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+[[nodiscard]] std::size_t resolveShardCount(std::size_t configured) {
+  if (configured != 0) return configured;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ShardedIngest::ShardedIngest(IngestConfig config, RunCallback onRun)
+    : config_(config), onRun_(std::move(onRun)), startedAt_(Clock::now()) {
+  config_.queueCapacity = std::max<std::size_t>(1, config_.queueCapacity);
+  config_.maxPendingApks = std::max<std::size_t>(1, config_.maxPendingApks);
+  config_.latencyWindow = std::max<std::size_t>(1, config_.latencyWindow);
+  const std::size_t shardCount = resolveShardCount(config_.shards);
+  shards_.reserve(shardCount);
+  for (std::size_t i = 0; i < shardCount; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->counters.shard = i;
+    shards_.push_back(std::move(shard));
+  }
+  // Consumers start after every shard exists (they only touch their own).
+  for (auto& shard : shards_) {
+    shard->consumer = std::jthread(
+        [this, raw = shard.get()](std::stop_token stop) { consumeLoop(stop, *raw); });
+  }
+}
+
+ShardedIngest::~ShardedIngest() {
+  for (auto& shard : shards_) {
+    shard->consumer.request_stop();
+    const std::scoped_lock lock(shard->mutex);
+    shard->notEmpty.notify_all();
+  }
+  // jthread members join in Shard destruction; consumers drain their queue
+  // before exiting so no accepted item is ever silently discarded.
+}
+
+std::size_t ShardedIngest::shardOf(const std::string& apkSha256) const {
+  return util::fnv1a64(apkSha256) % shards_.size();
+}
+
+void ShardedIngest::enqueue(Shard& shard, Item&& item, bool droppable) {
+  std::unique_lock lock(shard.mutex);
+  if (shard.queue.size() >= config_.queueCapacity) {
+    if (droppable && config_.backpressure == IngestConfig::Backpressure::DropNewest) {
+      ++shard.counters.framesDropped;
+      return;
+    }
+    shard.notFull.wait(lock,
+                       [&] { return shard.queue.size() < config_.queueCapacity; });
+  }
+  if (item.run == nullptr) ++shard.counters.framesRouted;
+  shard.queue.push_back(std::move(item));
+  shard.counters.queueDepthPeak =
+      std::max(shard.counters.queueDepthPeak, shard.queue.size());
+  shard.notEmpty.notify_one();
+}
+
+void ShardedIngest::submitDatagram(std::span<const std::uint8_t> payload) {
+  received_.fetch_add(1, std::memory_order_relaxed);
+  core::ReportFrame::Header header;
+  try {
+    header = core::ReportFrame::peek(payload);
+  } catch (const util::DecodeError& err) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    util::logWarn("ingest: dropping malformed datagram: %s", err.what());
+    return;
+  }
+  Item item;
+  item.frameBytes.assign(payload.begin(), payload.end());
+  item.header = header;
+  item.enqueuedAt = Clock::now();
+  enqueue(*shards_[header.shaKey % shards_.size()], std::move(item),
+          /*droppable=*/true);
+}
+
+void ShardedIngest::submitRun(std::size_t jobIndex,
+                              core::RunArtifacts&& artifacts) {
+  const std::size_t shard = shardOf(artifacts.apkSha256);
+  Item item;
+  item.run = std::make_unique<RunTask>(
+      RunTask{jobIndex, std::move(artifacts)});
+  item.enqueuedAt = Clock::now();
+  enqueue(*shards_[shard], std::move(item), /*droppable=*/false);
+}
+
+void ShardedIngest::consumeLoop(std::stop_token stop, Shard& shard) {
+  while (true) {
+    Item item;
+    {
+      std::unique_lock lock(shard.mutex);
+      if (!shard.notEmpty.wait(lock, stop,
+                               [&] { return !shard.queue.empty(); })) {
+        shard.drained.notify_all();
+        return;  // stop requested and the queue is fully drained
+      }
+      item = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.busy = true;
+      shard.notFull.notify_one();
+    }
+    const auto startedAt = Clock::now();
+    if (item.run != nullptr) {
+      finalizeRun(shard, std::move(*item.run));
+    } else {
+      foldFrame(shard, item);
+    }
+    const auto finishedAt = Clock::now();
+    {
+      const std::scoped_lock lock(shard.mutex);
+      shard.busyMs += millisBetween(startedAt, finishedAt);
+      const double latency = millisBetween(item.enqueuedAt, finishedAt);
+      if (shard.latencyMs.size() < config_.latencyWindow) {
+        shard.latencyMs.push_back(latency);
+      } else {
+        shard.latencyMs[shard.latencyNext] = latency;
+        shard.latencyNext = (shard.latencyNext + 1) % config_.latencyWindow;
+      }
+      ++shard.latencyTotal;
+      shard.busy = false;
+      if (shard.queue.empty()) shard.drained.notify_all();
+    }
+  }
+}
+
+void ShardedIngest::foldFrame(Shard& shard, const Item& item) {
+  core::ReportFrame frame;
+  try {
+    frame = core::ReportFrame::decode(item.frameBytes);
+  } catch (const util::DecodeError& err) {
+    // peek() validated the checksum, so this only fires on payloads that
+    // are self-inconsistent end to end; still data, not an error.
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    util::logWarn("ingest: dropping undecodable frame: %s", err.what());
+    return;
+  }
+
+  const std::scoped_lock lock(shard.mutex);
+  auto [it, created] = shard.pending.try_emplace(frame.report.apkSha256);
+  PendingApk& apk = it->second;
+  if (created) {
+    apk.orderIt = shard.order.insert(shard.order.end(), it->first);
+    evictIfOverCapacityLocked(shard);
+  }
+  ++apk.framesDelivered;
+  const auto key = std::make_pair(frame.workerId, frame.sequence);
+  const bool inserted =
+      apk.reports.try_emplace(key, std::move(frame.report)).second;
+  if (!inserted) {
+    ++apk.duplicated;
+    ++shard.counters.duplicated;
+  } else {
+    WorkerSeq& seq = apk.workers[frame.workerId];
+    if (seq.any && frame.sequence < seq.maxSeq) {
+      ++apk.outOfOrder;
+      ++shard.counters.outOfOrder;
+    }
+    seq.maxSeq = seq.any ? std::max(seq.maxSeq, frame.sequence) : frame.sequence;
+    seq.any = true;
+  }
+  ++shard.counters.framesFolded;
+}
+
+void ShardedIngest::finalizeRun(Shard& shard, RunTask&& task) {
+  RunDelivery delivery;
+  delivery.jobIndex = task.jobIndex;
+  delivery.artifacts = std::move(task.artifacts);
+  delivery.account.reportsEmitted = delivery.artifacts.reportsEmitted;
+
+  bool channelLive = delivery.artifacts.reportsEmitted > 0;
+  std::vector<core::UdpReport> deliveredReports;
+  {
+    const std::scoped_lock lock(shard.mutex);
+    const auto it = shard.pending.find(delivery.artifacts.apkSha256);
+    if (it != shard.pending.end()) {
+      PendingApk& apk = it->second;
+      channelLive = true;
+      delivery.account.framesDelivered = apk.framesDelivered;
+      delivery.account.uniqueDelivered = apk.reports.size();
+      delivery.account.duplicated = apk.duplicated;
+      delivery.account.outOfOrder = apk.outOfOrder;
+      deliveredReports.reserve(apk.reports.size());
+      for (auto& [key, report] : apk.reports)
+        deliveredReports.push_back(std::move(report));
+      shard.order.erase(apk.orderIt);
+      shard.pending.erase(it);
+    }
+    delivery.account.lost =
+        delivery.account.reportsEmitted > delivery.account.uniqueDelivered
+            ? delivery.account.reportsEmitted - delivery.account.uniqueDelivered
+            : 0;
+    ++shard.counters.runsCompleted;
+    shard.counters.reportsDelivered += delivery.account.uniqueDelivered;
+    shard.counters.reportsLost += delivery.account.lost;
+  }
+  // When the report channel fed this router, the delivered set *is* the
+  // run's report list (sequence-ordered and deduplicated, so with zero loss
+  // it is byte-identical to what the emulator recorded locally). A run that
+  // emitted nothing and routed nothing keeps its (empty) list untouched.
+  if (channelLive) delivery.artifacts.reports = std::move(deliveredReports);
+
+  // Callback outside the lock: attribution is heavy, and producers must be
+  // able to keep feeding the queue while it runs.
+  if (onRun_) onRun_(std::move(delivery));
+}
+
+void ShardedIngest::evictIfOverCapacityLocked(Shard& shard) {
+  while (shard.pending.size() > config_.maxPendingApks && !shard.order.empty()) {
+    const std::string& oldest = shard.order.front();
+    const auto it = shard.pending.find(oldest);
+    if (it != shard.pending.end()) {
+      ++shard.counters.apksEvicted;
+      shard.counters.reportsEvicted += it->second.reports.size();
+      shard.pending.erase(it);
+    }
+    shard.order.pop_front();
+  }
+}
+
+void ShardedIngest::drain() {
+  for (auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    shard->drained.wait(lock,
+                        [&] { return shard->queue.empty() && !shard->busy; });
+  }
+}
+
+std::vector<core::UdpReport> ShardedIngest::takeReports(
+    const std::string& apkSha256) {
+  Shard& shard = *shards_[shardOf(apkSha256)];
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.pending.find(apkSha256);
+  if (it == shard.pending.end()) return {};
+  std::vector<core::UdpReport> reports;
+  reports.reserve(it->second.reports.size());
+  for (auto& [key, report] : it->second.reports)
+    reports.push_back(std::move(report));
+  shard.order.erase(it->second.orderIt);
+  shard.pending.erase(it);
+  return reports;
+}
+
+IngestMetrics ShardedIngest::metrics() const {
+  IngestMetrics out;
+  out.shards = shards_.size();
+
+  const double wallMs = millisBetween(startedAt_, Clock::now());
+  std::vector<double> allLatencies;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    ShardMetrics m = shard->counters;
+    m.queueDepth = shard->queue.size();
+    m.utilization = wallMs > 0.0 ? shard->busyMs / wallMs : 0.0;
+    m.latencySamples = shard->latencyMs.size();
+    if (!shard->latencyMs.empty()) {
+      m.latencyP50Ms = util::percentile(shard->latencyMs, 50.0);
+      m.latencyP90Ms = util::percentile(shard->latencyMs, 90.0);
+      m.latencyP99Ms = util::percentile(shard->latencyMs, 99.0);
+      allLatencies.insert(allLatencies.end(), shard->latencyMs.begin(),
+                          shard->latencyMs.end());
+    }
+    out.framesFolded += m.framesFolded;
+    out.framesDropped += m.framesDropped;
+    out.duplicated += m.duplicated;
+    out.outOfOrder += m.outOfOrder;
+    out.runsCompleted += m.runsCompleted;
+    out.reportsDelivered += m.reportsDelivered;
+    out.reportsLost += m.reportsLost;
+    out.perShard.push_back(std::move(m));
+  }
+  if (!allLatencies.empty()) {
+    out.latencyP50Ms = util::percentile(allLatencies, 50.0);
+    out.latencyP90Ms = util::percentile(allLatencies, 90.0);
+    out.latencyP99Ms = util::percentile(allLatencies, 99.0);
+  }
+  // Read the producer-side atomics *after* the shard counters: a datagram
+  // increments received_ before it can ever fold, so this order keeps the
+  // snapshot invariant framesFolded + framesDropped <= datagramsReceived.
+  out.datagramsReceived = received_.load(std::memory_order_relaxed);
+  out.datagramsMalformed = malformed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace libspector::ingest

@@ -1,0 +1,186 @@
+// Sharded streaming ingest router (the scale path the ROADMAP's
+// "heavy traffic from millions of users" goal demands).
+//
+// The legacy orch::CollectionServer funnels every emulator worker through
+// one mutex-guarded map and silently absorbs whatever UDP did to the
+// datagrams in flight. ShardedIngest replaces that hot path:
+//
+//  - every datagram carries the core::ReportFrame framing (worker id,
+//    per-run sequence number, crc32), so loss, duplication, reordering and
+//    corruption are *detected and accounted per apk* instead of vanishing;
+//  - datagrams are routed to a shard by the frame header's apk routing key
+//    (no payload decode on the producer path) and enqueued on a bounded
+//    per-shard queue with an explicit backpressure policy;
+//  - a consumer thread per shard decodes, deduplicates and folds frames
+//    into per-apk state, and finalizes runs as their artifacts arrive —
+//    because routing is by apk checksum, a run's datagrams and its
+//    completion serialize through the same shard queue, so no cross-shard
+//    coordination is ever needed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/artifacts.hpp"
+#include "core/report.hpp"
+#include "ingest/metrics.hpp"
+#include "ingest/sink.hpp"
+
+namespace libspector::ingest {
+
+struct IngestConfig {
+  /// 0 = one shard per hardware thread.
+  std::size_t shards = 1;
+  /// Bounded per-shard queue capacity (items).
+  std::size_t queueCapacity = 4096;
+  /// What a producer does when its shard queue is full. Block applies
+  /// backpressure to the caller; DropNewest sheds the datagram and counts
+  /// it (run completions are never shed — they block in either mode).
+  enum class Backpressure { Block, DropNewest };
+  Backpressure backpressure = Backpressure::Block;
+  /// Cap on per-shard pending apks (datagrams for apks no run ever claims
+  /// must not accumulate forever); the oldest pending apk is evicted and
+  /// counted when exceeded.
+  std::size_t maxPendingApks = 4096;
+  /// Sliding window of per-shard ingest latency samples kept for the
+  /// metrics percentiles.
+  std::size_t latencyWindow = 8192;
+};
+
+/// Exact per-apk delivery account over the best-effort channel.
+struct ApkLossAccount {
+  std::uint64_t reportsEmitted = 0;   // sender-side count (reliable path)
+  std::uint64_t framesDelivered = 0;  // frames folded, duplicates included
+  std::uint64_t uniqueDelivered = 0;  // distinct (workerId, sequence)
+  std::uint64_t duplicated = 0;
+  std::uint64_t outOfOrder = 0;
+  std::uint64_t lost = 0;             // emitted - uniqueDelivered
+};
+
+/// A finalized run: its artifacts (reports replaced by the delivered,
+/// deduplicated, sequence-ordered set when the report channel was live)
+/// plus the loss account.
+struct RunDelivery {
+  std::size_t jobIndex = 0;
+  core::RunArtifacts artifacts;
+  ApkLossAccount account;
+};
+
+class ShardedIngest final : public ReportSink {
+ public:
+  /// Invoked on the owning shard's consumer thread for each finalized run;
+  /// heavy work here (attribution) is the intended use — it parallelizes
+  /// across shards and backpressures producers via the bounded queue.
+  using RunCallback = std::function<void(RunDelivery&&)>;
+
+  explicit ShardedIngest(IngestConfig config = {}, RunCallback onRun = {});
+  /// Drains the queues and joins the consumers. Producers must have
+  /// quiesced (a producer blocked on a full queue would never wake).
+  ~ShardedIngest() override;
+
+  ShardedIngest(const ShardedIngest&) = delete;
+  ShardedIngest& operator=(const ShardedIngest&) = delete;
+
+  /// Route one framed datagram (any thread). Malformed datagrams are
+  /// counted and dropped.
+  void submitDatagram(std::span<const std::uint8_t> payload) override;
+
+  /// Mark `artifacts`'s run complete (any thread). The shard folds the
+  /// delivered reports into the artifacts, computes the loss account and
+  /// hands the RunDelivery to the run callback.
+  void submitRun(std::size_t jobIndex, core::RunArtifacts&& artifacts);
+
+  /// Block until every queued item has been consumed and all run callbacks
+  /// have returned. Call after producers quiesce, before reading results.
+  void drain();
+
+  /// Remove and return the pending (unclaimed-by-a-run) reports for an apk,
+  /// deduplicated and sequence-ordered. Only frames already consumed are
+  /// visible — drain() first for a complete view.
+  [[nodiscard]] std::vector<core::UdpReport> takeReports(
+      const std::string& apkSha256);
+
+  [[nodiscard]] IngestMetrics metrics() const;
+  [[nodiscard]] std::size_t shardCount() const noexcept { return shards_.size(); }
+  /// Shard an apk checksum routes to (exposed for tests and benches).
+  [[nodiscard]] std::size_t shardOf(const std::string& apkSha256) const;
+
+ private:
+  struct RunTask {
+    std::size_t jobIndex = 0;
+    core::RunArtifacts artifacts;
+  };
+
+  struct Item {
+    // Exactly one of frameBytes / run is set.
+    std::vector<std::uint8_t> frameBytes;
+    core::ReportFrame::Header header;
+    std::unique_ptr<RunTask> run;
+    std::chrono::steady_clock::time_point enqueuedAt;
+  };
+
+  struct WorkerSeq {
+    std::uint64_t maxSeq = 0;
+    bool any = false;
+  };
+
+  struct PendingApk {
+    /// Delivered reports keyed (workerId, sequence): the map both
+    /// deduplicates and restores send order.
+    std::map<std::pair<std::uint32_t, std::uint64_t>, core::UdpReport> reports;
+    std::unordered_map<std::uint32_t, WorkerSeq> workers;
+    std::uint64_t framesDelivered = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t outOfOrder = 0;
+    std::list<std::string>::iterator orderIt;  // position in Shard::order
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable_any notEmpty;
+    std::condition_variable_any notFull;
+    std::condition_variable_any drained;
+    std::deque<Item> queue;
+    bool busy = false;
+
+    std::unordered_map<std::string, PendingApk> pending;
+    std::list<std::string> order;  // pending apks, oldest first
+
+    ShardMetrics counters;
+    std::vector<double> latencyMs;  // ring buffer
+    std::size_t latencyNext = 0;
+    std::uint64_t latencyTotal = 0;
+    double busyMs = 0.0;
+
+    std::jthread consumer;  // last: joins before the rest is destroyed
+  };
+
+  void enqueue(Shard& shard, Item&& item, bool droppable);
+  void consumeLoop(std::stop_token stop, Shard& shard);
+  void foldFrame(Shard& shard, const Item& item);
+  void finalizeRun(Shard& shard, RunTask&& task);
+  /// Requires shard.mutex held.
+  void evictIfOverCapacityLocked(Shard& shard);
+
+  IngestConfig config_;
+  RunCallback onRun_;
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::chrono::steady_clock::time_point startedAt_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace libspector::ingest

@@ -1,14 +1,21 @@
 #include "orch/collector.hpp"
 
+#include <algorithm>
+
 #include "util/bytes.hpp"
 #include "util/log.hpp"
 
 namespace libspector::orch {
 
+CollectionServer::CollectionServer(CollectionServerConfig config)
+    : config_(config) {
+  config_.maxPendingApks = std::max<std::size_t>(1, config_.maxPendingApks);
+}
+
 void CollectionServer::submitDatagram(std::span<const std::uint8_t> payload) {
   core::UdpReport report;
   try {
-    report = core::UdpReport::decode(payload);
+    report = core::decodeReportDatagram(payload);
   } catch (const util::DecodeError& err) {
     const std::scoped_lock lock(mutex_);
     ++received_;
@@ -18,7 +25,26 @@ void CollectionServer::submitDatagram(std::span<const std::uint8_t> payload) {
   }
   const std::scoped_lock lock(mutex_);
   ++received_;
-  bySha_[report.apkSha256].push_back(std::move(report));
+  auto [it, inserted] = bySha_.try_emplace(report.apkSha256);
+  if (inserted) {
+    order_.push_back(it->first);
+    it->second.orderIt = std::prev(order_.end());
+  }
+  it->second.reports.push_back(std::move(report));
+  if (inserted) evictIfOverCapacityLocked();
+}
+
+void CollectionServer::evictIfOverCapacityLocked() {
+  while (bySha_.size() > config_.maxPendingApks) {
+    const std::string oldest = order_.front();
+    const auto it = bySha_.find(oldest);
+    ++apksEvicted_;
+    reportsEvicted_ += it->second.reports.size();
+    order_.erase(it->second.orderIt);
+    bySha_.erase(it);
+    util::logWarn("CollectionServer: evicted %s (capacity %zu apks)",
+                  oldest.c_str(), config_.maxPendingApks);
+  }
 }
 
 std::vector<core::UdpReport> CollectionServer::takeReports(
@@ -26,7 +52,8 @@ std::vector<core::UdpReport> CollectionServer::takeReports(
   const std::scoped_lock lock(mutex_);
   const auto it = bySha_.find(apkSha256);
   if (it == bySha_.end()) return {};
-  std::vector<core::UdpReport> reports = std::move(it->second);
+  std::vector<core::UdpReport> reports = std::move(it->second.reports);
+  order_.erase(it->second.orderIt);
   bySha_.erase(it);
   return reports;
 }
@@ -39,6 +66,21 @@ std::size_t CollectionServer::datagramsReceived() const {
 std::size_t CollectionServer::datagramsDropped() const {
   const std::scoped_lock lock(mutex_);
   return dropped_;
+}
+
+std::size_t CollectionServer::apksEvicted() const {
+  const std::scoped_lock lock(mutex_);
+  return apksEvicted_;
+}
+
+std::size_t CollectionServer::reportsEvicted() const {
+  const std::scoped_lock lock(mutex_);
+  return reportsEvicted_;
+}
+
+std::size_t CollectionServer::pendingApks() const {
+  const std::scoped_lock lock(mutex_);
+  return bySha_.size();
 }
 
 }  // namespace libspector::orch

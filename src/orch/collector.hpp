@@ -3,9 +3,14 @@
 // Receives the Socket Supervisor's UDP report datagrams from every emulator
 // worker, decodes them and groups them by apk checksum.  Thread-safe: many
 // workers feed one server, as in the paper's CentOS fleet.
+//
+// This is the legacy single-map collector; the sharded, loss-accounting
+// path lives in ingest::ShardedIngest. Both implement ingest::ReportSink,
+// so emulators and dispatchers are wired against the boundary.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <span>
 #include <string>
@@ -13,14 +18,26 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "ingest/sink.hpp"
 
 namespace libspector::orch {
 
-class CollectionServer {
+struct CollectionServerConfig {
+  /// Reports for apks nobody ever takeReports()es must not accumulate
+  /// forever (a long campaign with crashed workers would otherwise grow the
+  /// server without bound). When the map holds this many apks, the one
+  /// whose first datagram is oldest is evicted and counted.
+  std::size_t maxPendingApks = 4096;
+};
+
+class CollectionServer final : public ingest::ReportSink {
  public:
-  /// Ingest one raw datagram. Malformed datagrams are counted and dropped
-  /// (UDP gives no delivery or integrity guarantee).
-  void submitDatagram(std::span<const std::uint8_t> payload);
+  explicit CollectionServer(CollectionServerConfig config = {});
+
+  /// Ingest one raw datagram — framed (core::ReportFrame) or legacy raw
+  /// report encoding. Malformed datagrams are counted and dropped (UDP
+  /// gives no delivery or integrity guarantee).
+  void submitDatagram(std::span<const std::uint8_t> payload) override;
 
   /// Remove and return all reports collected for an apk (a worker calls
   /// this once its app run finishes).
@@ -29,12 +46,28 @@ class CollectionServer {
 
   [[nodiscard]] std::size_t datagramsReceived() const;
   [[nodiscard]] std::size_t datagramsDropped() const;
+  /// Apks (and the reports they held) shed by the capacity policy.
+  [[nodiscard]] std::size_t apksEvicted() const;
+  [[nodiscard]] std::size_t reportsEvicted() const;
+  [[nodiscard]] std::size_t pendingApks() const;
 
  private:
+  struct PendingApk {
+    std::vector<core::UdpReport> reports;
+    std::list<std::string>::iterator orderIt;
+  };
+
+  /// Requires mutex_ held.
+  void evictIfOverCapacityLocked();
+
+  CollectionServerConfig config_;
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::vector<core::UdpReport>> bySha_;
+  std::unordered_map<std::string, PendingApk> bySha_;
+  std::list<std::string> order_;  // pending apks, oldest first
   std::size_t received_ = 0;
   std::size_t dropped_ = 0;
+  std::size_t apksEvicted_ = 0;
+  std::size_t reportsEvicted_ = 0;
 };
 
 }  // namespace libspector::orch

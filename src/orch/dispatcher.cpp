@@ -20,8 +20,8 @@ using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
-Dispatcher::Dispatcher(const net::ServerFarm& farm, CollectionServer* collector,
-                       DispatcherConfig config)
+Dispatcher::Dispatcher(const net::ServerFarm& farm,
+                       ingest::ReportSink* collector, DispatcherConfig config)
     : farm_(farm), collector_(collector), config_(config) {}
 
 void Dispatcher::recordJob(double jobMs, double sinkMs, double blockedMs) {
@@ -81,6 +81,9 @@ void Dispatcher::runConcurrent(const JobSource& source,
 
       EmulatorConfig emulatorConfig = config_.emulator;
       emulatorConfig.seed = config_.baseSeed + index;
+      // Job indices are unique per study, so (workerId, sequence) uniquely
+      // identifies every framed report the fleet emits.
+      emulatorConfig.workerId = static_cast<std::uint32_t>(index);
       EmulatorInstance emulator(farm_, collector_, emulatorConfig);
       const auto jobStart = Clock::now();
       try {

@@ -93,7 +93,7 @@ class Dispatcher {
     }
   };
 
-  Dispatcher(const net::ServerFarm& farm, CollectionServer* collector,
+  Dispatcher(const net::ServerFarm& farm, ingest::ReportSink* collector,
              DispatcherConfig config);
 
   /// Process every job; blocks until done. Callable multiple times.
@@ -118,7 +118,7 @@ class Dispatcher {
   void recordJob(double jobMs, double sinkMs, double blockedMs);
 
   const net::ServerFarm& farm_;
-  CollectionServer* collector_;
+  ingest::ReportSink* collector_;
   DispatcherConfig config_;
   std::size_t processed_ = 0;
   std::vector<FailedJob> failures_;

@@ -10,7 +10,7 @@
 namespace libspector::orch {
 
 EmulatorInstance::EmulatorInstance(const net::ServerFarm& farm,
-                                   CollectionServer* collector,
+                                   ingest::ReportSink* collector,
                                    EmulatorConfig config)
     : farm_(farm), collector_(collector), config_(config) {}
 
@@ -22,13 +22,15 @@ core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
   net::NetworkStack stack(farm_, clock, rng.fork(1), config_.stack);
 
   // Local + central report collection: the emulator's virtual router
-  // forwards the supervisor's datagrams to the collection server.
+  // forwards the supervisor's framed datagrams to the collection sink
+  // verbatim (framing survives to the ingest tier); the local sink unwraps
+  // them for the run's own artifact bundle.
   std::vector<core::UdpReport> localReports;
   stack.registerUdpSink(
       core::kDefaultCollectorEndpoint,
       [this, &localReports](const net::SockEndpoint&,
                             std::span<const std::uint8_t> payload) {
-        localReports.push_back(core::UdpReport::decode(payload));
+        localReports.push_back(core::decodeReportDatagram(payload));
         if (collector_ != nullptr) collector_->submitDatagram(payload);
       });
 
@@ -36,7 +38,9 @@ core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
   rt::Interpreter runtime(program, stack, monitor.tracer(), clock, rng.fork(2));
 
   hook::XposedFramework xposed;
-  xposed.installModule(std::make_shared<core::SocketSupervisor>());
+  const auto supervisor = std::make_shared<core::SocketSupervisor>(
+      core::kDefaultCollectorEndpoint, config_.workerId);
+  xposed.installModule(supervisor);
   xposed.attachToApp(runtime, apk);
 
   runtime.start();
@@ -55,6 +59,9 @@ core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
   artifacts.appCategory = apk.appCategory;
   artifacts.capture = std::move(stack.capture());
   artifacts.reports = std::move(localReports);
+  // Sender-side truth, carried on the reliable artifact path: the ingest
+  // tier subtracts what actually arrived to get exact per-apk loss.
+  artifacts.reportsEmitted = supervisor->reportsSent();
   artifacts.methodTraceFile = monitor.writeTraceFile();
   artifacts.coverage =
       core::MethodMonitor::computeCoverage(artifacts.methodTraceFile, apk);

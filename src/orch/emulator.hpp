@@ -11,10 +11,10 @@
 #include "core/artifacts.hpp"
 #include "core/supervisor.hpp"
 #include "dex/apk.hpp"
+#include "ingest/sink.hpp"
 #include "monkey/monkey.hpp"
 #include "net/server.hpp"
 #include "net/stack.hpp"
-#include "orch/collector.hpp"
 #include "rt/program.hpp"
 
 namespace libspector::orch {
@@ -30,14 +30,18 @@ struct EmulatorConfig {
   /// Seed for this instance's stochastic behaviour (RTTs, response sizes,
   /// monkey handler choice). The dispatcher derives one per app.
   std::uint64_t seed = 1;
+  /// Stamped into every framed supervisor report so the ingest tier can
+  /// account loss per (worker, sequence). The dispatcher passes the job
+  /// index, which is unique per study.
+  std::uint32_t workerId = 0;
 };
 
 class EmulatorInstance {
  public:
   /// `farm` is the shared external-server world; `collector` receives the
-  /// supervisor's UDP reports (may be nullptr in hermetic tests — reports
-  /// are then collected from a local sink).
-  EmulatorInstance(const net::ServerFarm& farm, CollectionServer* collector,
+  /// supervisor's raw report datagrams (may be nullptr in hermetic tests —
+  /// reports are then collected from the local sink only).
+  EmulatorInstance(const net::ServerFarm& farm, ingest::ReportSink* collector,
                    EmulatorConfig config);
 
   /// Install, exercise and tear down one app; returns the artifact bundle
@@ -47,7 +51,7 @@ class EmulatorInstance {
 
  private:
   const net::ServerFarm& farm_;
-  CollectionServer* collector_;
+  ingest::ReportSink* collector_;
   EmulatorConfig config_;
 };
 

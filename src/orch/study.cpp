@@ -7,7 +7,6 @@
 
 #include "core/attribution.hpp"
 #include "core/export.hpp"
-#include "orch/collector.hpp"
 #include "orch/database.hpp"
 #include "radar/corpus.hpp"
 #include "util/log.hpp"
@@ -17,12 +16,14 @@ namespace libspector::orch {
 
 StudyOutput runStudy(const StudyConfig& config) {
   const store::AppStoreGenerator generator(config.store);
-  return runStudy(generator, config.dispatcher, config.artifactsDirectory);
+  return runStudy(generator, config.dispatcher, config.artifactsDirectory,
+                  config.ingest);
 }
 
 StudyOutput runStudy(const store::AppStoreGenerator& generator,
                      const DispatcherConfig& dispatcherConfig,
-                     const std::string& artifactsDirectory) {
+                     const std::string& artifactsDirectory,
+                     const ingest::IngestConfig& ingestConfig) {
   const auto start = std::chrono::steady_clock::now();
 
   static const radar::LibraryCorpus kCorpus = radar::LibraryCorpus::builtin();
@@ -36,11 +37,11 @@ StudyOutput runStudy(const store::AppStoreGenerator& generator,
   const bool persist = !artifactsDirectory.empty();
   ResultDatabase database;
 
-  // Workers attribute their own run's artifacts (the heavy offline stage)
-  // and only the aggregation is funneled — through the accumulator, which
-  // restores dispatch order so the study is byte-identical to a
-  // single-worker run. Persisted bundles flow through the same ordered
-  // fold.
+  // Shard consumers attribute runs as they complete (the heavy offline
+  // stage) and only the aggregation is funneled — through the accumulator,
+  // which restores dispatch order so the study is byte-identical to a
+  // single-worker, single-shard run. Persisted bundles flow through the
+  // same ordered fold.
   core::StudyAccumulator accumulator(
       output.study, persist ? core::StudyAccumulator::FoldHook(
                                   [&database](core::RunArtifacts&& artifacts) {
@@ -48,25 +49,39 @@ StudyOutput runStudy(const store::AppStoreGenerator& generator,
                                   })
                             : core::StudyAccumulator::FoldHook{});
 
-  CollectionServer collector;
-  Dispatcher dispatcher(generator.farm(), &collector, dispatcherConfig);
-  std::size_t next = 0;
-  dispatcher.runConcurrent(
-      [&]() -> std::optional<Dispatcher::Job> {
-        if (next >= generator.appCount()) return std::nullopt;
-        auto job = generator.makeJob(next++);
-        return Dispatcher::Job{std::move(job.apk), std::move(job.program)};
-      },
-      [&](std::size_t index, core::RunArtifacts&& artifacts) {
-        auto flows = attributor.attribute(artifacts);
-        accumulator.add(index, std::move(artifacts), std::move(flows));
-      },
-      [&](std::size_t index, const Dispatcher::FailedJob&) {
-        accumulator.skip(index);
-      });
-  accumulator.finish();
-  output.appsProcessed = dispatcher.appsProcessed();
-  output.appsFailed = dispatcher.failures().size();
+  {
+    // Supervisor datagrams stream framed into the pipeline while the run is
+    // live; the run-completion submit routes to the same shard as the
+    // datagrams (both hash the apk checksum), so each shard finalizes,
+    // attributes and folds with no cross-shard coordination.
+    ingest::IngestPipeline pipeline(
+        ingestConfig,
+        [&attributor](const core::RunArtifacts& artifacts) {
+          return attributor.attribute(artifacts);
+        },
+        &accumulator);
+
+    Dispatcher dispatcher(generator.farm(), &pipeline, dispatcherConfig);
+    std::size_t next = 0;
+    dispatcher.runConcurrent(
+        [&]() -> std::optional<Dispatcher::Job> {
+          if (next >= generator.appCount()) return std::nullopt;
+          auto job = generator.makeJob(next++);
+          return Dispatcher::Job{std::move(job.apk), std::move(job.program)};
+        },
+        [&](std::size_t index, core::RunArtifacts&& artifacts) {
+          pipeline.submitRun(index, std::move(artifacts));
+        },
+        [&](std::size_t index, const Dispatcher::FailedJob&) {
+          pipeline.skip(index);
+        });
+    pipeline.drain();
+    accumulator.finish();
+    output.ingestMetrics = pipeline.metrics();
+    output.appsProcessed = dispatcher.appsProcessed();
+    output.appsFailed = dispatcher.failures().size();
+    output.dispatcherStats = dispatcher.stats();
+  }
 
   if (persist) {
     database.saveToDirectory(artifactsDirectory);
@@ -81,14 +96,18 @@ StudyOutput runStudy(const store::AppStoreGenerator& generator,
   output.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  output.dispatcherStats = dispatcher.stats();
   const auto& stats = output.dispatcherStats;
+  const auto& ingest = output.ingestMetrics;
   util::logInfo(
       "study: %zu apps in %.2fs (%.1f jobs/s; job mean %.2f ms max %.2f ms; "
-      "attribution+fold mean %.2f ms max %.2f ms; sink blocked %.1f ms)",
+      "sink mean %.2f ms max %.2f ms; %zu ingest shards, %llu datagrams, "
+      "%llu lost, %llu dup, fold p99 %.2f ms)",
       output.appsProcessed, output.wallSeconds, stats.jobsPerSecond(),
       stats.jobMsMean(), stats.jobMsMax, stats.sinkMsMean(), stats.sinkMsMax,
-      stats.sinkBlockedMsTotal);
+      ingest.shards,
+      static_cast<unsigned long long>(ingest.datagramsReceived),
+      static_cast<unsigned long long>(ingest.reportsLost),
+      static_cast<unsigned long long>(ingest.duplicated), ingest.latencyP99Ms);
   return output;
 }
 

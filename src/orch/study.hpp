@@ -1,20 +1,27 @@
 // One-call measurement campaign (the whole paper pipeline as an API).
 //
-// Wires together the synthetic store, the emulator fleet, the offline
-// attribution pipeline and the study aggregator:
+// Wires together the synthetic store, the emulator fleet, the streaming
+// ingest tier and the study aggregator:
 //
 //   orch::StudyConfig config;
 //   config.store.appCount = 2500;
 //   auto output = orch::runStudy(config);
 //   output.study.transferByLibCategory(); ...
 //
+// Since the ingest subsystem landed, runStudy is the batch pipeline
+// *re-expressed over streaming ingest*: supervisor datagrams flow framed
+// into an ingest::IngestPipeline, shards attribute each run as it
+// completes, and an order-restoring accumulator keeps the study output
+// byte-identical to a single-worker batch run at any shard count.
+//
 // Downstream users who bring their own corpus can use the lower-level
-// pieces directly (Dispatcher + TrafficAttributor + StudyAggregator).
+// pieces directly (Dispatcher + IngestPipeline + StudyAggregator).
 #pragma once
 
 #include <string>
 
 #include "core/analysis.hpp"
+#include "ingest/pipeline.hpp"
 #include "orch/dispatcher.hpp"
 #include "store/generator.hpp"
 
@@ -23,6 +30,11 @@ namespace libspector::orch {
 struct StudyConfig {
   store::StoreConfig store;
   DispatcherConfig dispatcher;
+  /// Streaming ingest tier shape (shard count, queue bounds, backpressure).
+  /// Shards are the attribution parallelism axis, so the study default is
+  /// one shard per hardware thread; any shard count yields byte-identical
+  /// study output (the accumulator restores dispatch order).
+  ingest::IngestConfig ingest{.shards = 0};
   /// When non-empty, every app's artifact bundle (.spab) plus the
   /// domains.csv world manifest are persisted here for later re-analysis.
   std::string artifactsDirectory;
@@ -36,6 +48,9 @@ struct StudyOutput {
   /// Fleet throughput counters (jobs/s, per-job wall time, sink time) for
   /// the run — the observability behind the parallel-attribution numbers.
   Dispatcher::Stats dispatcherStats;
+  /// Ingest-tier counters: per-shard loss/dup/reorder accounting, queue
+  /// behaviour, fold latency percentiles. toJson() for dashboards.
+  ingest::IngestMetrics ingestMetrics;
 };
 
 /// Generate a world per `config.store` and measure it end to end.
@@ -44,6 +59,8 @@ struct StudyOutput {
 /// Measure an existing world (the generator outlives the call).
 [[nodiscard]] StudyOutput runStudy(const store::AppStoreGenerator& generator,
                                    const DispatcherConfig& dispatcherConfig,
-                                   const std::string& artifactsDirectory = {});
+                                   const std::string& artifactsDirectory = {},
+                                   const ingest::IngestConfig& ingestConfig = {
+                                       .shards = 0});
 
 }  // namespace libspector::orch

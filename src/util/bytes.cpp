@@ -1,6 +1,40 @@
 #include "util/bytes.hpp"
 
+#include <array>
+
 namespace libspector::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  static const std::array<std::uint32_t, 256> kTable = makeCrc32Table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data)
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFFu];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
 
 void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
 

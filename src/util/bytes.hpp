@@ -36,6 +36,16 @@ class ByteWriter {
   std::vector<std::uint8_t> buf_;
 };
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte span. Used by the
+/// framed report wire format to detect in-flight corruption of UDP
+/// datagrams — the channel gives no integrity guarantee of its own.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// FNV-1a 64-bit hash of a string. Stable across platforms; used as the
+/// shard-routing key carried in framed report headers so routers can place
+/// a datagram without decoding its payload.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+
 /// Reads the format ByteWriter produces. Throws DecodeError on truncation.
 class ByteReader {
  public:

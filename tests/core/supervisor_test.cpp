@@ -63,7 +63,7 @@ TEST_F(SupervisorTest, SendsOneReportPerSocketWithFullContext) {
   stack.registerUdpSink(kDefaultCollectorEndpoint,
                         [&](const net::SockEndpoint&,
                             std::span<const std::uint8_t> payload) {
-                          received.push_back(UdpReport::decode(payload));
+                          received.push_back(decodeReportDatagram(payload));
                         });
 
   auto supervisor = std::make_shared<SocketSupervisor>();
@@ -93,7 +93,7 @@ TEST_F(SupervisorTest, AppFramesCarryFullTypeSignatures) {
   stack.registerUdpSink(kDefaultCollectorEndpoint,
                         [&](const net::SockEndpoint&,
                             std::span<const std::uint8_t> payload) {
-                          received.push_back(UdpReport::decode(payload));
+                          received.push_back(decodeReportDatagram(payload));
                         });
   auto supervisor = std::make_shared<SocketSupervisor>();
   supervisor->onAppLoaded(runtime, apk_);
@@ -133,7 +133,7 @@ TEST_F(SupervisorTest, ReportTimestampMatchesEmulatorClock) {
   stack.registerUdpSink(kDefaultCollectorEndpoint,
                         [&](const net::SockEndpoint&,
                             std::span<const std::uint8_t> payload) {
-                          received.push_back(UdpReport::decode(payload));
+                          received.push_back(decodeReportDatagram(payload));
                         });
   auto supervisor = std::make_shared<SocketSupervisor>();
   supervisor->onAppLoaded(runtime, apk_);

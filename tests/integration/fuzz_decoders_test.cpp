@@ -8,6 +8,8 @@
 #include "core/artifacts.hpp"
 #include "core/report.hpp"
 #include "dex/apk.hpp"
+#include "ingest/chaos.hpp"
+#include "ingest/router.hpp"
 #include "net/capture.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
@@ -112,6 +114,140 @@ TEST(FuzzDecodersTest, RunArtifactsSurviveMutation) {
                 (void)core::RunArtifacts::deserialize(bytes);
               },
               404);
+}
+
+core::ReportFrame sampleFrame(std::uint64_t seq = 5) {
+  return core::ReportFrame{3, seq,
+                           core::UdpReport::decode(sampleReportBytes())};
+}
+
+TEST(FuzzDecodersTest, ReportFrameSurvivesMutation) {
+  fuzzDecoder(sampleFrame().encode(),
+              [](const std::vector<std::uint8_t>& bytes) {
+                (void)core::ReportFrame::decode(bytes);
+              },
+              505);
+}
+
+TEST(FuzzDecodersTest, FrameChecksumMakesSilentMisParseImpossible) {
+  // Unlike the other decoders, a frame that decodes at all must equal the
+  // original: the crc32 covers every body byte, so a mutation either leaves
+  // the frame byte-identical or gets rejected (a 2^-32 collision aside).
+  const auto frame = sampleFrame();
+  const auto valid = frame.encode();
+  util::Rng rng(606);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<std::uint8_t> mutated = valid;
+    const int mutations = static_cast<int>(rng.uniform(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.uniform(0, mutated.size() - 1);
+      mutated[pos] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    try {
+      EXPECT_EQ(core::ReportFrame::decode(mutated), frame);
+    } catch (const util::DecodeError&) {
+      // the overwhelmingly common outcome for a real mutation
+    }
+  }
+}
+
+TEST(FuzzDecodersTest, FramePeekNeverCrashesAndAgreesWithDecode) {
+  const auto valid = sampleFrame().encode();
+  util::Rng rng(707);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<std::uint8_t> mutated = valid;
+    const std::size_t pos = rng.uniform(0, mutated.size() - 1);
+    mutated[pos] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    if (rng.chance(0.3)) mutated.resize(rng.uniform(0, mutated.size() - 1));
+    try {
+      const auto header = core::ReportFrame::peek(mutated);
+      const auto frame = core::ReportFrame::decode(mutated);
+      EXPECT_EQ(header.workerId, frame.workerId);
+      EXPECT_EQ(header.sequence, frame.sequence);
+      EXPECT_EQ(header.shaKey, util::fnv1a64(frame.report.apkSha256));
+    } catch (const util::DecodeError&) {
+    }
+  }
+}
+
+TEST(FuzzDecodersTest, ShardedIngestSurvivesHostileDatagrams) {
+  // The router faces the wire directly: mutated, truncated, duplicated and
+  // reordered datagrams must never crash it — and must never mis-attribute
+  // (a report landing under an apk key it does not carry).
+  ingest::IngestConfig config;
+  config.shards = 2;
+  ingest::ShardedIngest ingest(config);
+  util::Rng rng(808);
+
+  std::vector<core::UdpReport> sent;
+  std::vector<std::vector<std::uint8_t>> wire;
+  for (std::uint64_t seq = 0; seq < 20; ++seq) {
+    auto frame = sampleFrame(seq);
+    frame.report.timestampMs = seq;
+    sent.push_back(frame.report);
+    wire.push_back(frame.encode());
+  }
+  // Hostile schedule: originals interleaved with mutations, duplicates and
+  // pure garbage, in shuffled order.
+  std::vector<std::vector<std::uint8_t>> schedule = wire;
+  for (const auto& bytes : wire) {
+    auto mutated = bytes;
+    mutated[rng.uniform(0, mutated.size() - 1)] ^= 0x40;
+    schedule.push_back(std::move(mutated));
+    if (rng.chance(0.5)) schedule.push_back(bytes);  // duplicate
+    std::vector<std::uint8_t> garbage(rng.uniform(0, 64));
+    for (auto& byte : garbage)
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    schedule.push_back(std::move(garbage));
+  }
+  for (std::size_t i = schedule.size(); i > 1; --i)
+    std::swap(schedule[i - 1], schedule[rng.uniform(0, i - 1)]);
+
+  for (const auto& datagram : schedule) ingest.submitDatagram(datagram);
+  ingest.drain();
+
+  // Every surviving report is one of the originals, deduplicated, in send
+  // order, under the right apk key.
+  const auto reports = ingest.takeReports(sent[0].apkSha256);
+  ASSERT_EQ(reports.size(), sent.size());
+  EXPECT_EQ(reports, sent);
+  const auto metrics = ingest.metrics();
+  EXPECT_GT(metrics.datagramsMalformed, 0u);
+  EXPECT_EQ(metrics.framesFolded + metrics.datagramsMalformed,
+            metrics.datagramsReceived);
+}
+
+TEST(FuzzDecodersTest, ChaosChannelDamageNeverCorruptsContent) {
+  ingest::IngestConfig config;
+  config.shards = 3;
+  ingest::ShardedIngest ingest(config);
+  ingest::ChaosConfig chaosConfig;
+  chaosConfig.lossProb = 0.1;
+  chaosConfig.dupProb = 0.2;
+  chaosConfig.reorderWindow = 6;
+  chaosConfig.seed = 909;
+  ingest::ChaosChannel chaos(ingest, chaosConfig);
+
+  std::vector<core::UdpReport> sent;
+  for (std::uint64_t seq = 0; seq < 50; ++seq) {
+    auto frame = sampleFrame(seq);
+    frame.report.timestampMs = seq;
+    sent.push_back(frame.report);
+    chaos.submitDatagram(frame.encode());
+  }
+  chaos.flush();
+  ingest.drain();
+
+  // Whatever got through is a subset of what was sent, deduplicated and in
+  // send order — duplication and reordering leave no trace in content.
+  const auto reports = ingest.takeReports(sent[0].apkSha256);
+  EXPECT_EQ(reports.size(), 50 - chaos.dropped());
+  std::size_t cursor = 0;
+  for (const auto& report : reports) {
+    while (cursor < sent.size() && !(sent[cursor] == report)) ++cursor;
+    ASSERT_LT(cursor, sent.size()) << "report not among the sent originals";
+    ++cursor;
+  }
 }
 
 TEST(FuzzDecodersTest, PureGarbageIsRejected) {

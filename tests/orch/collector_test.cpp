@@ -60,6 +60,50 @@ TEST(CollectorTest, MalformedDatagramsDroppedNotFatal) {
   EXPECT_EQ(server.takeReports("ccc").size(), 1u);
 }
 
+TEST(CollectorTest, AcceptsFramedDatagrams) {
+  CollectionServer server;
+  server.submitDatagram(
+      core::ReportFrame{4, 0, sampleReport("fff")}.encode());
+  server.submitDatagram(
+      core::ReportFrame{4, 1, sampleReport("fff")}.encode());
+  server.submitDatagram(sampleReport("fff").encode());  // legacy raw format
+  EXPECT_EQ(server.datagramsReceived(), 3u);
+  EXPECT_EQ(server.datagramsDropped(), 0u);
+  EXPECT_EQ(server.takeReports("fff").size(), 3u);
+}
+
+TEST(CollectorTest, EvictsOldestApkOverCapacity) {
+  // Reports for apks nobody ever claims must not grow the server without
+  // bound; the capacity policy sheds the oldest pending apk and counts it.
+  CollectionServerConfig config;
+  config.maxPendingApks = 2;
+  CollectionServer server(config);
+  server.submitDatagram(sampleReport("old").encode());
+  server.submitDatagram(sampleReport("old").encode());
+  server.submitDatagram(sampleReport("mid").encode());
+  EXPECT_EQ(server.apksEvicted(), 0u);
+  server.submitDatagram(sampleReport("new").encode());
+  EXPECT_EQ(server.apksEvicted(), 1u);
+  EXPECT_EQ(server.reportsEvicted(), 2u);  // "old" held two reports
+  EXPECT_EQ(server.pendingApks(), 2u);
+  EXPECT_TRUE(server.takeReports("old").empty());
+  EXPECT_EQ(server.takeReports("mid").size(), 1u);
+  EXPECT_EQ(server.takeReports("new").size(), 1u);
+}
+
+TEST(CollectorTest, TakingAnApkFreesItsCapacitySlot) {
+  CollectionServerConfig config;
+  config.maxPendingApks = 2;
+  CollectionServer server(config);
+  server.submitDatagram(sampleReport("a").encode());
+  server.submitDatagram(sampleReport("b").encode());
+  EXPECT_EQ(server.takeReports("a").size(), 1u);
+  // The slot freed by the take means no eviction on the next apk.
+  server.submitDatagram(sampleReport("c").encode());
+  EXPECT_EQ(server.apksEvicted(), 0u);
+  EXPECT_EQ(server.pendingApks(), 2u);
+}
+
 TEST(CollectorTest, ConcurrentSubmissionsFromManyWorkers) {
   CollectionServer server;
   constexpr int kThreads = 8;

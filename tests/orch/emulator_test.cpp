@@ -1,5 +1,7 @@
 #include "orch/emulator.hpp"
 
+#include "orch/collector.hpp"
+
 #include <gtest/gtest.h>
 
 #include "util/sha256.hpp"
