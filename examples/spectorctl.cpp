@@ -153,8 +153,12 @@ int cmdAnalyze(const Args& args) {
     return 2;
   }
   orch::ResultDatabase db;
-  const std::size_t loaded = db.loadFromDirectory(inDir);
-  std::printf("loaded %zu artifact bundles from %s\n", loaded, inDir.c_str());
+  const auto load = db.loadFromDirectory(inDir);
+  std::printf("loaded %zu artifact bundles from %s (%zu replaced)\n",
+              load.loaded, inDir.c_str(), load.replaced);
+  for (const auto& failure : load.failures)
+    std::fprintf(stderr, "analyze: skipped corrupt bundle %s: %s\n",
+                 failure.path.c_str(), failure.error.c_str());
 
   const auto truth = loadDomainManifest(inDir);
   const radar::LibraryCorpus corpus = radar::LibraryCorpus::builtin();
@@ -192,7 +196,10 @@ int cmdInspect(const Args& args) {
     return 2;
   }
   orch::ResultDatabase db;
-  db.loadFromDirectory(inDir);
+  const auto load = db.loadFromDirectory(inDir);
+  for (const auto& failure : load.failures)
+    std::fprintf(stderr, "inspect: skipped corrupt bundle %s: %s\n",
+                 failure.path.c_str(), failure.error.c_str());
   std::optional<core::RunArtifacts> found;
   db.forEach([&](const core::RunArtifacts& artifacts) {
     if (!found && artifacts.apkSha256.starts_with(shaPrefix))

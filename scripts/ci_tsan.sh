@@ -24,6 +24,8 @@ TARGETS=(
   dispatcher_test
   collector_test
   study_test
+  recovery_test
+  database_test
 )
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
@@ -32,6 +34,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
-  -R 'Ingest|Dispatcher|Collector|StudyRunner')
+  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database')
 
 echo "TSan lane: OK"

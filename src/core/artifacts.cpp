@@ -9,6 +9,8 @@ constexpr std::uint32_t kMagic = 0x54524153;  // "SART"
 // v2 appends reportsEmitted (the sender-side report count behind the
 // ingest tier's loss accounting); v1 bundles are still readable.
 constexpr std::uint16_t kVersion = 2;
+
+constexpr std::uint32_t kEnvelopeMagic = 0x42415053;  // "SPAB"
 }  // namespace
 
 std::vector<std::uint8_t> RunArtifacts::serialize() const {
@@ -20,17 +22,17 @@ std::vector<std::uint8_t> RunArtifacts::serialize() const {
   w.str(appCategory);
 
   const auto captureBytes = capture.serialize();
-  w.u32(static_cast<std::uint32_t>(captureBytes.size()));
+  w.u32(util::checkedU32(captureBytes.size(), "RunArtifacts: capture"));
   w.raw(captureBytes);
 
-  w.u32(static_cast<std::uint32_t>(reports.size()));
+  w.u32(util::checkedU32(reports.size(), "RunArtifacts: report count"));
   for (const auto& report : reports) {
     const auto datagram = report.encode();
-    w.u32(static_cast<std::uint32_t>(datagram.size()));
+    w.u32(util::checkedU32(datagram.size(), "RunArtifacts: report"));
     w.raw(datagram);
   }
 
-  w.u32(static_cast<std::uint32_t>(methodTraceFile.size()));
+  w.u32(util::checkedU32(methodTraceFile.size(), "RunArtifacts: trace count"));
   for (const auto& entry : methodTraceFile) w.str(entry);
 
   w.u64(coverage.coveredMethods);
@@ -79,6 +81,73 @@ RunArtifacts RunArtifacts::deserialize(std::span<const std::uint8_t> bytes) {
       version >= 2 ? r.u64() : artifacts.reports.size();
   if (!r.atEnd()) throw util::DecodeError("RunArtifacts: trailing bytes");
   return artifacts;
+}
+
+ApkLossAccount ApkLossAccount::fromArtifacts(const RunArtifacts& a) {
+  ApkLossAccount account;
+  account.reportsEmitted = a.reportsEmitted;
+  account.framesDelivered = a.reports.size();
+  account.uniqueDelivered = a.reports.size();
+  account.lost = account.reportsEmitted > account.uniqueDelivered
+                     ? account.reportsEmitted - account.uniqueDelivered
+                     : 0;
+  return account;
+}
+
+std::vector<std::uint8_t> SpabEnvelope::encode(std::uint64_t jobIndex,
+                                               const ApkLossAccount& account,
+                                               const RunArtifacts& artifacts) {
+  util::ByteWriter body;
+  body.u64(jobIndex);
+  body.u64(account.reportsEmitted);
+  body.u64(account.framesDelivered);
+  body.u64(account.uniqueDelivered);
+  body.u64(account.duplicated);
+  body.u64(account.outOfOrder);
+  body.u64(account.lost);
+  const auto payload = artifacts.serialize();
+  body.u64(payload.size());
+  body.raw(payload);
+
+  util::ByteWriter w;
+  w.u32(kEnvelopeMagic);
+  w.u16(kVersion);
+  w.u32(util::crc32(body.data()));
+  w.raw(body.data());
+  return w.take();
+}
+
+SpabEnvelope SpabEnvelope::decode(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.u32() != kEnvelopeMagic)
+    throw util::DecodeError("SpabEnvelope: bad magic");
+  if (r.u16() != kVersion)
+    throw util::DecodeError("SpabEnvelope: unsupported version");
+  const std::uint32_t checksum = r.u32();
+  if (util::crc32(bytes.subspan(4 + 2 + 4)) != checksum)
+    throw util::DecodeError("SpabEnvelope: checksum mismatch");
+
+  SpabEnvelope envelope;
+  envelope.jobIndex = r.u64();
+  envelope.account.reportsEmitted = r.u64();
+  envelope.account.framesDelivered = r.u64();
+  envelope.account.uniqueDelivered = r.u64();
+  envelope.account.duplicated = r.u64();
+  envelope.account.outOfOrder = r.u64();
+  envelope.account.lost = r.u64();
+  const std::uint64_t payloadSize = r.u64();
+  if (payloadSize != r.remaining())
+    throw util::DecodeError("SpabEnvelope: payload length mismatch");
+  envelope.artifacts =
+      RunArtifacts::deserialize(r.view(static_cast<std::size_t>(payloadSize)));
+  return envelope;
+}
+
+bool SpabEnvelope::looksFramed(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) magic |= std::uint32_t{bytes[i]} << (8 * i);
+  return magic == kEnvelopeMagic;
 }
 
 }  // namespace libspector::core

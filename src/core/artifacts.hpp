@@ -33,10 +33,71 @@ struct RunArtifacts {
   std::uint64_t reportsEmitted = 0;
 
   /// Deterministic binary bundle (what a worker uploads to the central
-  /// database and the offline pipeline later reads back).
+  /// database and the offline pipeline later reads back). Throws
+  /// std::length_error if any field overflows its u32 length prefix —
+  /// silent truncation would produce an undecodable bundle.
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   [[nodiscard]] static RunArtifacts deserialize(
       std::span<const std::uint8_t> bytes);
+};
+
+/// Exact per-apk delivery account over the best-effort report channel.
+/// Computed by the ingest tier as a run finalizes and persisted alongside
+/// the bundle, so a crash-recovered study keeps the original loss numbers.
+struct ApkLossAccount {
+  std::uint64_t reportsEmitted = 0;   // sender-side count (reliable path)
+  std::uint64_t framesDelivered = 0;  // frames folded, duplicates included
+  std::uint64_t uniqueDelivered = 0;  // distinct (workerId, sequence)
+  std::uint64_t duplicated = 0;
+  std::uint64_t outOfOrder = 0;
+  std::uint64_t lost = 0;             // emitted - uniqueDelivered
+
+  /// Account for a bundle whose channel history is gone (batch-saved
+  /// databases): whatever survived in `reports` counts as delivered.
+  [[nodiscard]] static ApkLossAccount fromArtifacts(const RunArtifacts& a);
+
+  [[nodiscard]] bool operator==(const ApkLossAccount&) const = default;
+};
+
+/// Crash-safe framing for persisted `.spab` bundles.
+///
+/// The raw RunArtifacts encoding has no integrity protection of its own: a
+/// collector crash mid-write leaves a truncated file, and a flipped bit on
+/// disk can decode into a wrong-but-plausible bundle. The envelope reuses
+/// the ReportFrame checksum discipline for the artifact store:
+///
+///   magic (u32) | version (u16) | crc32 (u32) | body
+///   body = jobIndex (u64) | loss account (6 × u64)
+///        | payloadSize (u64) | payload (RunArtifacts::serialize bytes)
+///
+/// - `jobIndex` is the run's dispatch index, which is what recovery needs
+///   to replay bundles deterministically and re-run only the gaps;
+///   kNoJobIndex marks bundles saved outside a checkpointed study.
+/// - the crc32 covers the whole body, so truncation and bit flips are
+///   rejected (quarantined) instead of mis-attributed.
+struct SpabEnvelope {
+  static constexpr std::uint16_t kVersion = 1;
+  /// jobIndex sentinel for bundles persisted without a dispatch index.
+  static constexpr std::uint64_t kNoJobIndex = ~0ULL;
+
+  std::uint64_t jobIndex = kNoJobIndex;
+  ApkLossAccount account;
+  RunArtifacts artifacts;
+
+  /// Frame one bundle for disk (static so callers can encode without
+  /// copying the artifacts into an envelope first).
+  [[nodiscard]] static std::vector<std::uint8_t> encode(
+      std::uint64_t jobIndex, const ApkLossAccount& account,
+      const RunArtifacts& artifacts);
+
+  /// Validates magic, version, checksum and payload length; throws
+  /// util::DecodeError on any corruption or truncation.
+  [[nodiscard]] static SpabEnvelope decode(std::span<const std::uint8_t> bytes);
+
+  /// True when `bytes` starts with the envelope magic (cheap dispatch
+  /// between framed and legacy raw bundles).
+  [[nodiscard]] static bool looksFramed(
+      std::span<const std::uint8_t> bytes) noexcept;
 };
 
 }  // namespace libspector::core

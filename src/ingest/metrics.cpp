@@ -1,5 +1,6 @@
 #include "ingest/metrics.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 namespace libspector::ingest {
@@ -16,6 +17,9 @@ void appendKv(std::string& out, const char* key, std::uint64_t value,
 
 void appendKv(std::string& out, const char* key, double value,
               bool comma = true) {
+  // %.3f renders NaN/Inf (a zero-sample shard's percentiles) as bare
+  // `nan`/`inf` tokens, which are not valid JSON — guard them to 0.0.
+  if (!std::isfinite(value)) value = 0.0;
   char buf[96];
   std::snprintf(buf, sizeof(buf), "\"%s\": %.3f%s", key, value,
                 comma ? ", " : "");

@@ -5,9 +5,11 @@
 namespace libspector::ingest {
 
 IngestPipeline::IngestPipeline(IngestConfig config, AttributeFn attribute,
-                               core::StudyAccumulator* accumulator)
+                               core::StudyAccumulator* accumulator,
+                               CheckpointFn checkpoint)
     : attribute_(std::move(attribute)),
       accumulator_(accumulator),
+      checkpoint_(std::move(checkpoint)),
       router_(config, [this](RunDelivery&& delivery) {
         onRun(std::move(delivery));
       }) {}
@@ -19,6 +21,12 @@ void IngestPipeline::submitDatagram(std::span<const std::uint8_t> payload) {
 void IngestPipeline::submitRun(std::size_t jobIndex,
                                core::RunArtifacts&& artifacts) {
   router_.submitRun(jobIndex, std::move(artifacts));
+}
+
+void IngestPipeline::replayRun(std::size_t jobIndex,
+                               core::RunArtifacts&& artifacts,
+                               const ApkLossAccount& account) {
+  router_.submitReplay(jobIndex, std::move(artifacts), account);
 }
 
 void IngestPipeline::skip(std::size_t jobIndex) {
@@ -50,6 +58,10 @@ void IngestPipeline::onRun(RunDelivery&& delivery) {
     rolling_.bytesByApp[delivery.artifacts.apkSha256] += appBytes;
     accounts_[delivery.artifacts.apkSha256] = delivery.account;
   }
+
+  // Durable before aggregated: a run that is checkpointed but not yet
+  // folded is replayed on recovery; the reverse order would lose it.
+  if (checkpoint_ && !delivery.replayed) checkpoint_(delivery);
 
   if (accumulator_ != nullptr)
     accumulator_->add(delivery.jobIndex, std::move(delivery.artifacts),

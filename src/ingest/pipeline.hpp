@@ -40,11 +40,20 @@ class IngestPipeline final : public ReportSink {
   using AttributeFn =
       std::function<std::vector<core::FlowRecord>(const core::RunArtifacts&)>;
 
+  /// Incremental checkpoint hook: invoked on the shard consumer thread for
+  /// every freshly finalized run (never for replays), after attribution
+  /// and before the run is folded into the accumulator — durable first, so
+  /// a crash between the two replays the run instead of losing it. The
+  /// callee must be thread-safe; orch::CheckpointWriter is the intended
+  /// implementation.
+  using CheckpointFn = std::function<void(const RunDelivery&)>;
+
   /// `accumulator` (optional) receives every finalized run under its job
   /// index — the deterministic batch view. Rolling aggregates and loss
   /// accounts are always maintained.
   IngestPipeline(IngestConfig config, AttributeFn attribute,
-                 core::StudyAccumulator* accumulator = nullptr);
+                 core::StudyAccumulator* accumulator = nullptr,
+                 CheckpointFn checkpoint = {});
 
   /// Datagram path: forwards to the sharded router.
   void submitDatagram(std::span<const std::uint8_t> payload) override;
@@ -52,6 +61,11 @@ class IngestPipeline final : public ReportSink {
   /// Run-completion path (any thread): routes to the apk's shard, where the
   /// consumer attributes and folds it.
   void submitRun(std::size_t jobIndex, core::RunArtifacts&& artifacts);
+  /// Replay path (crash recovery): re-inject a persisted bundle under its
+  /// original job index and loss account. The shard attributes and folds it
+  /// like a live run but skips report finalization and checkpointing.
+  void replayRun(std::size_t jobIndex, core::RunArtifacts&& artifacts,
+                 const ApkLossAccount& account);
   /// Release a job index that will never arrive (failed job).
   void skip(std::size_t jobIndex);
 
@@ -71,6 +85,7 @@ class IngestPipeline final : public ReportSink {
 
   AttributeFn attribute_;
   core::StudyAccumulator* accumulator_;
+  CheckpointFn checkpoint_;
   mutable std::mutex mutex_;
   RollingTotals rolling_;
   std::unordered_map<std::string, ApkLossAccount> accounts_;

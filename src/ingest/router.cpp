@@ -102,6 +102,17 @@ void ShardedIngest::submitRun(std::size_t jobIndex,
   enqueue(*shards_[shard], std::move(item), /*droppable=*/false);
 }
 
+void ShardedIngest::submitReplay(std::size_t jobIndex,
+                                 core::RunArtifacts&& artifacts,
+                                 const ApkLossAccount& account) {
+  const std::size_t shard = shardOf(artifacts.apkSha256);
+  Item item;
+  item.run = std::make_unique<RunTask>(
+      RunTask{jobIndex, std::move(artifacts), /*replay=*/true, account});
+  item.enqueuedAt = Clock::now();
+  enqueue(*shards_[shard], std::move(item), /*droppable=*/false);
+}
+
 void ShardedIngest::consumeLoop(std::stop_token stop, Shard& shard) {
   while (true) {
     Item item;
@@ -183,6 +194,24 @@ void ShardedIngest::finalizeRun(Shard& shard, RunTask&& task) {
   RunDelivery delivery;
   delivery.jobIndex = task.jobIndex;
   delivery.artifacts = std::move(task.artifacts);
+
+  if (task.replay) {
+    // The bundle already went through finalization once; its reports are
+    // the delivered set and its persisted account is authoritative. Fold
+    // the original numbers into the counters so a recovered study's
+    // delivery/loss totals match the uninterrupted run exactly.
+    delivery.account = task.account;
+    delivery.replayed = true;
+    {
+      const std::scoped_lock lock(shard.mutex);
+      ++shard.counters.runsCompleted;
+      shard.counters.reportsDelivered += delivery.account.uniqueDelivered;
+      shard.counters.reportsLost += delivery.account.lost;
+    }
+    if (onRun_) onRun_(std::move(delivery));
+    return;
+  }
+
   delivery.account.reportsEmitted = delivery.artifacts.reportsEmitted;
 
   bool channelLive = delivery.artifacts.reportsEmitted > 0;

@@ -60,15 +60,9 @@ struct IngestConfig {
   std::size_t latencyWindow = 8192;
 };
 
-/// Exact per-apk delivery account over the best-effort channel.
-struct ApkLossAccount {
-  std::uint64_t reportsEmitted = 0;   // sender-side count (reliable path)
-  std::uint64_t framesDelivered = 0;  // frames folded, duplicates included
-  std::uint64_t uniqueDelivered = 0;  // distinct (workerId, sequence)
-  std::uint64_t duplicated = 0;
-  std::uint64_t outOfOrder = 0;
-  std::uint64_t lost = 0;             // emitted - uniqueDelivered
-};
+/// Exact per-apk delivery account over the best-effort channel (lives in
+/// core so persisted `.spab` envelopes can carry it across a crash).
+using ApkLossAccount = core::ApkLossAccount;
 
 /// A finalized run: its artifacts (reports replaced by the delivered,
 /// deduplicated, sequence-ordered set when the report channel was live)
@@ -77,6 +71,9 @@ struct RunDelivery {
   std::size_t jobIndex = 0;
   core::RunArtifacts artifacts;
   ApkLossAccount account;
+  /// True when this run was re-injected from a persisted bundle rather
+  /// than finalized off the live channel (recovery must not re-checkpoint).
+  bool replayed = false;
 };
 
 class ShardedIngest final : public ReportSink {
@@ -103,6 +100,14 @@ class ShardedIngest final : public ReportSink {
   /// hands the RunDelivery to the run callback.
   void submitRun(std::size_t jobIndex, core::RunArtifacts&& artifacts);
 
+  /// Re-inject a recovered run (any thread): the bundle's reports are
+  /// already the finalized delivered set and `account` is its persisted
+  /// loss account, so the shard skips report folding and hands the run —
+  /// flagged replayed — straight to the run callback, preserving the
+  /// original delivery/loss numbers in the shard counters.
+  void submitReplay(std::size_t jobIndex, core::RunArtifacts&& artifacts,
+                    const ApkLossAccount& account);
+
   /// Block until every queued item has been consumed and all run callbacks
   /// have returned. Call after producers quiesce, before reading results.
   void drain();
@@ -122,6 +127,8 @@ class ShardedIngest final : public ReportSink {
   struct RunTask {
     std::size_t jobIndex = 0;
     core::RunArtifacts artifacts;
+    bool replay = false;
+    ApkLossAccount account;  // only meaningful when replay is set
   };
 
   struct Item {

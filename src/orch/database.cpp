@@ -1,13 +1,20 @@
 #include "orch/database.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
+#include "orch/recovery.hpp"
+#include "util/bytes.hpp"
+
 namespace libspector::orch {
 
-void ResultDatabase::store(core::RunArtifacts artifacts) {
+bool ResultDatabase::store(core::RunArtifacts artifacts) {
+  // Copy the key first: insert_or_assign's argument evaluation order is
+  // unspecified, and the move would race the key read.
+  std::string sha = artifacts.apkSha256;
   const std::scoped_lock lock(mutex_);
-  bySha_[artifacts.apkSha256] = std::move(artifacts);
+  return bySha_.insert_or_assign(std::move(sha), std::move(artifacts)).second;
 }
 
 std::optional<core::RunArtifacts> ResultDatabase::fetch(
@@ -29,39 +36,70 @@ void ResultDatabase::forEach(
   for (const auto& [sha, artifacts] : bySha_) fn(artifacts);
 }
 
-std::size_t ResultDatabase::saveToDirectory(const std::string& directory) const {
+std::size_t ResultDatabase::saveToDirectory(
+    const std::string& directory) const {
   namespace fs = std::filesystem;
   fs::create_directories(directory);
-  const std::scoped_lock lock(mutex_);
-  std::size_t written = 0;
-  for (const auto& [sha, artifacts] : bySha_) {
-    const auto bytes = artifacts.serialize();
-    const fs::path path = fs::path(directory) / (sha + ".spab");
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("ResultDatabase: cannot write " + path.string());
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    if (!out) throw std::runtime_error("ResultDatabase: short write " + path.string());
-    ++written;
+
+  // Snapshot under the lock, write outside it: disk latency must not stall
+  // workers uploading into the store.
+  std::vector<core::RunArtifacts> snapshot;
+  {
+    const std::scoped_lock lock(mutex_);
+    snapshot.reserve(bySha_.size());
+    for (const auto& [sha, artifacts] : bySha_) snapshot.push_back(artifacts);
   }
-  return written;
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const core::RunArtifacts& a, const core::RunArtifacts& b) {
+              return a.apkSha256 < b.apkSha256;
+            });
+
+  for (const auto& artifacts : snapshot) {
+    // Batch saves carry no job index; the loss account still rides along
+    // so a later recovery scan can surface it.
+    const auto bytes = core::SpabEnvelope::encode(
+        core::SpabEnvelope::kNoJobIndex,
+        core::ApkLossAccount::fromArtifacts(artifacts), artifacts);
+    writeSpabAtomic(directory, artifacts.apkSha256, bytes);
+  }
+  return snapshot.size();
 }
 
-std::size_t ResultDatabase::loadFromDirectory(const std::string& directory) {
+ResultDatabase::LoadReport ResultDatabase::loadFromDirectory(
+    const std::string& directory) {
   namespace fs = std::filesystem;
-  std::size_t loaded = 0;
+  LoadReport report;
+
+  std::vector<fs::path> paths;
   for (const auto& entry : fs::directory_iterator(directory)) {
-    if (!entry.is_regular_file() || entry.path().extension() != ".spab") continue;
-    std::ifstream in(entry.path(), std::ios::binary);
-    if (!in)
-      throw std::runtime_error("ResultDatabase: cannot read " +
-                               entry.path().string());
-    std::vector<std::uint8_t> bytes(
-        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-    store(core::RunArtifacts::deserialize(bytes));
-    ++loaded;
+    if (!entry.is_regular_file() || entry.path().extension() != ".spab")
+      continue;
+    paths.push_back(entry.path());
   }
-  return loaded;
+  std::sort(paths.begin(), paths.end());
+
+  for (const auto& path : paths) {
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (!in)
+        throw std::runtime_error("ResultDatabase: cannot read " +
+                                 path.string());
+      const std::vector<std::uint8_t> bytes(
+          (std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>());
+      core::RunArtifacts artifacts =
+          core::SpabEnvelope::looksFramed(bytes)
+              ? core::SpabEnvelope::decode(bytes).artifacts
+              : core::RunArtifacts::deserialize(bytes);
+      if (store(std::move(artifacts)))
+        ++report.loaded;
+      else
+        ++report.replaced;
+    } catch (const std::exception& error) {
+      report.failures.push_back({path.string(), error.what()});
+    }
+  }
+  return report;
 }
 
 }  // namespace libspector::orch

@@ -15,8 +15,22 @@ namespace libspector::orch {
 
 class ResultDatabase {
  public:
+  /// Outcome of loadFromDirectory. Corruption is accounted per file, never
+  /// fatal: one bad bundle must not abandon the rest of a study's data.
+  struct LoadReport {
+    std::size_t loaded = 0;    // bundles added under a new sha
+    std::size_t replaced = 0;  // bundles that overwrote an existing sha
+
+    struct Failure {
+      std::string path;   // file that failed to load
+      std::string error;  // decode/I-O error text
+    };
+    std::vector<Failure> failures;
+  };
+
   /// Store one app's artifacts (keyed by apk sha256; re-upload replaces).
-  void store(core::RunArtifacts artifacts);
+  /// Returns true when the sha was new, false when it replaced an entry.
+  bool store(core::RunArtifacts artifacts);
 
   [[nodiscard]] std::optional<core::RunArtifacts> fetch(
       const std::string& apkSha256) const;
@@ -28,14 +42,18 @@ class ResultDatabase {
   void forEach(const std::function<void(const core::RunArtifacts&)>& fn) const;
 
   /// Persist every bundle to `directory` (created if missing), one
-  /// `<sha256>.spab` file per app. Returns the number of files written.
+  /// crc32-framed `<sha256>.spab` file per app, each written to a temp
+  /// file and atomically renamed — a crash mid-save leaves only complete
+  /// bundles plus at most one torn `.tmp`. The map is snapshotted under
+  /// the lock and all disk I/O happens outside it, so concurrent store()
+  /// calls never block on the filesystem. Returns the number written.
   std::size_t saveToDirectory(const std::string& directory) const;
 
-  /// Load every `.spab` bundle from `directory` into the database
-  /// (replacing same-sha entries). Returns the number of bundles loaded;
-  /// throws std::runtime_error on I/O failure or util::DecodeError on a
-  /// corrupt bundle.
-  std::size_t loadFromDirectory(const std::string& directory);
+  /// Load every `.spab` bundle from `directory` (sorted path order, so
+  /// loads are deterministic) into the database. Understands both the
+  /// crc32-framed envelope and the legacy raw-artifacts format. Corrupt
+  /// or unreadable files are recorded in the report instead of thrown.
+  LoadReport loadFromDirectory(const std::string& directory);
 
  private:
   mutable std::mutex mutex_;

@@ -76,7 +76,7 @@ void Dispatcher::runConcurrent(const JobSource& source,
         const std::scoped_lock lock(sourceMutex);
         job = source();
         if (!job) return;
-        index = jobIndex.fetch_add(1);
+        index = job->index ? *job->index : jobIndex.fetch_add(1);
       }
 
       EmulatorConfig emulatorConfig = config_.emulator;

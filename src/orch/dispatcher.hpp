@@ -46,6 +46,11 @@ class Dispatcher {
   struct Job {
     dex::ApkFile apk;
     rt::AppProgram program;
+    /// When set, the job runs under this index instead of the next
+    /// pull-order one. Emulator seeds derive from the index, so resumed
+    /// studies use this to re-run gap jobs under their original
+    /// identities and reproduce the uninterrupted run byte for byte.
+    std::optional<std::size_t> index;
   };
   /// Returns the next job or std::nullopt when the corpus is exhausted.
   using JobSource = std::function<std::optional<Job>()>;

@@ -1,0 +1,234 @@
+#include "orch/recovery.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace libspector::orch {
+
+namespace fs = std::filesystem;
+
+void writeSpabAtomic(const fs::path& directory, const std::string& apkSha256,
+                     std::span<const std::uint8_t> envelopeBytes,
+                     const KillProbe& probe) {
+  const fs::path finalPath = directory / (apkSha256 + ".spab");
+  const fs::path tmpPath = directory / (apkSha256 + ".spab.tmp");
+  {
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("recovery: cannot write " + tmpPath.string());
+    // Two half-writes with a kill point between them: a crash here leaves
+    // a torn temp file on disk, exactly like a real mid-write death.
+    const std::size_t half = envelopeBytes.size() / 2;
+    out.write(reinterpret_cast<const char*>(envelopeBytes.data()),
+              static_cast<std::streamsize>(half));
+    out.flush();
+    if (probe) probe("tmp-partial");
+    out.write(reinterpret_cast<const char*>(envelopeBytes.data() + half),
+              static_cast<std::streamsize>(envelopeBytes.size() - half));
+    if (!out)
+      throw std::runtime_error("recovery: short write " + tmpPath.string());
+  }
+  if (probe) probe("tmp-complete");
+  // Atomic on POSIX: readers see either the old bundle or the new one,
+  // never a prefix.
+  fs::rename(tmpPath, finalPath);
+  if (probe) probe("bundle-renamed");
+}
+
+CheckpointWriter::CheckpointWriter(std::string directory, KillProbe probe)
+    : directory_(std::move(directory)), probe_(std::move(probe)) {
+  fs::create_directories(directory_);
+  // Repair a torn manifest tail: without the trailing newline, the next
+  // append would merge into the torn line and corrupt a second entry.
+  const fs::path manifestPath = fs::path(directory_) / kManifestName;
+  std::error_code ec;
+  const auto size = fs::file_size(manifestPath, ec);
+  if (!ec && size > 0) {
+    std::ifstream in(manifestPath, std::ios::binary);
+    in.seekg(static_cast<std::streamoff>(size) - 1);
+    char last = '\n';
+    in.get(last);
+    if (last != '\n') {
+      std::ofstream out(manifestPath, std::ios::binary | std::ios::app);
+      out << '\n';
+    }
+  }
+}
+
+void CheckpointWriter::probe(std::string_view point) const {
+  if (probe_) probe_(point);
+}
+
+void CheckpointWriter::checkpoint(std::uint64_t jobIndex,
+                                  const core::ApkLossAccount& account,
+                                  const core::RunArtifacts& artifacts) {
+  probe("begin");
+  const auto bytes = core::SpabEnvelope::encode(jobIndex, account, artifacts);
+  writeSpabAtomic(directory_, artifacts.apkSha256, bytes, probe_);
+  {
+    const std::scoped_lock lock(manifestMutex_);
+    std::ofstream manifest(fs::path(directory_) / kManifestName,
+                           std::ios::binary | std::ios::app);
+    if (!manifest)
+      throw std::runtime_error("recovery: cannot append manifest in " +
+                               directory_);
+    // The line lands in two flushes with a kill point between them; the
+    // trailing "ok" token is the completeness marker a torn line lacks.
+    manifest << jobIndex << ' ' << artifacts.apkSha256 << ' ';
+    manifest.flush();
+    probe("manifest-partial");
+    manifest << "ok\n";
+  }
+  probe("done");
+}
+
+namespace {
+
+struct ManifestEntry {
+  std::uint64_t jobIndex = 0;
+  std::string sha;
+};
+
+/// Parse the manifest, tolerating a torn tail: a well-formed line is
+/// `<jobIndex> <sha> ok` and newline-terminated; anything else counts as
+/// torn (the bundle files stay authoritative either way).
+void parseManifest(const fs::path& path, std::vector<ManifestEntry>& entries,
+                   std::size_t& torn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t newline = content.find('\n', start);
+    const bool terminated = newline != std::string::npos;
+    const std::string line = content.substr(
+        start, (terminated ? newline : content.size()) - start);
+    start = terminated ? newline + 1 : content.size();
+    if (line.empty()) continue;
+
+    ManifestEntry entry;
+    std::string marker, extra;
+    std::istringstream fields(line);
+    if (terminated && (fields >> entry.jobIndex >> entry.sha >> marker) &&
+        marker == "ok" && !(fields >> extra)) {
+      entries.push_back(std::move(entry));
+    } else {
+      ++torn;
+    }
+  }
+}
+
+}  // namespace
+
+RecoveryReport StudyRecovery::scan(const std::string& directory) {
+  RecoveryReport report;
+  const fs::path root(directory);
+  if (!fs::exists(root)) return report;
+
+  const fs::path quarantineDir = root / kQuarantineDir;
+  std::vector<fs::path> tmpFiles;
+  std::vector<fs::path> bundles;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto extension = entry.path().extension();
+    if (extension == ".tmp")
+      tmpFiles.push_back(entry.path());
+    else if (extension == ".spab")
+      bundles.push_back(entry.path());
+  }
+  // Deterministic scan order → reproducible recovery logs and reports.
+  std::sort(tmpFiles.begin(), tmpFiles.end());
+  std::sort(bundles.begin(), bundles.end());
+
+  // A .tmp is by construction an incomplete write: the rename never
+  // happened, so the run it belonged to was not checkpointed. Delete it.
+  for (const auto& path : tmpFiles) {
+    std::error_code ec;
+    fs::remove(path, ec);
+    if (!ec) ++report.tmpFilesRemoved;
+  }
+
+  const auto quarantine = [&](const fs::path& path, const std::string& error) {
+    std::error_code ec;
+    fs::create_directories(quarantineDir, ec);
+    fs::rename(path, quarantineDir / path.filename(), ec);
+    report.quarantined.push_back({path.filename().string(), error});
+    util::logWarn("recovery: quarantined %s: %s",
+                  path.filename().string().c_str(), error.c_str());
+  };
+
+  std::unordered_set<std::string> validShas;
+  std::unordered_set<std::size_t> seenIndices;
+  for (const auto& path : bundles) {
+    std::vector<std::uint8_t> bytes;
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open");
+      bytes.assign((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+    } catch (const std::exception& error) {
+      quarantine(path, error.what());
+      continue;
+    }
+
+    if (!core::SpabEnvelope::looksFramed(bytes)) {
+      // A legacy (pre-envelope) bundle that still decodes is valid data,
+      // just not replayable: it carries no job index. Leave it in place.
+      try {
+        (void)core::RunArtifacts::deserialize(bytes);
+        ++report.unindexedBundles;
+      } catch (const util::DecodeError& error) {
+        quarantine(path, error.what());
+      }
+      continue;
+    }
+
+    core::SpabEnvelope envelope;
+    try {
+      envelope = core::SpabEnvelope::decode(bytes);
+    } catch (const util::DecodeError& error) {
+      quarantine(path, error.what());
+      continue;
+    }
+    if (envelope.jobIndex == core::SpabEnvelope::kNoJobIndex) {
+      ++report.unindexedBundles;
+      continue;
+    }
+    const auto jobIndex = static_cast<std::size_t>(envelope.jobIndex);
+    if (!seenIndices.insert(jobIndex).second) {
+      quarantine(path, "duplicate job index " + std::to_string(jobIndex));
+      continue;
+    }
+    validShas.insert(envelope.artifacts.apkSha256);
+    report.runs.push_back({jobIndex, envelope.account,
+                           std::move(envelope.artifacts)});
+  }
+  std::sort(report.runs.begin(), report.runs.end(),
+            [](const RecoveredRun& a, const RecoveredRun& b) {
+              return a.jobIndex < b.jobIndex;
+            });
+
+  std::vector<ManifestEntry> entries;
+  parseManifest(root / CheckpointWriter::kManifestName, entries,
+                report.manifestTornLines);
+  report.manifestEntries = entries.size();
+  for (const auto& entry : entries)
+    if (!validShas.contains(entry.sha)) ++report.manifestMissingBundles;
+
+  util::logInfo(
+      "recovery: %s -> %zu runs replayable, %zu quarantined, %zu torn tmp "
+      "removed, manifest %zu entries (%zu torn, %zu missing bundles)",
+      directory.c_str(), report.runs.size(), report.quarantined.size(),
+      report.tmpFilesRemoved, report.manifestEntries,
+      report.manifestTornLines, report.manifestMissingBundles);
+  return report;
+}
+
+}  // namespace libspector::orch

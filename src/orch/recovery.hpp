@@ -1,0 +1,138 @@
+// Crash-safe checkpointing and study recovery (ROADMAP follow-on to the
+// streaming ingest tier).
+//
+// The paper's pipeline uploads every run's traces + pcap to a central
+// database before offline attribution; at app-store scale the collector
+// *will* die mid-study, and the artifact store must make that survivable:
+//
+//  - CheckpointWriter persists each run the moment its shard finalizes it:
+//    envelope-framed (crc32) bundle, written to a temp file and atomically
+//    renamed, then recorded in an append-only manifest. Every step of the
+//    protocol exposes a kill point so tests can sweep simulated crashes
+//    over every persistence call site.
+//  - StudyRecovery scans a checkpoint directory after a crash: torn temp
+//    files are deleted, corrupt or truncated bundles are quarantined with
+//    per-file error accounting (never fatal), the manifest's torn tail is
+//    tolerated, and the surviving runs come back sorted by job index,
+//    ready to replay through ingest::IngestPipeline.
+//
+// orch::resumeStudy (study.hpp) ties the two together: replay survivors,
+// re-run the gaps under their original job indices, and produce a
+// StudyOutput byte-identical to the uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/artifacts.hpp"
+
+namespace libspector::orch {
+
+/// Thrown by a crash-injection probe to abandon the persistence protocol
+/// mid-flight. Unwinding here leaves the directory exactly as a process
+/// death at that point would (torn temp files, renamed-but-unmanifested
+/// bundles, torn manifest lines); tests catch it where a real deployment
+/// would restart the collector.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Crash-injection probe: invoked with a kill-point label at every step of
+/// the persistence protocol. Production passes none; tests throw
+/// SimulatedCrash from it to model a collector dying at that exact point.
+using KillProbe = std::function<void(std::string_view point)>;
+
+/// Every kill point of one checkpoint() call, in protocol order — the
+/// crash-injection sweep enumerates these.
+inline constexpr std::string_view kCheckpointKillPoints[] = {
+    "begin",            // nothing written yet
+    "tmp-partial",      // temp file torn mid-write
+    "tmp-complete",     // temp file complete, not yet renamed
+    "bundle-renamed",   // bundle durable, manifest not yet appended
+    "manifest-partial", // manifest line torn mid-append
+    "done",             // bundle + manifest entry both durable
+};
+
+/// Atomically persist one envelope-framed bundle as `<sha>.spab` in
+/// `directory`: write to `<sha>.spab.tmp`, then rename over the final name
+/// (atomic on POSIX). A crash mid-write leaves only a torn `.tmp` that
+/// recovery deletes; readers never observe a partial bundle.
+void writeSpabAtomic(const std::filesystem::path& directory,
+                     const std::string& apkSha256,
+                     std::span<const std::uint8_t> envelopeBytes,
+                     const KillProbe& probe = {});
+
+/// Incremental checkpointer for a running study. Thread-safe: shards call
+/// checkpoint() concurrently as runs finalize; bundle writes are
+/// per-sha-file and the manifest append is serialized.
+class CheckpointWriter {
+ public:
+  static constexpr std::string_view kManifestName = "manifest.spmf";
+
+  /// Creates `directory` if missing and repairs a torn manifest tail left
+  /// by a previous crash (so appends never merge into a torn line).
+  explicit CheckpointWriter(std::string directory, KillProbe probe = {});
+
+  /// Persist one finalized run: atomic bundle write, then a
+  /// `<jobIndex> <sha> ok` manifest line.
+  void checkpoint(std::uint64_t jobIndex, const core::ApkLossAccount& account,
+                  const core::RunArtifacts& artifacts);
+
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return directory_;
+  }
+
+ private:
+  void probe(std::string_view point) const;
+
+  std::string directory_;
+  KillProbe probe_;
+  std::mutex manifestMutex_;
+};
+
+/// One bundle that survived the crash, ready to replay.
+struct RecoveredRun {
+  std::size_t jobIndex = 0;
+  core::ApkLossAccount account;
+  core::RunArtifacts artifacts;
+};
+
+struct RecoveryReport {
+  /// Valid checkpointed bundles, sorted by job index (replay order).
+  std::vector<RecoveredRun> runs;
+
+  struct Quarantined {
+    std::string file;   // filename within the checkpoint directory
+    std::string error;  // why it was rejected
+  };
+  /// Corrupt/truncated bundles, moved to <dir>/quarantine/ — never fatal.
+  std::vector<Quarantined> quarantined;
+
+  std::size_t tmpFilesRemoved = 0;   // torn mid-write temp files deleted
+  std::size_t unindexedBundles = 0;  // valid but not replayable (no job
+                                     // index: batch saves, legacy format)
+  std::size_t manifestEntries = 0;       // well-formed manifest lines
+  std::size_t manifestTornLines = 0;     // torn/malformed lines tolerated
+  std::size_t manifestMissingBundles = 0;  // listed sha with no valid bundle
+};
+
+/// Post-crash scan of a checkpoint directory. Quarantines instead of
+/// throwing: a single corrupt bundle must never abandon the recovery the
+/// way ResultDatabase::loadFromDirectory once did. Deterministic: files
+/// are visited in sorted path order.
+class StudyRecovery {
+ public:
+  static constexpr std::string_view kQuarantineDir = "quarantine";
+
+  [[nodiscard]] static RecoveryReport scan(const std::string& directory);
+};
+
+}  // namespace libspector::orch

@@ -4,26 +4,29 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/attribution.hpp"
 #include "core/export.hpp"
-#include "orch/database.hpp"
 #include "radar/corpus.hpp"
 #include "util/log.hpp"
 #include "vtsim/categorizer.hpp"
 
 namespace libspector::orch {
 
-StudyOutput runStudy(const StudyConfig& config) {
-  const store::AppStoreGenerator generator(config.store);
-  return runStudy(generator, config.dispatcher, config.artifactsDirectory,
-                  config.ingest);
-}
+namespace {
 
-StudyOutput runStudy(const store::AppStoreGenerator& generator,
-                     const DispatcherConfig& dispatcherConfig,
-                     const std::string& artifactsDirectory,
-                     const ingest::IngestConfig& ingestConfig) {
+/// Shared engine behind runStudy and resumeStudy. `replays` (may be null)
+/// are checkpointed runs re-injected through ingest instead of re-running
+/// their emulators; the dispatcher then covers only the gap indices, under
+/// their original identities, so the output matches an uninterrupted run
+/// byte for byte.
+StudyOutput runPipeline(const store::AppStoreGenerator& generator,
+                        const DispatcherConfig& dispatcherConfig,
+                        const std::string& artifactsDirectory,
+                        const ingest::IngestConfig& ingestConfig,
+                        std::vector<RecoveredRun>* replays) {
   const auto start = std::chrono::steady_clock::now();
 
   static const radar::LibraryCorpus kCorpus = radar::LibraryCorpus::builtin();
@@ -35,21 +38,31 @@ StudyOutput runStudy(const store::AppStoreGenerator& generator,
 
   StudyOutput output;
   const bool persist = !artifactsDirectory.empty();
-  ResultDatabase database;
+  const std::size_t appCount = generator.appCount();
 
   // Shard consumers attribute runs as they complete (the heavy offline
   // stage) and only the aggregation is funneled — through the accumulator,
   // which restores dispatch order so the study is byte-identical to a
-  // single-worker, single-shard run. Persisted bundles flow through the
-  // same ordered fold.
-  core::StudyAccumulator accumulator(
-      output.study, persist ? core::StudyAccumulator::FoldHook(
-                                  [&database](core::RunArtifacts&& artifacts) {
-                                    database.store(std::move(artifacts));
-                                  })
-                            : core::StudyAccumulator::FoldHook{});
+  // single-worker, single-shard run.
+  core::StudyAccumulator accumulator(output.study);
+
+  // Replayed indices are already durable; the dispatcher must skip them.
+  std::vector<bool> done(appCount, false);
+  if (replays != nullptr) {
+    for (const auto& run : *replays) {
+      if (run.jobIndex >= appCount || done[run.jobIndex]) continue;
+      done[run.jobIndex] = true;
+      ++output.appsReplayed;
+    }
+  }
 
   {
+    // Each run becomes durable the moment its shard finalizes it — before
+    // it is folded into the aggregate — so a crash at any point loses at
+    // most work that recovery will re-run, never work it can't see.
+    std::optional<CheckpointWriter> checkpointer;
+    if (persist) checkpointer.emplace(artifactsDirectory);
+
     // Supervisor datagrams stream framed into the pipeline while the run is
     // live; the run-completion submit routes to the same shard as the
     // datagrams (both hash the apk checksum), so each shard finalizes,
@@ -59,15 +72,34 @@ StudyOutput runStudy(const store::AppStoreGenerator& generator,
         [&attributor](const core::RunArtifacts& artifacts) {
           return attributor.attribute(artifacts);
         },
-        &accumulator);
+        &accumulator,
+        persist ? ingest::IngestPipeline::CheckpointFn(
+                      [&checkpointer](const ingest::RunDelivery& delivery) {
+                        checkpointer->checkpoint(delivery.jobIndex,
+                                                 delivery.account,
+                                                 delivery.artifacts);
+                      })
+                : ingest::IngestPipeline::CheckpointFn{});
+
+    if (replays != nullptr) {
+      for (auto& run : *replays) {
+        if (run.jobIndex >= appCount) continue;
+        pipeline.replayRun(run.jobIndex, std::move(run.artifacts),
+                           run.account);
+      }
+      replays->clear();
+    }
 
     Dispatcher dispatcher(generator.farm(), &pipeline, dispatcherConfig);
     std::size_t next = 0;
     dispatcher.runConcurrent(
         [&]() -> std::optional<Dispatcher::Job> {
-          if (next >= generator.appCount()) return std::nullopt;
-          auto job = generator.makeJob(next++);
-          return Dispatcher::Job{std::move(job.apk), std::move(job.program)};
+          while (next < appCount && done[next]) ++next;
+          if (next >= appCount) return std::nullopt;
+          const std::size_t index = next++;
+          auto job = generator.makeJob(index);
+          return Dispatcher::Job{std::move(job.apk), std::move(job.program),
+                                 index};
         },
         [&](std::size_t index, core::RunArtifacts&& artifacts) {
           pipeline.submitRun(index, std::move(artifacts));
@@ -78,13 +110,12 @@ StudyOutput runStudy(const store::AppStoreGenerator& generator,
     pipeline.drain();
     accumulator.finish();
     output.ingestMetrics = pipeline.metrics();
-    output.appsProcessed = dispatcher.appsProcessed();
+    output.appsProcessed = dispatcher.appsProcessed() + output.appsReplayed;
     output.appsFailed = dispatcher.failures().size();
     output.dispatcherStats = dispatcher.stats();
   }
 
   if (persist) {
-    database.saveToDirectory(artifactsDirectory);
     std::ofstream manifest(std::filesystem::path(artifactsDirectory) /
                            "domains.csv");
     manifest << "domain,truth\n";
@@ -99,16 +130,54 @@ StudyOutput runStudy(const store::AppStoreGenerator& generator,
   const auto& stats = output.dispatcherStats;
   const auto& ingest = output.ingestMetrics;
   util::logInfo(
-      "study: %zu apps in %.2fs (%.1f jobs/s; job mean %.2f ms max %.2f ms; "
-      "sink mean %.2f ms max %.2f ms; %zu ingest shards, %llu datagrams, "
-      "%llu lost, %llu dup, fold p99 %.2f ms)",
-      output.appsProcessed, output.wallSeconds, stats.jobsPerSecond(),
-      stats.jobMsMean(), stats.jobMsMax, stats.sinkMsMean(), stats.sinkMsMax,
-      ingest.shards,
+      "study: %zu apps (%zu replayed) in %.2fs (%.1f jobs/s; job mean "
+      "%.2f ms max %.2f ms; sink mean %.2f ms max %.2f ms; %zu ingest "
+      "shards, %llu datagrams, %llu lost, %llu dup, fold p99 %.2f ms)",
+      output.appsProcessed, output.appsReplayed, output.wallSeconds,
+      stats.jobsPerSecond(), stats.jobMsMean(), stats.jobMsMax,
+      stats.sinkMsMean(), stats.sinkMsMax, ingest.shards,
       static_cast<unsigned long long>(ingest.datagramsReceived),
       static_cast<unsigned long long>(ingest.reportsLost),
       static_cast<unsigned long long>(ingest.duplicated), ingest.latencyP99Ms);
   return output;
+}
+
+}  // namespace
+
+StudyOutput runStudy(const StudyConfig& config) {
+  const store::AppStoreGenerator generator(config.store);
+  return runStudy(generator, config.dispatcher, config.artifactsDirectory,
+                  config.ingest);
+}
+
+StudyOutput runStudy(const store::AppStoreGenerator& generator,
+                     const DispatcherConfig& dispatcherConfig,
+                     const std::string& artifactsDirectory,
+                     const ingest::IngestConfig& ingestConfig) {
+  return runPipeline(generator, dispatcherConfig, artifactsDirectory,
+                     ingestConfig, nullptr);
+}
+
+ResumeOutput resumeStudy(const StudyConfig& config) {
+  const store::AppStoreGenerator generator(config.store);
+  return resumeStudy(generator, config.dispatcher, config.artifactsDirectory,
+                     config.ingest);
+}
+
+ResumeOutput resumeStudy(const store::AppStoreGenerator& generator,
+                         const DispatcherConfig& dispatcherConfig,
+                         const std::string& artifactsDirectory,
+                         const ingest::IngestConfig& ingestConfig) {
+  if (artifactsDirectory.empty())
+    throw std::invalid_argument(
+        "resumeStudy: artifactsDirectory must name the checkpoint directory "
+        "of the crashed run");
+
+  ResumeOutput resume;
+  resume.recovery = StudyRecovery::scan(artifactsDirectory);
+  resume.output = runPipeline(generator, dispatcherConfig, artifactsDirectory,
+                              ingestConfig, &resume.recovery.runs);
+  return resume;
 }
 
 }  // namespace libspector::orch

@@ -14,6 +14,13 @@
 // completes, and an order-restoring accumulator keeps the study output
 // byte-identical to a single-worker batch run at any shard count.
 //
+// When artifactsDirectory is set, every run is checkpointed the moment its
+// shard finalizes it (crc32-framed bundle, atomic rename, manifest entry —
+// see orch/recovery.hpp), so a collector that dies mid-study can
+// resumeStudy(): survivors replay through ingest without re-running their
+// emulators, the gaps re-run under their original job indices, and the
+// output is byte-identical to the uninterrupted run.
+//
 // Downstream users who bring their own corpus can use the lower-level
 // pieces directly (Dispatcher + IngestPipeline + StudyAggregator).
 #pragma once
@@ -23,6 +30,7 @@
 #include "core/analysis.hpp"
 #include "ingest/pipeline.hpp"
 #include "orch/dispatcher.hpp"
+#include "orch/recovery.hpp"
 #include "store/generator.hpp"
 
 namespace libspector::orch {
@@ -35,8 +43,10 @@ struct StudyConfig {
   /// one shard per hardware thread; any shard count yields byte-identical
   /// study output (the accumulator restores dispatch order).
   ingest::IngestConfig ingest{.shards = 0};
-  /// When non-empty, every app's artifact bundle (.spab) plus the
-  /// domains.csv world manifest are persisted here for later re-analysis.
+  /// When non-empty, every run is incrementally checkpointed here as its
+  /// shard finalizes it (one crc32-framed .spab per app plus a manifest),
+  /// and the domains.csv world manifest is written at the end. The same
+  /// directory is what resumeStudy() recovers from after a crash.
   std::string artifactsDirectory;
 };
 
@@ -44,6 +54,9 @@ struct StudyOutput {
   core::StudyAggregator study;
   std::size_t appsProcessed = 0;
   std::size_t appsFailed = 0;
+  /// Runs restored from checkpointed bundles instead of re-run emulators
+  /// (always 0 for runStudy; counted into appsProcessed).
+  std::size_t appsReplayed = 0;
   double wallSeconds = 0.0;
   /// Fleet throughput counters (jobs/s, per-job wall time, sink time) for
   /// the run — the observability behind the parallel-attribution numbers.
@@ -62,5 +75,27 @@ struct StudyOutput {
                                    const std::string& artifactsDirectory = {},
                                    const ingest::IngestConfig& ingestConfig = {
                                        .shards = 0});
+
+struct ResumeOutput {
+  StudyOutput output;
+  /// What the recovery scan found (runs are consumed by the resume and
+  /// cleared here; quarantine/manifest accounting is preserved).
+  RecoveryReport recovery;
+};
+
+/// Resume a crashed study from `config.artifactsDirectory` (must be
+/// non-empty): scan the checkpoint directory, quarantine corrupt bundles,
+/// replay survivors through ingest in job-index order, re-run the
+/// remaining jobs under their original indices, and produce a StudyOutput
+/// byte-identical to the uninterrupted run. The world is regenerated from
+/// `config.store`, which must match the crashed run's.
+[[nodiscard]] ResumeOutput resumeStudy(const StudyConfig& config);
+
+/// Resume against an existing world.
+[[nodiscard]] ResumeOutput resumeStudy(
+    const store::AppStoreGenerator& generator,
+    const DispatcherConfig& dispatcherConfig,
+    const std::string& artifactsDirectory,
+    const ingest::IngestConfig& ingestConfig = {.shards = 0});
 
 }  // namespace libspector::orch

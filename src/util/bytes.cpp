@@ -19,6 +19,14 @@ std::array<std::uint32_t, 256> makeCrc32Table() {
 
 }  // namespace
 
+std::uint32_t checkedU32(std::uint64_t value, const char* what) {
+  if (value > 0xFFFFFFFFull)
+    throw std::length_error(std::string(what) + ": size " +
+                            std::to_string(value) +
+                            " overflows a u32 length field");
+  return static_cast<std::uint32_t>(value);
+}
+
 std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
   static const std::array<std::uint32_t, 256> kTable = makeCrc32Table();
   std::uint32_t crc = 0xFFFFFFFFu;
@@ -52,7 +60,7 @@ void ByteWriter::u64(std::uint64_t v) {
 }
 
 void ByteWriter::str(std::string_view s) {
-  u32(static_cast<std::uint32_t>(s.size()));
+  u32(checkedU32(s.size(), "ByteWriter::str"));
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 

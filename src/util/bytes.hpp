@@ -36,6 +36,11 @@ class ByteWriter {
   std::vector<std::uint8_t> buf_;
 };
 
+/// Narrow a 64-bit size to the u32 length field the wire formats use.
+/// Throws std::length_error instead of silently truncating — a truncated
+/// length field produces an undecodable (or worse, mis-decodable) record.
+[[nodiscard]] std::uint32_t checkedU32(std::uint64_t value, const char* what);
+
 /// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte span. Used by the
 /// framed report wire format to detect in-flight corruption of UDP
 /// datagrams — the channel gives no integrity guarantee of its own.

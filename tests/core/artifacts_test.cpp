@@ -82,5 +82,72 @@ TEST(ArtifactsTest, SerializationIsDeterministic) {
   EXPECT_EQ(sampleArtifacts().serialize(), sampleArtifacts().serialize());
 }
 
+ApkLossAccount sampleAccount() {
+  ApkLossAccount account;
+  account.reportsEmitted = 9;
+  account.framesDelivered = 8;
+  account.uniqueDelivered = 7;
+  account.duplicated = 1;
+  account.outOfOrder = 2;
+  account.lost = 2;
+  return account;
+}
+
+TEST(ArtifactsTest, LossAccountFromArtifacts) {
+  RunArtifacts artifacts = sampleArtifacts();
+  artifacts.reportsEmitted = 3;  // 1 survived in `reports`, so 2 were lost
+  const auto account = ApkLossAccount::fromArtifacts(artifacts);
+  EXPECT_EQ(account.reportsEmitted, 3u);
+  EXPECT_EQ(account.uniqueDelivered, artifacts.reports.size());
+  EXPECT_EQ(account.lost, 2u);
+
+  // No sender-side count (legacy bundle): nothing can be called lost.
+  artifacts.reportsEmitted = 0;
+  EXPECT_EQ(ApkLossAccount::fromArtifacts(artifacts).lost, 0u);
+}
+
+TEST(ArtifactsTest, EnvelopeRoundTripsIndexAccountAndArtifacts) {
+  const RunArtifacts original = sampleArtifacts();
+  const auto bytes = SpabEnvelope::encode(42, sampleAccount(), original);
+  ASSERT_TRUE(SpabEnvelope::looksFramed(bytes));
+
+  const SpabEnvelope decoded = SpabEnvelope::decode(bytes);
+  EXPECT_EQ(decoded.jobIndex, 42u);
+  EXPECT_EQ(decoded.account, sampleAccount());
+  EXPECT_EQ(decoded.artifacts.serialize(), original.serialize());
+}
+
+TEST(ArtifactsTest, EnvelopeCarriesNoJobIndexSentinel) {
+  const auto bytes = SpabEnvelope::encode(SpabEnvelope::kNoJobIndex,
+                                          sampleAccount(), sampleArtifacts());
+  EXPECT_EQ(SpabEnvelope::decode(bytes).jobIndex, SpabEnvelope::kNoJobIndex);
+}
+
+TEST(ArtifactsTest, EnvelopeRejectsCorruption) {
+  const auto good =
+      SpabEnvelope::encode(3, sampleAccount(), sampleArtifacts());
+
+  // Any single flipped payload bit fails the crc, not just header bytes.
+  for (const std::size_t pos : {std::size_t{0}, std::size_t{5},
+                                good.size() / 2, good.size() - 1}) {
+    auto bytes = good;
+    bytes[pos] ^= 0x01;
+    EXPECT_THROW((void)SpabEnvelope::decode(bytes), util::DecodeError)
+        << "flipped byte " << pos;
+  }
+
+  const std::span<const std::uint8_t> truncated(good.data(), good.size() - 9);
+  EXPECT_THROW((void)SpabEnvelope::decode(truncated), util::DecodeError);
+
+  auto padded = good;
+  padded.push_back(0);
+  EXPECT_THROW((void)SpabEnvelope::decode(padded), util::DecodeError);
+}
+
+TEST(ArtifactsTest, LegacyBundleIsNotMistakenForEnvelope) {
+  EXPECT_FALSE(SpabEnvelope::looksFramed(sampleArtifacts().serialize()));
+  EXPECT_FALSE(SpabEnvelope::looksFramed({}));
+}
+
 }  // namespace
 }  // namespace libspector::core

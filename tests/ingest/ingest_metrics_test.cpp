@@ -1,0 +1,46 @@
+#include "ingest/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace libspector::ingest {
+namespace {
+
+TEST(IngestMetricsTest, ToJsonIsWellFormedForOrdinaryValues) {
+  IngestMetrics metrics;
+  metrics.shards = 2;
+  metrics.datagramsReceived = 10;
+  metrics.latencyP50Ms = 1.5;
+  metrics.perShard.resize(2);
+  metrics.perShard[1].shard = 1;
+  metrics.perShard[1].utilization = 0.25;
+
+  const std::string json = metrics.toJson();
+  EXPECT_NE(json.find("\"shards\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_p50_ms\": 1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\": 0.250"), std::string::npos);
+}
+
+TEST(IngestMetricsTest, NonFiniteValuesEmitValidJson) {
+  // A zero-sample shard yields NaN percentiles; %.3f would render them as
+  // bare `nan`/`inf` tokens, which no JSON parser accepts.
+  IngestMetrics metrics;
+  metrics.latencyP50Ms = std::numeric_limits<double>::quiet_NaN();
+  metrics.latencyP90Ms = std::numeric_limits<double>::infinity();
+  metrics.latencyP99Ms = -std::numeric_limits<double>::infinity();
+  metrics.perShard.resize(1);
+  metrics.perShard[0].utilization = std::numeric_limits<double>::quiet_NaN();
+  metrics.perShard[0].latencyP99Ms = std::numeric_limits<double>::infinity();
+
+  const std::string json = metrics.toJson();
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_p50_ms\": 0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_p90_ms\": 0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\": 0.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace libspector::ingest

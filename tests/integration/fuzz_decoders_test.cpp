@@ -5,12 +5,17 @@
 // disk — both are trust boundaries.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <map>
+
 #include "core/artifacts.hpp"
 #include "core/report.hpp"
 #include "dex/apk.hpp"
 #include "ingest/chaos.hpp"
 #include "ingest/router.hpp"
 #include "net/capture.hpp"
+#include "orch/recovery.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -247,6 +252,127 @@ TEST(FuzzDecodersTest, ChaosChannelDamageNeverCorruptsContent) {
     while (cursor < sent.size() && !(sent[cursor] == report)) ++cursor;
     ASSERT_LT(cursor, sent.size()) << "report not among the sent originals";
     ++cursor;
+  }
+}
+
+std::vector<std::uint8_t> sampleEnvelopeBytes(std::uint64_t jobIndex = 11) {
+  const auto artifacts = core::RunArtifacts::deserialize(sampleArtifactBytes());
+  core::ApkLossAccount account;
+  account.reportsEmitted = 4;
+  account.framesDelivered = 3;
+  account.uniqueDelivered = 3;
+  account.lost = 1;
+  return core::SpabEnvelope::encode(jobIndex, account, artifacts);
+}
+
+TEST(FuzzDecodersTest, SpabEnvelopeSurvivesMutation) {
+  fuzzDecoder(sampleEnvelopeBytes(),
+              [](const std::vector<std::uint8_t>& bytes) {
+                (void)core::SpabEnvelope::decode(bytes);
+              },
+              909);
+}
+
+TEST(FuzzDecodersTest, EnvelopeChecksumMakesSilentMisParseImpossible) {
+  // Same guarantee the report frames give the wire, extended to disk: a
+  // persisted bundle that decodes at all is byte-identical to what was
+  // written — job index, loss account and artifacts alike.
+  const auto artifacts = core::RunArtifacts::deserialize(sampleArtifactBytes());
+  const auto valid = sampleEnvelopeBytes();
+  const auto reference = core::SpabEnvelope::decode(valid);
+  util::Rng rng(1010);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<std::uint8_t> mutated = valid;
+    const int mutations = static_cast<int>(rng.uniform(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.uniform(0, mutated.size() - 1);
+      mutated[pos] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    if (rng.chance(0.3)) mutated.resize(rng.uniform(0, mutated.size() - 1));
+    try {
+      const auto decoded = core::SpabEnvelope::decode(mutated);
+      EXPECT_EQ(decoded.jobIndex, reference.jobIndex);
+      EXPECT_EQ(decoded.account, reference.account);
+      EXPECT_EQ(decoded.artifacts.serialize(), artifacts.serialize());
+    } catch (const util::DecodeError&) {
+      // the overwhelmingly common outcome for a real mutation
+    }
+  }
+}
+
+TEST(FuzzDecodersTest, RecoveryQuarantinesHostileCheckpointDirectory) {
+  // Fill a checkpoint directory with bit-flipped, truncated and garbage
+  // .spab files alongside intact ones, then scan. Recovery must never
+  // throw, must keep exactly the intact bundles (byte-identical, under
+  // their original job indices), and must quarantine the rest.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) /
+      ("spector_hostile_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::create_directories(dir);
+
+  const auto writeFile = [&](const std::string& name,
+                             std::span<const std::uint8_t> bytes) {
+    std::ofstream out(dir / name, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  };
+
+  util::Rng rng(1111);
+  std::map<std::uint64_t, std::vector<std::uint8_t>> intact;
+  std::size_t damaged = 0;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    auto artifacts = core::RunArtifacts::deserialize(sampleArtifactBytes());
+    artifacts.apkSha256 = "sha" + std::to_string(i);
+    auto bytes = core::SpabEnvelope::encode(
+        i, core::ApkLossAccount::fromArtifacts(artifacts), artifacts);
+    const std::string name = artifacts.apkSha256 + ".spab";
+    switch (i % 4) {
+      case 0:  // intact
+      case 1:
+        intact.emplace(i, bytes);
+        writeFile(name, bytes);
+        break;
+      case 2: {  // bit-flipped
+        bytes[rng.uniform(0, bytes.size() - 1)] ^= 0x08;
+        writeFile(name, bytes);
+        ++damaged;
+        break;
+      }
+      default: {  // truncated (torn write that somehow got renamed)
+        const std::span<const std::uint8_t> torn(
+            bytes.data(), rng.uniform(1, bytes.size() - 1));
+        writeFile(name, torn);
+        ++damaged;
+        break;
+      }
+    }
+  }
+  {  // pure garbage masquerading as a bundle
+    std::vector<std::uint8_t> garbage(200);
+    for (auto& byte : garbage)
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    writeFile("garbage.spab", garbage);
+    ++damaged;
+  }
+
+  const auto report = orch::StudyRecovery::scan(dir.string());
+  ASSERT_EQ(report.runs.size(), intact.size());
+  for (const auto& run : report.runs) {
+    const auto it = intact.find(run.jobIndex);
+    ASSERT_NE(it, intact.end());
+    EXPECT_EQ(core::SpabEnvelope::encode(run.jobIndex, run.account,
+                                         run.artifacts),
+              it->second)
+        << "recovered bundle differs from what was written";
+  }
+  EXPECT_EQ(report.quarantined.size(), damaged);
+  for (const auto& entry : report.quarantined) {
+    EXPECT_FALSE(entry.error.empty());
+    EXPECT_TRUE(fs::exists(dir / orch::StudyRecovery::kQuarantineDir /
+                           entry.file))
+        << entry.file << " not moved to quarantine";
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <thread>
 
@@ -63,7 +64,10 @@ TEST(DatabaseTest, SaveAndLoadDirectoryRoundTrip) {
   EXPECT_EQ(db.saveToDirectory(dir), 5u);
 
   ResultDatabase restored;
-  EXPECT_EQ(restored.loadFromDirectory(dir), 5u);
+  const auto report = restored.loadFromDirectory(dir);
+  EXPECT_EQ(report.loaded, 5u);
+  EXPECT_EQ(report.replaced, 0u);
+  EXPECT_TRUE(report.failures.empty());
   EXPECT_EQ(restored.size(), 5u);
   const auto fetched = restored.fetch("sha3");
   ASSERT_TRUE(fetched.has_value());
@@ -84,7 +88,81 @@ TEST(DatabaseTest, LoadIgnoresForeignFiles) {
     junk << "not a bundle";
   }
   ResultDatabase restored;
-  EXPECT_EQ(restored.loadFromDirectory(dir), 1u);
+  EXPECT_EQ(restored.loadFromDirectory(dir).loaded, 1u);
+}
+
+TEST(DatabaseTest, StoreReportsInsertedVsReplaced) {
+  ResultDatabase db;
+  EXPECT_TRUE(db.store(artifactsFor("abc")));
+  EXPECT_FALSE(db.store(artifactsFor("abc")));
+  EXPECT_TRUE(db.store(artifactsFor("def")));
+}
+
+TEST(DatabaseTest, LoadCountsReplacedSeparately) {
+  const std::string dir =
+      ::testing::TempDir() + "/spector_db_replaced_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  ResultDatabase db;
+  db.store(artifactsFor("aaa"));
+  db.store(artifactsFor("bbb"));
+  db.saveToDirectory(dir);
+
+  ResultDatabase restored;
+  restored.store(artifactsFor("aaa"));  // pre-existing entry gets replaced
+  const auto report = restored.loadFromDirectory(dir);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.replaced, 1u);
+  EXPECT_EQ(restored.size(), 2u);
+}
+
+TEST(DatabaseTest, LoadCollectsCorruptBundlesInsteadOfThrowing) {
+  const std::string dir =
+      ::testing::TempDir() + "/spector_db_corrupt_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  ResultDatabase db;
+  db.store(artifactsFor("good1"));
+  db.store(artifactsFor("good2"));
+  db.saveToDirectory(dir);
+  {
+    std::ofstream bad(dir + "/deadbeef.spab", std::ios::binary);
+    bad << "this is not an artifact bundle";
+  }
+
+  ResultDatabase restored;
+  const auto report = restored.loadFromDirectory(dir);
+  EXPECT_EQ(report.loaded, 2u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].path.find("deadbeef.spab"), std::string::npos);
+  EXPECT_FALSE(report.failures[0].error.empty());
+  EXPECT_EQ(restored.size(), 2u);
+}
+
+TEST(DatabaseTest, LoadReadsLegacyUnframedBundles) {
+  const std::string dir =
+      ::testing::TempDir() + "/spector_db_legacy_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  std::filesystem::create_directories(dir);
+  const auto artifacts = artifactsFor("legacy");
+  const auto raw = artifacts.serialize();  // pre-envelope on-disk format
+  {
+    std::ofstream out(dir + "/legacy.spab", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(raw.data()),
+              static_cast<std::streamsize>(raw.size()));
+  }
+  ResultDatabase restored;
+  EXPECT_EQ(restored.loadFromDirectory(dir).loaded, 1u);
+  EXPECT_EQ(restored.fetch("legacy")->packageName, "com.app.legacy");
+}
+
+TEST(DatabaseTest, SaveLeavesNoTempFiles) {
+  const std::string dir =
+      ::testing::TempDir() + "/spector_db_atomic_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  ResultDatabase db;
+  for (int i = 0; i < 3; ++i) db.store(artifactsFor("s" + std::to_string(i)));
+  db.saveToDirectory(dir);
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
 }
 
 TEST(DatabaseTest, ConcurrentStores) {

@@ -1,0 +1,253 @@
+// Crash-safety of the artifact store, proven by sweep: a simulated crash
+// is injected at every kill point of the checkpoint protocol, at several
+// positions within the study, and recovery + replay + resume must produce
+// a study byte-identical to the uninterrupted run every time.
+#include "orch/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/export.hpp"
+#include "orch/study.hpp"
+
+namespace libspector::orch {
+namespace {
+
+namespace fs = std::filesystem;
+
+StudyConfig recoveryConfig() {
+  StudyConfig config;
+  config.store.appCount = 8;
+  config.store.seed = 7;
+  config.store.methodScale = 0.05;
+  config.dispatcher.emulator.monkey.events = 80;
+  config.dispatcher.emulator.monkey.throttleMs = 50;
+  config.dispatcher.workers = 2;
+  config.ingest.shards = 2;
+  return config;
+}
+
+std::string freshDir(const std::string& tag) {
+  const std::string dir =
+      ::testing::TempDir() + "/spector_recovery_" + tag + "_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Render every figure dataset plus the markdown report into one string:
+/// byte equality here is byte equality for every consumer in the repo.
+std::string renderStudy(const core::StudyAggregator& study) {
+  std::ostringstream out;
+  core::writeFig2Csv(study, out);
+  core::writeTopLibrariesCsv(study, 25, out);
+  core::writeCdfCsv(study, out);
+  core::writeFlowRatiosCsv(study, out);
+  core::writeAntSharesCsv(study, out);
+  core::writeCategoryAveragesCsv(study, out);
+  core::writeHeatmapCsv(study, out);
+  core::writeCoverageCsv(study, out);
+  core::writeStudyReport(study, out);
+  return out.str();
+}
+
+TEST(RecoveryTest, CheckpointScanRoundTrip) {
+  const std::string dir = freshDir("roundtrip");
+  core::RunArtifacts a;
+  a.apkSha256 = "aaa";
+  a.packageName = "com.app.a";
+  core::RunArtifacts b;
+  b.apkSha256 = "bbb";
+  b.packageName = "com.app.b";
+  core::ApkLossAccount account;
+  account.reportsEmitted = 3;
+  account.uniqueDelivered = 2;
+  account.lost = 1;
+
+  CheckpointWriter writer(dir);
+  writer.checkpoint(5, account, b);  // out of index order on purpose
+  writer.checkpoint(2, {}, a);
+
+  const auto report = StudyRecovery::scan(dir);
+  ASSERT_EQ(report.runs.size(), 2u);
+  EXPECT_EQ(report.runs[0].jobIndex, 2u);  // sorted by job index
+  EXPECT_EQ(report.runs[0].artifacts.packageName, "com.app.a");
+  EXPECT_EQ(report.runs[1].jobIndex, 5u);
+  EXPECT_EQ(report.runs[1].account, account);
+  EXPECT_EQ(report.manifestEntries, 2u);
+  EXPECT_EQ(report.manifestTornLines, 0u);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_EQ(report.tmpFilesRemoved, 0u);
+  EXPECT_EQ(report.manifestMissingBundles, 0u);
+}
+
+TEST(RecoveryTest, ScanOfMissingDirectoryIsEmptyNotFatal) {
+  const auto report = StudyRecovery::scan(freshDir("missing"));
+  EXPECT_TRUE(report.runs.empty());
+  EXPECT_TRUE(report.quarantined.empty());
+}
+
+TEST(RecoveryTest, TornManifestTailIsRepairedOnNextWriter) {
+  const std::string dir = freshDir("torntail");
+  core::RunArtifacts a;
+  a.apkSha256 = "aaa";
+  {
+    CheckpointWriter writer(dir);
+    writer.checkpoint(0, {}, a);
+    // Simulate a crash mid-append: a torn line with no newline.
+    std::ofstream manifest(fs::path(dir) / CheckpointWriter::kManifestName,
+                           std::ios::binary | std::ios::app);
+    manifest << "1 bb";
+  }
+  // A new writer must repair the tail so its appends don't merge into the
+  // torn line; the torn line itself stays tolerated, never fatal.
+  core::RunArtifacts c;
+  c.apkSha256 = "ccc";
+  CheckpointWriter writer(dir);
+  writer.checkpoint(2, {}, c);
+
+  const auto report = StudyRecovery::scan(dir);
+  EXPECT_EQ(report.manifestEntries, 2u);
+  EXPECT_EQ(report.manifestTornLines, 1u);
+  ASSERT_EQ(report.runs.size(), 2u);
+  EXPECT_EQ(report.runs[1].jobIndex, 2u);
+}
+
+TEST(RecoveryTest, KillPointSweepYieldsByteIdenticalStudy) {
+  // Ground truth: the same study, uninterrupted.
+  auto config = recoveryConfig();
+  config.artifactsDirectory = freshDir("groundtruth");
+  const auto groundTruth = runStudy(config);
+  const std::string expected = renderStudy(groundTruth.study);
+  ASSERT_EQ(groundTruth.appsProcessed, config.store.appCount);
+
+  // The checkpointed deliveries of the uninterrupted run, in job-index
+  // order — the exact sequence a crashed collector would have persisted.
+  auto truthScan = StudyRecovery::scan(config.artifactsDirectory);
+  ASSERT_EQ(truthScan.runs.size(), config.store.appCount);
+
+  for (const std::string_view killPoint : kCheckpointKillPoints) {
+    for (const std::size_t crashAt :
+         {std::size_t{0}, truthScan.runs.size() / 2,
+          truthScan.runs.size() - 1}) {
+      const std::string tag =
+          std::string(killPoint) + "_" + std::to_string(crashAt);
+      auto crashed = recoveryConfig();
+      crashed.artifactsDirectory = freshDir(tag);
+
+      // Re-drive the checkpoint protocol up to the injected crash. The
+      // CheckpointWriter is the only thing that ever writes bundles, so
+      // this reproduces the on-disk state of a collector that died at
+      // exactly this kill point of exactly this run.
+      std::size_t current = 0;
+      CheckpointWriter writer(
+          crashed.artifactsDirectory,
+          [&](std::string_view point) {
+            if (point == killPoint && current == crashAt)
+              throw SimulatedCrash("crash at " + std::string(point));
+          });
+      bool crashedOut = false;
+      try {
+        for (const auto& run : truthScan.runs) {
+          current = run.jobIndex;
+          writer.checkpoint(run.jobIndex, run.account, run.artifacts);
+        }
+      } catch (const SimulatedCrash&) {
+        crashedOut = true;
+      }
+      ASSERT_TRUE(crashedOut) << tag;
+
+      const auto resumed = resumeStudy(crashed);
+      EXPECT_EQ(renderStudy(resumed.output.study), expected)
+          << "study diverged after crash at " << tag;
+      EXPECT_EQ(resumed.output.appsProcessed, crashed.store.appCount) << tag;
+      EXPECT_EQ(resumed.output.appsFailed, 0u) << tag;
+      EXPECT_TRUE(resumed.recovery.quarantined.empty()) << tag;
+
+      // Spot-check the recovery accounting against what this kill point
+      // must have left on disk.
+      if (killPoint == "tmp-partial")
+        EXPECT_EQ(resumed.recovery.tmpFilesRemoved, 1u) << tag;
+      if (killPoint == "manifest-partial")
+        EXPECT_GE(resumed.recovery.manifestTornLines, 1u) << tag;
+      if (killPoint == "done")
+        EXPECT_EQ(resumed.output.appsReplayed, crashAt + 1) << tag;
+      if (killPoint == "begin" || killPoint == "tmp-partial" ||
+          killPoint == "tmp-complete")
+        EXPECT_EQ(resumed.output.appsReplayed, crashAt) << tag;
+    }
+  }
+}
+
+TEST(RecoveryTest, CorruptBundlesAreQuarantinedAndReRun) {
+  auto config = recoveryConfig();
+  config.artifactsDirectory = freshDir("corrupt_gt");
+  const auto groundTruth = runStudy(config);
+  const std::string expected = renderStudy(groundTruth.study);
+
+  // Copy the intact checkpoint dir, then damage two bundles: one
+  // bit-flipped, one truncated mid-file.
+  auto crashed = config;
+  crashed.artifactsDirectory = freshDir("corrupt");
+  fs::create_directories(crashed.artifactsDirectory);
+  std::vector<fs::path> bundles;
+  for (const auto& entry : fs::directory_iterator(config.artifactsDirectory)) {
+    fs::copy(entry.path(),
+             fs::path(crashed.artifactsDirectory) / entry.path().filename());
+    if (entry.path().extension() == ".spab") bundles.push_back(
+        fs::path(crashed.artifactsDirectory) / entry.path().filename());
+  }
+  ASSERT_GE(bundles.size(), 2u);
+  std::sort(bundles.begin(), bundles.end());
+  {
+    std::fstream flip(bundles[0],
+                      std::ios::binary | std::ios::in | std::ios::out);
+    flip.seekg(20);
+    const char byte = static_cast<char>(flip.get());
+    flip.seekp(20);
+    flip.put(static_cast<char>(byte ^ 0x40));
+  }
+  fs::resize_file(bundles[1], fs::file_size(bundles[1]) / 2);
+
+  const auto resumed = resumeStudy(crashed);
+  EXPECT_EQ(resumed.recovery.quarantined.size(), 2u);
+  EXPECT_EQ(resumed.output.appsReplayed, config.store.appCount - 2);
+  EXPECT_EQ(resumed.output.appsProcessed, config.store.appCount);
+  EXPECT_EQ(renderStudy(resumed.output.study), expected);
+  for (const auto& entry : resumed.recovery.quarantined)
+    EXPECT_TRUE(fs::exists(fs::path(crashed.artifactsDirectory) /
+                           StudyRecovery::kQuarantineDir / entry.file));
+}
+
+TEST(RecoveryTest, LossyChannelReplayPreservesLossAccounts) {
+  // Under UDP report loss the loss numbers are part of the result. A
+  // resume that replays every run must reproduce both the study bytes and
+  // the exact loss accounting of the uninterrupted lossy run.
+  auto config = recoveryConfig();
+  config.dispatcher.emulator.stack.udpLossProb = 0.3;
+  config.artifactsDirectory = freshDir("lossy");
+  const auto groundTruth = runStudy(config);
+  ASSERT_GT(groundTruth.ingestMetrics.reportsLost, 0u);
+
+  const auto resumed = resumeStudy(config);  // every run replays from disk
+  EXPECT_EQ(resumed.output.appsReplayed, config.store.appCount);
+  EXPECT_EQ(resumed.output.ingestMetrics.reportsLost,
+            groundTruth.ingestMetrics.reportsLost);
+  EXPECT_EQ(resumed.output.ingestMetrics.reportsDelivered,
+            groundTruth.ingestMetrics.reportsDelivered);
+  EXPECT_EQ(renderStudy(resumed.output.study),
+            renderStudy(groundTruth.study));
+}
+
+TEST(RecoveryTest, ResumeRequiresACheckpointDirectory) {
+  EXPECT_THROW((void)resumeStudy(recoveryConfig()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace libspector::orch

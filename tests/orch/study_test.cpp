@@ -189,7 +189,7 @@ TEST(StudyRunnerTest, PersistsArtifactsAndManifest) {
   EXPECT_EQ(output.appsProcessed, 25u);
 
   ResultDatabase restored;
-  EXPECT_EQ(restored.loadFromDirectory(config.artifactsDirectory), 25u);
+  EXPECT_EQ(restored.loadFromDirectory(config.artifactsDirectory).loaded, 25u);
   EXPECT_TRUE(std::filesystem::exists(
       std::filesystem::path(config.artifactsDirectory) / "domains.csv"));
 }

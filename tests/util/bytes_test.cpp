@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace libspector::util {
 namespace {
 
@@ -82,6 +85,26 @@ TEST(BytesTest, RawAppendsVerbatim) {
   w.raw(raw);
   EXPECT_EQ(w.data().size(), 3u);
   EXPECT_EQ(w.data()[2], 3);
+}
+
+TEST(BytesTest, CheckedU32PassesThroughAnyRepresentableSize) {
+  EXPECT_EQ(checkedU32(0, "field"), 0u);
+  EXPECT_EQ(checkedU32(0xFFFFFFFFull, "field"), 0xFFFFFFFFu);
+}
+
+TEST(BytesTest, CheckedU32ThrowsInsteadOfTruncating) {
+  // The mocked >4GiB size a real capture could reach: the old unchecked
+  // cast would wrap it to 0 and emit an undecodable length field.
+  EXPECT_THROW((void)checkedU32(1ull << 32, "capture"), std::length_error);
+  EXPECT_THROW((void)checkedU32((1ull << 32) + 17, "capture"),
+               std::length_error);
+  try {
+    (void)checkedU32(1ull << 33, "RunArtifacts::serialize capture");
+    FAIL() << "expected std::length_error";
+  } catch (const std::length_error& error) {
+    EXPECT_NE(std::string(error.what()).find("RunArtifacts::serialize"),
+              std::string::npos);
+  }
 }
 
 TEST(BytesTest, LittleEndianLayout) {
