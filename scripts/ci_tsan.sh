@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # TSan CI lane: build the concurrent subsystems under ThreadSanitizer and
 # run the tests that exercise them — the ingest tier (sharded router,
-# pipeline, chaos channel), the dispatcher fleet, and the collection
-# server. A data race here corrupts studies silently, so this lane gates
-# every change to the streaming path.
+# pipeline, chaos channel), the dispatcher fleet, the collection server,
+# and the job-prefetch generator pool. A data race here corrupts studies
+# silently, so this lane gates every change to the streaming path.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -26,6 +26,8 @@ TARGETS=(
   study_test
   recovery_test
   database_test
+  prefetch_test
+  prefetch_determinism_test
 )
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
@@ -34,6 +36,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
-  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database')
+  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch')
 
 echo "TSan lane: OK"

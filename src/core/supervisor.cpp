@@ -26,10 +26,25 @@ std::string translateFrame(const rt::StackFrameSnapshot& frame,
   return frame.name;
 }
 
+void SocketSupervisor::primeApkContext(std::string apkSha256,
+                                       dex::FrameTableCache* tableCache) {
+  pendingApkSha256_ = std::move(apkSha256);
+  tableCache_ = tableCache;
+}
+
 void SocketSupervisor::onAppLoaded(rt::Interpreter& runtime,
                                    const dex::ApkFile& apk) {
+  // Digest memoization: reuse the host's streaming hash when primed, so
+  // one app load hashes the apk at most once across emulator + supervisor.
+  std::string sha = pendingApkSha256_.empty() ? util::toHex(apk.sha256())
+                                              : std::move(pendingApkSha256_);
+  pendingApkSha256_.clear();
+  auto translations =
+      tableCache_ != nullptr
+          ? tableCache_->tableFor(sha, apk)
+          : std::make_shared<const dex::FrameTranslationTable>(apk);
   auto state = std::make_shared<AppState>(
-      AppState{util::toHex(apk.sha256()), dex::FrameTranslationTable(apk)});
+      AppState{std::move(sha), std::move(translations)});
   runtime.registerPostHook(
       std::string(rt::kSocketConnectFrame),
       [this, state](const rt::SocketHookContext& context) {
@@ -59,7 +74,7 @@ void SocketSupervisor::onSocketConnected(
   report.stackSignatures.reserve(trace.size());
   for (const auto& frame : trace)
     report.stackSignatures.push_back(
-        translateFrame(frame, runtime.program(), state->translations));
+        translateFrame(frame, runtime.program(), *state->translations));
 
   // Framed with the worker id and this run's next sequence number: the
   // channel is best-effort UDP, and only sender-assigned sequencing lets

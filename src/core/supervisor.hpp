@@ -30,9 +30,17 @@ class SocketSupervisor final : public hook::XposedModule {
       net::SockEndpoint collector = kDefaultCollectorEndpoint,
       std::uint32_t workerId = 0);
 
-  /// Installs the post-hook on java.net.Socket.connect; parses the apk's
-  /// dex files into the frame -> signature translation table and computes
-  /// the apk checksum the reports will carry.
+  /// Pre-seed the next onAppLoaded with work the host already did: the
+  /// apk's hex sha256 (the emulator computes it once per run for the
+  /// artifact bundle) and an optional fleet-wide translation-table cache.
+  /// Without this the supervisor re-serializes the apk to hash it and
+  /// rebuilds the class table on every app load.
+  void primeApkContext(std::string apkSha256,
+                       dex::FrameTableCache* tableCache = nullptr);
+
+  /// Installs the post-hook on java.net.Socket.connect; resolves the frame
+  /// -> signature translation table and the apk checksum the reports will
+  /// carry (both from primeApkContext when available, computed otherwise).
   void onAppLoaded(rt::Interpreter& runtime, const dex::ApkFile& apk) override;
 
   [[nodiscard]] std::size_t reportsSent() const noexcept { return reportsSent_; }
@@ -40,7 +48,7 @@ class SocketSupervisor final : public hook::XposedModule {
  private:
   struct AppState {
     std::string apkSha256;
-    dex::FrameTranslationTable translations;
+    std::shared_ptr<const dex::FrameTranslationTable> translations;
   };
 
   void onSocketConnected(const rt::SocketHookContext& context,
@@ -49,6 +57,8 @@ class SocketSupervisor final : public hook::XposedModule {
   net::SockEndpoint collector_;
   std::uint32_t workerId_ = 0;
   std::size_t reportsSent_ = 0;
+  std::string pendingApkSha256_;
+  dex::FrameTableCache* tableCache_ = nullptr;
 };
 
 /// Translate one stack frame to what the report should carry: the exact

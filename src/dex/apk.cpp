@@ -9,6 +9,33 @@ namespace libspector::dex {
 namespace {
 constexpr std::uint32_t kMagic = 0x4b504153;  // "SAPK"
 constexpr std::uint16_t kVersion = 1;
+
+/// The single serialization walk, shared by serialize() (Writer =
+/// ByteWriter, materializes the bytes) and sha256() (Writer =
+/// Sha256Writer, streams the same encoding straight into the digest with
+/// no buffer). Keeping one walk is what guarantees the two stay the same
+/// byte stream.
+template <class Writer>
+void writeApk(const ApkFile& apk, Writer& w) {
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.str(apk.packageName);
+  w.str(apk.appCategory);
+  w.u32(apk.versionCode);
+  w.u64(apk.dexTimestamp);
+  w.u64(apk.vtScanDate);
+  w.u32(static_cast<std::uint32_t>(apk.abis.size()));
+  for (const auto& abi : apk.abis) w.str(abi);
+  w.u32(static_cast<std::uint32_t>(apk.dexFiles.size()));
+  for (const auto& dex : apk.dexFiles) {
+    w.u32(static_cast<std::uint32_t>(dex.classes.size()));
+    for (const auto& cls : dex.classes) {
+      w.str(cls.dottedName);
+      w.u32(static_cast<std::uint32_t>(cls.methods.size()));
+      for (const auto& m : cls.methods) w.str(m.signature);
+    }
+  }
+}
 }  // namespace
 
 std::size_t DexFile::methodCount() const noexcept {
@@ -32,24 +59,7 @@ bool ApkFile::isX86Compatible() const noexcept {
 
 std::vector<std::uint8_t> ApkFile::serialize() const {
   util::ByteWriter w;
-  w.u32(kMagic);
-  w.u16(kVersion);
-  w.str(packageName);
-  w.str(appCategory);
-  w.u32(versionCode);
-  w.u64(dexTimestamp);
-  w.u64(vtScanDate);
-  w.u32(static_cast<std::uint32_t>(abis.size()));
-  for (const auto& abi : abis) w.str(abi);
-  w.u32(static_cast<std::uint32_t>(dexFiles.size()));
-  for (const auto& dex : dexFiles) {
-    w.u32(static_cast<std::uint32_t>(dex.classes.size()));
-    for (const auto& cls : dex.classes) {
-      w.str(cls.dottedName);
-      w.u32(static_cast<std::uint32_t>(cls.methods.size()));
-      for (const auto& m : cls.methods) w.str(m.signature);
-    }
-  }
+  writeApk(*this, w);
   return w.take();
 }
 
@@ -88,8 +98,9 @@ ApkFile ApkFile::deserialize(std::span<const std::uint8_t> bytes) {
 }
 
 util::Sha256Digest ApkFile::sha256() const {
-  const auto bytes = serialize();
-  return util::Sha256::hash(std::span(bytes.data(), bytes.size()));
+  util::Sha256Writer w;
+  writeApk(*this, w);
+  return w.finish();
 }
 
 }  // namespace libspector::dex

@@ -65,6 +65,8 @@ class ApkFile {
   [[nodiscard]] static ApkFile deserialize(std::span<const std::uint8_t> bytes);
 
   /// sha256 over the serialized bytes; the identity used everywhere else.
+  /// Computed in one streaming serialization walk (util::Sha256Writer), so
+  /// the full byte buffer is never materialized just to hash it.
   [[nodiscard]] util::Sha256Digest sha256() const;
 
   [[nodiscard]] bool operator==(const ApkFile&) const = default;

@@ -30,4 +30,53 @@ const std::vector<std::string>& FrameTranslationTable::lookup(
   return it == table_.end() ? kEmpty : it->second;
 }
 
+FrameTableCache::FrameTableCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const FrameTranslationTable> FrameTableCache::tableFor(
+    const std::string& apkSha256, const ApkFile& apk) {
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = entries_.find(apkSha256);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lruPosition);
+      return it->second.table;
+    }
+    ++stats_.misses;
+  }
+
+  // Build outside the lock: a paper-scale apk is tens of thousands of
+  // signature parses, and serializing the whole fleet through one mutex
+  // would undo the dispatcher's parallelism. Two workers racing on the
+  // same digest build twice and the loser's copy is dropped — cheap and
+  // rare next to blocking every other worker on every miss.
+  auto table = std::make_shared<const FrameTranslationTable>(apk);
+
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(apkSha256);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lruPosition);
+    return it->second.table;
+  }
+  lru_.push_front(apkSha256);
+  entries_.emplace(apkSha256, Entry{table, lru_.begin()});
+  if (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return table;
+}
+
+FrameTableCache::Stats FrameTableCache::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+std::size_t FrameTableCache::size() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
 }  // namespace libspector::dex

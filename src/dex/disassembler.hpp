@@ -5,6 +5,10 @@
 // stack-frame names to type signatures to translate traces.
 #pragma once
 
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +37,46 @@ class FrameTranslationTable {
 
  private:
   std::unordered_map<std::string, std::vector<std::string>> table_;
+};
+
+/// Thread-safe LRU cache of FrameTranslationTables keyed on apk digest.
+///
+/// Building the table is a full walk of the apk's class tables (tens of
+/// thousands of signature parses for a paper-scale apk); the Socket
+/// Supervisor used to rebuild it on every app load. The dispatcher owns
+/// one cache for the whole fleet, so repeated runs of the same apk —
+/// resume re-runs, retries, benches, policy re-checks — parse the dex
+/// once. Keying on the content digest (not package/version) makes a stale
+/// hit impossible: same digest, same bytes, same table.
+class FrameTableCache {
+ public:
+  explicit FrameTableCache(std::size_t capacity = 256);
+
+  /// The table for `apk`, built on miss. `apkSha256` is the hex digest of
+  /// the apk's serialized bytes (the caller already has it — computing it
+  /// here would defeat the digest memoization this cache rides on).
+  [[nodiscard]] std::shared_ptr<const FrameTranslationTable> tableFor(
+      const std::string& apkSha256, const ApkFile& apk);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const FrameTranslationTable> table;
+    std::list<std::string>::iterator lruPosition;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<std::string> lru_;  // front = most recently used digest
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
 };
 
 }  // namespace libspector::dex

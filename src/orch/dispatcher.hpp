@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "dex/apk.hpp"
+#include "dex/disassembler.hpp"
 #include "net/server.hpp"
 #include "orch/collector.hpp"
 #include "orch/emulator.hpp"
@@ -51,6 +52,10 @@ class Dispatcher {
     /// studies use this to re-run gap jobs under their original
     /// identities and reproduce the uninterrupted run byte for byte.
     std::optional<std::size_t> index;
+    /// Precomputed hex sha256 of `apk` (empty = the emulator hashes it).
+    /// The generation tier fills this so the hash overlaps generation
+    /// instead of stalling an emulator worker.
+    std::string apkSha256;
   };
   /// Returns the next job or std::nullopt when the corpus is exhausted.
   using JobSource = std::function<std::optional<Job>()>;
@@ -125,6 +130,10 @@ class Dispatcher {
   const net::ServerFarm& farm_;
   ingest::ReportSink* collector_;
   DispatcherConfig config_;
+  /// Fleet-wide frame-translation-table cache, shared by every emulator
+  /// this dispatcher boots (keyed on apk digest, so re-runs of the same
+  /// apk skip the dex walk entirely).
+  dex::FrameTableCache frameTables_;
   std::size_t processed_ = 0;
   std::vector<FailedJob> failures_;
   Stats stats_;

@@ -37,9 +37,18 @@ core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
   core::MethodMonitor monitor;
   rt::Interpreter runtime(program, stack, monitor.tracer(), clock, rng.fork(2));
 
+  // Apk identity, computed at most once per run: the prefetcher's streaming
+  // digest when present, one streaming serialization walk otherwise. The
+  // supervisor is primed with the same string (and the fleet's translation
+  // table cache) so it never re-serializes the apk.
+  const std::string apkSha256 = config_.apkSha256.empty()
+                                    ? util::toHex(apk.sha256())
+                                    : config_.apkSha256;
+
   hook::XposedFramework xposed;
   const auto supervisor = std::make_shared<core::SocketSupervisor>(
       core::kDefaultCollectorEndpoint, config_.workerId);
+  supervisor->primeApkContext(apkSha256, config_.frameTableCache);
   xposed.installModule(supervisor);
   xposed.attachToApp(runtime, apk);
 
@@ -54,7 +63,7 @@ core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
   }
 
   core::RunArtifacts artifacts;
-  artifacts.apkSha256 = util::toHex(apk.sha256());
+  artifacts.apkSha256 = apkSha256;
   artifacts.packageName = apk.packageName;
   artifacts.appCategory = apk.appCategory;
   artifacts.capture = std::move(stack.capture());

@@ -34,6 +34,15 @@ struct EmulatorConfig {
   /// account loss per (worker, sequence). The dispatcher passes the job
   /// index, which is unique per study.
   std::uint32_t workerId = 0;
+  /// Precomputed hex sha256 of the apk under test (empty = hash at run
+  /// start). The generation tier's JobPrefetcher fills this, so emulator
+  /// workers never serialize an apk just to hash it; either way the digest
+  /// is computed at most once per run and shared with the supervisor.
+  std::string apkSha256;
+  /// Fleet-wide frame-translation-table cache handed to the supervisor
+  /// (nullptr = the supervisor builds its own table per run). Owned by the
+  /// dispatcher; must outlive the instance.
+  dex::FrameTableCache* frameTableCache = nullptr;
 };
 
 class EmulatorInstance {

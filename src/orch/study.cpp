@@ -26,6 +26,7 @@ StudyOutput runPipeline(const store::AppStoreGenerator& generator,
                         const DispatcherConfig& dispatcherConfig,
                         const std::string& artifactsDirectory,
                         const ingest::IngestConfig& ingestConfig,
+                        const store::PrefetchConfig& prefetchConfig,
                         std::vector<RecoveredRun>* replays) {
   const auto start = std::chrono::steady_clock::now();
 
@@ -90,16 +91,25 @@ StudyOutput runPipeline(const store::AppStoreGenerator& generator,
       replays->clear();
     }
 
+    // Generation tier: the prefetcher expands the gap indices (all of them
+    // for a fresh run) ahead of the fleet, order-preserving, hashing each
+    // apk during expansion. Resumed studies see only the gaps here, still
+    // pinned to their original indices.
+    std::vector<std::size_t> gaps;
+    gaps.reserve(appCount);
+    for (std::size_t i = 0; i < appCount; ++i)
+      if (!done[i]) gaps.push_back(i);
+    store::JobPrefetcher prefetcher(generator, std::move(gaps),
+                                    prefetchConfig);
+
     Dispatcher dispatcher(generator.farm(), &pipeline, dispatcherConfig);
-    std::size_t next = 0;
     dispatcher.runConcurrent(
-        [&]() -> std::optional<Dispatcher::Job> {
-          while (next < appCount && done[next]) ++next;
-          if (next >= appCount) return std::nullopt;
-          const std::size_t index = next++;
-          auto job = generator.makeJob(index);
-          return Dispatcher::Job{std::move(job.apk), std::move(job.program),
-                                 index};
+        [&prefetcher]() -> std::optional<Dispatcher::Job> {
+          auto item = prefetcher.next();
+          if (!item) return std::nullopt;
+          return Dispatcher::Job{std::move(item->job.apk),
+                                 std::move(item->job.program), item->index,
+                                 std::move(item->apkSha256)};
         },
         [&](std::size_t index, core::RunArtifacts&& artifacts) {
           pipeline.submitRun(index, std::move(artifacts));
@@ -109,6 +119,7 @@ StudyOutput runPipeline(const store::AppStoreGenerator& generator,
         });
     pipeline.drain();
     accumulator.finish();
+    output.prefetchStats = prefetcher.stats();
     output.ingestMetrics = pipeline.metrics();
     output.appsProcessed = dispatcher.appsProcessed() + output.appsReplayed;
     output.appsFailed = dispatcher.failures().size();
@@ -147,27 +158,29 @@ StudyOutput runPipeline(const store::AppStoreGenerator& generator,
 StudyOutput runStudy(const StudyConfig& config) {
   const store::AppStoreGenerator generator(config.store);
   return runStudy(generator, config.dispatcher, config.artifactsDirectory,
-                  config.ingest);
+                  config.ingest, config.prefetch);
 }
 
 StudyOutput runStudy(const store::AppStoreGenerator& generator,
                      const DispatcherConfig& dispatcherConfig,
                      const std::string& artifactsDirectory,
-                     const ingest::IngestConfig& ingestConfig) {
+                     const ingest::IngestConfig& ingestConfig,
+                     const store::PrefetchConfig& prefetch) {
   return runPipeline(generator, dispatcherConfig, artifactsDirectory,
-                     ingestConfig, nullptr);
+                     ingestConfig, prefetch, nullptr);
 }
 
 ResumeOutput resumeStudy(const StudyConfig& config) {
   const store::AppStoreGenerator generator(config.store);
   return resumeStudy(generator, config.dispatcher, config.artifactsDirectory,
-                     config.ingest);
+                     config.ingest, config.prefetch);
 }
 
 ResumeOutput resumeStudy(const store::AppStoreGenerator& generator,
                          const DispatcherConfig& dispatcherConfig,
                          const std::string& artifactsDirectory,
-                         const ingest::IngestConfig& ingestConfig) {
+                         const ingest::IngestConfig& ingestConfig,
+                         const store::PrefetchConfig& prefetch) {
   if (artifactsDirectory.empty())
     throw std::invalid_argument(
         "resumeStudy: artifactsDirectory must name the checkpoint directory "
@@ -176,7 +189,7 @@ ResumeOutput resumeStudy(const store::AppStoreGenerator& generator,
   ResumeOutput resume;
   resume.recovery = StudyRecovery::scan(artifactsDirectory);
   resume.output = runPipeline(generator, dispatcherConfig, artifactsDirectory,
-                              ingestConfig, &resume.recovery.runs);
+                              ingestConfig, prefetch, &resume.recovery.runs);
   return resume;
 }
 

@@ -21,7 +21,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-StudyConfig recoveryConfig() {
+StudyConfig recoveryConfig(std::size_t prefetchThreads = 0) {
   StudyConfig config;
   config.store.appCount = 8;
   config.store.seed = 7;
@@ -30,6 +30,8 @@ StudyConfig recoveryConfig() {
   config.dispatcher.emulator.monkey.throttleMs = 50;
   config.dispatcher.workers = 2;
   config.ingest.shards = 2;
+  config.prefetch.threads = prefetchThreads;
+  config.prefetch.capacity = 4;
   return config;
 }
 
@@ -119,10 +121,19 @@ TEST(RecoveryTest, TornManifestTailIsRepairedOnNextWriter) {
   EXPECT_EQ(report.runs[1].jobIndex, 2u);
 }
 
-TEST(RecoveryTest, KillPointSweepYieldsByteIdenticalStudy) {
-  // Ground truth: the same study, uninterrupted.
+// The sweep runs under several prefetch thread counts: resumeStudy feeds
+// only the gap indices to the generation tier, and the reorder window must
+// keep their original identities at any parallelism — a resumed pipelined
+// study is byte-identical to the uninterrupted serial one.
+class RecoverySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RecoverySweep, KillPointSweepYieldsByteIdenticalStudy) {
+  const std::size_t prefetchThreads = GetParam();
+  // Ground truth: the same study, uninterrupted, no prefetch pool — the
+  // resumed pipelined runs below must match it byte for byte.
   auto config = recoveryConfig();
-  config.artifactsDirectory = freshDir("groundtruth");
+  config.artifactsDirectory =
+      freshDir("groundtruth_p" + std::to_string(prefetchThreads));
   const auto groundTruth = runStudy(config);
   const std::string expected = renderStudy(groundTruth.study);
   ASSERT_EQ(groundTruth.appsProcessed, config.store.appCount);
@@ -136,9 +147,10 @@ TEST(RecoveryTest, KillPointSweepYieldsByteIdenticalStudy) {
     for (const std::size_t crashAt :
          {std::size_t{0}, truthScan.runs.size() / 2,
           truthScan.runs.size() - 1}) {
-      const std::string tag =
-          std::string(killPoint) + "_" + std::to_string(crashAt);
-      auto crashed = recoveryConfig();
+      const std::string tag = std::string(killPoint) + "_" +
+                              std::to_string(crashAt) + "_p" +
+                              std::to_string(prefetchThreads);
+      auto crashed = recoveryConfig(prefetchThreads);
       crashed.artifactsDirectory = freshDir(tag);
 
       // Re-drive the checkpoint protocol up to the injected crash. The
@@ -184,6 +196,9 @@ TEST(RecoveryTest, KillPointSweepYieldsByteIdenticalStudy) {
     }
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(PrefetchThreads, RecoverySweep,
+                         ::testing::Values(0, 2, 8));
 
 TEST(RecoveryTest, CorruptBundlesAreQuarantinedAndReRun) {
   auto config = recoveryConfig();

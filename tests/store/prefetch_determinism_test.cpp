@@ -1,0 +1,128 @@
+// The determinism contract of the generation tier (ISSUE 4): at any
+// prefetch thread count the pipeline must produce the same corpus — and
+// runStudy the same study — byte for byte as the serial path. makeJob is a
+// pure function of the plan seed and the reorder window preserves index
+// order, so thread count may change *when* a job is expanded, never *what*
+// the consumer sees.
+#include "store/prefetch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/export.hpp"
+#include "orch/study.hpp"
+#include "util/sha256.hpp"
+
+namespace libspector::store {
+namespace {
+
+StoreConfig storeConfig(std::uint64_t seed, std::size_t apps = 20) {
+  StoreConfig config;
+  config.appCount = apps;
+  config.seed = seed;
+  config.methodScale = 0.05;
+  return config;
+}
+
+struct CorpusFingerprint {
+  std::vector<std::string> apkSha256;        // per index, hex
+  std::vector<std::size_t> serializedBytes;  // per index
+};
+
+CorpusFingerprint drain(const AppStoreGenerator& generator,
+                        std::size_t threads) {
+  PrefetchConfig config;
+  config.threads = threads;
+  config.capacity = 8;
+  JobPrefetcher prefetcher(generator, config);
+  CorpusFingerprint fingerprint;
+  std::size_t expected = 0;
+  while (auto item = prefetcher.next()) {
+    EXPECT_EQ(item->index, expected++);
+    fingerprint.apkSha256.push_back(item->apkSha256);
+    fingerprint.serializedBytes.push_back(item->job.apk.serialize().size());
+  }
+  EXPECT_EQ(expected, generator.appCount());
+  return fingerprint;
+}
+
+class PrefetchCorpusDeterminism
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefetchCorpusDeterminism, ThreadCountDoesNotChangeACorpusByte) {
+  const AppStoreGenerator generator(storeConfig(GetParam()));
+  const auto serial = drain(generator, 0);
+  for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+    const auto pipelined = drain(generator, threads);
+    EXPECT_EQ(pipelined.apkSha256, serial.apkSha256) << threads << " threads";
+    EXPECT_EQ(pipelined.serializedBytes, serial.serializedBytes)
+        << threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefetchCorpusDeterminism,
+                         ::testing::Values(5, 77));
+
+/// Render every figure dataset plus the markdown report into one string:
+/// if two studies agree on all of it byte for byte, they are the same
+/// study for every consumer this repository has.
+std::string renderStudy(const core::StudyAggregator& study) {
+  std::ostringstream out;
+  core::writeFig2Csv(study, out);
+  core::writeTopLibrariesCsv(study, 25, out);
+  core::writeCdfCsv(study, out);
+  core::writeFlowRatiosCsv(study, out);
+  core::writeAntSharesCsv(study, out);
+  core::writeCategoryAveragesCsv(study, out);
+  core::writeHeatmapCsv(study, out);
+  core::writeCoverageCsv(study, out);
+  core::writeStudyReport(study, out);
+  return out.str();
+}
+
+orch::StudyConfig studyConfig(std::uint64_t seed, std::size_t threads) {
+  orch::StudyConfig config;
+  config.store = storeConfig(seed, 12);
+  config.dispatcher.workers = 2;
+  config.dispatcher.emulator.monkey.events = 80;
+  config.dispatcher.emulator.monkey.throttleMs = 50;
+  config.ingest.shards = 2;
+  config.prefetch.threads = threads;
+  config.prefetch.capacity = 4;
+  return config;
+}
+
+class PrefetchStudyDeterminism
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefetchStudyDeterminism, ThreadCountDoesNotChangeAStudyByte) {
+  const std::uint64_t seed = GetParam();
+  const auto serial = orch::runStudy(studyConfig(seed, 0));
+  const std::string baseline = renderStudy(serial.study);
+  ASSERT_FALSE(baseline.empty());
+
+  for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+    const auto pipelined = orch::runStudy(studyConfig(seed, threads));
+    EXPECT_EQ(pipelined.appsProcessed, serial.appsProcessed);
+    EXPECT_EQ(pipelined.appsFailed, 0u);
+    EXPECT_EQ(renderStudy(pipelined.study), baseline)
+        << threads << " prefetch threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefetchStudyDeterminism,
+                         ::testing::Values(5, 77));
+
+TEST(PrefetchStudyTest, StatsAreReportedThroughStudyOutput) {
+  auto config = studyConfig(5, 2);
+  const auto output = orch::runStudy(config);
+  EXPECT_EQ(output.prefetchStats.produced, config.store.appCount);
+  EXPECT_EQ(output.prefetchStats.delivered, config.store.appCount);
+  EXPECT_LE(output.prefetchStats.maxOutstanding, config.prefetch.capacity);
+}
+
+}  // namespace
+}  // namespace libspector::store

@@ -5,6 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
 namespace libspector::util {
 namespace {
 
@@ -23,6 +26,15 @@ TEST(Sha256Test, TwoBlockMessage) {
   EXPECT_EQ(toHex(Sha256::hash(
                 "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, EightNinetySixBitMessage) {
+  // The 896-bit FIPS 180-4 long-message vector ("abcdefgh..." x 112 chars).
+  EXPECT_EQ(
+      toHex(Sha256::hash("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghi"
+                         "jklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrs"
+                         "tnopqrstu")),
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
 }
 
 TEST(Sha256Test, MillionAs) {
@@ -92,6 +104,106 @@ TEST_P(Sha256LengthSweep, ChunkingInvariance) {
 INSTANTIATE_TEST_SUITE_P(Lengths, Sha256LengthSweep,
                          ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 127,
                                            128, 129, 1000, 4096));
+
+// Equivalence property: for 1,000 random buffers, chunked update() at
+// random split points matches the one-shot digest. This is the contract
+// the streaming apk-serialization walk rides on — any buffering bug at a
+// block boundary would silently change every apk identity in a study.
+TEST(Sha256Test, RandomSplitPointsMatchOneShotFor1000Buffers) {
+  Rng rng(0x5eed5a256ULL);  // deterministic
+  for (int round = 0; round < 1000; ++round) {
+    const auto length = static_cast<std::size_t>(rng.uniform(0, 300));
+    std::string data(length, '\0');
+    for (auto& c : data)
+      c = static_cast<char>(rng.uniform(0, 255));
+    const auto oneShot = Sha256::hash(data);
+
+    Sha256 chunked;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const auto take = static_cast<std::size_t>(
+          rng.uniform(1, static_cast<std::uint64_t>(data.size() - pos)));
+      chunked.update(std::string_view(data).substr(pos, take));
+      pos += take;
+    }
+    ASSERT_EQ(chunked.finish(), oneShot) << "round " << round
+                                         << " length " << length;
+  }
+}
+
+// Sha256Writer must produce the digest of exactly the byte stream
+// ByteWriter materializes — field for field, including the u32 length
+// prefixes on strings. ApkFile::sha256() depends on this equivalence to
+// hash in one serialization walk.
+TEST(Sha256WriterTest, MatchesByteWriterEncoding) {
+  ByteWriter materialized;
+  Sha256Writer streamed;
+  const auto both = [&](auto&& op) {
+    op(materialized);
+    op(streamed);
+  };
+  both([](auto& w) { w.u8(0x42); });
+  both([](auto& w) { w.u16(0xBEEF); });
+  both([](auto& w) { w.u32(0xDEADBEEF); });
+  both([](auto& w) { w.u64(0x0123456789ABCDEFULL); });
+  both([](auto& w) { w.str(""); });
+  both([](auto& w) { w.str("com.example.app"); });
+  both([](auto& w) { w.str(std::string_view("\x00\xff\x7f", 3)); });
+  const std::vector<std::uint8_t> blob{1, 2, 3, 250, 251, 252};
+  both([&blob](auto& w) { w.raw(std::span(blob.data(), blob.size())); });
+
+  const auto bytes = materialized.take();
+  EXPECT_EQ(streamed.finish(),
+            Sha256::hash(std::span(bytes.data(), bytes.size())));
+}
+
+TEST(Sha256WriterTest, RandomFieldSequencesMatchByteWriter) {
+  Rng rng(20260805);
+  for (int round = 0; round < 200; ++round) {
+    ByteWriter materialized;
+    Sha256Writer streamed;
+    const auto fields = rng.uniform(0, 40);
+    for (std::uint64_t f = 0; f < fields; ++f) {
+      switch (rng.uniform(0, 4)) {
+        case 0: {
+          const auto v = static_cast<std::uint8_t>(rng.next());
+          materialized.u8(v);
+          streamed.u8(v);
+          break;
+        }
+        case 1: {
+          const auto v = static_cast<std::uint16_t>(rng.next());
+          materialized.u16(v);
+          streamed.u16(v);
+          break;
+        }
+        case 2: {
+          const auto v = static_cast<std::uint32_t>(rng.next());
+          materialized.u32(v);
+          streamed.u32(v);
+          break;
+        }
+        case 3: {
+          const std::uint64_t v = rng.next();
+          materialized.u64(v);
+          streamed.u64(v);
+          break;
+        }
+        default: {
+          std::string s(static_cast<std::size_t>(rng.uniform(0, 90)), '\0');
+          for (auto& c : s) c = static_cast<char>(rng.uniform(0, 255));
+          materialized.str(s);
+          streamed.str(s);
+          break;
+        }
+      }
+    }
+    const auto bytes = materialized.take();
+    ASSERT_EQ(streamed.finish(),
+              Sha256::hash(std::span(bytes.data(), bytes.size())))
+        << "round " << round;
+  }
+}
 
 }  // namespace
 }  // namespace libspector::util
