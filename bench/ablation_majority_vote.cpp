@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     orch::EmulatorInstance emulator(generator.farm(), nullptr, config);
     const auto artifacts = emulator.run(job.apk, job.program);
     for (const auto& flow : attributor.attribute(artifacts))
-      if (!flow.builtinOrigin) origins.insert(flow.originLibrary);
+      if (!flow.builtinOrigin) origins.insert(flow.originLibrary.str());
   }
 
   std::size_t exactHit = 0;

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     const auto artifacts = emulator.run(job.apk, job.program);
     for (const auto& flow : attributor.attribute(artifacts)) {
       if (!flow.builtinOrigin)
-        bytesByOrigin[flow.originLibrary] += flow.sentBytes + flow.recvBytes;
+        bytesByOrigin[flow.originLibrary.str()] += flow.sentBytes + flow.recvBytes;
     }
   }
 

@@ -1,0 +1,420 @@
+// ISSUE 5 acceptance bench: the symbol-interned flow pipeline and the
+// dictionary-compressed report wire format, measured against the legacy
+// string pipeline and the self-contained v1/v2 framing.
+//
+// Two headline numbers, written to BENCH_wire.json:
+//
+//   - wire bytes per reported socket, v2 framing vs v3 dictionary framing,
+//     over a run with realistic smali signatures (60-90 chars) and stack
+//     depths (8-16): a supervisor re-sends the same handful of signatures
+//     on every socket, so sending each distinct signature once per run and
+//     u32 ids afterwards should cut steady-state datagrams by >= 3x;
+//
+//   - heap allocations per 10k attributed flows, a faithful replica of the
+//     pre-interning string pipeline (per-call frame memos, one std::string
+//     per flow field, string-keyed aggregation) vs the symbol pipeline
+//     (cross-run frame cache, u32-symbol flow records, id-keyed
+//     aggregation), counted with a global operator new hook: >= 5x fewer.
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/attribution.hpp"
+#include "core/report.hpp"
+#include "orch/emulator.hpp"
+#include "radar/corpus.hpp"
+#include "store/generator.hpp"
+#include "util/rng.hpp"
+#include "vtsim/categorizer.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every operator new in the process ticks it.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace libspector;
+
+// ---------------------------------------------------------------------------
+// Part 1: wire bytes per socket, v2 vs v3.
+// ---------------------------------------------------------------------------
+
+/// Realistic smali type signatures in the 60-90 character band the paper's
+/// SDK stacks occupy (ad/analytics/networking internals, obfuscated tails).
+std::vector<std::string> signaturePool() {
+  const char* const kClasses[] = {
+      "Lcom/google/android/gms/ads/internal/request/service/b",
+      "Lcom/flurry/android/monolithic/sdk/impl/network/ado",
+      "Lcom/unity3d/ads/android/cache/download/worker/c",
+      "Lcom/chartboost/sdk/impl/networking/request/aw",
+      "Lcom/inmobi/commons/analytics/net/dispatcher/e",
+      "Lcom/millennialmedia/android/bridge/transport/d",
+      "Lcom/mopub/mobileads/internal/loader/task/f",
+      "Lcom/facebook/ads/internal/server/handler/g",
+  };
+  const char* const kMethods[] = {
+      "doInBackground([Ljava/lang/String;)Ljava/lang/Object;",
+      "executeRequest(Ljava/lang/String;I)Ljava/lang/String;",
+      "openConnection(Ljava/lang/String;)Ljava/net/Socket;",
+      "a(Ljava/lang/String;Ljava/lang/Object;)V",
+  };
+  std::vector<std::string> pool;
+  for (const char* cls : kClasses)
+    for (const char* method : kMethods)
+      pool.push_back(std::string(cls) + ";->" + method);
+  return pool;
+}
+
+struct WireNumbers {
+  std::size_t sockets = 0;
+  std::size_t distinctSignatures = 0;
+  std::uint64_t v2Bytes = 0;
+  std::uint64_t v3Bytes = 0;
+};
+
+/// One run's worth of supervisor datagrams, encoded both ways.
+WireNumbers measureWire(std::size_t sockets) {
+  const auto pool = signaturePool();
+  util::Rng rng(0x11b59ec705ULL);
+  WireNumbers numbers;
+  numbers.sockets = sockets;
+  numbers.distinctSignatures = pool.size();
+
+  core::DictFrameEncoder encoder(7);
+  for (std::size_t seq = 0; seq < sockets; ++seq) {
+    core::UdpReport report;
+    report.apkSha256 =
+        "2b8f3a6f0d9c41e7885f12aa34cc56de2b8f3a6f0d9c41e7885f12aa34cc56de";
+    report.socketPair = {{net::Ipv4Addr(10, 0, 2, 15),
+                          static_cast<std::uint16_t>(32768 + seq % 28000)},
+                         {net::Ipv4Addr(198, 18, 0, 1), 443}};
+    report.timestampMs = seq * 37;
+    const std::size_t depth = rng.uniform(8, 16);
+    const std::size_t base = rng.uniform(0, pool.size() - 1);
+    for (std::size_t i = 0; i < depth; ++i)
+      report.stackSignatures.push_back(pool[(base + i) % pool.size()]);
+
+    // v2 is a wire alias of the v1 layout: identical bytes, version patched.
+    auto legacy = core::ReportFrame{7, seq, report}.encode();
+    legacy[4] = 2;
+    numbers.v2Bytes += legacy.size();
+    numbers.v3Bytes += encoder.encode(seq, report).size();
+  }
+  return numbers;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: heap allocations per 10k attributed flows.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kStudyApps = 60;
+
+/// Pre-emulated study world: emulation runs once, the measured passes only
+/// attribute and aggregate.
+struct StudyWorld {
+  StudyWorld() {
+    store::StoreConfig storeConfig;
+    storeConfig.appCount = kStudyApps;
+    storeConfig.seed = 20200629;
+    storeConfig.methodScale = 0.15;
+    generator = std::make_unique<store::AppStoreGenerator>(storeConfig);
+    categorizer = std::make_unique<vtsim::DomainCategorizer>(
+        vtsim::defaultVendorPanel(), [this](const std::string& domain) {
+          return generator->domainTruth(domain);
+        });
+    for (std::size_t i = 0; i < generator->appCount(); ++i) {
+      const auto job = generator->makeJob(i);
+      orch::EmulatorConfig config;
+      config.monkey.events = 20000;
+      config.monkey.throttleMs = 20;
+      config.seed = 0x11b59ec701ULL + i;
+      orch::EmulatorInstance emulator(generator->farm(), nullptr, config);
+      runs.push_back(emulator.run(job.apk, job.program));
+    }
+  }
+
+  const radar::LibraryCorpus corpus = radar::LibraryCorpus::builtin();
+  std::unique_ptr<store::AppStoreGenerator> generator;
+  std::unique_ptr<vtsim::DomainCategorizer> categorizer;
+  std::vector<core::RunArtifacts> runs;
+};
+
+/// The seed's per-flow record: one heap string per field. Attribution used
+/// to hand a vector of these to a string-keyed aggregator.
+struct LegacyFlowRecord {
+  std::string apkSha256;
+  std::string appPackage;
+  std::string appCategory;
+  std::string originLibrary;
+  std::string originSignature;
+  std::string twoLevelLibrary;
+  std::string libraryCategory;
+  std::string domain;
+  std::string domainCategory;
+  std::uint64_t sentBytes = 0;
+  std::uint64_t recvBytes = 0;
+};
+
+struct LegacyAgg {
+  std::uint64_t sent = 0;
+  std::uint64_t recv = 0;
+  std::string category;
+};
+
+/// Replica of the seed's per-run record stage: materialize one string per
+/// flow field (exactly what the pre-interning FlowRecord held), then fold
+/// into string-keyed study maps. The symbol pipeline replaced this stage,
+/// so it is what the allocation headline isolates — attribution proper
+/// (capture-index build, stack walks) is identical on both sides and is
+/// benched separately in BENCH_attribution.json.
+std::size_t legacyRecordAndFold(
+    const StudyWorld& world,
+    const std::vector<std::vector<core::FlowRecord>>& flowsPerRun) {
+  std::map<std::string, LegacyAgg> libraries;
+  std::map<std::string, LegacyAgg> twoLevel;
+  std::map<std::string, LegacyAgg> domains;
+  std::size_t flowCount = 0;
+  for (std::size_t i = 0; i < world.runs.size(); ++i) {
+    std::vector<LegacyFlowRecord> materialized;
+    materialized.reserve(flowsPerRun[i].size());
+    for (const auto& flow : flowsPerRun[i]) {
+      LegacyFlowRecord legacy;
+      legacy.apkSha256 = flow.apkSha256.str();
+      legacy.appPackage = flow.appPackage.str();
+      legacy.appCategory = flow.appCategory.str();
+      legacy.originLibrary = flow.originLibrary.str();
+      legacy.originSignature = flow.originSignature.str();
+      legacy.twoLevelLibrary = flow.twoLevelLibrary.str();
+      legacy.libraryCategory = flow.libraryCategory.str();
+      legacy.domain = flow.domain.str();
+      legacy.domainCategory = flow.domainCategory.str();
+      legacy.sentBytes = flow.sentBytes;
+      legacy.recvBytes = flow.recvBytes;
+      materialized.push_back(std::move(legacy));
+    }
+    for (const auto& flow : materialized) {
+      auto& lib = libraries[flow.originLibrary];
+      lib.sent += flow.sentBytes;
+      lib.recv += flow.recvBytes;
+      lib.category = flow.libraryCategory;
+      auto& two = twoLevel[flow.twoLevelLibrary];
+      two.sent += flow.sentBytes;
+      two.recv += flow.recvBytes;
+      if (!flow.domain.empty()) {
+        auto& dom = domains[flow.domain];
+        dom.sent += flow.sentBytes;
+        dom.recv += flow.recvBytes;
+        dom.category = flow.domainCategory;
+      }
+    }
+    flowCount += flowsPerRun[i].size();
+  }
+  return flowCount;
+}
+
+/// The record stage as it now stands: flow records stay u32 symbols, the
+/// StudyAggregator folds them through its id-keyed translation cache.
+std::size_t symbolRecordAndFold(
+    const StudyWorld& world,
+    const std::vector<std::vector<core::FlowRecord>>& flowsPerRun) {
+  core::StudyAggregator study;
+  std::size_t flowCount = 0;
+  for (std::size_t i = 0; i < world.runs.size(); ++i) {
+    study.addApp(world.runs[i], flowsPerRun[i]);
+    flowCount += flowsPerRun[i].size();
+  }
+  return flowCount;
+}
+
+/// End-to-end context numbers: attribute + record + fold, the way the seed
+/// ran (interning off, per-call string work) vs the way the pipeline runs
+/// now. Dominated on both sides by attribution proper, so the ratio is
+/// structurally smaller than the record-stage headline.
+std::size_t legacyEndToEnd(const StudyWorld& world) {
+  core::AttributorConfig config;
+  config.internSymbols = false;
+  const core::TrafficAttributor attributor(world.corpus, *world.categorizer,
+                                           config);
+  std::vector<std::vector<core::FlowRecord>> flowsPerRun;
+  flowsPerRun.reserve(world.runs.size());
+  for (const auto& run : world.runs) flowsPerRun.push_back(attributor.attribute(run));
+  return legacyRecordAndFold(world, flowsPerRun);
+}
+
+std::size_t symbolEndToEnd(const StudyWorld& world) {
+  const core::TrafficAttributor attributor(world.corpus, *world.categorizer);
+  std::vector<std::vector<core::FlowRecord>> flowsPerRun;
+  flowsPerRun.reserve(world.runs.size());
+  for (const auto& run : world.runs) flowsPerRun.push_back(attributor.attribute(run));
+  return symbolRecordAndFold(world, flowsPerRun);
+}
+
+std::uint64_t countAllocations(const std::function<std::size_t()>& fn,
+                               std::size_t& flows) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  flows = fn();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+}  // namespace
+
+int main() {
+  // ---- wire format ---------------------------------------------------------
+  const WireNumbers wire = measureWire(4000);
+  const double v2PerSocket =
+      static_cast<double>(wire.v2Bytes) / static_cast<double>(wire.sockets);
+  const double v3PerSocket =
+      static_cast<double>(wire.v3Bytes) / static_cast<double>(wire.sockets);
+  const double wireReduction = v3PerSocket > 0 ? v2PerSocket / v3PerSocket : 0;
+  std::printf("=== report wire format: %zu sockets, %zu distinct signatures ===\n",
+              wire.sockets, wire.distinctSignatures);
+  std::printf("v2 framing:  %10llu bytes  (%.1f bytes/socket)\n",
+              static_cast<unsigned long long>(wire.v2Bytes), v2PerSocket);
+  std::printf("v3 dictionary: %8llu bytes  (%.1f bytes/socket)\n",
+              static_cast<unsigned long long>(wire.v3Bytes), v3PerSocket);
+  std::printf("wire reduction: %.1fx\n\n", wireReduction);
+
+  // ---- allocations ---------------------------------------------------------
+  const StudyWorld world;
+  // Attribute the study once with the live pipeline; the record-stage
+  // comparison below replays the exact same flows through both folds. The
+  // attributor stays alive so the symbol flow records remain valid.
+  const core::TrafficAttributor attributor(world.corpus, *world.categorizer);
+  std::vector<std::vector<core::FlowRecord>> flowsPerRun;
+  flowsPerRun.reserve(world.runs.size());
+  for (const auto& run : world.runs)
+    flowsPerRun.push_back(attributor.attribute(run));
+
+  // Warm both paths once: the symbol pool, the cross-run frame cache and
+  // every lazy corpus/categorizer structure fill here, so the measured
+  // passes compare steady-state per-flow cost, not first-touch setup.
+  (void)legacyRecordAndFold(world, flowsPerRun);
+  (void)symbolRecordAndFold(world, flowsPerRun);
+
+  std::size_t legacyFlows = 0;
+  std::size_t symbolFlows = 0;
+  const std::uint64_t legacyAllocs = countAllocations(
+      [&] { return legacyRecordAndFold(world, flowsPerRun); }, legacyFlows);
+  const std::uint64_t symbolAllocs = countAllocations(
+      [&] { return symbolRecordAndFold(world, flowsPerRun); }, symbolFlows);
+
+  std::size_t e2eFlows = 0;
+  const std::uint64_t legacyE2eAllocs =
+      countAllocations([&] { return legacyEndToEnd(world); }, e2eFlows);
+  const std::uint64_t symbolE2eAllocs =
+      countAllocations([&] { return symbolEndToEnd(world); }, e2eFlows);
+
+  const double legacyPer10k = legacyFlows > 0
+                                  ? 10000.0 * static_cast<double>(legacyAllocs) /
+                                        static_cast<double>(legacyFlows)
+                                  : 0;
+  const double symbolPer10k = symbolFlows > 0
+                                  ? 10000.0 * static_cast<double>(symbolAllocs) /
+                                        static_cast<double>(symbolFlows)
+                                  : 0;
+  const double allocReduction = symbolPer10k > 0 ? legacyPer10k / symbolPer10k : 0;
+  const double e2eReduction =
+      symbolE2eAllocs > 0 ? static_cast<double>(legacyE2eAllocs) /
+                                static_cast<double>(symbolE2eAllocs)
+                          : 0;
+
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+
+  std::printf("=== record+fold allocations: %zu-app study, %zu flows ===\n",
+              kStudyApps, symbolFlows);
+  std::printf("legacy string records: %10llu allocations  (%.0f per 10k flows)\n",
+              static_cast<unsigned long long>(legacyAllocs), legacyPer10k);
+  std::printf("symbol records:        %10llu allocations  (%.0f per 10k flows)\n",
+              static_cast<unsigned long long>(symbolAllocs), symbolPer10k);
+  std::printf("allocation reduction: %.1fx\n", allocReduction);
+  std::printf("end-to-end (attribute+record+fold): %llu -> %llu allocations (%.1fx)\n",
+              static_cast<unsigned long long>(legacyE2eAllocs),
+              static_cast<unsigned long long>(symbolE2eAllocs), e2eReduction);
+  std::printf("peak RSS: %ld KB\n\n", usage.ru_maxrss);
+
+  if (std::FILE* json = std::fopen("BENCH_wire.json", "w")) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"sockets\": %zu,\n"
+                 "  \"distinct_signatures\": %zu,\n"
+                 "  \"v2_wire_bytes\": %llu,\n"
+                 "  \"v3_wire_bytes\": %llu,\n"
+                 "  \"v2_bytes_per_socket\": %.2f,\n"
+                 "  \"v3_bytes_per_socket\": %.2f,\n"
+                 "  \"wire_reduction\": %.3f,\n"
+                 "  \"study_apps\": %zu,\n"
+                 "  \"flows\": %zu,\n"
+                 "  \"legacy_allocations\": %llu,\n"
+                 "  \"symbol_allocations\": %llu,\n"
+                 "  \"legacy_allocations_per_10k_flows\": %.1f,\n"
+                 "  \"symbol_allocations_per_10k_flows\": %.1f,\n"
+                 "  \"allocation_reduction\": %.3f,\n"
+                 "  \"end_to_end_legacy_allocations\": %llu,\n"
+                 "  \"end_to_end_symbol_allocations\": %llu,\n"
+                 "  \"end_to_end_allocation_reduction\": %.3f,\n"
+                 "  \"peak_rss_kb\": %ld\n"
+                 "}\n",
+                 wire.sockets, wire.distinctSignatures,
+                 static_cast<unsigned long long>(wire.v2Bytes),
+                 static_cast<unsigned long long>(wire.v3Bytes), v2PerSocket,
+                 v3PerSocket, wireReduction, kStudyApps, symbolFlows,
+                 static_cast<unsigned long long>(legacyAllocs),
+                 static_cast<unsigned long long>(symbolAllocs), legacyPer10k,
+                 symbolPer10k, allocReduction,
+                 static_cast<unsigned long long>(legacyE2eAllocs),
+                 static_cast<unsigned long long>(symbolE2eAllocs), e2eReduction,
+                 usage.ru_maxrss);
+    std::fclose(json);
+    std::printf("wrote BENCH_wire.json\n");
+  }
+  return 0;
+}

@@ -76,9 +76,9 @@ int main(int argc, char** argv) {
   std::printf("%-42s %-16s %-24s %10s %10s\n", "origin-library", "category",
               "domain", "sent", "recv");
   for (const auto& flow : flows) {
-    std::printf("%-42s %-16s %-24s %10s %10s\n", flow.originLibrary.c_str(),
-                flow.libraryCategory.c_str(),
-                flow.domain.empty() ? "(unresolved)" : flow.domain.c_str(),
+    std::printf("%-42s %-16s %-24s %10s %10s\n", flow.originLibrary.str().c_str(),
+                flow.libraryCategory.str().c_str(),
+                flow.domain.empty() ? "(unresolved)" : flow.domain.str().c_str(),
                 util::humanBytes(static_cast<double>(flow.sentBytes)).c_str(),
                 util::humanBytes(static_cast<double>(flow.recvBytes)).c_str());
   }
@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
     if (flow.builtinOrigin) continue;
     const auto prediction = corpus.predictCategory(flow.originLibrary);
     std::printf("\nCategory vote for %s (matched prefix '%s'):\n",
-                flow.originLibrary.c_str(), prediction.matchedPrefix.c_str());
+                flow.originLibrary.str().c_str(), prediction.matchedPrefix.c_str());
     for (const auto& [category, count] : prediction.votes)
       std::printf("  %-24s %d\n", category.c_str(), count);
     std::printf("  -> %s\n", prediction.category.c_str());

@@ -78,7 +78,7 @@ Measurement measure(const store::AppStoreGenerator& generator,
       const std::uint64_t bytes = flow.sentBytes + flow.recvBytes;
       out.totalBytes += bytes;
       if (flow.antOrigin) out.antBytes += bytes;
-      out.bytesByOrigin[flow.originLibrary] += bytes;
+      out.bytesByOrigin[flow.originLibrary.str()] += bytes;
     }
   }
   return out;

@@ -223,9 +223,9 @@ int cmdInspect(const Args& args) {
       });
   core::TrafficAttributor attributor(corpus, categorizer);
   for (const auto& flow : attributor.attribute(*found)) {
-    std::printf("  %-44s %-16s %-26s %9s/%9s\n", flow.originLibrary.c_str(),
-                flow.libraryCategory.c_str(),
-                flow.domain.empty() ? "(unresolved)" : flow.domain.c_str(),
+    std::printf("  %-44s %-16s %-26s %9s/%9s\n", flow.originLibrary.str().c_str(),
+                flow.libraryCategory.str().c_str(),
+                flow.domain.empty() ? "(unresolved)" : flow.domain.str().c_str(),
                 util::humanBytes(static_cast<double>(flow.sentBytes)).c_str(),
                 util::humanBytes(static_cast<double>(flow.recvBytes)).c_str());
   }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # TSan CI lane: build the concurrent subsystems under ThreadSanitizer and
 # run the tests that exercise them — the ingest tier (sharded router,
-# pipeline, chaos channel), the dispatcher fleet, the collection server,
-# and the job-prefetch generator pool. A data race here corrupts studies
+# pipeline, chaos channel, v3 dictionary path), the dispatcher fleet, the
+# collection server, the job-prefetch generator pool, and the
+# lock-free-read symbol pool. A data race here corrupts studies
 # silently, so this lane gates every change to the streaming path.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
@@ -21,6 +22,7 @@ TARGETS=(
   ingest_router_test
   ingest_pipeline_test
   ingest_stress_test
+  ingest_dict_test
   dispatcher_test
   collector_test
   study_test
@@ -28,6 +30,7 @@ TARGETS=(
   database_test
   prefetch_test
   prefetch_determinism_test
+  symbol_pool_test
 )
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
@@ -36,6 +39,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
-  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch')
+  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch|Symbol|Interning')
 
 echo "TSan lane: OK"

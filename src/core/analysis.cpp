@@ -13,34 +13,54 @@ void StudyAggregator::addApp(const RunArtifacts& run,
   app.coverage = run.coverage.ratio();
   app.totalMethods = run.coverage.totalMethods;
 
+  // Translate flow symbols (owned by the producing attributor's pool) into
+  // this study's pool, once per distinct entry per app: keyed by pool-entry
+  // identity, a repeat costs one pointer hash instead of a string hash.
+  std::unordered_map<const void*, util::Symbol> local;
+  const auto localSym = [&](util::Symbol s) -> util::Symbol {
+    const auto [it, inserted] = local.try_emplace(s.identity());
+    if (inserted) it->second = pool_.intern(s.view());
+    return it->second;
+  };
+
   for (const auto& flow : flows) {
     app.sent += flow.sentBytes;
     app.recv += flow.recvBytes;
     if (flow.antOrigin) app.antBytes += flow.sentBytes + flow.recvBytes;
     if (flow.commonOrigin) app.clBytes += flow.sentBytes + flow.recvBytes;
 
-    EntityAgg& lib = libraries_[flow.originLibrary];
+    const util::Symbol originLibrary = localSym(flow.originLibrary);
+    const util::Symbol libraryCategory = localSym(flow.libraryCategory);
+
+    EntityAgg& lib = libraries_[originLibrary.id()];
+    lib.name = originLibrary;
     lib.sent += flow.sentBytes;
     lib.recv += flow.recvBytes;
-    lib.category = flow.libraryCategory;
+    lib.category = libraryCategory;
     lib.ant = lib.ant || flow.antOrigin;
     lib.common = lib.common || flow.commonOrigin;
 
-    EntityAgg& two = twoLevel_[flow.twoLevelLibrary];
+    const util::Symbol twoLevelLibrary = localSym(flow.twoLevelLibrary);
+    EntityAgg& two = twoLevel_[twoLevelLibrary.id()];
+    two.name = twoLevelLibrary;
     two.sent += flow.sentBytes;
     two.recv += flow.recvBytes;
-    two.category = flow.libraryCategory;
+    two.category = libraryCategory;
 
+    const util::Symbol domainCategory = localSym(flow.domainCategory);
     if (!flow.domain.empty()) {
-      EntityAgg& domain = domains_[flow.domain];
-      domain.sent += flow.sentBytes;  // received by the domain's servers
-      domain.recv += flow.recvBytes;  // sent by the domain's servers
-      domain.category = flow.domainCategory;
+      const util::Symbol domain = localSym(flow.domain);
+      EntityAgg& dom = domains_[domain.id()];
+      dom.name = domain;
+      dom.sent += flow.sentBytes;  // received by the domain's servers
+      dom.recv += flow.recvBytes;  // sent by the domain's servers
+      dom.category = domainCategory;
     }
 
     const std::uint64_t bytes = flow.sentBytes + flow.recvBytes;
-    byAppCatLibCat_[flow.appCategory][flow.libraryCategory] += bytes;
-    heatmap_[flow.libraryCategory][flow.domainCategory] += bytes;
+    const util::Symbol appCategory = localSym(flow.appCategory);
+    byAppCatLibCat_[{appCategory.id(), libraryCategory.id()}] += bytes;
+    heatmap_[{libraryCategory.id(), domainCategory.id()}] += bytes;
     ++flowCount_;
   }
   apps_.push_back(std::move(app));
@@ -74,25 +94,31 @@ StudyAggregator::Totals StudyAggregator::totals() const {
   return totals;
 }
 
+std::map<std::string, std::map<std::string, std::uint64_t>>
+StudyAggregator::transferByAppAndLibCategory() const {
+  std::map<std::string, std::map<std::string, std::uint64_t>> out;
+  for (const auto& [key, bytes] : byAppCatLibCat_)
+    out[pool_.at(key.first).str()][pool_.at(key.second).str()] += bytes;
+  return out;
+}
+
 std::map<std::string, std::uint64_t> StudyAggregator::transferByLibCategory()
     const {
   std::map<std::string, std::uint64_t> out;
-  for (const auto& [appCat, libCats] : byAppCatLibCat_)
-    for (const auto& [libCat, bytes] : libCats) out[libCat] += bytes;
+  for (const auto& [key, bytes] : byAppCatLibCat_)
+    out[pool_.at(key.second).str()] += bytes;
   return out;
 }
 
 namespace {
 
 std::vector<StudyAggregator::RankedEntry> topOf(
-    const std::unordered_map<std::string,
-                             StudyAggregator::RankedEntry>& prepared,
-    std::size_t n) {
-  std::vector<StudyAggregator::RankedEntry> entries;
-  entries.reserve(prepared.size());
-  for (const auto& [name, entry] : prepared) entries.push_back(entry);
+    std::vector<StudyAggregator::RankedEntry> entries, std::size_t n) {
   std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.bytes > b.bytes; });
+            [](const auto& a, const auto& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              return a.name < b.name;  // deterministic tie-break
+            });
   if (entries.size() > n) entries.resize(n);
   return entries;
 }
@@ -101,18 +127,22 @@ std::vector<StudyAggregator::RankedEntry> topOf(
 
 std::vector<StudyAggregator::RankedEntry> StudyAggregator::topOriginLibraries(
     std::size_t n) const {
-  std::unordered_map<std::string, RankedEntry> prepared;
-  for (const auto& [name, agg] : libraries_)
-    prepared.emplace(name, RankedEntry{name, agg.total(), agg.category});
-  return topOf(prepared, n);
+  std::vector<RankedEntry> prepared;
+  prepared.reserve(libraries_.size());
+  for (const auto& [id, agg] : libraries_)
+    prepared.push_back(
+        {agg.name.str(), agg.total(), agg.category.str()});
+  return topOf(std::move(prepared), n);
 }
 
 std::vector<StudyAggregator::RankedEntry> StudyAggregator::topTwoLevelLibraries(
     std::size_t n) const {
-  std::unordered_map<std::string, RankedEntry> prepared;
-  for (const auto& [name, agg] : twoLevel_)
-    prepared.emplace(name, RankedEntry{name, agg.total(), agg.category});
-  return topOf(prepared, n);
+  std::vector<RankedEntry> prepared;
+  prepared.reserve(twoLevel_.size());
+  for (const auto& [id, agg] : twoLevel_)
+    prepared.push_back(
+        {agg.name.str(), agg.total(), agg.category.str()});
+  return topOf(std::move(prepared), n);
 }
 
 std::vector<double> StudyAggregator::sentTotals(Entity entity) const {
@@ -222,8 +252,8 @@ StudyAggregator::AnTStats StudyAggregator::antStats() const {
 std::map<std::string, double> StudyAggregator::avgBytesPerLibraryByCategory()
     const {
   std::map<std::string, std::pair<std::uint64_t, std::size_t>> sums;
-  for (const auto& [name, agg] : libraries_) {
-    auto& [bytes, count] = sums[agg.category];
+  for (const auto& [id, agg] : libraries_) {
+    auto& [bytes, count] = sums[agg.category.str()];
     bytes += agg.total();
     ++count;
   }
@@ -236,8 +266,8 @@ std::map<std::string, double> StudyAggregator::avgBytesPerLibraryByCategory()
 std::map<std::string, double> StudyAggregator::avgBytesPerDomainByCategory()
     const {
   std::map<std::string, std::pair<std::uint64_t, std::size_t>> sums;
-  for (const auto& [name, agg] : domains_) {
-    auto& [bytes, count] = sums[agg.category];
+  for (const auto& [id, agg] : domains_) {
+    auto& [bytes, count] = sums[agg.category.str()];
     bytes += agg.total();
     ++count;
   }
@@ -260,15 +290,21 @@ std::map<std::string, double> StudyAggregator::avgBytesPerAppByCategory() const 
   return out;
 }
 
+std::map<std::string, std::map<std::string, std::uint64_t>>
+StudyAggregator::libraryDomainHeatmap() const {
+  std::map<std::string, std::map<std::string, std::uint64_t>> out;
+  for (const auto& [key, bytes] : heatmap_)
+    out[pool_.at(key.first).str()][pool_.at(key.second).str()] += bytes;
+  return out;
+}
+
 double StudyAggregator::knownLibraryCdnShare() const {
   std::uint64_t known = 0;
   std::uint64_t knownCdn = 0;
-  for (const auto& [libCat, domainCats] : heatmap_) {
-    if (libCat == "Unknown") continue;
-    for (const auto& [domainCat, bytes] : domainCats) {
-      known += bytes;
-      if (domainCat == "cdn") knownCdn += bytes;
-    }
+  for (const auto& [key, bytes] : heatmap_) {
+    if (pool_.at(key.first) == std::string_view("Unknown")) continue;
+    known += bytes;
+    if (pool_.at(key.second) == std::string_view("cdn")) knownCdn += bytes;
   }
   return known == 0 ? 0.0
                     : static_cast<double>(knownCdn) / static_cast<double>(known);

@@ -11,16 +11,29 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/artifacts.hpp"
 #include "core/attribution.hpp"
+#include "util/symbol.hpp"
 
 namespace libspector::core {
 
 /// Accumulates one study; query methods expose figure-shaped views.
+///
+/// Entity maps key on the ids of a study-scoped util::SymbolPool: addApp
+/// translates each flow's symbols (owned by whatever attributor produced
+/// them) into the aggregator's own pool once per distinct entry, so the
+/// per-flow fold is u32 map updates instead of string hashing, and nothing
+/// aggregated references a pool the aggregator does not own. Move-only
+/// (it owns the pool its ids point into).
 class StudyAggregator {
  public:
+  StudyAggregator() = default;
+  StudyAggregator(StudyAggregator&&) noexcept = default;
+  StudyAggregator& operator=(StudyAggregator&&) noexcept = default;
+
   /// Fold one app's run and attributed flows into the study.
   void addApp(const RunArtifacts& run, std::span<const FlowRecord> flows);
 
@@ -52,11 +65,11 @@ class StudyAggregator {
 
   // ---- Fig. 2 ------------------------------------------------------------
 
-  /// app category -> (library category -> bytes).
-  [[nodiscard]] const std::map<std::string, std::map<std::string, std::uint64_t>>&
-  transferByAppAndLibCategory() const noexcept {
-    return byAppCatLibCat_;
-  }
+  /// app category -> (library category -> bytes). Materialized from the
+  /// internal id-keyed matrix at query time (query methods are cold; the
+  /// per-flow fold is the hot path).
+  [[nodiscard]] std::map<std::string, std::map<std::string, std::uint64_t>>
+  transferByAppAndLibCategory() const;
   /// library category -> total bytes (the legend percentages).
   [[nodiscard]] std::map<std::string, std::uint64_t> transferByLibCategory() const;
 
@@ -113,11 +126,10 @@ class StudyAggregator {
 
   // ---- Fig. 9 ------------------------------------------------------------
 
-  /// library category -> (domain category -> bytes).
-  [[nodiscard]] const std::map<std::string, std::map<std::string, std::uint64_t>>&
-  libraryDomainHeatmap() const noexcept {
-    return heatmap_;
-  }
+  /// library category -> (domain category -> bytes). Materialized from the
+  /// internal id-keyed matrix at query time.
+  [[nodiscard]] std::map<std::string, std::map<std::string, std::uint64_t>>
+  libraryDomainHeatmap() const;
   /// Fraction of known-origin (non-built-in, categorized) traffic that
   /// lands on CDN domains — the §IV-E misclassification bound.
   [[nodiscard]] double knownLibraryCdnShare() const;
@@ -147,9 +159,10 @@ class StudyAggregator {
 
  private:
   struct EntityAgg {
+    util::Symbol name;      // into pool_
+    util::Symbol category;  // into pool_
     std::uint64_t sent = 0;
     std::uint64_t recv = 0;
-    std::string category;
     bool ant = false;
     bool common = false;
     [[nodiscard]] std::uint64_t total() const noexcept { return sent + recv; }
@@ -168,12 +181,20 @@ class StudyAggregator {
   [[nodiscard]] static std::vector<double> sortedTotals(
       const std::vector<std::uint64_t>& values);
 
+  /// Study-scoped pool. Ids are assigned in fold order, which the
+  /// StudyAccumulator makes deterministic (dispatch order), so id-keyed
+  /// iteration below is deterministic first-appearance order.
+  util::SymbolPool pool_;
   std::vector<AppAgg> apps_;
-  std::unordered_map<std::string, EntityAgg> libraries_;   // origin-libraries
-  std::unordered_map<std::string, EntityAgg> twoLevel_;    // 2-level roll-up
-  std::unordered_map<std::string, EntityAgg> domains_;
-  std::map<std::string, std::map<std::string, std::uint64_t>> byAppCatLibCat_;
-  std::map<std::string, std::map<std::string, std::uint64_t>> heatmap_;
+  /// Entity aggregates keyed by the entity name's pool id.
+  std::map<std::uint32_t, EntityAgg> libraries_;  // origin-libraries
+  std::map<std::uint32_t, EntityAgg> twoLevel_;   // 2-level roll-up
+  std::map<std::uint32_t, EntityAgg> domains_;
+  /// (app category id, library category id) -> bytes, and
+  /// (library category id, domain category id) -> bytes.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+      byAppCatLibCat_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> heatmap_;
   UdpStats udp_;
   std::size_t flowCount_ = 0;
   std::uint64_t unattributedBytes_ = 0;

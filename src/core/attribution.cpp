@@ -37,30 +37,40 @@ constexpr std::array<std::string_view, 14> kBuiltinPrefixes = {
 
 }  // namespace
 
-std::string frameNameOf(const std::string& entry) {
-  if (!entry.empty() && entry.front() == 'L' &&
-      entry.find(";->") != std::string::npos) {
-    if (const auto signature = dex::TypeSignature::parse(entry))
-      return signature->frameName();
+std::string frameNameOf(std::string_view entry) {
+  if (const auto sig = dex::parseSignatureView(entry)) {
+    std::string out;
+    out.reserve(sig->slashedClass.size() + 1 + sig->methodName.size());
+    for (const char c : sig->slashedClass) out += c == '/' ? '.' : c;
+    out += '.';
+    out += sig->methodName;
+    return out;
   }
-  return entry;
+  return std::string(entry);
 }
 
-std::string packageOfEntry(const std::string& entry) {
-  if (!entry.empty() && entry.front() == 'L' &&
-      entry.find(";->") != std::string::npos) {
-    if (const auto signature = dex::TypeSignature::parse(entry))
-      return signature->packagePath();
+std::string packageOfEntry(std::string_view entry) {
+  if (const auto sig = dex::parseSignatureView(entry)) {
+    const std::size_t lastSlash = sig->slashedClass.rfind('/');
+    if (lastSlash == std::string_view::npos) return {};
+    std::string out(sig->slashedClass.substr(0, lastSlash));
+    for (char& c : out)
+      if (c == '/') c = '.';
+    return out;
   }
   return dex::packageOfFrameName(entry);
 }
 
 bool isBuiltinFrame(std::string_view frameOrSignature) {
-  std::string frame;
-  if (!frameOrSignature.empty() && frameOrSignature.front() == 'L' &&
-      frameOrSignature.find(";->") != std::string_view::npos) {
-    frame = frameNameOf(std::string(frameOrSignature));
-    frameOrSignature = frame;
+  // Signatures are filtered directly against their slashed class part —
+  // no dotted frame name is ever materialized on this path.
+  if (const auto sig = dex::parseSignatureView(frameOrSignature)) {
+    for (const auto prefix : kBuiltinPrefixes) {
+      if (util::isHierarchicalPrefixOfSlashedFrame(prefix, sig->slashedClass,
+                                                   sig->methodName))
+        return true;
+    }
+    return false;
   }
   for (const auto prefix : kBuiltinPrefixes) {
     if (util::isHierarchicalPrefix(prefix, frameOrSignature)) return true;
@@ -81,7 +91,39 @@ std::optional<std::size_t> originFrameIndex(
 TrafficAttributor::TrafficAttributor(const radar::LibraryCorpus& corpus,
                                      vtsim::DomainCategorizer& domains,
                                      AttributorConfig config)
-    : corpus_(corpus), domains_(domains), config_(config) {}
+    : corpus_(corpus),
+      domains_(domains),
+      config_(config),
+      pool_(std::make_unique<util::SymbolPool>()) {}
+
+TrafficAttributor::FrameInfo TrafficAttributor::computeFrameInfo(
+    std::string_view signature) const {
+  FrameInfo info;
+  info.builtin = isBuiltinFrame(signature);
+  std::string originLibrary = packageOfEntry(signature);
+  if (originLibrary.empty()) originLibrary = frameNameOf(signature);
+  info.originLibrary = pool_->intern(originLibrary);
+  info.twoLevelLibrary = pool_->intern(util::prefixLevels(originLibrary, 2));
+  info.libraryCategory =
+      pool_->intern(corpus_.predictCategory(originLibrary).category);
+  info.ant = radar::antLibraries().matches(originLibrary);
+  info.common = radar::commonLibraries().matches(originLibrary);
+  return info;
+}
+
+const TrafficAttributor::FrameInfo& TrafficAttributor::sharedFrameInfo(
+    util::Symbol signature) const {
+  {
+    const std::shared_lock lock(frameMutex_);
+    const auto it = frameCache_.find(signature.id());
+    if (it != frameCache_.end()) return it->second;
+  }
+  // Compute outside the exclusive section (corpus prediction is the pricey
+  // part); a losing racer's identical entry is simply discarded.
+  FrameInfo info = computeFrameInfo(signature.view());
+  const std::unique_lock lock(frameMutex_);
+  return frameCache_.try_emplace(signature.id(), info).first->second;
+}
 
 std::vector<FlowRecord> TrafficAttributor::attribute(
     const RunArtifacts& run) const {
@@ -148,21 +190,18 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
                         : run.capture.streamVolume(pair, from, to);
   };
 
-  // 1d. Per-run frame memos. Stack traces repeat the same frames across
-  //     reports, and every isBuiltinFrame/packageOfEntry call re-parses the
-  //     smali signature; cache both per distinct frame string. Keys are
-  //     views into run.reports, which outlives this call.
-  struct OriginInfo {
-    std::string originLibrary;
-    std::string twoLevelLibrary;
-    std::string libraryCategory;
-    bool ant = false;
-    bool common = false;
-  };
+  // 1d. Per-frame derivation caching. With internSymbols the cache is the
+  //     attributor-lifetime frameCache_ keyed by interned signature id —
+  //     the same SDK stacks recur in every app, so parsing and corpus
+  //     prediction happen once per study. Without it, fall back to per-call
+  //     memos keyed by views into run.reports (which outlives this call),
+  //     exactly the pre-interning behavior.
   std::unordered_map<std::string_view, bool> builtinMemo;
-  std::unordered_map<std::string_view, OriginInfo> originMemo;
+  std::unordered_map<std::string_view, FrameInfo> originMemo;
 
-  const auto isBuiltinCached = [&](const std::string& frame) -> bool {
+  const auto isBuiltinOf = [&](const std::string& frame) -> bool {
+    if (config_.internSymbols)
+      return sharedFrameInfo(pool_->intern(frame)).builtin;
     if (!config_.memoizeFrames) return isBuiltinFrame(frame);
     const auto [it, inserted] = builtinMemo.try_emplace(frame, false);
     if (inserted) it->second = isBuiltinFrame(frame);
@@ -171,24 +210,16 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
   const auto originIndexOf =
       [&](std::span<const std::string> stack) -> std::optional<std::size_t> {
     for (std::size_t i = stack.size(); i-- > 0;) {
-      if (!isBuiltinCached(stack[i])) return i;
+      if (!isBuiltinOf(stack[i])) return i;
     }
     return std::nullopt;
   };
-  const auto computeOriginInfo = [&](const std::string& signature) {
-    OriginInfo info;
-    info.originLibrary = packageOfEntry(signature);
-    if (info.originLibrary.empty()) info.originLibrary = frameNameOf(signature);
-    info.twoLevelLibrary = util::prefixLevels(info.originLibrary, 2);
-    info.libraryCategory = corpus_.predictCategory(info.originLibrary).category;
-    info.ant = radar::antLibraries().matches(info.originLibrary);
-    info.common = radar::commonLibraries().matches(info.originLibrary);
-    return info;
-  };
-  const auto originInfoFor = [&](const std::string& signature) -> OriginInfo {
-    if (!config_.memoizeFrames) return computeOriginInfo(signature);
+  const auto originInfoFor = [&](const std::string& signature) -> FrameInfo {
+    if (config_.internSymbols)
+      return sharedFrameInfo(pool_->intern(signature));
+    if (!config_.memoizeFrames) return computeFrameInfo(signature);
     const auto [it, inserted] = originMemo.try_emplace(signature);
-    if (inserted) it->second = computeOriginInfo(signature);
+    if (inserted) it->second = computeFrameInfo(signature);
     return it->second;
   };
 
@@ -207,6 +238,15 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
   std::vector<FlowRecord> flows;
   flows.reserve(run.reports.size());
 
+  // Per-run constants interned once, not once per flow.
+  const util::Symbol apkSym = pool_->intern(run.apkSha256);
+  const util::Symbol packageSym = pool_->intern(run.packageName);
+  const util::Symbol appCategorySym = pool_->intern(run.appCategory);
+  const util::Symbol unknownDomainCategorySym =
+      pool_->intern(vtsim::kUnknownDomainCategory);
+  const util::Symbol unknownLibraryCategorySym =
+      pool_->intern(radar::kUnknownCategory);
+
   for (const auto& [pair, indices] : reportsByPair) {
     for (std::size_t k = 0; k < indices.size(); ++k) {
       const UdpReport& report = run.reports[indices[k]];
@@ -222,9 +262,9 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
       const auto volume = volumeFor(pair, from, to);
 
       FlowRecord flow;
-      flow.apkSha256 = run.apkSha256;
-      flow.appPackage = run.packageName;
-      flow.appCategory = run.appCategory;
+      flow.apkSha256 = apkSym;
+      flow.appPackage = packageSym;
+      flow.appCategory = appCategorySym;
       flow.socketPair = pair;
       flow.connectTimeMs = report.timestampMs;
       // Data transfer means payload: header-only segments (SYN/ACK/FIN)
@@ -233,31 +273,32 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
       flow.sentBytes = volume.payloadFromSrc;
       flow.recvBytes = volume.payloadFromDst;
 
-      flow.domain = hostFor(pair, from, to);
-      if (flow.domain.empty())
-        flow.domain = domainFor(pair.dst.ip, report.timestampMs);
+      std::string domain = hostFor(pair, from, to);
+      if (domain.empty()) domain = domainFor(pair.dst.ip, report.timestampMs);
       flow.domainCategory =
-          flow.domain.empty()
-              ? std::string(vtsim::kUnknownDomainCategory)
-              : domains_.categorize(flow.domain).category;
+          domain.empty() ? unknownDomainCategorySym
+                         : pool_->intern(domains_.categorize(domain).category);
+      flow.domain = pool_->intern(domain);
 
       const auto origin = originIndexOf(report.stackSignatures);
       if (origin) {
-        flow.originSignature = report.stackSignatures[*origin];
-        OriginInfo info = originInfoFor(flow.originSignature);
-        flow.originLibrary = std::move(info.originLibrary);
-        flow.twoLevelLibrary = std::move(info.twoLevelLibrary);
-        flow.libraryCategory = std::move(info.libraryCategory);
+        flow.originSignature = pool_->intern(report.stackSignatures[*origin]);
+        const FrameInfo info = originInfoFor(report.stackSignatures[*origin]);
+        flow.originLibrary = info.originLibrary;
+        flow.twoLevelLibrary = info.twoLevelLibrary;
+        flow.libraryCategory = info.libraryCategory;
         flow.antOrigin = info.ant;
         flow.commonOrigin = info.common;
       } else {
         flow.builtinOrigin = true;
-        flow.originLibrary = "*-" + flow.domainCategory;
+        std::string star = "*-";
+        star.append(flow.domainCategory.view());
+        flow.originLibrary = pool_->intern(star);
         flow.twoLevelLibrary = flow.originLibrary;
-        flow.libraryCategory = std::string(radar::kUnknownCategory);
+        flow.libraryCategory = unknownLibraryCategorySym;
       }
 
-      flows.push_back(std::move(flow));
+      flows.push_back(flow);
     }
   }
 
@@ -271,10 +312,9 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
 
 std::uint64_t TrafficAttributor::unattributedTcpPayload(
     const RunArtifacts& run, std::span<const FlowRecord> flows) {
-  std::uint64_t totalTcpPayload = 0;
-  for (const auto& pkt : run.capture.packets()) {
-    if (pkt.proto == net::Proto::Tcp) totalTcpPayload += pkt.payloadBytes;
-  }
+  // The capture maintains this sum incrementally on append; re-deriving it
+  // here was a full packet scan per run.
+  const std::uint64_t totalTcpPayload = run.capture.totalTcpPayloadBytes();
   std::uint64_t attributed = 0;
   for (const auto& flow : flows) attributed += flow.sentBytes + flow.recvBytes;
   return attributed >= totalTcpPayload ? 0 : totalTcpPayload - attributed;

@@ -8,10 +8,13 @@
 // LibRadar category, and the destination domain's generic category.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/artifacts.hpp"
@@ -19,6 +22,7 @@
 #include "radar/ant.hpp"
 #include "radar/corpus.hpp"
 #include "util/clock.hpp"
+#include "util/symbol.hpp"
 #include "vtsim/categorizer.hpp"
 
 namespace libspector::core {
@@ -29,11 +33,11 @@ namespace libspector::core {
 
 /// Normalize a report entry (smali signature or dotted frame name) to its
 /// dotted frame name.
-[[nodiscard]] std::string frameNameOf(const std::string& entry);
+[[nodiscard]] std::string frameNameOf(std::string_view entry);
 
 /// Package of a report entry ("com.unity3d.ads.android.cache" for the
 /// Listing 1 origin frame).
-[[nodiscard]] std::string packageOfEntry(const std::string& entry);
+[[nodiscard]] std::string packageOfEntry(std::string_view entry);
 
 /// Index (into the innermost-first list) of the origin frame: the
 /// chronologically first non-built-in method, i.e. the outermost surviving
@@ -42,23 +46,31 @@ namespace libspector::core {
     std::span<const std::string> stackSignatures);
 
 /// One attributed flow: a socket, its volume, and its origin context.
+///
+/// The string-ish fields are interned util::Symbols — trivially copyable
+/// handles into the pool of the TrafficAttributor that produced the flow
+/// (or whatever pool a test interned them in). A study of millions of flows
+/// repeats the same few hundred strings; symbols make a FlowRecord
+/// allocation-free to build and copy. Flows must not outlive their pool
+/// (the attributor outlives the aggregation that consumes its flows — see
+/// DESIGN.md §10).
 struct FlowRecord {
-  std::string apkSha256;
-  std::string appPackage;
-  std::string appCategory;
+  util::Symbol apkSha256;
+  util::Symbol appPackage;
+  util::Symbol appCategory;
 
   /// Origin-library package; "*-<domainCategory>" when the whole stack was
   /// built-in code (Fig. 3's "*-Advertisement" convention).
-  std::string originLibrary;
-  std::string originSignature;  // empty for built-in origins
-  std::string twoLevelLibrary;
-  std::string libraryCategory;  // one of radar::libraryCategories()
+  util::Symbol originLibrary;
+  util::Symbol originSignature;  // empty for built-in origins
+  util::Symbol twoLevelLibrary;
+  util::Symbol libraryCategory;  // one of radar::libraryCategories()
   bool builtinOrigin = false;
   bool antOrigin = false;     // origin-library in the AnT list
   bool commonOrigin = false;  // origin-library in the common-library list
 
-  std::string domain;          // "" when no DNS resolution preceded the flow
-  std::string domainCategory;  // one of vtsim::genericCategories()
+  util::Symbol domain;          // "" when no DNS resolution preceded the flow
+  util::Symbol domainCategory;  // one of vtsim::genericCategories()
 
   net::SocketPair socketPair;
   util::SimTimeMs connectTimeMs = 0;
@@ -80,6 +92,14 @@ struct AttributorConfig {
   /// the same frames heavily). Purely an allocation/CPU saver; results are
   /// identical either way.
   bool memoizeFrames = true;
+  /// Share the per-frame derivation cache *across runs*, keyed by interned
+  /// signature id (a shared_mutex-guarded map of immutable entries). The
+  /// same SDK stacks recur in every app of a study, so the cross-run cache
+  /// makes signature parsing and corpus prediction a once-per-study cost.
+  /// Off falls back to the per-call memo above. Results are identical
+  /// either way (the byte-identity tests pin this); flows reference the
+  /// attributor's symbol pool in both modes.
+  bool internSymbols = true;
 };
 
 class TrafficAttributor {
@@ -88,8 +108,16 @@ class TrafficAttributor {
                     vtsim::DomainCategorizer& domains,
                     AttributorConfig config = {});
 
-  /// Attribute every reported socket of one app run.
+  /// Attribute every reported socket of one app run. Thread-safe: parallel
+  /// workers share one attributor (the pool and frame cache are internally
+  /// synchronized).
   [[nodiscard]] std::vector<FlowRecord> attribute(const RunArtifacts& run) const;
+
+  /// The pool backing every Symbol in the flows this attributor returns.
+  /// Flows are valid only while the attributor (and thus the pool) lives.
+  [[nodiscard]] const util::SymbolPool& symbols() const noexcept {
+    return *pool_;
+  }
 
  public:
   /// TCP payload bytes in the capture that no attributed flow covers —
@@ -99,9 +127,32 @@ class TrafficAttributor {
       const RunArtifacts& run, std::span<const FlowRecord> flows);
 
  private:
+  /// Everything attribution derives from one distinct stack frame.
+  /// Immutable after insertion into the cross-run cache.
+  struct FrameInfo {
+    bool builtin = false;
+    util::Symbol originLibrary;
+    util::Symbol twoLevelLibrary;
+    util::Symbol libraryCategory;
+    bool ant = false;
+    bool common = false;
+  };
+
+  [[nodiscard]] FrameInfo computeFrameInfo(std::string_view signature) const;
+  /// Cross-run cache lookup (config_.internSymbols path).
+  [[nodiscard]] const FrameInfo& sharedFrameInfo(util::Symbol signature) const;
+
   const radar::LibraryCorpus& corpus_;
   vtsim::DomainCategorizer& domains_;
   AttributorConfig config_;
+  /// Owns every Symbol handed out in FlowRecords. Behind a unique_ptr so
+  /// the attributor stays movable and flow symbols survive the move.
+  std::unique_ptr<util::SymbolPool> pool_;
+  mutable std::shared_mutex frameMutex_;
+  /// Keyed by interned signature id; values are heap-stable (node-based
+  /// map) and immutable once inserted, so readers can hold references
+  /// outside the lock.
+  mutable std::unordered_map<std::uint32_t, FrameInfo> frameCache_;
 };
 
 }  // namespace libspector::core

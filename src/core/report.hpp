@@ -10,10 +10,13 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/ip.hpp"
 #include "util/clock.hpp"
+#include "util/strings.hpp"
 
 namespace libspector::core {
 
@@ -51,18 +54,28 @@ struct UdpReport {
 ///   included) is rejected instead of mis-attributed.
 struct ReportFrame {
   static constexpr std::uint8_t kVersion = 1;
+  /// Highest frame version this build understands. v2 is a wire alias of
+  /// the v1 layout (the PR 2 accounting upgrade changed artifacts, not the
+  /// frame); v3 is the dictionary-compressed layout (DictReportFrame).
+  static constexpr std::uint8_t kMaxVersion = 3;
+  static constexpr std::uint8_t kDictVersion = 3;
 
   std::uint32_t workerId = 0;
   std::uint64_t sequence = 0;
   UdpReport report;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  /// Full decode: validates magic, version, checksum, payload, and that
-  /// shaKey matches the payload's apk checksum. Throws util::DecodeError.
+  /// Full decode of a v1/v2 frame: validates magic, version, checksum,
+  /// payload, and that shaKey matches the payload's apk checksum. v3
+  /// frames throw (use DictReportFrame::decode or ReportStreamDecoder).
+  /// Throws util::DecodeError.
   [[nodiscard]] static ReportFrame decode(std::span<const std::uint8_t> datagram);
 
-  /// Header-only view, enough to route the datagram to a shard.
+  /// Header-only view, enough to route the datagram to a shard. The body
+  /// prefix (workerId | sequence | shaKey) is shared by every version, so
+  /// routing never needs the dictionary.
   struct Header {
+    std::uint8_t version = kVersion;
     std::uint32_t workerId = 0;
     std::uint64_t sequence = 0;
     std::uint64_t shaKey = 0;
@@ -79,8 +92,93 @@ struct ReportFrame {
   [[nodiscard]] bool operator==(const ReportFrame&) const = default;
 };
 
-/// Decode either wire format: a framed datagram yields its payload report,
-/// a legacy raw datagram decodes directly. Throws util::DecodeError.
+/// ReportFrame v3: the dictionary-compressed report frame.
+///
+/// A supervisor re-transmits the same handful of smali type signatures on
+/// every socket its app opens. v3 sends each distinct signature once per
+/// run — the frame that first references a signature carries its
+/// definition (id, text); every frame thereafter carries just the u32 id.
+///
+///   magic (u32) | version=3 (u8) | crc32 (u32) | body
+///   body = workerId (u32) | sequence (u64) | shaKey (u64)
+///        | defCount (u32) | defCount × (id (u32) | signature (str))
+///        | apkSha256 (str) | src ip (u32) | src port (u16)
+///        | dst ip (u32) | dst port (u16) | timestampMs (u64)
+///        | frameCount (u32) | frameCount × id (u32)
+///
+/// apkSha256 stays inline (not dictionary-encoded) so every delivered
+/// frame self-identifies its apk even when the defining frame was lost;
+/// only signature text can be missing, and the ingest router accounts for
+/// that exactly (holes heal from duplicate defs or from the complete
+/// artifact replay — see ShardedIngest).
+struct DictReportFrame {
+  std::uint32_t workerId = 0;
+  std::uint64_t sequence = 0;
+  std::string apkSha256;            // lowercase hex, inline
+  net::SocketPair socketPair;
+  util::SimTimeMs timestampMs = 0;
+  /// Dictionary entries first referenced by this frame, in id order.
+  std::vector<std::pair<std::uint32_t, std::string>> defs;
+  /// Translated stack trace as dictionary ids, innermost first.
+  std::vector<std::uint32_t> signatureIds;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Validates magic, version, checksum, and that shaKey matches the
+  /// inline apk checksum. Throws util::DecodeError.
+  [[nodiscard]] static DictReportFrame decode(
+      std::span<const std::uint8_t> datagram);
+
+  [[nodiscard]] bool operator==(const DictReportFrame&) const = default;
+};
+
+/// Sender-side dictionary state for one run: assigns dense u32 ids to
+/// distinct signatures and emits each definition in the first frame that
+/// references it. One encoder per supervisor — ids are meaningless across
+/// runs. Not thread-safe (the supervisor serializes its sends).
+class DictFrameEncoder {
+ public:
+  explicit DictFrameEncoder(std::uint32_t workerId) : workerId_(workerId) {}
+
+  /// Frame `report` as a v3 datagram, folding unseen signatures into the
+  /// run dictionary.
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::uint64_t sequence,
+                                                 const UdpReport& report);
+
+  /// Distinct signatures defined so far.
+  [[nodiscard]] std::size_t dictionarySize() const noexcept {
+    return ids_.size();
+  }
+
+ private:
+  std::uint32_t workerId_ = 0;
+  std::unordered_map<std::string, std::uint32_t, util::TransparentStringHash,
+                     std::equal_to<>>
+      ids_;
+};
+
+/// Stateful receiver for a *reliable, in-order* report stream (the
+/// emulator's local sink, the collection server): folds v3 dictionary
+/// definitions per worker and resolves ids back to signature text, and
+/// passes raw / v1 / v2 datagrams through unchanged. On an in-order
+/// stream a definition always precedes its first reference, so an
+/// unresolvable id means corruption — it throws util::DecodeError. The
+/// lossy UDP path does NOT use this class; ShardedIngest keeps its own
+/// per-apk dictionaries with exact hole accounting.
+class ReportStreamDecoder {
+ public:
+  /// Decode any supported datagram format into a full report.
+  [[nodiscard]] UdpReport decode(std::span<const std::uint8_t> datagram);
+
+ private:
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<std::uint32_t, std::string>>
+      dictByWorker_;
+};
+
+/// Decode either stateless wire format: a framed v1/v2 datagram yields its
+/// payload report, a legacy raw datagram decodes directly. v3 datagrams
+/// throw (they need stream state — use ReportStreamDecoder). Throws
+/// util::DecodeError.
 [[nodiscard]] UdpReport decodeReportDatagram(
     std::span<const std::uint8_t> datagram);
 

@@ -79,11 +79,17 @@ void SocketSupervisor::onSocketConnected(
   // Framed with the worker id and this run's next sequence number: the
   // channel is best-effort UDP, and only sender-assigned sequencing lets
   // the ingest tier account loss/dup/reorder instead of absorbing it.
-  ReportFrame frame;
-  frame.workerId = workerId_;
-  frame.sequence = reportsSent_;
-  frame.report = std::move(report);
-  stack.sendUdpDatagram(collector_, frame.encode());
+  std::vector<std::uint8_t> datagram;
+  if (dictEncoder_) {
+    datagram = dictEncoder_->encode(reportsSent_, report);
+  } else {
+    ReportFrame frame;
+    frame.workerId = workerId_;
+    frame.sequence = reportsSent_;
+    frame.report = std::move(report);
+    datagram = frame.encode();
+  }
+  stack.sendUdpDatagram(collector_, datagram);
   ++reportsSent_;
 }
 

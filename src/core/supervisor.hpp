@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/report.hpp"
@@ -29,6 +30,12 @@ class SocketSupervisor final : public hook::XposedModule {
   explicit SocketSupervisor(
       net::SockEndpoint collector = kDefaultCollectorEndpoint,
       std::uint32_t workerId = 0);
+
+  /// Switch this run's report datagrams to the dictionary-compressed v3
+  /// frame (each distinct signature sent once, then by id). The receiving
+  /// tier must understand v3 — the sharded ingest router and the
+  /// ReportStreamDecoder both do; plain decodeReportDatagram does not.
+  void enableDictionaryFrames() { dictEncoder_.emplace(workerId_); }
 
   /// Pre-seed the next onAppLoaded with work the host already did: the
   /// apk's hex sha256 (the emulator computes it once per run for the
@@ -56,6 +63,8 @@ class SocketSupervisor final : public hook::XposedModule {
 
   net::SockEndpoint collector_;
   std::uint32_t workerId_ = 0;
+  /// Engaged when v3 dictionary frames are enabled for this run.
+  std::optional<DictFrameEncoder> dictEncoder_;
   std::size_t reportsSent_ = 0;
   std::string pendingApkSha256_;
   dex::FrameTableCache* tableCache_ = nullptr;

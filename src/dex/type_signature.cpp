@@ -54,31 +54,68 @@ std::optional<std::vector<std::string>> splitTypeDescriptors(
   return out;
 }
 
-std::optional<TypeSignature> TypeSignature::parse(std::string_view smali) {
+namespace {
+
+/// Structural split shared by parse() and parseSignatureView(): locates the
+/// class/name/param/return components and validates everything that does not
+/// require materializing the parameter list.
+struct SignatureParts {
+  std::string_view classPart;
+  std::string_view name;
+  std::string_view paramBody;
+  std::string_view retBody;
+};
+
+std::optional<SignatureParts> splitSignature(std::string_view smali) noexcept {
   // Lpkg/Class;->name(params)ret
   if (smali.empty() || smali.front() != 'L') return std::nullopt;
   const std::size_t arrow = smali.find(";->");
   if (arrow == std::string_view::npos) return std::nullopt;
-  const std::string_view classPart = smali.substr(1, arrow - 1);
-  if (classPart.empty()) return std::nullopt;
+  SignatureParts parts;
+  parts.classPart = smali.substr(1, arrow - 1);
+  if (parts.classPart.empty()) return std::nullopt;
 
-  std::size_t pos = arrow + 3;
+  const std::size_t pos = arrow + 3;
   const std::size_t paren = smali.find('(', pos);
   if (paren == std::string_view::npos || paren == pos) return std::nullopt;
-  const std::string_view name = smali.substr(pos, paren - pos);
+  parts.name = smali.substr(pos, paren - pos);
 
   const std::size_t closeParen = smali.find(')', paren);
   if (closeParen == std::string_view::npos) return std::nullopt;
-  const std::string_view paramBody = smali.substr(paren + 1, closeParen - paren - 1);
-  auto params = splitTypeDescriptors(paramBody);
+  parts.paramBody = smali.substr(paren + 1, closeParen - paren - 1);
+
+  parts.retBody = smali.substr(closeParen + 1);
+  if (parts.retBody.empty()) return std::nullopt;
+  if (consumeDescriptor(parts.retBody, 0) != parts.retBody.size())
+    return std::nullopt;
+  return parts;
+}
+
+/// Validate a parameter list body without allocating the descriptor vector.
+bool validTypeDescriptors(std::string_view body) noexcept {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    pos = consumeDescriptor(body, pos);
+    if (pos == std::string_view::npos) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<TypeSignature> TypeSignature::parse(std::string_view smali) {
+  const auto parts = splitSignature(smali);
+  if (!parts) return std::nullopt;
+  auto params = splitTypeDescriptors(parts->paramBody);
   if (!params) return std::nullopt;
+  return TypeSignature(slashToDot(parts->classPart), std::string(parts->name),
+                       std::move(*params), std::string(parts->retBody));
+}
 
-  const std::string_view retBody = smali.substr(closeParen + 1);
-  if (retBody.empty()) return std::nullopt;
-  if (consumeDescriptor(retBody, 0) != retBody.size()) return std::nullopt;
-
-  return TypeSignature(slashToDot(classPart), std::string(name),
-                       std::move(*params), std::string(retBody));
+std::optional<SignatureView> parseSignatureView(std::string_view smali) noexcept {
+  const auto parts = splitSignature(smali);
+  if (!parts || !validTypeDescriptors(parts->paramBody)) return std::nullopt;
+  return SignatureView{parts->classPart, parts->name};
 }
 
 TypeSignature::TypeSignature(std::string dottedClass, std::string methodName,

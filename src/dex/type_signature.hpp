@@ -55,6 +55,21 @@ class TypeSignature {
   std::string returnType_;
 };
 
+/// Zero-allocation structural view of a smali signature: the slash-separated
+/// class part and the method name, pointing into the input. Validated with
+/// exactly TypeSignature::parse's rules (same inputs succeed and fail), but
+/// without materializing any component — the attribution hot path uses this
+/// to filter built-in frames and derive packages with no heap traffic.
+struct SignatureView {
+  std::string_view slashedClass;  // "com/unity3d/ads/android/cache/b"
+  std::string_view methodName;    // "doInBackground"
+};
+
+/// Parse `smali` into a SignatureView; std::nullopt on malformed input
+/// (accepts and rejects exactly what TypeSignature::parse does).
+[[nodiscard]] std::optional<SignatureView> parseSignatureView(
+    std::string_view smali) noexcept;
+
 /// Split a smali parameter list body ("[Ljava/lang/String;IZ") into
 /// individual type descriptors. Returns std::nullopt on malformed input.
 [[nodiscard]] std::optional<std::vector<std::string>> splitTypeDescriptors(

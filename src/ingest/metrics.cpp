@@ -37,6 +37,10 @@ std::string IngestMetrics::toJson() const {
   appendKv(out, "frames_dropped", framesDropped);
   appendKv(out, "duplicated", duplicated);
   appendKv(out, "out_of_order", outOfOrder);
+  appendKv(out, "dict_frames", dictFrames);
+  appendKv(out, "dict_holes", dictHoles);
+  appendKv(out, "dict_repaired", dictRepaired);
+  appendKv(out, "dict_dropped", dictDropped);
   appendKv(out, "runs_completed", runsCompleted);
   appendKv(out, "reports_delivered", reportsDelivered);
   appendKv(out, "reports_lost", reportsLost);
@@ -53,6 +57,10 @@ std::string IngestMetrics::toJson() const {
     appendKv(out, "frames_dropped", s.framesDropped);
     appendKv(out, "duplicated", s.duplicated);
     appendKv(out, "out_of_order", s.outOfOrder);
+    appendKv(out, "dict_frames", s.dictFrames);
+    appendKv(out, "dict_holes", s.dictHoles);
+    appendKv(out, "dict_repaired", s.dictRepaired);
+    appendKv(out, "dict_dropped", s.dictDropped);
     appendKv(out, "runs_completed", s.runsCompleted);
     appendKv(out, "reports_delivered", s.reportsDelivered);
     appendKv(out, "reports_lost", s.reportsLost);

@@ -1,5 +1,6 @@
 #include "ingest/pipeline.hpp"
 
+#include <string_view>
 #include <utility>
 
 namespace libspector::ingest {
@@ -35,6 +36,21 @@ void IngestPipeline::skip(std::size_t jobIndex) {
 
 void IngestPipeline::drain() { router_.drain(); }
 
+namespace {
+
+// std::map::try_emplace has no heterogeneous overload, so the string-view
+// keyed bump goes through lower_bound + emplace_hint to only allocate a
+// key string on first sight.
+void bumpBytes(std::map<std::string, std::uint64_t, std::less<>>& map,
+               std::string_view key, std::uint64_t bytes) {
+  auto it = map.lower_bound(key);
+  if (it == map.end() || it->first != key)
+    it = map.emplace_hint(it, std::string(key), 0);
+  it->second += bytes;
+}
+
+}  // namespace
+
 void IngestPipeline::onRun(RunDelivery&& delivery) {
   // Attribution runs on the shard consumer thread, unlocked: this is the
   // heavy stage, and shards are the parallelism axis of the ingest tier.
@@ -51,8 +67,8 @@ void IngestPipeline::onRun(RunDelivery&& delivery) {
     for (const auto& flow : flows) {
       const std::uint64_t bytes = flow.sentBytes + flow.recvBytes;
       appBytes += bytes;
-      rolling_.bytesByLibrary[flow.originLibrary] += bytes;
-      rolling_.bytesByLibCategory[flow.libraryCategory] += bytes;
+      bumpBytes(rolling_.bytesByLibrary, flow.originLibrary.view(), bytes);
+      bumpBytes(rolling_.bytesByLibCategory, flow.libraryCategory.view(), bytes);
     }
     rolling_.attributedBytes += appBytes;
     rolling_.bytesByApp[delivery.artifacts.apkSha256] += appBytes;

@@ -30,9 +30,11 @@ struct RollingTotals {
   std::uint64_t flowCount = 0;
   std::uint64_t attributedBytes = 0;    // sent + recv across flows
   std::uint64_t unattributedBytes = 0;  // TCP payload lost context covers
-  std::map<std::string, std::uint64_t> bytesByLibrary;      // origin library
-  std::map<std::string, std::uint64_t> bytesByLibCategory;
-  std::map<std::string, std::uint64_t> bytesByApp;          // apk sha256
+  // Transparent comparators: the fold path keys by the flows' interned
+  // string_views without materializing a std::string per lookup.
+  std::map<std::string, std::uint64_t, std::less<>> bytesByLibrary;  // origin library
+  std::map<std::string, std::uint64_t, std::less<>> bytesByLibCategory;
+  std::map<std::string, std::uint64_t, std::less<>> bytesByApp;  // apk sha256
 };
 
 class IngestPipeline final : public ReportSink {

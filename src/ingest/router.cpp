@@ -152,7 +152,31 @@ void ShardedIngest::consumeLoop(std::stop_token stop, Shard& shard) {
   }
 }
 
+bool ShardedIngest::recordArrivalLocked(Shard& shard, PendingApk& apk,
+                                        std::uint32_t workerId,
+                                        std::uint64_t sequence) {
+  ++apk.framesDelivered;
+  const auto key = std::make_pair(workerId, sequence);
+  if (apk.reports.contains(key) || apk.holes.contains(key)) {
+    ++apk.duplicated;
+    ++shard.counters.duplicated;
+    return false;
+  }
+  WorkerSeq& seq = apk.workers[workerId];
+  if (seq.any && sequence < seq.maxSeq) {
+    ++apk.outOfOrder;
+    ++shard.counters.outOfOrder;
+  }
+  seq.maxSeq = seq.any ? std::max(seq.maxSeq, sequence) : sequence;
+  seq.any = true;
+  return true;
+}
+
 void ShardedIngest::foldFrame(Shard& shard, const Item& item) {
+  if (item.header.version == core::ReportFrame::kDictVersion) {
+    foldDictFrame(shard, item);
+    return;
+  }
   core::ReportFrame frame;
   try {
     frame = core::ReportFrame::decode(item.frameBytes);
@@ -171,23 +195,133 @@ void ShardedIngest::foldFrame(Shard& shard, const Item& item) {
     apk.orderIt = shard.order.insert(shard.order.end(), it->first);
     evictIfOverCapacityLocked(shard);
   }
-  ++apk.framesDelivered;
-  const auto key = std::make_pair(frame.workerId, frame.sequence);
-  const bool inserted =
-      apk.reports.try_emplace(key, std::move(frame.report)).second;
-  if (!inserted) {
-    ++apk.duplicated;
-    ++shard.counters.duplicated;
-  } else {
-    WorkerSeq& seq = apk.workers[frame.workerId];
-    if (seq.any && frame.sequence < seq.maxSeq) {
-      ++apk.outOfOrder;
-      ++shard.counters.outOfOrder;
-    }
-    seq.maxSeq = seq.any ? std::max(seq.maxSeq, frame.sequence) : frame.sequence;
-    seq.any = true;
+  if (recordArrivalLocked(shard, apk, frame.workerId, frame.sequence)) {
+    apk.reports.emplace(std::make_pair(frame.workerId, frame.sequence),
+                        std::move(frame.report));
   }
   ++shard.counters.framesFolded;
+}
+
+void ShardedIngest::foldDictFrame(Shard& shard, const Item& item) {
+  core::DictReportFrame frame;
+  try {
+    frame = core::DictReportFrame::decode(item.frameBytes);
+  } catch (const util::DecodeError& err) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    util::logWarn("ingest: dropping undecodable dict frame: %s", err.what());
+    return;
+  }
+
+  const std::scoped_lock lock(shard.mutex);
+  auto [it, created] = shard.pending.try_emplace(frame.apkSha256);
+  PendingApk& apk = it->second;
+  if (created) {
+    apk.orderIt = shard.order.insert(shard.order.end(), it->first);
+    evictIfOverCapacityLocked(shard);
+  }
+  ++shard.counters.dictFrames;
+
+  // Fold definitions before the dedup check: a duplicated datagram is
+  // redundant as a *report* but its defs still heal the dictionary when
+  // the first copy's defs arrived and later references were parked.
+  auto& dict = apk.dicts[frame.workerId];
+  bool newDefs = false;
+  for (auto& [id, signature] : frame.defs)
+    newDefs = dict.try_emplace(id, std::move(signature)).second || newDefs;
+
+  if (recordArrivalLocked(shard, apk, frame.workerId, frame.sequence)) {
+    std::vector<std::string> stack;
+    stack.reserve(frame.signatureIds.size());
+    bool complete = true;
+    for (const std::uint32_t id : frame.signatureIds) {
+      const auto def = dict.find(id);
+      if (def == dict.end()) {
+        complete = false;
+        break;
+      }
+      stack.push_back(def->second);
+    }
+    core::UdpReport report;
+    report.apkSha256 = std::move(frame.apkSha256);
+    report.socketPair = frame.socketPair;
+    report.timestampMs = frame.timestampMs;
+    const auto key = std::make_pair(frame.workerId, frame.sequence);
+    if (complete) {
+      report.stackSignatures = std::move(stack);
+      apk.reports.emplace(key, std::move(report));
+    } else {
+      // The defining frame is lost or still in flight: park everything we
+      // know and wait for a healing def or the finalize-time repair.
+      ++shard.counters.dictHoles;
+      apk.holes.emplace(
+          key, CompactReport{std::move(report), std::move(frame.signatureIds)});
+    }
+  }
+
+  if (newDefs) resolveHolesLocked(shard, apk, frame.workerId);
+  ++shard.counters.framesFolded;
+}
+
+void ShardedIngest::resolveHolesLocked(Shard& shard, PendingApk& apk,
+                                       std::uint32_t workerId) {
+  const auto& dict = apk.dicts[workerId];
+  for (auto it = apk.holes.lower_bound({workerId, 0});
+       it != apk.holes.end() && it->first.first == workerId;) {
+    std::vector<std::string> stack;
+    stack.reserve(it->second.sigIds.size());
+    bool complete = true;
+    for (const std::uint32_t id : it->second.sigIds) {
+      const auto def = dict.find(id);
+      if (def == dict.end()) {
+        complete = false;
+        break;
+      }
+      stack.push_back(def->second);
+    }
+    if (!complete) {
+      ++it;
+      continue;
+    }
+    core::UdpReport report = std::move(it->second.base);
+    report.stackSignatures = std::move(stack);
+    apk.reports.emplace(it->first, std::move(report));
+    ++shard.counters.dictRepaired;
+    it = apk.holes.erase(it);
+  }
+}
+
+void ShardedIngest::repairHolesFromLocalLocked(
+    Shard& shard, PendingApk& apk, const core::RunArtifacts& artifacts) {
+  if (apk.holes.empty()) return;
+  // The emulator records every emitted report locally in send order, so
+  // when that list is complete, sequence s *is* artifacts.reports[s]. Each
+  // candidate must still match the hole's delivered metadata (apk, socket
+  // pair, timestamp, stack depth) before it is trusted — the hole's own
+  // fields came off the wire checksummed, so a mismatch means the local
+  // list is not what this frame described.
+  const bool localComplete =
+      artifacts.reportsEmitted > 0 &&
+      artifacts.reports.size() == artifacts.reportsEmitted;
+  for (auto it = apk.holes.begin(); it != apk.holes.end();) {
+    bool repaired = false;
+    const std::uint64_t sequence = it->first.second;
+    if (localComplete && sequence < artifacts.reports.size()) {
+      const core::UdpReport& candidate = artifacts.reports[sequence];
+      const CompactReport& hole = it->second;
+      if (candidate.apkSha256 == hole.base.apkSha256 &&
+          candidate.socketPair == hole.base.socketPair &&
+          candidate.timestampMs == hole.base.timestampMs &&
+          candidate.stackSignatures.size() == hole.sigIds.size()) {
+        core::UdpReport report = std::move(it->second.base);
+        report.stackSignatures = candidate.stackSignatures;
+        apk.reports.emplace(it->first, std::move(report));
+        ++shard.counters.dictRepaired;
+        repaired = true;
+      }
+    }
+    if (!repaired) ++shard.counters.dictDropped;
+    it = apk.holes.erase(it);
+  }
 }
 
 void ShardedIngest::finalizeRun(Shard& shard, RunTask&& task) {
@@ -222,6 +356,10 @@ void ShardedIngest::finalizeRun(Shard& shard, RunTask&& task) {
     if (it != shard.pending.end()) {
       PendingApk& apk = it->second;
       channelLive = true;
+      // Heal any dictionary holes from the locally recorded report list
+      // before the account is computed: a repaired hole counts delivered
+      // (its frame did arrive), an unrepairable one counts lost.
+      repairHolesFromLocalLocked(shard, apk, delivery.artifacts);
       delivery.account.framesDelivered = apk.framesDelivered;
       delivery.account.uniqueDelivered = apk.reports.size();
       delivery.account.duplicated = apk.duplicated;
@@ -257,7 +395,8 @@ void ShardedIngest::evictIfOverCapacityLocked(Shard& shard) {
     const auto it = shard.pending.find(oldest);
     if (it != shard.pending.end()) {
       ++shard.counters.apksEvicted;
-      shard.counters.reportsEvicted += it->second.reports.size();
+      shard.counters.reportsEvicted +=
+          it->second.reports.size() + it->second.holes.size();
       shard.pending.erase(it);
     }
     shard.order.pop_front();
@@ -282,6 +421,9 @@ std::vector<core::UdpReport> ShardedIngest::takeReports(
   reports.reserve(it->second.reports.size());
   for (auto& [key, report] : it->second.reports)
     reports.push_back(std::move(report));
+  // Unresolved dictionary holes have no stack to return; with no run to
+  // repair them from, they are dropped and counted.
+  shard.counters.dictDropped += it->second.holes.size();
   shard.order.erase(it->second.orderIt);
   shard.pending.erase(it);
   return reports;
@@ -310,6 +452,10 @@ IngestMetrics ShardedIngest::metrics() const {
     out.framesDropped += m.framesDropped;
     out.duplicated += m.duplicated;
     out.outOfOrder += m.outOfOrder;
+    out.dictFrames += m.dictFrames;
+    out.dictHoles += m.dictHoles;
+    out.dictRepaired += m.dictRepaired;
+    out.dictDropped += m.dictDropped;
     out.runsCompleted += m.runsCompleted;
     out.reportsDelivered += m.reportsDelivered;
     out.reportsLost += m.reportsLost;

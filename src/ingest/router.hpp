@@ -144,10 +144,25 @@ class ShardedIngest final : public ReportSink {
     bool any = false;
   };
 
+  /// A delivered v3 frame whose signature ids are not all defined yet
+  /// (the frame carrying the definition was lost or reordered behind it).
+  /// Everything but the stack is known; the id list waits for defs.
+  struct CompactReport {
+    core::UdpReport base;  // stackSignatures empty until resolved
+    std::vector<std::uint32_t> sigIds;
+  };
+
   struct PendingApk {
     /// Delivered reports keyed (workerId, sequence): the map both
     /// deduplicates and restores send order.
     std::map<std::pair<std::uint32_t, std::uint64_t>, core::UdpReport> reports;
+    /// v3 frames parked until their dictionary entries arrive. Disjoint
+    /// from `reports`; dedup spans both.
+    std::map<std::pair<std::uint32_t, std::uint64_t>, CompactReport> holes;
+    /// Per-worker signature dictionary folded from v3 frame defs.
+    std::unordered_map<std::uint32_t,
+                       std::unordered_map<std::uint32_t, std::string>>
+        dicts;
     std::unordered_map<std::uint32_t, WorkerSeq> workers;
     std::uint64_t framesDelivered = 0;
     std::uint64_t duplicated = 0;
@@ -178,7 +193,23 @@ class ShardedIngest final : public ReportSink {
   void enqueue(Shard& shard, Item&& item, bool droppable);
   void consumeLoop(std::stop_token stop, Shard& shard);
   void foldFrame(Shard& shard, const Item& item);
+  void foldDictFrame(Shard& shard, const Item& item);
   void finalizeRun(Shard& shard, RunTask&& task);
+  /// Dedup + worker-sequence bookkeeping shared by the v1 and v3 fold
+  /// paths. Returns false when (workerId, sequence) was already delivered
+  /// (as a report or a hole). Requires shard.mutex held.
+  bool recordArrivalLocked(Shard& shard, PendingApk& apk,
+                           std::uint32_t workerId, std::uint64_t sequence);
+  /// Resolve any of `workerId`'s parked frames the dictionary now covers.
+  /// Requires shard.mutex held.
+  void resolveHolesLocked(Shard& shard, PendingApk& apk,
+                          std::uint32_t workerId);
+  /// Last-resort hole repair at run finalization: heal from the emulator's
+  /// locally recorded report list (complete and sequence-ordered), each
+  /// candidate verified against the hole's delivered metadata. Unrepairable
+  /// holes are dropped and counted. Requires shard.mutex held.
+  void repairHolesFromLocalLocked(Shard& shard, PendingApk& apk,
+                                  const core::RunArtifacts& artifacts);
   /// Requires shard.mutex held.
   void evictIfOverCapacityLocked(Shard& shard);
 

@@ -11,6 +11,7 @@ constexpr std::uint32_t kMagic = 0x50434c53;  // "SLCP"
 }
 
 void CaptureFile::append(PacketRecord record) {
+  if (record.proto == Proto::Tcp) tcpPayloadBytes_ += record.payloadBytes;
   packets_.push_back(std::move(record));
 }
 
@@ -60,6 +61,7 @@ CaptureIndex::CaptureIndex(const CaptureFile& capture)
     }
     connOf[i] = it->second;
     ++counts[it->second];
+    if (packets[i].proto == Proto::Tcp) tcpPayload_ += packets[i].payloadBytes;
   }
 
   // Pass 2: scatter packet indices into contiguous per-connection ranges,
@@ -215,7 +217,7 @@ CaptureFile CaptureFile::deserialize(std::span<const std::uint8_t> bytes) {
     pkt.payloadBytes = r.u32();
     pkt.dnsQname = r.str();
     pkt.dnsAnswer = Ipv4Addr(r.u32());
-    capture.packets_.push_back(std::move(pkt));
+    capture.append(std::move(pkt));
   }
   // Each HTTP exchange record occupies at least 33 bytes.
   const std::uint32_t httpCount = r.countCheck(r.u32(), 33);

@@ -106,14 +106,27 @@ class CaptureFile {
 
   [[nodiscard]] std::uint64_t totalWireBytes() const noexcept;
 
+  /// Sum of TCP payload bytes over the whole capture, maintained
+  /// incrementally on append — O(1) at query time. The attribution
+  /// unattributed-traffic accounting reads this once per run; recomputing
+  /// it was a full packet scan per run.
+  [[nodiscard]] std::uint64_t totalTcpPayloadBytes() const noexcept {
+    return tcpPayloadBytes_;
+  }
+
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   [[nodiscard]] static CaptureFile deserialize(std::span<const std::uint8_t> bytes);
 
-  [[nodiscard]] bool operator==(const CaptureFile&) const = default;
+  [[nodiscard]] bool operator==(const CaptureFile& other) const noexcept {
+    // tcpPayloadBytes_ is derived from packets_; comparing it would be
+    // redundant (and it is equal whenever packets_ are).
+    return packets_ == other.packets_ && http_ == other.http_;
+  }
 
  private:
   std::vector<PacketRecord> packets_;
   std::vector<HttpExchange> http_;
+  std::uint64_t tcpPayloadBytes_ = 0;
 };
 
 /// Read-only query accelerator over one CaptureFile.
@@ -144,6 +157,12 @@ class CaptureIndex {
   }
   [[nodiscard]] std::size_t packetCount() const noexcept { return packets_; }
 
+  /// Sum of TCP payload bytes over the indexed capture, accumulated while
+  /// the index is built (matches CaptureFile::totalTcpPayloadBytes()).
+  [[nodiscard]] std::uint64_t totalTcpPayload() const noexcept {
+    return tcpPayload_;
+  }
+
  private:
   /// Packet slots [first, last) of one connection in the flat arrays below.
   struct Range {
@@ -171,6 +190,7 @@ class CaptureIndex {
   std::vector<std::uint64_t> payloadForward_;
   std::vector<std::uint64_t> payloadReverse_;
   std::size_t packets_ = 0;
+  std::uint64_t tcpPayload_ = 0;
 };
 
 }  // namespace libspector::net

@@ -13,18 +13,18 @@ CollectionServer::CollectionServer(CollectionServerConfig config)
 }
 
 void CollectionServer::submitDatagram(std::span<const std::uint8_t> payload) {
+  // Decode under the lock: the v3 dictionary decoder is stateful, and many
+  // workers feed this server concurrently.
+  const std::scoped_lock lock(mutex_);
+  ++received_;
   core::UdpReport report;
   try {
-    report = core::decodeReportDatagram(payload);
+    report = decoder_.decode(payload);
   } catch (const util::DecodeError& err) {
-    const std::scoped_lock lock(mutex_);
-    ++received_;
     ++dropped_;
     util::logWarn("CollectionServer: dropping malformed datagram: %s", err.what());
     return;
   }
-  const std::scoped_lock lock(mutex_);
-  ++received_;
   auto [it, inserted] = bySha_.try_emplace(report.apkSha256);
   if (inserted) {
     order_.push_back(it->first);

@@ -34,9 +34,10 @@ class CollectionServer final : public ingest::ReportSink {
  public:
   explicit CollectionServer(CollectionServerConfig config = {});
 
-  /// Ingest one raw datagram — framed (core::ReportFrame) or legacy raw
-  /// report encoding. Malformed datagrams are counted and dropped (UDP
-  /// gives no delivery or integrity guarantee).
+  /// Ingest one raw datagram — framed (core::ReportFrame v1/v2), the
+  /// dictionary-compressed v3 frame, or legacy raw report encoding.
+  /// Malformed datagrams are counted and dropped (UDP gives no delivery or
+  /// integrity guarantee).
   void submitDatagram(std::span<const std::uint8_t> payload) override;
 
   /// Remove and return all reports collected for an apk (a worker calls
@@ -62,6 +63,8 @@ class CollectionServer final : public ingest::ReportSink {
 
   CollectionServerConfig config_;
   mutable std::mutex mutex_;
+  /// Stateful v3 dictionary decoder; guarded by mutex_ like the maps.
+  core::ReportStreamDecoder decoder_;
   std::unordered_map<std::string, PendingApk> bySha_;
   std::list<std::string> order_;  // pending apks, oldest first
   std::size_t received_ = 0;

@@ -2,6 +2,7 @@
 
 #include "hook/xposed.hpp"
 #include "rt/interpreter.hpp"
+#include "util/bytes.hpp"
 #include "rt/tracer.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
@@ -26,11 +27,19 @@ core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
   // verbatim (framing survives to the ingest tier); the local sink unwraps
   // them for the run's own artifact bundle.
   std::vector<core::UdpReport> localReports;
+  core::ReportStreamDecoder localDecoder;
   stack.registerUdpSink(
       core::kDefaultCollectorEndpoint,
-      [this, &localReports](const net::SockEndpoint&,
-                            std::span<const std::uint8_t> payload) {
-        localReports.push_back(core::decodeReportDatagram(payload));
+      [this, &localReports, &localDecoder](
+          const net::SockEndpoint&, std::span<const std::uint8_t> payload) {
+        try {
+          localReports.push_back(localDecoder.decode(payload));
+        } catch (const util::DecodeError&) {
+          // v3 under datagram loss: a frame whose dictionary definition
+          // was dropped before reaching this sink is a local loss, not an
+          // error — reportsEmitted minus what lands here accounts for it,
+          // and the ingest tier keeps its own exact per-apk account.
+        }
         if (collector_ != nullptr) collector_->submitDatagram(payload);
       });
 
@@ -48,6 +57,7 @@ core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
   hook::XposedFramework xposed;
   const auto supervisor = std::make_shared<core::SocketSupervisor>(
       core::kDefaultCollectorEndpoint, config_.workerId);
+  if (config_.dictionaryFrames) supervisor->enableDictionaryFrames();
   supervisor->primeApkContext(apkSha256, config_.frameTableCache);
   xposed.installModule(supervisor);
   xposed.attachToApp(runtime, apk);

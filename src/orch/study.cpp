@@ -27,6 +27,7 @@ StudyOutput runPipeline(const store::AppStoreGenerator& generator,
                         const std::string& artifactsDirectory,
                         const ingest::IngestConfig& ingestConfig,
                         const store::PrefetchConfig& prefetchConfig,
+                        const core::AttributorConfig& attributionConfig,
                         std::vector<RecoveredRun>* replays) {
   const auto start = std::chrono::steady_clock::now();
 
@@ -35,7 +36,7 @@ StudyOutput runPipeline(const store::AppStoreGenerator& generator,
       vtsim::defaultVendorPanel(), [&generator](const std::string& domain) {
         return generator.domainTruth(domain);
       });
-  core::TrafficAttributor attributor(kCorpus, categorizer);
+  core::TrafficAttributor attributor(kCorpus, categorizer, attributionConfig);
 
   StudyOutput output;
   const bool persist = !artifactsDirectory.empty();
@@ -158,29 +159,31 @@ StudyOutput runPipeline(const store::AppStoreGenerator& generator,
 StudyOutput runStudy(const StudyConfig& config) {
   const store::AppStoreGenerator generator(config.store);
   return runStudy(generator, config.dispatcher, config.artifactsDirectory,
-                  config.ingest, config.prefetch);
+                  config.ingest, config.prefetch, config.attribution);
 }
 
 StudyOutput runStudy(const store::AppStoreGenerator& generator,
                      const DispatcherConfig& dispatcherConfig,
                      const std::string& artifactsDirectory,
                      const ingest::IngestConfig& ingestConfig,
-                     const store::PrefetchConfig& prefetch) {
+                     const store::PrefetchConfig& prefetch,
+                     const core::AttributorConfig& attribution) {
   return runPipeline(generator, dispatcherConfig, artifactsDirectory,
-                     ingestConfig, prefetch, nullptr);
+                     ingestConfig, prefetch, attribution, nullptr);
 }
 
 ResumeOutput resumeStudy(const StudyConfig& config) {
   const store::AppStoreGenerator generator(config.store);
   return resumeStudy(generator, config.dispatcher, config.artifactsDirectory,
-                     config.ingest, config.prefetch);
+                     config.ingest, config.prefetch, config.attribution);
 }
 
 ResumeOutput resumeStudy(const store::AppStoreGenerator& generator,
                          const DispatcherConfig& dispatcherConfig,
                          const std::string& artifactsDirectory,
                          const ingest::IngestConfig& ingestConfig,
-                         const store::PrefetchConfig& prefetch) {
+                         const store::PrefetchConfig& prefetch,
+                         const core::AttributorConfig& attribution) {
   if (artifactsDirectory.empty())
     throw std::invalid_argument(
         "resumeStudy: artifactsDirectory must name the checkpoint directory "
@@ -189,7 +192,8 @@ ResumeOutput resumeStudy(const store::AppStoreGenerator& generator,
   ResumeOutput resume;
   resume.recovery = StudyRecovery::scan(artifactsDirectory);
   resume.output = runPipeline(generator, dispatcherConfig, artifactsDirectory,
-                              ingestConfig, prefetch, &resume.recovery.runs);
+                              ingestConfig, prefetch, attribution,
+                              &resume.recovery.runs);
   return resume;
 }
 

@@ -40,6 +40,26 @@ bool isHierarchicalPrefix(std::string_view prefix, std::string_view s, char sep)
   return s.size() == prefix.size() || s[prefix.size()] == sep;
 }
 
+bool isHierarchicalPrefixOfSlashedFrame(std::string_view dottedPrefix,
+                                        std::string_view slashedClass,
+                                        std::string_view methodName) noexcept {
+  // The virtual frame name is slashToDot(slashedClass) ++ "." ++ methodName.
+  const std::size_t frameSize = slashedClass.size() + 1 + methodName.size();
+  if (dottedPrefix.empty() || dottedPrefix.size() > frameSize) return false;
+  const auto frameAt = [&](std::size_t i) -> char {
+    if (i < slashedClass.size()) {
+      const char c = slashedClass[i];
+      return c == '/' ? '.' : c;
+    }
+    if (i == slashedClass.size()) return '.';
+    return methodName[i - slashedClass.size() - 1];
+  };
+  for (std::size_t i = 0; i < dottedPrefix.size(); ++i) {
+    if (dottedPrefix[i] != frameAt(i)) return false;
+  }
+  return dottedPrefix.size() == frameSize || frameAt(dottedPrefix.size()) == '.';
+}
+
 std::string prefixLevels(std::string_view package, int n) {
   if (n <= 0) return {};
   std::size_t pos = 0;

@@ -28,6 +28,16 @@ namespace libspector::util {
 /// First `n` dot-separated components of a package path ("a.b.c", 2 -> "a.b").
 [[nodiscard]] std::string prefixLevels(std::string_view package, int n);
 
+/// isHierarchicalPrefix against the *virtual* dotted frame name
+/// `slashToDot(slashedClass) + "." + methodName` — i.e. what
+/// dex::TypeSignature::frameName() would materialize — without building the
+/// string. Lets the built-in-package filter run allocation-free on raw
+/// smali signatures: equivalent to
+/// `isHierarchicalPrefix(dottedPrefix, frameName)` in every case.
+[[nodiscard]] bool isHierarchicalPrefixOfSlashedFrame(
+    std::string_view dottedPrefix, std::string_view slashedClass,
+    std::string_view methodName) noexcept;
+
 /// True if `s` contains `needle` as a substring.
 [[nodiscard]] bool contains(std::string_view s, std::string_view needle);
 

@@ -1,0 +1,113 @@
+// String interning for the hot flow pipeline.
+//
+// The same handful of strings — smali signatures, origin-library packages,
+// category names, apk checksums — recur millions of times across ingest,
+// attribution and aggregation. A SymbolPool stores each distinct string
+// once and hands out Symbols: trivially copyable handles with stable
+// string_view access and a dense per-pool u32 id space, so downstream maps
+// can key on a u32 instead of re-hashing the string per flow.
+//
+// Concurrency contract: intern() is safe from any number of threads.
+// Lookups that hit run lock-free (an acquire load of the open-addressing
+// table plus a probe); only the first intern of a distinct string takes the
+// pool's write mutex. Entries are allocated in stable chunks, so a Symbol
+// (and every view() taken from it) stays valid for the pool's lifetime —
+// growth never moves an entry.
+//
+// Ownership/lifetime rules (DESIGN.md §10): a Symbol is a borrowed pointer
+// into its pool. Holders must not outlive the pool; the pipeline therefore
+// scopes pools to the object that outlives every holder (the attributor
+// for per-run flows, the aggregator for per-study entity maps). Moving a
+// pool keeps all Symbols valid (state is behind a unique_ptr); moving it
+// while another thread interns is undefined.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace libspector::util {
+
+class SymbolPool;
+
+/// Handle to one interned string. Default-constructed Symbols view "".
+class Symbol {
+ public:
+  static constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+
+  constexpr Symbol() noexcept = default;
+
+  /// Stable view into the owning pool (valid for the pool's lifetime).
+  [[nodiscard]] std::string_view view() const noexcept {
+    return entry_ == nullptr ? std::string_view{} : std::string_view(entry_->text);
+  }
+  [[nodiscard]] std::string str() const { return std::string(view()); }
+  /// Dense per-pool id (interning order); kNoId for a default Symbol.
+  [[nodiscard]] std::uint32_t id() const noexcept {
+    return entry_ == nullptr ? kNoId : entry_->id;
+  }
+  [[nodiscard]] bool empty() const noexcept { return view().empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return view().size(); }
+
+  operator std::string_view() const noexcept { return view(); }  // NOLINT
+
+  /// Content equality (works across pools; the common case in tests).
+  friend bool operator==(Symbol a, Symbol b) noexcept { return a.view() == b.view(); }
+  friend bool operator==(Symbol a, std::string_view b) noexcept { return a.view() == b; }
+
+  /// Pool-entry identity: stable key for translation caches that map a
+  /// foreign pool's symbols onto a local pool (same pointer <=> same entry).
+  [[nodiscard]] const void* identity() const noexcept { return entry_; }
+
+ private:
+  friend class SymbolPool;
+  struct Entry {
+    std::string text;
+    std::uint32_t id = 0;
+  };
+  constexpr explicit Symbol(const Entry* entry) noexcept : entry_(entry) {}
+  const Entry* entry_ = nullptr;
+};
+
+class SymbolPool {
+ public:
+  SymbolPool();
+  ~SymbolPool();
+  SymbolPool(SymbolPool&&) noexcept;
+  SymbolPool& operator=(SymbolPool&&) noexcept;
+  SymbolPool(const SymbolPool&) = delete;
+  SymbolPool& operator=(const SymbolPool&) = delete;
+
+  /// Intern `text`: returns the existing Symbol when the string is already
+  /// pooled (lock-free), otherwise copies it under the write mutex and
+  /// assigns the next id. Throws std::length_error past ~4M symbols.
+  [[nodiscard]] Symbol intern(std::string_view text);
+
+  /// Lock-free lookup without insertion; default Symbol when absent.
+  [[nodiscard]] Symbol find(std::string_view text) const noexcept;
+
+  /// Resolve an id handed out by this pool; default Symbol out of range.
+  [[nodiscard]] Symbol at(std::uint32_t id) const noexcept;
+
+  /// Distinct strings interned so far.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Total bytes of interned text (observability for the wire/memory bench).
+  [[nodiscard]] std::size_t textBytes() const noexcept;
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace libspector::util
+
+template <>
+struct std::hash<libspector::util::Symbol> {
+  [[nodiscard]] std::size_t operator()(
+      libspector::util::Symbol s) const noexcept {
+    return std::hash<std::string_view>{}(s.view());
+  }
+};

@@ -18,15 +18,21 @@ RunArtifacts runFor(std::size_t i) {
   return run;
 }
 
+// Static pool: test flows stay valid for the whole binary.
+util::Symbol sym(std::string_view text) {
+  static util::SymbolPool pool;
+  return pool.intern(text);
+}
+
 std::vector<FlowRecord> flowsFor(std::size_t i) {
   FlowRecord flow;
-  flow.apkSha256 = "sha" + std::to_string(i);
-  flow.appPackage = "com.app.n" + std::to_string(i);
-  flow.originLibrary = "com.lib.l" + std::to_string(i % 3);
-  flow.twoLevelLibrary = "com.lib";
-  flow.libraryCategory = i % 3 == 0 ? "Advertisement" : "Utility";
-  flow.domain = "d" + std::to_string(i) + ".example.com";
-  flow.domainCategory = "cdn";
+  flow.apkSha256 = sym("sha" + std::to_string(i));
+  flow.appPackage = sym("com.app.n" + std::to_string(i));
+  flow.originLibrary = sym("com.lib.l" + std::to_string(i % 3));
+  flow.twoLevelLibrary = sym("com.lib");
+  flow.libraryCategory = sym(i % 3 == 0 ? "Advertisement" : "Utility");
+  flow.domain = sym("d" + std::to_string(i) + ".example.com");
+  flow.domainCategory = sym("cdn");
   flow.sentBytes = 100 * (i + 1);
   flow.recvBytes = 1000 * (i + 1);
   return {flow};

@@ -7,20 +7,28 @@
 namespace libspector::core {
 namespace {
 
+// Backs the test flows' symbols; static so every FlowRecord built here
+// stays valid for the whole test binary (mirrors the attributor's pool).
+util::Symbol sym(std::string_view text) {
+  static util::SymbolPool pool;
+  return pool.intern(text);
+}
+
 FlowRecord flow(const std::string& app, const std::string& appCategory,
                 const std::string& library, const std::string& libCategory,
                 const std::string& domain, const std::string& domainCategory,
                 std::uint64_t sent, std::uint64_t recv, bool ant = false,
                 bool common = false) {
   FlowRecord record;
-  record.apkSha256 = app;
-  record.appPackage = app;
-  record.appCategory = appCategory;
-  record.originLibrary = library;
-  record.twoLevelLibrary = library.substr(0, library.find('.', library.find('.') + 1));
-  record.libraryCategory = libCategory;
-  record.domain = domain;
-  record.domainCategory = domainCategory;
+  record.apkSha256 = sym(app);
+  record.appPackage = sym(app);
+  record.appCategory = sym(appCategory);
+  record.originLibrary = sym(library);
+  record.twoLevelLibrary =
+      sym(library.substr(0, library.find('.', library.find('.') + 1)));
+  record.libraryCategory = sym(libCategory);
+  record.domain = sym(domain);
+  record.domainCategory = sym(domainCategory);
   record.sentBytes = sent;
   record.recvBytes = recv;
   record.antOrigin = ant;

@@ -201,7 +201,7 @@ TEST_F(AttributorTest, BuiltinOnlyStackBecomesStarLibrary) {
   EXPECT_TRUE(flows[0].builtinOrigin);
   EXPECT_EQ(flows[0].libraryCategory, "Unknown");
   // Fig. 3's "*-Advertisement" convention (when the vote lands on ads).
-  EXPECT_TRUE(flows[0].originLibrary.starts_with("*-"));
+  EXPECT_TRUE(flows[0].originLibrary.view().starts_with("*-"));
 }
 
 TEST_F(AttributorTest, FirstPartyOriginPredictsUnknownCategory) {

@@ -17,13 +17,19 @@ net::HttpExchange exchange(std::uint16_t srcPort, util::SimTimeMs ts,
   return out;
 }
 
+// Static pool: test flows stay valid for the whole binary.
+util::Symbol sym(std::string_view text) {
+  static util::SymbolPool pool;
+  return pool.intern(text);
+}
+
 FlowRecord flowAt(std::uint16_t srcPort, util::SimTimeMs connect,
                   std::string libCategory, std::uint64_t bytes = 1000) {
   FlowRecord flow;
   flow.socketPair = {{net::Ipv4Addr(10, 0, 2, 15), srcPort},
                      {net::Ipv4Addr(198, 18, 0, 1), 443}};
   flow.connectTimeMs = connect;
-  flow.libraryCategory = std::move(libCategory);
+  flow.libraryCategory = sym(libCategory);
   flow.recvBytes = bytes;
   return flow;
 }

@@ -9,16 +9,22 @@
 namespace libspector::core {
 namespace {
 
+// Static pool: test flows stay valid for the whole binary.
+util::Symbol sym(std::string_view text) {
+  static util::SymbolPool pool;
+  return pool.intern(text);
+}
+
 FlowRecord makeFlow(const std::string& library, const std::string& libCategory,
                     const std::string& domain, const std::string& domainCategory,
                     std::uint64_t sent, std::uint64_t recv) {
   FlowRecord flow;
-  flow.originLibrary = library;
-  flow.twoLevelLibrary = library;
-  flow.libraryCategory = libCategory;
-  flow.domain = domain;
-  flow.domainCategory = domainCategory;
-  flow.appCategory = "TOOLS";
+  flow.originLibrary = sym(library);
+  flow.twoLevelLibrary = sym(library);
+  flow.libraryCategory = sym(libCategory);
+  flow.domain = sym(domain);
+  flow.domainCategory = sym(domainCategory);
+  flow.appCategory = sym("TOOLS");
   flow.sentBytes = sent;
   flow.recvBytes = recv;
   flow.antOrigin = libCategory == "Advertisement";

@@ -76,6 +76,54 @@ TEST(TypeSignatureTest, RejectsMalformedInputs) {
   EXPECT_FALSE(TypeSignature::parse("Lcom/foo/Bar;->m()VV"));     // trailing junk
 }
 
+TEST(SignatureViewTest, AcceptsAndRejectsExactlyWhatParseDoes) {
+  // parseSignatureView is the attribution hot path's zero-allocation twin
+  // of TypeSignature::parse: the two must agree on every input, and on
+  // accepted inputs the view must name the same class and method.
+  const std::string_view inputs[] = {
+      "Lcom/unity3d/ads/android/cache/b;->doInBackground([Ljava/lang/"
+      "String;)Ljava/lang/Object;",
+      "Lcom/foo/Bar$Inner;->m(I)V",
+      "Lcom/foo/Bar;->m(J)V",
+      "Landroid/os/AsyncTask$2;->call()Ljava/lang/Object;",
+      "",
+      "com.foo.Bar.baz",             // frame name, not smali
+      "Lcom/foo/Bar;baz(I)V",        // no arrow
+      "Lcom/foo/Bar;->(I)V",         // no method name
+      "Lcom/foo/Bar;->m(I)",         // no return type
+      "Lcom/foo/Bar;->m(Q)V",        // bad type descriptor
+      "Lcom/foo/Bar;->m(Lfoo)V",     // unterminated class descriptor
+      "L;->m()V",                    // empty class
+      "Lcom/foo/Bar;->m()VV",        // trailing junk
+      "java.net.Socket.connect",
+  };
+  for (const std::string_view smali : inputs) {
+    const auto full = TypeSignature::parse(smali);
+    const auto view = parseSignatureView(smali);
+    EXPECT_EQ(full.has_value(), view.has_value()) << smali;
+    if (full && view) {
+      std::string dotted;
+      for (const char ch : view->slashedClass)
+        dotted.push_back(ch == '/' ? '.' : ch);
+      EXPECT_EQ(dotted, full->dottedClass()) << smali;
+      EXPECT_EQ(view->methodName, full->methodName()) << smali;
+    }
+  }
+}
+
+TEST(SignatureViewTest, ViewsPointIntoTheInput) {
+  const std::string smali = "Lcom/foo/Bar;->m(I)V";
+  const auto view = parseSignatureView(smali);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->slashedClass, "com/foo/Bar");
+  EXPECT_EQ(view->methodName, "m");
+  // Zero-copy: both views alias the input buffer.
+  EXPECT_GE(view->slashedClass.data(), smali.data());
+  EXPECT_LT(view->slashedClass.data(), smali.data() + smali.size());
+  EXPECT_GE(view->methodName.data(), smali.data());
+  EXPECT_LT(view->methodName.data(), smali.data() + smali.size());
+}
+
 TEST(SplitTypeDescriptorsTest, EmptyBody) {
   const auto types = splitTypeDescriptors("");
   ASSERT_TRUE(types.has_value());

@@ -255,6 +255,113 @@ TEST(FuzzDecodersTest, ChaosChannelDamageNeverCorruptsContent) {
   }
 }
 
+std::vector<std::uint8_t> sampleDictFrameBytes(std::uint64_t seq = 5) {
+  // Two frames from one encoder: the second carries dictionary *references*
+  // only, so the fuzzer exercises both def-carrying and def-free layouts.
+  core::DictFrameEncoder encoder(3);
+  auto bytes = encoder.encode(seq, core::UdpReport::decode(sampleReportBytes()));
+  if (seq % 2 == 1)
+    bytes = encoder.encode(seq + 1, core::UdpReport::decode(sampleReportBytes()));
+  return bytes;
+}
+
+TEST(FuzzDecodersTest, DictReportFrameSurvivesMutation) {
+  fuzzDecoder(sampleDictFrameBytes(4),
+              [](const std::vector<std::uint8_t>& bytes) {
+                (void)core::DictReportFrame::decode(bytes);
+              },
+              1212);
+  fuzzDecoder(sampleDictFrameBytes(5),  // steady-state (defs elsewhere)
+              [](const std::vector<std::uint8_t>& bytes) {
+                (void)core::DictReportFrame::decode(bytes);
+              },
+              1313);
+}
+
+TEST(FuzzDecodersTest, ReportStreamDecoderSurvivesMutation) {
+  // The stream decoder is stateful: keep one instance across all rounds so
+  // mutations can also poison the dictionary it carries forward — the
+  // crc32 must reject them before they reach that state.
+  core::ReportStreamDecoder decoder;
+  fuzzDecoder(sampleDictFrameBytes(4),
+              [&decoder](const std::vector<std::uint8_t>& bytes) {
+                (void)decoder.decode(bytes);
+              },
+              1414);
+  fuzzDecoder(sampleFrame().encode(),
+              [&decoder](const std::vector<std::uint8_t>& bytes) {
+                (void)decoder.decode(bytes);
+              },
+              1515);
+}
+
+TEST(FuzzDecodersTest, DictFrameChecksumMakesSilentMisParseImpossible) {
+  // Same guarantee as the v1 frame: a v3 datagram that decodes at all is
+  // byte-identical to what was sent — ids, defs and metadata alike.
+  const auto valid = sampleDictFrameBytes(4);
+  const auto reference = core::DictReportFrame::decode(valid);
+  util::Rng rng(1616);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<std::uint8_t> mutated = valid;
+    const int mutations = static_cast<int>(rng.uniform(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.uniform(0, mutated.size() - 1);
+      mutated[pos] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    try {
+      EXPECT_EQ(core::DictReportFrame::decode(mutated), reference);
+    } catch (const util::DecodeError&) {
+      // the overwhelmingly common outcome for a real mutation
+    }
+  }
+}
+
+TEST(FuzzDecodersTest, ShardedIngestSurvivesHostileDictDatagrams) {
+  // The hostile-wire test again, with the v3 dictionary framing: parked
+  // holes, healing defs and mutated dictionary opcodes must never crash
+  // the router or mis-attribute a report.
+  ingest::IngestConfig config;
+  config.shards = 2;
+  ingest::ShardedIngest ingest(config);
+  util::Rng rng(1717);
+
+  core::DictFrameEncoder encoder(3);
+  std::vector<core::UdpReport> sent;
+  std::vector<std::vector<std::uint8_t>> wire;
+  for (std::uint64_t seq = 0; seq < 20; ++seq) {
+    auto report = core::UdpReport::decode(sampleReportBytes());
+    report.timestampMs = seq;
+    sent.push_back(report);
+    wire.push_back(encoder.encode(seq, report));
+  }
+  std::vector<std::vector<std::uint8_t>> schedule = wire;
+  for (const auto& bytes : wire) {
+    auto mutated = bytes;
+    mutated[rng.uniform(0, mutated.size() - 1)] ^= 0x40;
+    schedule.push_back(std::move(mutated));
+    if (rng.chance(0.5)) schedule.push_back(bytes);  // duplicate
+    std::vector<std::uint8_t> garbage(rng.uniform(0, 64));
+    for (auto& byte : garbage)
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    schedule.push_back(std::move(garbage));
+  }
+  for (std::size_t i = schedule.size(); i > 1; --i)
+    std::swap(schedule[i - 1], schedule[rng.uniform(0, i - 1)]);
+
+  for (const auto& datagram : schedule) ingest.submitDatagram(datagram);
+  ingest.drain();
+
+  // Every original datagram arrived at least once, and reordering plus the
+  // healing path must still reconstruct every stack: the delivered set is
+  // exactly the sent run.
+  const auto reports = ingest.takeReports(sent[0].apkSha256);
+  ASSERT_EQ(reports.size(), sent.size());
+  EXPECT_EQ(reports, sent);
+  const auto metrics = ingest.metrics();
+  EXPECT_GT(metrics.datagramsMalformed, 0u);
+  EXPECT_EQ(metrics.dictHoles, metrics.dictRepaired + metrics.dictDropped);
+}
+
 std::vector<std::uint8_t> sampleEnvelopeBytes(std::uint64_t jobIndex = 11) {
   const auto artifacts = core::RunArtifacts::deserialize(sampleArtifactBytes());
   core::ApkLossAccount account;

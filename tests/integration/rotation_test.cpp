@@ -90,7 +90,7 @@ TEST_F(RotationTest, FlowsFollowTheDomainAcrossAddresses) {
 
   std::set<std::uint32_t> glideFlowIps;
   for (const auto& flow : flows) {
-    if (flow.originLibrary.starts_with("com.bumptech.glide")) {
+    if (flow.originLibrary.view().starts_with("com.bumptech.glide")) {
       EXPECT_EQ(flow.domain, "assets.edgecache.net") << flow.socketPair.str();
       glideFlowIps.insert(flow.socketPair.dst.ip.value());
     } else {

@@ -93,6 +93,26 @@ TEST(CaptureTest, EmptyCapture) {
   EXPECT_EQ(volume.packetCount, 0u);
 }
 
+TEST(CaptureTest, TotalTcpPayloadIsMaintainedIncrementally) {
+  // The O(1) counter must equal a full scan: TCP payload only — wire
+  // overhead, UDP and pure-ACK packets contribute nothing.
+  CaptureFile capture;
+  EXPECT_EQ(capture.totalTcpPayloadBytes(), 0u);
+  capture.append(makeTcpPacket(1, kPair, 540, 500));
+  capture.append(makeTcpPacket(2, kPair.reversed(), 1540, 1500));
+  capture.append(makeTcpPacket(3, kPair, 40, 0));  // bare ACK
+  capture.append(makeUdpPacket(4, kPair, 120, 92));
+  capture.append(makeTcpPacket(5, kOther, 240, 200));
+  EXPECT_EQ(capture.totalTcpPayloadBytes(), 500u + 1500u + 200u);
+
+  // The counter is derived state: it must survive serialization and agree
+  // with the index built over the same capture.
+  const auto decoded = CaptureFile::deserialize(capture.serialize());
+  EXPECT_EQ(decoded.totalTcpPayloadBytes(), capture.totalTcpPayloadBytes());
+  const CaptureIndex index(capture);
+  EXPECT_EQ(index.totalTcpPayload(), capture.totalTcpPayloadBytes());
+}
+
 TEST(CaptureTest, IsDnsOnlyForNamedPackets) {
   EXPECT_FALSE(makeTcpPacket(1, kPair, 40, 0).isDns());
   EXPECT_FALSE(makeUdpPacket(1, kPair, 40, 12).isDns());

@@ -200,6 +200,50 @@ TEST_P(RecoverySweep, KillPointSweepYieldsByteIdenticalStudy) {
 INSTANTIATE_TEST_SUITE_P(PrefetchThreads, RecoverySweep,
                          ::testing::Values(0, 2, 8));
 
+TEST(RecoveryTest, ResumeWithoutSymbolInterningIsByteIdentical) {
+  // The resumed half of a crashed study re-attributes with a fresh
+  // attributor; running that half with symbol interning disabled must still
+  // land on the interned ground truth, at every checkpoint kill point.
+  auto config = recoveryConfig();
+  config.artifactsDirectory = freshDir("intern_groundtruth");
+  const auto groundTruth = runStudy(config);
+  const std::string expected = renderStudy(groundTruth.study);
+
+  auto truthScan = StudyRecovery::scan(config.artifactsDirectory);
+  ASSERT_EQ(truthScan.runs.size(), config.store.appCount);
+  const std::size_t crashAt = truthScan.runs.size() / 2;
+
+  for (const std::string_view killPoint : kCheckpointKillPoints) {
+    auto crashed = recoveryConfig(2);
+    crashed.artifactsDirectory =
+        freshDir("intern_off_" + std::string(killPoint));
+    crashed.attribution.internSymbols = false;
+
+    std::size_t current = 0;
+    CheckpointWriter writer(crashed.artifactsDirectory,
+                            [&](std::string_view point) {
+                              if (point == killPoint && current == crashAt)
+                                throw SimulatedCrash("crash");
+                            });
+    bool crashedOut = false;
+    try {
+      for (const auto& run : truthScan.runs) {
+        current = run.jobIndex;
+        writer.checkpoint(run.jobIndex, run.account, run.artifacts);
+      }
+    } catch (const SimulatedCrash&) {
+      crashedOut = true;
+    }
+    ASSERT_TRUE(crashedOut) << killPoint;
+
+    const auto resumed = resumeStudy(crashed);
+    EXPECT_EQ(renderStudy(resumed.output.study), expected)
+        << "interning-off resume diverged after crash at " << killPoint;
+    EXPECT_EQ(resumed.output.appsProcessed, crashed.store.appCount)
+        << killPoint;
+  }
+}
+
 TEST(RecoveryTest, CorruptBundlesAreQuarantinedAndReRun) {
   auto config = recoveryConfig();
   config.artifactsDirectory = freshDir("corrupt_gt");

@@ -68,6 +68,48 @@ TEST(HierarchicalPrefixTest, EmptyPrefixNeverMatches) {
   EXPECT_FALSE(isHierarchicalPrefix("", "com.unity3d"));
 }
 
+// The allocation-free twin of isHierarchicalPrefix over raw smali parts:
+// for every (prefix, class, method) it must agree with materializing
+// slashToDot(class) + "." + method and matching against that.
+TEST(HierarchicalPrefixTest, SlashedFrameVariantAgreesWithMaterialized) {
+  const struct {
+    std::string_view prefix;
+    std::string_view slashedClass;
+    std::string_view method;
+  } cases[] = {
+      {"com.unity3d", "com/unity3d/ads/android/cache/b", "doInBackground"},
+      {"com.unity3d", "com/unity3dx/ads", "run"},
+      {"com.unity3d.ads", "com/unity3d", "ads"},  // boundary inside method
+      {"java.net", "java/net/Socket", "connect"},
+      {"java.net.Socket.connect", "java/net/Socket", "connect"},  // exact
+      {"java.net.Socket.connectX", "java/net/Socket", "connect"},
+      {"java.net.Socket.conn", "java/net/Socket", "connect"},
+      {"", "com/foo/Bar", "m"},
+      {"com.foo.Bar.m.extra", "com/foo/Bar", "m"},  // longer than frame
+      {"android.os", "android/os/AsyncTask$2", "call"},
+  };
+  for (const auto& c : cases) {
+    std::string frame;
+    for (const char ch : c.slashedClass)
+      frame.push_back(ch == '/' ? '.' : ch);
+    frame.push_back('.');
+    frame.append(c.method);
+    EXPECT_EQ(
+        isHierarchicalPrefixOfSlashedFrame(c.prefix, c.slashedClass, c.method),
+        isHierarchicalPrefix(c.prefix, frame))
+        << "prefix=" << c.prefix << " frame=" << frame;
+  }
+}
+
+TEST(HierarchicalPrefixTest, SlashedFrameMatchesAcrossTheClassMethodSeam) {
+  // A prefix ending exactly at the class/method boundary must see the
+  // virtual '.' that joins them.
+  EXPECT_TRUE(isHierarchicalPrefixOfSlashedFrame("java.net.Socket",
+                                                 "java/net/Socket", "connect"));
+  EXPECT_FALSE(isHierarchicalPrefixOfSlashedFrame("java.net.Sock",
+                                                  "java/net/Socket", "connect"));
+}
+
 TEST(PrefixLevelsTest, TruncatesToLevels) {
   EXPECT_EQ(prefixLevels("com.unity3d.ads.android.cache", 2), "com.unity3d");
   EXPECT_EQ(prefixLevels("com.unity3d.ads.android.cache", 3), "com.unity3d.ads");

@@ -1,0 +1,178 @@
+#include "util/symbol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace libspector::util {
+namespace {
+
+TEST(SymbolPool, InternDedupesAndAssignsDenseIds) {
+  SymbolPool pool;
+  Symbol a = pool.intern("com.example.app");
+  Symbol b = pool.intern("Advertisement");
+  Symbol a2 = pool.intern("com.example.app");
+
+  EXPECT_EQ(a.id(), 0u);
+  EXPECT_EQ(b.id(), 1u);
+  EXPECT_EQ(a2.id(), a.id());
+  EXPECT_EQ(a2.identity(), a.identity());
+  EXPECT_EQ(a.view(), "com.example.app");
+  EXPECT_EQ(b.view(), "Advertisement");
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.textBytes(),
+            std::string("com.example.app").size() +
+                std::string("Advertisement").size());
+}
+
+TEST(SymbolPool, DefaultSymbolIsEmptyWithNoId) {
+  Symbol s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.view(), "");
+  EXPECT_EQ(s.id(), Symbol::kNoId);
+  EXPECT_EQ(s.identity(), nullptr);
+  EXPECT_EQ(s.str(), "");
+}
+
+TEST(SymbolPool, EmptyStringIsInternable) {
+  SymbolPool pool;
+  Symbol e = pool.intern("");
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.id(), 0u);
+  EXPECT_NE(e.identity(), nullptr);
+  // An interned "" compares equal to a default Symbol by content...
+  EXPECT_EQ(e, Symbol{});
+  // ...but is resolvable by id.
+  EXPECT_EQ(pool.at(0).identity(), e.identity());
+}
+
+TEST(SymbolPool, FindDoesNotInsert) {
+  SymbolPool pool;
+  EXPECT_EQ(pool.find("absent").identity(), nullptr);
+  EXPECT_EQ(pool.size(), 0u);
+  Symbol s = pool.intern("present");
+  EXPECT_EQ(pool.find("present").identity(), s.identity());
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(SymbolPool, AtResolvesIdsAndBoundsChecks) {
+  SymbolPool pool;
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 100; ++i)
+    syms.push_back(pool.intern("sym-" + std::to_string(i)));
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(pool.at(i).identity(), syms[i].identity());
+    EXPECT_EQ(pool.at(i).id(), i);
+  }
+  EXPECT_EQ(pool.at(100).identity(), nullptr);
+  EXPECT_EQ(pool.at(Symbol::kNoId).identity(), nullptr);
+}
+
+TEST(SymbolPool, ViewsStayStableAcrossChunkAndTableGrowth) {
+  SymbolPool pool;
+  // Cross multiple 1024-entry chunks and several table doublings.
+  constexpr int kCount = 5000;
+  std::vector<Symbol> syms;
+  std::vector<const char*> data;
+  syms.reserve(kCount);
+  for (int i = 0; i < kCount; ++i) {
+    syms.push_back(pool.intern("Lcom/vendor/pkg" + std::to_string(i) +
+                               "/Widget;->draw(Landroid/graphics/Canvas;)V"));
+    data.push_back(syms.back().view().data());
+  }
+  ASSERT_EQ(pool.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    // The underlying storage never moved...
+    EXPECT_EQ(syms[i].view().data(), data[i]);
+    // ...and re-interning still finds the original entry.
+    Symbol again = pool.intern(syms[i].view());
+    EXPECT_EQ(again.identity(), syms[i].identity());
+  }
+}
+
+TEST(SymbolPool, ContentEqualityWorksAcrossPools) {
+  SymbolPool a;
+  SymbolPool b;
+  Symbol sa = a.intern("shared.text");
+  Symbol sb = b.intern("shared.text");
+  EXPECT_NE(sa.identity(), sb.identity());
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(sa, std::string_view("shared.text"));
+  EXPECT_EQ(std::hash<Symbol>{}(sa), std::hash<Symbol>{}(sb));
+}
+
+TEST(SymbolPool, SymbolsUsableAsUnorderedKeys) {
+  SymbolPool pool;
+  std::unordered_map<Symbol, int> counts;
+  counts[pool.intern("ads")] += 1;
+  counts[pool.intern("cdn")] += 2;
+  counts[pool.intern("ads")] += 3;
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[pool.intern("ads")], 4);
+  EXPECT_EQ(counts[pool.intern("cdn")], 2);
+}
+
+TEST(SymbolPool, MoveKeepsSymbolsValid) {
+  SymbolPool pool;
+  Symbol s = pool.intern("survives-the-move");
+  SymbolPool moved = std::move(pool);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.at(0).identity(), s.identity());
+  EXPECT_EQ(s.view(), "survives-the-move");
+}
+
+TEST(SymbolPool, ConcurrentInternIsConsistent) {
+  SymbolPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kShared = 400;   // contended: every thread interns these
+  constexpr int kPrivate = 300;  // uncontended per-thread strings
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Symbol>> sharedSeen(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      sharedSeen[t].reserve(kShared);
+      for (int i = 0; i < kShared; ++i) {
+        Symbol s = pool.intern("shared/" + std::to_string(i));
+        sharedSeen[t].push_back(s);
+        // Lock-free readers race the writers.
+        EXPECT_EQ(pool.find(s.view()).identity(), s.identity());
+        EXPECT_EQ(pool.at(s.id()).identity(), s.identity());
+      }
+      for (int i = 0; i < kPrivate; ++i)
+        (void)pool.intern("private/" + std::to_string(t) + "/" +
+                          std::to_string(i));
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(pool.size(),
+            static_cast<std::size_t>(kShared + kThreads * kPrivate));
+  // Every thread resolved each shared string to the same entry.
+  for (int i = 0; i < kShared; ++i)
+    for (int t = 1; t < kThreads; ++t)
+      EXPECT_EQ(sharedSeen[t][i].identity(), sharedSeen[0][i].identity());
+  // Ids are dense and resolvable, and every string round-trips.
+  std::unordered_set<std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < pool.size(); ++i) {
+    Symbol s = pool.at(i);
+    ASSERT_NE(s.identity(), nullptr);
+    EXPECT_EQ(s.id(), i);
+    EXPECT_TRUE(ids.insert(s.id()).second);
+    EXPECT_EQ(pool.find(s.view()).identity(), s.identity());
+  }
+}
+
+}  // namespace
+}  // namespace libspector::util
