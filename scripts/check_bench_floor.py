@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Perf-floor gate over BENCH_attribution.json.
+
+bench/attribution_throughput writes its headline comparison (seed-config
+attribution + row fold vs compiled-program attribution + columnar fold)
+to BENCH_attribution.json. This script fails when any gated speedup
+regresses below the recorded floor, so an accidental slow-down on the
+study hot path turns a green lane red instead of silently eroding the
+ROADMAP target (>=20x end to end).
+
+Usage: scripts/check_bench_floor.py [path/to/BENCH_attribution.json]
+       (default: BENCH_attribution.json in the current directory)
+
+Exit status: 0 when every gated metric meets its floor, 1 otherwise.
+"""
+
+import json
+import sys
+
+# Floors are deliberately below the measured numbers (26-33x on the CI
+# box) to absorb machine noise, but at or above the ROADMAP's 20x target
+# for the end-to-end figures so the acceptance bar itself is the gate.
+FLOORS = {
+    # Attribution only: per-query capture index + memos + compiled program.
+    "speedup_indexed_serialized": 20.0,
+    # End to end (attribution + study fold), the headline ROADMAP metric.
+    "speedup_columnar_serialized": 20.0,
+    "speedup_columnar_parallel": 20.0,
+}
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_attribution.json"
+    try:
+        with open(path, encoding="utf-8") as fh:
+            bench = json.load(fh)
+    except OSError as err:
+        print(f"check_bench_floor: cannot read {path}: {err}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as err:
+        print(f"check_bench_floor: {path} is not valid JSON: {err}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for key, floor in sorted(FLOORS.items()):
+        value = bench.get(key)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{key}: missing from {path} (floor {floor:g}x)")
+            continue
+        status = "ok" if value >= floor else "REGRESSION"
+        print(f"{key}: {value:.1f}x (floor {floor:g}x) {status}")
+        if value < floor:
+            failures.append(f"{key}: {value:.1f}x < floor {floor:g}x")
+
+    if failures:
+        print("check_bench_floor: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("check_bench_floor: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

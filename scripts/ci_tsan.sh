@@ -2,9 +2,11 @@
 # TSan CI lane: build the concurrent subsystems under ThreadSanitizer and
 # run the tests that exercise them — the ingest tier (sharded router,
 # pipeline, chaos channel, v3 dictionary path), the dispatcher fleet, the
-# collection server, the job-prefetch generator pool, and the
-# lock-free-read symbol pool. A data race here corrupts studies
-# silently, so this lane gates every change to the streaming path.
+# collection server, the job-prefetch generator pool, the
+# lock-free-read symbol pool, and the shared compiled attribution
+# program + columnar fold that concurrent shard workers run through. A
+# data race here corrupts studies silently, so this lane gates every
+# change to the streaming path.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -31,6 +33,8 @@ TARGETS=(
   prefetch_test
   prefetch_determinism_test
   symbol_pool_test
+  attribution_program_test
+  flow_columns_test
 )
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
@@ -39,6 +43,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
-  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch|Symbol|Interning')
+  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch|Symbol|Interning|AttributionProgram|FlowColumns|Columnar')
 
 echo "TSan lane: OK"

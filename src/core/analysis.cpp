@@ -6,12 +6,75 @@
 
 namespace libspector::core {
 
-void StudyAggregator::addApp(const RunArtifacts& run,
-                             std::span<const FlowRecord> flows) {
+StudyAggregator::AppAgg StudyAggregator::makeAppAgg(
+    const RunArtifacts& run) const {
   AppAgg app;
   app.category = run.appCategory;
   app.coverage = run.coverage.ratio();
   app.totalMethods = run.coverage.totalMethods;
+  return app;
+}
+
+StudyAggregator::EntityAgg& StudyAggregator::entityAt(
+    util::DenseSymbolMap<EntityAgg>& table, std::size_t& count,
+    util::Symbol name) {
+  EntityAgg& agg = table[name.id()];
+  if (!agg.present) {
+    agg.present = true;
+    agg.name = name;
+    ++count;
+  }
+  return agg;
+}
+
+std::uint32_t StudyAggregator::catSlot(util::Symbol category) {
+  std::uint32_t& slot = catSlotOf_[category.id()];
+  if (slot == kNoSlot) {
+    slot = static_cast<std::uint32_t>(catSlots_.size());
+    catSlots_.push_back(category);
+    if (catSlots_.size() > catStride_) growCategoryMatrices();
+  }
+  return slot;
+}
+
+void StudyAggregator::growCategoryMatrices() {
+  const std::size_t stride = std::max<std::size_t>(16, catStride_ * 2);
+  const auto regrid = [&](std::vector<MatrixCell>& matrix) {
+    std::vector<MatrixCell> grown(stride * stride);
+    for (std::size_t a = 0; a < catStride_; ++a)
+      for (std::size_t b = 0; b < catStride_; ++b)
+        grown[a * stride + b] = matrix[a * catStride_ + b];
+    matrix = std::move(grown);
+  };
+  regrid(byAppCatLibCat_);
+  regrid(heatmap_);
+  catStride_ = stride;
+}
+
+void StudyAggregator::bumpMatrix(std::vector<MatrixCell>& matrix,
+                                 std::uint32_t a, std::uint32_t b,
+                                 std::uint64_t bytes) {
+  MatrixCell& cell = matrix[std::size_t{a} * catStride_ + b];
+  cell.used = 1;
+  cell.bytes += bytes;
+}
+
+void StudyAggregator::foldRunPackets(const RunArtifacts& run) {
+  for (const auto& pkt : run.capture.packets()) {
+    udp_.totalBytes += pkt.wireBytes;
+    if (pkt.proto != net::Proto::Udp) continue;
+    if (pkt.pair.dst == kDefaultCollectorEndpoint) {
+      udp_.reportBytes += pkt.wireBytes;
+    } else {
+      udp_.udpBytes += pkt.wireBytes;
+      if (pkt.isDns()) udp_.dnsBytes += pkt.wireBytes;
+    }
+  }
+}
+
+void StudyAggregator::addApp(const RunArtifacts& run,
+                             std::span<const FlowRecord> flows) {
+  AppAgg app = makeAppAgg(run);
 
   // Translate flow symbols (owned by the producing attributor's pool) into
   // this study's pool, once per distinct entry per app: keyed by pool-entry
@@ -32,8 +95,7 @@ void StudyAggregator::addApp(const RunArtifacts& run,
     const util::Symbol originLibrary = localSym(flow.originLibrary);
     const util::Symbol libraryCategory = localSym(flow.libraryCategory);
 
-    EntityAgg& lib = libraries_[originLibrary.id()];
-    lib.name = originLibrary;
+    EntityAgg& lib = entityAt(libraries_, libraryCount_, originLibrary);
     lib.sent += flow.sentBytes;
     lib.recv += flow.recvBytes;
     lib.category = libraryCategory;
@@ -41,8 +103,7 @@ void StudyAggregator::addApp(const RunArtifacts& run,
     lib.common = lib.common || flow.commonOrigin;
 
     const util::Symbol twoLevelLibrary = localSym(flow.twoLevelLibrary);
-    EntityAgg& two = twoLevel_[twoLevelLibrary.id()];
-    two.name = twoLevelLibrary;
+    EntityAgg& two = entityAt(twoLevel_, twoLevelCount_, twoLevelLibrary);
     two.sent += flow.sentBytes;
     two.recv += flow.recvBytes;
     two.category = libraryCategory;
@@ -50,8 +111,7 @@ void StudyAggregator::addApp(const RunArtifacts& run,
     const util::Symbol domainCategory = localSym(flow.domainCategory);
     if (!flow.domain.empty()) {
       const util::Symbol domain = localSym(flow.domain);
-      EntityAgg& dom = domains_[domain.id()];
-      dom.name = domain;
+      EntityAgg& dom = entityAt(domains_, domainCount_, domain);
       dom.sent += flow.sentBytes;  // received by the domain's servers
       dom.recv += flow.recvBytes;  // sent by the domain's servers
       dom.category = domainCategory;
@@ -59,23 +119,92 @@ void StudyAggregator::addApp(const RunArtifacts& run,
 
     const std::uint64_t bytes = flow.sentBytes + flow.recvBytes;
     const util::Symbol appCategory = localSym(flow.appCategory);
-    byAppCatLibCat_[{appCategory.id(), libraryCategory.id()}] += bytes;
-    heatmap_[{libraryCategory.id(), domainCategory.id()}] += bytes;
+    bumpMatrix(byAppCatLibCat_, catSlot(appCategory), catSlot(libraryCategory),
+               bytes);
+    bumpMatrix(heatmap_, catSlot(libraryCategory), catSlot(domainCategory),
+               bytes);
     ++flowCount_;
   }
   apps_.push_back(std::move(app));
   unattributedBytes_ += TrafficAttributor::unattributedTcpPayload(run, flows);
+  foldRunPackets(run);
+}
 
-  for (const auto& pkt : run.capture.packets()) {
-    udp_.totalBytes += pkt.wireBytes;
-    if (pkt.proto != net::Proto::Udp) continue;
-    if (pkt.pair.dst == kDefaultCollectorEndpoint) {
-      udp_.reportBytes += pkt.wireBytes;
-    } else {
-      udp_.udpBytes += pkt.wireBytes;
-      if (pkt.isDns()) udp_.dnsBytes += pkt.wireBytes;
+void StudyAggregator::addAppColumns(const RunArtifacts& run,
+                                    const FlowColumns& columns) {
+  AppAgg app = makeAppAgg(run);
+
+  // Foreign-id translation as a dense array: source pools assign ids
+  // contiguously, so a vector indexed by source id replaces the row path's
+  // identity-keyed hash memo — and persists across apps, making repeats
+  // free study-wide, not just app-wide. Interning happens in exactly the
+  // row fold's per-flow field order, so both folds assign identical local
+  // pool ids (the id-order query iteration depends on it).
+  std::vector<util::Symbol>& xlat = columnXlat_[columns.pool];
+  if (columns.pool->size() > xlat.size()) xlat.resize(columns.pool->size());
+  const auto local = [&](std::uint32_t sourceId) -> util::Symbol {
+    util::Symbol& cached = xlat[sourceId];
+    if (cached.identity() == nullptr)
+      cached = pool_.intern(columns.pool->at(sourceId).view());
+    return cached;
+  };
+  // The id of "" in the source pool (kNoId when never interned there, which
+  // no real domain column id can equal): one comparison replaces the row
+  // path's per-flow empty() check.
+  const std::uint32_t emptyDomainId = columns.pool->find("").id();
+
+  std::uint64_t attributedBytes = 0;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const std::uint64_t sent = columns.sentBytes[i];
+    const std::uint64_t recv = columns.recvBytes[i];
+    const std::uint64_t bytes = sent + recv;
+    const std::uint8_t flowFlags = columns.flags[i];
+    const bool ant = (flowFlags & FlowColumns::kAntOrigin) != 0;
+    const bool common = (flowFlags & FlowColumns::kCommonOrigin) != 0;
+    app.sent += sent;
+    app.recv += recv;
+    if (ant) app.antBytes += bytes;
+    if (common) app.clBytes += bytes;
+
+    const util::Symbol originLibrary = local(columns.originLibrary[i]);
+    const util::Symbol libraryCategory = local(columns.libraryCategory[i]);
+
+    EntityAgg& lib = entityAt(libraries_, libraryCount_, originLibrary);
+    lib.sent += sent;
+    lib.recv += recv;
+    lib.category = libraryCategory;
+    lib.ant = lib.ant || ant;
+    lib.common = lib.common || common;
+
+    const util::Symbol twoLevelLibrary = local(columns.twoLevelLibrary[i]);
+    EntityAgg& two = entityAt(twoLevel_, twoLevelCount_, twoLevelLibrary);
+    two.sent += sent;
+    two.recv += recv;
+    two.category = libraryCategory;
+
+    const util::Symbol domainCategory = local(columns.domainCategory[i]);
+    if (columns.domain[i] != emptyDomainId) {
+      const util::Symbol domain = local(columns.domain[i]);
+      EntityAgg& dom = entityAt(domains_, domainCount_, domain);
+      dom.sent += sent;
+      dom.recv += recv;
+      dom.category = domainCategory;
     }
+
+    const util::Symbol appCategory = local(columns.appCategory[i]);
+    bumpMatrix(byAppCatLibCat_, catSlot(appCategory), catSlot(libraryCategory),
+               bytes);
+    bumpMatrix(heatmap_, catSlot(libraryCategory), catSlot(domainCategory),
+               bytes);
+    ++flowCount_;
+    attributedBytes += bytes;
   }
+  apps_.push_back(std::move(app));
+  const std::uint64_t totalTcpPayload = run.capture.totalTcpPayloadBytes();
+  unattributedBytes_ += attributedBytes >= totalTcpPayload
+                            ? 0
+                            : totalTcpPayload - attributedBytes;
+  foldRunPackets(run);
 }
 
 StudyAggregator::Totals StudyAggregator::totals() const {
@@ -87,26 +216,37 @@ StudyAggregator::Totals StudyAggregator::totals() const {
   totals.totalBytes = totals.sentBytes + totals.recvBytes;
   totals.flowCount = flowCount_;
   totals.appCount = apps_.size();
-  totals.originLibraryCount = libraries_.size();
-  totals.twoLevelLibraryCount = twoLevel_.size();
-  totals.domainCount = domains_.size();
+  totals.originLibraryCount = libraryCount_;
+  totals.twoLevelLibraryCount = twoLevelCount_;
+  totals.domainCount = domainCount_;
   totals.unattributedBytes = unattributedBytes_;
   return totals;
 }
 
 std::map<std::string, std::map<std::string, std::uint64_t>>
 StudyAggregator::transferByAppAndLibCategory() const {
+  // Materialize by `used`, not by nonzero bytes: the fold records a cell for
+  // every observed (appCat, libCat) pair even when its byte total is zero,
+  // and the rendered CSVs include those rows.
   std::map<std::string, std::map<std::string, std::uint64_t>> out;
-  for (const auto& [key, bytes] : byAppCatLibCat_)
-    out[pool_.at(key.first).str()][pool_.at(key.second).str()] += bytes;
+  for (std::size_t a = 0; a < catSlots_.size(); ++a)
+    for (std::size_t b = 0; b < catSlots_.size(); ++b) {
+      const MatrixCell& cell = byAppCatLibCat_[a * catStride_ + b];
+      if (!cell.used) continue;
+      out[catSlots_[a].str()][catSlots_[b].str()] += cell.bytes;
+    }
   return out;
 }
 
 std::map<std::string, std::uint64_t> StudyAggregator::transferByLibCategory()
     const {
   std::map<std::string, std::uint64_t> out;
-  for (const auto& [key, bytes] : byAppCatLibCat_)
-    out[pool_.at(key.second).str()] += bytes;
+  for (std::size_t a = 0; a < catSlots_.size(); ++a)
+    for (std::size_t b = 0; b < catSlots_.size(); ++b) {
+      const MatrixCell& cell = byAppCatLibCat_[a * catStride_ + b];
+      if (!cell.used) continue;
+      out[catSlots_[b].str()] += cell.bytes;
+    }
   return out;
 }
 
@@ -128,20 +268,22 @@ std::vector<StudyAggregator::RankedEntry> topOf(
 std::vector<StudyAggregator::RankedEntry> StudyAggregator::topOriginLibraries(
     std::size_t n) const {
   std::vector<RankedEntry> prepared;
-  prepared.reserve(libraries_.size());
-  for (const auto& [id, agg] : libraries_)
-    prepared.push_back(
-        {agg.name.str(), agg.total(), agg.category.str()});
+  prepared.reserve(libraryCount_);
+  for (const EntityAgg& agg : libraries_) {
+    if (!agg.present) continue;
+    prepared.push_back({agg.name.str(), agg.total(), agg.category.str()});
+  }
   return topOf(std::move(prepared), n);
 }
 
 std::vector<StudyAggregator::RankedEntry> StudyAggregator::topTwoLevelLibraries(
     std::size_t n) const {
   std::vector<RankedEntry> prepared;
-  prepared.reserve(twoLevel_.size());
-  for (const auto& [id, agg] : twoLevel_)
-    prepared.push_back(
-        {agg.name.str(), agg.total(), agg.category.str()});
+  prepared.reserve(twoLevelCount_);
+  for (const EntityAgg& agg : twoLevel_) {
+    if (!agg.present) continue;
+    prepared.push_back({agg.name.str(), agg.total(), agg.category.str()});
+  }
   return topOf(std::move(prepared), n);
 }
 
@@ -152,12 +294,12 @@ std::vector<double> StudyAggregator::sentTotals(Entity entity) const {
       for (const auto& app : apps_) out.push_back(static_cast<double>(app.sent));
       break;
     case Entity::Library:
-      for (const auto& [name, agg] : libraries_)
-        out.push_back(static_cast<double>(agg.sent));
+      for (const EntityAgg& agg : libraries_)
+        if (agg.present) out.push_back(static_cast<double>(agg.sent));
       break;
     case Entity::Domain:
-      for (const auto& [name, agg] : domains_)
-        out.push_back(static_cast<double>(agg.sent));
+      for (const EntityAgg& agg : domains_)
+        if (agg.present) out.push_back(static_cast<double>(agg.sent));
       break;
   }
   return out;
@@ -170,12 +312,12 @@ std::vector<double> StudyAggregator::recvTotals(Entity entity) const {
       for (const auto& app : apps_) out.push_back(static_cast<double>(app.recv));
       break;
     case Entity::Library:
-      for (const auto& [name, agg] : libraries_)
-        out.push_back(static_cast<double>(agg.recv));
+      for (const EntityAgg& agg : libraries_)
+        if (agg.present) out.push_back(static_cast<double>(agg.recv));
       break;
     case Entity::Domain:
-      for (const auto& [name, agg] : domains_)
-        out.push_back(static_cast<double>(agg.recv));
+      for (const EntityAgg& agg : domains_)
+        if (agg.present) out.push_back(static_cast<double>(agg.recv));
       break;
   }
   return out;
@@ -193,12 +335,14 @@ StudyAggregator::RatioStats StudyAggregator::flowRatios(Entity entity) const {
       for (const auto& app : apps_) addRatio(app.recv, app.sent);
       break;
     case Entity::Library:
-      for (const auto& [name, agg] : libraries_) addRatio(agg.recv, agg.sent);
+      for (const EntityAgg& agg : libraries_)
+        if (agg.present) addRatio(agg.recv, agg.sent);
       break;
     case Entity::Domain:
       // The paper flips perspective for domains: what the domain's servers
       // send over what they receive.
-      for (const auto& [name, agg] : domains_) addRatio(agg.recv, agg.sent);
+      for (const EntityAgg& agg : domains_)
+        if (agg.present) addRatio(agg.recv, agg.sent);
       break;
   }
   std::sort(stats.ratios.begin(), stats.ratios.end());
@@ -237,8 +381,8 @@ StudyAggregator::AnTStats StudyAggregator::antStats() const {
 
   std::vector<double> antRatios;
   std::vector<double> clRatios;
-  for (const auto& [name, agg] : libraries_) {
-    if (agg.sent == 0) continue;
+  for (const EntityAgg& agg : libraries_) {
+    if (!agg.present || agg.sent == 0) continue;
     const double ratio =
         static_cast<double>(agg.recv) / static_cast<double>(agg.sent);
     if (agg.ant) antRatios.push_back(ratio);
@@ -252,7 +396,8 @@ StudyAggregator::AnTStats StudyAggregator::antStats() const {
 std::map<std::string, double> StudyAggregator::avgBytesPerLibraryByCategory()
     const {
   std::map<std::string, std::pair<std::uint64_t, std::size_t>> sums;
-  for (const auto& [id, agg] : libraries_) {
+  for (const EntityAgg& agg : libraries_) {
+    if (!agg.present) continue;
     auto& [bytes, count] = sums[agg.category.str()];
     bytes += agg.total();
     ++count;
@@ -266,7 +411,8 @@ std::map<std::string, double> StudyAggregator::avgBytesPerLibraryByCategory()
 std::map<std::string, double> StudyAggregator::avgBytesPerDomainByCategory()
     const {
   std::map<std::string, std::pair<std::uint64_t, std::size_t>> sums;
-  for (const auto& [id, agg] : domains_) {
+  for (const EntityAgg& agg : domains_) {
+    if (!agg.present) continue;
     auto& [bytes, count] = sums[agg.category.str()];
     bytes += agg.total();
     ++count;
@@ -293,18 +439,26 @@ std::map<std::string, double> StudyAggregator::avgBytesPerAppByCategory() const 
 std::map<std::string, std::map<std::string, std::uint64_t>>
 StudyAggregator::libraryDomainHeatmap() const {
   std::map<std::string, std::map<std::string, std::uint64_t>> out;
-  for (const auto& [key, bytes] : heatmap_)
-    out[pool_.at(key.first).str()][pool_.at(key.second).str()] += bytes;
+  for (std::size_t a = 0; a < catSlots_.size(); ++a)
+    for (std::size_t b = 0; b < catSlots_.size(); ++b) {
+      const MatrixCell& cell = heatmap_[a * catStride_ + b];
+      if (!cell.used) continue;
+      out[catSlots_[a].str()][catSlots_[b].str()] += cell.bytes;
+    }
   return out;
 }
 
 double StudyAggregator::knownLibraryCdnShare() const {
   std::uint64_t known = 0;
   std::uint64_t knownCdn = 0;
-  for (const auto& [key, bytes] : heatmap_) {
-    if (pool_.at(key.first) == std::string_view("Unknown")) continue;
-    known += bytes;
-    if (pool_.at(key.second) == std::string_view("cdn")) knownCdn += bytes;
+  for (std::size_t a = 0; a < catSlots_.size(); ++a) {
+    if (catSlots_[a] == std::string_view("Unknown")) continue;
+    for (std::size_t b = 0; b < catSlots_.size(); ++b) {
+      const MatrixCell& cell = heatmap_[a * catStride_ + b];
+      if (!cell.used) continue;
+      known += cell.bytes;
+      if (catSlots_[b] == std::string_view("cdn")) knownCdn += cell.bytes;
+    }
   }
   return known == 0 ? 0.0
                     : static_cast<double>(knownCdn) / static_cast<double>(known);
@@ -357,9 +511,11 @@ StudyAggregator::Concentration StudyAggregator::concentration() const {
   std::vector<std::uint64_t> appTotals;
   for (const auto& app : apps_) appTotals.push_back(app.total());
   std::vector<std::uint64_t> libTotals;
-  for (const auto& [name, agg] : libraries_) libTotals.push_back(agg.total());
+  for (const EntityAgg& agg : libraries_)
+    if (agg.present) libTotals.push_back(agg.total());
   std::vector<std::uint64_t> domainTotals;
-  for (const auto& [name, agg] : domains_) domainTotals.push_back(agg.total());
+  for (const EntityAgg& agg : domains_)
+    if (agg.present) domainTotals.push_back(agg.total());
 
   return {countForHalf(std::move(appTotals)), countForHalf(std::move(libTotals)),
           countForHalf(std::move(domainTotals))};
@@ -376,16 +532,21 @@ double StudyAggregator::meanBytesPerRun(const std::string& libCategory) const {
 StudyAccumulator::StudyAccumulator(StudyAggregator& study, FoldHook onFolded)
     : study_(study), onFolded_(std::move(onFolded)) {}
 
+void StudyAccumulator::foldLocked(PendingApp&& app) {
+  if (app.columnar) {
+    study_.addAppColumns(app.run, app.columns);
+  } else {
+    study_.addApp(app.run, app.flows);
+  }
+  if (onFolded_) onFolded_(std::move(app.run));
+  ++folded_;
+}
+
 void StudyAccumulator::drainLocked() {
   while (true) {
     const auto it = pending_.begin();
     if (it == pending_.end() || it->first != next_) return;
-    if (it->second.has_value()) {
-      PendingApp app = std::move(*it->second);
-      study_.addApp(app.run, app.flows);
-      if (onFolded_) onFolded_(std::move(app.run));
-      ++folded_;
-    }
+    if (it->second.has_value()) foldLocked(std::move(*it->second));
     pending_.erase(it);
     ++next_;
   }
@@ -394,7 +555,16 @@ void StudyAccumulator::drainLocked() {
 void StudyAccumulator::add(std::size_t jobIndex, RunArtifacts&& run,
                            std::vector<FlowRecord>&& flows) {
   const std::scoped_lock lock(mutex_);
-  pending_.emplace(jobIndex, PendingApp{std::move(run), std::move(flows)});
+  pending_.emplace(jobIndex,
+                   PendingApp{std::move(run), std::move(flows), {}, false});
+  drainLocked();
+}
+
+void StudyAccumulator::addColumns(std::size_t jobIndex, RunArtifacts&& run,
+                                  FlowColumns&& columns) {
+  const std::scoped_lock lock(mutex_);
+  pending_.emplace(jobIndex,
+                   PendingApp{std::move(run), {}, std::move(columns), true});
   drainLocked();
 }
 
@@ -410,9 +580,7 @@ void StudyAccumulator::finish() {
   // arrived, still in index order.
   for (auto& [index, app] : pending_) {
     if (!app.has_value()) continue;
-    study_.addApp(app->run, app->flows);
-    if (onFolded_) onFolded_(std::move(app->run));
-    ++folded_;
+    foldLocked(std::move(*app));
   }
   if (!pending_.empty()) next_ = pending_.rbegin()->first + 1;
   pending_.clear();

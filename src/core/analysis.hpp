@@ -22,20 +22,30 @@ namespace libspector::core {
 
 /// Accumulates one study; query methods expose figure-shaped views.
 ///
-/// Entity maps key on the ids of a study-scoped util::SymbolPool: addApp
-/// translates each flow's symbols (owned by whatever attributor produced
-/// them) into the aggregator's own pool once per distinct entry, so the
-/// per-flow fold is u32 map updates instead of string hashing, and nothing
-/// aggregated references a pool the aggregator does not own. Move-only
-/// (it owns the pool its ids point into).
+/// Entity state is keyed by the ids of a study-scoped util::SymbolPool and
+/// stored *densely*: a vector slot per pool id (util::DenseSymbolMap), so
+/// the per-flow fold is array probes, not hashing. addApp translates each
+/// flow's symbols (owned by whatever attributor produced them) into the
+/// aggregator's own pool once per distinct entry; addAppColumns does the
+/// same through a per-source-pool dense id translation table, making the
+/// whole columnar fold allocation-free after first sight of each string.
+/// Both folds write identical state — the row path is the bit-identical
+/// reference for the columnar one. Move-only (it owns the pool its ids
+/// point into).
 class StudyAggregator {
  public:
   StudyAggregator() = default;
   StudyAggregator(StudyAggregator&&) noexcept = default;
   StudyAggregator& operator=(StudyAggregator&&) noexcept = default;
 
-  /// Fold one app's run and attributed flows into the study.
+  /// Fold one app's run and attributed flows into the study (row form —
+  /// the reference fold).
   void addApp(const RunArtifacts& run, std::span<const FlowRecord> flows);
+
+  /// Batch fold of one app's columnar flow batch: same study state as
+  /// addApp over the equivalent rows, byte for byte, but driven by
+  /// contiguous id arrays and dense accumulators.
+  void addAppColumns(const RunArtifacts& run, const FlowColumns& columns);
 
   // ---- §IV-A headline numbers -------------------------------------------
 
@@ -165,6 +175,7 @@ class StudyAggregator {
     std::uint64_t recv = 0;
     bool ant = false;
     bool common = false;
+    bool present = false;  // dense tables have untouched slots
     [[nodiscard]] std::uint64_t total() const noexcept { return sent + recv; }
   };
   struct AppAgg {
@@ -177,24 +188,54 @@ class StudyAggregator {
     std::size_t totalMethods = 0;
     [[nodiscard]] std::uint64_t total() const noexcept { return sent + recv; }
   };
+  /// One cell of a category x category matrix. `used` (not zero-ness)
+  /// drives materialization: the old map-based matrices kept zero-byte
+  /// entries, and the rendered CSVs show them.
+  struct MatrixCell {
+    std::uint64_t bytes = 0;
+    std::uint8_t used = 0;
+  };
 
   [[nodiscard]] static std::vector<double> sortedTotals(
       const std::vector<std::uint64_t>& values);
 
+  [[nodiscard]] AppAgg makeAppAgg(const RunArtifacts& run) const;
+  EntityAgg& entityAt(util::DenseSymbolMap<EntityAgg>& table,
+                      std::size_t& count, util::Symbol name);
+  [[nodiscard]] std::uint32_t catSlot(util::Symbol category);
+  void growCategoryMatrices();
+  void bumpMatrix(std::vector<MatrixCell>& matrix, std::uint32_t a,
+                  std::uint32_t b, std::uint64_t bytes);
+  /// Per-run tail shared by both folds: UDP/report byte accounting.
+  void foldRunPackets(const RunArtifacts& run);
+
   /// Study-scoped pool. Ids are assigned in fold order, which the
   /// StudyAccumulator makes deterministic (dispatch order), so id-keyed
-  /// iteration below is deterministic first-appearance order.
+  /// iteration below is deterministic first-appearance order. Both folds
+  /// intern per-flow fields in the same order, so row and columnar studies
+  /// assign identical ids.
   util::SymbolPool pool_;
   std::vector<AppAgg> apps_;
-  /// Entity aggregates keyed by the entity name's pool id.
-  std::map<std::uint32_t, EntityAgg> libraries_;  // origin-libraries
-  std::map<std::uint32_t, EntityAgg> twoLevel_;   // 2-level roll-up
-  std::map<std::uint32_t, EntityAgg> domains_;
-  /// (app category id, library category id) -> bytes, and
-  /// (library category id, domain category id) -> bytes.
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
-      byAppCatLibCat_;
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> heatmap_;
+  /// Entity aggregates, dense by the entity name's pool id.
+  util::DenseSymbolMap<EntityAgg> libraries_;  // origin-libraries
+  util::DenseSymbolMap<EntityAgg> twoLevel_;   // 2-level roll-up
+  util::DenseSymbolMap<EntityAgg> domains_;
+  std::size_t libraryCount_ = 0;
+  std::size_t twoLevelCount_ = 0;
+  std::size_t domainCount_ = 0;
+  /// Category symbols get small dense slot numbers (a study sees a dozen-ish
+  /// distinct categories); the two figure matrices are slot x slot arrays
+  /// with a shared stride, regrown on the rare new-category event.
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  util::DenseSymbolMap<std::uint32_t> catSlotOf_{kNoSlot};  // pool id -> slot
+  std::vector<util::Symbol> catSlots_;                      // slot -> symbol
+  std::size_t catStride_ = 0;
+  std::vector<MatrixCell> byAppCatLibCat_;  // [appCat slot][libCat slot]
+  std::vector<MatrixCell> heatmap_;         // [libCat slot][domainCat slot]
+  /// Foreign pool id -> local symbol, one dense table per source pool
+  /// (normally exactly one: the study's attributor).
+  std::unordered_map<const util::SymbolPool*, std::vector<util::Symbol>>
+      columnXlat_;
   UdpStats udp_;
   std::size_t flowCount_ = 0;
   std::uint64_t unattributedBytes_ = 0;
@@ -222,6 +263,12 @@ class StudyAccumulator {
   void add(std::size_t jobIndex, RunArtifacts&& run,
            std::vector<FlowRecord>&& flows);
 
+  /// Deliver app `jobIndex` as a columnar batch (folded through
+  /// StudyAggregator::addAppColumns). Mixing add and addColumns across jobs
+  /// is fine — both folds write identical study state.
+  void addColumns(std::size_t jobIndex, RunArtifacts&& run,
+                  FlowColumns&& columns);
+
   /// Mark `jobIndex` as never arriving (failed job). Thread-safe.
   void skip(std::size_t jobIndex);
 
@@ -237,7 +284,12 @@ class StudyAccumulator {
   struct PendingApp {
     RunArtifacts run;
     std::vector<FlowRecord> flows;
+    FlowColumns columns;
+    bool columnar = false;
   };
+
+  /// Fold one buffered app through the matching aggregator entry point.
+  void foldLocked(PendingApp&& app);
 
   /// Fold buffered apps while the next expected index is available.
   /// Requires mutex_ held.

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <limits>
-#include <map>
+#include <span>
 #include <unordered_map>
 
 #include "dex/type_signature.hpp"
@@ -36,6 +36,10 @@ constexpr std::array<std::string_view, 14> kBuiltinPrefixes = {
 };
 
 }  // namespace
+
+std::span<const std::string_view> builtinFramePrefixes() noexcept {
+  return kBuiltinPrefixes;
+}
 
 std::string frameNameOf(std::string_view entry) {
   if (const auto sig = dex::parseSignatureView(entry)) {
@@ -94,20 +98,36 @@ TrafficAttributor::TrafficAttributor(const radar::LibraryCorpus& corpus,
     : corpus_(corpus),
       domains_(domains),
       config_(config),
+      program_(config.compileProgram
+                   ? std::make_unique<const AttributionProgram>(
+                         corpus, builtinFramePrefixes(), radar::antLibraries(),
+                         radar::commonLibraries())
+                   : nullptr),
       pool_(std::make_unique<util::SymbolPool>()) {}
 
 TrafficAttributor::FrameInfo TrafficAttributor::computeFrameInfo(
     std::string_view signature) const {
   FrameInfo info;
-  info.builtin = isBuiltinFrame(signature);
   std::string originLibrary = packageOfEntry(signature);
   if (originLibrary.empty()) originLibrary = frameNameOf(signature);
   info.originLibrary = pool_->intern(originLibrary);
   info.twoLevelLibrary = pool_->intern(util::prefixLevels(originLibrary, 2));
-  info.libraryCategory =
-      pool_->intern(corpus_.predictCategory(originLibrary).category);
-  info.ant = radar::antLibraries().matches(originLibrary);
-  info.common = radar::commonLibraries().matches(originLibrary);
+  if (program_ != nullptr) {
+    // One compiled walk answers the builtin filter; a second answers the
+    // ant/common lists and the corpus election for the origin package.
+    info.builtin = program_->isBuiltinFrame(signature);
+    const AttributionProgram::Lookup hit =
+        program_->lookupPackage(originLibrary);
+    info.libraryCategory = pool_->intern(program_->categoryOf(hit));
+    info.ant = hit.ant;
+    info.common = hit.common;
+  } else {
+    info.builtin = isBuiltinFrame(signature);
+    info.libraryCategory =
+        pool_->intern(corpus_.matchCategory(originLibrary).category);
+    info.ant = radar::antLibraries().matches(originLibrary);
+    info.common = radar::commonLibraries().matches(originLibrary);
+  }
   return info;
 }
 
@@ -121,6 +141,7 @@ const TrafficAttributor::FrameInfo& TrafficAttributor::sharedFrameInfo(
   // Compute outside the exclusive section (corpus prediction is the pricey
   // part); a losing racer's identical entry is simply discarded.
   FrameInfo info = computeFrameInfo(signature.view());
+  info.signature = signature;
   const std::unique_lock lock(frameMutex_);
   return frameCache_.try_emplace(signature.id(), info).first->second;
 }
@@ -129,21 +150,28 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
     const RunArtifacts& run) const {
   // 1. IP -> (time, domain) table from the DNS responses in the capture,
   //    so each flow maps to the domain resolved most recently before it.
-  std::unordered_map<net::Ipv4Addr, std::vector<std::pair<util::SimTimeMs, std::string>>>
+  //    Domains are views into the capture's packets (which outlive this
+  //    call) — no per-packet string copies.
+  std::unordered_map<net::Ipv4Addr,
+                     std::vector<std::pair<util::SimTimeMs, std::string_view>>>
       dnsByIp;
-  for (const auto& pkt : run.capture.packets()) {
-    if (pkt.proto != net::Proto::Udp || !pkt.isDns()) continue;
-    if (pkt.dnsAnswer == net::Ipv4Addr{}) continue;  // query or NXDOMAIN
-    dnsByIp[pkt.dnsAnswer].emplace_back(pkt.timestampMs, pkt.dnsQname);
+  // The capture records answered-DNS packet indices on append, so this
+  // visits exactly the packets that matter instead of scanning the whole
+  // capture for them (queries and NXDOMAINs were already excluded there).
+  const auto& capturePackets = run.capture.packets();
+  for (const std::uint32_t i : run.capture.dnsAnswerPackets()) {
+    const auto& pkt = capturePackets[i];
+    dnsByIp[pkt.dnsAnswer].emplace_back(pkt.timestampMs,
+                                        std::string_view(pkt.dnsQname));
   }
   for (auto& [ip, entries] : dnsByIp)
     std::sort(entries.begin(), entries.end());
 
   const auto domainFor = [&](net::Ipv4Addr ip,
-                             util::SimTimeMs when) -> std::string {
+                             util::SimTimeMs when) -> std::string_view {
     const auto it = dnsByIp.find(ip);
     if (it == dnsByIp.end()) return {};
-    std::string best;
+    std::string_view best;
     for (const auto& [ts, domain] : it->second) {
       if (ts > when) break;
       best = domain;
@@ -156,25 +184,38 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
   // 1b. HTTP Host headers dissected from the capture are authoritative for
   //     their socket: on co-hosted addresses (CDNs) DNS correlation alone
   //     is ambiguous, exactly the confusion the paper attributes to CDNs.
-  std::unordered_map<net::SocketPair,
-                     std::vector<std::pair<util::SimTimeMs, std::string>>>
-      hostByPair;
-  for (const auto& exchange : run.capture.httpExchanges())
-    hostByPair[exchange.pair].emplace_back(exchange.timestampMs, exchange.host);
-  // hostFor picks the first in-window exchange assuming chronological
-  // order, which the DPI pass does not guarantee (it emits per stream, and
-  // streams interleave) — sort, or a late exchange can shadow the one that
-  // actually opened the window.
-  for (auto& [pair, entries] : hostByPair)
-    std::sort(entries.begin(), entries.end());
+  //     One flat index sort groups the exchanges by socket and orders each
+  //     group chronologically — hostFor picks the first in-window exchange,
+  //     and the DPI pass does not guarantee chronological emission (it
+  //     emits per stream, and streams interleave), so without the ordering
+  //     a late exchange could shadow the one that actually opened the
+  //     window. The former per-pair map of vectors paid a node and vector
+  //     allocation per socket.
+  const auto& exchanges = run.capture.httpExchanges();
+  std::vector<std::uint32_t> exchangeOrder(exchanges.size());
+  for (std::uint32_t i = 0; i < exchangeOrder.size(); ++i) exchangeOrder[i] = i;
+  std::sort(exchangeOrder.begin(), exchangeOrder.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const net::HttpExchange& ea = exchanges[a];
+              const net::HttpExchange& eb = exchanges[b];
+              if (!(ea.pair == eb.pair)) return ea.pair < eb.pair;
+              if (ea.timestampMs != eb.timestampMs)
+                return ea.timestampMs < eb.timestampMs;
+              return ea.host < eb.host;
+            });
 
   const auto hostFor = [&](const net::SocketPair& pair, util::SimTimeMs from,
-                           util::SimTimeMs to) -> std::string {
-    const auto it = hostByPair.find(pair);
-    if (it == hostByPair.end()) return {};
-    for (const auto& [ts, host] : it->second) {
-      if (ts > to) break;
-      if (ts >= from) return host;
+                           util::SimTimeMs to) -> std::string_view {
+    auto it = std::lower_bound(exchangeOrder.begin(), exchangeOrder.end(),
+                               pair,
+                               [&](std::uint32_t i, const net::SocketPair& p) {
+                                 return exchanges[i].pair < p;
+                               });
+    for (; it != exchangeOrder.end() && exchanges[*it].pair == pair; ++it) {
+      const net::HttpExchange& exchange = exchanges[*it];
+      if (exchange.timestampMs > to) break;
+      if (exchange.timestampMs >= from)
+        return std::string_view(exchange.host);
     }
     return {};
   };
@@ -193,15 +234,22 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
   // 1d. Per-frame derivation caching. With internSymbols the cache is the
   //     attributor-lifetime frameCache_ keyed by interned signature id —
   //     the same SDK stacks recur in every app, so parsing and corpus
-  //     prediction happen once per study. Without it, fall back to per-call
-  //     memos keyed by views into run.reports (which outlives this call),
-  //     exactly the pre-interning behavior.
+  //     prediction happen once per study; a per-call view-keyed memo in
+  //     front of it collapses the repeats *within* a run to one hash probe
+  //     with no pool traffic or cache lock. Without internSymbols, fall
+  //     back to per-call memos keyed by views into run.reports (which
+  //     outlives this call), exactly the pre-interning behavior.
+  std::unordered_map<std::string_view, const FrameInfo*> frameMemo;
   std::unordered_map<std::string_view, bool> builtinMemo;
   std::unordered_map<std::string_view, FrameInfo> originMemo;
 
+  const auto sharedInfoOf = [&](const std::string& frame) -> const FrameInfo& {
+    const auto [it, inserted] = frameMemo.try_emplace(frame, nullptr);
+    if (inserted) it->second = &sharedFrameInfo(pool_->intern(frame));
+    return *it->second;
+  };
   const auto isBuiltinOf = [&](const std::string& frame) -> bool {
-    if (config_.internSymbols)
-      return sharedFrameInfo(pool_->intern(frame)).builtin;
+    if (config_.internSymbols) return sharedInfoOf(frame).builtin;
     if (!config_.memoizeFrames) return isBuiltinFrame(frame);
     const auto [it, inserted] = builtinMemo.try_emplace(frame, false);
     if (inserted) it->second = isBuiltinFrame(frame);
@@ -215,25 +263,39 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
     return std::nullopt;
   };
   const auto originInfoFor = [&](const std::string& signature) -> FrameInfo {
-    if (config_.internSymbols)
-      return sharedFrameInfo(pool_->intern(signature));
     if (!config_.memoizeFrames) return computeFrameInfo(signature);
     const auto [it, inserted] = originMemo.try_emplace(signature);
     if (inserted) it->second = computeFrameInfo(signature);
     return it->second;
   };
 
+  // 1e. Domain lookups repeat heavily within a run (one CDN or ad host
+  //     serves many flows); memoize the interned domain and its category
+  //     per distinct name so the categorizer's global lock is taken once
+  //     per domain, not once per flow. Gated with the other per-run memos
+  //     so the memo-free reference path stays untouched.
+  struct DomainSyms {
+    util::Symbol domain;
+    util::Symbol category;
+  };
+  std::unordered_map<std::string_view, DomainSyms> domainMemo;
+
   // 2. Connection windows: reports sharing a socket pair (ephemeral port
   //    reuse) are disambiguated chronologically — each report owns the
   //    window from just before its connect until the next same-pair report.
-  std::map<net::SocketPair, std::vector<std::size_t>> reportsByPair;
-  for (std::size_t i = 0; i < run.reports.size(); ++i)
-    reportsByPair[run.reports[i].socketPair].push_back(i);
-  for (auto& [pair, indices] : reportsByPair) {
-    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
-      return run.reports[a].timestampMs < run.reports[b].timestampMs;
-    });
-  }
+  //    One flat index sort groups by pair and orders each group by time;
+  //    the former std::map of vectors paid a node allocation per
+  //    connection plus a sort per group.
+  std::vector<std::uint32_t> reportOrder(run.reports.size());
+  for (std::uint32_t i = 0; i < reportOrder.size(); ++i) reportOrder[i] = i;
+  std::sort(reportOrder.begin(), reportOrder.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const UdpReport& ra = run.reports[a];
+              const UdpReport& rb = run.reports[b];
+              if (ra.socketPair != rb.socketPair)
+                return ra.socketPair < rb.socketPair;
+              return ra.timestampMs < rb.timestampMs;
+            });
 
   std::vector<FlowRecord> flows;
   flows.reserve(run.reports.size());
@@ -247,7 +309,16 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
   const util::Symbol unknownLibraryCategorySym =
       pool_->intern(radar::kUnknownCategory);
 
-  for (const auto& [pair, indices] : reportsByPair) {
+  for (std::size_t groupFirst = 0; groupFirst < reportOrder.size();) {
+    const net::SocketPair pair =
+        run.reports[reportOrder[groupFirst]].socketPair;
+    std::size_t groupLast = groupFirst + 1;
+    while (groupLast < reportOrder.size() &&
+           run.reports[reportOrder[groupLast]].socketPair == pair)
+      ++groupLast;
+    const std::span<const std::uint32_t> indices(
+        reportOrder.data() + groupFirst, groupLast - groupFirst);
+    groupFirst = groupLast;
     for (std::size_t k = 0; k < indices.size(); ++k) {
       const UdpReport& report = run.reports[indices[k]];
       const util::SimTimeMs from =
@@ -273,22 +344,51 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
       flow.sentBytes = volume.payloadFromSrc;
       flow.recvBytes = volume.payloadFromDst;
 
-      std::string domain = hostFor(pair, from, to);
+      std::string_view domain = hostFor(pair, from, to);
       if (domain.empty()) domain = domainFor(pair.dst.ip, report.timestampMs);
-      flow.domainCategory =
-          domain.empty() ? unknownDomainCategorySym
-                         : pool_->intern(domains_.categorize(domain).category);
-      flow.domain = pool_->intern(domain);
+      if (config_.memoizeFrames || config_.internSymbols) {
+        const auto [it, inserted] = domainMemo.try_emplace(domain);
+        if (inserted) {
+          it->second.domain = pool_->intern(domain);
+          it->second.category =
+              domain.empty()
+                  ? unknownDomainCategorySym
+                  : pool_->intern(
+                        domains_.categorize(std::string(domain)).category);
+        }
+        flow.domain = it->second.domain;
+        flow.domainCategory = it->second.category;
+      } else {
+        flow.domainCategory =
+            domain.empty()
+                ? unknownDomainCategorySym
+                : pool_->intern(
+                      domains_.categorize(std::string(domain)).category);
+        flow.domain = pool_->intern(domain);
+      }
 
       const auto origin = originIndexOf(report.stackSignatures);
       if (origin) {
-        flow.originSignature = pool_->intern(report.stackSignatures[*origin]);
-        const FrameInfo info = originInfoFor(report.stackSignatures[*origin]);
-        flow.originLibrary = info.originLibrary;
-        flow.twoLevelLibrary = info.twoLevelLibrary;
-        flow.libraryCategory = info.libraryCategory;
-        flow.antOrigin = info.ant;
-        flow.commonOrigin = info.common;
+        const std::string& signature = report.stackSignatures[*origin];
+        if (config_.internSymbols) {
+          // The shared cache entry carries the interned signature: the
+          // origin frame costs one memo probe total, not three interns.
+          const FrameInfo& info = sharedInfoOf(signature);
+          flow.originSignature = info.signature;
+          flow.originLibrary = info.originLibrary;
+          flow.twoLevelLibrary = info.twoLevelLibrary;
+          flow.libraryCategory = info.libraryCategory;
+          flow.antOrigin = info.ant;
+          flow.commonOrigin = info.common;
+        } else {
+          flow.originSignature = pool_->intern(signature);
+          const FrameInfo info = originInfoFor(signature);
+          flow.originLibrary = info.originLibrary;
+          flow.twoLevelLibrary = info.twoLevelLibrary;
+          flow.libraryCategory = info.libraryCategory;
+          flow.antOrigin = info.ant;
+          flow.commonOrigin = info.common;
+        }
       } else {
         flow.builtinOrigin = true;
         std::string star = "*-";
@@ -302,12 +402,90 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
     }
   }
 
-  // Keep report order stable for callers (reportsByPair reordered them).
+  // Keep report order stable for callers (the grouping reordered them).
   std::sort(flows.begin(), flows.end(),
             [](const FlowRecord& a, const FlowRecord& b) {
               return a.connectTimeMs < b.connectTimeMs;
             });
   return flows;
+}
+
+FlowColumns TrafficAttributor::attributeColumns(const RunArtifacts& run) const {
+  // Columnarizing the row output (rather than building columns in-line)
+  // keeps a single attribution code path and makes row/column equivalence
+  // true by construction; the columnar win is in the downstream fold, not
+  // here. The transpose is a linear pass over trivially copyable fields.
+  return FlowColumns::fromRows(attribute(run), *pool_);
+}
+
+void FlowColumns::reserve(std::size_t n) {
+  apkSha256.reserve(n);
+  appPackage.reserve(n);
+  appCategory.reserve(n);
+  originLibrary.reserve(n);
+  originSignature.reserve(n);
+  twoLevelLibrary.reserve(n);
+  libraryCategory.reserve(n);
+  domain.reserve(n);
+  domainCategory.reserve(n);
+  flags.reserve(n);
+  sentBytes.reserve(n);
+  recvBytes.reserve(n);
+  socketPair.reserve(n);
+  connectTimeMs.reserve(n);
+}
+
+void FlowColumns::push(const FlowRecord& flow) {
+  apkSha256.push_back(flow.apkSha256.id());
+  appPackage.push_back(flow.appPackage.id());
+  appCategory.push_back(flow.appCategory.id());
+  originLibrary.push_back(flow.originLibrary.id());
+  originSignature.push_back(flow.originSignature.id());
+  twoLevelLibrary.push_back(flow.twoLevelLibrary.id());
+  libraryCategory.push_back(flow.libraryCategory.id());
+  domain.push_back(flow.domain.id());
+  domainCategory.push_back(flow.domainCategory.id());
+  flags.push_back(static_cast<std::uint8_t>(
+      (flow.builtinOrigin ? kBuiltinOrigin : 0) |
+      (flow.antOrigin ? kAntOrigin : 0) |
+      (flow.commonOrigin ? kCommonOrigin : 0)));
+  sentBytes.push_back(flow.sentBytes);
+  recvBytes.push_back(flow.recvBytes);
+  socketPair.push_back(flow.socketPair);
+  connectTimeMs.push_back(flow.connectTimeMs);
+}
+
+FlowRecord FlowColumns::row(std::size_t i) const {
+  const auto symbolAt = [&](std::uint32_t id) -> util::Symbol {
+    return id == util::Symbol::kNoId ? util::Symbol{} : pool->at(id);
+  };
+  FlowRecord flow;
+  flow.apkSha256 = symbolAt(apkSha256[i]);
+  flow.appPackage = symbolAt(appPackage[i]);
+  flow.appCategory = symbolAt(appCategory[i]);
+  flow.originLibrary = symbolAt(originLibrary[i]);
+  flow.originSignature = symbolAt(originSignature[i]);
+  flow.twoLevelLibrary = symbolAt(twoLevelLibrary[i]);
+  flow.libraryCategory = symbolAt(libraryCategory[i]);
+  flow.domain = symbolAt(domain[i]);
+  flow.domainCategory = symbolAt(domainCategory[i]);
+  flow.builtinOrigin = (flags[i] & kBuiltinOrigin) != 0;
+  flow.antOrigin = (flags[i] & kAntOrigin) != 0;
+  flow.commonOrigin = (flags[i] & kCommonOrigin) != 0;
+  flow.socketPair = socketPair[i];
+  flow.connectTimeMs = connectTimeMs[i];
+  flow.sentBytes = sentBytes[i];
+  flow.recvBytes = recvBytes[i];
+  return flow;
+}
+
+FlowColumns FlowColumns::fromRows(std::span<const FlowRecord> flows,
+                                  const util::SymbolPool& pool) {
+  FlowColumns columns;
+  columns.pool = &pool;
+  columns.reserve(flows.size());
+  for (const FlowRecord& flow : flows) columns.push(flow);
+  return columns;
 }
 
 std::uint64_t TrafficAttributor::unattributedTcpPayload(

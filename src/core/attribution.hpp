@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/artifacts.hpp"
+#include "core/attribution_program.hpp"
 #include "net/ip.hpp"
 #include "radar/ant.hpp"
 #include "radar/corpus.hpp"
@@ -30,6 +31,11 @@ namespace libspector::core {
 /// Built-in package filter (paper footnote 2, plus the com.android.* frames
 /// Listing 1 shows being eliminated as internal API calls).
 [[nodiscard]] bool isBuiltinFrame(std::string_view frameOrSignature);
+
+/// The footnote-2 filter list itself (hierarchical package prefixes) — the
+/// compilation input for AttributionProgram and the reference set for its
+/// differential tests.
+[[nodiscard]] std::span<const std::string_view> builtinFramePrefixes() noexcept;
 
 /// Normalize a report entry (smali signature or dotted frame name) to its
 /// dotted frame name.
@@ -78,6 +84,48 @@ struct FlowRecord {
   std::uint64_t recvBytes = 0;  // server -> device, wire bytes
 };
 
+/// One app run's attributed flows in columnar (SoA) form: every FlowRecord
+/// symbol field becomes a parallel vector of its dense pool id, the three
+/// origin booleans pack into one flags byte, and the numeric fields keep
+/// their own vectors. Same information, same order as the row form —
+/// row(i) reconstructs flows[i] exactly — but shaped for batch folds:
+/// aggregation walks contiguous u32/u64 arrays and indexes dense
+/// per-symbol-id accumulators instead of hashing per flow.
+///
+/// Ids are meaningful only against `pool` (the producing attributor's
+/// pool); like FlowRecords, columns must not outlive it.
+struct FlowColumns {
+  static constexpr std::uint8_t kBuiltinOrigin = 1;
+  static constexpr std::uint8_t kAntOrigin = 2;
+  static constexpr std::uint8_t kCommonOrigin = 4;
+
+  const util::SymbolPool* pool = nullptr;
+
+  std::vector<std::uint32_t> apkSha256;
+  std::vector<std::uint32_t> appPackage;
+  std::vector<std::uint32_t> appCategory;
+  std::vector<std::uint32_t> originLibrary;
+  std::vector<std::uint32_t> originSignature;  // Symbol::kNoId for built-in
+  std::vector<std::uint32_t> twoLevelLibrary;
+  std::vector<std::uint32_t> libraryCategory;
+  std::vector<std::uint32_t> domain;
+  std::vector<std::uint32_t> domainCategory;
+  std::vector<std::uint8_t> flags;  // kBuiltinOrigin | kAntOrigin | kCommonOrigin
+  std::vector<std::uint64_t> sentBytes;
+  std::vector<std::uint64_t> recvBytes;
+  std::vector<net::SocketPair> socketPair;
+  std::vector<util::SimTimeMs> connectTimeMs;
+
+  [[nodiscard]] std::size_t size() const noexcept { return flags.size(); }
+  void reserve(std::size_t n);
+  void push(const FlowRecord& flow);
+  /// Reconstruct row `i` (ids resolved through `pool`).
+  [[nodiscard]] FlowRecord row(std::size_t i) const;
+  /// Columnarize a row batch; the result references `pool`.
+  [[nodiscard]] static FlowColumns fromRows(std::span<const FlowRecord> flows,
+                                            const util::SymbolPool& pool);
+};
+
 struct AttributorConfig {
   /// How far before the report timestamp the connection's handshake packets
   /// may lie (the post-hook fires after establishment).
@@ -100,6 +148,17 @@ struct AttributorConfig {
   /// either way (the byte-identity tests pin this); flows reference the
   /// attributor's symbol pool in both modes.
   bool internSymbols = true;
+  /// Compile the builtin filter, AnT/common lists and corpus elections into
+  /// one AttributionProgram at construction, so every per-frame question is
+  /// a single component-trie walk (array probes over interned component
+  /// ids) instead of four independent string-prefix walks. Off falls back
+  /// to the reference matchers; results are identical either way.
+  bool compileProgram = true;
+  /// Produce FlowColumns batches and fold them through the columnar
+  /// StudyAggregator entry points (dense id-indexed accumulators). Off
+  /// keeps the row-at-a-time FlowRecord fold as the bit-identical
+  /// reference; the study tests pin both paths to the same bytes.
+  bool columnarFold = true;
 };
 
 class TrafficAttributor {
@@ -112,6 +171,10 @@ class TrafficAttributor {
   /// workers share one attributor (the pool and frame cache are internally
   /// synchronized).
   [[nodiscard]] std::vector<FlowRecord> attribute(const RunArtifacts& run) const;
+
+  /// attribute() in columnar form: same flows, same order, as a FlowColumns
+  /// batch referencing this attributor's pool. Thread-safe like attribute().
+  [[nodiscard]] FlowColumns attributeColumns(const RunArtifacts& run) const;
 
   /// The pool backing every Symbol in the flows this attributor returns.
   /// Flows are valid only while the attributor (and thus the pool) lives.
@@ -134,6 +197,9 @@ class TrafficAttributor {
     util::Symbol originLibrary;
     util::Symbol twoLevelLibrary;
     util::Symbol libraryCategory;
+    /// The interned raw signature (internSymbols path only), so an origin
+    /// frame is interned once, not re-interned per field it feeds.
+    util::Symbol signature;
     bool ant = false;
     bool common = false;
   };
@@ -145,6 +211,9 @@ class TrafficAttributor {
   const radar::LibraryCorpus& corpus_;
   vtsim::DomainCategorizer& domains_;
   AttributorConfig config_;
+  /// Compiled once at construction (config_.compileProgram); immutable and
+  /// shared lock-free by all worker threads. Null when disabled.
+  std::unique_ptr<const AttributionProgram> program_;
   /// Owns every Symbol handed out in FlowRecords. Behind a unique_ptr so
   /// the attributor stays movable and flow symbols survive the move.
   std::unique_ptr<util::SymbolPool> pool_;

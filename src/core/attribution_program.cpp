@@ -1,0 +1,204 @@
+#include "core/attribution_program.hpp"
+
+#include <utility>
+
+#include "dex/type_signature.hpp"
+
+namespace libspector::core {
+
+namespace {
+
+constexpr std::uint32_t kNoIndex = 0xFFFFFFFFu;
+
+/// Mutable trie shape used only during compilation; the flat tables are
+/// extracted from it and it is dropped.
+struct BuildNode {
+  // (componentId, child node). Linear scan: compile-time fan-out is tiny
+  // (tens of children at the root, a handful below).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> children;
+  std::uint8_t ownFlags = 0;
+  std::uint32_t ownElection = kNoIndex;
+};
+
+[[nodiscard]] std::uint64_t mixEdgeKey(std::uint64_t key) noexcept {
+  key *= 0x9E3779B97F4A7C15ull;  // Fibonacci hashing of the packed pair
+  return key ^ (key >> 29);
+}
+
+}  // namespace
+
+AttributionProgram::AttributionProgram(
+    const radar::LibraryCorpus& corpus,
+    std::span<const std::string_view> builtinPrefixes,
+    const radar::PrefixList& ant, const radar::PrefixList& common) {
+  std::vector<BuildNode> nodes(1);  // node 0 = root (the empty prefix)
+
+  const auto insertPath = [&](std::string_view prefix, std::uint8_t flagBit,
+                              std::uint32_t electionIndex) {
+    // The reference matchers never match an empty prefix; keep the root
+    // flag-free so an unmatched walk answers "nothing".
+    if (prefix.empty()) return;
+    std::uint32_t node = 0;
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t dot = prefix.find('.', pos);
+      const std::string_view component = prefix.substr(
+          pos, (dot == std::string_view::npos ? prefix.size() : dot) - pos);
+      const std::uint32_t componentId = components_.intern(component).id();
+      std::uint32_t next = kNoNode;
+      for (const auto& [id, child] : nodes[node].children) {
+        if (id == componentId) {
+          next = child;
+          break;
+        }
+      }
+      if (next == kNoNode) {
+        next = static_cast<std::uint32_t>(nodes.size());
+        nodes[node].children.emplace_back(componentId, next);
+        nodes.emplace_back();
+      }
+      node = next;
+      if (dot == std::string_view::npos) break;
+      pos = dot + 1;
+    }
+    nodes[node].ownFlags |= flagBit;
+    if (electionIndex != kNoIndex) nodes[node].ownElection = electionIndex;
+  };
+
+  for (const std::string_view prefix : builtinPrefixes)
+    insertPath(prefix, kBuiltinBit, kNoIndex);
+  for (const std::string_view prefix : ant.prefixes())
+    insertPath(prefix, kAntBit, kNoIndex);
+  for (const std::string_view prefix : common.prefixes())
+    insertPath(prefix, kCommonBit, kNoIndex);
+  elections_ = corpus.electionViews();
+  for (std::size_t i = 0; i < elections_.size(); ++i)
+    insertPath(elections_[i].prefix, 0, static_cast<std::uint32_t>(i));
+
+  // Fold ancestor state downward. insertPath always creates a child after
+  // its parent, so parent index < child index and one forward pass settles
+  // every node before its children are visited.
+  flags_.assign(nodes.size(), 0);
+  electionAt_.assign(nodes.size(), kNoElection);
+  flags_[0] = nodes[0].ownFlags;
+  electionAt_[0] = nodes[0].ownElection;
+  std::size_t edgeCount = 0;
+  for (std::size_t node = 0; node < nodes.size(); ++node) {
+    edgeCount += nodes[node].children.size();
+    for (const auto& [componentId, child] : nodes[node].children) {
+      flags_[child] = nodes[child].ownFlags | flags_[node];
+      electionAt_[child] = nodes[child].ownElection != kNoIndex
+                               ? nodes[child].ownElection
+                               : electionAt_[node];
+    }
+  }
+
+  // Scatter the edges into one open-addressing table at load factor <= 1/2.
+  std::size_t capacity = 16;
+  while (capacity < edgeCount * 2) capacity *= 2;
+  edges_.assign(capacity, Edge{});
+  edgeMask_ = capacity - 1;
+  for (std::size_t node = 0; node < nodes.size(); ++node) {
+    for (const auto& [componentId, child] : nodes[node].children) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(node + 1) << 32) | componentId;
+      for (std::uint64_t slot = mixEdgeKey(key) & edgeMask_;;
+           slot = (slot + 1) & edgeMask_) {
+        if (edges_[slot].key == 0) {
+          edges_[slot] = {key, child};
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::uint32_t AttributionProgram::childOf(
+    std::uint32_t node, std::uint32_t componentId) const noexcept {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(node + 1) << 32) | componentId;
+  for (std::uint64_t slot = mixEdgeKey(key) & edgeMask_;;
+       slot = (slot + 1) & edgeMask_) {
+    const Edge& edge = edges_[slot];
+    if (edge.key == key) return edge.to;
+    if (edge.key == 0) return kNoNode;
+  }
+}
+
+AttributionProgram::Lookup AttributionProgram::lookupAt(
+    std::uint32_t node) const noexcept {
+  const std::uint8_t flags = flags_[node];
+  return {(flags & kBuiltinBit) != 0, (flags & kAntBit) != 0,
+          (flags & kCommonBit) != 0, electionAt_[node]};
+}
+
+AttributionProgram::Lookup AttributionProgram::lookupPackage(
+    std::string_view package) const noexcept {
+  if (package.empty()) return {};
+  std::uint32_t node = 0;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t dot = package.find('.', pos);
+    const std::string_view component = package.substr(
+        pos, (dot == std::string_view::npos ? package.size() : dot) - pos);
+    // A component the pool never interned cannot appear in any compiled
+    // prefix; the deepest node reached already aggregates every shorter
+    // match, so stopping early is exact.
+    const std::uint32_t componentId = components_.find(component).id();
+    if (componentId == util::Symbol::kNoId) break;
+    const std::uint32_t next = childOf(node, componentId);
+    if (next == kNoNode) break;
+    node = next;
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
+  }
+  return lookupAt(node);
+}
+
+bool AttributionProgram::isBuiltinFrame(std::string_view entry) const noexcept {
+  if (const auto sig = dex::parseSignatureView(entry)) {
+    // The reference compares the virtual dotted frame name
+    // slashToDot(slashedClass) + "." + methodName with '.' boundaries, so
+    // both '/' and '.' split the class part and '.' splits the method.
+    std::uint32_t node = 0;
+    bool walking = true;
+    const auto walkPiece = [&](std::string_view piece) {
+      std::size_t pos = 0;
+      while (walking) {
+        const std::size_t cut = piece.find_first_of("/.", pos);
+        const std::string_view component = piece.substr(
+            pos, (cut == std::string_view::npos ? piece.size() : cut) - pos);
+        const std::uint32_t componentId = components_.find(component).id();
+        const std::uint32_t next = componentId == util::Symbol::kNoId
+                                       ? kNoNode
+                                       : childOf(node, componentId);
+        if (next == kNoNode) {
+          walking = false;
+          break;
+        }
+        node = next;
+        if (cut == std::string_view::npos) break;
+        pos = cut + 1;
+      }
+    };
+    walkPiece(sig->slashedClass);
+    if (walking) walkPiece(sig->methodName);
+    return (flags_[node] & kBuiltinBit) != 0;
+  }
+  return lookupPackage(entry).builtin;
+}
+
+std::string_view AttributionProgram::categoryOf(
+    const Lookup& hit) const noexcept {
+  if (hit.election == kNoElection) return radar::kUnknownCategory;
+  const auto& election = elections_[hit.election];
+  return election.winner.empty() ? radar::kUnknownCategory : election.winner;
+}
+
+std::string_view AttributionProgram::matchedPrefixOf(
+    const Lookup& hit) const noexcept {
+  return hit.election == kNoElection ? std::string_view{}
+                                     : elections_[hit.election].prefix;
+}
+
+}  // namespace libspector::core

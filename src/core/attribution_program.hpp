@@ -1,0 +1,121 @@
+// Compiled attribution automaton (the once-per-study "program").
+//
+// Attribution asks the same three hierarchical-prefix questions for every
+// stack frame of every flow: is it built-in (footnote 2), is its package in
+// the AnT / common-library lists (§III-D), and what does the LibRadar
+// corpus elect as its category (Listing 2)? Each reference implementation
+// re-walks string prefixes per query. This program compiles all four
+// prefix sets into one flat component-trie over interned package
+// components, built once per study:
+//
+//   - every dot-separated component of every compiled prefix is interned
+//     into a private SymbolPool, so a query component resolves to a u32 id
+//     with one lock-free probe (a component the pool has never seen cannot
+//     be part of any compiled prefix — the walk stops immediately);
+//   - trie edges live in one open-addressing table keyed by
+//     (node id, component id), so descending one level is a hash of two
+//     u32s plus a linear probe — no per-node allocation, no pointer chase
+//     through node objects;
+//   - each node carries the *cumulative* builtin/AnT/common flags of its
+//     ancestor-or-self prefixes and the index of the nearest
+//     ancestor-or-self corpus election, so one downward walk answers all
+//     questions at once: the deepest reachable node already aggregates
+//     every shorter match, exactly the hierarchical-prefix semantics of
+//     the reference matchers.
+//
+// Queries are O(components) array probes with zero allocation and zero
+// string comparison beyond the per-component pool probe. The structure is
+// immutable after construction and therefore safe to share across worker
+// threads; the corpus it was compiled from must outlive it (election
+// results are borrowed views).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "radar/ant.hpp"
+#include "radar/corpus.hpp"
+#include "util/symbol.hpp"
+
+namespace libspector::core {
+
+class AttributionProgram {
+ public:
+  /// Compile the standard study inputs: the builtin-frame filter list, the
+  /// corpus elections, and the AnT/common-library lists. Tests substitute
+  /// their own sets to differential-test the trie against the reference
+  /// matchers.
+  explicit AttributionProgram(
+      const radar::LibraryCorpus& corpus,
+      std::span<const std::string_view> builtinPrefixes,
+      const radar::PrefixList& ant, const radar::PrefixList& common);
+
+  AttributionProgram(AttributionProgram&&) noexcept = default;
+  AttributionProgram& operator=(AttributionProgram&&) noexcept = default;
+
+  static constexpr std::uint32_t kNoElection = 0xFFFFFFFFu;
+
+  /// Everything one package walk decides.
+  struct Lookup {
+    bool builtin = false;
+    bool ant = false;
+    bool common = false;
+    std::uint32_t election = kNoElection;
+  };
+
+  /// Walk the dot-separated components of `package`. Equivalent to asking
+  /// every reference matcher about every hierarchical ancestor.
+  [[nodiscard]] Lookup lookupPackage(std::string_view package) const noexcept;
+
+  /// Built-in filter for a raw report entry: smali signatures walk their
+  /// slash-separated class components plus the method name (mirroring
+  /// util::isHierarchicalPrefixOfSlashedFrame); anything else walks as a
+  /// dotted frame name.
+  [[nodiscard]] bool isBuiltinFrame(std::string_view entry) const noexcept;
+
+  /// The elected category for a package walk: the election winner, or
+  /// radar::kUnknownCategory when no corpus prefix matched (or the matched
+  /// election tallied no votes). The view borrows from the corpus.
+  [[nodiscard]] std::string_view categoryOf(const Lookup& hit) const noexcept;
+
+  /// The corpus prefix whose election `hit` resolved to (empty when none).
+  [[nodiscard]] std::string_view matchedPrefixOf(
+      const Lookup& hit) const noexcept;
+
+  [[nodiscard]] std::size_t nodeCount() const noexcept { return flags_.size(); }
+  [[nodiscard]] std::size_t electionCount() const noexcept {
+    return elections_.size();
+  }
+
+ private:
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+  static constexpr std::uint8_t kBuiltinBit = 1;
+  static constexpr std::uint8_t kAntBit = 2;
+  static constexpr std::uint8_t kCommonBit = 4;
+
+  struct Edge {
+    std::uint64_t key = 0;  // ((node + 1) << 32) | componentId; 0 = empty
+    std::uint32_t to = kNoNode;
+  };
+
+  [[nodiscard]] std::uint32_t childOf(std::uint32_t node,
+                                      std::uint32_t componentId) const noexcept;
+  [[nodiscard]] Lookup lookupAt(std::uint32_t node) const noexcept;
+
+  /// Package components interned during compilation; find()-only at query
+  /// time (lock-free).
+  util::SymbolPool components_;
+  /// Flat edge table, power-of-two sized, linear probing.
+  std::vector<Edge> edges_;
+  std::uint64_t edgeMask_ = 0;
+  /// Per-node cumulative prefix flags (ancestor-or-self).
+  std::vector<std::uint8_t> flags_;
+  /// Per-node nearest ancestor-or-self election index.
+  std::vector<std::uint32_t> electionAt_;
+  /// Borrowed corpus election results, indexed by electionAt_ values.
+  std::vector<radar::LibraryCorpus::ElectionView> elections_;
+};
+
+}  // namespace libspector::core

@@ -7,8 +7,10 @@ namespace libspector::ingest {
 
 IngestPipeline::IngestPipeline(IngestConfig config, AttributeFn attribute,
                                core::StudyAccumulator* accumulator,
-                               CheckpointFn checkpoint)
+                               CheckpointFn checkpoint,
+                               AttributeColumnsFn attributeColumns)
     : attribute_(std::move(attribute)),
+      attributeColumns_(std::move(attributeColumns)),
       accumulator_(accumulator),
       checkpoint_(std::move(checkpoint)),
       router_(config, [this](RunDelivery&& delivery) {
@@ -52,6 +54,10 @@ void bumpBytes(std::map<std::string, std::uint64_t, std::less<>>& map,
 }  // namespace
 
 void IngestPipeline::onRun(RunDelivery&& delivery) {
+  if (attributeColumns_) {
+    onRunColumnar(std::move(delivery));
+    return;
+  }
   // Attribution runs on the shard consumer thread, unlocked: this is the
   // heavy stage, and shards are the parallelism axis of the ingest tier.
   std::vector<core::FlowRecord> flows = attribute_(delivery.artifacts);
@@ -82,6 +88,58 @@ void IngestPipeline::onRun(RunDelivery&& delivery) {
   if (accumulator_ != nullptr)
     accumulator_->add(delivery.jobIndex, std::move(delivery.artifacts),
                       std::move(flows));
+}
+
+void IngestPipeline::onRunColumnar(RunDelivery&& delivery) {
+  // Attribution (the heavy stage) stays on the shard consumer thread,
+  // unlocked; only the fold below takes the pipeline mutex.
+  core::FlowColumns columns = attributeColumns_(delivery.artifacts);
+
+  std::uint64_t attributed = 0;
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    attributed += columns.sentBytes[i] + columns.recvBytes[i];
+  const std::uint64_t totalTcp =
+      delivery.artifacts.capture.totalTcpPayloadBytes();
+  const std::uint64_t unattributed =
+      attributed >= totalTcp ? 0 : totalTcp - attributed;
+
+  {
+    const std::scoped_lock lock(mutex_);
+    ++rolling_.runsFolded;
+    rolling_.flowCount += columns.size();
+    rolling_.unattributedBytes += unattributed;
+    // Sum per distinct id first (array adds), then one sorted-map bump per
+    // distinct library/category this run — the row path pays a map probe
+    // per flow.
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      const std::uint64_t bytes = columns.sentBytes[i] + columns.recvBytes[i];
+      libSums_.bump(columns.originLibrary[i], bytes);
+      catSums_.bump(columns.libraryCategory[i], bytes);
+    }
+    const auto flush = [&](IdSums& sums,
+                           std::map<std::string, std::uint64_t, std::less<>>&
+                               map) {
+      for (const std::uint32_t id : sums.touched) {
+        bumpBytes(map, columns.pool->at(id).view(), sums.bytes.at(id));
+        sums.bytes[id] = 0;
+        sums.seen[id] = 0;
+      }
+      sums.touched.clear();
+    };
+    flush(libSums_, rolling_.bytesByLibrary);
+    flush(catSums_, rolling_.bytesByLibCategory);
+    rolling_.attributedBytes += attributed;
+    rolling_.bytesByApp[delivery.artifacts.apkSha256] += attributed;
+    accounts_[delivery.artifacts.apkSha256] = delivery.account;
+  }
+
+  // Durable before aggregated — same crash-recovery ordering as the row
+  // path.
+  if (checkpoint_ && !delivery.replayed) checkpoint_(delivery);
+
+  if (accumulator_ != nullptr)
+    accumulator_->addColumns(delivery.jobIndex, std::move(delivery.artifacts),
+                             std::move(columns));
 }
 
 RollingTotals IngestPipeline::rollingTotals() const {

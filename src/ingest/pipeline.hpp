@@ -21,6 +21,7 @@
 #include "core/analysis.hpp"
 #include "core/attribution.hpp"
 #include "ingest/router.hpp"
+#include "util/symbol.hpp"
 
 namespace libspector::ingest {
 
@@ -41,6 +42,10 @@ class IngestPipeline final : public ReportSink {
  public:
   using AttributeFn =
       std::function<std::vector<core::FlowRecord>(const core::RunArtifacts&)>;
+  /// Columnar variant: produces the run's flows as one core::FlowColumns
+  /// batch instead of row records.
+  using AttributeColumnsFn =
+      std::function<core::FlowColumns(const core::RunArtifacts&)>;
 
   /// Incremental checkpoint hook: invoked on the shard consumer thread for
   /// every freshly finalized run (never for replays), after attribution
@@ -52,10 +57,16 @@ class IngestPipeline final : public ReportSink {
 
   /// `accumulator` (optional) receives every finalized run under its job
   /// index — the deterministic batch view. Rolling aggregates and loss
-  /// accounts are always maintained.
+  /// accounts are always maintained. When `attributeColumns` is set it
+  /// replaces `attribute` on every run: the shard produces one FlowColumns
+  /// batch, folds the rolling totals from the id columns (one map bump per
+  /// distinct library/category per run instead of per flow), and hands the
+  /// batch to the accumulator's columnar entry point. Study output is byte
+  /// identical either way.
   IngestPipeline(IngestConfig config, AttributeFn attribute,
                  core::StudyAccumulator* accumulator = nullptr,
-                 CheckpointFn checkpoint = {});
+                 CheckpointFn checkpoint = {},
+                 AttributeColumnsFn attributeColumns = {});
 
   /// Datagram path: forwards to the sharded router.
   void submitDatagram(std::span<const std::uint8_t> payload) override;
@@ -83,13 +94,35 @@ class IngestPipeline final : public ReportSink {
   }
 
  private:
+  /// Per-run byte sums dense by a source pool's symbol ids. `seen` (not a
+  /// nonzero sum) marks touched ids because the rolling maps record
+  /// zero-byte flows too; the touched list makes the post-run reset O(ids
+  /// seen this run).
+  struct IdSums {
+    util::DenseSymbolMap<std::uint64_t> bytes;
+    util::DenseSymbolMap<std::uint8_t> seen;
+    std::vector<std::uint32_t> touched;
+
+    void bump(std::uint32_t id, std::uint64_t add) {
+      if (seen[id] == 0) {
+        seen[id] = 1;
+        touched.push_back(id);
+      }
+      bytes[id] += add;
+    }
+  };
+
   void onRun(RunDelivery&& delivery);
+  void onRunColumnar(RunDelivery&& delivery);
 
   AttributeFn attribute_;
+  AttributeColumnsFn attributeColumns_;
   core::StudyAccumulator* accumulator_;
   CheckpointFn checkpoint_;
   mutable std::mutex mutex_;
   RollingTotals rolling_;
+  IdSums libSums_;  // guarded by mutex_ (scratch, reset every run)
+  IdSums catSums_;  // guarded by mutex_
   std::unordered_map<std::string, ApkLossAccount> accounts_;
   ShardedIngest router_;  // last: consumers stop before state is destroyed
 };

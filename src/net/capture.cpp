@@ -12,6 +12,42 @@ constexpr std::uint32_t kMagic = 0x50434c53;  // "SLCP"
 
 void CaptureFile::append(PacketRecord record) {
   if (record.proto == Proto::Tcp) tcpPayloadBytes_ += record.payloadBytes;
+  const auto index = static_cast<std::uint32_t>(packets_.size());
+  if (record.proto == Proto::Udp && record.isDns() &&
+      !(record.dnsAnswer == Ipv4Addr{}))
+    dnsAnswerPackets_.push_back(index);
+  // Thread the packet onto its connection's chain. This is the only hash
+  // probe the pair ever pays: the per-run CaptureIndex build used to redo
+  // it for every packet on the offline attribution path, where it was the
+  // single largest cost; here it amortizes into capture recording.
+  const auto [it, inserted] = connIdOf_.try_emplace(
+      normalizedPair(record.pair), static_cast<std::uint32_t>(connPairs_.size()));
+  if (inserted) {
+    connPairs_.push_back(it->first);
+    connPackets_.emplace_back();
+    connSorted_.push_back(1);
+  }
+  const std::uint32_t conn = it->second;
+  std::vector<std::uint32_t>& group = connPackets_[conn];
+  const std::uint32_t prev = group.empty() ? kNoPacket : group.back();
+  group.push_back(index);
+
+  // Per-packet columns: timestamp and running per-direction sums of the
+  // packet's connection. The previous packet of the same connection was
+  // appended recently, so reading its running sums stays cache-resident —
+  // unlike the index-build-time gather these columns replace.
+  if (prev != kNoPacket && record.timestampMs < packetTimestamps_[prev])
+    connSorted_[conn] = 0;
+  packetTimestamps_.push_back(record.timestampMs);
+  const bool forward = record.pair.src == connPairs_[conn].src;
+  const std::uint64_t wireFwd = prev == kNoPacket ? 0 : cumWireFwd_[prev];
+  const std::uint64_t wireRev = prev == kNoPacket ? 0 : cumWireRev_[prev];
+  const std::uint64_t payFwd = prev == kNoPacket ? 0 : cumPayFwd_[prev];
+  const std::uint64_t payRev = prev == kNoPacket ? 0 : cumPayRev_[prev];
+  cumWireFwd_.push_back(wireFwd + (forward ? record.wireBytes : 0));
+  cumWireRev_.push_back(wireRev + (forward ? 0 : record.wireBytes));
+  cumPayFwd_.push_back(payFwd + (forward ? record.payloadBytes : 0));
+  cumPayRev_.push_back(payRev + (forward ? 0 : record.payloadBytes));
   packets_.push_back(std::move(record));
 }
 
@@ -38,86 +74,45 @@ CaptureFile::StreamVolume CaptureFile::streamVolume(const SocketPair& pair,
   return volume;
 }
 
-CaptureIndex::CaptureIndex(const CaptureFile& capture)
-    : packets_(capture.size()) {
+CaptureIndex::CaptureIndex(const CaptureFile& capture) : capture_(&capture) {
+  // The capture groups, timestamps, and prefix-sums its packets as they are
+  // appended, so for connections whose packets arrived chronologically —
+  // the monotonic-clock common case, i.e. essentially all of them — there
+  // is nothing to build: queries read the capture's columns directly. Only
+  // out-of-order connections get time-sorted copies with materialized
+  // prefix sums (a stable sort keeps capture order among equal timestamps;
+  // any order among equals yields the same sums for the inclusive-range
+  // queries, but stability makes the index reproducible byte-for-byte).
+  const auto& sorted = capture.connectionSorted();
   const auto& packets = capture.packets();
-  if (packets.empty()) return;
-
-  // Pass 1: assign a dense id to each normalized connection and count its
-  // packets, so pass 2 places every index into an exactly-sized slot with
-  // no vector regrowth (this constructor is on the per-run attribution
-  // path; allocation churn here shows up directly in study throughput).
-  const std::size_t count = packets.size();
-  idOf_.reserve(count / 8 + 8);
-  std::vector<SocketPair> connections;
-  std::vector<std::uint32_t> counts;
-  std::vector<std::uint32_t> connOf(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const auto [it, inserted] = idOf_.try_emplace(
-        normalized(packets[i].pair), static_cast<std::uint32_t>(counts.size()));
-    if (inserted) {
-      connections.push_back(it->first);
-      counts.push_back(0);
-    }
-    connOf[i] = it->second;
-    ++counts[it->second];
-    if (packets[i].proto == Proto::Tcp) tcpPayload_ += packets[i].payloadBytes;
-  }
-
-  // Pass 2: scatter packet indices into contiguous per-connection ranges,
-  // preserving capture order within each connection.
-  ranges_.resize(counts.size());
-  std::uint32_t offset = 0;
-  for (std::size_t c = 0; c < counts.size(); ++c) {
-    ranges_[c] = {offset, offset + counts[c]};
-    offset += counts[c];
-  }
-  std::vector<std::uint32_t> order(count);
-  std::vector<std::uint32_t> cursor(counts.size());
-  for (std::size_t c = 0; c < counts.size(); ++c) cursor[c] = ranges_[c].first;
-  for (std::size_t i = 0; i < count; ++i)
-    order[cursor[connOf[i]]++] = static_cast<std::uint32_t>(i);
-
-  // Pass 3: per connection, time-sort and accumulate prefix sums into the
-  // flat arrays. The capture is recorded from a monotonic clock, so each
-  // range is almost always already sorted — check before paying for the
-  // sort. A stable sort keeps capture order among equal timestamps; since
-  // queries are inclusive timestamp ranges, any order among equals yields
-  // the same sums, but stability makes the index reproducible
-  // byte-for-byte.
-  timestamps_.resize(count);
-  wireForward_.resize(count + counts.size());
-  wireReverse_.resize(count + counts.size());
-  payloadForward_.resize(count + counts.size());
-  payloadReverse_.resize(count + counts.size());
-  for (std::size_t c = 0; c < connections.size(); ++c) {
-    const SocketPair& conn = connections[c];
-    const auto first = order.begin() + ranges_[c].first;
-    const auto last = order.begin() + ranges_[c].last;
-    const auto byTimestamp = [&](std::uint32_t a, std::uint32_t b) {
-      return packets[a].timestampMs < packets[b].timestampMs;
-    };
-    if (!std::is_sorted(first, last, byTimestamp))
-      std::stable_sort(first, last, byTimestamp);
-
-    const std::size_t n = static_cast<std::size_t>(last - first);
-    const std::size_t base = ranges_[c].first + c;  // prefix block start
-    wireForward_[base] = 0;
-    wireReverse_[base] = 0;
-    payloadForward_[base] = 0;
-    payloadReverse_[base] = 0;
+  const auto& flatTs = capture.packetTimestamps();
+  for (std::uint32_t c = 0; c < sorted.size(); ++c) {
+    if (sorted[c]) continue;
+    const SocketPair& conn = capture.connectionPairs()[c];
+    std::vector<std::uint32_t> order = capture.connectionPackets()[c];
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return flatTs[a] < flatTs[b];
+                     });
+    SortedConn& out = resorted_[c];
+    const std::size_t n = order.size();
+    out.timestamps.resize(n);
+    out.wireForward.assign(n + 1, 0);
+    out.wireReverse.assign(n + 1, 0);
+    out.payloadForward.assign(n + 1, 0);
+    out.payloadReverse.assign(n + 1, 0);
     for (std::size_t k = 0; k < n; ++k) {
-      const PacketRecord& pkt = packets[first[k]];
-      timestamps_[ranges_[c].first + k] = pkt.timestampMs;
+      const PacketRecord& pkt = packets[order[k]];
+      out.timestamps[k] = pkt.timestampMs;
       const bool forward = pkt.pair.src == conn.src;
-      wireForward_[base + k + 1] =
-          wireForward_[base + k] + (forward ? pkt.wireBytes : 0);
-      wireReverse_[base + k + 1] =
-          wireReverse_[base + k] + (forward ? 0 : pkt.wireBytes);
-      payloadForward_[base + k + 1] =
-          payloadForward_[base + k] + (forward ? pkt.payloadBytes : 0);
-      payloadReverse_[base + k + 1] =
-          payloadReverse_[base + k] + (forward ? 0 : pkt.payloadBytes);
+      out.wireForward[k + 1] =
+          out.wireForward[k] + (forward ? pkt.wireBytes : 0);
+      out.wireReverse[k + 1] =
+          out.wireReverse[k] + (forward ? 0 : pkt.wireBytes);
+      out.payloadForward[k + 1] =
+          out.payloadForward[k] + (forward ? pkt.payloadBytes : 0);
+      out.payloadReverse[k + 1] =
+          out.payloadReverse[k] + (forward ? 0 : pkt.payloadBytes);
     }
   }
 }
@@ -126,27 +121,75 @@ CaptureFile::StreamVolume CaptureIndex::streamVolume(
     const SocketPair& pair, util::SimTimeMs fromMs,
     util::SimTimeMs toMs) const {
   CaptureFile::StreamVolume volume;
+  if (capture_ == nullptr) return volume;
   const SocketPair conn = normalized(pair);
-  const auto it = idOf_.find(conn);
-  if (it == idOf_.end()) return volume;
+  const auto& ids = capture_->connectionIds();
+  const auto it = ids.find(conn);
+  if (it == ids.end()) return volume;
   const std::uint32_t c = it->second;
-  const Range range = ranges_[c];
 
-  const auto tsFirst = timestamps_.begin() + range.first;
-  const auto tsLast = timestamps_.begin() + range.last;
-  const auto a = static_cast<std::size_t>(
-      std::lower_bound(tsFirst, tsLast, fromMs) - tsFirst);
-  const auto b = static_cast<std::size_t>(
-      std::upper_bound(tsFirst, tsLast, toMs) - tsFirst);
-  if (a >= b) return volume;
+  std::uint64_t wireFwd = 0;
+  std::uint64_t wireRev = 0;
+  std::uint64_t payFwd = 0;
+  std::uint64_t payRev = 0;
+  std::size_t matched = 0;
 
-  const std::size_t base = range.first + c;  // prefix block start
-  const std::uint64_t wireFwd = wireForward_[base + b] - wireForward_[base + a];
-  const std::uint64_t wireRev = wireReverse_[base + b] - wireReverse_[base + a];
-  const std::uint64_t payFwd =
-      payloadForward_[base + b] - payloadForward_[base + a];
-  const std::uint64_t payRev =
-      payloadReverse_[base + b] - payloadReverse_[base + a];
+  const auto resortedIt = resorted_.find(c);
+  if (resortedIt == resorted_.end()) {
+    // Chronological connection: binary-search the capture's timestamp
+    // column through the connection's packet-index list, and difference
+    // its append-time cumulative sums. Nothing was copied to get here.
+    const std::vector<std::uint32_t>& group =
+        capture_->connectionPackets()[c];
+    const auto& ts = capture_->packetTimestamps();
+    std::size_t a = 0;
+    for (std::size_t lo = 0, hi = group.size(); lo < hi;) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (ts[group[mid]] < fromMs)
+        lo = mid + 1;
+      else
+        hi = mid;
+      a = lo;
+    }
+    std::size_t b = a;
+    for (std::size_t lo = a, hi = group.size(); lo < hi;) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (ts[group[mid]] <= toMs)
+        lo = mid + 1;
+      else
+        hi = mid;
+      b = lo;
+    }
+    if (a >= b) return volume;
+    const std::uint32_t last = group[b - 1];
+    const std::uint64_t baseWireFwd =
+        a == 0 ? 0 : capture_->cumulativeWireForward()[group[a - 1]];
+    const std::uint64_t baseWireRev =
+        a == 0 ? 0 : capture_->cumulativeWireReverse()[group[a - 1]];
+    const std::uint64_t basePayFwd =
+        a == 0 ? 0 : capture_->cumulativePayloadForward()[group[a - 1]];
+    const std::uint64_t basePayRev =
+        a == 0 ? 0 : capture_->cumulativePayloadReverse()[group[a - 1]];
+    wireFwd = capture_->cumulativeWireForward()[last] - baseWireFwd;
+    wireRev = capture_->cumulativeWireReverse()[last] - baseWireRev;
+    payFwd = capture_->cumulativePayloadForward()[last] - basePayFwd;
+    payRev = capture_->cumulativePayloadReverse()[last] - basePayRev;
+    matched = b - a;
+  } else {
+    const SortedConn& sc = resortedIt->second;
+    const auto a = static_cast<std::size_t>(
+        std::lower_bound(sc.timestamps.begin(), sc.timestamps.end(), fromMs) -
+        sc.timestamps.begin());
+    const auto b = static_cast<std::size_t>(
+        std::upper_bound(sc.timestamps.begin(), sc.timestamps.end(), toMs) -
+        sc.timestamps.begin());
+    if (a >= b) return volume;
+    wireFwd = sc.wireForward[b] - sc.wireForward[a];
+    wireRev = sc.wireReverse[b] - sc.wireReverse[a];
+    payFwd = sc.payloadForward[b] - sc.payloadForward[a];
+    payRev = sc.payloadReverse[b] - sc.payloadReverse[a];
+    matched = b - a;
+  }
 
   // "Forward" is relative to the normalized orientation; the caller's src
   // may be either end. Mirror exactly the naive scan's direction test
@@ -157,7 +200,7 @@ CaptureFile::StreamVolume CaptureIndex::streamVolume(
   volume.bytesFromDst = queryIsForward ? wireRev : wireFwd;
   volume.payloadFromSrc = queryIsForward ? payFwd : payRev;
   volume.payloadFromDst = queryIsForward ? payRev : payFwd;
-  volume.packetCount = b - a;
+  volume.packetCount = matched;
   return volume;
 }
 

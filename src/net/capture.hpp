@@ -69,9 +69,19 @@ struct HttpExchange {
   [[nodiscard]] bool operator==(const HttpExchange&) const = default;
 };
 
+/// The lexicographically smaller of the two orientations of `pair`, so a
+/// stream's packets and queries from either end share one key.
+[[nodiscard]] inline SocketPair normalizedPair(const SocketPair& pair) noexcept {
+  return pair.reversed() < pair ? pair.reversed() : pair;
+}
+
 /// Append-only capture with pcap-like binary (de)serialization.
 class CaptureFile {
  public:
+  /// Sentinel in the per-packet chain links: no earlier packet on this
+  /// connection.
+  static constexpr std::uint32_t kNoPacket = 0xFFFFFFFFu;
+
   void append(PacketRecord record);
 
   /// Record a dissected HTTP exchange (kept alongside the raw packets, as
@@ -118,30 +128,106 @@ class CaptureFile {
   [[nodiscard]] static CaptureFile deserialize(std::span<const std::uint8_t> bytes);
 
   [[nodiscard]] bool operator==(const CaptureFile& other) const noexcept {
-    // tcpPayloadBytes_ is derived from packets_; comparing it would be
-    // redundant (and it is equal whenever packets_ are).
+    // Everything but packets_ and http_ is derived from them on append;
+    // comparing derived state would be redundant.
     return packets_ == other.packets_ && http_ == other.http_;
+  }
+
+  /// Per-connection grouping maintained incrementally on append: each
+  /// packet's index is recorded under its normalized connection as it is
+  /// captured. CaptureIndex reads these directly, so the per-run index
+  /// build — on the offline attribution hot path — no longer re-hashes or
+  /// regroups any packet.
+  [[nodiscard]] const std::vector<SocketPair>& connectionPairs() const noexcept {
+    return connPairs_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>&
+  connectionPackets() const noexcept {
+    return connPackets_;
+  }
+  /// Dense connection id of a *normalized* socket pair (first-seen order,
+  /// the same ids connectionPairs/connectionPackets are keyed by).
+  [[nodiscard]] const std::unordered_map<SocketPair, std::uint32_t>&
+  connectionIds() const noexcept {
+    return connIdOf_;
+  }
+
+  /// Indices (in capture order) of DNS response packets carrying a real
+  /// answer — the only packets the attribution DNS correlation reads.
+  [[nodiscard]] const std::vector<std::uint32_t>& dnsAnswerPackets()
+      const noexcept {
+    return dnsAnswerPackets_;
+  }
+
+  /// Compact per-packet columns in capture order: the timestamp, and the
+  /// connection-cumulative per-direction byte sums *including* the packet
+  /// ("forward" = sent by the normalized orientation's src). When a
+  /// connection's packets are chronological (connectionSorted), these are
+  /// exactly the time-sorted prefix sums CaptureIndex needs, so its build
+  /// gathers from these small flat arrays instead of re-walking the fat
+  /// PacketRecords.
+  [[nodiscard]] const std::vector<util::SimTimeMs>& packetTimestamps()
+      const noexcept {
+    return packetTimestamps_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& cumulativeWireForward()
+      const noexcept {
+    return cumWireFwd_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& cumulativeWireReverse()
+      const noexcept {
+    return cumWireRev_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& cumulativePayloadForward()
+      const noexcept {
+    return cumPayFwd_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& cumulativePayloadReverse()
+      const noexcept {
+    return cumPayRev_;
+  }
+  /// Per connection: 1 while its packets arrived in non-decreasing
+  /// timestamp order (the monotonic-clock common case), 0 otherwise.
+  [[nodiscard]] const std::vector<std::uint8_t>& connectionSorted()
+      const noexcept {
+    return connSorted_;
   }
 
  private:
   std::vector<PacketRecord> packets_;
   std::vector<HttpExchange> http_;
   std::uint64_t tcpPayloadBytes_ = 0;
+  std::unordered_map<SocketPair, std::uint32_t> connIdOf_;  // normalized -> id
+  std::vector<SocketPair> connPairs_;
+  std::vector<std::vector<std::uint32_t>> connPackets_;
+  std::vector<std::uint8_t> connSorted_;
+  std::vector<std::uint32_t> dnsAnswerPackets_;
+  std::vector<util::SimTimeMs> packetTimestamps_;
+  std::vector<std::uint64_t> cumWireFwd_;
+  std::vector<std::uint64_t> cumWireRev_;
+  std::vector<std::uint64_t> cumPayFwd_;
+  std::vector<std::uint64_t> cumPayRev_;
 };
 
 /// Read-only query accelerator over one CaptureFile.
 ///
-/// Groups the capture's packets by *normalized* connection (the socket pair
-/// in a canonical orientation, so both directions of a stream land in one
-/// bucket), sorts each bucket by timestamp, and keeps per-direction prefix
-/// sums over wire and payload bytes. A streamVolume query is then a hash
-/// probe plus two binary searches instead of a scan over every packet:
-/// O(log P) against the naive O(P), which turns the offline attribution of
-/// a run from O(flows x packets) into O((flows + packets) log P).
+/// The capture already groups its packets by *normalized* connection (the
+/// socket pair in a canonical orientation, so both directions of a stream
+/// land in one bucket) and keeps per-packet timestamps and per-direction
+/// connection-cumulative byte sums, all maintained on append. For the
+/// monotonic-clock common case — a connection's packets already in
+/// timestamp order — the index is a pure view over those columns and costs
+/// one pass over the (small) per-connection sorted bits to build; only
+/// out-of-order connections get time-sorted copies with materialized
+/// prefix sums. A streamVolume query is a hash probe plus two binary
+/// searches either way: O(log P) against the naive O(P), which turns the
+/// offline attribution of a run from O(flows x packets) into
+/// O((flows + packets) log P).
 ///
-/// The index is a snapshot: packets appended to the CaptureFile after
-/// construction are not visible. The offline pipeline builds it once per
-/// run, right before attribution, when the capture is final.
+/// The index borrows the capture: it must outlive the index, and packets
+/// appended after construction leave the index in an unspecified (though
+/// memory-safe) state. The offline pipeline builds it once per run, right
+/// before attribution, when the capture is final.
 class CaptureIndex {
  public:
   CaptureIndex() = default;
@@ -153,44 +239,37 @@ class CaptureIndex {
       util::SimTimeMs toMs) const;
 
   [[nodiscard]] std::size_t connectionCount() const noexcept {
-    return ranges_.size();
+    return capture_ == nullptr ? 0 : capture_->connectionPairs().size();
   }
-  [[nodiscard]] std::size_t packetCount() const noexcept { return packets_; }
+  [[nodiscard]] std::size_t packetCount() const noexcept {
+    return capture_ == nullptr ? 0 : capture_->size();
+  }
 
-  /// Sum of TCP payload bytes over the indexed capture, accumulated while
-  /// the index is built (matches CaptureFile::totalTcpPayloadBytes()).
+  /// Sum of TCP payload bytes over the indexed capture (matches
+  /// CaptureFile::totalTcpPayloadBytes()).
   [[nodiscard]] std::uint64_t totalTcpPayload() const noexcept {
-    return tcpPayload_;
+    return capture_ == nullptr ? 0 : capture_->totalTcpPayloadBytes();
   }
 
  private:
-  /// Packet slots [first, last) of one connection in the flat arrays below.
-  struct Range {
-    std::uint32_t first = 0;
-    std::uint32_t last = 0;
+  /// Slow-path materialization for one out-of-order connection: its packet
+  /// timestamps time-sorted, plus per-direction prefix sums ("forward" =
+  /// sent by the canonical orientation's src; block[k] sums the
+  /// connection's first k packets in time order).
+  struct SortedConn {
+    std::vector<util::SimTimeMs> timestamps;
+    std::vector<std::uint64_t> wireForward;
+    std::vector<std::uint64_t> wireReverse;
+    std::vector<std::uint64_t> payloadForward;
+    std::vector<std::uint64_t> payloadReverse;
   };
 
-  /// The lexicographically smaller of the two orientations of `pair`, so a
-  /// stream's packets and queries from either end share one key.
   [[nodiscard]] static SocketPair normalized(const SocketPair& pair) noexcept {
-    return pair.reversed() < pair ? pair.reversed() : pair;
+    return normalizedPair(pair);
   }
 
-  std::unordered_map<SocketPair, std::uint32_t> idOf_;  // normalized -> id
-  std::vector<Range> ranges_;                           // per connection id
-  /// Timestamps (ascending within each connection's range) and per-direction
-  /// prefix sums, all grouped by connection in one flat allocation each.
-  /// "Forward" means sent by the canonical orientation's src. The prefix
-  /// arrays carry one extra slot per connection: connection c's block starts
-  /// at ranges_[c].first + c, and block[k] sums the connection's first k
-  /// packets.
-  std::vector<util::SimTimeMs> timestamps_;
-  std::vector<std::uint64_t> wireForward_;
-  std::vector<std::uint64_t> wireReverse_;
-  std::vector<std::uint64_t> payloadForward_;
-  std::vector<std::uint64_t> payloadReverse_;
-  std::size_t packets_ = 0;
-  std::uint64_t tcpPayload_ = 0;
+  const CaptureFile* capture_ = nullptr;
+  std::unordered_map<std::uint32_t, SortedConn> resorted_;  // by conn id
 };
 
 }  // namespace libspector::net

@@ -81,7 +81,16 @@ StudyOutput runPipeline(const store::AppStoreGenerator& generator,
                                                  delivery.account,
                                                  delivery.artifacts);
                       })
-                : ingest::IngestPipeline::CheckpointFn{});
+                : ingest::IngestPipeline::CheckpointFn{},
+        // Columnar fold (batch id arrays through the dense aggregator) when
+        // enabled; the row AttributeFn above stays the bit-identical
+        // reference path.
+        attributionConfig.columnarFold
+            ? ingest::IngestPipeline::AttributeColumnsFn(
+                  [&attributor](const core::RunArtifacts& artifacts) {
+                    return attributor.attributeColumns(artifacts);
+                  })
+            : ingest::IngestPipeline::AttributeColumnsFn{});
 
     if (replays != nullptr) {
       for (auto& run : *replays) {

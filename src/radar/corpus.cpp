@@ -40,7 +40,10 @@ void LibraryCorpus::add(std::string prefix, std::string category) {
   // The new entry votes in its own election and in the election of every
   // corpus prefix above it; its own election also needs the votes of any
   // entries already registered underneath it.
-  PrefixElection& own = elections_[it->first];
+  const auto [electionIt, electionInserted] = elections_.try_emplace(it->first);
+  PrefixElection& own = electionIt->second;
+  own.prefix = electionIt->first;
+  own.entryCategory = &it->second;
   own.votes.clear();
   for (const auto& entry : entriesUnder(it->first)) ++own.votes[entry.category];
   own.recount();
@@ -64,10 +67,12 @@ const std::string* LibraryCorpus::categoryOf(std::string_view prefix) const {
 std::optional<std::string> LibraryCorpus::longestMatchingPrefix(
     std::string_view package) const {
   // Candidate prefixes of `package` are its own hierarchical ancestors;
-  // walk from the full name upward and return the first corpus hit.
+  // walk from the full name upward and return the first corpus hit. The
+  // election table keys exactly the entry set, so each candidate costs one
+  // hash probe instead of an ordered-map descent.
   std::string_view candidate = package;
   while (!candidate.empty()) {
-    if (entries_.find(candidate) != entries_.end())
+    if (elections_.find(candidate) != elections_.end())
       return std::string(candidate);
     const std::size_t dot = candidate.rfind('.');
     if (dot == std::string_view::npos) break;
@@ -93,27 +98,45 @@ std::vector<LibraryEntry> LibraryCorpus::entriesUnder(
   return out;
 }
 
-CategoryPrediction LibraryCorpus::predictCategory(
-    std::string_view package) const {
-  CategoryPrediction prediction;
+CategoryMatch LibraryCorpus::matchCategory(std::string_view package) const {
   // Longest-prefix walk over the precomputed elections: one hash probe per
-  // hierarchical ancestor, no range scan or re-tally.
+  // hierarchical ancestor, no range scan, no re-tally, no allocation.
   std::string_view candidate = package;
   while (!candidate.empty()) {
     if (const auto it = elections_.find(candidate); it != elections_.end()) {
-      prediction.matchedPrefix = it->first;
-      prediction.votes = it->second.votes;
-      prediction.category = it->second.winner;
-      if (prediction.category.empty())
-        prediction.category = std::string(kUnknownCategory);
-      return prediction;
+      const PrefixElection& election = it->second;
+      return {election.winner.empty() ? kUnknownCategory
+                                      : std::string_view(election.winner),
+              election.prefix, &election.votes};
     }
     const std::size_t dot = candidate.rfind('.');
     if (dot == std::string_view::npos) break;
     candidate = candidate.substr(0, dot);
   }
-  prediction.category = std::string(kUnknownCategory);
+  return {kUnknownCategory, {}, nullptr};
+}
+
+CategoryPrediction LibraryCorpus::predictCategory(
+    std::string_view package) const {
+  const CategoryMatch match = matchCategory(package);
+  CategoryPrediction prediction;
+  prediction.category = std::string(match.category);
+  prediction.matchedPrefix = std::string(match.matchedPrefix);
+  if (match.votes != nullptr) prediction.votes = *match.votes;
   return prediction;
+}
+
+std::vector<LibraryCorpus::ElectionView> LibraryCorpus::electionViews() const {
+  // entries_ and elections_ share a keyset; iterate the ordered side so the
+  // views come out sorted by prefix.
+  std::vector<ElectionView> out;
+  out.reserve(entries_.size());
+  for (const auto& [prefix, category] : entries_) {
+    const auto it = elections_.find(prefix);
+    if (it == elections_.end()) continue;  // unreachable by construction
+    out.push_back({it->second.prefix, it->second.winner, &it->second.votes});
+  }
+  return out;
 }
 
 LibraryCorpus LibraryCorpus::loadCsv(const std::string& path) {
@@ -143,26 +166,37 @@ void LibraryCorpus::saveCsv(const std::string& path) const {
 }
 
 std::vector<LibraryEntry> LibraryCorpus::detect(const dex::ApkFile& apk) const {
-  std::unordered_set<std::string> packages;
+  // Class packages as views into the (stable) dotted class names: an apk
+  // repeats each package across many classes, so dedupe before matching.
+  std::unordered_set<std::string_view> packages;
   for (const auto& dexFile : apk.dexFiles) {
     for (const auto& cls : dexFile.classes) {
       const std::size_t lastDot = cls.dottedName.rfind('.');
       if (lastDot == std::string::npos) continue;
-      packages.insert(cls.dottedName.substr(0, lastDot));
+      packages.insert(std::string_view(cls.dottedName).substr(0, lastDot));
     }
   }
-  std::unordered_set<std::string> matchedPrefixes;
-  for (const auto& package : packages) {
-    if (const auto prefix = longestMatchingPrefix(package))
-      matchedPrefixes.insert(*prefix);
+  // Longest-prefix match each package straight off the election table (one
+  // hash probe per ancestor) and collect the election nodes themselves:
+  // each already carries its prefix and entry category, so no matched-set
+  // of strings is rebuilt and no entries_ re-probe happens per hit.
+  std::unordered_set<const PrefixElection*> matched;
+  for (const std::string_view package : packages) {
+    std::string_view candidate = package;
+    while (!candidate.empty()) {
+      if (const auto it = elections_.find(candidate); it != elections_.end()) {
+        matched.insert(&it->second);
+        break;
+      }
+      const std::size_t dot = candidate.rfind('.');
+      if (dot == std::string_view::npos) break;
+      candidate = candidate.substr(0, dot);
+    }
   }
   std::vector<LibraryEntry> out;
-  out.reserve(matchedPrefixes.size());
-  for (const auto& prefix : matchedPrefixes) {
-    const std::string* category = categoryOf(prefix);
-    out.push_back({prefix, category != nullptr ? *category
-                                               : std::string(kUnknownCategory)});
-  }
+  out.reserve(matched.size());
+  for (const PrefixElection* election : matched)
+    out.push_back({std::string(election->prefix), *election->entryCategory});
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.prefix < b.prefix;
   });

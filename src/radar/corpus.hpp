@@ -32,7 +32,9 @@ struct LibraryEntry {
   [[nodiscard]] bool operator==(const LibraryEntry&) const = default;
 };
 
-/// Result of the Listing-2 category prediction.
+/// Result of the Listing-2 category prediction, with the full tally copied
+/// out. Figure benches and reports want the tally; the per-flow hot path
+/// does not — it uses LibraryCorpus::matchCategory, which allocates nothing.
 struct CategoryPrediction {
   std::string category;
   /// Vote tally, e.g. {Game Engine: 2, Advertisement: 1, App Market: 1}.
@@ -40,6 +42,15 @@ struct CategoryPrediction {
   /// The corpus prefix the votes were collected under (empty when nothing
   /// matched and the prediction fell back to Unknown).
   std::string matchedPrefix;
+};
+
+/// Zero-allocation Listing-2 result: views into corpus-owned storage plus
+/// an opt-in pointer to the precomputed tally. Valid while the corpus
+/// lives (it is immutable after construction).
+struct CategoryMatch {
+  std::string_view category;       // kUnknownCategory when nothing matched
+  std::string_view matchedPrefix;  // empty when nothing matched
+  const std::map<std::string, int>* votes = nullptr;  // null when unmatched
 };
 
 class LibraryCorpus {
@@ -65,7 +76,10 @@ class LibraryCorpus {
   /// The vote tally and winner per corpus prefix are maintained
   /// incrementally by add(), so a query is one hash probe per hierarchical
   /// ancestor of `package` (the longest-prefix walk) instead of a fresh
-  /// range scan + tally — the hot path of per-flow attribution.
+  /// range scan + tally — the hot path of per-flow attribution. This
+  /// overload allocates nothing; predictCategory copies the tally out for
+  /// callers that need to keep it.
+  [[nodiscard]] CategoryMatch matchCategory(std::string_view package) const;
   [[nodiscard]] CategoryPrediction predictCategory(std::string_view package) const;
 
   /// LibRadar's detection step: corpus entries whose prefix matches some
@@ -74,6 +88,16 @@ class LibraryCorpus {
 
   /// All entries sharing a hierarchical prefix, sorted by name.
   [[nodiscard]] std::vector<LibraryEntry> entriesUnder(std::string_view prefix) const;
+
+  /// Borrowed view of one precomputed election: the compilation input for
+  /// core::AttributionProgram. Valid while the corpus lives.
+  struct ElectionView {
+    std::string_view prefix;
+    std::string_view winner;  // empty when the election tallied no votes
+    const std::map<std::string, int>* votes = nullptr;
+  };
+  /// Every election, sorted by prefix (deterministic compile order).
+  [[nodiscard]] std::vector<ElectionView> electionViews() const;
 
   /// A corpus pre-seeded with a realistic set of well-known Android
   /// libraries (the aggregate LibRadar output the paper builds in §III-D).
@@ -90,10 +114,15 @@ class LibraryCorpus {
  private:
   /// Precomputed Listing-2 election for one corpus prefix: the tally over
   /// every corpus entry hierarchically under it, and the winning category
-  /// (lexicographically smallest on ties).
+  /// (lexicographically smallest on ties). `prefix` views the election's
+  /// own key and `entryCategory` points at the matching entries_ value —
+  /// both node-stable — so detect() and matchCategory() can answer from
+  /// the election alone, without re-probing entries_.
   struct PrefixElection {
     std::map<std::string, int> votes;
     std::string winner;
+    std::string_view prefix;
+    const std::string* entryCategory = nullptr;
 
     void recount();
   };

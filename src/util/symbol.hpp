@@ -27,6 +27,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace libspector::util {
 
@@ -100,6 +101,52 @@ class SymbolPool {
  private:
   struct State;
   std::unique_ptr<State> state_;
+};
+
+/// Dense table keyed by the u32 ids of one SymbolPool.
+///
+/// Pool ids are allocated contiguously from 0, so a plain vector beats any
+/// hash map for per-id state: `operator[]` grows on first touch and every
+/// later access is one bounds check plus an array probe. This is the
+/// backing structure of the columnar aggregation fold and the compiled
+/// attribution program — anywhere "per distinct string" state is accessed
+/// once per flow.
+///
+/// Not a container of the pool's strings: it never observes the pool, it
+/// just mirrors its id space. Callers index it with Symbol::id() values
+/// from a single pool; mixing pools gives silently wrong answers, exactly
+/// like mixing ids in any other id-keyed map.
+template <typename T>
+class DenseSymbolMap {
+ public:
+  DenseSymbolMap() = default;
+  explicit DenseSymbolMap(T fill) : fill_(std::move(fill)) {}
+
+  /// Grow-on-access mutable slot for `id` (new slots take the fill value).
+  [[nodiscard]] T& operator[](std::uint32_t id) {
+    if (id >= slots_.size()) slots_.resize(std::size_t{id} + 1, fill_);
+    return slots_[id];
+  }
+
+  /// Read-only probe: the fill value for ids never written.
+  [[nodiscard]] const T& at(std::uint32_t id) const noexcept {
+    return id < slots_.size() ? slots_[id] : fill_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  void clear() noexcept { slots_.clear(); }
+  /// Iterate touched slots in id order (callers filter their own notion of
+  /// "present"; untouched slots hold the fill value).
+  [[nodiscard]] auto begin() const noexcept { return slots_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return slots_.end(); }
+  /// Pre-grow to the pool's current size() so the fold loop never resizes.
+  void reserveFor(const SymbolPool& pool) {
+    if (pool.size() > slots_.size()) slots_.resize(pool.size(), fill_);
+  }
+
+ private:
+  std::vector<T> slots_;
+  T fill_{};
 };
 
 }  // namespace libspector::util

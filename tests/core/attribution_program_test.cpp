@@ -1,0 +1,311 @@
+// Differential and property tests pinning core::AttributionProgram — the
+// compiled component-trie every per-frame attribution question runs
+// through — to the reference matchers it was compiled from: the
+// hierarchical builtin-prefix walk, radar::PrefixList::matches, and the
+// corpus Listing-2 election (LibraryCorpus::matchCategory).
+#include "core/attribution_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/attribution.hpp"
+#include "radar/ant.hpp"
+#include "radar/corpus.hpp"
+#include "util/strings.hpp"
+
+namespace libspector::core {
+namespace {
+
+[[nodiscard]] std::vector<std::string_view> viewsOf(
+    const std::vector<std::string>& storage) {
+  return {storage.begin(), storage.end()};
+}
+
+/// Reference builtin answer: every compiled prefix asked the way the
+/// uncompiled path asks it (against the materialized dotted frame name).
+[[nodiscard]] bool referenceBuiltin(const std::vector<std::string>& prefixes,
+                                    std::string_view entry) {
+  const std::string frame = frameNameOf(entry);
+  for (const std::string& prefix : prefixes)
+    if (util::isHierarchicalPrefix(prefix, frame)) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial near-prefixes: "com.foo" must never bleed into "com.fooz"
+// ---------------------------------------------------------------------------
+
+TEST(AttributionProgramTest, NearPrefixSiblingsStayDistinct) {
+  radar::LibraryCorpus corpus;
+  corpus.add("com.foo", "Advertisement");
+  corpus.add("com.fooz", "Game Engine");
+
+  const std::vector<std::string> builtinStorage = {"com.bar"};
+  const std::vector<std::string> antStorage = {"com.foo"};
+  const std::vector<std::string> commonStorage = {"com.fooz"};
+  const radar::PrefixList ant(viewsOf(antStorage));
+  const radar::PrefixList common(viewsOf(commonStorage));
+  const AttributionProgram program(corpus, viewsOf(builtinStorage), ant,
+                                   common);
+
+  const auto foo = program.lookupPackage("com.foo");
+  EXPECT_TRUE(foo.ant);
+  EXPECT_FALSE(foo.common);
+  EXPECT_FALSE(foo.builtin);
+  EXPECT_EQ(program.categoryOf(foo), "Advertisement");
+  EXPECT_EQ(program.matchedPrefixOf(foo), "com.foo");
+
+  // Descendants inherit the whole ancestor chain.
+  const auto fooChild = program.lookupPackage("com.foo.bar.baz");
+  EXPECT_TRUE(fooChild.ant);
+  EXPECT_EQ(program.categoryOf(fooChild), "Advertisement");
+  EXPECT_EQ(program.matchedPrefixOf(fooChild), "com.foo");
+
+  // The sibling whose last component merely *extends* "foo" is a distinct
+  // subtree — the classic false positive of naive string-prefix matching.
+  const auto fooz = program.lookupPackage("com.fooz");
+  EXPECT_FALSE(fooz.ant);
+  EXPECT_TRUE(fooz.common);
+  EXPECT_EQ(program.categoryOf(fooz), "Game Engine");
+  EXPECT_EQ(program.matchedPrefixOf(fooz), "com.fooz");
+
+  const auto foozDeep = program.lookupPackage("com.fooz.bar.baz");
+  EXPECT_FALSE(foozDeep.ant);
+  EXPECT_TRUE(foozDeep.common);
+  EXPECT_EQ(program.categoryOf(foozDeep), "Game Engine");
+
+  // Neither truncations nor extensions of a component match anything.
+  for (const std::string_view miss :
+       {"com", "com.fo", "com.foozy", "com.foob", "xcom.foo", "com.barz"}) {
+    const auto lookup = program.lookupPackage(miss);
+    EXPECT_FALSE(lookup.builtin) << miss;
+    EXPECT_FALSE(lookup.ant) << miss;
+    EXPECT_FALSE(lookup.common) << miss;
+    EXPECT_EQ(program.categoryOf(lookup), radar::kUnknownCategory) << miss;
+    EXPECT_EQ(program.matchedPrefixOf(lookup), "") << miss;
+  }
+
+  EXPECT_TRUE(program.lookupPackage("com.bar.widget").builtin);
+  EXPECT_FALSE(program.lookupPackage("com.barz.widget").builtin);
+  EXPECT_EQ(program.electionCount(), corpus.electionViews().size());
+  EXPECT_GT(program.nodeCount(), 1u);
+}
+
+TEST(AttributionProgramTest, EmptyPackageMatchesNothing) {
+  radar::LibraryCorpus corpus;
+  corpus.add("com.foo", "Advertisement");
+  const std::vector<std::string> builtinStorage = {"com.foo"};
+  const radar::PrefixList ant(viewsOf(builtinStorage));
+  const radar::PrefixList common({});
+  const AttributionProgram program(corpus, viewsOf(builtinStorage), ant,
+                                   common);
+
+  const auto lookup = program.lookupPackage("");
+  EXPECT_FALSE(lookup.builtin);
+  EXPECT_FALSE(lookup.ant);
+  EXPECT_FALSE(lookup.common);
+  EXPECT_EQ(program.categoryOf(lookup), radar::kUnknownCategory);
+  EXPECT_FALSE(program.isBuiltinFrame(""));
+}
+
+// ---------------------------------------------------------------------------
+// Smali signatures walk exactly like their dotted frame names
+// ---------------------------------------------------------------------------
+
+TEST(AttributionProgramTest, SmaliSignaturesFilterLikeDottedFrames) {
+  radar::LibraryCorpus corpus;
+  const std::vector<std::string> builtinStorage = {"com.unity3d.ads",
+                                                   "java.net"};
+  const radar::PrefixList ant({});
+  const radar::PrefixList common({});
+  const AttributionProgram program(corpus, viewsOf(builtinStorage), ant,
+                                   common);
+
+  const std::vector<std::pair<std::string_view, std::string_view>> forms = {
+      {"Lcom/unity3d/ads/android/cache/b;->doInBackground([Ljava/lang/"
+       "String;)Ljava/lang/Object;",
+       "com.unity3d.ads.android.cache.b.doInBackground"},
+      {"Ljava/net/Socket;->connect(Ljava/net/SocketAddress;)V",
+       "java.net.Socket.connect"},
+      {"Lcom/unity3dz/a;->b()V", "com.unity3dz.a.b"},
+      {"Lcom/unity3d/adsz/a;->b()V", "com.unity3d.adsz.a.b"},
+      {"Ljava/netz/X;->y()V", "java.netz.X.y"},
+      {"Lcom/unity3d;->x()V", "com.unity3d.x"},
+  };
+  for (const auto& [smali, dotted] : forms) {
+    EXPECT_EQ(program.isBuiltinFrame(smali), program.isBuiltinFrame(dotted))
+        << smali;
+    EXPECT_EQ(program.isBuiltinFrame(smali),
+              referenceBuiltin(builtinStorage, smali))
+        << smali;
+  }
+
+  // A builtin prefix deeper than the class must keep matching through the
+  // method-name component of the virtual frame name.
+  const std::vector<std::string> deepStorage = {"com.unity3d.x"};
+  const AttributionProgram deep(corpus, viewsOf(deepStorage), ant, common);
+  EXPECT_TRUE(deep.isBuiltinFrame("Lcom/unity3d;->x()V"));
+  EXPECT_FALSE(deep.isBuiltinFrame("Lcom/unity3d;->xz()V"));
+}
+
+// ---------------------------------------------------------------------------
+// The standard study inputs agree with the uncompiled reference filter
+// ---------------------------------------------------------------------------
+
+TEST(AttributionProgramTest, StandardInputsMatchReferenceFilter) {
+  const radar::LibraryCorpus corpus = radar::LibraryCorpus::builtin();
+  const AttributionProgram program(corpus, builtinFramePrefixes(),
+                                   radar::antLibraries(),
+                                   radar::commonLibraries());
+
+  const std::vector<std::string_view> entries = {
+      "java.net.Socket.connect",
+      "javax.net.ssl.SSLSocketFactory.createSocket",
+      "com.android.okhttp.internal.Platform.connectSocket",
+      "com.android.volley.toolbox.BasicNetwork.performRequest",
+      "com.unity3d.ads.android.cache.b.doInBackground",
+      "androidx.core.app.ComponentActivity.onCreate",
+      "android.os.AsyncTask$2.call",
+      "androidz.os.AsyncTask.call",
+      "java.util.concurrent.FutureTask.run",
+      "org.json.JSONObject.put",
+      "org.jsonz.JSONObject.put",
+      "okhttp3.internal.http.RealInterceptorChain.proceed",
+      "Landroid/os/AsyncTask$2;->call()Ljava/lang/Object;",
+      "Lcom/unity3d/ads/android/cache/b;->a()V",
+      "Lcom/android/okhttp/Connection;->connect()V",
+      "Lorg/json/JSONObject;->put(Ljava/lang/String;I)Lorg/json/JSONObject;",
+      "dalvik.system.VMStack.getThreadStackTrace",
+      "",
+  };
+  for (const std::string_view entry : entries)
+    EXPECT_EQ(program.isBuiltinFrame(entry), isBuiltinFrame(entry)) << entry;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential sweep against every reference matcher
+// ---------------------------------------------------------------------------
+
+TEST(AttributionProgramTest, RandomCorporaAgreeWithReferenceMatchers) {
+  // A deliberately collision-heavy component alphabet: many entries are
+  // prefixes or one-character extensions of each other, the worst case for
+  // any matcher that confuses string prefixes with component prefixes.
+  const std::vector<std::string_view> alphabet = {
+      "com", "org", "io",  "net",     "foo",    "fooz", "foob",
+      "bar", "barz", "baz", "ads",    "adsx",   "sdk",  "analytics",
+      "x",   "y",    "z",   "unity3d", "google", "app"};
+  const std::vector<std::string>& categories = radar::libraryCategories();
+
+  std::mt19937 rng(20260808u);
+  const auto randomPackage = [&](int minComponents, int maxComponents) {
+    std::uniform_int_distribution<int> depth(minComponents, maxComponents);
+    std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+    std::string pkg;
+    const int n = depth(rng);
+    for (int i = 0; i < n; ++i) {
+      if (!pkg.empty()) pkg += '.';
+      pkg += alphabet[pick(rng)];
+    }
+    return pkg;
+  };
+
+  for (int round = 0; round < 8; ++round) {
+    radar::LibraryCorpus corpus;
+    std::uniform_int_distribution<std::size_t> pickCategory(
+        0, categories.size() - 1);
+    for (int i = 0; i < 60; ++i)
+      corpus.add(randomPackage(1, 4), categories[pickCategory(rng)]);
+
+    std::vector<std::string> builtinStorage, antStorage, commonStorage;
+    for (int i = 0; i < 15; ++i) builtinStorage.push_back(randomPackage(1, 3));
+    for (int i = 0; i < 15; ++i) antStorage.push_back(randomPackage(1, 4));
+    for (int i = 0; i < 15; ++i) commonStorage.push_back(randomPackage(1, 4));
+    const radar::PrefixList ant(viewsOf(antStorage));
+    const radar::PrefixList common(viewsOf(commonStorage));
+    const AttributionProgram program(corpus, viewsOf(builtinStorage), ant,
+                                     common);
+
+    std::uniform_int_distribution<int> mutate(0, 3);
+    for (int q = 0; q < 600; ++q) {
+      std::string pkg = randomPackage(1, 6);
+      switch (mutate(rng)) {
+        case 0:
+          pkg += "z";  // extend the last component: near-miss, never a match
+          break;
+        case 1:
+          pkg += ".extra.components.deep";
+          break;
+        default:
+          break;
+      }
+
+      const auto lookup = program.lookupPackage(pkg);
+      EXPECT_EQ(lookup.builtin, referenceBuiltin(builtinStorage, pkg)) << pkg;
+      EXPECT_EQ(lookup.ant, ant.matches(pkg)) << pkg;
+      EXPECT_EQ(lookup.common, common.matches(pkg)) << pkg;
+
+      const radar::CategoryMatch reference = corpus.matchCategory(pkg);
+      EXPECT_EQ(program.categoryOf(lookup), reference.category) << pkg;
+      EXPECT_EQ(program.matchedPrefixOf(lookup), reference.matchedPrefix)
+          << pkg;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent lookups (the study's worker threads share one program)
+// ---------------------------------------------------------------------------
+
+TEST(AttributionProgramTest, ConcurrentLookupsAgreeWithSerialReference) {
+  const radar::LibraryCorpus corpus = radar::LibraryCorpus::builtin();
+  const AttributionProgram program(corpus, builtinFramePrefixes(),
+                                   radar::antLibraries(),
+                                   radar::commonLibraries());
+
+  std::vector<std::string> queries;
+  const std::vector<std::string_view> stems = {
+      "com.unity3d.ads", "com.google.android.gms.ads", "com.facebook",
+      "org.json",        "java.net",                   "com.myapp",
+      "okhttp3",         "com.android.okhttp",         "androidx.core"};
+  for (const std::string_view stem : stems) {
+    queries.emplace_back(stem);
+    queries.emplace_back(std::string(stem) + ".internal.http");
+    queries.emplace_back(std::string(stem) + "z");
+  }
+
+  struct Answer {
+    bool builtin, ant, common;
+    std::string_view category, prefix;
+    bool operator==(const Answer&) const = default;
+  };
+  const auto answer = [&](std::string_view pkg) {
+    const auto lookup = program.lookupPackage(pkg);
+    return Answer{lookup.builtin, lookup.ant, lookup.common,
+                  program.categoryOf(lookup), program.matchedPrefixOf(lookup)};
+  };
+
+  std::vector<Answer> expected;
+  for (const std::string& pkg : queries) expected.push_back(answer(pkg));
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int repeat = 0; repeat < 200; ++repeat)
+        for (std::size_t i = 0; i < queries.size(); ++i)
+          if (!(answer(queries[i]) == expected[i]))
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace libspector::core

@@ -244,6 +244,52 @@ TEST(RecoveryTest, ResumeWithoutSymbolInterningIsByteIdentical) {
   }
 }
 
+TEST(RecoveryTest, ResumeWithoutColumnarFoldIsByteIdentical) {
+  // Same contract for the columnar fold and the compiled attribution
+  // program: a resume that re-attributes through the row-reference path
+  // must land on the ground truth the accelerated study wrote, at every
+  // checkpoint kill point.
+  auto config = recoveryConfig();
+  config.artifactsDirectory = freshDir("columnar_groundtruth");
+  const auto groundTruth = runStudy(config);
+  const std::string expected = renderStudy(groundTruth.study);
+
+  auto truthScan = StudyRecovery::scan(config.artifactsDirectory);
+  ASSERT_EQ(truthScan.runs.size(), config.store.appCount);
+  const std::size_t crashAt = truthScan.runs.size() / 2;
+
+  for (const std::string_view killPoint : kCheckpointKillPoints) {
+    auto crashed = recoveryConfig(2);
+    crashed.artifactsDirectory =
+        freshDir("columnar_off_" + std::string(killPoint));
+    crashed.attribution.columnarFold = false;
+    crashed.attribution.compileProgram = false;
+
+    std::size_t current = 0;
+    CheckpointWriter writer(crashed.artifactsDirectory,
+                            [&](std::string_view point) {
+                              if (point == killPoint && current == crashAt)
+                                throw SimulatedCrash("crash");
+                            });
+    bool crashedOut = false;
+    try {
+      for (const auto& run : truthScan.runs) {
+        current = run.jobIndex;
+        writer.checkpoint(run.jobIndex, run.account, run.artifacts);
+      }
+    } catch (const SimulatedCrash&) {
+      crashedOut = true;
+    }
+    ASSERT_TRUE(crashedOut) << killPoint;
+
+    const auto resumed = resumeStudy(crashed);
+    EXPECT_EQ(renderStudy(resumed.output.study), expected)
+        << "columnar-off resume diverged after crash at " << killPoint;
+    EXPECT_EQ(resumed.output.appsProcessed, crashed.store.appCount)
+        << killPoint;
+  }
+}
+
 TEST(RecoveryTest, CorruptBundlesAreQuarantinedAndReRun) {
   auto config = recoveryConfig();
   config.artifactsDirectory = freshDir("corrupt_gt");

@@ -91,6 +91,39 @@ TEST(StudyRunnerTest, ShardCountDoesNotChangeAByteOfTheStudy) {
   EXPECT_EQ(renderStudy(narrow.study), renderStudy(wide.study));
 }
 
+TEST(StudyRunnerTest, ColumnarFoldDoesNotChangeAByteOfTheStudy) {
+  // The compiled attribution program and the columnar fold are pure
+  // accelerations: the row-at-a-time FlowRecord fold through the reference
+  // matchers is ground truth, and every flag combination at every fleet
+  // width must reproduce it byte for byte.
+  auto referenceConfig = smallConfig();
+  referenceConfig.dispatcher.workers = 1;
+  referenceConfig.attribution.columnarFold = false;
+  referenceConfig.attribution.compileProgram = false;
+  const std::string expected = renderStudy(runStudy(referenceConfig).study);
+
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{2}}) {
+    auto config = smallConfig();  // both accelerations on (the default)
+    config.dispatcher.workers = workers;
+    EXPECT_EQ(renderStudy(runStudy(config).study), expected)
+        << "workers=" << workers;
+  }
+
+  // The two flags are independent; each half-on combination must also
+  // land on the reference bytes.
+  auto columnarOnly = smallConfig();
+  columnarOnly.dispatcher.workers = 8;
+  columnarOnly.attribution.columnarFold = true;
+  columnarOnly.attribution.compileProgram = false;
+  EXPECT_EQ(renderStudy(runStudy(columnarOnly).study), expected);
+
+  auto programOnly = smallConfig();
+  programOnly.dispatcher.workers = 8;
+  programOnly.attribution.columnarFold = false;
+  programOnly.attribution.compileProgram = true;
+  EXPECT_EQ(renderStudy(runStudy(programOnly).study), expected);
+}
+
 TEST(StudyRunnerTest, StreamingIngestMatchesTheInlineBatchPipeline) {
   // The ground-truth batch shape: attribute every run on the worker thread
   // and fold straight into the accumulator, no ingest tier involved. The

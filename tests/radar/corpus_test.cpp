@@ -136,6 +136,82 @@ TEST(CorpusTest, DetectFindsBundledLibraries) {
   EXPECT_EQ(detected[0].category, "Advertisement");
 }
 
+TEST(CorpusTest, MatchCategoryAgreesWithPredictCategory) {
+  // matchCategory is the zero-allocation hot-path view of predictCategory;
+  // the two must answer identically everywhere, including ties, unknowns
+  // and near-prefix boundaries.
+  const auto corpus = listing2Corpus();
+  const std::vector<std::string> packages = {
+      "com.unity3d.example",
+      "com.unity3d.ads.android.cache",
+      "com.unity3d",
+      "com.unity3d.ads",
+      "com.unity3dx.foo",
+      "com.firstparty.app.net",
+      "com",
+      "",
+  };
+  for (const std::string& package : packages) {
+    const CategoryMatch match = corpus.matchCategory(package);
+    const CategoryPrediction prediction = corpus.predictCategory(package);
+    EXPECT_EQ(match.category, prediction.category) << package;
+    EXPECT_EQ(match.matchedPrefix, prediction.matchedPrefix) << package;
+    if (match.votes != nullptr) {
+      EXPECT_EQ(*match.votes, prediction.votes) << package;
+    } else {
+      EXPECT_TRUE(prediction.votes.empty()) << package;
+    }
+  }
+}
+
+TEST(CorpusTest, ElectionViewsMirrorPredictions) {
+  // electionViews() exposes the precomputed per-prefix elections (the
+  // AttributionProgram compilation input): one per corpus prefix, sorted,
+  // each winner exactly what a query at that prefix predicts.
+  const auto corpus = listing2Corpus();
+  const auto views = corpus.electionViews();
+  ASSERT_EQ(views.size(), corpus.size());
+  for (std::size_t i = 1; i < views.size(); ++i)
+    EXPECT_LT(views[i - 1].prefix, views[i].prefix);
+  for (const auto& view : views) {
+    const auto prediction = corpus.predictCategory(std::string(view.prefix));
+    EXPECT_EQ(view.winner, prediction.category) << view.prefix;
+    ASSERT_NE(view.votes, nullptr) << view.prefix;
+    EXPECT_EQ(*view.votes, prediction.votes) << view.prefix;
+  }
+}
+
+TEST(CorpusTest, DetectMatchesPerClassPredictions) {
+  // detect() answers from the precomputed elections; it must agree with
+  // predicting each class package individually, and a near-prefix class
+  // ("com.unity3dx...") must not surface the "com.unity3d" entries.
+  const auto corpus = listing2Corpus();
+  dex::ApkFile apk;
+  dex::DexFile dexFile;
+  for (const std::string& name :
+       {std::string("com.unity3d.ads.android.cache.b"),
+        std::string("com.unity3d.services.core.a"),
+        std::string("com.unity3dx.fake.Widget"),
+        std::string("com.myapp.Main")}) {
+    dex::ClassDef classDef;
+    classDef.dottedName = name;
+    dexFile.classes.push_back(classDef);
+  }
+  apk.dexFiles.push_back(dexFile);
+
+  const auto detected = corpus.detect(apk);
+  ASSERT_EQ(detected.size(), 2u);
+  EXPECT_EQ(detected[0].prefix, "com.unity3d.ads");
+  EXPECT_EQ(detected[0].category, "Advertisement");
+  EXPECT_EQ(detected[1].prefix, "com.unity3d.services");
+  EXPECT_EQ(detected[1].category, "Game Engine");
+  for (const auto& entry : detected) {
+    const std::string* exact = corpus.categoryOf(entry.prefix);
+    ASSERT_NE(exact, nullptr) << entry.prefix;
+    EXPECT_EQ(*exact, entry.category) << entry.prefix;
+  }
+}
+
 TEST(CorpusTest, BuiltinCorpusSanity) {
   const auto corpus = LibraryCorpus::builtin();
   EXPECT_GT(corpus.size(), 100u);
