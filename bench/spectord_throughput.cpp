@@ -1,0 +1,139 @@
+// spectord wire throughput: framed Report datagrams from a fleet of
+// IngestClients through the duplex-channel protocol (incremental parser,
+// bounded write queues, single event-loop thread) into one collector
+// daemon. The price of the service shape over in-process ingest is the
+// protocol layer; this benchmark reports frames/sec per collector so the
+// floor gate catches a regression in the daemon's event loop or parser.
+//
+// Writes BENCH_spectord.json in the cwd.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.hpp"
+#include "spectord/client.hpp"
+#include "spectord/daemon.hpp"
+
+namespace {
+
+using namespace libspector;
+
+constexpr std::size_t kApps = 32;
+constexpr std::uint64_t kFramesPerApp = 1500;
+
+core::UdpReport benchReport(const std::string& sha, std::uint64_t seq) {
+  core::UdpReport report;
+  report.apkSha256 = sha;
+  report.socketPair = {{net::Ipv4Addr(10, 0, 2, 15),
+                        static_cast<std::uint16_t>(1024 + (seq % 60000))},
+                       {net::Ipv4Addr(198, 18, 0, 1), 443}};
+  report.timestampMs = seq;
+  report.stackSignatures = {
+      "java.net.Socket.connect",
+      "Lcom/squareup/okhttp/internal/io/RealConnection;->connectSocket()V",
+      "Lcom/example/app/net/Api;->fetch()V"};
+  return report;
+}
+
+/// Datagrams grouped per app: each app's ordered sequence must flow over
+/// one client connection so the daemon's loss accounting sees a clean
+/// stream (as it would from one emulator worker).
+struct Corpus {
+  Corpus() {
+    perApp.resize(kApps);
+    for (std::size_t app = 0; app < kApps; ++app) {
+      perApp[app].reserve(kFramesPerApp);
+      const std::string sha = "benchapp" + std::to_string(app);
+      for (std::uint64_t seq = 0; seq < kFramesPerApp; ++seq)
+        perApp[app].push_back(
+            core::ReportFrame{static_cast<std::uint32_t>(app), seq,
+                              benchReport(sha, seq)}
+                .encode());
+    }
+  }
+  std::vector<std::vector<std::vector<std::uint8_t>>> perApp;
+};
+
+const Corpus& corpus() {
+  static const Corpus kCorpus;
+  return kCorpus;
+}
+
+/// Stream the whole corpus into a fresh daemon from `clients` connections
+/// (apps striped across clients); returns wall seconds until every frame
+/// is acked and folded.
+double streamCorpus(std::size_t clients) {
+  spectord::DaemonConfig config;
+  config.ingest.shards = 2;
+  config.ingest.queueCapacity = 8192;
+  spectord::SpectorDaemon daemon(
+      config, [](const core::RunArtifacts&) {
+        return std::vector<core::FlowRecord>{};
+      });
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&daemon, c, clients] {
+        spectord::IngestClient client(daemon.connect(),
+                                      /*clientId=*/100 + c);
+        std::uint64_t sent = 0;
+        for (std::size_t app = c; app < kApps; app += clients)
+          for (const auto& datagram : corpus().perApp[app]) {
+            client.submitDatagram(datagram);
+            ++sent;
+          }
+        client.waitAckedFrames(sent, std::chrono::milliseconds(60000));
+        client.bye();
+      });
+    }
+  }
+  daemon.drain();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  daemon.shutdown();
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  const double total = static_cast<double>(kApps * kFramesPerApp);
+  const std::size_t fleet =
+      std::max<std::size_t>(2, std::thread::hardware_concurrency() / 2);
+
+  const double oneSeconds = streamCorpus(1);
+  const double fleetSeconds = streamCorpus(fleet);
+  const double oneRate = total / oneSeconds;
+  const double fleetRate = total / fleetSeconds;
+
+  std::printf("=== spectord wire throughput: %zu apps x %llu datagrams ===\n",
+              kApps, static_cast<unsigned long long>(kFramesPerApp));
+  std::printf("1 client  : %8.3f s  (%10.0f frames/s)\n", oneSeconds, oneRate);
+  std::printf("%zu clients: %8.3f s  (%10.0f frames/s)\n", fleet,
+              fleetSeconds, fleetRate);
+
+  if (std::FILE* json = std::fopen("BENCH_spectord.json", "w")) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"apps\": %zu,\n"
+                 "  \"datagrams\": %.0f,\n"
+                 "  \"fleet_clients\": %zu,\n"
+                 "  \"one_client_seconds\": %.6f,\n"
+                 "  \"one_client_frames_per_sec\": %.1f,\n"
+                 "  \"fleet_seconds\": %.6f,\n"
+                 "  \"frames_per_sec\": %.1f\n"
+                 "}\n",
+                 kApps, total, fleet, oneSeconds, oneRate, fleetSeconds,
+                 fleetRate);
+    std::fclose(json);
+    std::printf("wrote BENCH_spectord.json\n");
+  }
+  return 0;
+}

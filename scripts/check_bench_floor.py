@@ -1,57 +1,127 @@
 #!/usr/bin/env python3
-"""Perf-floor gate over BENCH_attribution.json.
+"""Perf-floor gate over the BENCH_*.json headline files.
 
-bench/attribution_throughput writes its headline comparison (seed-config
-attribution + row fold vs compiled-program attribution + columnar fold)
-to BENCH_attribution.json. This script fails when any gated speedup
-regresses below the recorded floor, so an accidental slow-down on the
-study hot path turns a green lane red instead of silently eroding the
-ROADMAP target (>=20x end to end).
+The bench binaries write their headline comparisons as machine-readable
+JSON next to the cwd:
 
-Usage: scripts/check_bench_floor.py [path/to/BENCH_attribution.json]
-       (default: BENCH_attribution.json in the current directory)
+  bench/attribution_throughput -> BENCH_attribution.json
+  bench/wire_and_memory        -> BENCH_wire.json
+  bench/ingest_throughput      -> BENCH_ingest.json
+  bench/spectord_throughput    -> BENCH_spectord.json
+
+This script fails when any gated metric regresses below its recorded
+floor, so an accidental slow-down on a hot path turns a green lane red
+instead of silently eroding a ROADMAP target.
+
+Ratio floors (speedups, reductions) sit below the measured numbers to
+absorb machine noise but at or above the ROADMAP acceptance bars.
+Absolute-rate floors are set far below a healthy run (about a quarter of
+the 1-core CI box measurement) because wall-clock rates vary with the
+machine; they exist to catch order-of-magnitude regressions such as an
+accidental O(n^2) in the router or a stalled daemon event loop. The
+N-shard/N-client scaling *ratios* are deliberately not gated: on a
+1-core CI box the parallel variants cannot beat serial, so a ratio floor
+would gate the machine, not the code.
+
+Usage: scripts/check_bench_floor.py [BENCH_file.json ...]
+       With no arguments, every known BENCH file found in the current
+       directory is checked (at least one must exist). Explicitly named
+       files must exist.
 
 Exit status: 0 when every gated metric meets its floor, 1 otherwise.
 """
 
 import json
+import os
 import sys
 
-# Floors are deliberately below the measured numbers (26-33x on the CI
-# box) to absorb machine noise, but at or above the ROADMAP's 20x target
-# for the end-to-end figures so the acceptance bar itself is the gate.
+# path -> {key: (floor, unit)}; unit "x" = ratio, "/s" = absolute rate.
 FLOORS = {
-    # Attribution only: per-query capture index + memos + compiled program.
-    "speedup_indexed_serialized": 20.0,
-    # End to end (attribution + study fold), the headline ROADMAP metric.
-    "speedup_columnar_serialized": 20.0,
-    "speedup_columnar_parallel": 20.0,
+    "BENCH_attribution.json": {
+        # Attribution only: per-query capture index + memos + compiled
+        # program.
+        "speedup_indexed_serialized": (20.0, "x"),
+        # End to end (attribution + study fold), the headline ROADMAP
+        # metric.
+        "speedup_columnar_serialized": (20.0, "x"),
+        "speedup_columnar_parallel": (20.0, "x"),
+    },
+    "BENCH_wire.json": {
+        # v3 dictionary frames vs v2 self-contained frames, bytes per
+        # reported socket (paper's report channel). Measured ~4x.
+        "wire_reduction": (3.0, "x"),
+        # Symbol-interned attribution vs the legacy string pipeline,
+        # heap allocations per 10k flows. Measured >100x.
+        "allocation_reduction": (5.0, "x"),
+        "end_to_end_allocation_reduction": (5.0, "x"),
+    },
+    "BENCH_ingest.json": {
+        # Sharded router, single shard, multi-producer: absolute floor
+        # (not the shard_scaling ratio -- see module docstring).
+        "one_shard_datagrams_per_sec": (50000.0, "/s"),
+    },
+    "BENCH_spectord.json": {
+        # Framed datagrams through the daemon's duplex-channel protocol
+        # and event loop, client fleet, single collector.
+        "frames_per_sec": (20000.0, "/s"),
+    },
 }
 
 
-def main(argv):
-    path = argv[1] if len(argv) > 1 else "BENCH_attribution.json"
+def fmt(value, unit):
+    if unit == "/s":
+        return f"{value:,.0f}{unit}"
+    return f"{value:g}{unit}"
+
+
+def check_file(path, floors, failures):
     try:
         with open(path, encoding="utf-8") as fh:
             bench = json.load(fh)
     except OSError as err:
         print(f"check_bench_floor: cannot read {path}: {err}", file=sys.stderr)
-        return 1
+        failures.append(f"{path}: unreadable")
+        return
     except json.JSONDecodeError as err:
         print(f"check_bench_floor: {path} is not valid JSON: {err}",
               file=sys.stderr)
-        return 1
+        failures.append(f"{path}: invalid JSON")
+        return
 
-    failures = []
-    for key, floor in sorted(FLOORS.items()):
+    for key, (floor, unit) in sorted(floors.items()):
         value = bench.get(key)
         if not isinstance(value, (int, float)):
-            failures.append(f"{key}: missing from {path} (floor {floor:g}x)")
+            failures.append(
+                f"{path}: {key} missing (floor {fmt(floor, unit)})")
             continue
         status = "ok" if value >= floor else "REGRESSION"
-        print(f"{key}: {value:.1f}x (floor {floor:g}x) {status}")
+        print(f"{path}: {key}: {fmt(value, unit)}"
+              f" (floor {fmt(floor, unit)}) {status}")
         if value < floor:
-            failures.append(f"{key}: {value:.1f}x < floor {floor:g}x")
+            failures.append(
+                f"{path}: {key}: {fmt(value, unit)}"
+                f" < floor {fmt(floor, unit)}")
+
+
+def main(argv):
+    failures = []
+    if len(argv) > 1:
+        for path in argv[1:]:
+            floors = FLOORS.get(os.path.basename(path))
+            if floors is None:
+                print(f"check_bench_floor: no floors defined for {path}",
+                      file=sys.stderr)
+                return 1
+            check_file(path, floors, failures)
+    else:
+        present = [path for path in sorted(FLOORS) if os.path.exists(path)]
+        if not present:
+            print("check_bench_floor: no BENCH_*.json files found in the "
+                  "current directory (run the bench binaries first)",
+                  file=sys.stderr)
+            return 1
+        for path in present:
+            check_file(path, FLOORS[path], failures)
 
     if failures:
         print("check_bench_floor: FAIL", file=sys.stderr)

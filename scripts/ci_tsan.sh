@@ -3,8 +3,10 @@
 # run the tests that exercise them — the ingest tier (sharded router,
 # pipeline, chaos channel, v3 dictionary path), the dispatcher fleet, the
 # collection server, the job-prefetch generator pool, the
-# lock-free-read symbol pool, and the shared compiled attribution
-# program + columnar fold that concurrent shard workers run through. A
+# lock-free-read symbol pool, the shared compiled attribution
+# program + columnar fold that concurrent shard workers run through, and
+# the spectord daemon (event loop vs. client threads vs. shard consumers,
+# plus the multi-collector cluster driver). A
 # data race here corrupts studies silently, so this lane gates every
 # change to the streaming path.
 #
@@ -35,6 +37,10 @@ TARGETS=(
   symbol_pool_test
   attribution_program_test
   flow_columns_test
+  spectord_protocol_test
+  spectord_daemon_test
+  spectord_cluster_test
+  spectord_fuzz_test
 )
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
@@ -43,6 +49,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
-  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch|Symbol|Interning|AttributionProgram|FlowColumns|Columnar')
+  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch|Symbol|Interning|AttributionProgram|FlowColumns|Columnar|Spectord')
 
 echo "TSan lane: OK"

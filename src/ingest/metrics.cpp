@@ -47,6 +47,14 @@ std::string IngestMetrics::toJson() const {
   appendKv(out, "latency_p50_ms", latencyP50Ms);
   appendKv(out, "latency_p90_ms", latencyP90Ms);
   appendKv(out, "latency_p99_ms", latencyP99Ms);
+  appendKv(out, "sessions_opened", sessionsOpened);
+  appendKv(out, "sessions_resumed", sessionsResumed);
+  appendKv(out, "subscriber_deltas_sent", subscriberDeltasSent);
+  appendKv(out, "subscriber_deltas_dropped", subscriberDeltasDropped);
+  appendKv(out, "subscriber_snapshots_resent", subscriberSnapshotsResent);
+  appendKv(out, "subscribers_disconnected", subscribersDisconnected);
+  appendKv(out, "protocol_garbage_bytes", protocolGarbageBytes);
+  appendKv(out, "protocol_rejected_frames", protocolRejectedFrames);
   out += "\"per_shard\": [";
   for (std::size_t i = 0; i < perShard.size(); ++i) {
     const ShardMetrics& s = perShard[i];

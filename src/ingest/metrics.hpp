@@ -71,6 +71,17 @@ struct IngestMetrics {
   double latencyP90Ms = 0.0;
   double latencyP99Ms = 0.0;
 
+  // Service surface (filled in by spectord when the pipeline runs behind
+  // the daemon; zero when driven in-process).
+  std::uint64_t sessionsOpened = 0;
+  std::uint64_t sessionsResumed = 0;
+  std::uint64_t subscriberDeltasSent = 0;
+  std::uint64_t subscriberDeltasDropped = 0;    // slow-subscriber drops
+  std::uint64_t subscriberSnapshotsResent = 0;  // resyncs after drops
+  std::uint64_t subscribersDisconnected = 0;    // Disconnect-policy kills
+  std::uint64_t protocolGarbageBytes = 0;       // bytes skipped resyncing
+  std::uint64_t protocolRejectedFrames = 0;     // bad crc/version/length
+
   /// Machine-readable export (stable key order, valid JSON).
   [[nodiscard]] std::string toJson() const;
 };

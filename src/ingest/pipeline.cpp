@@ -64,26 +64,50 @@ void IngestPipeline::onRun(RunDelivery&& delivery) {
   const std::uint64_t unattributed = core::TrafficAttributor::
       unattributedTcpPayload(delivery.artifacts, flows);
 
+  const bool publish = static_cast<bool>(runHook_);
+  RunDigest digest;
   {
     const std::scoped_lock lock(mutex_);
     ++rolling_.runsFolded;
     rolling_.flowCount += flows.size();
     rolling_.unattributedBytes += unattributed;
     std::uint64_t appBytes = 0;
+    std::map<std::string_view, std::uint64_t> runLibs;
+    std::map<std::string_view, std::uint64_t> runCats;
     for (const auto& flow : flows) {
       const std::uint64_t bytes = flow.sentBytes + flow.recvBytes;
       appBytes += bytes;
       bumpBytes(rolling_.bytesByLibrary, flow.originLibrary.view(), bytes);
       bumpBytes(rolling_.bytesByLibCategory, flow.libraryCategory.view(), bytes);
+      if (publish) {
+        runLibs[flow.originLibrary.view()] += bytes;
+        runCats[flow.libraryCategory.view()] += bytes;
+      }
     }
     rolling_.attributedBytes += appBytes;
     rolling_.bytesByApp[delivery.artifacts.apkSha256] += appBytes;
     accounts_[delivery.artifacts.apkSha256] = delivery.account;
+    if (publish) {
+      digest.jobIndex = delivery.jobIndex;
+      digest.apkSha256 = delivery.artifacts.apkSha256;
+      digest.replayed = delivery.replayed;
+      digest.flowCount = flows.size();
+      digest.attributedBytes = appBytes;
+      digest.unattributedBytes = unattributed;
+      for (const auto& [lib, bytes] : runLibs)
+        digest.bytesByLibrary.emplace_back(std::string(lib), bytes);
+      for (const auto& [cat, bytes] : runCats)
+        digest.bytesByLibCategory.emplace_back(std::string(cat), bytes);
+      digest.account = delivery.account;
+      digest.runsFolded = rolling_.runsFolded;
+    }
   }
 
   // Durable before aggregated: a run that is checkpointed but not yet
   // folded is replayed on recovery; the reverse order would lose it.
   if (checkpoint_ && !delivery.replayed) checkpoint_(delivery);
+  // Durable before published: observers only ever see checkpointed runs.
+  if (publish) runHook_(digest);
 
   if (accumulator_ != nullptr)
     accumulator_->add(delivery.jobIndex, std::move(delivery.artifacts),
@@ -103,6 +127,8 @@ void IngestPipeline::onRunColumnar(RunDelivery&& delivery) {
   const std::uint64_t unattributed =
       attributed >= totalTcp ? 0 : totalTcp - attributed;
 
+  const bool publish = static_cast<bool>(runHook_);
+  RunDigest digest;
   {
     const std::scoped_lock lock(mutex_);
     ++rolling_.runsFolded;
@@ -116,26 +142,44 @@ void IngestPipeline::onRunColumnar(RunDelivery&& delivery) {
       libSums_.bump(columns.originLibrary[i], bytes);
       catSums_.bump(columns.libraryCategory[i], bytes);
     }
-    const auto flush = [&](IdSums& sums,
-                           std::map<std::string, std::uint64_t, std::less<>>&
-                               map) {
-      for (const std::uint32_t id : sums.touched) {
-        bumpBytes(map, columns.pool->at(id).view(), sums.bytes.at(id));
-        sums.bytes[id] = 0;
-        sums.seen[id] = 0;
-      }
-      sums.touched.clear();
-    };
-    flush(libSums_, rolling_.bytesByLibrary);
-    flush(catSums_, rolling_.bytesByLibCategory);
+    const auto flush =
+        [&](IdSums& sums,
+            std::map<std::string, std::uint64_t, std::less<>>& map,
+            std::vector<std::pair<std::string, std::uint64_t>>* runDelta) {
+          for (const std::uint32_t id : sums.touched) {
+            bumpBytes(map, columns.pool->at(id).view(), sums.bytes.at(id));
+            if (runDelta != nullptr)
+              runDelta->emplace_back(std::string(columns.pool->at(id).view()),
+                                     sums.bytes.at(id));
+            sums.bytes[id] = 0;
+            sums.seen[id] = 0;
+          }
+          sums.touched.clear();
+        };
+    flush(libSums_, rolling_.bytesByLibrary,
+          publish ? &digest.bytesByLibrary : nullptr);
+    flush(catSums_, rolling_.bytesByLibCategory,
+          publish ? &digest.bytesByLibCategory : nullptr);
     rolling_.attributedBytes += attributed;
     rolling_.bytesByApp[delivery.artifacts.apkSha256] += attributed;
     accounts_[delivery.artifacts.apkSha256] = delivery.account;
+    if (publish) {
+      digest.jobIndex = delivery.jobIndex;
+      digest.apkSha256 = delivery.artifacts.apkSha256;
+      digest.replayed = delivery.replayed;
+      digest.flowCount = columns.size();
+      digest.attributedBytes = attributed;
+      digest.unattributedBytes = unattributed;
+      digest.account = delivery.account;
+      digest.runsFolded = rolling_.runsFolded;
+    }
   }
 
   // Durable before aggregated — same crash-recovery ordering as the row
   // path.
   if (checkpoint_ && !delivery.replayed) checkpoint_(delivery);
+  // Durable before published: observers only ever see checkpointed runs.
+  if (publish) runHook_(digest);
 
   if (accumulator_ != nullptr)
     accumulator_->addColumns(delivery.jobIndex, std::move(delivery.artifacts),

@@ -38,6 +38,23 @@ struct RollingTotals {
   std::map<std::string, std::uint64_t, std::less<>> bytesByApp;  // apk sha256
 };
 
+/// One finalized run's increment to the rolling view — everything a live
+/// observer (spectord's dashboard surface) needs to update a mirror of
+/// RollingTotals without re-scanning it: the per-run byte deltas plus the
+/// run's exact loss account and the post-fold progress counter.
+struct RunDigest {
+  std::size_t jobIndex = 0;
+  std::string apkSha256;
+  bool replayed = false;
+  std::uint64_t flowCount = 0;
+  std::uint64_t attributedBytes = 0;
+  std::uint64_t unattributedBytes = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> bytesByLibrary;
+  std::vector<std::pair<std::string, std::uint64_t>> bytesByLibCategory;
+  ApkLossAccount account;
+  std::uint64_t runsFolded = 0;  // rolling counter after this run folded
+};
+
 class IngestPipeline final : public ReportSink {
  public:
   using AttributeFn =
@@ -54,6 +71,13 @@ class IngestPipeline final : public ReportSink {
   /// callee must be thread-safe; orch::CheckpointWriter is the intended
   /// implementation.
   using CheckpointFn = std::function<void(const RunDelivery&)>;
+
+  /// Live-observer hook: invoked on the shard consumer thread for every
+  /// folded run — fresh *and* replayed (a dashboard mirrors the rolling
+  /// view, which replays also advance) — after the checkpoint hook, so a
+  /// published run is always durable. Must be thread-safe and cheap; the
+  /// intended implementation enqueues the digest and returns.
+  using RunHookFn = std::function<void(const RunDigest&)>;
 
   /// `accumulator` (optional) receives every finalized run under its job
   /// index — the deterministic batch view. Rolling aggregates and loss
@@ -81,6 +105,16 @@ class IngestPipeline final : public ReportSink {
                  const ApkLossAccount& account);
   /// Release a job index that will never arrive (failed job).
   void skip(std::size_t jobIndex);
+
+  /// Install the live-observer hook. Must be called before any runs are
+  /// submitted (the hook pointer is read unlocked on consumer threads).
+  void setRunHook(RunHookFn hook) { runHook_ = std::move(hook); }
+
+  /// Drop one apk's pending (not yet finalized) ingest state — the admin
+  /// evict op. Returns true when the apk had pending state.
+  bool evictPending(const std::string& apkSha256) {
+    return router_.evictPending(apkSha256);
+  }
 
   /// Block until all submitted work is folded (producers must be done).
   void drain();
@@ -119,6 +153,7 @@ class IngestPipeline final : public ReportSink {
   AttributeColumnsFn attributeColumns_;
   core::StudyAccumulator* accumulator_;
   CheckpointFn checkpoint_;
+  RunHookFn runHook_;
   mutable std::mutex mutex_;
   RollingTotals rolling_;
   IdSums libSums_;  // guarded by mutex_ (scratch, reset every run)

@@ -429,6 +429,19 @@ std::vector<core::UdpReport> ShardedIngest::takeReports(
   return reports;
 }
 
+bool ShardedIngest::evictPending(const std::string& apkSha256) {
+  Shard& shard = *shards_[shardOf(apkSha256)];
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.pending.find(apkSha256);
+  if (it == shard.pending.end()) return false;
+  ++shard.counters.apksEvicted;
+  shard.counters.reportsEvicted +=
+      it->second.reports.size() + it->second.holes.size();
+  shard.order.erase(it->second.orderIt);
+  shard.pending.erase(it);
+  return true;
+}
+
 IngestMetrics ShardedIngest::metrics() const {
   IngestMetrics out;
   out.shards = shards_.size();

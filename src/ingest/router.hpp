@@ -118,6 +118,12 @@ class ShardedIngest final : public ReportSink {
   [[nodiscard]] std::vector<core::UdpReport> takeReports(
       const std::string& apkSha256);
 
+  /// Drop one apk's pending state outright (the admin evict op): its
+  /// delivered-but-unclaimed reports, parked holes and dictionaries are
+  /// discarded and counted under the eviction counters. Returns true when
+  /// the apk had pending state.
+  bool evictPending(const std::string& apkSha256);
+
   [[nodiscard]] IngestMetrics metrics() const;
   [[nodiscard]] std::size_t shardCount() const noexcept { return shards_.size(); }
   /// Shard an apk checksum routes to (exposed for tests and benches).

@@ -127,6 +127,72 @@ void parseManifest(const fs::path& path, std::vector<ManifestEntry>& entries,
 
 }  // namespace
 
+std::size_t compactCheckpointDirectory(const std::string& directory) {
+  const fs::path root(directory);
+  if (!fs::exists(root)) return 0;
+
+  std::size_t removed = 0;
+  std::vector<fs::path> bundles;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto extension = entry.path().extension();
+    if (extension == ".tmp") {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);
+      if (!ec) ++removed;
+    } else if (extension == ".spab") {
+      bundles.push_back(entry.path());
+    }
+  }
+  std::sort(bundles.begin(), bundles.end());
+
+  // The bundles on disk are authoritative; the rebuilt manifest lists
+  // exactly the valid indexed ones, sorted by job index.
+  std::vector<ManifestEntry> kept;
+  for (const auto& path : bundles) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    if (!core::SpabEnvelope::looksFramed(bytes)) continue;
+    try {
+      core::SpabEnvelope envelope = core::SpabEnvelope::decode(bytes);
+      if (envelope.jobIndex == core::SpabEnvelope::kNoJobIndex) continue;
+      kept.push_back({envelope.jobIndex, envelope.artifacts.apkSha256});
+    } catch (const util::DecodeError&) {
+      // Corrupt bundle: StudyRecovery::scan quarantines; compaction only
+      // drops its manifest line.
+    }
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.jobIndex < b.jobIndex;
+            });
+
+  std::vector<ManifestEntry> oldEntries;
+  std::size_t torn = 0;
+  const fs::path manifestPath = root / CheckpointWriter::kManifestName;
+  parseManifest(manifestPath, oldEntries, torn);
+  const std::size_t oldLines = oldEntries.size() + torn;
+  removed += oldLines > kept.size() ? oldLines - kept.size() : 0;
+
+  const fs::path tmpManifest = root / "manifest.spmf.compact.tmp";
+  {
+    std::ofstream out(tmpManifest, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("recovery: cannot write " +
+                               tmpManifest.string());
+    for (const auto& entry : kept)
+      out << entry.jobIndex << ' ' << entry.sha << " ok\n";
+  }
+  fs::rename(tmpManifest, manifestPath);
+
+  util::logInfo("recovery: compacted %s -> %zu manifest lines, %zu stale "
+                "items removed",
+                directory.c_str(), kept.size(), removed);
+  return removed;
+}
+
 RecoveryReport StudyRecovery::scan(const std::string& directory) {
   RecoveryReport report;
   const fs::path root(directory);

@@ -124,6 +124,16 @@ struct RecoveryReport {
   std::size_t manifestMissingBundles = 0;  // listed sha with no valid bundle
 };
 
+/// Housekeeping for long-lived checkpoint directories (spectord's admin
+/// `compact` op). The manifest is append-only, so resumed studies and
+/// re-checkpointed apks accumulate duplicate and dangling lines over
+/// time. Compaction rewrites the manifest atomically (tmp + rename) with
+/// exactly one `<jobIndex> <sha> ok` line per valid indexed bundle on
+/// disk, sorted by job index, and deletes torn `.tmp` files. Corrupt
+/// bundles are left for StudyRecovery::scan to quarantine. Returns the
+/// number of stale items removed (dropped manifest lines + tmp files).
+std::size_t compactCheckpointDirectory(const std::string& directory);
+
 /// Post-crash scan of a checkpoint directory. Quarantines instead of
 /// throwing: a single corrupt bundle must never abandon the recovery the
 /// way ResultDatabase::loadFromDirectory once did. Deterministic: files

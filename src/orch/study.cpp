@@ -1,5 +1,6 @@
 #include "orch/study.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -204,6 +205,39 @@ ResumeOutput resumeStudy(const store::AppStoreGenerator& generator,
                               ingestConfig, prefetch, attribution,
                               &resume.recovery.runs);
   return resume;
+}
+
+MergeOutput mergeStudies(const StudyConfig& config,
+                         const std::vector<std::string>& checkpointDirectories) {
+  const store::AppStoreGenerator generator(config.store);
+
+  MergeOutput merge;
+  std::vector<RecoveredRun> combined;
+  for (const auto& directory : checkpointDirectories) {
+    RecoveryReport report = StudyRecovery::scan(directory);
+    for (auto& run : report.runs) combined.push_back(std::move(run));
+    report.runs.clear();
+    merge.recoveries.push_back(std::move(report));
+  }
+  // Stable sort keeps directory order within a job index, then the first
+  // copy wins — collectors partition the sha space so duplicates only
+  // appear when an operator merges overlapping directories.
+  std::stable_sort(combined.begin(), combined.end(),
+                   [](const RecoveredRun& a, const RecoveredRun& b) {
+                     return a.jobIndex < b.jobIndex;
+                   });
+  combined.erase(std::unique(combined.begin(), combined.end(),
+                             [](const RecoveredRun& a, const RecoveredRun& b) {
+                               return a.jobIndex == b.jobIndex;
+                             }),
+                 combined.end());
+
+  // No artifactsDirectory: the merge aggregates, it does not re-persist
+  // the collectors' bundles into a fourth directory.
+  merge.output = runPipeline(generator, config.dispatcher, std::string{},
+                             config.ingest, config.prefetch,
+                             config.attribution, &combined);
+  return merge;
 }
 
 }  // namespace libspector::orch

@@ -117,4 +117,25 @@ struct ResumeOutput {
     const store::PrefetchConfig& prefetch = {},
     const core::AttributorConfig& attribution = {});
 
+struct MergeOutput {
+  StudyOutput output;
+  /// One recovery report per checkpoint directory, in argument order
+  /// (runs are consumed by the merge and cleared; quarantine/manifest
+  /// accounting is preserved).
+  std::vector<RecoveryReport> recoveries;
+};
+
+/// Merge a multi-collector study: each spectord collector checkpointed its
+/// owned slice of the corpus into its own directory; this scans them all,
+/// replays every surviving run through one pipeline in job-index order
+/// (the order-restoring accumulator interleaves them back into dispatch
+/// order), re-runs any index no collector covered, and produces a
+/// StudyOutput byte-identical to a single-collector runStudy of the same
+/// config — at any collector count, and regardless of which collectors
+/// crashed and resumed along the way. Duplicate job indices across
+/// directories keep the first (directory-order) copy.
+[[nodiscard]] MergeOutput mergeStudies(
+    const StudyConfig& config,
+    const std::vector<std::string>& checkpointDirectories);
+
 }  // namespace libspector::orch

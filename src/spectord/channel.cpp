@@ -1,0 +1,145 @@
+#include "spectord/channel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace libspector::spectord {
+
+namespace {
+
+/// Compact a head-offset buffer once the dead prefix dominates, so a
+/// long-lived pipe does not grow without bound.
+void maybeCompact(std::vector<std::uint8_t>& buf, std::size_t& head) {
+  if (head == buf.size()) {
+    buf.clear();
+    head = 0;
+  } else if (head > 4096 && head * 2 > buf.size()) {
+    buf.erase(buf.begin(),
+              buf.begin() + static_cast<std::ptrdiff_t>(head));
+    head = 0;
+  }
+}
+
+}  // namespace
+
+std::size_t Pipe::tryWrite(std::span<const std::uint8_t> bytes) {
+  std::size_t accepted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return 0;
+    const std::size_t used = buf_.size() - head_;
+    const std::size_t space = capacity_ > used ? capacity_ - used : 0;
+    accepted = std::min(space, bytes.size());
+    if (accepted == 0) return 0;
+    buf_.insert(buf_.end(), bytes.begin(),
+                bytes.begin() + static_cast<std::ptrdiff_t>(accepted));
+  }
+  notifyAndSignal();
+  return accepted;
+}
+
+bool Pipe::writeAll(std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return closed_ || buf_.size() - head_ < capacity_;
+      });
+      if (closed_) return false;
+      const std::size_t space = capacity_ - (buf_.size() - head_);
+      const std::size_t take = std::min(space, bytes.size() - offset);
+      buf_.insert(
+          buf_.end(), bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+          bytes.begin() + static_cast<std::ptrdiff_t>(offset + take));
+      offset += take;
+    }
+    notifyAndSignal();
+  }
+  return true;
+}
+
+std::size_t Pipe::readSome(std::vector<std::uint8_t>& out, std::size_t max) {
+  std::size_t taken = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t avail = buf_.size() - head_;
+    taken = std::min(avail, max);
+    if (taken == 0) return 0;
+    out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head_),
+               buf_.begin() + static_cast<std::ptrdiff_t>(head_ + taken));
+    head_ += taken;
+    maybeCompact(buf_, head_);
+  }
+  notifyAndSignal();
+  return taken;
+}
+
+bool Pipe::waitReadable(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout,
+                      [&] { return closed_ || buf_.size() > head_; });
+}
+
+void Pipe::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  notifyAndSignal();
+}
+
+std::size_t Pipe::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buf_.size() - head_;
+}
+
+std::size_t Pipe::freeSpace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return 0;
+  const std::size_t used = buf_.size() - head_;
+  return capacity_ > used ? capacity_ - used : 0;
+}
+
+bool Pipe::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+bool Pipe::eof() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_ && buf_.size() == head_;
+}
+
+void Pipe::setOnActivity(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  onActivity_ = std::move(hook);
+}
+
+void Pipe::notifyAndSignal() {
+  cv_.notify_all();
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hook = onActivity_;
+  }
+  if (hook) hook();
+}
+
+ChannelPair makeChannel(std::size_t capacity,
+                        std::function<void()> onActivity) {
+  auto toServer = std::make_shared<Pipe>(capacity);
+  auto toClient = std::make_shared<Pipe>(capacity);
+  if (onActivity) {
+    toServer->setOnActivity(onActivity);
+    toClient->setOnActivity(onActivity);
+  }
+  ChannelPair pair;
+  pair.server = ChannelEndpoint(toClient, toServer);
+  pair.client = ChannelEndpoint(toServer, toClient);
+  return pair;
+}
+
+}  // namespace libspector::spectord

@@ -1,0 +1,125 @@
+// Simulated duplex byte channels, shaped like sockets.
+//
+// spectord's protocol machinery (incremental parsing, bounded write
+// queues, slow-consumer handling) is only honest if the transport behaves
+// like a real socket: finite kernel buffers, partial writes, partial
+// reads, EOF on close. DuplexChannel models exactly that — two bounded
+// byte pipes with blocking and non-blocking APIs — so the daemon's
+// connection state machine is written against socket semantics and would
+// port to a real fd loop by swapping this class out.
+//
+// Thread model: each pipe has its own mutex/cv; both endpoints are safe to
+// use from any thread. An optional activity hook fires (outside the lock)
+// whenever a pipe changes state, which is how the daemon's event loop
+// sleeps on a condition variable instead of polling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace libspector::spectord {
+
+/// One direction of a channel: a bounded byte queue with socket-like
+/// blocking/non-blocking access and a close flag (EOF after drain).
+class Pipe {
+ public:
+  explicit Pipe(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking write: accepts up to the free space, returns how many
+  /// bytes were taken (0 when full or closed) — a socket's partial write.
+  std::size_t tryWrite(std::span<const std::uint8_t> bytes);
+
+  /// Blocking write of the whole span; returns false if the pipe closed
+  /// before everything was accepted.
+  bool writeAll(std::span<const std::uint8_t> bytes);
+
+  /// Non-blocking read: appends up to `max` available bytes to `out`,
+  /// returns how many were read.
+  std::size_t readSome(std::vector<std::uint8_t>& out,
+                       std::size_t max = static_cast<std::size_t>(-1));
+
+  /// Block until bytes are readable, EOF, or the timeout; true when
+  /// readable or EOF (a read will make progress either way).
+  bool waitReadable(std::chrono::milliseconds timeout) const;
+
+  void close();
+  [[nodiscard]] std::size_t available() const;
+  [[nodiscard]] std::size_t freeSpace() const;
+  [[nodiscard]] bool closed() const;
+  /// Closed and fully drained — the reader's EOF.
+  [[nodiscard]] bool eof() const;
+
+  /// Invoked (outside the lock) after every write, read and close. The
+  /// daemon points both of a connection's pipes here to wake its loop.
+  void setOnActivity(std::function<void()> hook);
+
+ private:
+  void notifyAndSignal();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::vector<std::uint8_t> buf_;  // ring-free: head offset + compaction
+  std::size_t head_ = 0;
+  bool closed_ = false;
+  std::function<void()> onActivity_;
+};
+
+/// One end of a duplex channel: writes go to one pipe, reads come from the
+/// other. Copyable handle (shared ownership of both pipes).
+class ChannelEndpoint {
+ public:
+  ChannelEndpoint() = default;
+  ChannelEndpoint(std::shared_ptr<Pipe> out, std::shared_ptr<Pipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return out_ != nullptr; }
+
+  std::size_t tryWrite(std::span<const std::uint8_t> bytes) {
+    return out_->tryWrite(bytes);
+  }
+  bool writeAll(std::span<const std::uint8_t> bytes) {
+    return out_->writeAll(bytes);
+  }
+  std::size_t readSome(std::vector<std::uint8_t>& out,
+                       std::size_t max = static_cast<std::size_t>(-1)) {
+    return in_->readSome(out, max);
+  }
+  bool waitReadable(std::chrono::milliseconds timeout) const {
+    return in_->waitReadable(timeout);
+  }
+
+  [[nodiscard]] std::size_t readable() const { return in_->available(); }
+  [[nodiscard]] std::size_t writableSpace() const { return out_->freeSpace(); }
+  /// EOF from the peer: it closed and everything it sent was read.
+  [[nodiscard]] bool peerClosed() const { return in_->eof(); }
+  [[nodiscard]] bool writeClosed() const { return out_->closed(); }
+
+  /// Socket-style close: both directions shut down.
+  void close() {
+    out_->close();
+    in_->close();
+  }
+
+ private:
+  std::shared_ptr<Pipe> out_;
+  std::shared_ptr<Pipe> in_;
+};
+
+struct ChannelPair {
+  ChannelEndpoint server;
+  ChannelEndpoint client;
+};
+
+/// Build a connected channel; `capacity` bounds each direction
+/// independently (the simulated kernel buffer). `onActivity` is attached
+/// to both pipes — the daemon passes its loop waker.
+[[nodiscard]] ChannelPair makeChannel(std::size_t capacity,
+                                      std::function<void()> onActivity = {});
+
+}  // namespace libspector::spectord

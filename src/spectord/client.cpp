@@ -1,0 +1,330 @@
+#include "spectord/client.hpp"
+
+#include <stdexcept>
+
+namespace libspector::spectord {
+
+using namespace std::chrono_literals;
+
+bool ClientChannel::send(FrameType type, std::span<const std::uint8_t> body) {
+  return endpoint_.writeAll(encodeFrame(type, body));
+}
+
+std::optional<Frame> ClientChannel::tryRead() {
+  if (auto frame = parser_.next()) return frame;
+  scratch_.clear();
+  if (endpoint_.readSome(scratch_) == 0) return std::nullopt;
+  parser_.feed(scratch_);
+  return parser_.next();
+}
+
+std::optional<Frame> ClientChannel::read(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    if (auto frame = tryRead()) return frame;
+    if (endpoint_.peerClosed()) return std::nullopt;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    endpoint_.waitReadable(std::min(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
+        std::chrono::milliseconds(50)));
+  }
+}
+
+namespace {
+
+/// Hello -> HelloAck, throwing on refusal, hangup or timeout. Frames other
+/// than the ack are not expected before the handshake completes.
+HelloAckMsg handshake(ClientChannel& channel, std::uint64_t clientId,
+                      ClientKind kind, std::uint64_t resumeSession,
+                      std::chrono::milliseconds timeout) {
+  HelloMsg hello;
+  hello.clientId = clientId;
+  hello.kind = kind;
+  hello.resumeSession = resumeSession;
+  if (!channel.send(FrameType::Hello, hello.encode()))
+    throw std::runtime_error("spectord client: daemon closed during Hello");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline)
+      throw std::runtime_error("spectord client: HelloAck timeout");
+    auto frame = channel.read(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!frame)
+      throw std::runtime_error("spectord client: no HelloAck before hangup");
+    if (frame->type == FrameType::HelloAck)
+      return HelloAckMsg::decode(frame->body);
+    if (frame->type == FrameType::Error)
+      throw std::runtime_error("spectord client: handshake refused: " +
+                               ErrorMsg::decode(frame->body).message);
+    // Anything else pre-ack is a protocol violation worth surfacing.
+    throw std::runtime_error("spectord client: unexpected pre-ack frame");
+  }
+}
+
+}  // namespace
+
+// --- IngestClient ----------------------------------------------------------
+
+IngestClient::IngestClient(ChannelEndpoint endpoint, std::uint64_t clientId,
+                           std::uint64_t resumeSession,
+                           std::chrono::milliseconds handshakeTimeout)
+    : channel_(std::move(endpoint)) {
+  const HelloAckMsg ack = handshake(channel_, clientId, ClientKind::Ingest,
+                                    resumeSession, handshakeTimeout);
+  session_ = ack.session;
+  resumed_ = ack.resumed;
+  ackedFrames_ = ack.ackedFrames;
+  ackedRuns_ = ack.ackedRuns;
+}
+
+void IngestClient::handleLocked(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::ReportAck: {
+      const ReportAckMsg ack = ReportAckMsg::decode(frame.body);
+      if (ack.ackedFrames > ackedFrames_) ackedFrames_ = ack.ackedFrames;
+      return;
+    }
+    case FrameType::RunAck: {
+      RunAckMsg ack = RunAckMsg::decode(frame.body);
+      if (ack.accepted) ++ackedRuns_;
+      runAcks_.emplace(ack.jobIndex, std::move(ack));
+      return;
+    }
+    default:
+      return;  // Bye / Error: surfaced via peerClosed by the daemon close
+  }
+}
+
+void IngestClient::pumpLocked() {
+  while (auto frame = channel_.tryRead()) handleLocked(*frame);
+}
+
+void IngestClient::submitDatagram(std::span<const std::uint8_t> payload) {
+  const std::scoped_lock lock(mutex_);
+  // Pump before writing so a pile of acks never deadlocks both sides'
+  // bounded buffers against each other.
+  pumpLocked();
+  if (channel_.send(FrameType::Report, payload)) ++framesSent_;
+  pumpLocked();
+}
+
+RunAckMsg IngestClient::completeRun(std::uint64_t jobIndex,
+                                    const core::RunArtifacts& artifacts,
+                                    std::chrono::milliseconds timeout) {
+  const std::scoped_lock lock(mutex_);
+  pumpLocked();
+  const auto envelope =
+      core::SpabEnvelope::encode(jobIndex, core::ApkLossAccount{}, artifacts);
+  if (!channel_.send(FrameType::RunComplete, envelope))
+    throw std::runtime_error("spectord client: daemon closed during upload");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto it = runAcks_.find(jobIndex);
+    if (it != runAcks_.end()) {
+      RunAckMsg ack = std::move(it->second);
+      runAcks_.erase(it);
+      return ack;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline)
+      throw std::runtime_error("spectord client: RunAck timeout");
+    auto frame = channel_.read(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!frame)
+      throw std::runtime_error("spectord client: no RunAck before hangup");
+    handleLocked(*frame);
+  }
+}
+
+bool IngestClient::waitAckedFrames(std::uint64_t frames,
+                                   std::chrono::milliseconds timeout) {
+  const std::scoped_lock lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    pumpLocked();
+    if (ackedFrames_ >= frames) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    auto frame = channel_.read(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!frame) return ackedFrames_ >= frames;
+    handleLocked(*frame);
+  }
+}
+
+std::uint64_t IngestClient::ackedFrames() const {
+  const std::scoped_lock lock(mutex_);
+  return ackedFrames_;
+}
+
+std::uint64_t IngestClient::ackedRuns() const {
+  const std::scoped_lock lock(mutex_);
+  return ackedRuns_;
+}
+
+std::uint64_t IngestClient::framesSent() const {
+  const std::scoped_lock lock(mutex_);
+  return framesSent_;
+}
+
+void IngestClient::bye() {
+  const std::scoped_lock lock(mutex_);
+  channel_.send(FrameType::Bye, ByeMsg{"done"}.encode());
+  channel_.close();
+}
+
+// --- DashboardClient -------------------------------------------------------
+
+void DashboardMirror::applySnapshot(const SnapshotMsg& snapshot) {
+  switch (snapshot.topic) {
+    case Topic::Totals:
+      totals = snapshot.totals;
+      break;
+    case Topic::Loss:
+      accounts.clear();
+      for (const auto& [sha, account] : snapshot.accounts)
+        accounts[sha] = account;
+      break;
+    case Topic::Progress:
+      break;
+  }
+  runsFolded = snapshot.runsFolded;
+  expectedRuns = snapshot.expectedRuns;
+  reportsDelivered = snapshot.reportsDelivered;
+  reportsLost = snapshot.reportsLost;
+}
+
+void DashboardMirror::applyDelta(const DeltaMsg& delta) {
+  switch (delta.topic) {
+    case Topic::Totals: {
+      ++totals.runsFolded;
+      totals.flowCount += delta.flowCount;
+      totals.attributedBytes += delta.attributedBytes;
+      totals.unattributedBytes += delta.unattributedBytes;
+      for (const auto& [lib, bytes] : delta.bytesByLibrary)
+        totals.bytesByLibrary[lib] += bytes;
+      for (const auto& [cat, bytes] : delta.bytesByLibCategory)
+        totals.bytesByLibCategory[cat] += bytes;
+      totals.bytesByApp[delta.apkSha256] += delta.attributedBytes;
+      break;
+    }
+    case Topic::Loss:
+      accounts[delta.apkSha256] = delta.account;
+      break;
+    case Topic::Progress:
+      // Cumulative-as-of-that-run values, emitted in order: replace.
+      runsFolded = delta.runsFolded;
+      expectedRuns = delta.expectedRuns;
+      reportsDelivered = delta.reportsDelivered;
+      reportsLost = delta.reportsLost;
+      break;
+  }
+}
+
+DashboardClient::DashboardClient(ChannelEndpoint endpoint,
+                                 std::uint64_t clientId,
+                                 std::chrono::milliseconds handshakeTimeout)
+    : channel_(std::move(endpoint)) {
+  handshake(channel_, clientId, ClientKind::Dashboard, 0, handshakeTimeout);
+}
+
+void DashboardClient::subscribe(Topic topic) {
+  SubscribeMsg msg;
+  msg.topic = topic;
+  channel_.send(FrameType::Subscribe, msg.encode());
+}
+
+std::size_t DashboardClient::poll(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::size_t folded = 0;
+  while (true) {
+    std::optional<Frame> frame = channel_.tryRead();
+    if (!frame) {
+      const auto now = std::chrono::steady_clock::now();
+      if (timeout.count() == 0 || now >= deadline || channel_.peerClosed())
+        break;
+      frame = channel_.read(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now));
+      if (!frame) break;
+    }
+    ++folded;
+    switch (frame->type) {
+      case FrameType::Snapshot: {
+        const SnapshotMsg snapshot = SnapshotMsg::decode(frame->body);
+        mirror_.applySnapshot(snapshot);
+        ++snapshots_[static_cast<std::size_t>(snapshot.topic)];
+        break;
+      }
+      case FrameType::Delta: {
+        mirror_.applyDelta(DeltaMsg::decode(frame->body));
+        ++deltas_;
+        break;
+      }
+      case FrameType::Bye:
+        bye_ = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return folded;
+}
+
+bool DashboardClient::waitForSnapshot(Topic topic,
+                                      std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (snapshotsReceived(topic) == 0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    poll(std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+  }
+  return true;
+}
+
+bool DashboardClient::waitForRuns(std::uint64_t runs,
+                                  std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (mirror_.totals.runsFolded < runs) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    poll(std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+  }
+  return true;
+}
+
+// --- AdminClient -----------------------------------------------------------
+
+AdminClient::AdminClient(ChannelEndpoint endpoint, std::uint64_t clientId,
+                         std::chrono::milliseconds handshakeTimeout)
+    : channel_(std::move(endpoint)) {
+  handshake(channel_, clientId, ClientKind::Admin, 0, handshakeTimeout);
+}
+
+AdminAckMsg AdminClient::request(AdminOp op, std::string arg,
+                                 std::chrono::milliseconds timeout) {
+  AdminMsg msg;
+  msg.op = op;
+  msg.arg = std::move(arg);
+  if (!channel_.send(FrameType::Admin, msg.encode()))
+    throw std::runtime_error("spectord admin: daemon closed");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline)
+      throw std::runtime_error("spectord admin: ack timeout");
+    auto frame = channel_.read(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!frame) throw std::runtime_error("spectord admin: hangup before ack");
+    if (frame->type == FrameType::AdminAck)
+      return AdminAckMsg::decode(frame->body);
+    if (frame->type == FrameType::Error)
+      throw std::runtime_error("spectord admin: refused: " +
+                               ErrorMsg::decode(frame->body).message);
+    // Bye while waiting (daemon shutting down) still races the ack in.
+  }
+}
+
+}  // namespace libspector::spectord

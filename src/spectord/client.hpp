@@ -1,0 +1,186 @@
+// Client-side protocol speakers for the three spectord surfaces.
+//
+//  - IngestClient is an ingest::ReportSink over the wire: every datagram
+//    the emulator supervisor emits becomes a Report frame, run completion
+//    becomes a RunComplete upload (SpabEnvelope bytes), and the session
+//    handshake + cumulative acks give it reconnect-and-resume semantics.
+//    Thread-safe like the in-process sinks it substitutes for (emulator
+//    workers share one collector), by serializing frame writes.
+//  - DashboardClient subscribes to topics and folds snapshots + deltas
+//    into a local mirror; the protocol's consistency contract says the
+//    mirror equals the daemon's published state exactly once drained.
+//  - AdminClient is a simple request/response wrapper over Admin frames.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/artifacts.hpp"
+#include "ingest/pipeline.hpp"
+#include "ingest/sink.hpp"
+#include "spectord/channel.hpp"
+#include "spectord/protocol.hpp"
+
+namespace libspector::spectord {
+
+/// Shared client plumbing: a channel endpoint plus an incremental parser,
+/// with blocking frame send/receive. Not thread-safe by itself; the
+/// clients below add locking where their surface needs it.
+class ClientChannel {
+ public:
+  explicit ClientChannel(ChannelEndpoint endpoint)
+      : endpoint_(std::move(endpoint)) {}
+
+  /// Blocking whole-frame write; false when the daemon closed the channel.
+  bool send(FrameType type, std::span<const std::uint8_t> body);
+
+  /// Non-blocking: drain whatever the daemon wrote, return the next frame.
+  [[nodiscard]] std::optional<Frame> tryRead();
+
+  /// Blocking read with a deadline; nullopt on timeout or EOF.
+  [[nodiscard]] std::optional<Frame> read(std::chrono::milliseconds timeout);
+
+  void close() { endpoint_.close(); }
+  [[nodiscard]] bool peerClosed() const { return endpoint_.peerClosed(); }
+
+ private:
+  ChannelEndpoint endpoint_;
+  FrameParser parser_;
+  std::vector<std::uint8_t> scratch_;
+};
+
+/// Report-ingest client. Construction performs the Hello handshake and
+/// blocks for the HelloAck (throws std::runtime_error if the daemon hangs
+/// up instead). Pass the session token of a previous incarnation to
+/// resume: ackedFrames()/ackedRuns() then report what the daemon already
+/// has, so the caller re-sends only its unacked tail.
+class IngestClient final : public ingest::ReportSink {
+ public:
+  IngestClient(ChannelEndpoint endpoint, std::uint64_t clientId,
+               std::uint64_t resumeSession = 0,
+               std::chrono::milliseconds handshakeTimeout =
+                   std::chrono::milliseconds(10000));
+
+  /// Frame and send one report datagram. Blocks on channel backpressure
+  /// (the socket write would too); opportunistically folds any acks the
+  /// daemon pushed back. Thread-safe.
+  void submitDatagram(std::span<const std::uint8_t> payload) override;
+
+  /// Upload a finished run and block for the daemon's verdict. Thread-safe.
+  RunAckMsg completeRun(std::uint64_t jobIndex,
+                        const core::RunArtifacts& artifacts,
+                        std::chrono::milliseconds timeout =
+                            std::chrono::milliseconds(60000));
+
+  /// Wait until the daemon has acked at least `frames` report frames.
+  bool waitAckedFrames(std::uint64_t frames, std::chrono::milliseconds timeout);
+
+  [[nodiscard]] std::uint64_t sessionToken() const noexcept {
+    return session_;
+  }
+  [[nodiscard]] bool resumed() const noexcept { return resumed_; }
+  /// Daemon-acked cumulative report frames (across resumed sessions).
+  [[nodiscard]] std::uint64_t ackedFrames() const;
+  [[nodiscard]] std::uint64_t ackedRuns() const;
+  /// Report frames this incarnation sent.
+  [[nodiscard]] std::uint64_t framesSent() const;
+
+  /// Polite goodbye + close.
+  void bye();
+
+ private:
+  /// Fold one daemon frame into client state. Locked by caller.
+  void handleLocked(const Frame& frame);
+  void pumpLocked();
+
+  mutable std::mutex mutex_;
+  ClientChannel channel_;
+  std::uint64_t session_ = 0;
+  bool resumed_ = false;
+  std::uint64_t ackedFrames_ = 0;
+  std::uint64_t ackedRuns_ = 0;
+  std::uint64_t framesSent_ = 0;
+  /// RunAcks that arrived while waiting for something else.
+  std::map<std::uint64_t, RunAckMsg> runAcks_;
+};
+
+/// Local reconstruction of the daemon's published dashboard state:
+/// snapshots replace, deltas increment. The daemon's single-writer
+/// protocol guarantees mirror == daemon state after a drain.
+struct DashboardMirror {
+  ingest::RollingTotals totals;
+  std::map<std::string, core::ApkLossAccount> accounts;
+  std::uint64_t runsFolded = 0;
+  std::uint64_t expectedRuns = 0;
+  std::uint64_t reportsDelivered = 0;
+  std::uint64_t reportsLost = 0;
+
+  void applySnapshot(const SnapshotMsg& snapshot);
+  void applyDelta(const DeltaMsg& delta);
+};
+
+class DashboardClient {
+ public:
+  DashboardClient(ChannelEndpoint endpoint, std::uint64_t clientId,
+                  std::chrono::milliseconds handshakeTimeout =
+                      std::chrono::milliseconds(10000));
+
+  void subscribe(Topic topic);
+
+  /// Process daemon frames until the deadline (0 = only what is already
+  /// buffered). Returns the number of frames folded.
+  std::size_t poll(std::chrono::milliseconds timeout =
+                       std::chrono::milliseconds(0));
+
+  /// Poll until the mirror has folded a snapshot for `topic`.
+  bool waitForSnapshot(Topic topic, std::chrono::milliseconds timeout);
+  /// Poll until the mirror's Totals view has seen `runs` runs.
+  bool waitForRuns(std::uint64_t runs, std::chrono::milliseconds timeout);
+
+  [[nodiscard]] const DashboardMirror& mirror() const noexcept {
+    return mirror_;
+  }
+  [[nodiscard]] std::uint64_t snapshotsReceived(Topic topic) const {
+    return snapshots_[static_cast<std::size_t>(topic)];
+  }
+  [[nodiscard]] std::uint64_t deltasReceived() const noexcept {
+    return deltas_;
+  }
+  [[nodiscard]] bool byeReceived() const noexcept { return bye_; }
+  [[nodiscard]] bool peerClosed() const { return channel_.peerClosed(); }
+
+  void close() { channel_.close(); }
+
+ private:
+  ClientChannel channel_;
+  DashboardMirror mirror_;
+  std::array<std::uint64_t, 4> snapshots_{};
+  std::uint64_t deltas_ = 0;
+  bool bye_ = false;
+};
+
+class AdminClient {
+ public:
+  AdminClient(ChannelEndpoint endpoint, std::uint64_t clientId,
+              std::chrono::milliseconds handshakeTimeout =
+                  std::chrono::milliseconds(10000));
+
+  /// Send one admin op and block for its ack. Throws std::runtime_error
+  /// on timeout or hangup.
+  AdminAckMsg request(AdminOp op, std::string arg = {},
+                      std::chrono::milliseconds timeout =
+                          std::chrono::milliseconds(60000));
+
+  void close() { channel_.close(); }
+
+ private:
+  ClientChannel channel_;
+};
+
+}  // namespace libspector::spectord

@@ -1,0 +1,135 @@
+#include "spectord/cluster.hpp"
+
+#include <atomic>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/attribution.hpp"
+#include "orch/dispatcher.hpp"
+#include "orch/recovery.hpp"
+#include "radar/corpus.hpp"
+#include "spectord/client.hpp"
+#include "store/prefetch.hpp"
+#include "util/log.hpp"
+#include "vtsim/categorizer.hpp"
+
+namespace libspector::spectord {
+
+CollectorResult runCollector(const orch::StudyConfig& config,
+                             const CollectorOptions& options) {
+  if (options.checkpointDirectory.empty())
+    throw std::invalid_argument(
+        "runCollector: checkpointDirectory is the collector's output and "
+        "must be set");
+  const store::AppStoreGenerator generator(config.store);
+  const CollectorAssignment assignment{options.index, options.count};
+
+  static const radar::LibraryCorpus kCorpus = radar::LibraryCorpus::builtin();
+  vtsim::DomainCategorizer categorizer(
+      vtsim::defaultVendorPanel(), [&generator](const std::string& domain) {
+        return generator.domainTruth(domain);
+      });
+  core::TrafficAttributor attributor(kCorpus, categorizer, config.attribution);
+
+  DaemonConfig daemonConfig;
+  daemonConfig.ingest = config.ingest;
+  daemonConfig.checkpointDirectory = options.checkpointDirectory;
+  daemonConfig.assignment = assignment;
+  SpectorDaemon daemon(
+      daemonConfig,
+      [&attributor](const core::RunArtifacts& artifacts) {
+        return attributor.attribute(artifacts);
+      },
+      config.attribution.columnarFold
+          ? ingest::IngestPipeline::AttributeColumnsFn(
+                [&attributor](const core::RunArtifacts& artifacts) {
+                  return attributor.attributeColumns(artifacts);
+                })
+          : ingest::IngestPipeline::AttributeColumnsFn{});
+
+  CollectorResult result;
+  const std::size_t appCount = generator.appCount();
+
+  // Resume path: re-inject this directory's survivors straight through the
+  // pipeline (replayRun preserves the persisted loss accounts; uploading
+  // them as RunComplete frames would make the daemon recompute accounts
+  // from datagrams it never saw). The admin Resume op is the remote
+  // equivalent for an already-running daemon.
+  std::vector<bool> done(appCount, false);
+  if (options.resume) {
+    orch::RecoveryReport report =
+        orch::StudyRecovery::scan(options.checkpointDirectory);
+    for (auto& run : report.runs) {
+      if (run.jobIndex >= appCount || done[run.jobIndex]) continue;
+      done[run.jobIndex] = true;
+      daemon.pipeline().replayRun(run.jobIndex, std::move(run.artifacts),
+                                  run.account);
+      ++result.runsReplayed;
+    }
+    daemon.pipeline().drain();
+  }
+
+  IngestClient client(daemon.connect(),
+                      /*clientId=*/0x5bec0000ULL + options.index);
+  result.sessionToken = client.sessionToken();
+
+  {
+    // The prefetcher expands the whole corpus — ownership hashes the apk
+    // digest, which only exists after expansion — and the source filters
+    // to owned gaps. Non-owned expansion is wasted generation, not wasted
+    // emulation; the emulator tier only ever sees owned jobs.
+    std::vector<std::size_t> indices;
+    indices.reserve(appCount);
+    for (std::size_t i = 0; i < appCount; ++i) indices.push_back(i);
+    store::JobPrefetcher prefetcher(generator, std::move(indices),
+                                    config.prefetch);
+
+    std::atomic<std::uint64_t> accepted{0};
+    orch::Dispatcher dispatcher(generator.farm(), &client, config.dispatcher);
+    dispatcher.runConcurrent(
+        // Serialized by the dispatcher's source lock, so the plain result
+        // counters are safe here.
+        [&]() -> std::optional<orch::Dispatcher::Job> {
+          while (true) {
+            if (result.jobsDispatched >= options.jobLimit)
+              return std::nullopt;  // simulated mid-study kill
+            auto item = prefetcher.next();
+            if (!item) return std::nullopt;
+            if (!assignment.owns(item->apkSha256)) continue;
+            ++result.jobsOwned;
+            if (done[item->index]) continue;  // replayed on resume
+            ++result.jobsDispatched;
+            return orch::Dispatcher::Job{std::move(item->job.apk),
+                                         std::move(item->job.program),
+                                         item->index,
+                                         std::move(item->apkSha256)};
+          }
+        },
+        [&](std::size_t index, core::RunArtifacts&& artifacts) {
+          const RunAckMsg ack = client.completeRun(index, artifacts);
+          if (ack.accepted) accepted.fetch_add(1, std::memory_order_relaxed);
+        },
+        [&](std::size_t index, const orch::Dispatcher::FailedJob&) {
+          daemon.pipeline().skip(index);
+        });
+    result.runsAccepted = accepted.load();
+  }
+
+  daemon.drain();
+  result.metrics = daemon.metrics();
+  client.bye();
+  daemon.shutdown();
+
+  util::logInfo(
+      "collector %u/%u: %llu owned, %llu dispatched, %llu accepted, %llu "
+      "replayed",
+      options.index, options.count,
+      static_cast<unsigned long long>(result.jobsOwned),
+      static_cast<unsigned long long>(result.jobsDispatched),
+      static_cast<unsigned long long>(result.runsAccepted),
+      static_cast<unsigned long long>(result.runsReplayed));
+  return result;
+}
+
+}  // namespace libspector::spectord

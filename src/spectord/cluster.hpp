@@ -1,0 +1,57 @@
+// Multi-collector operation: N spectord daemons, each owning a contiguous
+// slice of sha space, together covering one study.
+//
+// runCollector drives one collector's share of a study *through the wire
+// protocol*: the emulator fleet's datagrams flow as Report frames into a
+// live daemon (which attributes, accounts loss and checkpoints each run),
+// and run completions are uploaded as RunComplete envelopes. The daemon's
+// checkpoint directory is the collector's entire output — there is no
+// in-process accumulator — which is what makes the cluster crash-safe and
+// mergeable: orch::mergeStudies scans every collector's directory and
+// replays the union through one order-restoring pipeline, producing study
+// output byte-identical to a single-collector orch::runStudy at any
+// collector count and through any kill/resume history (the cluster tests
+// sweep exactly that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ingest/metrics.hpp"
+#include "orch/study.hpp"
+#include "spectord/daemon.hpp"
+
+namespace libspector::spectord {
+
+struct CollectorOptions {
+  /// This collector's slice (index of count).
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+  /// Required: where this collector checkpoints its runs (one directory
+  /// per collector; mergeStudies consumes them all).
+  std::string checkpointDirectory;
+  /// Resume a previous incarnation first: replay the directory's
+  /// surviving runs through the daemon, then dispatch only the gaps.
+  bool resume = false;
+  /// Simulated mid-study kill: dispatch at most this many owned jobs,
+  /// then stop (in-flight jobs still finish and checkpoint — a process
+  /// kill between runs). ~0 = run the full share.
+  std::uint64_t jobLimit = ~0ULL;
+};
+
+struct CollectorResult {
+  std::uint64_t jobsOwned = 0;      // owned jobs seen in the corpus scan
+  std::uint64_t jobsDispatched = 0; // owned jobs actually run this time
+  std::uint64_t runsAccepted = 0;   // RunComplete uploads the daemon took
+  std::uint64_t runsReplayed = 0;   // restored from checkpoints (resume)
+  std::uint64_t sessionToken = 0;
+  ingest::IngestMetrics metrics;
+};
+
+/// Run collector `options.index`'s share of `config` against a live
+/// daemon. The whole corpus is generated to learn each apk's sha (the
+/// digest is what ownership hashes); only owned jobs run emulators.
+[[nodiscard]] CollectorResult runCollector(const orch::StudyConfig& config,
+                                           const CollectorOptions& options);
+
+}  // namespace libspector::spectord

@@ -1,0 +1,136 @@
+// Server-side per-connection state: the async-server idiom of a read
+// buffer feeding an incremental parser, plus a bounded write queue with
+// partial-write continuation and slow-consumer policy.
+//
+// A Connection is owned and driven exclusively by the daemon's event-loop
+// thread — it is a single-threaded state machine; the only concurrency is
+// inside the channel pipes. Frames are split into two classes on the
+// write side:
+//
+//  - control frames (acks, snapshots, admin replies, errors, bye) are
+//    always queued — they are small, bounded in number, and the protocol
+//    is meaningless without them;
+//  - delta frames are droppable: when the queue is over budget the
+//    slow-subscriber policy applies (drop the delta and schedule a
+//    snapshot-resync, or disconnect the client). Ingest never blocks on a
+//    slow dashboard.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "spectord/channel.hpp"
+#include "spectord/protocol.hpp"
+
+namespace libspector::spectord {
+
+/// What to do with a subscriber whose write queue is over budget.
+enum class SlowSubscriberPolicy : std::uint8_t {
+  /// Drop delta frames; once the queue drains, re-send a full snapshot so
+  /// the subscriber's mirror converges again.
+  DropAndResync = 0,
+  /// Treat a full queue as a fatal lag: Bye + close.
+  Disconnect = 1,
+};
+
+/// Per-connection protocol counters, folded into the session registry on
+/// disconnect so they survive reconnects.
+struct ConnectionStats {
+  std::uint64_t framesParsed = 0;
+  std::uint64_t reportFrames = 0;
+  std::uint64_t runFrames = 0;
+  std::uint64_t deltasSent = 0;
+  std::uint64_t deltasDropped = 0;
+  std::uint64_t snapshotsSent = 0;
+  std::uint64_t errorsSent = 0;
+};
+
+class Connection {
+ public:
+  Connection(std::uint64_t id, ChannelEndpoint endpoint,
+             std::size_t writeQueueBudget, SlowSubscriberPolicy policy)
+      : id_(id),
+        endpoint_(std::move(endpoint)),
+        writeQueueBudget_(writeQueueBudget),
+        policy_(policy) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  // --- read side -----------------------------------------------------------
+
+  /// Move whatever the peer has written into the parser. Returns the
+  /// number of bytes consumed (0 = no progress).
+  std::size_t pumpRead();
+
+  /// Next fully-parsed frame, if any.
+  [[nodiscard]] std::optional<Frame> nextFrame() { return parser_.next(); }
+
+  [[nodiscard]] const FrameParser& parser() const noexcept { return parser_; }
+
+  /// Peer closed and everything it sent has been consumed.
+  [[nodiscard]] bool peerGone() const { return endpoint_.peerClosed(); }
+
+  // --- write side ----------------------------------------------------------
+
+  /// Queue a control frame (never dropped; queue may exceed its budget for
+  /// these — the count of control frames per event is bounded).
+  void sendControl(FrameType type, std::span<const std::uint8_t> body);
+
+  /// Queue a delta frame, honouring the write budget. Returns true when
+  /// queued; false means the frame was dropped (DropAndResync) or the
+  /// connection was marked for disconnect (Disconnect).
+  bool sendDelta(std::span<const std::uint8_t> body);
+
+  /// Push queued bytes into the channel as far as it will accept them.
+  /// Returns true if any bytes moved.
+  bool flushWrites();
+
+  [[nodiscard]] bool writeQueueEmpty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t queuedBytes() const noexcept {
+    return queuedBytes_;
+  }
+
+  /// Close the channel (both directions) immediately.
+  void close();
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+  // --- protocol state (daemon-managed) -------------------------------------
+
+  bool helloDone = false;
+  ClientKind kind = ClientKind::Ingest;
+  std::uint64_t clientId = 0;
+  std::uint64_t session = 0;
+  /// Topic subscriptions, indexed by Topic value.
+  std::array<bool, 4> subscribed{};
+  /// Topics owed a fresh snapshot (on subscribe, or resync after drops).
+  std::array<bool, 4> needsSnapshot{};
+  /// Subset of needsSnapshot owed because deltas were dropped (counted as
+  /// resyncs, and deferred until the write queue drains).
+  std::array<bool, 4> resyncSnapshot{};
+  /// Report frames accepted since the last ReportAck went out.
+  bool ackOwed = false;
+  /// Parser counters already folded into the daemon aggregates.
+  std::uint64_t garbageFolded = 0;
+  std::uint64_t rejectedFolded = 0;
+  /// Set by sendDelta under Disconnect policy, or by the daemon to end a
+  /// connection after its queue drains.
+  bool disconnectAfterFlush = false;
+  ConnectionStats stats;
+
+ private:
+  const std::uint64_t id_;
+  ChannelEndpoint endpoint_;
+  const std::size_t writeQueueBudget_;
+  const SlowSubscriberPolicy policy_;
+  FrameParser parser_;
+  std::vector<std::uint8_t> readScratch_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  std::size_t frontOffset_ = 0;  // bytes of queue_.front() already written
+  std::size_t queuedBytes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace libspector::spectord

@@ -1,0 +1,565 @@
+#include "spectord/daemon.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace libspector::spectord {
+
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr std::size_t topicIndex(Topic topic) noexcept {
+  return static_cast<std::size_t>(topic);
+}
+
+constexpr Topic kTopics[] = {Topic::Totals, Topic::Loss, Topic::Progress};
+
+}  // namespace
+
+std::uint32_t CollectorAssignment::ownerOf(const std::string& apkSha256) const {
+  if (count <= 1) return 0;
+  // Fixed-point range map: (h * count) >> 64 sends the i-th contiguous
+  // slice of the hash space to collector i, with slice widths within one
+  // of each other.
+  const std::uint64_t h = util::fnv1a64(apkSha256);
+  return static_cast<std::uint32_t>(
+      (static_cast<unsigned __int128>(h) * count) >> 64);
+}
+
+SpectorDaemon::SpectorDaemon(
+    DaemonConfig config, ingest::IngestPipeline::AttributeFn attribute,
+    ingest::IngestPipeline::AttributeColumnsFn attributeColumns,
+    core::StudyAccumulator* accumulator, orch::KillProbe checkpointProbe)
+    : config_(std::move(config)),
+      pipeline_(
+          config_.ingest, std::move(attribute), accumulator,
+          [this](const ingest::RunDelivery& delivery) {
+            if (checkpoints_)
+              checkpoints_->checkpoint(delivery.jobIndex, delivery.account,
+                                       delivery.artifacts);
+          },
+          std::move(attributeColumns)) {
+  if (!config_.checkpointDirectory.empty())
+    checkpoints_.emplace(config_.checkpointDirectory,
+                         std::move(checkpointProbe));
+  // Shard consumer threads only hand the loop a digest; everything that
+  // touches connections happens on the loop thread.
+  pipeline_.setRunHook([this](const ingest::RunDigest& digest) {
+    {
+      const std::scoped_lock lock(publishMutex_);
+      publishQueue_.push_back(digest);
+    }
+    pendingPublishes_.fetch_add(1, std::memory_order_release);
+    wake();
+  });
+  loop_ = std::thread([this] { loopMain(); });
+}
+
+SpectorDaemon::~SpectorDaemon() { shutdown(); }
+
+ChannelEndpoint SpectorDaemon::connect() {
+  auto pair = makeChannel(config_.channelCapacity, [this] { wake(); });
+  {
+    const std::scoped_lock lock(acceptMutex_);
+    if (acceptingClosed_) {
+      pair.server.close();
+      return pair.client;
+    }
+    accepted_.push_back(std::make_unique<Connection>(
+        nextConnId_++, pair.server, config_.subscriberQueueBytes,
+        config_.slowSubscriberPolicy));
+  }
+  wake();
+  return pair.client;
+}
+
+void SpectorDaemon::drain() {
+  pipeline_.drain();
+  // Folded is not yet published: wait for the loop to apply and fan out
+  // every queued digest, so callers observe snapshot == sum of deltas.
+  while (pendingPublishes_.load(std::memory_order_acquire) != 0 &&
+         !loopExited_.load(std::memory_order_acquire)) {
+    wake();
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+void SpectorDaemon::shutdown() {
+  {
+    const std::scoped_lock lock(acceptMutex_);
+    acceptingClosed_ = true;
+  }
+  if (!shutdownStarted_.exchange(true)) pipeline_.drain();
+  {
+    const std::scoped_lock lock(wakeMutex_);
+    stopRequested_ = true;
+    wakePending_ = true;
+  }
+  wakeCv_.notify_all();
+  if (loop_.joinable() && loop_.get_id() != std::this_thread::get_id())
+    loop_.join();
+}
+
+bool SpectorDaemon::running() const {
+  return !loopExited_.load(std::memory_order_acquire);
+}
+
+ingest::IngestMetrics SpectorDaemon::metrics() const {
+  ingest::IngestMetrics m = pipeline_.metrics();
+  const DaemonCounters c = counters();
+  m.sessionsOpened = c.sessionsOpened;
+  m.sessionsResumed = c.sessionsResumed;
+  m.subscriberDeltasSent = c.deltasSent;
+  m.subscriberDeltasDropped = c.deltasDropped;
+  m.subscriberSnapshotsResent = c.snapshotsResent;
+  m.subscribersDisconnected = c.subscribersDisconnected;
+  m.protocolGarbageBytes = c.garbageBytes;
+  m.protocolRejectedFrames = c.rejectedFrames;
+  return m;
+}
+
+DaemonCounters SpectorDaemon::counters() const {
+  const std::scoped_lock lock(countersMutex_);
+  return counters_;
+}
+
+void SpectorDaemon::wake() {
+  {
+    const std::scoped_lock lock(wakeMutex_);
+    wakePending_ = true;
+  }
+  wakeCv_.notify_all();
+}
+
+void SpectorDaemon::loopMain() {
+  bool stop = false;
+  while (!stop) {
+    {
+      std::unique_lock lock(wakeMutex_);
+      wakeCv_.wait_for(lock, 20ms,
+                       [&] { return wakePending_ || stopRequested_; });
+      wakePending_ = false;
+      stop = stopRequested_;
+    }
+    pumpOnce();
+  }
+
+  // Graceful exit: publish what's queued, say goodbye, flush what the
+  // peers will accept, close everything.
+  pumpOnce();
+  for (auto& conn : conns_) {
+    if (conn->closed()) continue;
+    conn->sendControl(FrameType::Bye, ByeMsg{"shutdown"}.encode());
+  }
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    bool allFlushed = true;
+    for (auto& conn : conns_) {
+      if (conn->closed()) continue;
+      conn->flushWrites();
+      allFlushed = allFlushed && conn->writeQueueEmpty();
+    }
+    if (allFlushed) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  for (auto& conn : conns_) conn->close();
+  loopExited_.store(true, std::memory_order_release);
+}
+
+bool SpectorDaemon::pumpOnce() {
+  bool worked = false;
+
+  {
+    const std::scoped_lock lock(acceptMutex_);
+    for (auto& conn : accepted_) conns_.push_back(std::move(conn));
+    accepted_.clear();
+  }
+
+  // Read + dispatch per connection.
+  for (auto& connPtr : conns_) {
+    Connection& conn = *connPtr;
+    if (conn.closed()) continue;
+    while (true) {
+      const std::size_t got = conn.pumpRead();
+      bool parsedAny = false;
+      while (auto frame = conn.nextFrame()) {
+        parsedAny = true;
+        worked = true;
+        handleFrame(conn, std::move(*frame));
+        if (conn.closed()) break;
+      }
+      if (conn.closed() || (got == 0 && !parsedAny)) break;
+    }
+    if (!conn.closed()) {
+      const auto& parser = conn.parser();
+      if (parser.garbageBytes() != conn.garbageFolded ||
+          parser.rejectedFrames() != conn.rejectedFolded) {
+        const std::scoped_lock lock(countersMutex_);
+        counters_.garbageBytes += parser.garbageBytes() - conn.garbageFolded;
+        counters_.rejectedFrames +=
+            parser.rejectedFrames() - conn.rejectedFolded;
+        conn.garbageFolded = parser.garbageBytes();
+        conn.rejectedFolded = parser.rejectedFrames();
+      }
+      if (conn.ackOwed) {
+        conn.ackOwed = false;
+        ReportAckMsg ack;
+        ack.ackedFrames = sessions_[conn.clientId].ackedFrames;
+        conn.sendControl(FrameType::ReportAck, ack.encode());
+      }
+    }
+  }
+
+  // Publish finalized runs: apply to the loop-owned mirror, fan out.
+  std::deque<ingest::RunDigest> digests;
+  {
+    const std::scoped_lock lock(publishMutex_);
+    digests.swap(publishQueue_);
+  }
+  for (const auto& digest : digests) {
+    worked = true;
+    applyDigest(digest);
+    publishDigest(digest);
+    pendingPublishes_.fetch_sub(1, std::memory_order_release);
+  }
+
+  // Snapshots owed (initial subscribes now include everything published
+  // above; resyncs wait for the queue to drain).
+  for (auto& connPtr : conns_) {
+    if (!connPtr->closed()) sendSnapshots(*connPtr);
+  }
+
+  // Flush, disconnect, reap.
+  for (auto& connPtr : conns_) {
+    Connection& conn = *connPtr;
+    if (conn.closed()) continue;
+    worked = conn.flushWrites() || worked;
+    if (conn.disconnectAfterFlush || conn.peerGone()) conn.close();
+  }
+  std::erase_if(conns_, [](const std::unique_ptr<Connection>& conn) {
+    return conn->closed();
+  });
+  return worked;
+}
+
+void SpectorDaemon::handleFrame(Connection& conn, Frame&& frame) {
+  try {
+    if (frame.type == FrameType::Hello) {
+      handleHello(conn, frame);
+      return;
+    }
+    if (frame.type == FrameType::Bye) {
+      conn.disconnectAfterFlush = true;
+      return;
+    }
+    if (!conn.helloDone) {
+      sendError(conn, 1, "handshake required before any other frame");
+      conn.disconnectAfterFlush = true;
+      return;
+    }
+    switch (frame.type) {
+      case FrameType::Report: {
+        if (conn.kind != ClientKind::Ingest) {
+          sendError(conn, 2, "Report on a non-ingest connection");
+          return;
+        }
+        pipeline_.submitDatagram(frame.body);
+        ++conn.stats.reportFrames;
+        ++sessions_[conn.clientId].ackedFrames;
+        conn.ackOwed = true;
+        return;
+      }
+      case FrameType::RunComplete: {
+        if (conn.kind != ClientKind::Ingest) {
+          sendError(conn, 2, "RunComplete on a non-ingest connection");
+          return;
+        }
+        core::SpabEnvelope env = core::SpabEnvelope::decode(frame.body);
+        RunAckMsg ack;
+        ack.jobIndex = env.jobIndex;
+        if (!config_.assignment.owns(env.artifacts.apkSha256)) {
+          ack.accepted = false;
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "apk owned by collector %u",
+                        config_.assignment.ownerOf(env.artifacts.apkSha256));
+          ack.reason = buf;
+          const std::scoped_lock lock(countersMutex_);
+          ++counters_.runsRefused;
+        } else {
+          pipeline_.submitRun(static_cast<std::size_t>(env.jobIndex),
+                              std::move(env.artifacts));
+          ack.accepted = true;
+          ++conn.stats.runFrames;
+          ++sessions_[conn.clientId].ackedRuns;
+        }
+        conn.sendControl(FrameType::RunAck, ack.encode());
+        return;
+      }
+      case FrameType::Subscribe: {
+        if (conn.kind != ClientKind::Dashboard) {
+          sendError(conn, 2, "Subscribe on a non-dashboard connection");
+          return;
+        }
+        const SubscribeMsg msg = SubscribeMsg::decode(frame.body);
+        conn.subscribed[topicIndex(msg.topic)] = true;
+        conn.needsSnapshot[topicIndex(msg.topic)] = true;
+        return;
+      }
+      case FrameType::Admin: {
+        if (conn.kind != ClientKind::Admin) {
+          sendError(conn, 2, "Admin on a non-admin connection");
+          return;
+        }
+        handleAdmin(conn, AdminMsg::decode(frame.body));
+        return;
+      }
+      default:
+        sendError(conn, 3, "unexpected frame type from client");
+        return;
+    }
+  } catch (const util::DecodeError& err) {
+    // The frame's crc passed but its body didn't decode: protocol skew,
+    // not line noise — tell the client and keep the connection.
+    sendError(conn, 4, err.what());
+  }
+}
+
+void SpectorDaemon::handleHello(Connection& conn, const Frame& frame) {
+  const HelloMsg msg = HelloMsg::decode(frame.body);
+  conn.helloDone = true;
+  conn.kind = msg.kind;
+  conn.clientId = msg.clientId;
+  SessionRecord& sess = sessions_[msg.clientId];
+  HelloAckMsg ack;
+  if (msg.resumeSession != 0 && msg.resumeSession == sess.token) {
+    ack.resumed = true;
+    const std::scoped_lock lock(countersMutex_);
+    ++counters_.sessionsResumed;
+  } else {
+    sess = SessionRecord{};
+    sess.token = nextSessionToken_++;
+    sess.kind = msg.kind;
+    const std::scoped_lock lock(countersMutex_);
+    ++counters_.sessionsOpened;
+  }
+  conn.session = sess.token;
+  ack.session = sess.token;
+  ack.ackedFrames = sess.ackedFrames;
+  ack.ackedRuns = sess.ackedRuns;
+  conn.sendControl(FrameType::HelloAck, ack.encode());
+}
+
+void SpectorDaemon::handleAdmin(Connection& conn, const AdminMsg& msg) {
+  AdminAckMsg ack;
+  ack.op = msg.op;
+  ack.ok = true;
+  switch (msg.op) {
+    case AdminOp::Drain: {
+      // Blocks the loop; an admin barrier is allowed to. The shard
+      // consumers do the draining, so this cannot deadlock on the loop.
+      pipeline_.drain();
+      ack.info = "drained";
+      break;
+    }
+    case AdminOp::Compact: {
+      if (!checkpoints_) {
+        ack.ok = false;
+        ack.info = "no checkpoint directory";
+        break;
+      }
+      const std::size_t removed =
+          orch::compactCheckpointDirectory(checkpoints_->directory());
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "compacted, %zu stale entries removed",
+                    removed);
+      ack.info = buf;
+      break;
+    }
+    case AdminOp::EvictApk: {
+      ack.ok = pipeline_.evictPending(msg.arg);
+      ack.info = ack.ok ? "evicted" : "no pending state for apk";
+      break;
+    }
+    case AdminOp::Resume: {
+      if (!checkpoints_) {
+        ack.ok = false;
+        ack.info = "no checkpoint directory";
+        break;
+      }
+      orch::RecoveryReport report =
+          orch::StudyRecovery::scan(checkpoints_->directory());
+      for (auto& run : report.runs)
+        pipeline_.replayRun(run.jobIndex, std::move(run.artifacts),
+                            run.account);
+      pipeline_.drain();
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "replayed %zu runs, quarantined %zu bundles",
+                    report.runs.size(), report.quarantined.size());
+      ack.info = buf;
+      break;
+    }
+    case AdminOp::Status: {
+      ack.info = statusJson();
+      break;
+    }
+    case AdminOp::Shutdown: {
+      {
+        const std::scoped_lock lock(acceptMutex_);
+        acceptingClosed_ = true;
+      }
+      if (!shutdownStarted_.exchange(true)) pipeline_.drain();
+      {
+        const std::scoped_lock lock(wakeMutex_);
+        stopRequested_ = true;
+      }
+      ack.info = "shutting down";
+      break;
+    }
+  }
+  conn.sendControl(FrameType::AdminAck, ack.encode());
+}
+
+void SpectorDaemon::sendError(Connection& conn, std::uint16_t code,
+                              std::string_view what) {
+  ErrorMsg err;
+  err.code = code;
+  err.message = std::string(what);
+  conn.sendControl(FrameType::Error, err.encode());
+  ++conn.stats.errorsSent;
+}
+
+void SpectorDaemon::applyDigest(const ingest::RunDigest& digest) {
+  ingest::RollingTotals& totals = dash_.totals;
+  ++totals.runsFolded;
+  totals.flowCount += digest.flowCount;
+  totals.attributedBytes += digest.attributedBytes;
+  totals.unattributedBytes += digest.unattributedBytes;
+  for (const auto& [lib, bytes] : digest.bytesByLibrary)
+    totals.bytesByLibrary[lib] += bytes;
+  for (const auto& [cat, bytes] : digest.bytesByLibCategory)
+    totals.bytesByLibCategory[cat] += bytes;
+  totals.bytesByApp[digest.apkSha256] += digest.attributedBytes;
+  dash_.accounts[digest.apkSha256] = digest.account;
+  dash_.reportsDelivered += digest.account.uniqueDelivered;
+  dash_.reportsLost += digest.account.lost;
+}
+
+void SpectorDaemon::publishDigest(const ingest::RunDigest& digest) {
+  // Encode each topic's delta at most once, shared across subscribers.
+  std::array<std::vector<std::uint8_t>, 4> bodies;
+  const auto bodyFor = [&](Topic topic) -> const std::vector<std::uint8_t>& {
+    std::vector<std::uint8_t>& body = bodies[topicIndex(topic)];
+    if (body.empty()) {
+      DeltaMsg delta;
+      delta.topic = topic;
+      delta.jobIndex = digest.jobIndex;
+      delta.apkSha256 = digest.apkSha256;
+      delta.replayed = digest.replayed;
+      delta.flowCount = digest.flowCount;
+      delta.attributedBytes = digest.attributedBytes;
+      delta.unattributedBytes = digest.unattributedBytes;
+      delta.bytesByLibrary = digest.bytesByLibrary;
+      delta.bytesByLibCategory = digest.bytesByLibCategory;
+      delta.account = digest.account;
+      delta.runsFolded = dash_.totals.runsFolded;
+      delta.expectedRuns = config_.expectedRuns;
+      delta.reportsDelivered = dash_.reportsDelivered;
+      delta.reportsLost = dash_.reportsLost;
+      body = delta.encode();
+    }
+    return body;
+  };
+
+  for (auto& connPtr : conns_) {
+    Connection& conn = *connPtr;
+    if (conn.closed() || !conn.helloDone || conn.kind != ClientKind::Dashboard)
+      continue;
+    for (const Topic topic : kTopics) {
+      const std::size_t i = topicIndex(topic);
+      // A connection awaiting a snapshot skips deltas: the runs they carry
+      // are already inside the snapshot it will get.
+      if (!conn.subscribed[i] || conn.needsSnapshot[i]) continue;
+      if (conn.sendDelta(bodyFor(topic))) {
+        const std::scoped_lock lock(countersMutex_);
+        ++counters_.deltasSent;
+        continue;
+      }
+      {
+        const std::scoped_lock lock(countersMutex_);
+        ++counters_.deltasDropped;
+      }
+      if (config_.slowSubscriberPolicy == SlowSubscriberPolicy::DropAndResync) {
+        conn.needsSnapshot[i] = true;
+        conn.resyncSnapshot[i] = true;
+      } else {
+        conn.sendControl(FrameType::Bye, ByeMsg{"slow subscriber"}.encode());
+        conn.disconnectAfterFlush = true;
+        const std::scoped_lock lock(countersMutex_);
+        ++counters_.subscribersDisconnected;
+        break;
+      }
+    }
+  }
+}
+
+void SpectorDaemon::sendSnapshots(Connection& conn) {
+  if (!conn.helloDone || conn.kind != ClientKind::Dashboard) return;
+  for (const Topic topic : kTopics) {
+    const std::size_t i = topicIndex(topic);
+    if (!conn.subscribed[i] || !conn.needsSnapshot[i]) continue;
+    // A resync waits until the laggard drained its queue — re-queueing a
+    // snapshot behind a full queue would grow it without bound.
+    if (conn.resyncSnapshot[i] && !conn.writeQueueEmpty()) continue;
+    conn.sendControl(FrameType::Snapshot, buildSnapshot(topic).encode());
+    ++conn.stats.snapshotsSent;
+    if (conn.resyncSnapshot[i]) {
+      const std::scoped_lock lock(countersMutex_);
+      ++counters_.snapshotsResent;
+    }
+    conn.needsSnapshot[i] = false;
+    conn.resyncSnapshot[i] = false;
+  }
+}
+
+SnapshotMsg SpectorDaemon::buildSnapshot(Topic topic) const {
+  SnapshotMsg snap;
+  snap.topic = topic;
+  switch (topic) {
+    case Topic::Totals:
+      snap.totals = dash_.totals;
+      break;
+    case Topic::Loss:
+      snap.accounts.assign(dash_.accounts.begin(), dash_.accounts.end());
+      break;
+    case Topic::Progress:
+      break;
+  }
+  // Progress counters ride along on every snapshot (they are cheap and
+  // make any snapshot self-describing about how far the study is).
+  snap.runsFolded = dash_.totals.runsFolded;
+  snap.expectedRuns = config_.expectedRuns;
+  snap.reportsDelivered = dash_.reportsDelivered;
+  snap.reportsLost = dash_.reportsLost;
+  return snap;
+}
+
+std::string SpectorDaemon::statusJson() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"collector_index\": %u, \"collector_count\": %u, "
+      "\"connections\": %zu, \"sessions\": %zu, \"runs_folded\": %llu, "
+      "\"expected_runs\": %llu, \"checkpointing\": %s}",
+      config_.assignment.index, config_.assignment.count, conns_.size(),
+      sessions_.size(),
+      static_cast<unsigned long long>(dash_.totals.runsFolded),
+      static_cast<unsigned long long>(config_.expectedRuns),
+      checkpoints_ ? "true" : "false");
+  return buf;
+}
+
+}  // namespace libspector::spectord

@@ -1,0 +1,225 @@
+// spectord: the long-running collector daemon.
+//
+// Everything PRs 2–6 built runs in-process under orch::runStudy; the
+// paper's Libspector is a *service* — a fleet of instrumented emulators
+// streams reports at a collector that aggregates continuously and answers
+// live queries. SpectorDaemon is that service shape, layered over
+// ingest::IngestPipeline:
+//
+//  - clients connect over simulated duplex channels and speak the framed
+//    protocol (protocol.hpp) on three surfaces: report ingest (with
+//    session handshake + sequence resume), dashboard subscriptions
+//    (snapshot-on-subscribe + per-run delta frames) and admin ops;
+//  - one event-loop thread owns every connection (the async-server
+//    idiom): it pumps reads into incremental parsers, dispatches frames,
+//    applies run digests to a loop-owned dashboard mirror, fans deltas
+//    out to subscribers through bounded write queues, and enforces the
+//    slow-subscriber policy — ingest never blocks on a dashboard;
+//  - heavy work stays where PR 2 put it: shard consumer threads attribute
+//    and fold runs inside the pipeline; they only hand the loop a
+//    ingest::RunDigest through a queue.
+//
+// Consistency contract of the dashboard surface: snapshots and deltas for
+// one connection are emitted by the same thread from the same mirror, so
+// a subscriber that folds every delta into its snapshot reconstructs the
+// daemon's state *exactly* (no double counting across the subscribe
+// boundary, no missed runs) — the dashboard tests pin this.
+//
+// Multi-collector mode: each daemon owns a contiguous slice of the 64-bit
+// fnv1a hash of apk-sha space (CollectorAssignment). RunComplete uploads
+// for apks outside the slice are refused, so N collectors partition a
+// study; orch::mergeStudies proves the merged result byte-identical to a
+// single collector.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "ingest/pipeline.hpp"
+#include "orch/recovery.hpp"
+#include "spectord/connection.hpp"
+#include "spectord/protocol.hpp"
+
+namespace libspector::spectord {
+
+/// Which slice of sha-space one collector owns: collector `i` of `count`
+/// owns the apks whose fnv1a64(sha256) falls in the i-th contiguous range
+/// of the 64-bit hash space. Contiguous ranges (not modulo) so growing
+/// the collector count splits ranges instead of reshuffling every apk.
+struct CollectorAssignment {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+
+  [[nodiscard]] std::uint32_t ownerOf(const std::string& apkSha256) const;
+  [[nodiscard]] bool owns(const std::string& apkSha256) const {
+    return ownerOf(apkSha256) == index;
+  }
+};
+
+struct DaemonConfig {
+  ingest::IngestConfig ingest;
+  /// Total runs this collector expects (its share of the study), for the
+  /// Progress topic. 0 = unknown.
+  std::uint64_t expectedRuns = 0;
+  /// Checkpoint directory for crash-safe `.spab` persistence; empty runs
+  /// the daemon in-memory only (no checkpoints, no admin resume).
+  std::string checkpointDirectory;
+  CollectorAssignment assignment;
+  /// Per-direction byte capacity of each client channel (the simulated
+  /// kernel buffer).
+  std::size_t channelCapacity = 64 * 1024;
+  /// Write-queue budget per connection before the slow-subscriber policy
+  /// applies to delta frames.
+  std::size_t subscriberQueueBytes = 256 * 1024;
+  SlowSubscriberPolicy slowSubscriberPolicy =
+      SlowSubscriberPolicy::DropAndResync;
+};
+
+/// Daemon-level counters (merged into IngestMetrics by metrics()).
+struct DaemonCounters {
+  std::uint64_t sessionsOpened = 0;
+  std::uint64_t sessionsResumed = 0;
+  std::uint64_t deltasSent = 0;
+  std::uint64_t deltasDropped = 0;
+  std::uint64_t snapshotsResent = 0;
+  std::uint64_t subscribersDisconnected = 0;
+  std::uint64_t garbageBytes = 0;
+  std::uint64_t rejectedFrames = 0;
+  std::uint64_t runsRefused = 0;  // RunComplete outside the owned slice
+};
+
+class SpectorDaemon {
+ public:
+  /// `attribute` / `attributeColumns` / `accumulator` are the pipeline's
+  /// usual wiring (pipeline.hpp). When `config.checkpointDirectory` is
+  /// set the daemon owns an orch::CheckpointWriter and persists every
+  /// fresh run before it is published; `checkpointProbe` is the
+  /// crash-injection hook for it.
+  explicit SpectorDaemon(
+      DaemonConfig config, ingest::IngestPipeline::AttributeFn attribute,
+      ingest::IngestPipeline::AttributeColumnsFn attributeColumns = {},
+      core::StudyAccumulator* accumulator = nullptr,
+      orch::KillProbe checkpointProbe = {});
+  ~SpectorDaemon();
+
+  SpectorDaemon(const SpectorDaemon&) = delete;
+  SpectorDaemon& operator=(const SpectorDaemon&) = delete;
+
+  /// Open a connection; returns the client end of a fresh duplex channel.
+  /// Thread-safe. A connection opened after shutdown() is returned
+  /// already closed.
+  [[nodiscard]] ChannelEndpoint connect();
+
+  /// Block until everything submitted so far is folded, checkpointed and
+  /// published. Callable from any thread except the event loop's clients'
+  /// frame handlers (the admin Drain op is how clients reach it).
+  void drain();
+
+  /// Graceful shutdown: drain the pipeline (flushing `.spab`
+  /// checkpoints), Bye every client, close every channel, stop the loop.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  [[nodiscard]] bool running() const;
+
+  [[nodiscard]] ingest::RollingTotals rollingTotals() const {
+    return pipeline_.rollingTotals();
+  }
+  /// Pipeline metrics with the daemon's service counters merged in.
+  [[nodiscard]] ingest::IngestMetrics metrics() const;
+  [[nodiscard]] DaemonCounters counters() const;
+
+  /// Direct pipeline access for in-process producers (the cluster driver
+  /// replays recovered runs through this).
+  [[nodiscard]] ingest::IngestPipeline& pipeline() noexcept {
+    return pipeline_;
+  }
+  [[nodiscard]] const DaemonConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Loop-owned mirror of the publishable state. Snapshots are built from
+  /// this (never from the pipeline directly) so that snapshot + later
+  /// deltas is an exact reconstruction — the pipeline's own rolling view
+  /// may already include runs whose digests are still queued.
+  struct DashboardState {
+    ingest::RollingTotals totals;
+    std::map<std::string, core::ApkLossAccount> accounts;  // sha-sorted
+    std::uint64_t reportsDelivered = 0;
+    std::uint64_t reportsLost = 0;
+  };
+
+  /// Cross-connection client session: survives disconnects so a
+  /// reconnecting client can resume and re-send only its unacked tail.
+  struct SessionRecord {
+    std::uint64_t token = 0;
+    ClientKind kind = ClientKind::Ingest;
+    std::uint64_t ackedFrames = 0;  // report frames accepted, cumulative
+    std::uint64_t ackedRuns = 0;    // run bundles accepted, cumulative
+  };
+
+  void loopMain();
+  void wake();
+  /// True when the loop has outstanding work (reads pending, publish
+  /// queue non-empty, writes queued).
+  bool pumpOnce();
+
+  void handleFrame(Connection& conn, Frame&& frame);
+  void handleHello(Connection& conn, const Frame& frame);
+  void handleAdmin(Connection& conn, const AdminMsg& msg);
+  void sendError(Connection& conn, std::uint16_t code, std::string_view what);
+
+  void applyDigest(const ingest::RunDigest& digest);
+  void publishDigest(const ingest::RunDigest& digest);
+  void sendSnapshots(Connection& conn);
+  [[nodiscard]] SnapshotMsg buildSnapshot(Topic topic) const;
+  [[nodiscard]] std::string statusJson() const;
+
+  DaemonConfig config_;
+  std::optional<orch::CheckpointWriter> checkpoints_;
+  ingest::IngestPipeline pipeline_;
+
+  // Event-loop wake machinery (channel activity, publishes, connects).
+  std::mutex wakeMutex_;
+  std::condition_variable wakeCv_;
+  bool wakePending_ = false;
+  bool stopRequested_ = false;
+  std::atomic<bool> shutdownStarted_{false};
+  std::atomic<bool> loopExited_{false};
+  /// Digests enqueued but not yet fanned out (drain() waits on zero).
+  std::atomic<std::uint64_t> pendingPublishes_{0};
+
+  // New connections parked until the loop adopts them.
+  std::mutex acceptMutex_;
+  std::vector<std::unique_ptr<Connection>> accepted_;
+  std::uint64_t nextConnId_ = 1;
+  bool acceptingClosed_ = false;
+
+  // Digests queued by shard consumer threads for the loop to publish.
+  std::mutex publishMutex_;
+  std::deque<ingest::RunDigest> publishQueue_;
+
+  // Loop-owned state (no lock: only loopMain touches these).
+  std::vector<std::unique_ptr<Connection>> conns_;
+  DashboardState dash_;
+  std::map<std::uint64_t, SessionRecord> sessions_;  // by clientId
+  std::uint64_t nextSessionToken_ = 1;
+
+  mutable std::mutex countersMutex_;
+  DaemonCounters counters_;
+
+  std::thread loop_;  // last-ish: joined in shutdown()
+};
+
+}  // namespace libspector::spectord

@@ -1,0 +1,75 @@
+// The default report wire is now ReportFrame v3 (dictionary frames): the
+// collector has spoken v3 end-to-end since the ingest dictionary path
+// landed, so the fleet default flips on. Two things must stay true:
+//
+//  1. The rendered study is byte-identical to the old v1-wire default —
+//     v3 changes only the size of Libspector's own report datagrams,
+//     which no figure or table consumes.
+//  2. The flip actually buys the compression it exists for: the capture's
+//     recorded report bytes shrink.
+//
+// The v1/v2/v3 codec golden vectors live in tests/core/report_test.cpp
+// and are independent of this default.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/export.hpp"
+#include "orch/emulator.hpp"
+#include "orch/study.hpp"
+
+namespace libspector::orch {
+namespace {
+
+StudyConfig smallConfig() {
+  StudyConfig config;
+  config.store.appCount = 20;
+  config.store.seed = 11;
+  config.store.methodScale = 0.05;
+  config.dispatcher.emulator.monkey.events = 100;
+  config.dispatcher.emulator.monkey.throttleMs = 50;
+  return config;
+}
+
+/// Render every figure dataset plus the markdown report into one string:
+/// if two studies agree on all of it byte for byte, they are the same
+/// study for every consumer this repository has.
+std::string renderStudy(const core::StudyAggregator& study) {
+  std::ostringstream out;
+  core::writeFig2Csv(study, out);
+  core::writeTopLibrariesCsv(study, 25, out);
+  core::writeCdfCsv(study, out);
+  core::writeFlowRatiosCsv(study, out);
+  core::writeAntSharesCsv(study, out);
+  core::writeCategoryAveragesCsv(study, out);
+  core::writeHeatmapCsv(study, out);
+  core::writeCoverageCsv(study, out);
+  core::writeStudyReport(study, out);
+  return out.str();
+}
+
+TEST(DefaultWireTest, DictionaryFramesDefaultsOn) {
+  EXPECT_TRUE(EmulatorConfig{}.dictionaryFrames);
+  EXPECT_TRUE(StudyConfig{}.dispatcher.emulator.dictionaryFrames);
+}
+
+TEST(DefaultWireTest, DefaultStudyByteIdenticalToLegacyV1Wire) {
+  const auto modern = runStudy(smallConfig());
+
+  auto legacyConfig = smallConfig();
+  legacyConfig.dispatcher.emulator.dictionaryFrames = false;
+  const auto legacy = runStudy(legacyConfig);
+
+  EXPECT_EQ(modern.appsProcessed, legacy.appsProcessed);
+  EXPECT_EQ(renderStudy(modern.study), renderStudy(legacy.study));
+
+  // The wire itself must differ in exactly the advertised direction:
+  // report datagrams shrink, everything else in the capture is untouched.
+  EXPECT_LT(modern.study.udpStats().reportBytes,
+            legacy.study.udpStats().reportBytes);
+  EXPECT_EQ(modern.study.udpStats().udpBytes, legacy.study.udpStats().udpBytes);
+  EXPECT_EQ(modern.study.udpStats().dnsBytes, legacy.study.udpStats().dnsBytes);
+}
+
+}  // namespace
+}  // namespace libspector::orch

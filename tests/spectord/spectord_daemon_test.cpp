@@ -1,0 +1,503 @@
+// The spectord daemon end to end over simulated duplex channels: session
+// handshake + resume, wire ingest equal to the in-process pipeline, exact
+// loss accounting through a chaos channel, dashboard mirrors that
+// reconstruct daemon state byte-for-byte from snapshot + deltas, bounded
+// slow-subscriber handling under both policies, and the admin surface
+// (status, evict, drain, resume-from-checkpoint, shutdown).
+#include "spectord/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/attribution.hpp"
+#include "ingest/chaos.hpp"
+#include "orch/emulator.hpp"
+#include "radar/corpus.hpp"
+#include "spectord/client.hpp"
+#include "store/generator.hpp"
+#include "vtsim/categorizer.hpp"
+
+namespace libspector::spectord {
+namespace {
+
+using namespace std::chrono_literals;
+
+class SpectordDaemonTest : public ::testing::Test {
+ protected:
+  SpectordDaemonTest()
+      : generator_(storeConfig()),
+        corpus_(radar::LibraryCorpus::builtin()),
+        categorizer_(vtsim::defaultVendorPanel(),
+                     [this](const std::string& domain) {
+                       return generator_.domainTruth(domain);
+                     }),
+        attributor_(corpus_, categorizer_) {}
+
+  static store::StoreConfig storeConfig() {
+    store::StoreConfig config;
+    config.appCount = 8;
+    config.seed = 42;
+    config.methodScale = 0.05;
+    return config;
+  }
+
+  static DaemonConfig daemonConfig() {
+    DaemonConfig config;
+    config.ingest.shards = 2;
+    return config;
+  }
+
+  std::unique_ptr<SpectorDaemon> makeDaemon(DaemonConfig config) {
+    return std::make_unique<SpectorDaemon>(
+        std::move(config), [this](const core::RunArtifacts& artifacts) {
+          return attributor_.attribute(artifacts);
+        });
+  }
+
+  core::RunArtifacts runApp(std::size_t index, ingest::ReportSink* collector) {
+    orch::EmulatorConfig config;
+    config.monkey.events = 80;
+    config.monkey.throttleMs = 50;
+    config.seed = 1000 + index;
+    config.workerId = static_cast<std::uint32_t>(index);
+    orch::EmulatorInstance emulator(generator_.farm(), collector, config);
+    const auto job = generator_.makeJob(index);
+    return emulator.run(job.apk, job.program);
+  }
+
+  store::AppStoreGenerator generator_;
+  radar::LibraryCorpus corpus_;
+  vtsim::DomainCategorizer categorizer_;
+  core::TrafficAttributor attributor_;
+};
+
+TEST_F(SpectordDaemonTest, FramesBeforeHelloAreRejected) {
+  auto daemon = makeDaemon(daemonConfig());
+  ClientChannel channel(daemon->connect());
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  ASSERT_TRUE(channel.send(FrameType::Report, payload));
+  const auto frame = channel.read(5000ms);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, FrameType::Error);
+  EXPECT_EQ(ErrorMsg::decode(frame->body).code, 1u);
+}
+
+TEST_F(SpectordDaemonTest, WrongSurfaceFrameIsRejected) {
+  auto daemon = makeDaemon(daemonConfig());
+  DashboardClient dashboard(daemon->connect(), /*clientId=*/77);
+  // A dashboard connection must not be able to inject reports.
+  // Reach under the client: open a second raw channel as Dashboard.
+  ClientChannel channel(daemon->connect());
+  HelloMsg hello;
+  hello.clientId = 78;
+  hello.kind = ClientKind::Dashboard;
+  ASSERT_TRUE(channel.send(FrameType::Hello, hello.encode()));
+  auto ack = channel.read(5000ms);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, FrameType::HelloAck);
+  const std::vector<std::uint8_t> payload = {9, 9};
+  ASSERT_TRUE(channel.send(FrameType::Report, payload));
+  const auto frame = channel.read(5000ms);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, FrameType::Error);
+  EXPECT_EQ(ErrorMsg::decode(frame->body).code, 2u);
+}
+
+TEST_F(SpectordDaemonTest, WireIngestMatchesInProcessPipeline) {
+  // Daemon side: datagrams and run uploads cross the framed protocol.
+  auto daemon = makeDaemon(daemonConfig());
+  {
+    IngestClient client(daemon->connect(), /*clientId=*/1);
+    for (std::size_t i = 0; i < 4; ++i) {
+      auto artifacts = runApp(i, &client);
+      const RunAckMsg ack = client.completeRun(i, artifacts);
+      EXPECT_TRUE(ack.accepted) << ack.reason;
+    }
+    EXPECT_TRUE(client.waitAckedFrames(client.framesSent(), 10000ms));
+    client.bye();
+  }
+  daemon->drain();
+
+  // Reference side: the same runs submitted straight into a pipeline.
+  ingest::IngestPipeline pipeline(
+      daemonConfig().ingest, [this](const core::RunArtifacts& artifacts) {
+        return attributor_.attribute(artifacts);
+      });
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto artifacts = runApp(i, &pipeline);
+    pipeline.submitRun(i, std::move(artifacts));
+  }
+  pipeline.drain();
+
+  const auto wire = daemon->rollingTotals();
+  const auto direct = pipeline.rollingTotals();
+  EXPECT_EQ(wire.runsFolded, direct.runsFolded);
+  EXPECT_EQ(wire.flowCount, direct.flowCount);
+  EXPECT_EQ(wire.attributedBytes, direct.attributedBytes);
+  EXPECT_EQ(wire.unattributedBytes, direct.unattributedBytes);
+  EXPECT_EQ(wire.bytesByLibrary, direct.bytesByLibrary);
+  EXPECT_EQ(wire.bytesByLibCategory, direct.bytesByLibCategory);
+  EXPECT_EQ(wire.bytesByApp, direct.bytesByApp);
+
+  const auto metrics = daemon->metrics();
+  EXPECT_EQ(metrics.runsCompleted, 4u);
+  EXPECT_EQ(metrics.reportsLost, 0u);
+  EXPECT_EQ(metrics.sessionsOpened, 1u);
+}
+
+TEST_F(SpectordDaemonTest, ChaosChannelDamageIsAccountedExactly) {
+  auto daemon = makeDaemon(daemonConfig());
+  IngestClient client(daemon->connect(), /*clientId=*/5);
+
+  ingest::ChaosConfig chaosConfig;
+  chaosConfig.lossProb = 0.05;
+  chaosConfig.dupProb = 0.05;
+  chaosConfig.reorderWindow = 4;
+  chaosConfig.seed = 7;
+  ingest::ChaosChannel chaos(client, chaosConfig);
+
+  struct Expected {
+    std::string sha;
+    std::uint64_t emitted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+  };
+  std::vector<Expected> expected;
+  for (std::size_t i = 0; i < generator_.appCount(); ++i) {
+    const std::uint64_t droppedBefore = chaos.dropped();
+    const std::uint64_t duplicatedBefore = chaos.duplicated();
+    auto artifacts = runApp(i, &chaos);
+    chaos.flush();
+    Expected e;
+    e.sha = artifacts.apkSha256;
+    e.emitted = artifacts.reportsEmitted;
+    e.dropped = chaos.dropped() - droppedBefore;
+    e.duplicated = chaos.duplicated() - duplicatedBefore;
+    expected.push_back(e);
+    const RunAckMsg ack = client.completeRun(i, artifacts);
+    EXPECT_TRUE(ack.accepted);
+  }
+  daemon->drain();
+
+  // The daemon survived the damaged stream and reconstructed the channel's
+  // exact per-apk damage from sequence accounting alone.
+  const auto accounts = daemon->pipeline().lossAccounts();
+  ASSERT_EQ(accounts.size(), expected.size());
+  bool anyDamage = false;
+  for (const auto& e : expected) {
+    ASSERT_TRUE(accounts.contains(e.sha)) << e.sha;
+    const auto& account = accounts.at(e.sha);
+    EXPECT_EQ(account.reportsEmitted, e.emitted) << e.sha;
+    EXPECT_EQ(account.lost, e.dropped) << e.sha;
+    EXPECT_EQ(account.duplicated, e.duplicated) << e.sha;
+    EXPECT_EQ(account.uniqueDelivered, e.emitted - e.dropped) << e.sha;
+    anyDamage = anyDamage || account.lost + account.duplicated > 0;
+  }
+  EXPECT_TRUE(anyDamage) << "chaos injected no faults; test is vacuous";
+
+  // Every frame the client actually put on the wire was acked.
+  EXPECT_TRUE(client.waitAckedFrames(client.framesSent(), 10000ms));
+  client.bye();
+}
+
+TEST_F(SpectordDaemonTest, SessionResumesAcrossReconnect) {
+  auto daemon = makeDaemon(daemonConfig());
+  std::uint64_t token = 0;
+  std::uint64_t sent = 0;
+  {
+    IngestClient client(daemon->connect(), /*clientId=*/9);
+    EXPECT_FALSE(client.resumed());
+    auto artifacts = runApp(0, &client);
+    const RunAckMsg ack = client.completeRun(0, artifacts);
+    EXPECT_TRUE(ack.accepted);
+    ASSERT_TRUE(client.waitAckedFrames(client.framesSent(), 10000ms));
+    token = client.sessionToken();
+    sent = client.framesSent();
+    // Drop the connection without a Bye: a crashed fleet worker.
+  }
+  daemon->drain();
+
+  {
+    // Same clientId + the session token: the daemon reports everything it
+    // already accepted, so the client re-sends only the unacked tail
+    // (here: nothing).
+    IngestClient client(daemon->connect(), /*clientId=*/9, token);
+    EXPECT_TRUE(client.resumed());
+    EXPECT_EQ(client.ackedFrames(), sent);
+    EXPECT_EQ(client.ackedRuns(), 1u);
+  }
+  {
+    // Wrong token: fresh session, no inherited acks.
+    IngestClient client(daemon->connect(), /*clientId=*/9, token + 999);
+    EXPECT_FALSE(client.resumed());
+    EXPECT_EQ(client.ackedFrames(), 0u);
+  }
+  const auto counters = daemon->counters();
+  EXPECT_EQ(counters.sessionsResumed, 1u);
+  EXPECT_EQ(counters.sessionsOpened, 2u);
+}
+
+TEST_F(SpectordDaemonTest, DashboardMirrorReconstructsDaemonStateExactly) {
+  auto daemon = makeDaemon(daemonConfig());
+
+  // First subscriber sees an empty snapshot, then every run as a delta.
+  DashboardClient early(daemon->connect(), /*clientId=*/100);
+  early.subscribe(Topic::Totals);
+  early.subscribe(Topic::Loss);
+  early.subscribe(Topic::Progress);
+  ASSERT_TRUE(early.waitForSnapshot(Topic::Totals, 5000ms));
+
+  IngestClient client(daemon->connect(), /*clientId=*/2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto artifacts = runApp(i, &client);
+    client.completeRun(i, artifacts);
+    if (i == 1) {
+      // Second subscriber joins mid-study: snapshot + remaining deltas
+      // must land on the same final state (no double count across the
+      // subscribe boundary, no missed run).
+      daemon->drain();
+    }
+  }
+  daemon->drain();
+
+  DashboardClient late(daemon->connect(), /*clientId=*/101);
+  late.subscribe(Topic::Totals);
+  late.subscribe(Topic::Loss);
+  late.subscribe(Topic::Progress);
+
+  ASSERT_TRUE(early.waitForRuns(4, 10000ms));
+  ASSERT_TRUE(late.waitForRuns(4, 10000ms));
+
+  const auto reference = daemon->rollingTotals();
+  for (const DashboardClient* dashboard : {&early, &late}) {
+    const DashboardMirror& mirror = dashboard->mirror();
+    EXPECT_EQ(mirror.totals.runsFolded, reference.runsFolded);
+    EXPECT_EQ(mirror.totals.flowCount, reference.flowCount);
+    EXPECT_EQ(mirror.totals.attributedBytes, reference.attributedBytes);
+    EXPECT_EQ(mirror.totals.unattributedBytes, reference.unattributedBytes);
+    EXPECT_EQ(mirror.totals.bytesByLibrary, reference.bytesByLibrary);
+    EXPECT_EQ(mirror.totals.bytesByLibCategory, reference.bytesByLibCategory);
+    EXPECT_EQ(mirror.totals.bytesByApp, reference.bytesByApp);
+    // Loss topic: exact per-apk accounts.
+    const auto accounts = daemon->pipeline().lossAccounts();
+    ASSERT_EQ(mirror.accounts.size(), accounts.size());
+    for (const auto& [sha, account] : mirror.accounts) {
+      ASSERT_TRUE(accounts.contains(sha));
+      EXPECT_EQ(account, accounts.at(sha));
+    }
+    // Progress topic.
+    EXPECT_EQ(mirror.runsFolded, 4u);
+  }
+  EXPECT_GT(early.deltasReceived(), 0u);
+  EXPECT_GT(daemon->metrics().subscriberDeltasSent, 0u);
+  EXPECT_EQ(daemon->metrics().subscriberDeltasDropped, 0u);
+  client.bye();
+}
+
+TEST_F(SpectordDaemonTest, SlowSubscriberIsBoundedAndResyncsWithoutStallingIngest) {
+  auto config = daemonConfig();
+  // A budget small enough that a non-polling subscriber overflows fast.
+  config.subscriberQueueBytes = 256;
+  config.slowSubscriberPolicy = SlowSubscriberPolicy::DropAndResync;
+  auto daemon = makeDaemon(std::move(config));
+
+  DashboardClient dashboard(daemon->connect(), /*clientId=*/200);
+  dashboard.subscribe(Topic::Totals);
+  ASSERT_TRUE(dashboard.waitForSnapshot(Topic::Totals, 5000ms));
+
+  // The subscriber goes silent; ingest must finish regardless.
+  IngestClient client(daemon->connect(), /*clientId=*/3);
+  for (std::size_t i = 0; i < generator_.appCount(); ++i) {
+    auto artifacts = runApp(i, &client);
+    const RunAckMsg ack = client.completeRun(i, artifacts);
+    ASSERT_TRUE(ack.accepted);
+  }
+  daemon->drain();
+  EXPECT_EQ(daemon->rollingTotals().runsFolded, generator_.appCount());
+
+  // With a 256-byte budget and a silent reader the policy kicked in: at
+  // least one delta was dropped (arming the resync), and once armed the
+  // remaining runs ride the pending snapshot instead of the delta stream,
+  // so attempts never exceed one per run for the one subscribed topic.
+  const auto metrics = daemon->metrics();
+  EXPECT_GT(metrics.subscriberDeltasDropped, 0u);
+  EXPECT_LE(metrics.subscriberDeltasSent + metrics.subscriberDeltasDropped,
+            generator_.appCount());
+  EXPECT_EQ(metrics.subscribersDisconnected, 0u);
+
+  // Once the subscriber drains, the resync snapshot restores exactness.
+  ASSERT_TRUE(dashboard.waitForRuns(generator_.appCount(), 10000ms));
+  EXPECT_GE(dashboard.snapshotsReceived(Topic::Totals), 2u);
+  const auto reference = daemon->rollingTotals();
+  EXPECT_EQ(dashboard.mirror().totals.bytesByApp, reference.bytesByApp);
+  EXPECT_EQ(dashboard.mirror().totals.attributedBytes,
+            reference.attributedBytes);
+  EXPECT_GT(daemon->metrics().subscriberSnapshotsResent, 0u);
+  client.bye();
+}
+
+TEST_F(SpectordDaemonTest, SlowSubscriberDisconnectPolicyCutsTheClient) {
+  auto config = daemonConfig();
+  config.subscriberQueueBytes = 256;
+  config.slowSubscriberPolicy = SlowSubscriberPolicy::Disconnect;
+  auto daemon = makeDaemon(std::move(config));
+
+  DashboardClient dashboard(daemon->connect(), /*clientId=*/201);
+  dashboard.subscribe(Topic::Totals);
+  ASSERT_TRUE(dashboard.waitForSnapshot(Topic::Totals, 5000ms));
+
+  IngestClient client(daemon->connect(), /*clientId=*/4);
+  for (std::size_t i = 0; i < generator_.appCount(); ++i) {
+    auto artifacts = runApp(i, &client);
+    ASSERT_TRUE(client.completeRun(i, artifacts).accepted);
+  }
+  daemon->drain();
+
+  // Ingest finished at full exactness; the slow dashboard was cut loose.
+  EXPECT_EQ(daemon->rollingTotals().runsFolded, generator_.appCount());
+  EXPECT_EQ(daemon->metrics().subscribersDisconnected, 1u);
+
+  // The client observes the Bye (or the close racing it).
+  dashboard.poll(2000ms);
+  EXPECT_TRUE(dashboard.byeReceived() || dashboard.peerClosed());
+  client.bye();
+}
+
+TEST_F(SpectordDaemonTest, AdminStatusDrainAndEvict) {
+  auto daemon = makeDaemon(daemonConfig());
+  AdminClient admin(daemon->connect(), /*clientId=*/300);
+
+  const AdminAckMsg status = admin.request(AdminOp::Status);
+  EXPECT_TRUE(status.ok);
+  EXPECT_NE(status.info.find("\"runs_folded\""), std::string::npos);
+
+  // Stream a run's datagrams but never complete the run: pending state.
+  IngestClient client(daemon->connect(), /*clientId=*/6);
+  auto artifacts = runApp(0, &client);
+  ASSERT_TRUE(client.waitAckedFrames(client.framesSent(), 10000ms));
+  const AdminAckMsg drained = admin.request(AdminOp::Drain);
+  EXPECT_TRUE(drained.ok);
+
+  const AdminAckMsg evicted = admin.request(AdminOp::EvictApk,
+                                            artifacts.apkSha256);
+  EXPECT_TRUE(evicted.ok) << evicted.info;
+  // Second evict: nothing left.
+  const AdminAckMsg again = admin.request(AdminOp::EvictApk,
+                                          artifacts.apkSha256);
+  EXPECT_FALSE(again.ok);
+  std::uint64_t evictedApks = 0;
+  for (const auto& shard : daemon->metrics().perShard)
+    evictedApks += shard.apksEvicted;
+  EXPECT_EQ(evictedApks, 1u);
+  client.bye();
+}
+
+TEST_F(SpectordDaemonTest, AdminResumeReplaysCheckpointsAndShutdownStops) {
+  const auto directory =
+      std::filesystem::temp_directory_path() / "spectord_admin_resume";
+  std::filesystem::remove_all(directory);
+
+  ingest::RollingTotals before;
+  {
+    auto config = daemonConfig();
+    config.checkpointDirectory = directory.string();
+    auto daemon = makeDaemon(std::move(config));
+    IngestClient client(daemon->connect(), /*clientId=*/7);
+    for (std::size_t i = 0; i < 3; ++i) {
+      auto artifacts = runApp(i, &client);
+      ASSERT_TRUE(client.completeRun(i, artifacts).accepted);
+    }
+    daemon->drain();
+    before = daemon->rollingTotals();
+    client.bye();
+    daemon->shutdown();
+    EXPECT_FALSE(daemon->running());
+  }
+
+  {
+    auto config = daemonConfig();
+    config.checkpointDirectory = directory.string();
+    auto daemon = makeDaemon(std::move(config));
+    AdminClient admin(daemon->connect(), /*clientId=*/301);
+
+    const AdminAckMsg compacted = admin.request(AdminOp::Compact);
+    EXPECT_TRUE(compacted.ok);
+
+    const AdminAckMsg resumed = admin.request(AdminOp::Resume);
+    EXPECT_TRUE(resumed.ok);
+    EXPECT_NE(resumed.info.find("replayed 3 runs"), std::string::npos)
+        << resumed.info;
+
+    const auto after = daemon->rollingTotals();
+    EXPECT_EQ(after.runsFolded, before.runsFolded);
+    EXPECT_EQ(after.attributedBytes, before.attributedBytes);
+    EXPECT_EQ(after.bytesByApp, before.bytesByApp);
+    EXPECT_EQ(after.bytesByLibrary, before.bytesByLibrary);
+
+    // Graceful shutdown over the wire: the daemon stops and further
+    // connects come back closed.
+    const AdminAckMsg bye = admin.request(AdminOp::Shutdown);
+    EXPECT_TRUE(bye.ok);
+    for (int i = 0; i < 200 && daemon->running(); ++i)
+      std::this_thread::sleep_for(10ms);
+    EXPECT_FALSE(daemon->running());
+    auto endpoint = daemon->connect();
+    EXPECT_TRUE(endpoint.peerClosed() || endpoint.writeClosed());
+  }
+  std::filesystem::remove_all(directory);
+}
+
+TEST_F(SpectordDaemonTest, RunCompleteOutsideOwnedSliceIsRefused) {
+  // Find two apps with different owners under a 4-way split.
+  const CollectorAssignment probe{0, 4};
+  std::optional<std::size_t> ownedIndex, foreignIndex;
+  std::vector<core::RunArtifacts> runs;
+  {
+    // Hash the apks first (cheap single runs through a throwaway daemon's
+    // client would also work, but the emulator needs *some* sink).
+    ingest::IngestPipeline scratch(
+        {.shards = 1}, [this](const core::RunArtifacts& artifacts) {
+          return attributor_.attribute(artifacts);
+        });
+    for (std::size_t i = 0; i < generator_.appCount(); ++i) {
+      runs.push_back(runApp(i, &scratch));
+      if (probe.owns(runs.back().apkSha256)) {
+        if (!ownedIndex) ownedIndex = i;
+      } else if (!foreignIndex) {
+        foreignIndex = i;
+      }
+    }
+    scratch.drain();
+  }
+  ASSERT_TRUE(ownedIndex.has_value());
+  ASSERT_TRUE(foreignIndex.has_value());
+
+  auto config = daemonConfig();
+  config.assignment = probe;
+  auto daemon = makeDaemon(std::move(config));
+  IngestClient client(daemon->connect(), /*clientId=*/8);
+
+  const RunAckMsg good = client.completeRun(*ownedIndex, runs[*ownedIndex]);
+  EXPECT_TRUE(good.accepted) << good.reason;
+
+  const RunAckMsg refused =
+      client.completeRun(*foreignIndex, runs[*foreignIndex]);
+  EXPECT_FALSE(refused.accepted);
+  EXPECT_NE(refused.reason.find("owned by collector"), std::string::npos)
+      << refused.reason;
+
+  daemon->drain();
+  EXPECT_EQ(daemon->counters().runsRefused, 1u);
+  EXPECT_EQ(daemon->rollingTotals().runsFolded, 1u);
+  client.bye();
+}
+
+}  // namespace
+}  // namespace libspector::spectord
