@@ -7,8 +7,10 @@
 //
 // Writes BENCH_spectord.json in the cwd.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "core/report.hpp"
 #include "spectord/client.hpp"
 #include "spectord/daemon.hpp"
+#include "spectord/resilient.hpp"
 
 namespace {
 
@@ -101,6 +104,68 @@ double streamCorpus(std::size_t clients) {
   return seconds;
 }
 
+/// Reconnect storm: the same corpus, but every connection a client opens
+/// is severed after `killEveryBytes` — each client rides through several
+/// kill/backoff/resume/replay cycles. Reported separately; the steady-
+/// state frames/sec above stays the gated headline.
+struct StormStats {
+  double seconds = 0;
+  std::uint64_t reconnects = 0;
+};
+
+StormStats streamStorm(std::size_t clients, std::uint64_t killEveryBytes) {
+  spectord::DaemonConfig config;
+  config.ingest.shards = 2;
+  config.ingest.queueCapacity = 8192;
+  spectord::SpectorDaemon daemon(
+      config, [](const core::RunArtifacts&) {
+        return std::vector<core::FlowRecord>{};
+      });
+
+  std::atomic<std::uint64_t> reconnects{0};
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&daemon, &reconnects, c, clients,
+                            killEveryBytes] {
+        std::vector<std::unique_ptr<spectord::BreakerEndpoint>> breakers;
+        spectord::ResilientClientConfig clientConfig;
+        clientConfig.reconnect.initialDelay = std::chrono::milliseconds(1);
+        clientConfig.reconnect.maxDelay = std::chrono::milliseconds(10);
+        clientConfig.reconnect.seed = 100 + c;
+        spectord::ResilientIngestClient client(
+            [&daemon, &breakers, killEveryBytes](std::size_t) {
+              spectord::BreakerEndpoint::Fault fault;
+              fault.kind = spectord::BreakerEndpoint::FaultKind::Sever;
+              fault.afterClientBytes = killEveryBytes;
+              breakers.push_back(
+                  std::make_unique<spectord::BreakerEndpoint>(daemon.connect(),
+                                                              fault));
+              return breakers.back()->clientEnd();
+            },
+            /*clientId=*/200 + c, clientConfig);
+        for (std::size_t app = c; app < kApps; app += clients)
+          for (const auto& datagram : corpus().perApp[app])
+            client.submitDatagram(datagram);
+        client.waitAckedFrames(client.framesOffered(),
+                               std::chrono::milliseconds(60000));
+        reconnects.fetch_add(client.reconnects());
+        client.bye();
+      });
+    }
+  }
+  daemon.drain();
+  StormStats stats;
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stats.reconnects = reconnects.load();
+  daemon.shutdown();
+  return stats;
+}
+
 }  // namespace
 
 int main() {
@@ -113,11 +178,26 @@ int main() {
   const double oneRate = total / oneSeconds;
   const double fleetRate = total / fleetSeconds;
 
+  // Storm sizing: sever each connection after ~1/5 of a client's share so
+  // every client rides through several kill/resume cycles and the final
+  // connection still finishes.
+  std::uint64_t clientBytes = 0;
+  for (std::size_t app = 0; app < kApps; app += fleet)
+    for (const auto& datagram : corpus().perApp[app])
+      clientBytes += datagram.size() + 14;  // framed wire size
+  const std::uint64_t killEvery =
+      std::max<std::uint64_t>(clientBytes / 5, 4096);
+  const StormStats storm = streamStorm(fleet, killEvery);
+  const double stormRate = total / storm.seconds;
+
   std::printf("=== spectord wire throughput: %zu apps x %llu datagrams ===\n",
               kApps, static_cast<unsigned long long>(kFramesPerApp));
   std::printf("1 client  : %8.3f s  (%10.0f frames/s)\n", oneSeconds, oneRate);
   std::printf("%zu clients: %8.3f s  (%10.0f frames/s)\n", fleet,
               fleetSeconds, fleetRate);
+  std::printf("storm     : %8.3f s  (%10.0f frames/s, %llu reconnects)\n",
+              storm.seconds, stormRate,
+              static_cast<unsigned long long>(storm.reconnects));
 
   if (std::FILE* json = std::fopen("BENCH_spectord.json", "w")) {
     std::fprintf(json,
@@ -128,10 +208,16 @@ int main() {
                  "  \"one_client_seconds\": %.6f,\n"
                  "  \"one_client_frames_per_sec\": %.1f,\n"
                  "  \"fleet_seconds\": %.6f,\n"
-                 "  \"frames_per_sec\": %.1f\n"
+                 "  \"frames_per_sec\": %.1f,\n"
+                 "  \"storm_kill_every_bytes\": %llu,\n"
+                 "  \"storm_reconnects\": %llu,\n"
+                 "  \"storm_seconds\": %.6f,\n"
+                 "  \"storm_frames_per_sec\": %.1f\n"
                  "}\n",
                  kApps, total, fleet, oneSeconds, oneRate, fleetSeconds,
-                 fleetRate);
+                 fleetRate, static_cast<unsigned long long>(killEvery),
+                 static_cast<unsigned long long>(storm.reconnects),
+                 storm.seconds, stormRate);
     std::fclose(json);
     std::printf("wrote BENCH_spectord.json\n");
   }

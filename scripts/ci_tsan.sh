@@ -6,7 +6,9 @@
 # lock-free-read symbol pool, the shared compiled attribution
 # program + columnar fold that concurrent shard workers run through, and
 # the spectord daemon (event loop vs. client threads vs. shard consumers,
-# plus the multi-collector cluster driver). A
+# plus the multi-collector cluster driver and the resilient client tier —
+# reconnect/resume under BreakerEndpoint kills runs client threads against
+# breaker pump threads against the daemon loop). A
 # data race here corrupts studies silently, so this lane gates every
 # change to the streaming path.
 #
@@ -41,6 +43,8 @@ TARGETS=(
   spectord_daemon_test
   spectord_cluster_test
   spectord_fuzz_test
+  spectord_resilient_test
+  spectord_chaos_cluster_test
 )
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
@@ -49,6 +53,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
-  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch|Symbol|Interning|AttributionProgram|FlowColumns|Columnar|Spectord')
+  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch|Symbol|Interning|AttributionProgram|FlowColumns|Columnar|Spectord|Reconnector')
 
 echo "TSan lane: OK"

@@ -49,6 +49,9 @@ std::string IngestMetrics::toJson() const {
   appendKv(out, "latency_p99_ms", latencyP99Ms);
   appendKv(out, "sessions_opened", sessionsOpened);
   appendKv(out, "sessions_resumed", sessionsResumed);
+  appendKv(out, "sessions_expired", sessionsExpired);
+  appendKv(out, "session_attach_refusals", sessionAttachRefusals);
+  appendKv(out, "duplicate_run_uploads", duplicateRunUploads);
   appendKv(out, "subscriber_deltas_sent", subscriberDeltasSent);
   appendKv(out, "subscriber_deltas_dropped", subscriberDeltasDropped);
   appendKv(out, "subscriber_snapshots_resent", subscriberSnapshotsResent);

@@ -75,6 +75,9 @@ struct IngestMetrics {
   // the daemon; zero when driven in-process).
   std::uint64_t sessionsOpened = 0;
   std::uint64_t sessionsResumed = 0;
+  std::uint64_t sessionsExpired = 0;        // stale sessions swept on drain
+  std::uint64_t sessionAttachRefusals = 0;  // second live attach refused
+  std::uint64_t duplicateRunUploads = 0;    // resume re-uploads deduped
   std::uint64_t subscriberDeltasSent = 0;
   std::uint64_t subscriberDeltasDropped = 0;    // slow-subscriber drops
   std::uint64_t subscriberSnapshotsResent = 0;  // resyncs after drops

@@ -114,18 +114,18 @@ bool Pipe::eof() const {
 }
 
 void Pipe::setOnActivity(std::function<void()> hook) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(hookMutex_);
   onActivity_ = std::move(hook);
 }
 
 void Pipe::notifyAndSignal() {
   cv_.notify_all();
-  std::function<void()> hook;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    hook = onActivity_;
-  }
-  if (hook) hook();
+  // The hook runs under hookMutex_, never the buffer mutex: buffer ops
+  // stay hook-reentrant, while setOnActivity({}) blocks until any
+  // in-flight invocation returns — after a disarm the hook's captured
+  // state can be destroyed safely even though peers still hold the pipe.
+  std::lock_guard<std::mutex> lock(hookMutex_);
+  if (onActivity_) onActivity_();
 }
 
 ChannelPair makeChannel(std::size_t capacity,

@@ -54,8 +54,11 @@ class Pipe {
   /// Closed and fully drained — the reader's EOF.
   [[nodiscard]] bool eof() const;
 
-  /// Invoked (outside the lock) after every write, read and close. The
-  /// daemon points both of a connection's pipes here to wake its loop.
+  /// Invoked (outside the buffer lock) after every write, read and
+  /// close. The daemon points both of a connection's pipes here to wake
+  /// its loop. Setting an empty hook *disarms* the pipe and blocks until
+  /// any in-flight invocation returns, so the hook's captured state may
+  /// be destroyed afterwards even though peers still hold the pipe.
   void setOnActivity(std::function<void()> hook);
 
  private:
@@ -64,6 +67,7 @@ class Pipe {
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
+  std::mutex hookMutex_;  // serializes hook invocation vs. setOnActivity
   std::vector<std::uint8_t> buf_;  // ring-free: head offset + compaction
   std::size_t head_ = 0;
   bool closed_ = false;
@@ -98,12 +102,24 @@ class ChannelEndpoint {
   [[nodiscard]] std::size_t writableSpace() const { return out_->freeSpace(); }
   /// EOF from the peer: it closed and everything it sent was read.
   [[nodiscard]] bool peerClosed() const { return in_->eof(); }
+  /// The peer closed its write side (a FIN arrived) even if bytes it
+  /// already sent are still buffered for reading.
+  [[nodiscard]] bool peerHungUp() const { return in_->closed(); }
   [[nodiscard]] bool writeClosed() const { return out_->closed(); }
 
   /// Socket-style close: both directions shut down.
   void close() {
     out_->close();
     in_->close();
+  }
+
+  /// Detach the activity hooks from both pipes, waiting out any
+  /// in-flight invocation. The arming side calls this at teardown so a
+  /// peer that outlives it (a client or proxy closing late) cannot call
+  /// into freed state.
+  void disarmActivity() {
+    out_->setOnActivity({});
+    in_->setOnActivity({});
   }
 
  private:

@@ -25,16 +25,21 @@ std::optional<Frame> ClientChannel::read(std::chrono::milliseconds timeout) {
     if (endpoint_.peerClosed()) return std::nullopt;
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return std::nullopt;
-    endpoint_.waitReadable(std::min(
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
-        std::chrono::milliseconds(50)));
+    // Sleep the full remaining deadline on the pipe's condition variable:
+    // a write or close on the peer side wakes the wait, so slicing the
+    // timeout would only add wasted wakeups (which a real-socket
+    // transport's epoll loop would amplify).
+    endpoint_.waitReadable(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
   }
 }
 
 namespace {
 
-/// Hello -> HelloAck, throwing on refusal, hangup or timeout. Frames other
-/// than the ack are not expected before the handshake completes.
+/// Hello -> HelloAck, throwing on refusal, hangup or timeout. A resumed
+/// connection can carry frames queued for the old attach (ReportAck, Delta,
+/// a racing Bye) ahead of the HelloAck; they are skipped, bounded by the
+/// deadline — only an explicit Error refusal aborts the handshake.
 HelloAckMsg handshake(ClientChannel& channel, std::uint64_t clientId,
                       ClientKind kind, std::uint64_t resumeSession,
                       std::chrono::milliseconds timeout) {
@@ -58,8 +63,6 @@ HelloAckMsg handshake(ClientChannel& channel, std::uint64_t clientId,
     if (frame->type == FrameType::Error)
       throw std::runtime_error("spectord client: handshake refused: " +
                                ErrorMsg::decode(frame->body).message);
-    // Anything else pre-ack is a protocol violation worth surfacing.
-    throw std::runtime_error("spectord client: unexpected pre-ack frame");
   }
 }
 
@@ -88,8 +91,14 @@ void IngestClient::handleLocked(const Frame& frame) {
     }
     case FrameType::RunAck: {
       RunAckMsg ack = RunAckMsg::decode(frame.body);
-      if (ack.accepted) ++ackedRuns_;
-      runAcks_.emplace(ack.jobIndex, std::move(ack));
+      // Dedupe by jobIndex before counting: a re-delivered ack (or the
+      // daemon acking a resume re-upload it already has, ack.duplicate)
+      // must not bump ackedRuns_ twice, and a fresh ack must replace a
+      // stale entry rather than being silently discarded.
+      if (ack.accepted && !ack.duplicate &&
+          countedRuns_.insert(ack.jobIndex).second)
+        ++ackedRuns_;
+      runAcks_.insert_or_assign(ack.jobIndex, std::move(ack));
       return;
     }
     default:
@@ -106,7 +115,10 @@ void IngestClient::submitDatagram(std::span<const std::uint8_t> payload) {
   // Pump before writing so a pile of acks never deadlocks both sides'
   // bounded buffers against each other.
   pumpLocked();
-  if (channel_.send(FrameType::Report, payload)) ++framesSent_;
+  if (channel_.send(FrameType::Report, payload))
+    ++framesSent_;
+  else
+    sendFailed_ = true;
   pumpLocked();
 }
 
@@ -117,8 +129,10 @@ RunAckMsg IngestClient::completeRun(std::uint64_t jobIndex,
   pumpLocked();
   const auto envelope =
       core::SpabEnvelope::encode(jobIndex, core::ApkLossAccount{}, artifacts);
-  if (!channel_.send(FrameType::RunComplete, envelope))
+  if (!channel_.send(FrameType::RunComplete, envelope)) {
+    sendFailed_ = true;
     throw std::runtime_error("spectord client: daemon closed during upload");
+  }
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   while (true) {
     const auto it = runAcks_.find(jobIndex);
@@ -167,6 +181,11 @@ std::uint64_t IngestClient::ackedRuns() const {
 std::uint64_t IngestClient::framesSent() const {
   const std::scoped_lock lock(mutex_);
   return framesSent_;
+}
+
+bool IngestClient::down() const {
+  const std::scoped_lock lock(mutex_);
+  return sendFailed_ || channel_.peerClosed();
 }
 
 void IngestClient::bye() {
@@ -225,9 +244,12 @@ void DashboardMirror::applyDelta(const DeltaMsg& delta) {
 
 DashboardClient::DashboardClient(ChannelEndpoint endpoint,
                                  std::uint64_t clientId,
+                                 std::uint64_t resumeSession,
                                  std::chrono::milliseconds handshakeTimeout)
     : channel_(std::move(endpoint)) {
-  handshake(channel_, clientId, ClientKind::Dashboard, 0, handshakeTimeout);
+  session_ = handshake(channel_, clientId, ClientKind::Dashboard,
+                       resumeSession, handshakeTimeout)
+                 .session;
 }
 
 void DashboardClient::subscribe(Topic topic) {
@@ -250,17 +272,21 @@ std::size_t DashboardClient::poll(std::chrono::milliseconds timeout) {
                                                                 now));
       if (!frame) break;
     }
-    ++folded;
+    // Only frames folded into the mirror count toward the return value:
+    // Bye and unrecognized frames would skew waitForSnapshot-style callers
+    // that treat the count as mirror progress.
     switch (frame->type) {
       case FrameType::Snapshot: {
         const SnapshotMsg snapshot = SnapshotMsg::decode(frame->body);
         mirror_.applySnapshot(snapshot);
         ++snapshots_[static_cast<std::size_t>(snapshot.topic)];
+        ++folded;
         break;
       }
       case FrameType::Delta: {
         mirror_.applyDelta(DeltaMsg::decode(frame->body));
         ++deltas_;
+        ++folded;
         break;
       }
       case FrameType::Bye:

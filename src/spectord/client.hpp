@@ -18,6 +18,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,14 @@ class ClientChannel {
  public:
   explicit ClientChannel(ChannelEndpoint endpoint)
       : endpoint_(std::move(endpoint)) {}
+
+  /// A destructed client closes its socket: even a crashed process gets
+  /// a kernel FIN. Only a dead machine leaves a half-open peer, and this
+  /// in-process simulation has no dead machines — so the daemon may treat
+  /// an unclosed peer as a live attach.
+  ~ClientChannel() { endpoint_.close(); }
+  ClientChannel(const ClientChannel&) = delete;
+  ClientChannel& operator=(const ClientChannel&) = delete;
 
   /// Blocking whole-frame write; false when the daemon closed the channel.
   bool send(FrameType type, std::span<const std::uint8_t> body);
@@ -91,6 +100,11 @@ class IngestClient final : public ingest::ReportSink {
   /// Report frames this incarnation sent.
   [[nodiscard]] std::uint64_t framesSent() const;
 
+  /// The transport is dead: a send failed or the daemon hung up. A down
+  /// client never recovers by itself — reconnect (ResilientIngestClient)
+  /// with the session token and re-send the unacked tail.
+  [[nodiscard]] bool down() const;
+
   /// Polite goodbye + close.
   void bye();
 
@@ -106,8 +120,12 @@ class IngestClient final : public ingest::ReportSink {
   std::uint64_t ackedFrames_ = 0;
   std::uint64_t ackedRuns_ = 0;
   std::uint64_t framesSent_ = 0;
+  bool sendFailed_ = false;
   /// RunAcks that arrived while waiting for something else.
   std::map<std::uint64_t, RunAckMsg> runAcks_;
+  /// Job indices whose accepted ack was already counted into ackedRuns_
+  /// (dedupe against re-delivered acks).
+  std::set<std::uint64_t> countedRuns_;
 };
 
 /// Local reconstruction of the daemon's published dashboard state:
@@ -128,6 +146,7 @@ struct DashboardMirror {
 class DashboardClient {
  public:
   DashboardClient(ChannelEndpoint endpoint, std::uint64_t clientId,
+                  std::uint64_t resumeSession = 0,
                   std::chrono::milliseconds handshakeTimeout =
                       std::chrono::milliseconds(10000));
 
@@ -146,6 +165,9 @@ class DashboardClient {
   [[nodiscard]] const DashboardMirror& mirror() const noexcept {
     return mirror_;
   }
+  [[nodiscard]] std::uint64_t sessionToken() const noexcept {
+    return session_;
+  }
   [[nodiscard]] std::uint64_t snapshotsReceived(Topic topic) const {
     return snapshots_[static_cast<std::size_t>(topic)];
   }
@@ -160,6 +182,7 @@ class DashboardClient {
  private:
   ClientChannel channel_;
   DashboardMirror mirror_;
+  std::uint64_t session_ = 0;
   std::array<std::uint64_t, 4> snapshots_{};
   std::uint64_t deltas_ = 0;
   bool bye_ = false;

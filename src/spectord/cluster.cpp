@@ -70,8 +70,20 @@ CollectorResult runCollector(const orch::StudyConfig& config,
     daemon.pipeline().drain();
   }
 
-  IngestClient client(daemon.connect(),
-                      /*clientId=*/0x5bec0000ULL + options.index);
+  // The resilient client survives connection death: it reconnects with
+  // backoff, resumes its session and replays the unacked tail, so a
+  // channelWrapper killing every connection still yields the same
+  // checkpoints as an unbroken run.
+  ResilientClientConfig clientConfig;
+  clientConfig.reconnect = options.reconnect;
+  ResilientIngestClient client(
+      [&daemon, &options](std::size_t ordinal) {
+        ChannelEndpoint endpoint = daemon.connect();
+        if (options.channelWrapper)
+          endpoint = options.channelWrapper(std::move(endpoint), ordinal);
+        return endpoint;
+      },
+      /*clientId=*/0x5bec0000ULL + options.index, clientConfig);
   result.sessionToken = client.sessionToken();
 
   {
@@ -97,8 +109,11 @@ CollectorResult runCollector(const orch::StudyConfig& config,
             auto item = prefetcher.next();
             if (!item) return std::nullopt;
             if (!assignment.owns(item->apkSha256)) continue;
-            ++result.jobsOwned;
             if (done[item->index]) continue;  // replayed on resume
+            // Owned is counted after the done[] skip: a resumed collector
+            // reports only the gaps it still has to work, not its whole
+            // share over again.
+            ++result.jobsOwned;
             ++result.jobsDispatched;
             return orch::Dispatcher::Job{std::move(item->job.apk),
                                          std::move(item->job.program),
@@ -118,17 +133,21 @@ CollectorResult runCollector(const orch::StudyConfig& config,
 
   daemon.drain();
   result.metrics = daemon.metrics();
+  result.reconnects = client.reconnects();
+  result.framesResent = client.framesResent();
+  result.runsResent = client.runsResent();
   client.bye();
   daemon.shutdown();
 
   util::logInfo(
       "collector %u/%u: %llu owned, %llu dispatched, %llu accepted, %llu "
-      "replayed",
+      "replayed, %llu reconnects",
       options.index, options.count,
       static_cast<unsigned long long>(result.jobsOwned),
       static_cast<unsigned long long>(result.jobsDispatched),
       static_cast<unsigned long long>(result.runsAccepted),
-      static_cast<unsigned long long>(result.runsReplayed));
+      static_cast<unsigned long long>(result.runsReplayed),
+      static_cast<unsigned long long>(result.reconnects));
   return result;
 }
 

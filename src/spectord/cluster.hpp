@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "ingest/metrics.hpp"
 #include "orch/study.hpp"
 #include "spectord/daemon.hpp"
+#include "spectord/resilient.hpp"
 
 namespace libspector::spectord {
 
@@ -37,13 +39,24 @@ struct CollectorOptions {
   /// then stop (in-flight jobs still finish and checkpoint — a process
   /// kill between runs). ~0 = run the full share.
   std::uint64_t jobLimit = ~0ULL;
+  /// Optional wrapper around every daemon connection the collector's
+  /// ingest client opens (`ordinal` = nth connection, 0-based). The chaos
+  /// tests interpose a BreakerEndpoint here to kill connections mid-study.
+  std::function<ChannelEndpoint(ChannelEndpoint endpoint, std::size_t ordinal)>
+      channelWrapper;
+  /// Backoff policy for the resilient ingest client's reconnects.
+  ReconnectorConfig reconnect;
 };
 
 struct CollectorResult {
-  std::uint64_t jobsOwned = 0;      // owned jobs seen in the corpus scan
+  std::uint64_t jobsOwned = 0;      // owned jobs needing work this run
+                                    // (resume-restored jobs excluded)
   std::uint64_t jobsDispatched = 0; // owned jobs actually run this time
   std::uint64_t runsAccepted = 0;   // RunComplete uploads the daemon took
   std::uint64_t runsReplayed = 0;   // restored from checkpoints (resume)
+  std::uint64_t reconnects = 0;     // ingest connections re-opened
+  std::uint64_t framesResent = 0;   // unacked report frames replayed
+  std::uint64_t runsResent = 0;     // run uploads retried after a death
   std::uint64_t sessionToken = 0;
   ingest::IngestMetrics metrics;
 };

@@ -73,6 +73,11 @@ class Connection {
   /// Peer closed and everything it sent has been consumed.
   [[nodiscard]] bool peerGone() const { return endpoint_.peerClosed(); }
 
+  /// Peer closed its write side; buffered bytes may remain to drain.
+  /// Liveness checks (one-attach-per-session) use this, not peerGone():
+  /// a half-drained hangup is already dead, just not yet reaped.
+  [[nodiscard]] bool peerHungUp() const { return endpoint_.peerHungUp(); }
+
   // --- write side ----------------------------------------------------------
 
   /// Queue a control frame (never dropped; queue may exceed its budget for

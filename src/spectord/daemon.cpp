@@ -66,9 +66,11 @@ ChannelEndpoint SpectorDaemon::connect() {
   {
     const std::scoped_lock lock(acceptMutex_);
     if (acceptingClosed_) {
+      pair.server.disarmActivity();
       pair.server.close();
       return pair.client;
     }
+    armed_.push_back(pair.server);
     accepted_.push_back(std::make_unique<Connection>(
         nextConnId_++, pair.server, config_.subscriberQueueBytes,
         config_.slowSubscriberPolicy));
@@ -100,8 +102,20 @@ void SpectorDaemon::shutdown() {
     wakePending_ = true;
   }
   wakeCv_.notify_all();
-  if (loop_.joinable() && loop_.get_id() != std::this_thread::get_id())
+  if (loop_.joinable() && loop_.get_id() != std::this_thread::get_id()) {
     loop_.join();
+    // The loop is gone, so the waker is dead weight — detach it from
+    // every channel this daemon ever handed out. A peer (client or fault
+    // proxy) that closes its end after we are destroyed must find no
+    // hook, not a dangling `this`. disarmActivity waits out any hook
+    // invocation already in flight.
+    std::vector<ChannelEndpoint> armed;
+    {
+      const std::scoped_lock lock(acceptMutex_);
+      armed.swap(armed_);
+    }
+    for (auto& endpoint : armed) endpoint.disarmActivity();
+  }
 }
 
 bool SpectorDaemon::running() const {
@@ -113,6 +127,9 @@ ingest::IngestMetrics SpectorDaemon::metrics() const {
   const DaemonCounters c = counters();
   m.sessionsOpened = c.sessionsOpened;
   m.sessionsResumed = c.sessionsResumed;
+  m.sessionsExpired = c.sessionsExpired;
+  m.sessionAttachRefusals = c.attachRefusals;
+  m.duplicateRunUploads = c.duplicateRunUploads;
   m.subscriberDeltasSent = c.deltasSent;
   m.subscriberDeltasDropped = c.deltasDropped;
   m.subscriberSnapshotsResent = c.snapshotsResent;
@@ -280,6 +297,7 @@ void SpectorDaemon::handleFrame(Connection& conn, Frame&& frame) {
         core::SpabEnvelope env = core::SpabEnvelope::decode(frame.body);
         RunAckMsg ack;
         ack.jobIndex = env.jobIndex;
+        SessionRecord& sess = sessions_[conn.clientId];
         if (!config_.assignment.owns(env.artifacts.apkSha256)) {
           ack.accepted = false;
           char buf[64];
@@ -288,12 +306,20 @@ void SpectorDaemon::handleFrame(Connection& conn, Frame&& frame) {
           ack.reason = buf;
           const std::scoped_lock lock(countersMutex_);
           ++counters_.runsRefused;
+        } else if (!sess.completedJobs.insert(env.jobIndex).second) {
+          // A resumed client re-uploading a run whose ack was severed:
+          // ack it (the client needs closure) without folding it again.
+          ack.accepted = true;
+          ack.duplicate = true;
+          ack.reason = "duplicate upload (already folded this session)";
+          const std::scoped_lock lock(countersMutex_);
+          ++counters_.duplicateRunUploads;
         } else {
           pipeline_.submitRun(static_cast<std::size_t>(env.jobIndex),
                               std::move(env.artifacts));
           ack.accepted = true;
           ++conn.stats.runFrames;
-          ++sessions_[conn.clientId].ackedRuns;
+          ++sess.ackedRuns;
         }
         conn.sendControl(FrameType::RunAck, ack.encode());
         return;
@@ -327,8 +353,44 @@ void SpectorDaemon::handleFrame(Connection& conn, Frame&& frame) {
   }
 }
 
+Connection* SpectorDaemon::liveAttach(std::uint64_t clientId,
+                                      const Connection* except) {
+  for (auto& connPtr : conns_) {
+    Connection& other = *connPtr;
+    if (&other == except || other.closed() || !other.helloDone) continue;
+    // A connection whose peer already hung up is dead, it just has not
+    // been reaped (or even fully drained) yet — it must not block the
+    // replacement attach.
+    if (other.clientId == clientId && !other.peerHungUp()) return &other;
+  }
+  return nullptr;
+}
+
+std::size_t SpectorDaemon::expireStaleSessions() {
+  std::size_t expired = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (liveAttach(it->first, nullptr) != nullptr) {
+      ++it;
+    } else {
+      it = sessions_.erase(it);
+      ++expired;
+    }
+  }
+  return expired;
+}
+
 void SpectorDaemon::handleHello(Connection& conn, const Frame& frame) {
   const HelloMsg msg = HelloMsg::decode(frame.body);
+  // A session may have at most one live attach: a second Hello while the
+  // first connection is still alive is a misconfigured fleet (two workers
+  // sharing a clientId) and would corrupt the cumulative ack stream.
+  if (liveAttach(msg.clientId, &conn) != nullptr) {
+    sendError(conn, 5, "clientId already attached on a live connection");
+    conn.disconnectAfterFlush = true;
+    const std::scoped_lock lock(countersMutex_);
+    ++counters_.attachRefusals;
+    return;
+  }
   conn.helloDone = true;
   conn.kind = msg.kind;
   conn.clientId = msg.clientId;
@@ -361,7 +423,16 @@ void SpectorDaemon::handleAdmin(Connection& conn, const AdminMsg& msg) {
       // Blocks the loop; an admin barrier is allowed to. The shard
       // consumers do the draining, so this cannot deadlock on the loop.
       pipeline_.drain();
-      ack.info = "drained";
+      // Drain is the operator's housekeeping barrier: sweep sessions whose
+      // client is gone so the table does not grow with every crashed
+      // worker across a long-lived study.
+      const std::size_t expired = expireStaleSessions();
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "drained, %zu stale sessions expired",
+                    expired);
+      ack.info = buf;
+      const std::scoped_lock lock(countersMutex_);
+      counters_.sessionsExpired += expired;
       break;
     }
     case AdminOp::Compact: {
@@ -372,10 +443,15 @@ void SpectorDaemon::handleAdmin(Connection& conn, const AdminMsg& msg) {
       }
       const std::size_t removed =
           orch::compactCheckpointDirectory(checkpoints_->directory());
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "compacted, %zu stale entries removed",
-                    removed);
+      const std::size_t expired = expireStaleSessions();
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "compacted, %zu stale entries removed, %zu stale "
+                    "sessions expired",
+                    removed, expired);
       ack.info = buf;
+      const std::scoped_lock lock(countersMutex_);
+      counters_.sessionsExpired += expired;
       break;
     }
     case AdminOp::EvictApk: {

@@ -40,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -89,6 +90,9 @@ struct DaemonConfig {
 struct DaemonCounters {
   std::uint64_t sessionsOpened = 0;
   std::uint64_t sessionsResumed = 0;
+  std::uint64_t sessionsExpired = 0;   // stale sessions swept on drain/compact
+  std::uint64_t attachRefusals = 0;    // Hello while the session is live
+  std::uint64_t duplicateRunUploads = 0;  // RunComplete re-uploads deduped
   std::uint64_t deltasSent = 0;
   std::uint64_t deltasDropped = 0;
   std::uint64_t snapshotsResent = 0;
@@ -162,11 +166,21 @@ class SpectorDaemon {
 
   /// Cross-connection client session: survives disconnects so a
   /// reconnecting client can resume and re-send only its unacked tail.
+  /// Exactly one live connection may be attached at a time — a second
+  /// Hello for a live session is refused (a client that reconnected
+  /// because *it* saw a hangup races the daemon reaping the old
+  /// connection, so an attach whose previous connection is peer-gone is
+  /// adopted, not refused). Sessions with no live attach are swept on the
+  /// admin Drain/Compact housekeeping ops.
   struct SessionRecord {
     std::uint64_t token = 0;
     ClientKind kind = ClientKind::Ingest;
     std::uint64_t ackedFrames = 0;  // report frames accepted, cumulative
     std::uint64_t ackedRuns = 0;    // run bundles accepted, cumulative
+    /// Job indices this session has accepted a RunComplete for: a resumed
+    /// client re-uploading a run whose ack was severed is acked
+    /// (duplicate=true) without folding the run a second time.
+    std::set<std::uint64_t> completedJobs;
   };
 
   void loopMain();
@@ -179,6 +193,14 @@ class SpectorDaemon {
   void handleHello(Connection& conn, const Frame& frame);
   void handleAdmin(Connection& conn, const AdminMsg& msg);
   void sendError(Connection& conn, std::uint16_t code, std::string_view what);
+
+  /// Loop-thread only: the open, handshaken connection attached as
+  /// `clientId`, excluding `except`; nullptr when none.
+  [[nodiscard]] Connection* liveAttach(std::uint64_t clientId,
+                                       const Connection* except);
+  /// Loop-thread only: drop every session with no live attach. Returns the
+  /// number swept (counted into sessionsExpired by the caller).
+  std::size_t expireStaleSessions();
 
   void applyDigest(const ingest::RunDigest& digest);
   void publishDigest(const ingest::RunDigest& digest);
@@ -203,6 +225,10 @@ class SpectorDaemon {
   // New connections parked until the loop adopts them.
   std::mutex acceptMutex_;
   std::vector<std::unique_ptr<Connection>> accepted_;
+  /// Every channel connect() armed with the loop waker: shutdown()
+  /// disarms them all once the loop is gone, so a client or proxy that
+  /// outlives the daemon cannot wake() into a destroyed object.
+  std::vector<ChannelEndpoint> armed_;
   std::uint64_t nextConnId_ = 1;
   bool acceptingClosed_ = false;
 

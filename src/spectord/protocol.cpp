@@ -228,6 +228,7 @@ std::vector<std::uint8_t> RunAckMsg::encode() const {
   util::ByteWriter w;
   w.u64(jobIndex);
   w.u8(accepted ? 1 : 0);
+  w.u8(duplicate ? 1 : 0);
   w.str(reason);
   return w.take();
 }
@@ -237,6 +238,7 @@ RunAckMsg RunAckMsg::decode(std::span<const std::uint8_t> body) {
   RunAckMsg msg;
   msg.jobIndex = r.u64();
   msg.accepted = r.u8() != 0;
+  msg.duplicate = r.u8() != 0;
   msg.reason = r.str();
   return msg;
 }

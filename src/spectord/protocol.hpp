@@ -187,7 +187,11 @@ struct ReportAckMsg {
 struct RunAckMsg {
   std::uint64_t jobIndex = 0;
   bool accepted = false;  // false: outside this collector's shard range
-  std::string reason;     // empty when accepted
+  /// The session already uploaded this jobIndex: the re-upload (a resumed
+  /// client re-sending a RunComplete whose ack was lost) was not folded
+  /// again, and the ack must not be counted again either.
+  bool duplicate = false;
+  std::string reason;  // empty when accepted and fresh
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static RunAckMsg decode(std::span<const std::uint8_t> body);

@@ -1,0 +1,373 @@
+#include "spectord/resilient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace libspector::spectord {
+
+using namespace std::chrono_literals;
+
+// --- Reconnector -----------------------------------------------------------
+
+Reconnector::Reconnector(ReconnectorConfig config)
+    : config_(config), rng_(config.seed) {}
+
+std::chrono::milliseconds Reconnector::nextDelay() {
+  if (attempt_ >= config_.maxAttempts)
+    throw std::runtime_error(
+        "spectord reconnect: attempt budget exhausted after " +
+        std::to_string(attempt_) + " consecutive failures");
+  double base = static_cast<double>(config_.initialDelay.count());
+  for (std::size_t i = 0; i < attempt_; ++i) base *= config_.multiplier;
+  base = std::min(base, static_cast<double>(config_.maxDelay.count()));
+  // Uniform jitter in [1 - j, 1 + j], drawn from the seeded stream so the
+  // whole schedule is a pure function of (config, attempt history).
+  const double factor = 1.0 + config_.jitter * (2.0 * rng_.uniform01() - 1.0);
+  ++attempt_;
+  const double jittered = std::max(0.0, base * factor);
+  return std::chrono::milliseconds(static_cast<std::int64_t>(jittered));
+}
+
+// --- BreakerEndpoint -------------------------------------------------------
+
+BreakerEndpoint::BreakerEndpoint(ChannelEndpoint upstream, Fault fault,
+                                 std::size_t capacity)
+    : upstream_(std::move(upstream)), fault_(fault) {
+  ChannelPair pair = makeChannel(capacity);
+  proxySide_ = pair.server;
+  clientEnd_ = pair.client;
+  toDaemon_ = std::thread([this] { pumpToDaemon(); });
+  toClient_ = std::thread([this] { pumpToClient(); });
+}
+
+BreakerEndpoint::~BreakerEndpoint() {
+  clientEnd_.close();
+  upstream_.close();
+  proxySide_.close();
+  if (toDaemon_.joinable()) toDaemon_.join();
+  if (toClient_.joinable()) toClient_.join();
+}
+
+void BreakerEndpoint::pumpToDaemon() {
+  std::vector<std::uint8_t> buf;
+  while (true) {
+    buf.clear();
+    const std::size_t n = proxySide_.readSome(buf);
+    if (n == 0) {
+      if (proxySide_.peerClosed() || upstream_.writeClosed()) break;
+      proxySide_.waitReadable(50ms);
+      continue;
+    }
+    const std::uint64_t before = forwarded_.load();
+    if (fault_.kind != FaultKind::None && !fired_.load() &&
+        before + n >= fault_.afterClientBytes) {
+      // Deliver exactly up to the scheduled offset — mid-frame on
+      // purpose — then kill the connection. Every kind ends dead: the
+      // transport delivers an in-order prefix or nothing, never a hole,
+      // which is what makes cumulative-ack resume exact.
+      const std::size_t keep =
+          fault_.afterClientBytes > before
+              ? static_cast<std::size_t>(fault_.afterClientBytes - before)
+              : 0;
+      if (fault_.kind == FaultKind::Stall)
+        std::this_thread::sleep_for(fault_.stall);
+      if (keep > 0 && upstream_.writeAll({buf.data(), keep}))
+        forwarded_.fetch_add(keep);
+      fired_.store(true);
+      upstream_.close();
+      if (fault_.kind == FaultKind::Truncate)
+        // The daemon already sees EOF mid-frame; the client keeps writing
+        // into the doomed pipe for a beat before learning.
+        std::this_thread::sleep_for(fault_.stall);
+      proxySide_.close();
+      return;
+    }
+    if (!upstream_.writeAll(buf)) break;
+    forwarded_.fetch_add(n);
+  }
+  // Natural teardown (either side closed): propagate to the other.
+  upstream_.close();
+  proxySide_.close();
+}
+
+void BreakerEndpoint::pumpToClient() {
+  std::vector<std::uint8_t> buf;
+  while (true) {
+    buf.clear();
+    const std::size_t n = upstream_.readSome(buf);
+    if (n == 0) {
+      if (upstream_.peerClosed() || proxySide_.writeClosed()) break;
+      upstream_.waitReadable(50ms);
+      continue;
+    }
+    if (!proxySide_.writeAll(buf)) break;
+  }
+  proxySide_.close();
+}
+
+// --- ResilientIngestClient -------------------------------------------------
+
+ResilientIngestClient::ResilientIngestClient(ConnectFn connect,
+                                             std::uint64_t clientId,
+                                             ResilientClientConfig config)
+    : connect_(std::move(connect)),
+      clientId_(clientId),
+      config_(config),
+      reconnector_(config.reconnect) {
+  const std::scoped_lock lock(mutex_);
+  ensureConnectedLocked();
+}
+
+void ResilientIngestClient::ensureConnectedLocked() {
+  if (client_ && !client_->down()) return;
+  client_.reset();
+  bool first = connections_ == 0 && reconnector_.attempt() == 0;
+  while (true) {
+    // First-ever attempt goes immediately; every retry waits out the
+    // backoff schedule (which throws once the budget is exhausted).
+    if (!first) std::this_thread::sleep_for(reconnector_.nextDelay());
+    first = false;
+    std::unique_ptr<IngestClient> fresh;
+    try {
+      fresh = std::make_unique<IngestClient>(connect_(connectCalls_++),
+                                             clientId_, session_,
+                                             config_.handshakeTimeout);
+    } catch (const std::exception&) {
+      continue;  // daemon unreachable or handshake refused: back off
+    }
+    const bool resuming = connections_ > 0;
+    ++connections_;
+    session_ = fresh->sessionToken();
+    client_ = std::move(fresh);
+    // Resume: the HelloAck's cumulative ack is an exact prefix of what we
+    // offered (in-order transport), so drop that prefix and replay the
+    // unacked tail verbatim.
+    pruneAckedLocked();
+    bool died = false;
+    for (const auto& payload : tail_) {
+      client_->submitDatagram(payload);
+      if (resuming) ++framesResent_;
+      if (client_->down()) {
+        died = true;  // killed again mid-replay; the next attach re-acks
+        break;
+      }
+    }
+    if (died || client_->down()) {
+      client_.reset();
+      continue;
+    }
+    reconnector_.reset();
+    return;
+  }
+}
+
+void ResilientIngestClient::pruneAckedLocked() {
+  if (!client_) return;
+  const std::uint64_t acked = client_->ackedFrames();
+  while (tailBase_ < acked && !tail_.empty()) {
+    tail_.pop_front();
+    ++tailBase_;
+  }
+}
+
+void ResilientIngestClient::submitDatagram(
+    std::span<const std::uint8_t> payload) {
+  const std::scoped_lock lock(mutex_);
+  tail_.emplace_back(payload.begin(), payload.end());
+  ++framesOffered_;
+  ensureConnectedLocked();
+  client_->submitDatagram(payload);
+  // A failed send leaves the frame in the tail; reconnect replays it.
+  if (client_->down()) ensureConnectedLocked();
+  pruneAckedLocked();
+}
+
+RunAckMsg ResilientIngestClient::completeRun(
+    std::uint64_t jobIndex, const core::RunArtifacts& artifacts) {
+  const std::scoped_lock lock(mutex_);
+  while (true) {
+    ensureConnectedLocked();
+    try {
+      RunAckMsg ack =
+          client_->completeRun(jobIndex, artifacts, config_.runAckTimeout);
+      pruneAckedLocked();
+      return ack;
+    } catch (const std::exception&) {
+      // Death (or silence) mid-upload: tear down and re-send on a resumed
+      // session. If the daemon had already folded the job, the re-upload
+      // comes back accepted with `duplicate` set — still one ack per call.
+      client_.reset();
+      ++runsResent_;
+    }
+  }
+}
+
+bool ResilientIngestClient::waitAckedFrames(std::uint64_t frames,
+                                            std::chrono::milliseconds timeout) {
+  const std::scoped_lock lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    ensureConnectedLocked();
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return client_->ackedFrames() >= frames;
+    const auto slice = std::min(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
+        std::chrono::milliseconds(100));
+    if (client_->waitAckedFrames(frames, slice)) {
+      pruneAckedLocked();
+      return true;
+    }
+    // Fell through: slice elapsed or the channel died; the loop
+    // re-attaches (a no-op while the transport is still live).
+  }
+}
+
+std::uint64_t ResilientIngestClient::sessionToken() const {
+  const std::scoped_lock lock(mutex_);
+  return session_;
+}
+
+std::uint64_t ResilientIngestClient::framesOffered() const {
+  const std::scoped_lock lock(mutex_);
+  return framesOffered_;
+}
+
+std::uint64_t ResilientIngestClient::ackedFrames() const {
+  const std::scoped_lock lock(mutex_);
+  return client_ ? client_->ackedFrames() : tailBase_;
+}
+
+std::uint64_t ResilientIngestClient::reconnects() const {
+  const std::scoped_lock lock(mutex_);
+  return connections_ > 0 ? connections_ - 1 : 0;
+}
+
+std::uint64_t ResilientIngestClient::framesResent() const {
+  const std::scoped_lock lock(mutex_);
+  return framesResent_;
+}
+
+std::uint64_t ResilientIngestClient::runsResent() const {
+  const std::scoped_lock lock(mutex_);
+  return runsResent_;
+}
+
+void ResilientIngestClient::bye() {
+  const std::scoped_lock lock(mutex_);
+  if (client_) client_->bye();
+  client_.reset();
+}
+
+// --- ResilientDashboardClient ----------------------------------------------
+
+ResilientDashboardClient::ResilientDashboardClient(ConnectFn connect,
+                                                   std::uint64_t clientId,
+                                                   ResilientClientConfig config)
+    : connect_(std::move(connect)),
+      clientId_(clientId),
+      config_(config),
+      reconnector_(config.reconnect) {
+  ensureConnected();
+}
+
+void ResilientDashboardClient::foldCountersFromDead() {
+  if (!client_) return;
+  for (std::size_t i = 0; i < snapshotsBase_.size(); ++i)
+    snapshotsBase_[i] += client_->snapshotsReceived(static_cast<Topic>(i));
+  deltasBase_ += client_->deltasReceived();
+  lastMirror_ = client_->mirror();
+  client_.reset();
+}
+
+void ResilientDashboardClient::ensureConnected() {
+  if (client_ && !client_->peerClosed()) return;
+  // An orderly Bye means the daemon is going away for good — stay down
+  // instead of hammering a stopped service with the full backoff budget.
+  if (client_ && client_->byeReceived()) return;
+  foldCountersFromDead();
+  bool first = connections_ == 0 && reconnector_.attempt() == 0;
+  while (true) {
+    if (!first) std::this_thread::sleep_for(reconnector_.nextDelay());
+    first = false;
+    std::unique_ptr<DashboardClient> fresh;
+    try {
+      fresh = std::make_unique<DashboardClient>(connect_(connectCalls_++),
+                                                clientId_, session_,
+                                                config_.handshakeTimeout);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (connections_ > 0) ++reconnects_;
+    ++connections_;
+    session_ = fresh->sessionToken();
+    client_ = std::move(fresh);
+    // Re-subscribing triggers fresh snapshots, which replace wholesale —
+    // that is what restores mirror exactness after missed deltas.
+    for (Topic topic : topics_) client_->subscribe(topic);
+    reconnector_.reset();
+    return;
+  }
+}
+
+void ResilientDashboardClient::subscribe(Topic topic) {
+  ensureConnected();
+  if (client_) client_->subscribe(topic);
+  if (std::find(topics_.begin(), topics_.end(), topic) == topics_.end())
+    topics_.push_back(topic);
+}
+
+std::size_t ResilientDashboardClient::poll(std::chrono::milliseconds timeout) {
+  ensureConnected();
+  if (!client_) return 0;
+  const std::size_t folded = client_->poll(timeout);
+  // Hangup mid-poll: re-attach now so the next poll starts on the fresh
+  // snapshot instead of burning its whole timeout on a dead channel.
+  if (client_->peerClosed() && !client_->byeReceived()) ensureConnected();
+  return folded;
+}
+
+bool ResilientDashboardClient::waitForSnapshot(
+    Topic topic, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (snapshotsReceived(topic) == 0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    poll(std::min(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
+        std::chrono::milliseconds(100)));
+  }
+  return true;
+}
+
+bool ResilientDashboardClient::waitForRuns(std::uint64_t runs,
+                                           std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (mirror().totals.runsFolded < runs) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    poll(std::min(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
+        std::chrono::milliseconds(100)));
+  }
+  return true;
+}
+
+const DashboardMirror& ResilientDashboardClient::mirror() const {
+  return client_ ? client_->mirror() : lastMirror_;
+}
+
+std::uint64_t ResilientDashboardClient::snapshotsReceived(Topic topic) const {
+  const std::size_t i = static_cast<std::size_t>(topic);
+  return snapshotsBase_[i] + (client_ ? client_->snapshotsReceived(topic) : 0);
+}
+
+std::uint64_t ResilientDashboardClient::deltasReceived() const {
+  return deltasBase_ + (client_ ? client_->deltasReceived() : 0);
+}
+
+void ResilientDashboardClient::close() {
+  if (client_) client_->close();
+}
+
+}  // namespace libspector::spectord

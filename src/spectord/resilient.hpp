@@ -1,0 +1,243 @@
+// Reconnect-and-resume client tier for spectord.
+//
+// The base clients (client.hpp) speak the protocol over one connection
+// and simply go `down()` when it dies. This layer makes them survivable:
+//
+//  - Reconnector is the backoff policy: capped exponential delays with
+//    deterministic seeded jitter and a consecutive-failure budget, so a
+//    thundering herd of collectors de-synchronizes without tests losing
+//    reproducibility.
+//  - ResilientIngestClient wraps IngestClient behind a connect factory.
+//    It remembers the session token and every unacked report frame; on
+//    hangup it reconnects with backoff, re-handshakes with the saved
+//    token, drops the prefix the daemon's HelloAck acks, and re-sends
+//    only the tail. Run uploads retry until a RunAck arrives — the
+//    daemon's per-session completed-job dedupe makes the re-upload safe.
+//  - ResilientDashboardClient reconnects and re-subscribes its recorded
+//    topics; the fresh snapshot the daemon sends on subscribe restores
+//    mirror exactness.
+//  - BreakerEndpoint is the matching fault injector: a man-in-the-middle
+//    proxy that severs, stalls or truncates the byte stream at a scripted
+//    client->daemon byte offset (deliberately mid-frame). Every fault
+//    ends with a dead connection — the transport either delivers a
+//    prefix in order or dies, never a mid-stream hole — which is the
+//    invariant that makes cumulative-ack resume exact.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "spectord/channel.hpp"
+#include "spectord/client.hpp"
+#include "util/rng.hpp"
+
+namespace libspector::spectord {
+
+/// Capped exponential backoff with deterministic jitter.
+struct ReconnectorConfig {
+  std::chrono::milliseconds initialDelay{10};
+  std::chrono::milliseconds maxDelay{2000};
+  double multiplier = 2.0;
+  /// Each delay is scaled by a factor drawn uniformly from
+  /// [1 - jitter, 1 + jitter]; deterministic given the seed.
+  double jitter = 0.25;
+  /// Consecutive failed attempts before giving up; a successful attach
+  /// resets the count.
+  std::size_t maxAttempts = 10;
+  std::uint64_t seed = 0x5bec011ULL;
+};
+
+class Reconnector {
+ public:
+  explicit Reconnector(ReconnectorConfig config = {});
+
+  /// Delay to sleep before the next attempt, advancing the schedule.
+  /// Throws std::runtime_error once the attempt budget is exhausted.
+  [[nodiscard]] std::chrono::milliseconds nextDelay();
+
+  /// A connection attempt succeeded: the failure streak is over.
+  void reset() noexcept { attempt_ = 0; }
+
+  [[nodiscard]] std::size_t attempt() const noexcept { return attempt_; }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return attempt_ >= config_.maxAttempts;
+  }
+
+ private:
+  ReconnectorConfig config_;
+  util::Rng rng_;
+  std::size_t attempt_ = 0;
+};
+
+/// Scripted connection killer. Wraps a daemon-side endpoint in a proxy
+/// whose clientEnd() is handed to the client under test; two pump threads
+/// forward bytes both ways until the scheduled fault fires.
+class BreakerEndpoint {
+ public:
+  enum class FaultKind : std::uint8_t {
+    None,      // pass-through (still a proxy, never fires)
+    Sever,     // close both directions at the scheduled offset
+    Stall,     // freeze the client->daemon stream for `stall`, then sever
+    Truncate,  // half-close toward the daemon first (EOF mid-frame), then
+               // sever the client side after `stall`
+  };
+  struct Fault {
+    FaultKind kind = FaultKind::None;
+    /// Fires once this many client->daemon bytes were forwarded; offsets
+    /// landing mid-frame are the interesting case.
+    std::uint64_t afterClientBytes = 0;
+    std::chrono::milliseconds stall{0};
+  };
+
+  BreakerEndpoint(ChannelEndpoint upstream, Fault fault,
+                  std::size_t capacity = 64 * 1024);
+  ~BreakerEndpoint();
+  BreakerEndpoint(const BreakerEndpoint&) = delete;
+  BreakerEndpoint& operator=(const BreakerEndpoint&) = delete;
+
+  /// The endpoint the client speaks to.
+  [[nodiscard]] ChannelEndpoint clientEnd() const { return clientEnd_; }
+
+  [[nodiscard]] bool fired() const { return fired_.load(); }
+  /// Client->daemon bytes actually delivered upstream.
+  [[nodiscard]] std::uint64_t forwardedToDaemon() const {
+    return forwarded_.load();
+  }
+
+ private:
+  void pumpToDaemon();
+  void pumpToClient();
+
+  ChannelEndpoint upstream_;
+  ChannelEndpoint proxySide_;  // proxy's end of the client-facing channel
+  ChannelEndpoint clientEnd_;
+  Fault fault_;
+  std::atomic<bool> fired_{false};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::thread toDaemon_;
+  std::thread toClient_;
+};
+
+/// Factory for a fresh daemon connection; called on every (re)connect.
+/// `attempt` is the 0-based ordinal of the connection being opened, which
+/// fault-injection tests use to script per-connection breakage.
+using ConnectFn = std::function<ChannelEndpoint(std::size_t attempt)>;
+
+struct ResilientClientConfig {
+  ReconnectorConfig reconnect;
+  std::chrono::milliseconds handshakeTimeout{10000};
+  /// Per-attempt RunAck wait; on expiry the connection is torn down and
+  /// the upload retried on a fresh attach.
+  std::chrono::milliseconds runAckTimeout{60000};
+};
+
+/// IngestClient that survives connection death. Thread-safe like the
+/// client it wraps; a reconnect (backoff sleep included) happens under
+/// the lock, so concurrent emulator workers stall rather than interleave
+/// with a half-restored session.
+class ResilientIngestClient final : public ingest::ReportSink {
+ public:
+  ResilientIngestClient(ConnectFn connect, std::uint64_t clientId,
+                        ResilientClientConfig config = {});
+
+  /// Buffers the payload in the unacked tail, then sends. On a dead
+  /// transport: reconnect, resume, replay the tail (this frame included).
+  void submitDatagram(std::span<const std::uint8_t> payload) override;
+
+  /// Upload a finished run, retrying across connection deaths until the
+  /// daemon acks. A retry of an already-folded upload comes back
+  /// accepted with `duplicate` set — still one ack per call.
+  RunAckMsg completeRun(std::uint64_t jobIndex,
+                        const core::RunArtifacts& artifacts);
+
+  /// Wait until the daemon has acked `frames` cumulative report frames,
+  /// reconnecting as needed.
+  bool waitAckedFrames(std::uint64_t frames, std::chrono::milliseconds timeout);
+
+  [[nodiscard]] std::uint64_t sessionToken() const;
+  /// Distinct report frames offered (retransmissions not re-counted).
+  [[nodiscard]] std::uint64_t framesOffered() const;
+  [[nodiscard]] std::uint64_t ackedFrames() const;
+  /// Successful attaches after the first.
+  [[nodiscard]] std::uint64_t reconnects() const;
+  /// Tail frames re-sent on resumed sessions.
+  [[nodiscard]] std::uint64_t framesResent() const;
+  /// Run uploads retried after a death mid-upload.
+  [[nodiscard]] std::uint64_t runsResent() const;
+
+  void bye();
+
+ private:
+  /// Attach (or re-attach) until the transport is live and the unacked
+  /// tail replayed; throws once the backoff budget is exhausted.
+  void ensureConnectedLocked();
+  void pruneAckedLocked();
+
+  mutable std::mutex mutex_;
+  ConnectFn connect_;
+  const std::uint64_t clientId_;
+  ResilientClientConfig config_;
+  Reconnector reconnector_;
+  std::unique_ptr<IngestClient> client_;
+  std::uint64_t session_ = 0;
+  std::size_t connectCalls_ = 0;  // factory invocations (ordinal source)
+  std::size_t connections_ = 0;   // attempts that completed the handshake
+  /// Unacked tail: frame payloads with cumulative indices
+  /// [tailBase_, tailBase_ + tail_.size()); pruned as acks arrive.
+  std::deque<std::vector<std::uint8_t>> tail_;
+  std::uint64_t tailBase_ = 0;
+  std::uint64_t framesOffered_ = 0;
+  std::uint64_t framesResent_ = 0;
+  std::uint64_t runsResent_ = 0;
+};
+
+/// DashboardClient that survives connection death. Single-threaded like
+/// the client it wraps. Counters aggregate across incarnations.
+class ResilientDashboardClient {
+ public:
+  ResilientDashboardClient(ConnectFn connect, std::uint64_t clientId,
+                           ResilientClientConfig config = {});
+
+  void subscribe(Topic topic);
+  std::size_t poll(std::chrono::milliseconds timeout =
+                       std::chrono::milliseconds(0));
+  bool waitForSnapshot(Topic topic, std::chrono::milliseconds timeout);
+  bool waitForRuns(std::uint64_t runs, std::chrono::milliseconds timeout);
+
+  [[nodiscard]] const DashboardMirror& mirror() const;
+  [[nodiscard]] std::uint64_t sessionToken() const { return session_; }
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+  [[nodiscard]] std::uint64_t snapshotsReceived(Topic topic) const;
+  [[nodiscard]] std::uint64_t deltasReceived() const;
+
+  void close();
+
+ private:
+  void ensureConnected();
+  void foldCountersFromDead();
+
+  ConnectFn connect_;
+  const std::uint64_t clientId_;
+  ResilientClientConfig config_;
+  Reconnector reconnector_;
+  std::unique_ptr<DashboardClient> client_;
+  std::uint64_t session_ = 0;
+  std::size_t connectCalls_ = 0;
+  std::size_t connections_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::vector<Topic> topics_;  // re-subscribed on every fresh attach
+  /// Counter/mirror state carried over from dead incarnations.
+  std::array<std::uint64_t, 4> snapshotsBase_{};
+  std::uint64_t deltasBase_ = 0;
+  DashboardMirror lastMirror_;
+};
+
+}  // namespace libspector::spectord

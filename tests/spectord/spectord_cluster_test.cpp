@@ -113,6 +113,7 @@ TEST(SpectordClusterTest, CollectorKillAndResumeStaysByteIdentical) {
   killed.jobLimit = 1;
   const CollectorResult beforeCrash = runCollector(config, killed);
   ASSERT_EQ(beforeCrash.jobsDispatched, 1u);
+  EXPECT_EQ(beforeCrash.jobsOwned, beforeCrash.jobsDispatched);
   ASSERT_GT(survivor.jobsDispatched + 1, 0u);
 
   // Merging *without* resuming: the merge itself re-runs the dead
@@ -132,6 +133,9 @@ TEST(SpectordClusterTest, CollectorKillAndResumeStaysByteIdentical) {
   resumed.resume = true;
   const CollectorResult afterResume = runCollector(config, resumed);
   EXPECT_EQ(afterResume.runsReplayed, 1u);
+  // jobsOwned counts only the jobs this incarnation had to work: a
+  // resumed collector reports its gaps, not its whole share over again.
+  EXPECT_EQ(afterResume.jobsOwned, afterResume.jobsDispatched);
   EXPECT_EQ(afterResume.runsReplayed + afterResume.jobsDispatched +
                 survivor.jobsDispatched,
             config.store.appCount);

@@ -1,0 +1,355 @@
+// The resilient client tier: deterministic backoff schedules, clients
+// that survive scripted connection kills (BreakerEndpoint) by resuming
+// their session and re-sending only the unacked tail, the daemon's
+// hardened session table (one live attach per clientId, stale-session
+// expiry on drain), and the ack-path dedupe fixes (duplicate RunAcks,
+// duplicate RunComplete uploads, pre-ack handshake frames).
+#include "spectord/resilient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/attribution.hpp"
+#include "orch/emulator.hpp"
+#include "radar/corpus.hpp"
+#include "spectord/daemon.hpp"
+#include "store/generator.hpp"
+#include "vtsim/categorizer.hpp"
+
+namespace libspector::spectord {
+namespace {
+
+using namespace std::chrono_literals;
+
+ReconnectorConfig testBackoff() {
+  ReconnectorConfig config;
+  config.initialDelay = 1ms;
+  config.maxDelay = 20ms;
+  config.maxAttempts = 10;
+  config.seed = 7;
+  return config;
+}
+
+class SpectordResilientTest : public ::testing::Test {
+ protected:
+  SpectordResilientTest()
+      : generator_(storeConfig()),
+        corpus_(radar::LibraryCorpus::builtin()),
+        categorizer_(vtsim::defaultVendorPanel(),
+                     [this](const std::string& domain) {
+                       return generator_.domainTruth(domain);
+                     }),
+        attributor_(corpus_, categorizer_) {}
+
+  static store::StoreConfig storeConfig() {
+    store::StoreConfig config;
+    config.appCount = 8;
+    config.seed = 42;
+    config.methodScale = 0.05;
+    return config;
+  }
+
+  std::unique_ptr<SpectorDaemon> makeDaemon() {
+    DaemonConfig config;
+    config.ingest.shards = 2;
+    return std::make_unique<SpectorDaemon>(
+        std::move(config), [this](const core::RunArtifacts& artifacts) {
+          return attributor_.attribute(artifacts);
+        });
+  }
+
+  core::RunArtifacts runApp(std::size_t index, ingest::ReportSink* collector) {
+    orch::EmulatorConfig config;
+    config.monkey.events = 80;
+    config.monkey.throttleMs = 50;
+    config.seed = 1000 + index;
+    config.workerId = static_cast<std::uint32_t>(index);
+    orch::EmulatorInstance emulator(generator_.farm(), collector, config);
+    const auto job = generator_.makeJob(index);
+    return emulator.run(job.apk, job.program);
+  }
+
+  store::AppStoreGenerator generator_;
+  radar::LibraryCorpus corpus_;
+  vtsim::DomainCategorizer categorizer_;
+  core::TrafficAttributor attributor_;
+};
+
+// --- Reconnector -----------------------------------------------------------
+
+TEST(ReconnectorTest, BackoffScheduleIsDeterministicWithPinnedJitter) {
+  ReconnectorConfig config;
+  config.initialDelay = 10ms;
+  config.maxDelay = 200ms;
+  config.multiplier = 2.0;
+  config.jitter = 0.25;
+  config.maxAttempts = 6;
+  config.seed = 42;
+
+  // The whole schedule is a pure function of the config: exponential base
+  // 10,20,40,80,160,320 capped at 200, each scaled by seeded jitter in
+  // [0.75, 1.25]. Pinned so an accidental reseed or formula change shows.
+  Reconnector reconnector(config);
+  const std::vector<std::int64_t> expected = {7, 18, 43, 96, 199, 226};
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(reconnector.nextDelay().count(), expected[i]) << "attempt " << i;
+  // Budget exhausted: the seventh attempt must throw, not sleep forever.
+  EXPECT_TRUE(reconnector.exhausted());
+  EXPECT_THROW((void)reconnector.nextDelay(), std::runtime_error);
+
+  // Identical config replays the identical schedule.
+  Reconnector replay(config);
+  for (const std::int64_t delay : expected)
+    EXPECT_EQ(replay.nextDelay().count(), delay);
+
+  // A successful attach resets the failure streak and the budget.
+  Reconnector resetting(config);
+  for (int i = 0; i < 3; ++i) (void)resetting.nextDelay();
+  resetting.reset();
+  EXPECT_EQ(resetting.attempt(), 0u);
+  EXPECT_FALSE(resetting.exhausted());
+}
+
+TEST(ReconnectorTest, JitterStaysInsideTheConfiguredBand) {
+  ReconnectorConfig config;
+  config.initialDelay = 100ms;
+  config.maxDelay = 100000ms;
+  config.multiplier = 1.0;  // flat base isolates the jitter factor
+  config.jitter = 0.5;
+  config.maxAttempts = 200;
+  config.seed = 99;
+  Reconnector reconnector(config);
+  for (int i = 0; i < 200; ++i) {
+    const auto delay = reconnector.nextDelay().count();
+    EXPECT_GE(delay, 50);
+    EXPECT_LE(delay, 150);
+  }
+}
+
+// --- Handshake and ack-path fixes ------------------------------------------
+
+TEST(SpectordHandshakeTest, PreAckFramesAreSkippedNotFatal) {
+  // A resumed connection can carry frames queued for the old attach ahead
+  // of the HelloAck. Hand-roll a server that sends exactly that.
+  ChannelPair pair = makeChannel(4096);
+  std::thread server([endpoint = pair.server]() mutable {
+    std::vector<std::uint8_t> buf;
+    while (endpoint.readable() == 0) endpoint.waitReadable(50ms);
+    endpoint.readSome(buf);  // the Hello; content irrelevant here
+    ReportAckMsg stale;
+    stale.ackedFrames = 5;
+    endpoint.writeAll(encodeFrame(FrameType::ReportAck, stale.encode()));
+    RunAckMsg run;
+    run.jobIndex = 7;
+    run.accepted = true;
+    endpoint.writeAll(encodeFrame(FrameType::RunAck, run.encode()));
+    HelloAckMsg ack;
+    ack.session = 99;
+    ack.ackedFrames = 5;
+    ack.ackedRuns = 1;
+    ack.resumed = true;
+    endpoint.writeAll(encodeFrame(FrameType::HelloAck, ack.encode()));
+  });
+  IngestClient client(pair.client, /*clientId=*/1, /*resumeSession=*/42);
+  server.join();
+  EXPECT_EQ(client.sessionToken(), 99u);
+  EXPECT_TRUE(client.resumed());
+  EXPECT_EQ(client.ackedFrames(), 5u);
+}
+
+TEST_F(SpectordResilientTest, DuplicateRunUploadIsAckedOnceAndNotRefolded) {
+  auto daemon = makeDaemon();
+  IngestClient client(daemon->connect(), /*clientId=*/9);
+  const auto artifacts = runApp(0, &client);
+
+  const RunAckMsg first = client.completeRun(0, artifacts);
+  EXPECT_TRUE(first.accepted);
+  EXPECT_FALSE(first.duplicate);
+
+  // A resumed client whose RunAck was lost re-sends the upload. The
+  // daemon must ack it (the client needs closure) without folding the
+  // run twice, and the client must not count the ack twice.
+  const RunAckMsg second = client.completeRun(0, artifacts);
+  EXPECT_TRUE(second.accepted);
+  EXPECT_TRUE(second.duplicate);
+  EXPECT_EQ(client.ackedRuns(), 1u);
+
+  daemon->drain();
+  EXPECT_EQ(daemon->metrics().runsCompleted, 1u);
+  EXPECT_EQ(daemon->counters().duplicateRunUploads, 1u);
+  client.bye();
+  daemon->shutdown();
+}
+
+// --- Session-table hardening -----------------------------------------------
+
+TEST_F(SpectordResilientTest, SecondLiveAttachOnSameClientIdIsRefused) {
+  auto daemon = makeDaemon();
+  IngestClient live(daemon->connect(), /*clientId=*/9);
+  // Two workers sharing a clientId would corrupt the cumulative ack
+  // stream; while the first attach is live the second must be refused.
+  EXPECT_THROW(IngestClient(daemon->connect(), /*clientId=*/9),
+               std::runtime_error);
+  EXPECT_EQ(daemon->counters().attachRefusals, 1u);
+
+  // The refused handshake must not have disturbed the live session.
+  const auto artifacts = runApp(0, &live);
+  EXPECT_TRUE(live.completeRun(0, artifacts).accepted);
+  const std::uint64_t token = live.sessionToken();
+  live.bye();
+
+  // Once the first connection hung up, the same clientId attaches fine —
+  // a dead-but-unreaped connection must not block its own replacement.
+  IngestClient replacement(daemon->connect(), /*clientId=*/9, token);
+  EXPECT_TRUE(replacement.resumed());
+  replacement.bye();
+  daemon->shutdown();
+}
+
+TEST_F(SpectordResilientTest, AdminDrainExpiresStaleSessions) {
+  auto daemon = makeDaemon();
+  std::uint64_t token = 0;
+  {
+    IngestClient client(daemon->connect(), /*clientId=*/9);
+    const auto artifacts = runApp(0, &client);
+    EXPECT_TRUE(client.completeRun(0, artifacts).accepted);
+    token = client.sessionToken();
+    client.bye();
+  }
+  // An admin drain sweeps sessions with no live attach out of the table.
+  AdminClient admin(daemon->connect(), /*clientId=*/300);
+  const AdminAckMsg drained = admin.request(AdminOp::Drain);
+  EXPECT_TRUE(drained.ok);
+  EXPECT_GE(daemon->counters().sessionsExpired, 1u);
+
+  // The old token no longer resumes: the daemon forgot the session, so
+  // the client gets a fresh one with nothing acked.
+  IngestClient comeback(daemon->connect(), /*clientId=*/9, token);
+  EXPECT_FALSE(comeback.resumed());
+  EXPECT_EQ(comeback.ackedFrames(), 0u);
+  comeback.bye();
+  daemon->shutdown();
+}
+
+// --- Resilient clients under scripted kills --------------------------------
+
+TEST_F(SpectordResilientTest, IngestClientSurvivesSeverAndLosesNothing) {
+  auto daemon = makeDaemon();
+  std::vector<std::unique_ptr<BreakerEndpoint>> breakers;
+  ResilientClientConfig config;
+  config.reconnect = testBackoff();
+
+  // Calibrate the first kill to land mid-report-stream: replay app 0
+  // through a counting sink (the emulator is deterministic, so the real
+  // run emits the identical bytes) and sever halfway into its reports —
+  // that tears a report frame, which only the unacked-tail replay can
+  // recover.
+  struct CountingSink final : ingest::ReportSink {
+    std::uint64_t wireBytes = 0;
+    void submitDatagram(std::span<const std::uint8_t> payload) override {
+      wireBytes += encodeFrame(FrameType::Report, payload).size();
+    }
+  } counter;
+  (void)runApp(0, &counter);
+  ASSERT_GT(counter.wireBytes, 0u);
+  HelloMsg hello;
+  hello.clientId = 9;
+  hello.kind = ClientKind::Ingest;
+  const std::uint64_t severAt =
+      encodeFrame(FrameType::Hello, hello.encode()).size() +
+      counter.wireBytes / 2;
+
+  ResilientIngestClient client(
+      [&](std::size_t ordinal) {
+        BreakerEndpoint::Fault fault;
+        if (ordinal == 0) {
+          // Kill the first connection mid-stream, deliberately mid-frame.
+          fault.kind = BreakerEndpoint::FaultKind::Sever;
+          fault.afterClientBytes = severAt;
+        } else if (ordinal == 1) {
+          fault.kind = BreakerEndpoint::FaultKind::Truncate;
+          fault.afterClientBytes = 9001;
+          fault.stall = 2ms;
+        }
+        breakers.push_back(
+            std::make_unique<BreakerEndpoint>(daemon->connect(), fault));
+        return breakers.back()->clientEnd();
+      },
+      /*clientId=*/9, config);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto artifacts = runApp(i, &client);
+    const RunAckMsg ack = client.completeRun(i, artifacts);
+    EXPECT_TRUE(ack.accepted) << ack.reason;
+  }
+  ASSERT_TRUE(client.waitAckedFrames(client.framesOffered(), 10000ms));
+  EXPECT_EQ(client.reconnects(), 2u);
+  EXPECT_GT(client.framesResent(), 0u);
+
+  daemon->drain();
+  const auto metrics = daemon->metrics();
+  // Every datagram the emulators emitted arrived exactly once: the
+  // severed frames were re-sent from the unacked tail, and anything
+  // double-delivered across the kill was deduped by (worker, sequence).
+  EXPECT_EQ(metrics.runsCompleted, 4u);
+  EXPECT_EQ(metrics.reportsLost, 0u);
+  EXPECT_EQ(daemon->counters().sessionsResumed, 2u);
+  client.bye();
+  daemon->shutdown();
+}
+
+TEST_F(SpectordResilientTest, DashboardClientReconnectsAndResubscribes) {
+  auto daemon = makeDaemon();
+  std::vector<std::unique_ptr<BreakerEndpoint>> breakers;
+  ResilientClientConfig config;
+  config.reconnect = testBackoff();
+
+  // Size the kill so the Hello lands but the first Subscribe is torn.
+  HelloMsg hello;
+  hello.clientId = 77;
+  hello.kind = ClientKind::Dashboard;
+  const std::size_t helloBytes =
+      encodeFrame(FrameType::Hello, hello.encode()).size();
+  SubscribeMsg sub;
+  const std::size_t subBytes =
+      encodeFrame(FrameType::Subscribe, sub.encode()).size();
+
+  ResilientDashboardClient dashboard(
+      [&](std::size_t ordinal) {
+        BreakerEndpoint::Fault fault;
+        if (ordinal == 0) {
+          fault.kind = BreakerEndpoint::FaultKind::Sever;
+          fault.afterClientBytes = helloBytes + subBytes / 2;
+        }
+        breakers.push_back(
+            std::make_unique<BreakerEndpoint>(daemon->connect(), fault));
+        return breakers.back()->clientEnd();
+      },
+      /*clientId=*/77, config);
+  dashboard.subscribe(Topic::Totals);
+
+  IngestClient ingest(daemon->connect(), /*clientId=*/9);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto artifacts = runApp(i, &ingest);
+    EXPECT_TRUE(ingest.completeRun(i, artifacts).accepted);
+  }
+  daemon->drain();
+
+  // The poll loop detects the hangup, reconnects, re-subscribes, and the
+  // fresh snapshot catches the mirror up on everything it missed.
+  ASSERT_TRUE(dashboard.waitForRuns(3, 10000ms));
+  EXPECT_EQ(dashboard.reconnects(), 1u);
+  EXPECT_EQ(dashboard.mirror().totals.runsFolded, 3u);
+  EXPECT_GE(dashboard.snapshotsReceived(Topic::Totals), 1u);
+  ingest.bye();
+  dashboard.close();
+  daemon->shutdown();
+}
+
+}  // namespace
+}  // namespace libspector::spectord
