@@ -102,6 +102,12 @@ class Connection {
   void close();
   [[nodiscard]] bool closed() const noexcept { return closed_; }
 
+  /// Detach the daemon's loop-waker hooks from the channel's pipes,
+  /// waiting out any in-flight invocation. Called when the connection is
+  /// reaped (and at shutdown for live ones) so a peer holding the other
+  /// endpoint can neither wake a gone loop nor pin hook state.
+  void disarmActivity() { endpoint_.disarmActivity(); }
+
   // --- protocol state (daemon-managed) -------------------------------------
 
   bool helloDone = false;

@@ -70,7 +70,6 @@ ChannelEndpoint SpectorDaemon::connect() {
       pair.server.close();
       return pair.client;
     }
-    armed_.push_back(pair.server);
     accepted_.push_back(std::make_unique<Connection>(
         nextConnId_++, pair.server, config_.subscriberQueueBytes,
         config_.slowSubscriberPolicy));
@@ -105,16 +104,20 @@ void SpectorDaemon::shutdown() {
   if (loop_.joinable() && loop_.get_id() != std::this_thread::get_id()) {
     loop_.join();
     // The loop is gone, so the waker is dead weight — detach it from
-    // every channel this daemon ever handed out. A peer (client or fault
-    // proxy) that closes its end after we are destroyed must find no
-    // hook, not a dangling `this`. disarmActivity waits out any hook
-    // invocation already in flight.
-    std::vector<ChannelEndpoint> armed;
+    // every connection still holding a channel (reaped ones were already
+    // disarmed by the loop). A peer (client or fault proxy) that closes
+    // its end after we are destroyed must find no hook, not a dangling
+    // `this`. disarmActivity waits out any hook invocation in flight.
+    std::vector<std::unique_ptr<Connection>> unadopted;
     {
       const std::scoped_lock lock(acceptMutex_);
-      armed.swap(armed_);
+      unadopted.swap(accepted_);
     }
-    for (auto& endpoint : armed) endpoint.disarmActivity();
+    for (auto& conn : unadopted) {
+      conn->disarmActivity();
+      conn->close();
+    }
+    for (auto& conn : conns_) conn->disarmActivity();
   }
 }
 
@@ -257,6 +260,10 @@ bool SpectorDaemon::pumpOnce() {
     if (conn.disconnectAfterFlush || conn.peerGone()) conn.close();
   }
   std::erase_if(conns_, [](const std::unique_ptr<Connection>& conn) {
+    // Reaping drops the daemon's last reference to the channel: disarm
+    // the waker hooks so the peer's surviving endpoint neither pins this
+    // connection's pipes nor wakes the loop for a dead connection.
+    if (conn->closed()) conn->disarmActivity();
     return conn->closed();
   });
   return worked;

@@ -222,13 +222,14 @@ class SpectorDaemon {
   /// Digests enqueued but not yet fanned out (drain() waits on zero).
   std::atomic<std::uint64_t> pendingPublishes_{0};
 
-  // New connections parked until the loop adopts them.
+  // New connections parked until the loop adopts them. Every channel
+  // connect() hands out is armed with the loop waker; the loop disarms a
+  // connection when it reaps it, and shutdown() disarms the survivors
+  // once the loop is gone, so a client or proxy that outlives the daemon
+  // cannot wake() into a destroyed object (and a long-lived daemon under
+  // a reconnect storm does not pin every dead connection's pipes).
   std::mutex acceptMutex_;
   std::vector<std::unique_ptr<Connection>> accepted_;
-  /// Every channel connect() armed with the loop waker: shutdown()
-  /// disarms them all once the loop is gone, so a client or proxy that
-  /// outlives the daemon cannot wake() into a destroyed object.
-  std::vector<ChannelEndpoint> armed_;
   std::uint64_t nextConnId_ = 1;
   bool acceptingClosed_ = false;
 

@@ -119,8 +119,8 @@ ResilientIngestClient::ResilientIngestClient(ConnectFn connect,
   ensureConnectedLocked();
 }
 
-void ResilientIngestClient::ensureConnectedLocked() {
-  if (client_ && !client_->down()) return;
+bool ResilientIngestClient::ensureConnectedLocked() {
+  if (client_ && !client_->down()) return false;
   client_.reset();
   bool first = connections_ == 0 && reconnector_.attempt() == 0;
   while (true) {
@@ -136,8 +136,19 @@ void ResilientIngestClient::ensureConnectedLocked() {
     } catch (const std::exception&) {
       continue;  // daemon unreachable or handshake refused: back off
     }
-    const bool resuming = connections_ > 0;
     ++connections_;
+    if (!fresh->resumed()) {
+      // Fresh session: the first attach, or the daemon expired ours (an
+      // admin drain/compact swept it while we were down). Its ack stream
+      // restarts at zero for the tail we are about to replay, so rebase
+      // the absolute accounting around tailBase_ — carrying the old
+      // absolute indices would make pruning impossible and the tail grow
+      // without bound. Frames the lost session folded but never acked do
+      // get re-folded on replay; that is the cost of expiring a session
+      // out from under a live client, surfaced by resumesRefused().
+      if (session_ != 0) ++resumesRefused_;
+      ackBase_ = tailBase_;
+    }
     session_ = fresh->sessionToken();
     client_ = std::move(fresh);
     // Resume: the HelloAck's cumulative ack is an exact prefix of what we
@@ -145,9 +156,11 @@ void ResilientIngestClient::ensureConnectedLocked() {
     // unacked tail verbatim.
     pruneAckedLocked();
     bool died = false;
+    std::uint64_t index = tailBase_;
     for (const auto& payload : tail_) {
       client_->submitDatagram(payload);
-      if (resuming) ++framesResent_;
+      if (index < sentHigh_) ++framesResent_;
+      sentHigh_ = std::max(sentHigh_, ++index);
       if (client_->down()) {
         died = true;  // killed again mid-replay; the next attach re-acks
         break;
@@ -158,13 +171,13 @@ void ResilientIngestClient::ensureConnectedLocked() {
       continue;
     }
     reconnector_.reset();
-    return;
+    return true;
   }
 }
 
 void ResilientIngestClient::pruneAckedLocked() {
   if (!client_) return;
-  const std::uint64_t acked = client_->ackedFrames();
+  const std::uint64_t acked = ackBase_ + client_->ackedFrames();
   while (tailBase_ < acked && !tail_.empty()) {
     tail_.pop_front();
     ++tailBase_;
@@ -176,17 +189,23 @@ void ResilientIngestClient::submitDatagram(
   const std::scoped_lock lock(mutex_);
   tail_.emplace_back(payload.begin(), payload.end());
   ++framesOffered_;
-  ensureConnectedLocked();
-  client_->submitDatagram(payload);
-  // A failed send leaves the frame in the tail; reconnect replays it.
-  if (client_->down()) ensureConnectedLocked();
+  // A transport already dead at entry means ensureConnectedLocked replays
+  // the whole unacked tail — this frame included — so a direct send on
+  // top of that would deliver (and fold) it twice, skewing the session's
+  // cumulative ack stream.
+  if (!ensureConnectedLocked()) {
+    client_->submitDatagram(payload);
+    sentHigh_ = std::max(sentHigh_, framesOffered_);
+    // A failed send leaves the frame in the tail; reconnect replays it.
+    if (client_->down()) ensureConnectedLocked();
+  }
   pruneAckedLocked();
 }
 
 RunAckMsg ResilientIngestClient::completeRun(
     std::uint64_t jobIndex, const core::RunArtifacts& artifacts) {
   const std::scoped_lock lock(mutex_);
-  while (true) {
+  for (std::size_t attempt = 1;; ++attempt) {
     ensureConnectedLocked();
     try {
       RunAckMsg ack =
@@ -199,6 +218,14 @@ RunAckMsg ResilientIngestClient::completeRun(
       // comes back accepted with `duplicate` set — still one ack per call.
       client_.reset();
       ++runsResent_;
+      // Fail loudly once the attempt budget is spent: a reachable daemon
+      // that never acks resets the reconnect budget on every re-attach,
+      // so without this cap a stuck pipeline retries forever.
+      if (attempt >= config_.runUploadAttempts)
+        throw std::runtime_error(
+            "spectord reconnect: run upload budget exhausted after " +
+            std::to_string(attempt) + " attempts (jobIndex " +
+            std::to_string(jobIndex) + ")");
     }
   }
 }
@@ -209,12 +236,15 @@ bool ResilientIngestClient::waitAckedFrames(std::uint64_t frames,
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   while (true) {
     ensureConnectedLocked();
+    // `frames` counts offered frames absolutely; the live session's ack
+    // stream may be rebased (refused resume), so translate before asking.
+    const std::uint64_t target = frames > ackBase_ ? frames - ackBase_ : 0;
     const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) return client_->ackedFrames() >= frames;
+    if (now >= deadline) return ackBase_ + client_->ackedFrames() >= frames;
     const auto slice = std::min(
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
         std::chrono::milliseconds(100));
-    if (client_->waitAckedFrames(frames, slice)) {
+    if (client_->waitAckedFrames(target, slice)) {
       pruneAckedLocked();
       return true;
     }
@@ -235,7 +265,7 @@ std::uint64_t ResilientIngestClient::framesOffered() const {
 
 std::uint64_t ResilientIngestClient::ackedFrames() const {
   const std::scoped_lock lock(mutex_);
-  return client_ ? client_->ackedFrames() : tailBase_;
+  return client_ ? ackBase_ + client_->ackedFrames() : tailBase_;
 }
 
 std::uint64_t ResilientIngestClient::reconnects() const {
@@ -251,6 +281,11 @@ std::uint64_t ResilientIngestClient::framesResent() const {
 std::uint64_t ResilientIngestClient::runsResent() const {
   const std::scoped_lock lock(mutex_);
   return runsResent_;
+}
+
+std::uint64_t ResilientIngestClient::resumesRefused() const {
+  const std::scoped_lock lock(mutex_);
+  return resumesRefused_;
 }
 
 void ResilientIngestClient::bye() {
@@ -280,11 +315,11 @@ void ResilientDashboardClient::foldCountersFromDead() {
   client_.reset();
 }
 
-void ResilientDashboardClient::ensureConnected() {
-  if (client_ && !client_->peerClosed()) return;
+bool ResilientDashboardClient::ensureConnected() {
+  if (client_ && !client_->peerClosed()) return false;
   // An orderly Bye means the daemon is going away for good — stay down
   // instead of hammering a stopped service with the full backoff budget.
-  if (client_ && client_->byeReceived()) return;
+  if (client_ && client_->byeReceived()) return false;
   foldCountersFromDead();
   bool first = connections_ == 0 && reconnector_.attempt() == 0;
   while (true) {
@@ -306,15 +341,19 @@ void ResilientDashboardClient::ensureConnected() {
     // that is what restores mirror exactness after missed deltas.
     for (Topic topic : topics_) client_->subscribe(topic);
     reconnector_.reset();
-    return;
+    return true;
   }
 }
 
 void ResilientDashboardClient::subscribe(Topic topic) {
-  ensureConnected();
-  if (client_) client_->subscribe(topic);
-  if (std::find(topics_.begin(), topics_.end(), topic) == topics_.end())
-    topics_.push_back(topic);
+  const bool reattached = ensureConnected();
+  const bool known =
+      std::find(topics_.begin(), topics_.end(), topic) != topics_.end();
+  // A reconnect already re-subscribed every recorded topic; sending the
+  // request again would trigger a duplicate snapshot and skew the
+  // snapshotsReceived counters.
+  if (client_ && !(reattached && known)) client_->subscribe(topic);
+  if (!known) topics_.push_back(topic);
 }
 
 std::size_t ResilientDashboardClient::poll(std::chrono::milliseconds timeout) {

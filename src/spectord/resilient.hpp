@@ -137,6 +137,11 @@ struct ResilientClientConfig {
   /// Per-attempt RunAck wait; on expiry the connection is torn down and
   /// the upload retried on a fresh attach.
   std::chrono::milliseconds runAckTimeout{60000};
+  /// Total completeRun attempts before failing loudly. A daemon that
+  /// stays reachable but never acks would otherwise retry forever: every
+  /// re-attach succeeds and resets the reconnect budget, so the upload
+  /// needs its own.
+  std::size_t runUploadAttempts = 8;
 };
 
 /// IngestClient that survives connection death. Thread-safe like the
@@ -172,13 +177,18 @@ class ResilientIngestClient final : public ingest::ReportSink {
   [[nodiscard]] std::uint64_t framesResent() const;
   /// Run uploads retried after a death mid-upload.
   [[nodiscard]] std::uint64_t runsResent() const;
+  /// Resume requests the daemon answered with a fresh session (our old
+  /// one was expired, e.g. by an admin drain while we were down).
+  [[nodiscard]] std::uint64_t resumesRefused() const;
 
   void bye();
 
  private:
   /// Attach (or re-attach) until the transport is live and the unacked
-  /// tail replayed; throws once the backoff budget is exhausted.
-  void ensureConnectedLocked();
+  /// tail replayed; throws once the backoff budget is exhausted. Returns
+  /// true when it performed an attach (and therefore already re-sent
+  /// every tail frame), false when the transport was live all along.
+  bool ensureConnectedLocked();
   void pruneAckedLocked();
 
   mutable std::mutex mutex_;
@@ -194,9 +204,18 @@ class ResilientIngestClient final : public ingest::ReportSink {
   /// [tailBase_, tailBase_ + tail_.size()); pruned as acks arrive.
   std::deque<std::vector<std::uint8_t>> tail_;
   std::uint64_t tailBase_ = 0;
+  /// Cumulative frame index the live session's ack 0 corresponds to.
+  /// Zero for the first session and every resumed one; rebased to
+  /// tailBase_ when the daemon refuses a resume (fresh session, acks
+  /// restart at zero for the tail we replay into it).
+  std::uint64_t ackBase_ = 0;
+  /// Cumulative frame indices [0, sentHigh_) have been transmitted at
+  /// least once; replaying below this line counts as a re-send.
+  std::uint64_t sentHigh_ = 0;
   std::uint64_t framesOffered_ = 0;
   std::uint64_t framesResent_ = 0;
   std::uint64_t runsResent_ = 0;
+  std::uint64_t resumesRefused_ = 0;
 };
 
 /// DashboardClient that survives connection death. Single-threaded like
@@ -221,7 +240,10 @@ class ResilientDashboardClient {
   void close();
 
  private:
-  void ensureConnected();
+  /// Returns true when it performed an attach (which re-subscribed every
+  /// recorded topic), false when the transport was live or stays down
+  /// after an orderly Bye.
+  bool ensureConnected();
   void foldCountersFromDead();
 
   ConnectFn connect_;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -290,6 +292,12 @@ TEST_F(SpectordResilientTest, IngestClientSurvivesSeverAndLosesNothing) {
   ASSERT_TRUE(client.waitAckedFrames(client.framesOffered(), 10000ms));
   EXPECT_EQ(client.reconnects(), 2u);
   EXPECT_GT(client.framesResent(), 0u);
+  // Exact, not best-effort: every offered frame was folded exactly once,
+  // so the cumulative ack equals the offered count. A transport found
+  // dead on entry to submitDatagram must not deliver the new frame both
+  // via the tail replay and a direct send (which would over-advance the
+  // ack stream and later prune a genuinely-unacked frame).
+  EXPECT_EQ(client.ackedFrames(), client.framesOffered());
 
   daemon->drain();
   const auto metrics = daemon->metrics();
@@ -301,6 +309,175 @@ TEST_F(SpectordResilientTest, IngestClientSurvivesSeverAndLosesNothing) {
   EXPECT_EQ(daemon->counters().sessionsResumed, 2u);
   client.bye();
   daemon->shutdown();
+}
+
+TEST_F(SpectordResilientTest, RefusedResumeRebasesAckAccounting) {
+  auto daemon = makeDaemon();
+  std::vector<std::unique_ptr<BreakerEndpoint>> breakers;
+  ResilientClientConfig config;
+  config.reconnect = testBackoff();
+
+  // Capture a real report stream so the severed frames are genuine wire
+  // payloads, then sever mid-way through the third frame.
+  struct CaptureSink final : ingest::ReportSink {
+    std::vector<std::vector<std::uint8_t>> frames;
+    void submitDatagram(std::span<const std::uint8_t> payload) override {
+      frames.emplace_back(payload.begin(), payload.end());
+    }
+  } capture;
+  (void)runApp(0, &capture);
+  ASSERT_GT(capture.frames.size(), 4u);
+  HelloMsg hello;
+  hello.clientId = 9;
+  hello.kind = ClientKind::Ingest;
+  std::uint64_t severAt = encodeFrame(FrameType::Hello, hello.encode()).size();
+  for (std::size_t i = 0; i < 2; ++i)
+    severAt += encodeFrame(FrameType::Report, capture.frames[i]).size();
+  severAt += encodeFrame(FrameType::Report, capture.frames[2]).size() / 2;
+
+  ResilientIngestClient client(
+      [&](std::size_t ordinal) {
+        if (ordinal == 1) {
+          // The daemon expired the session while the client was down: an
+          // admin drain swept it between the hangup and the re-attach, so
+          // the resume is refused and the client gets a fresh session
+          // whose ack stream restarts at zero.
+          AdminClient admin(daemon->connect(), /*clientId=*/300);
+          EXPECT_TRUE(admin.request(AdminOp::Drain).ok);
+          admin.close();
+        }
+        BreakerEndpoint::Fault fault;
+        if (ordinal == 0) {
+          fault.kind = BreakerEndpoint::FaultKind::Sever;
+          fault.afterClientBytes = severAt;
+        }
+        breakers.push_back(
+            std::make_unique<BreakerEndpoint>(daemon->connect(), fault));
+        return breakers.back()->clientEnd();
+      },
+      /*clientId=*/9, config);
+
+  for (const auto& frame : capture.frames) client.submitDatagram(frame);
+  // Without rebasing, the fresh session's from-zero acks can never reach
+  // the absolute offered count: the tail would grow forever and this
+  // wait would spin to its deadline.
+  ASSERT_TRUE(client.waitAckedFrames(client.framesOffered(), 10000ms));
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(client.resumesRefused(), 1u);
+  EXPECT_EQ(client.ackedFrames(), client.framesOffered());
+  EXPECT_GE(daemon->counters().sessionsExpired, 1u);
+  client.bye();
+  daemon->shutdown();
+}
+
+TEST(SpectordResilientBudgetTest, CompleteRunFailsLoudlyWhenDaemonNeverAcks) {
+  // A daemon that stays reachable but never acks resets the reconnect
+  // budget on every re-attach; the upload must have its own fail-loud
+  // budget instead of retrying forever.
+  std::vector<std::thread> servers;
+  ResilientClientConfig config;
+  config.reconnect = testBackoff();
+  config.runAckTimeout = 25ms;
+  config.runUploadAttempts = 3;
+  {
+    ResilientIngestClient client(
+        [&](std::size_t) {
+          ChannelPair pair = makeChannel(64 * 1024);
+          servers.emplace_back([endpoint = pair.server]() mutable {
+            std::vector<std::uint8_t> buf;
+            while (endpoint.readable() == 0 && !endpoint.peerClosed())
+              endpoint.waitReadable(50ms);
+            endpoint.readSome(buf);  // the Hello
+            HelloAckMsg ack;
+            ack.session = 1;
+            endpoint.writeAll(encodeFrame(FrameType::HelloAck, ack.encode()));
+            // Swallow everything else; never send a RunAck.
+            while (!endpoint.peerClosed()) {
+              buf.clear();
+              if (endpoint.readSome(buf) == 0) endpoint.waitReadable(20ms);
+            }
+            endpoint.close();
+          });
+          return pair.client;
+        },
+        /*clientId=*/5, config);
+    core::RunArtifacts artifacts;  // content irrelevant: never acked
+    EXPECT_THROW((void)client.completeRun(0, artifacts), std::runtime_error);
+    EXPECT_EQ(client.runsResent(), 3u);
+    client.bye();
+  }
+  for (auto& server : servers) server.join();
+  EXPECT_EQ(servers.size(), 3u);
+}
+
+TEST(SpectordResilientDashboardTest, ReconnectDoesNotDuplicateSubscribes) {
+  // Count the Subscribe frames each fake-server connection receives: a
+  // reconnect re-subscribes the recorded topics, and subscribe() must not
+  // send the requested topic a second time on top of that.
+  std::vector<std::thread> servers;
+  std::array<std::atomic<int>, 4> subscribes{};
+  std::atomic<bool> firstConnClosed{false};
+  ResilientClientConfig config;
+  config.reconnect = testBackoff();
+  {
+    ResilientDashboardClient dashboard(
+        [&](std::size_t ordinal) {
+          ChannelPair pair = makeChannel(64 * 1024);
+          servers.emplace_back([endpoint = pair.server, &subscribes,
+                                &firstConnClosed, ordinal]() mutable {
+            FrameParser parser;
+            std::vector<std::uint8_t> buf;
+            while (!endpoint.peerClosed()) {
+              buf.clear();
+              if (endpoint.readSome(buf) == 0) {
+                endpoint.waitReadable(20ms);
+                continue;
+              }
+              parser.feed(buf);
+              while (auto frame = parser.next()) {
+                if (frame->type == FrameType::Hello) {
+                  HelloAckMsg ack;
+                  ack.session = ordinal + 1;
+                  endpoint.writeAll(
+                      encodeFrame(FrameType::HelloAck, ack.encode()));
+                } else if (frame->type == FrameType::Subscribe) {
+                  ++subscribes[ordinal];
+                  if (ordinal == 0) {
+                    // Kill the first connection right after its initial
+                    // subscribe landed.
+                    endpoint.close();
+                    firstConnClosed.store(true);
+                    return;
+                  }
+                }
+              }
+            }
+            endpoint.close();
+          });
+          return pair.client;
+        },
+        /*clientId=*/7, config);
+
+    dashboard.subscribe(Topic::Totals);
+    while (!firstConnClosed.load()) std::this_thread::sleep_for(1ms);
+
+    // Re-asserting the same subscription on a dead transport reconnects;
+    // the reconnect path already re-subscribes Totals, so exactly one
+    // Subscribe may reach the second connection here.
+    dashboard.subscribe(Topic::Totals);
+    // A genuinely new topic on the live connection still goes out.
+    dashboard.subscribe(Topic::Loss);
+    const auto deadline = std::chrono::steady_clock::now() + 2000ms;
+    while (subscribes[1].load() < 2 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(1ms);
+    std::this_thread::sleep_for(50ms);  // would catch a late duplicate
+    EXPECT_EQ(subscribes[0].load(), 1);
+    EXPECT_EQ(subscribes[1].load(), 2);
+    EXPECT_EQ(dashboard.reconnects(), 1u);
+    dashboard.close();
+  }
+  for (auto& server : servers) server.join();
 }
 
 TEST_F(SpectordResilientTest, DashboardClientReconnectsAndResubscribes) {
