@@ -19,6 +19,7 @@ StudyResult runStudy(const StudyOptions& options) {
   storeConfig.appCount = options.appCount;
   storeConfig.seed = options.seed;
   storeConfig.methodScale = options.methodScale;
+  storeConfig.scenarios = options.scenarios;
 
   StudyResult result;
   result.generator = std::make_unique<store::AppStoreGenerator>(storeConfig);
@@ -26,6 +27,7 @@ StudyResult runStudy(const StudyOptions& options) {
   orch::DispatcherConfig dispatcherConfig;
   dispatcherConfig.emulator.monkey.events = options.monkeyEvents;
   dispatcherConfig.emulator.monkey.throttleMs = options.throttleMs;
+  dispatcherConfig.emulator.scenario = options.scenarios;
   auto output = orch::runStudy(*result.generator, dispatcherConfig);
   result.study = std::move(output.study);
   result.wallSeconds = output.wallSeconds;

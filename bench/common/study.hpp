@@ -19,6 +19,9 @@ struct StudyOptions {
   double methodScale = 0.15;
   std::uint32_t monkeyEvents = 1000;
   std::uint32_t throttleMs = 500;
+  /// §14 workload scenarios, threaded into both the store generator and the
+  /// emulator runtime (all off = the legacy corpus).
+  rt::ScenarioConfig scenarios;
 };
 
 /// Parse `argv[1]` as an app count override (the only knob benches take).

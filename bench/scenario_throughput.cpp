@@ -1,0 +1,162 @@
+// Scenario-workload sanity bench (§14). Runs the full per-app pipeline
+// (generate -> emulate -> attribute) twice over the same corpus size —
+// legacy flags-off vs all three scenarios on — and checks that the new
+// workloads actually materialise in the attributed flows:
+//
+//   - keep-alive reuse produces flows with requestOrdinal >= 1 and sockets
+//     whose requests attribute to more than one origin library;
+//   - the capture RTT axis measures a latency for the bulk of flows;
+//   - the scenario pipeline keeps an apps/sec rate in the same order of
+//     magnitude as the legacy one (the pooling and elision passes must not
+//     blow up attribution).
+//
+// Writes BENCH_scenarios.json in the cwd for scripts/check_bench_floor.py.
+// Deliberately not linked against google-benchmark: the headline numbers
+// are corpus properties plus one coarse wall-clock rate.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/attribution.hpp"
+#include "orch/emulator.hpp"
+#include "radar/corpus.hpp"
+#include "store/generator.hpp"
+#include "vtsim/categorizer.hpp"
+
+namespace {
+
+using namespace libspector;
+
+constexpr std::size_t kApps = 80;
+constexpr std::uint64_t kSeed = 20200629;
+
+struct PipelineNumbers {
+  std::size_t flows = 0;
+  std::size_t pooledFlows = 0;        // requestOrdinal >= 1
+  std::size_t sockets = 0;            // distinct (app, socket pair)
+  std::size_t multiLibrarySockets = 0;  // >= 2 origin libraries on one socket
+  std::size_t rttMeasuredFlows = 0;   // rttMs > 0
+  double wallSeconds = 0.0;
+};
+
+PipelineNumbers runPipeline(const rt::ScenarioConfig& scenarios,
+                            std::size_t apps) {
+  store::StoreConfig storeConfig;
+  storeConfig.appCount = apps;
+  storeConfig.seed = kSeed;
+  storeConfig.methodScale = 0.15;
+  storeConfig.scenarios = scenarios;
+  const store::AppStoreGenerator generator(storeConfig);
+  vtsim::DomainCategorizer categorizer(
+      vtsim::defaultVendorPanel(), [&](const std::string& domain) {
+        return generator.domainTruth(domain);
+      });
+  const core::TrafficAttributor attributor(radar::LibraryCorpus::builtin(),
+                                           categorizer);
+
+  PipelineNumbers numbers;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < generator.appCount(); ++i) {
+    const auto job = generator.makeJob(i);
+    orch::EmulatorConfig config;
+    config.monkey.events = 1000;
+    config.monkey.throttleMs = 500;
+    config.seed = 0x11b59ec701ULL + i;
+    config.scenario = scenarios;
+    orch::EmulatorInstance emulator(generator.farm(), nullptr, config);
+    const auto run = emulator.run(job.apk, job.program);
+    const auto flows = attributor.attribute(run);
+
+    std::map<net::SocketPair, std::set<std::string>> librariesPerSocket;
+    for (const auto& flow : flows) {
+      ++numbers.flows;
+      if (flow.requestOrdinal >= 1) ++numbers.pooledFlows;
+      if (flow.rttMs > 0) ++numbers.rttMeasuredFlows;
+      librariesPerSocket[flow.socketPair].insert(flow.originLibrary.str());
+    }
+    numbers.sockets += librariesPerSocket.size();
+    for (const auto& [pair, libraries] : librariesPerSocket)
+      if (libraries.size() >= 2) ++numbers.multiLibrarySockets;
+  }
+  numbers.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return numbers;
+}
+
+double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+}  // namespace
+
+int main() {
+  std::printf("=== Scenario workloads: corpus properties + pipeline rate ===\n");
+  std::printf("(corpus: %zu apps, seed %llu, both worlds emulated fully)\n\n",
+              kApps, static_cast<unsigned long long>(kSeed));
+
+  const PipelineNumbers legacy = runPipeline({}, kApps);
+
+  rt::ScenarioConfig scenarios;
+  scenarios.keepAliveReuse = true;
+  scenarios.adversarialApps = true;
+  scenarios.backgroundSync = true;
+  const PipelineNumbers scenario = runPipeline(scenarios, kApps);
+
+  const double legacyRate = ratio(kApps, legacy.wallSeconds);
+  const double scenarioRate = ratio(kApps, scenario.wallSeconds);
+  const double pooledFraction =
+      ratio(static_cast<double>(scenario.pooledFlows),
+            static_cast<double>(scenario.flows));
+  const double multiLibraryFraction =
+      ratio(static_cast<double>(scenario.multiLibrarySockets),
+            static_cast<double>(scenario.sockets));
+  const double rttFraction =
+      ratio(static_cast<double>(scenario.rttMeasuredFlows),
+            static_cast<double>(scenario.flows));
+
+  std::printf("%-34s %12s %12s\n", "", "legacy", "scenario");
+  std::printf("%-34s %12zu %12zu\n", "flows", legacy.flows, scenario.flows);
+  std::printf("%-34s %12zu %12zu\n", "sockets", legacy.sockets,
+              scenario.sockets);
+  std::printf("%-34s %12zu %12zu\n", "pooled flows (ordinal >= 1)",
+              legacy.pooledFlows, scenario.pooledFlows);
+  std::printf("%-34s %12zu %12zu\n", "multi-library sockets",
+              legacy.multiLibrarySockets, scenario.multiLibrarySockets);
+  std::printf("%-34s %12zu %12zu\n", "RTT-measured flows",
+              legacy.rttMeasuredFlows, scenario.rttMeasuredFlows);
+  std::printf("%-34s %9.2f /s %9.2f /s\n", "pipeline rate", legacyRate,
+              scenarioRate);
+  std::printf("\npooled flow fraction:       %.3f\n", pooledFraction);
+  std::printf("multi-library socket frac:  %.3f\n", multiLibraryFraction);
+  std::printf("RTT measured fraction:      %.3f\n", rttFraction);
+
+  if (std::FILE* json = std::fopen("BENCH_scenarios.json", "w")) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"apps\": %zu,\n"
+                 "  \"legacy_flows\": %zu,\n"
+                 "  \"scenario_flows\": %zu,\n"
+                 "  \"scenario_sockets\": %zu,\n"
+                 "  \"pooled_flows\": %zu,\n"
+                 "  \"multi_library_sockets\": %zu,\n"
+                 "  \"rtt_measured_flows\": %zu,\n"
+                 "  \"pooled_flow_fraction\": %.4f,\n"
+                 "  \"multi_library_socket_fraction\": %.4f,\n"
+                 "  \"rtt_measured_fraction\": %.4f,\n"
+                 "  \"legacy_apps_per_sec\": %.2f,\n"
+                 "  \"scenario_apps_per_sec\": %.2f\n"
+                 "}\n",
+                 kApps, legacy.flows, scenario.flows, scenario.sockets,
+                 scenario.pooledFlows, scenario.multiLibrarySockets,
+                 scenario.rttMeasuredFlows, pooledFraction,
+                 multiLibraryFraction, rttFraction, legacyRate, scenarioRate);
+    std::fclose(json);
+    std::printf("\nwrote BENCH_scenarios.json\n");
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@ JSON next to the cwd:
   bench/wire_and_memory        -> BENCH_wire.json
   bench/ingest_throughput      -> BENCH_ingest.json
   bench/spectord_throughput    -> BENCH_spectord.json
+  bench/scenario_throughput    -> BENCH_scenarios.json
 
 This script fails when any gated metric regresses below its recorded
 floor, so an accidental slow-down on a hot path turns a green lane red
@@ -64,6 +65,22 @@ FLOORS = {
         # Framed datagrams through the daemon's duplex-channel protocol
         # and event loop, client fleet, single collector.
         "frames_per_sec": (20000.0, "/s"),
+    },
+    "BENCH_scenarios.json": {
+        # Scenario-diversity corpus (keep-alive reuse + adversarial
+        # laundering + background sync). The fraction floors gate that
+        # the scenarios actually fire -- a generator or wiring regression
+        # that silently drops pooled requests, multi-library sockets, or
+        # the RTT axis shows up as a fraction collapse long before it
+        # shows up in wall clock. Measured: pooled 0.13, multi-library
+        # 0.037, rtt 1.0.
+        "pooled_flow_fraction": (0.02, "x"),
+        "multi_library_socket_fraction": (0.005, "x"),
+        "rtt_measured_fraction": (0.5, "x"),
+        # Absolute rate: scenario emulation must stay the same order of
+        # magnitude as the legacy corpus (measured ~73/s vs ~62/s on the
+        # 1-core CI box).
+        "scenario_apps_per_sec": (15.0, "/s"),
     },
 }
 

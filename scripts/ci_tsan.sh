@@ -8,7 +8,9 @@
 # the spectord daemon (event loop vs. client threads vs. shard consumers,
 # plus the multi-collector cluster driver and the resilient client tier —
 # reconnect/resume under BreakerEndpoint kills runs client threads against
-# breaker pump threads against the daemon loop). A
+# breaker pump threads against the daemon loop), and the scenario
+# conformance matrix (golden-pinned studies at 0/1/2/8 workers and 1/2/4
+# collectors with the keep-alive/adversarial/background-sync flags on). A
 # data race here corrupts studies silently, so this lane gates every
 # change to the streaming path.
 #
@@ -45,6 +47,7 @@ TARGETS=(
   spectord_fuzz_test
   spectord_resilient_test
   spectord_chaos_cluster_test
+  scenario_matrix_test
 )
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
@@ -53,6 +56,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
-  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch|Symbol|Interning|AttributionProgram|FlowColumns|Columnar|Spectord|Reconnector')
+  -R 'Ingest|Dispatcher|Collector|StudyRunner|Recovery|Database|Prefetch|Symbol|Interning|AttributionProgram|FlowColumns|Columnar|Spectord|Reconnector|ScenarioMatrix')
 
 echo "TSan lane: OK"

@@ -101,6 +101,10 @@ void StudyAggregator::addApp(const RunArtifacts& run,
     lib.category = libraryCategory;
     lib.ant = lib.ant || flow.antOrigin;
     lib.common = lib.common || flow.commonOrigin;
+    if (flow.rttMs != 0) {
+      lib.rttSumMs += flow.rttMs;
+      ++lib.rttFlows;
+    }
 
     const util::Symbol twoLevelLibrary = localSym(flow.twoLevelLibrary);
     EntityAgg& two = entityAt(twoLevel_, twoLevelCount_, twoLevelLibrary);
@@ -175,6 +179,10 @@ void StudyAggregator::addAppColumns(const RunArtifacts& run,
     lib.category = libraryCategory;
     lib.ant = lib.ant || ant;
     lib.common = lib.common || common;
+    if (columns.rttMs[i] != 0) {
+      lib.rttSumMs += columns.rttMs[i];
+      ++lib.rttFlows;
+    }
 
     const util::Symbol twoLevelLibrary = local(columns.twoLevelLibrary[i]);
     EntityAgg& two = entityAt(twoLevel_, twoLevelCount_, twoLevelLibrary);
@@ -285,6 +293,24 @@ std::vector<StudyAggregator::RankedEntry> StudyAggregator::topTwoLevelLibraries(
     prepared.push_back({agg.name.str(), agg.total(), agg.category.str()});
   }
   return topOf(std::move(prepared), n);
+}
+
+std::vector<StudyAggregator::LatencyEntry> StudyAggregator::latencyByLibrary()
+    const {
+  std::vector<LatencyEntry> out;
+  out.reserve(libraryCount_);
+  for (const EntityAgg& agg : libraries_) {
+    if (!agg.present || agg.rttFlows == 0) continue;
+    out.push_back({agg.name.str(), agg.category.str(), agg.rttFlows,
+                   static_cast<double>(agg.rttSumMs) /
+                       static_cast<double>(agg.rttFlows)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LatencyEntry& a, const LatencyEntry& b) {
+              if (a.meanRttMs != b.meanRttMs) return a.meanRttMs > b.meanRttMs;
+              return a.library < b.library;
+            });
+  return out;
 }
 
 std::vector<double> StudyAggregator::sentTotals(Entity entity) const {

@@ -167,12 +167,31 @@ class StudyAggregator {
   /// input: e.g. Advertisement bytes per 8-minute run).
   [[nodiscard]] double meanBytesPerRun(const std::string& libCategory) const;
 
+  // ---- latency axis (§14, background-sync scenario) -----------------------
+
+  struct LatencyEntry {
+    std::string library;
+    std::string category;
+    std::uint64_t flows = 0;  // flows that measured an RTT
+    double meanRttMs = 0.0;
+  };
+  /// Per origin-library mean capture-derived RTT over the flows that
+  /// measured one (FlowRecord::rttMs != 0), descending by mean (ties by
+  /// name). Libraries with no measured flow are omitted. Feeds the policy
+  /// latency report and bench/fig11_latency_by_library.
+  [[nodiscard]] std::vector<LatencyEntry> latencyByLibrary() const;
+
  private:
   struct EntityAgg {
     util::Symbol name;      // into pool_
     util::Symbol category;  // into pool_
     std::uint64_t sent = 0;
     std::uint64_t recv = 0;
+    /// Latency axis: sum/count over flows whose window measured an RTT.
+    /// New fields only — the fold's intern order is pinned by the
+    /// row/columnar equivalence, so the axis must not reorder it.
+    std::uint64_t rttSumMs = 0;
+    std::uint64_t rttFlows = 0;
     bool ant = false;
     bool common = false;
     bool present = false;  // dense tables have untouched slots

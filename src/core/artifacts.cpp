@@ -7,8 +7,11 @@ namespace libspector::core {
 namespace {
 constexpr std::uint32_t kMagic = 0x54524153;  // "SART"
 // v2 appends reportsEmitted (the sender-side report count behind the
-// ingest tier's loss accounting); v1 bundles are still readable.
-constexpr std::uint16_t kVersion = 2;
+// ingest tier's loss accounting); v3 appends the request-boundary records
+// of the keep-alive scenario. Both tails are version-gated, a bundle is
+// written at the lowest version that can carry it, and v1/v2 bundles are
+// still readable.
+constexpr std::uint16_t kVersion = 3;
 
 constexpr std::uint32_t kEnvelopeMagic = 0x42415053;  // "SPAB"
 }  // namespace
@@ -16,7 +19,9 @@ constexpr std::uint32_t kEnvelopeMagic = 0x42415053;  // "SPAB"
 std::vector<std::uint8_t> RunArtifacts::serialize() const {
   util::ByteWriter w;
   w.u32(kMagic);
-  w.u16(kVersion);
+  // Lowest version that can carry the bundle: scenario-off runs have no
+  // boundaries and keep emitting the exact v2 bytes.
+  w.u16(requestBoundaries.empty() ? std::uint16_t{2} : kVersion);
   w.str(apkSha256);
   w.str(packageName);
   w.str(appCategory);
@@ -41,6 +46,15 @@ std::vector<std::uint8_t> RunArtifacts::serialize() const {
   w.u32(monkeyEventsInjected);
   w.u64(runDurationMs);
   w.u64(reportsEmitted);
+  if (!requestBoundaries.empty()) {
+    w.u32(util::checkedU32(requestBoundaries.size(),
+                           "RunArtifacts: boundary count"));
+    for (const auto& boundary : requestBoundaries) {
+      w.u64(boundary.socketId);
+      w.u32(boundary.ordinal);
+      w.u64(boundary.timestampMs);
+    }
+  }
   return w.take();
 }
 
@@ -79,6 +93,17 @@ RunArtifacts RunArtifacts::deserialize(std::span<const std::uint8_t> bytes) {
   // v1 predates loss accounting: assume every delivered report was emitted.
   artifacts.reportsEmitted =
       version >= 2 ? r.u64() : artifacts.reports.size();
+  if (version >= 3) {
+    const std::uint32_t boundaryCount = r.countCheck(r.u32(), 20);
+    artifacts.requestBoundaries.reserve(boundaryCount);
+    for (std::uint32_t i = 0; i < boundaryCount; ++i) {
+      RequestBoundary boundary;
+      boundary.socketId = r.u64();
+      boundary.ordinal = r.u32();
+      boundary.timestampMs = r.u64();
+      artifacts.requestBoundaries.push_back(boundary);
+    }
+  }
   if (!r.atEnd()) throw util::DecodeError("RunArtifacts: trailing bytes");
   return artifacts;
 }

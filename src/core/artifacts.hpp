@@ -24,6 +24,11 @@ struct RunArtifacts {
   std::vector<UdpReport> reports;
   std::vector<std::string> methodTraceFile;
   CoverageResult coverage;
+  /// Keep-alive request boundaries the runtime observed (ordinal >= 1 per
+  /// reused socket; empty outside the keep-alive scenario). Serialized as a
+  /// version-gated v3 tail: an empty list emits the legacy v2 bytes, so
+  /// bundles from scenario-off runs stay byte-identical to the seed.
+  std::vector<RequestBoundary> requestBoundaries;
 
   std::uint32_t monkeyEventsInjected = 0;
   std::uint64_t runDurationMs = 0;

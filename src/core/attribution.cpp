@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "dex/type_signature.hpp"
+#include "rt/framework.hpp"
 #include "util/strings.hpp"
 
 namespace libspector::core {
@@ -82,12 +83,44 @@ bool isBuiltinFrame(std::string_view frameOrSignature) {
   return false;
 }
 
+bool isJunkPackageFrame(std::string_view entry) {
+  const std::string package = packageOfEntry(entry);
+  if (package.empty()) return false;
+  std::size_t componentLength = 0;
+  for (const char c : package) {
+    if (c == '.') {
+      if (componentLength > 2) return false;
+      componentLength = 0;
+    } else {
+      ++componentLength;
+    }
+  }
+  return componentLength <= 2;
+}
+
+bool isReflectionMarkerFrame(std::string_view entry) {
+  return entry == rt::kReflectMethodInvokeFrame ||
+         entry == rt::kReflectProxyInvokeFrame;
+}
+
+bool isTrampolineFrame(std::span<const std::string> stackSignatures,
+                       std::size_t i) {
+  if (isJunkPackageFrame(stackSignatures[i])) return true;
+  // Innermost-first list: frame i called whatever sits at i - 1. A frame
+  // whose direct callee is Method/Proxy.invoke is a dispatch trampoline —
+  // it only exists to bounce the request into the reflection target, which
+  // is the genuine logic and sits further *in* (past the marker).
+  return i >= 1 && isReflectionMarkerFrame(stackSignatures[i - 1]);
+}
+
 std::optional<std::size_t> originFrameIndex(
-    std::span<const std::string> stackSignatures) {
+    std::span<const std::string> stackSignatures, bool elideTrampolines) {
   // Innermost-first list: the chronologically first call is the outermost
   // frame, so scan from the back and return the first non-built-in frame.
   for (std::size_t i = stackSignatures.size(); i-- > 0;) {
-    if (!isBuiltinFrame(stackSignatures[i])) return i;
+    if (isBuiltinFrame(stackSignatures[i])) continue;
+    if (elideTrampolines && isTrampolineFrame(stackSignatures, i)) continue;
+    return i;
   }
   return std::nullopt;
 }
@@ -116,6 +149,7 @@ TrafficAttributor::FrameInfo TrafficAttributor::computeFrameInfo(
     // One compiled walk answers the builtin filter; a second answers the
     // ant/common lists and the corpus election for the origin package.
     info.builtin = program_->isBuiltinFrame(signature);
+    info.junkPackage = AttributionProgram::isJunkPackageEntry(signature);
     const AttributionProgram::Lookup hit =
         program_->lookupPackage(originLibrary);
     info.libraryCategory = pool_->intern(program_->categoryOf(hit));
@@ -123,11 +157,13 @@ TrafficAttributor::FrameInfo TrafficAttributor::computeFrameInfo(
     info.common = hit.common;
   } else {
     info.builtin = isBuiltinFrame(signature);
+    info.junkPackage = isJunkPackageFrame(signature);
     info.libraryCategory =
         pool_->intern(corpus_.matchCategory(originLibrary).category);
     info.ant = radar::antLibraries().matches(originLibrary);
     info.common = radar::commonLibraries().matches(originLibrary);
   }
+  info.reflectMarker = isReflectionMarkerFrame(signature);
   return info;
 }
 
@@ -241,6 +277,7 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
   //     outlives this call), exactly the pre-interning behavior.
   std::unordered_map<std::string_view, const FrameInfo*> frameMemo;
   std::unordered_map<std::string_view, bool> builtinMemo;
+  std::unordered_map<std::string_view, bool> junkMemo;
   std::unordered_map<std::string_view, FrameInfo> originMemo;
 
   const auto sharedInfoOf = [&](const std::string& frame) -> const FrameInfo& {
@@ -255,10 +292,26 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
     if (inserted) it->second = isBuiltinFrame(frame);
     return it->second;
   };
+  const auto isJunkOf = [&](const std::string& frame) -> bool {
+    if (config_.internSymbols) return sharedInfoOf(frame).junkPackage;
+    if (!config_.memoizeFrames) return isJunkPackageFrame(frame);
+    const auto [it, inserted] = junkMemo.try_emplace(frame, false);
+    if (inserted) it->second = isJunkPackageFrame(frame);
+    return it->second;
+  };
+  const auto isReflectOf = [&](const std::string& frame) -> bool {
+    // Plain string equality: cheap enough to skip the memo tiers.
+    if (config_.internSymbols) return sharedInfoOf(frame).reflectMarker;
+    return isReflectionMarkerFrame(frame);
+  };
   const auto originIndexOf =
       [&](std::span<const std::string> stack) -> std::optional<std::size_t> {
     for (std::size_t i = stack.size(); i-- > 0;) {
-      if (!isBuiltinOf(stack[i])) return i;
+      if (isBuiltinOf(stack[i])) continue;
+      if (config_.elideTrampolines &&
+          (isJunkOf(stack[i]) || (i >= 1 && isReflectOf(stack[i - 1]))))
+        continue;
+      return i;
     }
     return std::nullopt;
   };
@@ -321,8 +374,15 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
     groupFirst = groupLast;
     for (std::size_t k = 0; k < indices.size(); ++k) {
       const UdpReport& report = run.reports[indices[k]];
+      // Keep-alive boundary reports (ordinal >= 1) are stamped strictly
+      // after every packet of the preceding request on the same socket, so
+      // the report timestamp itself is an exact window start — backward
+      // slack would leak the previous request's packets into this flow.
+      // Connect reports (ordinal 0, i.e. every legacy report) keep the
+      // handshake slack.
       const util::SimTimeMs from =
-          report.timestampMs > config_.connectSlackMs
+          report.requestOrdinal > 0 ? report.timestampMs
+          : report.timestampMs > config_.connectSlackMs
               ? report.timestampMs - config_.connectSlackMs
               : 0;
       const util::SimTimeMs to =
@@ -343,6 +403,8 @@ std::vector<FlowRecord> TrafficAttributor::attribute(
       // the receive/send ratios of download-heavy flows.
       flow.sentBytes = volume.payloadFromSrc;
       flow.recvBytes = volume.payloadFromDst;
+      flow.requestOrdinal = report.requestOrdinal;
+      flow.rttMs = volume.rttMs();
 
       std::string_view domain = hostFor(pair, from, to);
       if (domain.empty()) domain = domainFor(pair.dst.ip, report.timestampMs);
@@ -433,6 +495,8 @@ void FlowColumns::reserve(std::size_t n) {
   recvBytes.reserve(n);
   socketPair.reserve(n);
   connectTimeMs.reserve(n);
+  requestOrdinal.reserve(n);
+  rttMs.reserve(n);
 }
 
 void FlowColumns::push(const FlowRecord& flow) {
@@ -453,6 +517,8 @@ void FlowColumns::push(const FlowRecord& flow) {
   recvBytes.push_back(flow.recvBytes);
   socketPair.push_back(flow.socketPair);
   connectTimeMs.push_back(flow.connectTimeMs);
+  requestOrdinal.push_back(flow.requestOrdinal);
+  rttMs.push_back(flow.rttMs);
 }
 
 FlowRecord FlowColumns::row(std::size_t i) const {
@@ -476,6 +542,8 @@ FlowRecord FlowColumns::row(std::size_t i) const {
   flow.connectTimeMs = connectTimeMs[i];
   flow.sentBytes = sentBytes[i];
   flow.recvBytes = recvBytes[i];
+  flow.requestOrdinal = requestOrdinal[i];
+  flow.rttMs = rttMs[i];
   return flow;
 }
 

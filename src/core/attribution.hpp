@@ -45,11 +45,33 @@ namespace libspector::core {
 /// Listing 1 origin frame).
 [[nodiscard]] std::string packageOfEntry(std::string_view entry);
 
+/// True when the entry's package is a laundering "junk" package: it has at
+/// least one component and every dot-separated component is at most two
+/// characters ("a.b.c.Gen.run"). Real SDK packages always carry a longer
+/// component ("com", "org", "unity3d", ...), so the rule never fires on an
+/// honest stack. Reference matcher for AttributionProgram::isJunkPackageEntry.
+[[nodiscard]] bool isJunkPackageFrame(std::string_view entry);
+
+/// True when the entry is one of the reflection trampoline markers
+/// (rt::kReflectMethodInvokeFrame / rt::kReflectProxyInvokeFrame).
+[[nodiscard]] bool isReflectionMarkerFrame(std::string_view entry);
+
+/// True when `stackSignatures[i]` should be elided as a laundering
+/// trampoline (DESIGN.md §14): its package is junk, or its inward
+/// neighbour — its direct callee, at i - 1 in the innermost-first list —
+/// is a reflection marker, meaning the frame is a dispatcher that only
+/// bounced the request through Method/Proxy.invoke; the reflection target
+/// past the marker is the genuine origin.
+[[nodiscard]] bool isTrampolineFrame(
+    std::span<const std::string> stackSignatures, std::size_t i);
+
 /// Index (into the innermost-first list) of the origin frame: the
 /// chronologically first non-built-in method, i.e. the outermost surviving
-/// frame. std::nullopt when every frame is built-in.
+/// frame. std::nullopt when every frame is built-in. With
+/// `elideTrampolines`, laundering trampoline frames (see isTrampolineFrame)
+/// are skipped as well — a fixed point on un-laundered stacks.
 [[nodiscard]] std::optional<std::size_t> originFrameIndex(
-    std::span<const std::string> stackSignatures);
+    std::span<const std::string> stackSignatures, bool elideTrampolines = false);
 
 /// One attributed flow: a socket, its volume, and its origin context.
 ///
@@ -82,6 +104,15 @@ struct FlowRecord {
   util::SimTimeMs connectTimeMs = 0;
   std::uint64_t sentBytes = 0;  // device -> server, wire bytes
   std::uint64_t recvBytes = 0;  // server -> device, wire bytes
+
+  /// Logical request ordinal on the carrying socket: 0 for the request
+  /// that opened the connection (every report outside the keep-alive
+  /// scenario), >= 1 for keep-alive reuse. Mirrors UdpReport.
+  std::uint32_t requestOrdinal = 0;
+  /// Capture-derived latency estimate (§14): gap between the first packet
+  /// the device sent in this flow's window and the first packet it got
+  /// back. 0 when either direction never transferred in the window.
+  util::SimTimeMs rttMs = 0;
 };
 
 /// One app run's attributed flows in columnar (SoA) form: every FlowRecord
@@ -115,6 +146,8 @@ struct FlowColumns {
   std::vector<std::uint64_t> recvBytes;
   std::vector<net::SocketPair> socketPair;
   std::vector<util::SimTimeMs> connectTimeMs;
+  std::vector<std::uint32_t> requestOrdinal;
+  std::vector<util::SimTimeMs> rttMs;
 
   [[nodiscard]] std::size_t size() const noexcept { return flags.size(); }
   void reserve(std::size_t n);
@@ -159,6 +192,13 @@ struct AttributorConfig {
   /// keeps the row-at-a-time FlowRecord fold as the bit-identical
   /// reference; the study tests pin both paths to the same bytes.
   bool columnarFold = true;
+  /// Elide stack-laundering trampoline frames (junk packages and
+  /// reflection-invoked frames, DESIGN.md §14) before electing the origin.
+  /// Honest stacks contain neither, so the pass is a fixed point on them —
+  /// the default-on setting leaves the legacy corpus byte-identical (pinned
+  /// by the scenario-conformance tier) while restoring correct attribution
+  /// for adversarial apps. Off keeps the raw footnote-2 scan.
+  bool elideTrampolines = true;
 };
 
 class TrafficAttributor {
@@ -202,6 +242,11 @@ class TrafficAttributor {
     util::Symbol signature;
     bool ant = false;
     bool common = false;
+    /// Trampoline-elision inputs (config_.elideTrampolines): junk package
+    /// and reflection-marker status of this frame (the marker flags the
+    /// *inward* neighbour for elision).
+    bool junkPackage = false;
+    bool reflectMarker = false;
   };
 
   [[nodiscard]] FrameInfo computeFrameInfo(std::string_view signature) const;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "dex/type_signature.hpp"
+#include "rt/framework.hpp"
 
 namespace libspector::core {
 
@@ -199,6 +200,43 @@ std::string_view AttributionProgram::matchedPrefixOf(
     const Lookup& hit) const noexcept {
   return hit.election == kNoElection ? std::string_view{}
                                      : elections_[hit.election].prefix;
+}
+
+bool AttributionProgram::isJunkPackageEntry(std::string_view entry) noexcept {
+  // Allocation-free mirror of the reference: derive the entry's package
+  // (class and method stripped) and require >= 1 component, all <= 2 chars.
+  const auto allComponentsShort = [](std::string_view package,
+                                     char separator) noexcept {
+    std::size_t componentLength = 0;
+    for (const char c : package) {
+      if (c == separator) {
+        if (componentLength > 2) return false;
+        componentLength = 0;
+      } else {
+        ++componentLength;
+      }
+    }
+    return componentLength <= 2;
+  };
+  if (const auto sig = dex::parseSignatureView(entry)) {
+    const std::size_t lastSlash = sig->slashedClass.rfind('/');
+    // lastSlash == 0 leaves a zero-length package ("/Foo;"), which the
+    // reference treats as packageless, not junk.
+    if (lastSlash == std::string_view::npos || lastSlash == 0) return false;
+    return allComponentsShort(sig->slashedClass.substr(0, lastSlash), '/');
+  }
+  // Dotted frame name: strip the method, then the class.
+  std::size_t dot = entry.rfind('.');
+  if (dot == std::string_view::npos) return false;
+  dot = entry.substr(0, dot).rfind('.');
+  // dot == 0 (entry like ".Cls.run") leaves an empty package: not junk.
+  if (dot == std::string_view::npos || dot == 0) return false;
+  return allComponentsShort(entry.substr(0, dot), '.');
+}
+
+bool AttributionProgram::isReflectionMarker(std::string_view entry) noexcept {
+  return entry == rt::kReflectMethodInvokeFrame ||
+         entry == rt::kReflectProxyInvokeFrame;
 }
 
 }  // namespace libspector::core

@@ -84,6 +84,14 @@ class AttributionProgram {
   [[nodiscard]] std::string_view matchedPrefixOf(
       const Lookup& hit) const noexcept;
 
+  /// Trampoline-elision queries (DESIGN.md §14). Static and allocation-free
+  /// (the junk-package rule is a pure string property, so nothing needs the
+  /// trie): equivalent to core::isJunkPackageFrame /
+  /// core::isReflectionMarkerFrame, which stay as the reference matchers
+  /// for the differential tests.
+  [[nodiscard]] static bool isJunkPackageEntry(std::string_view entry) noexcept;
+  [[nodiscard]] static bool isReflectionMarker(std::string_view entry) noexcept;
+
   [[nodiscard]] std::size_t nodeCount() const noexcept { return flags_.size(); }
   [[nodiscard]] std::size_t electionCount() const noexcept {
     return elections_.size();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,18 @@
 #include "rt/tracer.hpp"
 
 namespace libspector::core {
+
+/// One keep-alive request boundary observed by the runtime: pooled socket
+/// `socketId` started carrying logical request `ordinal` (>= 1; the connect
+/// is ordinal 0) at simulated time `timestampMs`. Persisted in RunArtifacts
+/// (v3) so offline consumers can audit per-request flow splitting.
+struct RequestBoundary {
+  std::uint64_t socketId = 0;
+  std::uint32_t ordinal = 0;
+  std::uint64_t timestampMs = 0;
+
+  [[nodiscard]] bool operator==(const RequestBoundary&) const = default;
+};
 
 struct CoverageResult {
   std::size_t coveredMethods = 0;  // trace entries found in the dex files
@@ -31,13 +44,25 @@ struct CoverageResult {
 class MethodMonitor {
  public:
   MethodMonitor() = default;
+  // The boundary tracer holds a reference to this monitor.
+  MethodMonitor(const MethodMonitor&) = delete;
+  MethodMonitor& operator=(const MethodMonitor&) = delete;
 
   /// The tracer to hand to the runtime (Android Profiler listener analogue).
-  [[nodiscard]] rt::MethodTracer& tracer() noexcept { return tracer_; }
+  /// Forwards method entries to the unique-method tracer and records
+  /// request-boundary events on the side.
+  [[nodiscard]] rt::MethodTracer& tracer() noexcept { return boundaryTracer_; }
 
   /// Write the method trace file: all unique recorded entries.
   [[nodiscard]] std::vector<std::string> writeTraceFile() const {
     return tracer_.traceFile();
+  }
+
+  /// Request boundaries in observation order (empty unless the keep-alive
+  /// scenario reused connections during the run).
+  [[nodiscard]] const std::vector<RequestBoundary>& requestBoundaries()
+      const noexcept {
+    return boundaries_;
   }
 
   /// Coverage of `apk` given a trace file (§IV-C methodology: intersect the
@@ -46,7 +71,30 @@ class MethodMonitor {
       const std::vector<std::string>& traceFile, const dex::ApkFile& apk);
 
  private:
+  class BoundaryTracer final : public rt::MethodTracer {
+   public:
+    explicit BoundaryTracer(MethodMonitor& owner) noexcept : owner_(owner) {}
+    void onMethodEntry(std::string_view signature) override {
+      owner_.tracer_.onMethodEntry(signature);
+    }
+    [[nodiscard]] std::vector<std::string> traceFile() const override {
+      return owner_.tracer_.traceFile();
+    }
+    [[nodiscard]] std::size_t droppedCount() const noexcept override {
+      return owner_.tracer_.droppedCount();
+    }
+    void onRequestBoundary(std::uint64_t socketId, std::uint32_t ordinal,
+                           std::uint64_t timestampMs) override {
+      owner_.boundaries_.push_back({socketId, ordinal, timestampMs});
+    }
+
+   private:
+    MethodMonitor& owner_;
+  };
+
   rt::UniqueMethodTracer tracer_;
+  std::vector<RequestBoundary> boundaries_;
+  BoundaryTracer boundaryTracer_{*this};
 };
 
 }  // namespace libspector::core

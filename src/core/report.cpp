@@ -49,6 +49,9 @@ std::vector<std::uint8_t> UdpReport::encode() const {
   w.u64(timestampMs);
   w.u32(static_cast<std::uint32_t>(stackSignatures.size()));
   for (const auto& signature : stackSignatures) w.str(signature);
+  // Optional trailing field: a zero ordinal (every report outside the
+  // keep-alive scenario) keeps the legacy encoding byte for byte.
+  if (requestOrdinal != 0) w.u32(requestOrdinal);
   return w.take();
 }
 
@@ -66,6 +69,7 @@ UdpReport UdpReport::decode(std::span<const std::uint8_t> datagram) {
   report.stackSignatures.reserve(frames);
   for (std::uint32_t i = 0; i < frames; ++i)
     report.stackSignatures.push_back(r.str());
+  if (!r.atEnd()) report.requestOrdinal = r.u32();
   if (!r.atEnd()) throw util::DecodeError("UdpReport: trailing bytes");
   return report;
 }
@@ -104,6 +108,9 @@ std::vector<std::uint8_t> DictReportFrame::encode() const {
   body.u64(timestampMs);
   body.u32(util::checkedU32(signatureIds.size(), "DictReportFrame: frames"));
   for (const std::uint32_t id : signatureIds) body.u32(id);
+  // Optional trailing field (see UdpReport::encode): zero keeps the legacy
+  // v3 bytes; the crc32 in sealFrame covers it when present.
+  if (requestOrdinal != 0) body.u32(requestOrdinal);
   return sealFrame(ReportFrame::kDictVersion, body);
 }
 
@@ -132,6 +139,7 @@ DictReportFrame DictReportFrame::decode(
   const std::uint32_t frames = r.countCheck(r.u32(), 4);
   frame.signatureIds.reserve(frames);
   for (std::uint32_t i = 0; i < frames; ++i) frame.signatureIds.push_back(r.u32());
+  if (!r.atEnd()) frame.requestOrdinal = r.u32();
   if (!r.atEnd()) throw util::DecodeError("DictReportFrame: trailing bytes");
   if (shaKey != util::fnv1a64(frame.apkSha256))
     throw util::DecodeError(
@@ -147,6 +155,7 @@ std::vector<std::uint8_t> DictFrameEncoder::encode(std::uint64_t sequence,
   frame.apkSha256 = report.apkSha256;
   frame.socketPair = report.socketPair;
   frame.timestampMs = report.timestampMs;
+  frame.requestOrdinal = report.requestOrdinal;
   frame.signatureIds.reserve(report.stackSignatures.size());
   for (const auto& signature : report.stackSignatures) {
     auto it = ids_.find(std::string_view(signature));
@@ -172,6 +181,7 @@ UdpReport ReportStreamDecoder::decode(std::span<const std::uint8_t> datagram) {
   report.apkSha256 = frame.apkSha256;
   report.socketPair = frame.socketPair;
   report.timestampMs = frame.timestampMs;
+  report.requestOrdinal = frame.requestOrdinal;
   report.stackSignatures.reserve(frame.signatureIds.size());
   for (const std::uint32_t id : frame.signatureIds) {
     const auto it = dict.find(id);

@@ -27,6 +27,13 @@ struct UdpReport {
   /// Translated stack trace, innermost first. App frames carry full smali
   /// type signatures, framework frames their dotted frame name.
   std::vector<std::string> stackSignatures;
+  /// Which logical request on the socket this report describes: 0 for the
+  /// connect report (one report per socket, the legacy world), >= 1 for
+  /// each keep-alive reuse boundary. Encoded as an *optional trailing*
+  /// field — a zero ordinal emits the exact legacy bytes, and legacy
+  /// datagrams decode with ordinal 0 — so the wire format stays
+  /// byte-identical whenever the keep-alive scenario is off.
+  std::uint32_t requestOrdinal = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static UdpReport decode(std::span<const std::uint8_t> datagram);
@@ -121,6 +128,9 @@ struct DictReportFrame {
   std::vector<std::pair<std::uint32_t, std::string>> defs;
   /// Translated stack trace as dictionary ids, innermost first.
   std::vector<std::uint32_t> signatureIds;
+  /// Logical-request ordinal (see UdpReport::requestOrdinal): optional
+  /// trailing field, zero emits the exact legacy v3 bytes.
+  std::uint32_t requestOrdinal = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   /// Validates magic, version, checksum, and that shaKey matches the

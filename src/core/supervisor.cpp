@@ -50,6 +50,15 @@ void SocketSupervisor::onAppLoaded(rt::Interpreter& runtime,
       [this, state](const rt::SocketHookContext& context) {
         onSocketConnected(context, state);
       });
+  // Keep-alive reuse fires the same observation with a nonzero request
+  // ordinal: one report per *logical request*, not per socket, so the
+  // offline pipeline can split a reused connection's capture stream into
+  // per-request flows.
+  runtime.registerPostHook(
+      std::string(rt::kRequestBoundaryFrame),
+      [this, state](const rt::SocketHookContext& context) {
+        onSocketConnected(context, state);
+      });
 }
 
 void SocketSupervisor::onSocketConnected(
@@ -69,6 +78,7 @@ void SocketSupervisor::onSocketConnected(
   report.apkSha256 = state->apkSha256;
   report.socketPair = *pair;
   report.timestampMs = runtime.clock().now();
+  report.requestOrdinal = context.requestOrdinal;
 
   const auto trace = runtime.getStackTrace();
   report.stackSignatures.reserve(trace.size());

@@ -245,6 +245,7 @@ void ShardedIngest::foldDictFrame(Shard& shard, const Item& item) {
     report.apkSha256 = std::move(frame.apkSha256);
     report.socketPair = frame.socketPair;
     report.timestampMs = frame.timestampMs;
+    report.requestOrdinal = frame.requestOrdinal;
     const auto key = std::make_pair(frame.workerId, frame.sequence);
     if (complete) {
       report.stackSignatures = std::move(stack);

@@ -65,9 +65,11 @@ CaptureFile::StreamVolume CaptureFile::streamVolume(const SocketPair& pair,
     if (pkt.pair.src == pair.src) {
       volume.bytesFromSrc += pkt.wireBytes;
       volume.payloadFromSrc += pkt.payloadBytes;
+      volume.firstFromSrcMs = std::min(volume.firstFromSrcMs, pkt.timestampMs);
     } else {
       volume.bytesFromDst += pkt.wireBytes;
       volume.payloadFromDst += pkt.payloadBytes;
+      volume.firstFromDstMs = std::min(volume.firstFromDstMs, pkt.timestampMs);
     }
     ++volume.packetCount;
   }
@@ -101,10 +103,12 @@ CaptureIndex::CaptureIndex(const CaptureFile& capture) : capture_(&capture) {
     out.wireReverse.assign(n + 1, 0);
     out.payloadForward.assign(n + 1, 0);
     out.payloadReverse.assign(n + 1, 0);
+    out.forward.resize(n);
     for (std::size_t k = 0; k < n; ++k) {
       const PacketRecord& pkt = packets[order[k]];
       out.timestamps[k] = pkt.timestampMs;
       const bool forward = pkt.pair.src == conn.src;
+      out.forward[k] = forward ? 1 : 0;
       out.wireForward[k + 1] =
           out.wireForward[k] + (forward ? pkt.wireBytes : 0);
       out.wireReverse[k + 1] =
@@ -133,6 +137,8 @@ CaptureFile::StreamVolume CaptureIndex::streamVolume(
   std::uint64_t payFwd = 0;
   std::uint64_t payRev = 0;
   std::size_t matched = 0;
+  util::SimTimeMs firstFwd = CaptureFile::StreamVolume::kNoTimestamp;
+  util::SimTimeMs firstRev = CaptureFile::StreamVolume::kNoTimestamp;
 
   const auto resortedIt = resorted_.find(c);
   if (resortedIt == resorted_.end()) {
@@ -175,6 +181,21 @@ CaptureFile::StreamVolume CaptureIndex::streamVolume(
     payFwd = capture_->cumulativePayloadForward()[last] - basePayFwd;
     payRev = capture_->cumulativePayloadReverse()[last] - basePayRev;
     matched = b - a;
+    // First packet per direction: a short forward scan from the range
+    // start, done the moment both directions have been seen. In time order
+    // the first hit per direction is the minimum, matching the naive scan.
+    const auto& pkts = capture_->packets();
+    for (std::size_t k = a; k < b; ++k) {
+      if (pkts[group[k]].pair.src == conn.src) {
+        if (firstFwd == CaptureFile::StreamVolume::kNoTimestamp)
+          firstFwd = ts[group[k]];
+      } else if (firstRev == CaptureFile::StreamVolume::kNoTimestamp) {
+        firstRev = ts[group[k]];
+      }
+      if (firstFwd != CaptureFile::StreamVolume::kNoTimestamp &&
+          firstRev != CaptureFile::StreamVolume::kNoTimestamp)
+        break;
+    }
   } else {
     const SortedConn& sc = resortedIt->second;
     const auto a = static_cast<std::size_t>(
@@ -189,6 +210,17 @@ CaptureFile::StreamVolume CaptureIndex::streamVolume(
     payFwd = sc.payloadForward[b] - sc.payloadForward[a];
     payRev = sc.payloadReverse[b] - sc.payloadReverse[a];
     matched = b - a;
+    for (std::size_t k = a; k < b; ++k) {
+      if (sc.forward[k]) {
+        if (firstFwd == CaptureFile::StreamVolume::kNoTimestamp)
+          firstFwd = sc.timestamps[k];
+      } else if (firstRev == CaptureFile::StreamVolume::kNoTimestamp) {
+        firstRev = sc.timestamps[k];
+      }
+      if (firstFwd != CaptureFile::StreamVolume::kNoTimestamp &&
+          firstRev != CaptureFile::StreamVolume::kNoTimestamp)
+        break;
+    }
   }
 
   // "Forward" is relative to the normalized orientation; the caller's src
@@ -200,6 +232,8 @@ CaptureFile::StreamVolume CaptureIndex::streamVolume(
   volume.bytesFromDst = queryIsForward ? wireRev : wireFwd;
   volume.payloadFromSrc = queryIsForward ? payFwd : payRev;
   volume.payloadFromDst = queryIsForward ? payRev : payFwd;
+  volume.firstFromSrcMs = queryIsForward ? firstFwd : firstRev;
+  volume.firstFromDstMs = queryIsForward ? firstRev : firstFwd;
   volume.packetCount = matched;
   return volume;
 }

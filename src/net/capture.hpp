@@ -101,11 +101,29 @@ class CaptureFile {
   /// packets (SYN/ACK/FIN), which is what "data transfer" means in the
   /// paper's volume analysis; wire sums include them.
   struct StreamVolume {
+    /// Sentinel for the first-packet timestamps: no matching packet in the
+    /// queried range for that direction.
+    static constexpr util::SimTimeMs kNoTimestamp = ~util::SimTimeMs{0};
+
     std::uint64_t bytesFromSrc = 0;     // wire bytes sent by pair.src
     std::uint64_t bytesFromDst = 0;     // wire bytes sent by pair.dst
     std::uint64_t payloadFromSrc = 0;   // payload bytes sent by pair.src
     std::uint64_t payloadFromDst = 0;   // payload bytes sent by pair.dst
     std::size_t packetCount = 0;
+    /// Earliest matching packet per direction (kNoTimestamp when none):
+    /// the per-flow RTT axis reads firstFromDstMs - firstFromSrcMs as the
+    /// request->first-response latency visible in the capture.
+    util::SimTimeMs firstFromSrcMs = kNoTimestamp;
+    util::SimTimeMs firstFromDstMs = kNoTimestamp;
+
+    /// The capture-derived round-trip estimate, or 0 when either direction
+    /// is silent in the range (a flow with no response has no RTT sample).
+    [[nodiscard]] util::SimTimeMs rttMs() const noexcept {
+      if (firstFromSrcMs == kNoTimestamp || firstFromDstMs == kNoTimestamp ||
+          firstFromDstMs < firstFromSrcMs)
+        return 0;
+      return firstFromDstMs - firstFromSrcMs;
+    }
   };
   /// Reference implementation: one full scan over the capture per query,
   /// O(packets). CaptureIndex answers the same query in O(log packets);
@@ -262,6 +280,9 @@ class CaptureIndex {
     std::vector<std::uint64_t> wireReverse;
     std::vector<std::uint64_t> payloadForward;
     std::vector<std::uint64_t> payloadReverse;
+    /// Per time-sorted packet: 1 when sent by the canonical orientation's
+    /// src (the first-packet-per-direction scan reads this).
+    std::vector<std::uint8_t> forward;
   };
 
   [[nodiscard]] static SocketPair normalized(const SocketPair& pair) noexcept {

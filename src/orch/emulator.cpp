@@ -45,6 +45,7 @@ core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
 
   core::MethodMonitor monitor;
   rt::Interpreter runtime(program, stack, monitor.tracer(), clock, rng.fork(2));
+  runtime.setScenario(config_.scenario);
 
   // Apk identity, computed at most once per run: the prefetcher's streaming
   // digest when present, one streaming serialization walk otherwise. The
@@ -72,6 +73,10 @@ core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
     clock.advance(config_.backgroundTickMs);
   }
 
+  // Pooled keep-alive connections FIN only now (a no-op outside the
+  // scenario), so the capture records their teardown before collection.
+  runtime.closePooledConnections();
+
   core::RunArtifacts artifacts;
   artifacts.apkSha256 = apkSha256;
   artifacts.packageName = apk.packageName;
@@ -86,6 +91,7 @@ core::RunArtifacts EmulatorInstance::run(const dex::ApkFile& apk,
       core::MethodMonitor::computeCoverage(artifacts.methodTraceFile, apk);
   artifacts.monkeyEventsInjected = monkeyStats.eventsInjected;
   artifacts.runDurationMs = monkeyStats.elapsedMs;
+  artifacts.requestBoundaries = monitor.requestBoundaries();
   return artifacts;
 }
 

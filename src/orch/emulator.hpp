@@ -16,6 +16,7 @@
 #include "net/server.hpp"
 #include "net/stack.hpp"
 #include "rt/program.hpp"
+#include "rt/scenario.hpp"
 
 namespace libspector::orch {
 
@@ -52,6 +53,11 @@ struct EmulatorConfig {
   /// (nullptr = the supervisor builds its own table per run). Owned by the
   /// dispatcher; must outlive the instance.
   dex::FrameTableCache* frameTableCache = nullptr;
+  /// Workload-scenario switches (§14). All off (the default) pins the
+  /// legacy runtime byte for byte; each flag opens one new behaviour in
+  /// the runtime (keep-alive pooling) — the matching store/generator flags
+  /// put the triggering material in the apps.
+  rt::ScenarioConfig scenario;
 };
 
 class EmulatorInstance {

@@ -1,0 +1,72 @@
+#include "policy/latency.hpp"
+
+#include <cstdio>
+
+namespace libspector::policy {
+
+LatencyReport buildLatencyReport(const core::StudyAggregator& study,
+                                 const LatencyReportOptions& options) {
+  LatencyReport report;
+  report.entries = study.latencyByLibrary();
+
+  std::uint64_t weightedSumMs = 0;
+  for (const auto& entry : report.entries) {
+    report.measuredFlows += entry.flows;
+    // meanRttMs * flows recovers the integer per-library sum exactly (the
+    // aggregator divided an integer sum by the flow count).
+    weightedSumMs += static_cast<std::uint64_t>(
+        entry.meanRttMs * static_cast<double>(entry.flows) + 0.5);
+  }
+  if (report.measuredFlows > 0)
+    report.meanRttMs = static_cast<double>(weightedSumMs) /
+                       static_cast<double>(report.measuredFlows);
+
+  if (options.minFlows > 1) {
+    std::erase_if(report.entries,
+                  [&](const core::StudyAggregator::LatencyEntry& entry) {
+                    return entry.flows < options.minFlows;
+                  });
+  }
+  if (options.topN != 0 && report.entries.size() > options.topN)
+    report.entries.resize(options.topN);
+  return report;
+}
+
+std::string writeLatencyCsv(const LatencyReport& report) {
+  std::string out = "library,category,flows,mean_rtt_ms\n";
+  char buffer[64];
+  for (const auto& entry : report.entries) {
+    out += entry.library;
+    out += ',';
+    out += entry.category;
+    out += ',';
+    out += std::to_string(entry.flows);
+    out += ',';
+    std::snprintf(buffer, sizeof(buffer), "%.3f", entry.meanRttMs);
+    out += buffer;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> slowLibraries(const LatencyReport& report,
+                                       double thresholdMs) {
+  std::vector<std::string> out;
+  for (const auto& entry : report.entries)
+    if (entry.meanRttMs >= thresholdMs) out.push_back(entry.library);
+  return out;
+}
+
+std::size_t rateLimitSlowLibraries(PolicyEngine& engine,
+                                   const LatencyReport& report,
+                                   double thresholdMs, std::size_t maxConnects,
+                                   util::SimTimeMs windowMs) {
+  std::size_t added = 0;
+  for (auto& library : slowLibraries(report, thresholdMs)) {
+    engine.rateLimitLibrary(std::move(library), maxConnects, windowMs);
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace libspector::policy

@@ -1,0 +1,62 @@
+// Per-library latency report (§14, background-sync scenario).
+//
+// The RTT axis threads capture timestamps through attribution into the
+// StudyAggregator: every flow carries the gap between the first packet the
+// device sent in its window and the first packet it got back. Folded per
+// origin-library, that answers a question the byte axis cannot — which
+// SDKs' endpoints are *slow*, not just chatty. This module turns the
+// aggregator's latency query into a ranked report and into enforcement
+// input for the PolicyEngine (BorderPatrol-style graded rules: rate-limit
+// the libraries that stall the network, don't just blacklist the loud
+// ones).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "policy/engine.hpp"
+#include "util/clock.hpp"
+
+namespace libspector::policy {
+
+struct LatencyReportOptions {
+  /// Keep the `topN` slowest libraries (0 = keep all).
+  std::size_t topN = 25;
+  /// Drop libraries with fewer measured flows than this — a single slow
+  /// handshake is noise, not a policy signal.
+  std::uint64_t minFlows = 1;
+};
+
+struct LatencyReport {
+  /// Filtered and ranked (slowest first, ties by name) library entries.
+  std::vector<core::StudyAggregator::LatencyEntry> entries;
+  /// Flow-weighted mean RTT across *all* libraries that measured one
+  /// (computed before topN truncation).
+  double meanRttMs = 0.0;
+  /// Total flows with a measured RTT (before truncation).
+  std::uint64_t measuredFlows = 0;
+};
+
+[[nodiscard]] LatencyReport buildLatencyReport(
+    const core::StudyAggregator& study, const LatencyReportOptions& options = {});
+
+/// Deterministic CSV: `library,category,flows,mean_rtt_ms` (RTT fixed to
+/// three decimals), one row per report entry in report order.
+[[nodiscard]] std::string writeLatencyCsv(const LatencyReport& report);
+
+/// Library packages whose mean RTT is at or above `thresholdMs`, in report
+/// order — enforcement candidates.
+[[nodiscard]] std::vector<std::string> slowLibraries(const LatencyReport& report,
+                                                     double thresholdMs);
+
+/// Install one rate-limit rule per slow library into `engine` (graded
+/// enforcement: a stalling SDK still gets `maxConnects` per window).
+/// Returns how many rules were added.
+std::size_t rateLimitSlowLibraries(PolicyEngine& engine,
+                                   const LatencyReport& report,
+                                   double thresholdMs, std::size_t maxConnects,
+                                   util::SimTimeMs windowMs);
+
+}  // namespace libspector::policy

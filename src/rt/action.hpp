@@ -40,6 +40,12 @@ struct NetRequestAction {
   std::string path = "/";
   std::string userAgent;
   bool post = false;
+  /// Keep-alive: reuse a pooled connection to domain:port when one exists
+  /// (firing a request-boundary hook instead of connecting) and leave the
+  /// socket open afterwards. Only honoured when the runtime's
+  /// ScenarioConfig::keepAliveReuse flag is on; otherwise behaves exactly
+  /// like a one-shot request.
+  bool keepAlive = false;
 };
 
 /// The stock HttpURLConnection User-Agent — the "generic identifier" the
@@ -75,7 +81,16 @@ struct GuardAction {
   MethodId callee = 0;
 };
 
-using Action = std::variant<CallAction, NetRequestAction, SleepAction,
-                            AsyncAction, SystemRequestAction, GuardAction>;
+/// Invoke `callee` through the reflection machinery: the runtime pushes a
+/// java.lang.reflect.Method.invoke framework frame between caller and
+/// callee, exactly the trampoline shape adversarial apps use to launder
+/// which library issued a request (ScenarioConfig::adversarialApps).
+struct ReflectiveCallAction {
+  MethodId callee = 0;
+};
+
+using Action =
+    std::variant<CallAction, NetRequestAction, SleepAction, AsyncAction,
+                 SystemRequestAction, GuardAction, ReflectiveCallAction>;
 
 }  // namespace libspector::rt

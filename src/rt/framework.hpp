@@ -28,4 +28,20 @@ namespace libspector::rt {
 /// The frame name every socket post-hook is keyed on.
 inline constexpr std::string_view kSocketConnectFrame = "java.net.Socket.connect";
 
+/// The hook key fired when a pooled keep-alive connection carries a new
+/// logical request: no Socket.connect happens, but the Socket Supervisor
+/// must still observe the request's call stack. Named after the okhttp
+/// frame a reused-connection request actually goes through.
+inline constexpr std::string_view kRequestBoundaryFrame =
+    "com.android.okhttp.internal.http.HttpEngine.sendRequest";
+
+/// Reflection trampoline markers: the framework frame a ReflectiveCallAction
+/// pushes between caller and callee, and the proxy variant. Attribution's
+/// trampoline-elision pass treats an app frame sitting directly outside one
+/// of these as reflection-invoked.
+inline constexpr std::string_view kReflectMethodInvokeFrame =
+    "java.lang.reflect.Method.invoke";
+inline constexpr std::string_view kReflectProxyInvokeFrame =
+    "java.lang.reflect.Proxy.invoke";
+
 }  // namespace libspector::rt

@@ -106,6 +106,13 @@ void Interpreter::execAction(const Action& action, int depth) {
           systemQueue_.push_back(a);
         } else if constexpr (std::is_same_v<T, GuardAction>) {
           if (rng_.chance(a.prob)) runMethod(a.callee, depth + 1);
+        } else if constexpr (std::is_same_v<T, ReflectiveCallAction>) {
+          // Reflection trampoline: the callee runs beneath a
+          // Method.invoke framework frame, exactly what a laundered stack
+          // trace shows between caller and target.
+          pushFrameworkFrame(kReflectMethodInvokeFrame);
+          runMethod(a.callee, depth + 1);
+          liveStack_.pop_back();
         }
       },
       action);
@@ -117,16 +124,41 @@ void Interpreter::pushFrameworkFrame(std::string_view name) {
 }
 
 void Interpreter::firePostHooks(std::string_view frameName,
-                                net::SocketId socketId) {
+                                net::SocketId socketId,
+                                std::uint32_t requestOrdinal) {
   const auto it = postHooks_.find(std::string(frameName));
   if (it == postHooks_.end()) return;
-  const SocketHookContext context{socketId, *this};
+  const SocketHookContext context{socketId, *this, requestOrdinal};
   for (const PostHook& hook : it->second) hook(context);
 }
 
 void Interpreter::doNetRequest(const NetRequestAction& request) {
   const auto chain = engineChain(request.engine);
   for (const auto frame : chain) pushFrameworkFrame(frame);
+
+  const bool pooled = scenario_.keepAliveReuse && request.keepAlive;
+  if (pooled) {
+    const auto it = connectionPool_.find(request.domain + ':' +
+                                         std::to_string(request.port));
+    if (it != connectionPool_.end()) {
+      // Reuse: the connection already exists, so no pre-connect hooks run
+      // (there is no connect to veto) and no Socket.connect fires. The
+      // Socket Supervisor instead observes the new logical request — with
+      // the *current* call stack — through the request-boundary hook, and
+      // the boundary is recorded for the run artifacts. The boundary
+      // report's timestamp precedes every packet of this request (the
+      // simulated clock only moves forward inside transfer()), which is
+      // exactly what per-request flow splitting partitions on.
+      const net::SocketId socketId = it->second;
+      const std::uint32_t ordinal = nextRequestOrdinal_[socketId]++;
+      ++connectionsReused_;
+      tracer_.onRequestBoundary(socketId, ordinal, clock_.now());
+      firePostHooks(kRequestBoundaryFrame, socketId, ordinal);
+      runTransfers(request, socketId);
+      liveStack_.resize(liveStack_.size() - chain.size());
+      return;
+    }
+  }
 
   // Pre-connect hooks may veto (policy enforcement): the connection is then
   // never attempted — no socket, no DNS beyond what the stack already did.
@@ -144,24 +176,46 @@ void Interpreter::doNetRequest(const NetRequestAction& request) {
     ++socketsCreated_;
     // Post-hook semantics: the connection exists when the hook observes it.
     firePostHooks(kSocketConnectFrame, connection->id);
-
-    net::NetworkStack::HttpRequestInfo http;
-    http.path = request.path;
-    http.userAgent =
-        request.userAgent.empty() ? kDefaultUserAgent : request.userAgent;
-    http.post = request.post;
-
-    const std::uint8_t transfers = std::max<std::uint8_t>(request.transfers, 1);
-    for (std::uint8_t i = 0; i < transfers; ++i) {
-      const auto requestBytes = static_cast<std::uint32_t>(rng_.uniform(
-          std::min(request.requestBytesMin, request.requestBytesMax),
-          std::max(request.requestBytesMin, request.requestBytesMax)));
-      stack_.transfer(connection->id, requestBytes, &http);
+    runTransfers(request, connection->id);
+    if (pooled) {
+      connectionPool_.emplace(
+          request.domain + ':' + std::to_string(request.port),
+          connection->id);
+      nextRequestOrdinal_[connection->id] = 1;
+    } else {
+      stack_.closeTcp(connection->id);
     }
-    stack_.closeTcp(connection->id);
   }
 
   liveStack_.resize(liveStack_.size() - chain.size());
+}
+
+void Interpreter::runTransfers(const NetRequestAction& request,
+                               net::SocketId socketId) {
+  net::NetworkStack::HttpRequestInfo http;
+  http.path = request.path;
+  http.userAgent =
+      request.userAgent.empty() ? kDefaultUserAgent : request.userAgent;
+  http.post = request.post;
+
+  const std::uint8_t transfers = std::max<std::uint8_t>(request.transfers, 1);
+  for (std::uint8_t i = 0; i < transfers; ++i) {
+    const auto requestBytes = static_cast<std::uint32_t>(rng_.uniform(
+        std::min(request.requestBytesMin, request.requestBytesMax),
+        std::max(request.requestBytesMin, request.requestBytesMax)));
+    stack_.transfer(socketId, requestBytes, &http);
+  }
+}
+
+void Interpreter::closePooledConnections() {
+  // Sorted teardown: the pool is a hash map, but FIN packets land in the
+  // shared capture, so close order must not depend on hash iteration.
+  std::vector<std::pair<std::string_view, net::SocketId>> pooled(
+      connectionPool_.begin(), connectionPool_.end());
+  std::sort(pooled.begin(), pooled.end());
+  for (const auto& [key, socketId] : pooled) stack_.closeTcp(socketId);
+  connectionPool_.clear();
+  nextRequestOrdinal_.clear();
 }
 
 void Interpreter::runSystemRequest(const SystemRequestAction& request) {

@@ -15,6 +15,7 @@
 #include "rt/action.hpp"
 #include "rt/framework.hpp"
 #include "rt/program.hpp"
+#include "rt/scenario.hpp"
 #include "rt/tracer.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
@@ -40,6 +41,10 @@ class Interpreter;
 struct SocketHookContext {
   net::SocketId socketId = 0;
   Interpreter& runtime;
+  /// Which logical request on this socket the hook observes: 0 for the
+  /// connect itself (kSocketConnectFrame), >= 1 for each keep-alive reuse
+  /// (kRequestBoundaryFrame).
+  std::uint32_t requestOrdinal = 0;
 };
 
 using PostHook = std::function<void(const SocketHookContext&)>;
@@ -77,6 +82,19 @@ class Interpreter {
   /// connection before the socket is created.
   void registerPreConnectHook(PreConnectHook hook);
 
+  /// Enable scenario behaviours (connection pooling, reflection
+  /// trampolines). All off by default; with all off the runtime is
+  /// byte-identical to the seed interpreter.
+  void setScenario(const ScenarioConfig& scenario) { scenario_ = scenario; }
+  [[nodiscard]] const ScenarioConfig& scenario() const noexcept {
+    return scenario_;
+  }
+
+  /// Close every pooled keep-alive connection (FIN/ACK teardown in the
+  /// capture). The emulator calls this when the app is torn down, before
+  /// artifacts are collected; idempotent.
+  void closePooledConnections();
+
   /// Run the app's onCreate entry point and drain resulting async work.
   void start();
 
@@ -98,6 +116,7 @@ class Interpreter {
   [[nodiscard]] std::vector<StackFrameSnapshot> getStackTrace() const;
 
   [[nodiscard]] std::size_t socketsCreated() const noexcept { return socketsCreated_; }
+  [[nodiscard]] std::size_t connectionsReused() const noexcept { return connectionsReused_; }
   [[nodiscard]] std::size_t connectsBlocked() const noexcept { return connectsBlocked_; }
   [[nodiscard]] std::size_t methodEntries() const noexcept { return methodEntries_; }
   [[nodiscard]] std::size_t uiEventsDelivered() const noexcept { return uiEvents_; }
@@ -123,7 +142,9 @@ class Interpreter {
   void doNetRequest(const NetRequestAction& request);
   void runSystemRequest(const SystemRequestAction& request);
   void pushFrameworkFrame(std::string_view name);
-  void firePostHooks(std::string_view frameName, net::SocketId socketId);
+  void firePostHooks(std::string_view frameName, net::SocketId socketId,
+                     std::uint32_t requestOrdinal = 0);
+  void runTransfers(const NetRequestAction& request, net::SocketId socketId);
 
   const AppProgram& program_;
   net::NetworkStack& stack_;
@@ -131,15 +152,21 @@ class Interpreter {
   util::SimClock& clock_;
   util::Rng rng_;
   InterpreterLimits limits_;
+  ScenarioConfig scenario_;
 
   std::vector<LiveFrame> liveStack_;
   std::unordered_map<std::string, std::vector<PostHook>> postHooks_;
   std::vector<PreConnectHook> preConnectHooks_;
   std::deque<MethodId> asyncQueue_;
   std::deque<SystemRequestAction> systemQueue_;
+  /// Keep-alive pool: domain:port -> open socket, plus the ordinal the
+  /// *next* logical request on each pooled socket gets (connect = 0).
+  std::unordered_map<std::string, net::SocketId> connectionPool_;
+  std::unordered_map<net::SocketId, std::uint32_t> nextRequestOrdinal_;
 
   std::size_t actionsThisEntry_ = 0;
   std::size_t socketsCreated_ = 0;
+  std::size_t connectionsReused_ = 0;
   std::size_t connectsBlocked_ = 0;
   std::size_t methodEntries_ = 0;
   std::size_t uiEvents_ = 0;

@@ -1,0 +1,35 @@
+// Scenario flags for the simulated substrate (ROADMAP "scenario
+// diversity" axis).
+//
+// The seed world emits monkey-driven, plain-TCP, one-request-per-socket,
+// well-behaved apps. Each flag here opens one additional workload — in the
+// generator (what apps *do*) and in the runtime (what the emulator
+// *allows*) — while the all-flags-off world stays byte-identical to the
+// seed study (pinned by tests/integration/scenario_matrix_test.cpp).
+#pragma once
+
+namespace libspector::rt {
+
+struct ScenarioConfig {
+  /// Connection reuse: apps mark requests keep-alive, the runtime pools one
+  /// TCP connection per domain:port and carries later logical requests —
+  /// from *different* call stacks — over it, announcing each with a
+  /// request-boundary hook (kRequestBoundaryFrame) instead of a connect.
+  bool keepAliveReuse = false;
+  /// Adversarial apps: generated templates launder network-issuing stacks
+  /// through reflection-style trampolines (obfuscated junk packages under
+  /// java.lang.reflect.Method.invoke) and spoof builtin frame names, so
+  /// naive innermost-app-frame attribution blames the wrong "library".
+  bool adversarialApps = false;
+  /// Background-sync traffic: generated apps gain sync tasks that transmit
+  /// with no UI cause (the emulator's background tick is their only
+  /// trigger), exercising flows whose stacks carry no UI handler frames.
+  bool backgroundSync = false;
+
+  [[nodiscard]] bool any() const noexcept {
+    return keepAliveReuse || adversarialApps || backgroundSync;
+  }
+  [[nodiscard]] bool operator==(const ScenarioConfig&) const = default;
+};
+
+}  // namespace libspector::rt

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -21,6 +22,17 @@ class MethodTracer {
   virtual ~MethodTracer() = default;
 
   virtual void onMethodEntry(std::string_view signature) = 0;
+
+  /// A pooled keep-alive connection started carrying a new logical request
+  /// (ordinal >= 1; the connect itself is ordinal 0 and not reported here).
+  /// Default no-op so the stock tracers ignore it; core::MethodMonitor
+  /// records these as the request-boundary artifact records.
+  virtual void onRequestBoundary(std::uint64_t socketId, std::uint32_t ordinal,
+                                 std::uint64_t timestampMs) {
+    (void)socketId;
+    (void)ordinal;
+    (void)timestampMs;
+  }
 
   /// The method trace file written at the end of an experiment: the list of
   /// recorded entries (semantics depend on the tracer variant).

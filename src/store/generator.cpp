@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/strings.hpp"
 
@@ -401,6 +402,19 @@ void AppStoreGenerator::planApp(std::size_t index, util::Rng& rng,
   const auto chosen = selectApkVersion(plan.versions);
   plan.chosenVersion = chosen.value_or(0);
 
+  // --- §14 scenario extensions: appended strictly after every legacy draw,
+  // fed by an rng forked off plan.seed, so the flags-off world (and every
+  // legacy field above) is byte-identical whatever the flags say.
+  if (config_.scenarios.backgroundSync) {
+    util::Rng syncRng(plan.seed ^ 0xB6C5'59ECULL);
+    if (syncRng.chance(0.5)) {
+      plan.syncDomain = world.acquire("internet_services",
+                                      "sync" + std::to_string(index % 32),
+                                      syncRng);
+      plan.syncProb = 0.6;
+    }
+  }
+
   plans_.push_back(std::move(plan));
 }
 
@@ -434,10 +448,51 @@ AppStoreGenerator::Job AppStoreGenerator::makeJob(std::size_t index) const {
   std::vector<BuiltSource> builtSources;
   builtSources.reserve(plan.sources.size());
 
+  // §14 keep-alive: requests to a domain that more than one source targets
+  // (shared CDN-style infrastructure) ride one pooled connection per
+  // domain, so a single socket ends up carrying logical requests issued
+  // from *different* call stacks.
+  std::unordered_map<std::string_view, int> domainSourceCount;
+  if (config_.scenarios.keepAliveReuse) {
+    for (const auto& source : plan.sources) {
+      std::unordered_set<std::string_view> seen;
+      for (const auto& domain : source.domains)
+        if (seen.insert(domain).second) ++domainSourceCount[domain];
+    }
+  }
+  // §14 adversarial apps: SDK sources launder their request stacks through
+  // reflection trampolines in junk packages, or spoof builtin-named
+  // wrapper frames. Laundering draws come from a forked rng and only
+  // *insert* wrapper methods whose execution draws nothing, so the twin
+  // app (flag off, same plan) replays the identical runtime rng stream.
+  util::Rng advRng(plan.seed ^ 0xAD7E'25A1ULL);
+
   for (const auto& source : plan.sources) {
     BuiltSource built;
     built.plan = &source;
     const bool sync = source.profileIndex < 0 && rng.chance(0.5);
+
+    enum class Launder { None, Reflect, Spoof };
+    Launder launder = Launder::None;
+    std::string junkPackage;
+    if (config_.scenarios.adversarialApps && source.profileIndex >= 0 &&
+        advRng.chance(0.6)) {
+      if (advRng.chance(0.35)) {
+        launder = Launder::Spoof;
+      } else {
+        launder = Launder::Reflect;
+        // Junk dispatcher package: every component at most two characters,
+        // exactly what the elision pass's junk-package rule keys on.
+        static constexpr char kJunk[] = {'a', 'b', 'c', 'd',
+                                         'e', 'f', 'g', 'h'};
+        const std::uint64_t depth = advRng.uniform(2, 4);
+        for (std::uint64_t c = 0; c < depth; ++c) {
+          if (c != 0) junkPackage += '.';
+          junkPackage += kJunk[advRng.uniform(0, 7)];
+          if (advRng.chance(0.4)) junkPackage += kJunk[advRng.uniform(0, 7)];
+        }
+      }
+    }
     for (std::size_t d = 0; d < source.domains.size(); ++d) {
       const std::string cls =
           source.taskPackage + (d == 0 ? ".b" : ".b" + std::to_string(d));
@@ -449,6 +504,17 @@ AppStoreGenerator::Job AppStoreGenerator::makeJob(std::size_t index) const {
       request.transfers =
           source.initialDownload ? 2 : (rng.chance(0.3) ? 2 : 1);
       request.engine = static_cast<rt::HttpEngine>(rng.uniform(0, 2));
+      if (config_.scenarios.keepAliveReuse) {
+        const auto it = domainSourceCount.find(source.domains[d]);
+        request.keepAlive =
+            (it != domainSourceCount.end() && it->second > 1) ||
+            source.domains[d].find(".edgecache.") != std::string::npos;
+        // Pooled requests pin the HTTPS port (overriding the draw above,
+        // which still happens so the rng stream matches the flag-off
+        // world): one "domain:443" pool key per CDN host means two
+        // libraries' requests genuinely share a connection.
+        if (request.keepAlive) request.port = 443;
+      }
 
       // HTTP-level identifiers: some SDKs label their traffic with an
       // identifying User-Agent, the rest rides the platform default -- the
@@ -478,12 +544,28 @@ AppStoreGenerator::Job AppStoreGenerator::makeJob(std::size_t index) const {
       const rt::MethodId task = addProgramMethod(
           cls, "doInBackground", {rt::CallAction{helper}},
           "[Ljava/lang/String;", "Ljava/lang/Object;");
+      // Laundering wraps the *outermost* app frame of the request stack:
+      // what the async queue runs is the trampoline, so the raw origin
+      // scan sees junk (or a builtin-looking frame) where doInBackground
+      // should be. Elision (and the footnote-2 filter for spoofs) must see
+      // through to the SDK frame underneath.
+      rt::MethodId entry = task;
+      if (launder == Launder::Reflect) {
+        entry = addProgramMethod(
+            junkPackage + ".x" + std::to_string(builtSources.size()),
+            "i" + std::to_string(d), {rt::ReflectiveCallAction{task}});
+      } else if (launder == Launder::Spoof) {
+        entry = addProgramMethod(
+            "android.support.v7.sync.Dispatch" +
+                std::to_string(builtSources.size()),
+            "run" + std::to_string(d), {rt::CallAction{task}});
+      }
       if (sync) {
         // Developer code on the UI thread calls straight into the fetch.
-        built.enqueuers.push_back(task);
+        built.enqueuers.push_back(entry);
       } else {
         const rt::MethodId enqueue = addProgramMethod(
-            cls, "request", {rt::AsyncAction{task}});
+            cls, "request", {rt::AsyncAction{entry}});
         built.enqueuers.push_back(enqueue);
       }
     }
@@ -607,6 +689,23 @@ AppStoreGenerator::Job AppStoreGenerator::makeJob(std::size_t index) const {
         built.plan->taskPackage + ".BgSync" + std::to_string(b), "run",
         {rt::GuardAction{backgroundProb, built.enqueuers.front()}});
     program.backgroundTasks.push_back(task);
+  }
+
+  // §14 background sync: a first-party poller whose *only* call site is
+  // the background-tick queue — traffic with no UI cause at all.
+  if (config_.scenarios.backgroundSync && !plan.syncDomain.empty()) {
+    rt::NetRequestAction request;
+    request.domain = plan.syncDomain;
+    request.port = 443;
+    request.path = "/sync";
+    request.requestBytesMin = 120;
+    request.requestBytesMax = 420;
+    request.transfers = 1;
+    const std::string cls = plan.packageName + ".sync.Poller";
+    const rt::MethodId fetch = addProgramMethod(cls, "fetch", {request});
+    const rt::MethodId poll = addProgramMethod(
+        cls, "run", {rt::GuardAction{plan.syncProb, fetch}});
+    program.backgroundTasks.push_back(poll);
   }
 
   // Framework-originated ad traffic trigger.

@@ -17,6 +17,7 @@
 #include "dex/apk.hpp"
 #include "net/server.hpp"
 #include "rt/program.hpp"
+#include "rt/scenario.hpp"
 #include "store/catalog.hpp"
 #include "store/repository.hpp"
 #include "util/rng.hpp"
@@ -34,6 +35,11 @@ struct StoreConfig {
   std::uint32_t expectedMonkeyEvents = 960;
   /// Fraction of repository packages that are ARM-only (filtered by §III-A).
   double armOnlyFraction = 0.06;
+  /// Workload-scenario switches (§14). All off (the default) generates the
+  /// legacy store byte for byte; every scenario addition draws from an rng
+  /// forked off plan.seed, never from the planning stream, so enabling one
+  /// flag cannot shift what the others (or the legacy material) generate.
+  rt::ScenarioConfig scenarios;
 };
 
 /// A planned traffic source within one app.
@@ -82,6 +88,13 @@ struct AppPlan {
   /// selection picked (always valid for planned apps).
   std::vector<ApkVersionInfo> versions;
   std::size_t chosenVersion = 0;
+
+  // --- §14 scenario extensions (defaults = legacy plan) --------------------
+  /// backgroundSync: a first-party endpoint polled only from background
+  /// ticks, with no UI trigger at all. Empty = none planned.
+  std::string syncDomain;
+  /// Per-tick fire probability of the sync poller.
+  double syncProb = 0.0;
 };
 
 class AppStoreGenerator {

@@ -82,6 +82,41 @@ TEST(ArtifactsTest, SerializationIsDeterministic) {
   EXPECT_EQ(sampleArtifacts().serialize(), sampleArtifacts().serialize());
 }
 
+TEST(ArtifactsTest, BoundaryFreeBundleKeepsTheExactV2Bytes) {
+  // Scenario-off runs must stay byte-identical to the seed corpus: no
+  // boundary records means no v3 tail and a version stamp of 2, so a
+  // default-constructed boundary list is not merely "empty on decode" —
+  // it is invisible on the wire.
+  const auto bytes = sampleArtifacts().serialize();
+  EXPECT_EQ(bytes[4], 2);  // version u16, little-endian low byte
+  EXPECT_EQ(bytes[5], 0);
+
+  RunArtifacts withTouchedList = sampleArtifacts();
+  withTouchedList.requestBoundaries.clear();  // explicit no-op
+  EXPECT_EQ(withTouchedList.serialize(), bytes);
+}
+
+TEST(ArtifactsTest, BoundaryBundleRoundTripsAtV3) {
+  RunArtifacts artifacts = sampleArtifacts();
+  artifacts.requestBoundaries = {
+      {7, 0, 100},
+      {7, 1, 2500},
+      {9, 4, 0xFFFF'FFFF'0ULL},  // 64-bit timestamp survives
+  };
+  const auto bytes = artifacts.serialize();
+  EXPECT_EQ(bytes[4], 3);  // boundary tail forces the version up
+
+  const RunArtifacts decoded = RunArtifacts::deserialize(bytes);
+  EXPECT_EQ(decoded.requestBoundaries, artifacts.requestBoundaries);
+  EXPECT_EQ(decoded.reports, artifacts.reports);
+  EXPECT_EQ(decoded.serialize(), bytes);
+
+  // A truncated boundary tail is corruption, not a silent short list.
+  const std::span<const std::uint8_t> truncated(bytes.data(),
+                                                bytes.size() - 10);
+  EXPECT_THROW((void)RunArtifacts::deserialize(truncated), util::DecodeError);
+}
+
 ApkLossAccount sampleAccount() {
   ApkLossAccount account;
   account.reportsEmitted = 9;

@@ -307,5 +307,164 @@ TEST(AttributionProgramTest, ConcurrentLookupsAgreeWithSerialReference) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Trampoline elision (§14): the compiled junk/reflect queries against the
+// reference matchers, and the property that laundering never moves an
+// honest stack's origin.
+// ---------------------------------------------------------------------------
+
+TEST(AttributionProgramTest, JunkPackageQueryAgreesWithReference) {
+  // Hand-picked edges of the "every component <= 2 chars" rule in both
+  // entry forms.
+  const std::vector<std::pair<std::string, bool>> cases = {
+      {"a.b.c.Gen.run", true},          // all 1-char components
+      {"ab.cd.ef.Gen.run", true},       // all 2-char components
+      {"abc.de.Gen.run", false},        // one 3-char component
+      {"a.abc.Gen.run", false},         // 3-char in the middle
+      {"com.foo.Bar.baz", false},       // ordinary package
+      {"Main.run", false},              // empty package: not junk
+      {"run", false},                   // no package at all
+      {"a.B.c", true},                  // minimal dotted frame, junk
+      {"La/b/C;->d()V", true},          // smali junk
+      {"Lab/cd/C;->d()V", true},        // smali 2-char components
+      {"Labc/d/C;->d()V", false},       // smali with a long component
+      {"LC;->d()V", false},             // smali, no package
+      {".Cls.run", false},              // leading dot: empty package
+      {"L/C;->d()V", false},            // leading slash: empty package
+  };
+  for (const auto& [entry, junk] : cases) {
+    EXPECT_EQ(isJunkPackageFrame(entry), junk) << entry;
+    EXPECT_EQ(AttributionProgram::isJunkPackageEntry(entry), junk) << entry;
+  }
+}
+
+TEST(AttributionProgramTest, RandomEntriesAgreeOnJunkAndReflect) {
+  // Differential sweep: the allocation-free compiled queries must answer
+  // exactly like the reference matchers on arbitrary entries of both
+  // forms, junk-shaped or not.
+  std::mt19937 rng(20260808u);
+  std::uniform_int_distribution<int> componentLength(1, 4);
+  std::uniform_int_distribution<int> depth(0, 5);
+  std::uniform_int_distribution<int> letter(0, 25);
+  std::uniform_int_distribution<int> form(0, 2);
+
+  for (int q = 0; q < 2000; ++q) {
+    const int n = depth(rng);
+    std::vector<std::string> components;
+    for (int i = 0; i < n + 2; ++i) {  // + class and method components
+      std::string component;
+      const int len = componentLength(rng);
+      for (int c = 0; c < len; ++c)
+        component += static_cast<char>('a' + letter(rng));
+      components.push_back(std::move(component));
+    }
+    std::string entry;
+    if (form(rng) == 0) {
+      // Smali: Lpkg/components/Class;->method()V
+      entry = "L";
+      for (std::size_t i = 0; i + 1 < components.size(); ++i) {
+        if (i > 0) entry += '/';
+        entry += components[i];
+      }
+      entry += ";->" + components.back() + "()V";
+    } else {
+      for (std::size_t i = 0; i < components.size(); ++i) {
+        if (i > 0) entry += '.';
+        entry += components[i];
+      }
+    }
+    EXPECT_EQ(AttributionProgram::isJunkPackageEntry(entry),
+              isJunkPackageFrame(entry))
+        << entry;
+    EXPECT_EQ(AttributionProgram::isReflectionMarker(entry),
+              isReflectionMarkerFrame(entry))
+        << entry;
+  }
+  EXPECT_TRUE(AttributionProgram::isReflectionMarker(
+      "java.lang.reflect.Method.invoke"));
+  EXPECT_TRUE(AttributionProgram::isReflectionMarker(
+      "java.lang.reflect.Proxy.invoke"));
+}
+
+/// Wrap an innermost-first stack in one random laundering layer, the way
+/// rt::ReflectiveCallAction and the spoof wrapper materialize at runtime:
+/// a new outermost frame (junk trampoline, reflective dispatch, or spoofed
+/// platform frame) through which the old outermost frame was "called".
+void launderOnce(std::vector<std::string>& stack, std::mt19937& rng) {
+  std::uniform_int_distribution<int> kind(0, 2);
+  std::uniform_int_distribution<int> letter(0, 25);
+  const auto junkFrame = [&] {
+    std::string frame;
+    std::uniform_int_distribution<int> depth(2, 4);
+    const int n = depth(rng);
+    for (int i = 0; i < n; ++i) {
+      if (!frame.empty()) frame += '.';
+      frame += static_cast<char>('a' + letter(rng));
+    }
+    return frame + ".Gen.run";
+  };
+  switch (kind(rng)) {
+    case 0:  // bare junk-package trampoline
+      stack.push_back(junkFrame());
+      break;
+    case 1:  // reflective dispatch: marker, then the caller that drove it
+      stack.push_back("java.lang.reflect.Method.invoke");
+      stack.push_back(junkFrame());
+      break;
+    default:  // spoofed platform frame (caught by the builtin skip)
+      stack.push_back("android.support.v7.sync.Dispatch" +
+                      std::to_string(letter(rng)) + ".run");
+      break;
+  }
+}
+
+TEST(AttributionProgramTest, PropertyLaunderingNeverMovesAnHonestOrigin) {
+  // THE elision contract: for any honest stack (no junk packages, no
+  // reflection markers), wrapping it in any nesting of trampolines must
+  // not change which frame originFrameIndex(_, elide=true) selects — and
+  // on the honest stack itself, elision must be a fixed point (same answer
+  // as elide=false).
+  const std::vector<std::vector<std::string>> honestStacks = {
+      {"java.net.Socket.connect",
+       "com.android.okhttp.internal.Platform.connectSocket",
+       "com.unity3d.ads.android.cache.b.a",
+       "com.unity3d.ads.android.cache.b.doInBackground",
+       "android.os.AsyncTask$2.call"},
+      {"java.net.Socket.connect", "com.myapp.net.Api.fetch",
+       "com.myapp.ui.MainActivity.onClick", "android.view.View.performClick"},
+      {"java.net.Socket.connect",
+       "okhttp3.internal.connection.RealConnection.connect",
+       "com.flurry.sdk.analytics.Reporter.flush"},
+      // Builtin-only stack: stays originless however hard it is laundered.
+      {"java.net.Socket.connect", "android.os.Handler.dispatchMessage",
+       "java.lang.Thread.run"},
+  };
+
+  std::mt19937 rng(20260808u);
+  std::uniform_int_distribution<int> layers(1, 5);
+  for (const auto& honest : honestStacks) {
+    const auto honestElided = originFrameIndex(honest, true);
+    const auto honestPlain = originFrameIndex(honest, false);
+    EXPECT_EQ(honestElided.has_value(), honestPlain.has_value());
+    if (honestElided && honestPlain) {
+      EXPECT_EQ(honest[*honestElided], honest[*honestPlain]);
+    }
+
+    for (int round = 0; round < 200; ++round) {
+      std::vector<std::string> laundered = honest;
+      const int n = layers(rng);
+      for (int i = 0; i < n; ++i) launderOnce(laundered, rng);
+
+      const auto origin = originFrameIndex(laundered, true);
+      ASSERT_EQ(origin.has_value(), honestElided.has_value())
+          << "laundering changed origin existence, round " << round;
+      if (origin && honestElided) {
+        EXPECT_EQ(laundered[*origin], honest[*honestElided])
+            << "laundering moved the origin, round " << round;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace libspector::core

@@ -374,5 +374,243 @@ TEST_F(AttributorTest, IndexedAndNaivePathsAgreeExactly) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Keep-alive request boundaries (§14): one socket, many logical requests
+// from different call stacks.
+// ---------------------------------------------------------------------------
+
+class KeepAliveAttributorTest : public AttributorTest {
+ protected:
+  /// A connect report (ordinal 0) without the DNS/packet scaffolding of
+  /// addFlow — boundary tests lay out their own packets.
+  void addFlowReport(RunArtifacts& run, const net::SocketPair& pair,
+                     util::SimTimeMs when, std::vector<std::string> stack) {
+    UdpReport report;
+    report.apkSha256 = run.apkSha256;
+    report.socketPair = pair;
+    report.timestampMs = when;
+    report.stackSignatures = std::move(stack);
+    run.reports.push_back(std::move(report));
+  }
+
+  /// A boundary report: the supervisor's request-boundary hook fired on an
+  /// already-open socket (ordinal >= 1), stamped strictly after the
+  /// previous request's last packet.
+  void addBoundary(RunArtifacts& run, const net::SocketPair& pair,
+                   util::SimTimeMs when, std::uint32_t ordinal,
+                   std::vector<std::string> stack) {
+    UdpReport report;
+    report.apkSha256 = run.apkSha256;
+    report.socketPair = pair;
+    report.timestampMs = when;
+    report.requestOrdinal = ordinal;
+    report.stackSignatures = std::move(stack);
+    run.reports.push_back(std::move(report));
+  }
+
+  const std::vector<std::string> kAnalyticsStack = {
+      "java.net.Socket.connect",
+      "com.android.okhttp.internal.http.HttpEngine.sendRequest",
+      "Lcom/flurry/android/monolithic/sdk/impl/b;->a(Ljava/lang/String;)V",
+      "Lcom/flurry/android/monolithic/sdk/impl/b;->doInBackground([Ljava/lang/String;)V",
+      "android.os.AsyncTask$2.call"};
+};
+
+TEST_F(KeepAliveAttributorTest, SplitsOneSocketAcrossTwoLibraries) {
+  // Request 0 (ads) opens the socket; request 1 (analytics) reuses it.
+  // Attribution must yield two flows on the SAME socket pair, each owning
+  // exactly its window's bytes, and the per-request totals must sum to the
+  // whole capture.
+  auto run = baseRun();
+  const auto pair = pairWithPort(50000, net::Ipv4Addr(198, 18, 0, 20));
+  run.capture.append(net::makeTcpPacket(1001, pair, 540, 500));
+  run.capture.append(net::makeTcpPacket(1010, pair.reversed(), 7040, 7000));
+  // Boundary stamped after every packet of request 0.
+  run.capture.append(net::makeTcpPacket(2001, pair, 340, 300));
+  run.capture.append(net::makeTcpPacket(2010, pair.reversed(), 2040, 2000));
+  addFlowReport(run, pair, 1000, kAdStack);
+  addBoundary(run, pair, 2000, 1, kAnalyticsStack);
+
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].originLibrary, "com.unity3d.ads.android.cache");
+  EXPECT_EQ(flows[0].requestOrdinal, 0u);
+  EXPECT_EQ(flows[0].sentBytes, 500u);
+  EXPECT_EQ(flows[0].recvBytes, 7000u);
+  EXPECT_EQ(flows[1].originLibrary, "com.flurry.android.monolithic.sdk.impl");
+  EXPECT_EQ(flows[1].requestOrdinal, 1u);
+  EXPECT_EQ(flows[1].sentBytes, 300u);
+  EXPECT_EQ(flows[1].recvBytes, 2000u);
+  EXPECT_EQ(flows[0].socketPair, flows[1].socketPair);
+  EXPECT_EQ(flows[0].sentBytes + flows[0].recvBytes + flows[1].sentBytes +
+                flows[1].recvBytes,
+            run.capture.totalTcpPayloadBytes());
+  // Per-request RTT: each window measures its own request->response gap.
+  EXPECT_EQ(flows[0].rttMs, 9u);
+  EXPECT_EQ(flows[1].rttMs, 9u);
+}
+
+TEST_F(KeepAliveAttributorTest, BoundaryAtASegmentSplitIsExact) {
+  // The last segment of request 0 lands at boundary-1 and the first of
+  // request 1 exactly at the boundary timestamp: no byte may be counted
+  // twice or dropped.
+  auto run = baseRun();
+  const auto pair = pairWithPort(50001, net::Ipv4Addr(198, 18, 0, 21));
+  run.capture.append(net::makeTcpPacket(1001, pair, 640, 600));
+  run.capture.append(net::makeTcpPacket(1999, pair, 940, 900));  // last of 0
+  run.capture.append(net::makeTcpPacket(2000, pair, 340, 300));  // first of 1
+  addFlowReport(run, pair, 1000, kAdStack);
+  addBoundary(run, pair, 2000, 1, kAnalyticsStack);
+
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].sentBytes, 1500u);
+  EXPECT_EQ(flows[1].sentBytes, 300u);
+  EXPECT_EQ(flows[0].sentBytes + flows[1].sentBytes,
+            run.capture.totalTcpPayloadBytes());
+}
+
+TEST_F(KeepAliveAttributorTest, ZeroByteRequestYieldsAnEmptyFlow) {
+  // A reused request that transferred nothing (cache hit / suppressed
+  // send) still reported a boundary: it must surface as a zero-byte flow,
+  // not absorb the neighbouring requests' bytes.
+  auto run = baseRun();
+  const auto pair = pairWithPort(50002, net::Ipv4Addr(198, 18, 0, 22));
+  run.capture.append(net::makeTcpPacket(1001, pair, 540, 500));
+  // Request 1's window [2000, 2999] is silent.
+  run.capture.append(net::makeTcpPacket(3001, pair, 340, 300));
+  addFlowReport(run, pair, 1000, kAdStack);
+  addBoundary(run, pair, 2000, 1, kAnalyticsStack);
+  addBoundary(run, pair, 3000, 2, kAdStack);
+
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_EQ(flows[1].sentBytes, 0u);
+  EXPECT_EQ(flows[1].recvBytes, 0u);
+  EXPECT_EQ(flows[1].rttMs, 0u);
+  EXPECT_EQ(flows[0].sentBytes + flows[2].sentBytes,
+            run.capture.totalTcpPayloadBytes());
+}
+
+TEST_F(KeepAliveAttributorTest, InterleavedResponsesConserveBytes) {
+  // Request 0's response is still streaming when request 1 opens; windows
+  // split by time, so the late bytes land in request 1's flow — the
+  // invariant is conservation, not per-request purity (the capture cannot
+  // attribute a byte to a logical request, only to a moment).
+  auto run = baseRun();
+  const auto pair = pairWithPort(50003, net::Ipv4Addr(198, 18, 0, 23));
+  run.capture.append(net::makeTcpPacket(1001, pair, 240, 200));
+  run.capture.append(net::makeTcpPacket(2001, pair, 440, 400));
+  run.capture.append(net::makeTcpPacket(2010, pair.reversed(), 1040, 1000));
+  run.capture.append(net::makeTcpPacket(2020, pair.reversed(), 2040, 2000));
+  addFlowReport(run, pair, 1000, kAdStack);
+  addBoundary(run, pair, 2000, 1, kAnalyticsStack);
+
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& flow : flows) total += flow.sentBytes + flow.recvBytes;
+  EXPECT_EQ(total, run.capture.totalTcpPayloadBytes());
+}
+
+TEST_F(KeepAliveAttributorTest, FinMidRequestLeavesPayloadAlone) {
+  // The pooled teardown FINs the socket after the last request; header-only
+  // segments inside the final window add no data transfer.
+  auto run = baseRun();
+  const auto pair = pairWithPort(50004, net::Ipv4Addr(198, 18, 0, 24));
+  run.capture.append(net::makeTcpPacket(1001, pair, 540, 500));
+  run.capture.append(net::makeTcpPacket(2001, pair, 340, 300));
+  run.capture.append(net::makeTcpPacket(2100, pair, 40, 0));             // FIN
+  run.capture.append(net::makeTcpPacket(2101, pair.reversed(), 40, 0));  // ACK
+  addFlowReport(run, pair, 1000, kAdStack);
+  addBoundary(run, pair, 2000, 1, kAnalyticsStack);
+
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[1].sentBytes, 300u);
+  EXPECT_EQ(flows[1].recvBytes, 0u);
+  EXPECT_EQ(flows[0].sentBytes + flows[1].sentBytes,
+            run.capture.totalTcpPayloadBytes());
+}
+
+TEST_F(KeepAliveAttributorTest, PerRequestHostsFollowTheirWindows) {
+  // Regression for the one-logical-request-per-socket assumption in host
+  // correlation: each reused request carries its own Host header, and each
+  // flow must pick the exchange from ITS window, not the socket's first.
+  auto run = baseRun();
+  const auto pair = pairWithPort(50005, net::Ipv4Addr(198, 18, 0, 25));
+  run.capture.append(net::makeTcpPacket(1001, pair, 240, 200));
+  run.capture.append(net::makeTcpPacket(2001, pair, 240, 200));
+  net::HttpExchange first;
+  first.timestampMs = 1001;
+  first.pair = pair;
+  first.host = "ads6.first.com";
+  net::HttpExchange second;
+  second.timestampMs = 2001;
+  second.pair = pair;
+  second.host = "ads7.second.com";
+  run.capture.appendHttp(first);
+  run.capture.appendHttp(second);
+  addFlowReport(run, pair, 1000, kAdStack);
+  addBoundary(run, pair, 2000, 1, kAnalyticsStack);
+
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].domain, "ads6.first.com");
+  EXPECT_EQ(flows[1].domain, "ads7.second.com");
+}
+
+TEST_F(KeepAliveAttributorTest, BoundaryReportStillResolvesDnsDomain) {
+  // Regression: a boundary report's window starts at the boundary, long
+  // after the DNS answer that resolved the server. The DNS fallback keys
+  // on most-recent-resolution-at-report-time, not on the window.
+  auto run = baseRun();
+  const auto serverIp = net::Ipv4Addr(198, 18, 0, 26);
+  const auto pair = pairWithPort(50006, serverIp);
+  run.capture.append(net::makeUdpPacket(
+      500, {{net::Ipv4Addr(10, 0, 2, 15), 0}, {net::Ipv4Addr(10, 0, 2, 3), 53}},
+      70, 42, "cdn9.pool.net", serverIp));
+  run.capture.append(net::makeTcpPacket(1001, pair, 240, 200));
+  run.capture.append(net::makeTcpPacket(2001, pair, 240, 200));
+  addFlowReport(run, pair, 1000, kAdStack);
+  addBoundary(run, pair, 2000, 1, kAnalyticsStack);
+
+  const auto flows = attributor_.attribute(run);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].domain, "cdn9.pool.net");
+  EXPECT_EQ(flows[1].domain, "cdn9.pool.net");
+}
+
+TEST_F(KeepAliveAttributorTest, IndexedAndNaivePathsAgreeOnBoundaries) {
+  // The capture index answers boundary windows exactly like the naive
+  // scan, ordinals and RTT included.
+  auto run = baseRun();
+  const auto pair = pairWithPort(50007, net::Ipv4Addr(198, 18, 0, 27));
+  run.capture.append(net::makeTcpPacket(1001, pair, 540, 500));
+  run.capture.append(net::makeTcpPacket(1010, pair.reversed(), 840, 800));
+  run.capture.append(net::makeTcpPacket(2001, pair, 340, 300));
+  run.capture.append(net::makeTcpPacket(2015, pair.reversed(), 640, 600));
+  addFlowReport(run, pair, 1000, kAdStack);
+  addBoundary(run, pair, 2000, 1, kAnalyticsStack);
+
+  AttributorConfig naiveConfig;
+  naiveConfig.useCaptureIndex = false;
+  naiveConfig.memoizeFrames = false;
+  naiveConfig.internSymbols = false;
+  const TrafficAttributor naive(corpus_, categorizer_, naiveConfig);
+
+  const auto fast = attributor_.attribute(run);
+  const auto slow = naive.attribute(run);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].requestOrdinal, slow[i].requestOrdinal) << i;
+    EXPECT_EQ(fast[i].rttMs, slow[i].rttMs) << i;
+    EXPECT_EQ(fast[i].sentBytes, slow[i].sentBytes) << i;
+    EXPECT_EQ(fast[i].recvBytes, slow[i].recvBytes) << i;
+    EXPECT_EQ(fast[i].originLibrary.view(), slow[i].originLibrary.view()) << i;
+    EXPECT_EQ(fast[i].domain.view(), slow[i].domain.view()) << i;
+  }
+}
+
 }  // namespace
 }  // namespace libspector::core

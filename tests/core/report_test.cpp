@@ -61,6 +61,24 @@ TEST(ReportTest, PreservesSocketPairExactly) {
   EXPECT_EQ(decoded.socketPair.dst.port, 443);
 }
 
+TEST(ReportTest, OrdinalZeroAddsNoWireBytes) {
+  // The keep-alive request ordinal is an optional trailing field: the
+  // default ordinal 0 (socket opener) must encode to the exact pre-scenario
+  // datagram so legacy captures stay byte-identical.
+  UdpReport report = sampleReport();
+  ASSERT_EQ(report.requestOrdinal, 0u);
+  const auto legacy = report.encode();
+
+  report.requestOrdinal = 2;
+  const auto tagged = report.encode();
+  EXPECT_EQ(tagged.size(), legacy.size() + 4);  // one trailing u32
+
+  const UdpReport decoded = UdpReport::decode(tagged);
+  EXPECT_EQ(decoded.requestOrdinal, 2u);
+  EXPECT_EQ(decoded, report);
+  EXPECT_EQ(UdpReport::decode(legacy).requestOrdinal, 0u);
+}
+
 // ---- v3 dictionary wire format -------------------------------------------
 
 constexpr std::uint32_t kFrameMagicOnTheWire = 0x4652534C;  // "LSRF"
@@ -75,6 +93,31 @@ TEST(ReportTest, DictFrameRoundTripsExactly) {
   frame.defs = {{0, "java.net.Socket.connect"}, {1, "Lcom/a/b;->c()V"}};
   frame.signatureIds = {1, 0, 1};
   EXPECT_EQ(DictReportFrame::decode(frame.encode()), frame);
+}
+
+TEST(ReportTest, DictFrameCarriesTheOrdinalOnlyWhenNonZero) {
+  DictReportFrame frame;
+  frame.workerId = 2;
+  frame.sequence = 5;
+  frame.apkSha256 = "deadbeef00";
+  frame.socketPair = sampleReport().socketPair;
+  frame.timestampMs = 777;
+  frame.defs = {{0, "java.net.Socket.connect"}};
+  frame.signatureIds = {0};
+  const auto legacy = frame.encode();
+  ASSERT_EQ(DictReportFrame::decode(legacy).requestOrdinal, 0u);
+
+  frame.requestOrdinal = 7;
+  const auto tagged = frame.encode();
+  EXPECT_EQ(tagged.size(), legacy.size() + 4);
+  EXPECT_EQ(DictReportFrame::decode(tagged), frame);
+
+  // Ordinals survive the encoder/stream-decoder path end to end.
+  UdpReport viaStream = sampleReport();
+  viaStream.requestOrdinal = 7;
+  DictFrameEncoder encoder(2);
+  ReportStreamDecoder decoder;
+  EXPECT_EQ(decoder.decode(encoder.encode(0, viaStream)), viaStream);
 }
 
 TEST(ReportTest, DictEncoderDefinesEachSignatureExactlyOnce) {

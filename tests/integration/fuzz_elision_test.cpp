@@ -1,0 +1,92 @@
+// Fuzz tier for the trampoline-elision frame queries (§14). The elision
+// pass runs on every reported stack frame, and reported frames cross the
+// same trust boundary as the report decoder: a hostile supervisor can put
+// ARBITRARY bytes in a stack signature. Every matcher must stay total
+// (no crash, no UB) on garbage, the compiled allocation-free queries must
+// agree with the reference matchers on every input, and the origin scan
+// must never select a frame the elision rules say to skip.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/attribution.hpp"
+#include "core/attribution_program.hpp"
+#include "util/rng.hpp"
+
+namespace libspector::core {
+namespace {
+
+/// Random bytes biased toward the separators and marker fragments the
+/// matchers key on, plus occasional raw binary.
+std::string fuzzEntry(util::Rng& rng) {
+  static const std::vector<std::string> kFragments = {
+      ".",       "/",     ";->",   "L",          "()V",
+      "a",       "ab",    "abc",   "java",       "lang",
+      "reflect", "Method", "Proxy", "invoke",    "android",
+      "com",     "..",    "//",    "java.lang.reflect.",
+      "Method.invoke", "\xff\xfe", std::string(1, '\0'),
+  };
+  std::string entry;
+  const std::size_t parts = rng.uniform(0, 12);
+  for (std::size_t i = 0; i < parts; ++i) {
+    if (rng.chance(0.15)) {
+      entry += static_cast<char>(rng.uniform(0, 255));
+    } else {
+      entry += kFragments[rng.uniform(0, kFragments.size() - 1)];
+    }
+  }
+  return entry;
+}
+
+TEST(FuzzElisionTest, MatchersAreTotalAndCompiledAgreesWithReference) {
+  util::Rng rng(0x20260808ULL);
+  for (int q = 0; q < 20000; ++q) {
+    const std::string entry = fuzzEntry(rng);
+    const bool junk = isJunkPackageFrame(entry);
+    const bool marker = isReflectionMarkerFrame(entry);
+    EXPECT_EQ(AttributionProgram::isJunkPackageEntry(entry), junk) << q;
+    EXPECT_EQ(AttributionProgram::isReflectionMarker(entry), marker) << q;
+    // A marker is never junk-package (its components include "reflect").
+    if (marker) {
+      EXPECT_FALSE(junk) << q;
+    }
+  }
+}
+
+TEST(FuzzElisionTest, OriginScanNeverSelectsAnElidedFrame) {
+  util::Rng rng(0xE11D3ULL);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::string> stack;
+    const std::size_t depth = rng.uniform(0, 10);
+    for (std::size_t i = 0; i < depth; ++i) stack.push_back(fuzzEntry(rng));
+    // Sprinkle real markers so the adjacency rule actually fires.
+    if (depth > 0 && rng.chance(0.4))
+      stack[rng.uniform(0, depth - 1)] = "java.lang.reflect.Method.invoke";
+
+    const auto elided = originFrameIndex(stack, true);
+    if (elided.has_value()) {
+      EXPECT_FALSE(isBuiltinFrame(stack[*elided])) << round;
+      EXPECT_FALSE(isTrampolineFrame(stack, *elided)) << round;
+      // Everything outward of the chosen origin was skippable.
+      for (std::size_t i = *elided + 1; i < stack.size(); ++i)
+        EXPECT_TRUE(isBuiltinFrame(stack[i]) || isTrampolineFrame(stack, i))
+            << round << " frame " << i;
+    } else {
+      for (std::size_t i = 0; i < stack.size(); ++i)
+        EXPECT_TRUE(isBuiltinFrame(stack[i]) || isTrampolineFrame(stack, i))
+            << round << " frame " << i;
+    }
+
+    // Without elision the scan reduces to the legacy builtin skip.
+    const auto plain = originFrameIndex(stack, false);
+    if (plain.has_value()) {
+      EXPECT_FALSE(isBuiltinFrame(stack[*plain])) << round;
+      for (std::size_t i = *plain + 1; i < stack.size(); ++i)
+        EXPECT_TRUE(isBuiltinFrame(stack[i])) << round << " frame " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace libspector::core

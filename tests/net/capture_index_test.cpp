@@ -19,6 +19,11 @@ void expectSameVolume(const CaptureFile::StreamVolume& naive,
   EXPECT_EQ(naive.payloadFromSrc, indexed.payloadFromSrc) << context;
   EXPECT_EQ(naive.payloadFromDst, indexed.payloadFromDst) << context;
   EXPECT_EQ(naive.packetCount, indexed.packetCount) << context;
+  // The RTT axis: first-packet-per-direction timestamps must agree too,
+  // on both the sorted-view fast path and the resorted slow path.
+  EXPECT_EQ(naive.firstFromSrcMs, indexed.firstFromSrcMs) << context;
+  EXPECT_EQ(naive.firstFromDstMs, indexed.firstFromDstMs) << context;
+  EXPECT_EQ(naive.rttMs(), indexed.rttMs()) << context;
 }
 
 TEST(CaptureIndexTest, EmptyCaptureAnswersZero) {
@@ -126,6 +131,158 @@ TEST(CaptureIndexTest, PropertyRandomCapturesMatchNaiveScan) {
                            std::to_string(q) + " pair " + pair.str());
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// RTT axis (§14): first-packet-per-direction timestamps and the derived
+// round-trip estimate.
+// ---------------------------------------------------------------------------
+
+TEST(CaptureIndexTest, RttIsFirstResponseGapWithinTheWindow) {
+  CaptureFile capture;
+  capture.append(makeTcpPacket(100, kPair, 140, 100));             // request
+  capture.append(makeTcpPacket(127, kPair.reversed(), 540, 500));  // response
+  capture.append(makeTcpPacket(130, kPair, 140, 100));
+  const CaptureIndex index(capture);
+  const auto volume = index.streamVolume(kPair, 0, 1000);
+  EXPECT_EQ(volume.firstFromSrcMs, 100u);
+  EXPECT_EQ(volume.firstFromDstMs, 127u);
+  EXPECT_EQ(volume.rttMs(), 27u);
+}
+
+TEST(CaptureIndexTest, RttIsZeroWithoutAResponse) {
+  CaptureFile capture;
+  capture.append(makeTcpPacket(100, kPair, 140, 100));
+  const CaptureIndex index(capture);
+  const auto volume = index.streamVolume(kPair, 0, 1000);
+  EXPECT_EQ(volume.firstFromSrcMs, 100u);
+  EXPECT_EQ(volume.firstFromDstMs, CaptureFile::StreamVolume::kNoTimestamp);
+  EXPECT_EQ(volume.rttMs(), 0u);
+}
+
+TEST(CaptureIndexTest, RttIsZeroWhenResponsePrecedesRequestInWindow) {
+  // A keep-alive window can open mid-stream, catching the tail of the
+  // previous response before this request's first packet. A negative gap
+  // is not a latency measurement.
+  CaptureFile capture;
+  capture.append(makeTcpPacket(90, kPair.reversed(), 540, 500));  // stale tail
+  capture.append(makeTcpPacket(100, kPair, 140, 100));
+  const CaptureIndex index(capture);
+  const auto volume = index.streamVolume(kPair, 80, 1000);
+  EXPECT_EQ(volume.firstFromDstMs, 90u);
+  EXPECT_EQ(volume.rttMs(), 0u);
+}
+
+TEST(CaptureIndexTest, RttWindowingMatchesNaiveOnTheResortedPath) {
+  // Out-of-order appends push the connection onto the index's resorted
+  // slow path; the per-direction first-timestamp scan must still agree
+  // with the naive reference on every window.
+  CaptureFile capture;
+  capture.append(makeTcpPacket(300, kPair.reversed(), 340, 300));
+  capture.append(makeTcpPacket(100, kPair, 140, 100));
+  capture.append(makeTcpPacket(200, kPair.reversed(), 240, 200));
+  capture.append(makeTcpPacket(150, kPair, 40, 0));
+  const CaptureIndex index(capture);
+  for (util::SimTimeMs from : {0u, 100u, 150u, 151u, 250u})
+    for (util::SimTimeMs to : {99u, 150u, 200u, 299u, 400u})
+      expectSameVolume(capture.streamVolume(kPair, from, to),
+                       index.streamVolume(kPair, from, to),
+                       "resorted window [" + std::to_string(from) + "," +
+                           std::to_string(to) + "]");
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive request windows (§14): consecutive windows over one socket
+// partition the capture exactly — every payload byte lands in exactly one
+// logical request, whatever the segmentation looks like.
+// ---------------------------------------------------------------------------
+
+/// Sum per-direction payload over consecutive windows split at
+/// `boundaries` (each boundary starts a new window) and check the totals
+/// against the whole-capture scan.
+void expectWindowsPartition(const CaptureFile& capture,
+                            const std::vector<util::SimTimeMs>& boundaries,
+                            const std::string& context) {
+  const CaptureIndex index(capture);
+  std::uint64_t paySrc = 0, payDst = 0;
+  std::size_t packets = 0;
+  for (std::size_t k = 0; k < boundaries.size(); ++k) {
+    const util::SimTimeMs from = boundaries[k];
+    const util::SimTimeMs to = k + 1 < boundaries.size()
+                                   ? boundaries[k + 1] - 1
+                                   : ~util::SimTimeMs{0};
+    const auto volume = index.streamVolume(kPair, from, to);
+    paySrc += volume.payloadFromSrc;
+    payDst += volume.payloadFromDst;
+    packets += volume.packetCount;
+  }
+  const auto whole = capture.streamVolume(kPair, 0, ~util::SimTimeMs{0});
+  EXPECT_EQ(paySrc, whole.payloadFromSrc) << context;
+  EXPECT_EQ(payDst, whole.payloadFromDst) << context;
+  EXPECT_EQ(packets, whole.packetCount) << context;
+  EXPECT_EQ(paySrc + payDst, capture.totalTcpPayloadBytes()) << context;
+}
+
+TEST(CaptureIndexTest, KeepAliveWindowsPartitionAtASegmentSplit) {
+  // The second request's boundary lands exactly between two segments of
+  // the same burst: the earlier segment must count for request 0, the
+  // later (timestamp == boundary) for request 1 — never both, never
+  // neither.
+  CaptureFile capture;
+  capture.append(makeTcpPacket(100, kPair, 640, 600));
+  capture.append(makeTcpPacket(199, kPair, 940, 900));             // last of req 0
+  capture.append(makeTcpPacket(200, kPair, 340, 300));             // first of req 1
+  capture.append(makeTcpPacket(210, kPair.reversed(), 1540, 1500));
+  expectWindowsPartition(capture, {0, 200}, "segment split");
+
+  const CaptureIndex index(capture);
+  EXPECT_EQ(index.streamVolume(kPair, 0, 199).payloadFromSrc, 1500u);
+  EXPECT_EQ(index.streamVolume(kPair, 200, ~util::SimTimeMs{0}).payloadFromSrc,
+            300u);
+}
+
+TEST(CaptureIndexTest, ZeroByteRequestWindowsAreEmptyNotWrong) {
+  // A logical request that transferred nothing (cache hit) still owns a
+  // window; it must contribute zero, and its neighbours must be unaffected.
+  CaptureFile capture;
+  capture.append(makeTcpPacket(100, kPair, 240, 200));
+  capture.append(makeTcpPacket(110, kPair.reversed(), 840, 800));
+  // [300, 499] is request 1's window: silent.
+  capture.append(makeTcpPacket(500, kPair, 340, 300));
+  expectWindowsPartition(capture, {0, 300, 500}, "zero-byte request");
+  const CaptureIndex index(capture);
+  const auto empty = index.streamVolume(kPair, 300, 499);
+  EXPECT_EQ(empty.packetCount, 0u);
+  EXPECT_EQ(empty.rttMs(), 0u);
+}
+
+TEST(CaptureIndexTest, InterleavedResponsesStayConserved) {
+  // A slow response to request 0 arrives after request 1 opened. Windows
+  // split by time, so the late bytes land in request 1's window — the
+  // partition invariant (no loss, no double count) is what holds.
+  CaptureFile capture;
+  capture.append(makeTcpPacket(100, kPair, 240, 200));              // req 0
+  capture.append(makeTcpPacket(300, kPair, 440, 400));              // req 1
+  capture.append(makeTcpPacket(310, kPair.reversed(), 1040, 1000)); // late resp 0
+  capture.append(makeTcpPacket(320, kPair.reversed(), 2040, 2000)); // resp 1
+  expectWindowsPartition(capture, {0, 300}, "interleaved responses");
+}
+
+TEST(CaptureIndexTest, FinMidRequestAddsNoPayload) {
+  // A FIN (header-only) inside a request window counts as a packet and
+  // wire bytes but never as data transfer.
+  CaptureFile capture;
+  capture.append(makeTcpPacket(100, kPair, 240, 200));
+  capture.append(makeTcpPacket(150, kPair, 40, 0));  // FIN
+  capture.append(makeTcpPacket(160, kPair.reversed(), 40, 0));  // FIN-ACK
+  capture.append(makeTcpPacket(200, kPair.reversed(), 540, 500));
+  expectWindowsPartition(capture, {0, 180}, "fin mid-request");
+  const CaptureIndex index(capture);
+  const auto volume = index.streamVolume(kPair, 0, 180);
+  EXPECT_EQ(volume.payloadFromSrc, 200u);
+  EXPECT_EQ(volume.payloadFromDst, 0u);
+  EXPECT_EQ(volume.bytesFromSrc, 280u);  // wire bytes do include the FIN
+  EXPECT_EQ(volume.packetCount, 3u);
 }
 
 }  // namespace
